@@ -1,0 +1,100 @@
+//! Micro-benchmarks of the hot kernels: Gram matrices, Cholesky solves,
+//! ridge fits, Pearson correlation, SQL execution and TSDB alignment —
+//! the building blocks whose costs compose into Table 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use explainit_linalg::{Cholesky, Matrix};
+use explainit_ml::RidgeModel;
+use explainit_query::{Catalog, Table, Value};
+use explainit_stats::pearson;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn noise(t: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(t, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.gen::<f64>() * 2.0 - 1.0;
+    }
+    m
+}
+
+fn bench_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/xtx");
+    for &p in &[50usize, 200] {
+        let x = noise(1440, p, p as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| x.xtx());
+        });
+    }
+    group.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/cholesky");
+    for &p in &[50usize, 200] {
+        let x = noise(800, p, p as u64);
+        let mut a = x.xtx();
+        a.add_diagonal(1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| Cholesky::factor(&a).expect("spd"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ridge_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/ridge_fit");
+    group.sample_size(20);
+    let x = noise(1440, 100, 7);
+    let y = noise(1440, 2, 8);
+    group.bench_function("primal_1440x100", |b| {
+        b.iter(|| RidgeModel::fit(&x, &y, 1.0).expect("fit"));
+    });
+    let x_wide = noise(300, 900, 9);
+    let y_small = noise(300, 2, 10);
+    group.bench_function("dual_300x900", |b| {
+        b.iter(|| RidgeModel::fit(&x_wide, &y_small, 1.0).expect("fit"));
+    });
+    group.finish();
+}
+
+fn bench_pearson(c: &mut Criterion) {
+    let x = noise(2880, 1, 1).column(0);
+    let y = noise(2880, 1, 2).column(0);
+    c.bench_function("kernels/pearson_2880", |b| {
+        b.iter(|| pearson(&x, &y));
+    });
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let mut catalog = Catalog::new();
+    let rows: Vec<Vec<Value>> = (0..20_000)
+        .map(|i| {
+            vec![
+                Value::Int(i % 1440),
+                Value::str(format!("host-{}", i % 50)),
+                Value::Float((i % 97) as f64),
+            ]
+        })
+        .collect();
+    catalog.register("m", Table::from_rows(&["ts", "host", "v"], rows));
+    c.bench_function("kernels/sql_group_by_20k_rows", |b| {
+        b.iter(|| {
+            catalog
+                .execute("SELECT ts, AVG(v) FROM m GROUP BY ts ORDER BY ts")
+                .expect("query")
+        });
+    });
+    c.bench_function("kernels/sql_filter_20k_rows", |b| {
+        b.iter(|| {
+            catalog
+                .execute("SELECT v FROM m WHERE host LIKE 'host-1%' AND v > 50")
+                .expect("query")
+        });
+    });
+}
+
+criterion_group!(benches, bench_gram, bench_cholesky, bench_ridge_fit, bench_pearson, bench_sql);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion bench behind Table 2: per-hypothesis scoring cost as a
+//! function of feature count and data points, per scorer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use explainit_core::scorers::{score_hypothesis, ScoreConfig, ScorerKind};
+use explainit_linalg::Matrix;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn noise(t: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(t, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.gen::<f64>() * 2.0 - 1.0;
+    }
+    m
+}
+
+fn bench_scorers_vs_nx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/nx_sweep_T720");
+    group.sample_size(10);
+    let t = 720;
+    let y = noise(t, 2, 0);
+    let cfg = ScoreConfig::default();
+    for &nx in &[25usize, 100, 400] {
+        let x = noise(t, nx, nx as u64);
+        for scorer in
+            [ScorerKind::CorrMean, ScorerKind::CorrMax, ScorerKind::L2, ScorerKind::L2_P50]
+        {
+            group.bench_with_input(BenchmarkId::new(scorer.name(), nx), &nx, |b, _| {
+                b.iter(|| score_hypothesis(scorer, &x, &y, None, &cfg).expect("score"));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_scorers_vs_t(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/T_sweep_nx100");
+    group.sample_size(10);
+    let cfg = ScoreConfig::default();
+    for &t in &[360usize, 1440] {
+        let x = noise(t, 100, t as u64);
+        let y = noise(t, 2, t as u64 + 1);
+        for scorer in [ScorerKind::CorrMean, ScorerKind::L2, ScorerKind::L2_P50] {
+            group.bench_with_input(BenchmarkId::new(scorer.name(), t), &t, |b, _| {
+                b.iter(|| score_hypothesis(scorer, &x, &y, None, &cfg).expect("score"));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_conditional_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/conditional");
+    group.sample_size(10);
+    let t = 720;
+    let x = noise(t, 50, 1);
+    let y = noise(t, 2, 2);
+    let z = noise(t, 5, 3);
+    let cfg = ScoreConfig::default();
+    group.bench_function("L2_marginal", |b| {
+        b.iter(|| score_hypothesis(ScorerKind::L2, &x, &y, None, &cfg).expect("score"));
+    });
+    group.bench_function("L2_conditional_nz5", |b| {
+        b.iter(|| score_hypothesis(ScorerKind::L2, &x, &y, Some(&z), &cfg).expect("score"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scorers_vs_nx, bench_scorers_vs_t, bench_conditional_scoring);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Regenerates Figure 10: the distribution of mean and max scoring time per
+//! feature family for the five scorers, across the evaluation scenarios.
+//!
+//! Usage: `fig10_report [--scenarios 1,6,11]` (defaults to three scenarios
+//! to keep laptop runtime reasonable).
+//!
+//! Expected shape (paper): univariate scorers cheapest; multivariate within
+//! 2-3x on the mean and ~1.5x on the max; random projection between the
+//! two. (Absolute numbers differ: no JVM<->Python serialisation here, which
+//! the paper measured at 5-25% of score time.)
+
+use std::time::Duration;
+
+use explainit_bench::{engine_for_window, rank_runtime, time_stats};
+use explainit_core::{EngineConfig, ScorerKind};
+use explainit_workloads::scenarios::{scenario_specs, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let wanted: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--scenarios")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').filter_map(|p| p.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 6, 11]);
+
+    println!("=== Figure 10: score time per feature family, by scorer ===\n");
+    let scorers = ScorerKind::table6_set();
+    let specs = scenario_specs(Scale::Reduced);
+    let mut means: Vec<Vec<Duration>> = vec![Vec::new(); scorers.len()];
+    let mut maxes: Vec<Vec<Duration>> = vec![Vec::new(); scorers.len()];
+
+    for spec in specs.iter().filter(|s| wanted.contains(&s.id)) {
+        let sim = spec.run();
+        let engine = engine_for_window(&sim, spec.analysis_window(), EngineConfig::default());
+        println!(
+            "scenario {} ({} families, {} features):",
+            spec.id,
+            engine.family_count(),
+            engine.feature_count()
+        );
+        for (si, scorer) in scorers.iter().enumerate() {
+            let ranking = rank_runtime(&engine, &[], *scorer);
+            let (mean, max) = time_stats(&ranking);
+            means[si].push(mean);
+            maxes[si].push(max);
+            println!(
+                "  {:<9} mean {:>10.3?} / family   max {:>10.3?}   (total {:?})",
+                scorer.name(),
+                mean,
+                max,
+                ranking.elapsed
+            );
+        }
+    }
+
+    println!("\nPer-scorer distribution across scenarios:");
+    println!(
+        "{:<9} {:>14} {:>14} {:>14} {:>14}",
+        "Scorer", "mean(mean)", "max(mean)", "mean(max)", "max(max)"
+    );
+    let avg = |ds: &[Duration]| -> Duration {
+        if ds.is_empty() {
+            Duration::ZERO
+        } else {
+            ds.iter().sum::<Duration>() / ds.len() as u32
+        }
+    };
+    let top = |ds: &[Duration]| ds.iter().max().copied().unwrap_or(Duration::ZERO);
+    let mut corr_mean_baseline = None;
+    for (si, scorer) in scorers.iter().enumerate() {
+        let m = avg(&means[si]);
+        if si == 0 {
+            corr_mean_baseline = Some(m);
+        }
+        println!(
+            "{:<9} {:>14.3?} {:>14.3?} {:>14.3?} {:>14.3?}",
+            scorer.name(),
+            m,
+            top(&means[si]),
+            avg(&maxes[si]),
+            top(&maxes[si])
+        );
+    }
+    if let Some(base) = corr_mean_baseline {
+        if base > Duration::ZERO {
+            println!("\nRelative mean cost vs CorrMean:");
+            for (si, scorer) in scorers.iter().enumerate() {
+                let ratio = avg(&means[si]).as_secs_f64() / base.as_secs_f64();
+                println!("  {:<9} {ratio:>6.2}x", scorer.name());
+            }
+        }
+    }
+    println!(
+        "\nPaper reference: multivariate within 2-3x (mean) and ~1.5x (max) of the \
+         univariate scorers."
+    );
+}

@@ -1,0 +1,185 @@
+//! Conditional-independence testing on data: partial correlation with
+//! Fisher's z transform.
+//!
+//! The PC baseline (§3.3/§7) and the engine's validation suites need a
+//! classical CI test: `X ⊥ Y | Z` for univariate X, Y and a small
+//! conditioning set Z. For jointly Gaussian data the partial correlation is
+//! zero iff the conditional independence holds — the same fact Appendix B
+//! proves for the residual-regression score.
+
+use explainit_linalg::{Cholesky, Matrix};
+use explainit_stats::{pearson, Normal};
+
+/// Computes the partial correlation of columns `x` and `y` given the columns
+/// in `z` (all column indices into `data`).
+///
+/// Uses the precision-matrix identity: invert the correlation matrix of
+/// `[x, y, z...]`; the partial correlation is
+/// `-P_xy / sqrt(P_xx P_yy)`. A tiny ridge is added when the correlation
+/// matrix is numerically singular.
+///
+/// # Panics
+/// Panics if indices overlap or exceed the column count.
+pub fn partial_correlation(data: &Matrix, x: usize, y: usize, z: &[usize]) -> f64 {
+    assert!(x != y, "x and y must differ");
+    assert!(!z.contains(&x) && !z.contains(&y), "z must exclude x and y");
+    let mut cols = vec![x, y];
+    cols.extend_from_slice(z);
+    let k = cols.len();
+    // Build the correlation matrix of the selected columns.
+    let selected: Vec<Vec<f64>> = cols.iter().map(|&c| data.column(c)).collect();
+    let mut corr = Matrix::identity(k);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let r = pearson(&selected[i], &selected[j]);
+            corr[(i, j)] = r;
+            corr[(j, i)] = r;
+        }
+    }
+    // Invert (with escalating jitter for near-singular inputs).
+    let mut jitter = 0.0;
+    let precision = loop {
+        let mut m = corr.clone();
+        if jitter > 0.0 {
+            m.add_diagonal(jitter);
+        }
+        match Cholesky::factor(&m).and_then(|c| c.inverse()) {
+            Ok(inv) => break inv,
+            Err(_) => {
+                jitter = if jitter == 0.0 { 1e-10 } else { jitter * 100.0 };
+                assert!(jitter < 1.0, "correlation matrix irrecoverably singular");
+            }
+        }
+    };
+    let denom = (precision[(0, 0)] * precision[(1, 1)]).sqrt();
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    (-precision[(0, 1)] / denom).clamp(-1.0, 1.0)
+}
+
+/// Fisher z-test of zero partial correlation.
+///
+/// Returns the two-sided p-value for the hypothesis that the partial
+/// correlation is zero, given `n` samples and `|z|` conditioning variables.
+/// Returns 1.0 when the effective sample size is too small.
+pub fn fisher_z_test(partial_corr: f64, n: usize, z_size: usize) -> f64 {
+    let df = n as f64 - z_size as f64 - 3.0;
+    if df <= 0.0 {
+        return 1.0;
+    }
+    let r = partial_corr.clamp(-0.999_999, 0.999_999);
+    let z = 0.5 * ((1.0 + r) / (1.0 - r)).ln() * df.sqrt();
+    let normal = Normal::standard();
+    (2.0 * normal.sf(z.abs())).clamp(0.0, 1.0)
+}
+
+/// A reusable CI test with a significance level.
+#[derive(Debug, Clone, Copy)]
+pub struct CiTest {
+    /// Significance level; p-values above it mean "independent".
+    pub alpha: f64,
+}
+
+impl CiTest {
+    /// Creates a test at the given level.
+    ///
+    /// # Panics
+    /// Panics unless `alpha` is in `(0, 1)`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        CiTest { alpha }
+    }
+
+    /// True when the test *fails to reject* independence of columns `x` and
+    /// `y` given `z` — i.e. the data looks conditionally independent.
+    pub fn independent(&self, data: &Matrix, x: usize, y: usize, z: &[usize]) -> bool {
+        let pc = partial_correlation(data, x, y, z);
+        fisher_z_test(pc, data.nrows(), z.len()) > self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::Dag;
+    use crate::sem::{LinearGaussianSem, NodeSpec};
+    use std::collections::HashMap;
+
+    fn chain_data(n: usize, seed: u64) -> Matrix {
+        // Z -> Y -> X, column order is insertion order: Z=0, Y=1, X=2.
+        let mut dag = Dag::new();
+        dag.add_edge_by_name("Z", "Y");
+        dag.add_edge_by_name("Y", "X");
+        let mut specs = HashMap::new();
+        specs.insert("Z".into(), NodeSpec::default().noise(1.0));
+        specs.insert("Y".into(), NodeSpec::with_weights(&[("Z", 1.5)]).noise(0.7));
+        specs.insert("X".into(), NodeSpec::with_weights(&[("Y", 1.2)]).noise(0.7));
+        LinearGaussianSem::new(dag, specs).sample(n, seed)
+    }
+
+    #[test]
+    fn marginal_equals_pearson() {
+        let data = chain_data(500, 1);
+        let pc = partial_correlation(&data, 0, 2, &[]);
+        let r = pearson(&data.column(0), &data.column(2));
+        assert!((pc - r).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_conditioning_kills_correlation() {
+        let data = chain_data(3000, 2);
+        let marginal = partial_correlation(&data, 0, 2, &[]);
+        let conditional = partial_correlation(&data, 0, 2, &[1]);
+        assert!(marginal.abs() > 0.5, "marginal {marginal}");
+        assert!(conditional.abs() < 0.08, "conditional {conditional}");
+    }
+
+    #[test]
+    fn ci_test_verdicts_on_chain() {
+        let data = chain_data(3000, 3);
+        let test = CiTest::new(0.01);
+        assert!(!test.independent(&data, 0, 2, &[]), "marginally dependent");
+        assert!(test.independent(&data, 0, 2, &[1]), "conditionally independent");
+        assert!(!test.independent(&data, 0, 1, &[]), "direct edge dependent");
+    }
+
+    #[test]
+    fn collider_conditioning_creates_dependence() {
+        // X -> C <- Y: marginally independent, dependent given C.
+        let mut dag = Dag::new();
+        dag.add_edge_by_name("X", "C");
+        dag.add_edge_by_name("Y", "C");
+        let mut specs = HashMap::new();
+        specs.insert("X".into(), NodeSpec::default().noise(1.0));
+        specs.insert("Y".into(), NodeSpec::default().noise(1.0));
+        specs.insert("C".into(), NodeSpec::with_weights(&[("X", 1.0), ("Y", 1.0)]).noise(0.3));
+        let data = LinearGaussianSem::new(dag, specs).sample(3000, 4);
+        // Column order: X=0, C=1, Y=2.
+        let marginal = partial_correlation(&data, 0, 2, &[]);
+        let given_c = partial_correlation(&data, 0, 2, &[1]);
+        assert!(marginal.abs() < 0.06, "marginal {marginal}");
+        assert!(given_c.abs() > 0.3, "collider opens: {given_c}");
+    }
+
+    #[test]
+    fn fisher_z_pvalue_behaviour() {
+        // Strong correlation, many samples: tiny p.
+        assert!(fisher_z_test(0.5, 1000, 0) < 1e-10);
+        // Zero correlation: p = 1.
+        assert!((fisher_z_test(0.0, 1000, 0) - 1.0).abs() < 1e-12);
+        // Tiny sample: degenerate p = 1.
+        assert_eq!(fisher_z_test(0.9, 3, 1), 1.0);
+        // Larger conditioning set weakens evidence (higher p).
+        let p_small_z = fisher_z_test(0.1, 50, 0);
+        let p_big_z = fisher_z_test(0.1, 50, 30);
+        assert!(p_big_z > p_small_z);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exclude")]
+    fn overlapping_z_rejected() {
+        let data = chain_data(100, 5);
+        partial_correlation(&data, 0, 2, &[0]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Directed acyclic graphs with the reachability queries RCA needs.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Index of a node inside one [`Dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A named DAG stored as forward + reverse adjacency lists.
+///
+/// The root-cause question of §3.1 — *find the ancestors of the target* — is
+/// [`Dag::ancestors`]; the labelling of simulator metrics as cause vs effect
+/// uses [`Dag::ancestors`] / [`Dag::descendants`] of the fault node.
+#[derive(Debug, Clone, Default)]
+pub struct Dag {
+    names: Vec<String>,
+    by_name: HashMap<String, NodeId>,
+    children: Vec<Vec<NodeId>>,
+    parents: Vec<Vec<NodeId>>,
+}
+
+impl Dag {
+    /// Creates an empty DAG.
+    pub fn new() -> Self {
+        Dag::default()
+    }
+
+    /// Adds a node, returning its id. Duplicate names return the existing
+    /// node.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let name = name.into();
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        let id = NodeId(self.names.len());
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        self.children.push(Vec::new());
+        self.parents.push(Vec::new());
+        id
+    }
+
+    /// Adds the edge `from → to`.
+    ///
+    /// # Panics
+    /// Panics if the edge would create a cycle (checked eagerly — this type
+    /// guarantees acyclicity) or if either id is stale.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        assert!(from.0 < self.names.len() && to.0 < self.names.len(), "stale node id");
+        assert!(from != to, "self edges are not allowed");
+        if self.children[from.0].contains(&to) {
+            return;
+        }
+        assert!(
+            !self.is_reachable(to, from),
+            "edge {} -> {} would create a cycle",
+            self.names[from.0],
+            self.names[to.0]
+        );
+        self.children[from.0].push(to);
+        self.parents[to.0].push(from);
+    }
+
+    /// Convenience: add an edge by node names, creating nodes as needed.
+    pub fn add_edge_by_name(&mut self, from: &str, to: &str) {
+        let f = self.add_node(from);
+        let t = self.add_node(to);
+        self.add_edge(f, t);
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Node id by name.
+    pub fn node(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Node name by id.
+    ///
+    /// # Panics
+    /// Panics on a stale id.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.names.len()).map(NodeId)
+    }
+
+    /// Direct parents of a node.
+    pub fn parents(&self, id: NodeId) -> &[NodeId] {
+        &self.parents[id.0]
+    }
+
+    /// Direct children of a node.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.children[id.0]
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.children.iter().map(Vec::len).sum()
+    }
+
+    /// True if `to` is reachable from `from` along directed edges.
+    pub fn is_reachable(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.names.len()];
+        let mut queue = VecDeque::from([from]);
+        seen[from.0] = true;
+        while let Some(cur) = queue.pop_front() {
+            for &c in &self.children[cur.0] {
+                if c == to {
+                    return true;
+                }
+                if !seen[c.0] {
+                    seen[c.0] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+        false
+    }
+
+    /// All (strict) ancestors of a node.
+    pub fn ancestors(&self, id: NodeId) -> BTreeSet<NodeId> {
+        self.closure(id, |n| &self.parents[n.0])
+    }
+
+    /// All (strict) descendants of a node.
+    pub fn descendants(&self, id: NodeId) -> BTreeSet<NodeId> {
+        self.closure(id, |n| &self.children[n.0])
+    }
+
+    fn closure<'a>(&'a self, id: NodeId, step: impl Fn(NodeId) -> &'a [NodeId]) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        let mut queue = VecDeque::from([id]);
+        while let Some(cur) = queue.pop_front() {
+            for &next in step(cur) {
+                if out.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        out
+    }
+
+    /// Topological order (parents before children). Always succeeds because
+    /// edges are cycle-checked on insertion.
+    pub fn topological_order(&self) -> Vec<NodeId> {
+        let n = self.names.len();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.parents[i].len()).collect();
+        let mut queue: VecDeque<NodeId> =
+            (0..n).filter(|&i| indeg[i] == 0).map(NodeId).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(cur) = queue.pop_front() {
+            order.push(cur);
+            for &c in &self.children[cur.0] {
+                indeg[c.0] -= 1;
+                if indeg[c.0] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "cycle detected in supposedly acyclic graph");
+        order
+    }
+
+    /// Root nodes (no parents).
+    pub fn roots(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&n| self.parents[n.0].is_empty()).collect()
+    }
+
+    /// All directed edges as `(from, to)` pairs.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        for (i, cs) in self.children.iter().enumerate() {
+            for &c in cs {
+                out.push((NodeId(i), c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 chain: Z -> Y -> X.
+    fn chain() -> Dag {
+        let mut g = Dag::new();
+        g.add_edge_by_name("Z", "Y");
+        g.add_edge_by_name("Y", "X");
+        g
+    }
+
+    #[test]
+    fn add_node_dedups() {
+        let mut g = Dag::new();
+        let a = g.add_node("a");
+        let a2 = g.add_node("a");
+        assert_eq!(a, a2);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn ancestors_and_descendants_of_chain() {
+        let g = chain();
+        let (z, y, x) = (g.node("Z").unwrap(), g.node("Y").unwrap(), g.node("X").unwrap());
+        assert_eq!(g.ancestors(x), BTreeSet::from([z, y]));
+        assert_eq!(g.descendants(z), BTreeSet::from([y, x]));
+        assert!(g.ancestors(z).is_empty());
+        assert!(g.descendants(x).is_empty());
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut g = chain();
+        let (z, x) = (g.node("Z").unwrap(), g.node("X").unwrap());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            g.add_edge(x, z);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn duplicate_edge_is_noop() {
+        let mut g = chain();
+        let (z, y) = (g.node("Z").unwrap(), g.node("Y").unwrap());
+        g.add_edge(z, y);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let mut g = Dag::new();
+        g.add_edge_by_name("a", "c");
+        g.add_edge_by_name("b", "c");
+        g.add_edge_by_name("c", "d");
+        let order = g.topological_order();
+        let pos: HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for (f, t) in g.edges() {
+            assert!(pos[&f] < pos[&t], "edge {f:?}->{t:?} violates order");
+        }
+    }
+
+    #[test]
+    fn reachability() {
+        let g = chain();
+        let (z, x) = (g.node("Z").unwrap(), g.node("X").unwrap());
+        assert!(g.is_reachable(z, x));
+        assert!(!g.is_reachable(x, z));
+        assert!(g.is_reachable(z, z));
+    }
+
+    #[test]
+    fn roots_detection() {
+        let mut g = Dag::new();
+        g.add_edge_by_name("r1", "m");
+        g.add_edge_by_name("r2", "m");
+        let roots = g.roots();
+        assert_eq!(roots.len(), 2);
+        assert!(roots.contains(&g.node("r1").unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "self edges")]
+    fn self_edge_rejected() {
+        let mut g = Dag::new();
+        let a = g.add_node("a");
+        g.add_edge(a, a);
+    }
+}

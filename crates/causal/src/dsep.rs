@@ -1,0 +1,219 @@
+//! d-separation: the graphical criterion for conditional independence.
+//!
+//! Under the Causal Markov and Faithfulness assumptions (§3.1 of the paper),
+//! `X ⊥ Y | Z` in the data *iff* X and Y are d-separated by Z in the causal
+//! DAG. The engine's residual-regression score is a statistical test of the
+//! left side; this module computes the right side, which the property tests
+//! use to validate the scorer end-to-end on synthetic SEMs.
+//!
+//! Implementation: the "Bayes ball" reachability algorithm — walk over
+//! `(node, arrival-direction)` states applying the chain/fork/collider
+//! opening rules.
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use crate::dag::{Dag, NodeId};
+
+/// Direction the ball arrived at a node from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Dir {
+    /// Arrived along an edge pointing *into* the node (from a parent).
+    FromParent,
+    /// Arrived along an edge pointing *out of* the node (from a child).
+    FromChild,
+}
+
+/// Returns true when `x` and `y` are d-separated given conditioning set `z`.
+///
+/// # Panics
+/// Panics if `x == y` or either endpoint appears in `z` (the paper's
+/// hypothesis triples are required to be disjoint, §3.3).
+pub fn d_separated(dag: &Dag, x: NodeId, y: NodeId, z: &BTreeSet<NodeId>) -> bool {
+    assert!(x != y, "d-separation endpoints must differ");
+    assert!(!z.contains(&x) && !z.contains(&y), "conditioning set must exclude endpoints");
+    // Precompute: nodes that are in Z or have a descendant in Z (colliders
+    // open when they or a descendant is conditioned on).
+    let mut z_or_descendant_in_z = vec![false; dag.len()];
+    for &zi in z {
+        z_or_descendant_in_z[zi.0] = true;
+        for a in dag.ancestors(zi) {
+            z_or_descendant_in_z[a.0] = true;
+        }
+    }
+    // Wait: we need nodes whose DESCENDANTS include a member of Z, i.e. the
+    // ancestors of Z — which is exactly what the loop above marks (plus Z
+    // itself). `z_or_descendant_in_z[n]` is true iff n ∈ Z or n has a
+    // descendant in Z.
+    let in_z = |n: NodeId| z.contains(&n);
+
+    let mut visited: HashSet<(NodeId, Dir)> = HashSet::new();
+    let mut queue: VecDeque<(NodeId, Dir)> = VecDeque::new();
+    // Start from x as if we came "up" from a child: both parents and
+    // children are explorable.
+    queue.push_back((x, Dir::FromChild));
+    while let Some((node, dir)) = queue.pop_front() {
+        if !visited.insert((node, dir)) {
+            continue;
+        }
+        if node == y {
+            return false; // active path found
+        }
+        match dir {
+            Dir::FromChild => {
+                // Trail ... <- node or start node. If node not in Z we may
+                // go to parents (continuing <-) and to children (fork/start).
+                if !in_z(node) {
+                    for &p in dag.parents(node) {
+                        queue.push_back((p, Dir::FromChild));
+                    }
+                    for &c in dag.children(node) {
+                        queue.push_back((c, Dir::FromParent));
+                    }
+                }
+            }
+            Dir::FromParent => {
+                // Trail ... -> node. Chain continues to children unless node
+                // in Z; collider opens towards parents iff node or one of its
+                // descendants is in Z.
+                if !in_z(node) {
+                    for &c in dag.children(node) {
+                        queue.push_back((c, Dir::FromParent));
+                    }
+                }
+                if z_or_descendant_in_z[node.0] {
+                    for &p in dag.parents(node) {
+                        queue.push_back((p, Dir::FromChild));
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Convenience wrapper taking node names.
+///
+/// # Panics
+/// Panics on unknown names or violated disjointness.
+pub fn d_separated_by_name(dag: &Dag, x: &str, y: &str, z: &[&str]) -> bool {
+    let xi = dag.node(x).unwrap_or_else(|| panic!("unknown node {x}"));
+    let yi = dag.node(y).unwrap_or_else(|| panic!("unknown node {y}"));
+    let zs: BTreeSet<NodeId> = z
+        .iter()
+        .map(|n| dag.node(n).unwrap_or_else(|| panic!("unknown node {n}")))
+        .collect();
+    d_separated(dag, xi, yi, &zs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chain Z -> Y -> X (paper Figure 1 hypothesis (a)).
+    fn chain() -> Dag {
+        let mut g = Dag::new();
+        g.add_edge_by_name("Z", "Y");
+        g.add_edge_by_name("Y", "X");
+        g
+    }
+
+    /// Fork Y <- Z -> X (paper hypothesis (b)).
+    fn fork() -> Dag {
+        let mut g = Dag::new();
+        g.add_edge_by_name("Z", "Y");
+        g.add_edge_by_name("Z", "X");
+        g
+    }
+
+    /// Collider Y -> Z <- X (paper hypothesis (c)).
+    fn collider() -> Dag {
+        let mut g = Dag::new();
+        g.add_edge_by_name("Y", "Z");
+        g.add_edge_by_name("X", "Z");
+        g
+    }
+
+    #[test]
+    fn chain_blocked_by_middle() {
+        let g = chain();
+        // Z ⊥ X | Y — the paper's §3.1 example of Faithfulness.
+        assert!(d_separated_by_name(&g, "Z", "X", &["Y"]));
+        assert!(!d_separated_by_name(&g, "Z", "X", &[]));
+    }
+
+    #[test]
+    fn fork_blocked_by_common_cause() {
+        let g = fork();
+        assert!(d_separated_by_name(&g, "Y", "X", &["Z"]));
+        assert!(!d_separated_by_name(&g, "Y", "X", &[]));
+    }
+
+    #[test]
+    fn collider_opens_when_conditioned() {
+        let g = collider();
+        // Marginally independent...
+        assert!(d_separated_by_name(&g, "Y", "X", &[]));
+        // ...but conditioning on the collider opens the path.
+        assert!(!d_separated_by_name(&g, "Y", "X", &["Z"]));
+    }
+
+    #[test]
+    fn collider_descendant_also_opens() {
+        let mut g = collider();
+        g.add_edge_by_name("Z", "W");
+        assert!(!d_separated_by_name(&g, "Y", "X", &["W"]));
+    }
+
+    #[test]
+    fn pseudocause_structure_of_fig3() {
+        // Figure 3: Cs -> Ys -> Y1 <- Yr <- Cr, conditioning on Ys blocks
+        // Cs from Y1 — the justification for pseudocauses.
+        let mut g = Dag::new();
+        g.add_edge_by_name("Cs", "Ys");
+        g.add_edge_by_name("Ys", "Y1");
+        g.add_edge_by_name("Cr", "Yr");
+        g.add_edge_by_name("Yr", "Y1");
+        assert!(!d_separated_by_name(&g, "Cs", "Y1", &[]));
+        assert!(d_separated_by_name(&g, "Cs", "Y1", &["Ys"]));
+        // And Cr stays connected after that conditioning — the ranking boost.
+        assert!(!d_separated_by_name(&g, "Cr", "Y1", &["Ys"]));
+    }
+
+    #[test]
+    fn diamond_needs_both_paths_blocked() {
+        let mut g = Dag::new();
+        g.add_edge_by_name("A", "B");
+        g.add_edge_by_name("A", "C");
+        g.add_edge_by_name("B", "D");
+        g.add_edge_by_name("C", "D");
+        assert!(!d_separated_by_name(&g, "A", "D", &[]));
+        assert!(!d_separated_by_name(&g, "A", "D", &["B"]));
+        assert!(d_separated_by_name(&g, "A", "D", &["B", "C"]));
+    }
+
+    #[test]
+    fn disconnected_nodes_always_separated() {
+        let mut g = Dag::new();
+        g.add_node("A");
+        g.add_node("B");
+        assert!(d_separated_by_name(&g, "A", "B", &[]));
+    }
+
+    #[test]
+    fn conditioning_on_descendant_of_middle_does_not_block_chain() {
+        // A -> M -> B, M -> W; conditioning on W alone leaves A-B connected.
+        let mut g = Dag::new();
+        g.add_edge_by_name("A", "M");
+        g.add_edge_by_name("M", "B");
+        g.add_edge_by_name("M", "W");
+        assert!(!d_separated_by_name(&g, "A", "B", &["W"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exclude endpoints")]
+    fn conditioning_on_endpoint_rejected() {
+        let g = chain();
+        let z = BTreeSet::from([g.node("X").unwrap()]);
+        d_separated(&g, g.node("X").unwrap(), g.node("Y").unwrap(), &z);
+    }
+}

@@ -1,0 +1,30 @@
+//! Causal Bayesian network substrate.
+//!
+//! §3.1 of the paper models the monitored system as an unknown causal
+//! Bayesian network and reduces root-cause analysis to probing conditional
+//! (in)dependence structure. This crate provides:
+//!
+//! * [`Dag`] — directed acyclic graphs with ancestor/descendant queries and
+//!   **d-separation** (the graphical criterion the Causal Markov /
+//!   Faithfulness assumptions connect to statistical independence);
+//! * [`LinearGaussianSem`] — linear Gaussian structural equation models for
+//!   sampling synthetic observational data with known ground truth (used by
+//!   the workload simulator and by the soundness property tests);
+//! * [`ci`] — conditional-independence tests on data (partial correlation
+//!   with Fisher's z), the statistical primitive of constraint-based
+//!   discovery;
+//! * [`pc`] — the PC skeleton-discovery algorithm (Spirtes et al.),
+//!   referenced by the paper (§3.3, §7) as the classical baseline that
+//!   ExplainIt!'s targeted hypothesis queries generalise.
+
+pub mod ci;
+pub mod dag;
+pub mod dsep;
+pub mod pc;
+pub mod sem;
+
+pub use ci::{fisher_z_test, partial_correlation, CiTest};
+pub use dag::{Dag, NodeId};
+pub use dsep::d_separated;
+pub use pc::{pc_skeleton, PcConfig, Skeleton};
+pub use sem::{LinearGaussianSem, NodeSpec};

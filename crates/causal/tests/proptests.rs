@@ -1,0 +1,153 @@
+//! Property tests for the causal substrate: d-separation against a
+//! brute-force path enumeration oracle on random DAGs, and SEM sampling
+//! invariants.
+
+use std::collections::BTreeSet;
+
+use explainit_causal::{d_separated, Dag, NodeId};
+use proptest::prelude::*;
+
+/// Random small DAG: edges only from lower to higher index (guarantees
+/// acyclicity).
+fn dag_strategy(n: usize) -> impl Strategy<Value = Dag> {
+    proptest::collection::vec(any::<bool>(), n * (n - 1) / 2).prop_map(move |mask| {
+        let mut dag = Dag::new();
+        for i in 0..n {
+            dag.add_node(format!("n{i}"));
+        }
+        let mut k = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if mask[k] {
+                    dag.add_edge(NodeId(i), NodeId(j));
+                }
+                k += 1;
+            }
+        }
+        dag
+    })
+}
+
+/// Brute-force d-separation oracle: enumerate all undirected paths between
+/// x and y and test each for activeness under Z using the chain/fork/
+/// collider rules.
+fn d_separated_oracle(dag: &Dag, x: NodeId, y: NodeId, z: &BTreeSet<NodeId>) -> bool {
+    // Build undirected adjacency with direction info.
+    let n = dag.len();
+    let mut paths: Vec<Vec<NodeId>> = Vec::new();
+    let mut stack = vec![(x, vec![x])];
+    while let Some((cur, path)) = stack.pop() {
+        if cur == y {
+            paths.push(path);
+            continue;
+        }
+        if path.len() > n {
+            continue;
+        }
+        let mut neighbours: Vec<NodeId> = dag.children(cur).to_vec();
+        neighbours.extend_from_slice(dag.parents(cur));
+        for next in neighbours {
+            if !path.contains(&next) {
+                let mut p = path.clone();
+                p.push(next);
+                stack.push((next, p));
+            }
+        }
+    }
+    // A path is active iff every interior node passes its rule.
+    'paths: for path in &paths {
+        for w in path.windows(3) {
+            let (a, m, b) = (w[0], w[1], w[2]);
+            let into_m_from_a = dag.children(a).contains(&m);
+            let into_m_from_b = dag.children(b).contains(&m);
+            let is_collider = into_m_from_a && into_m_from_b;
+            if is_collider {
+                // Open iff m or a descendant of m is in Z.
+                let mut open = z.contains(&m);
+                if !open {
+                    for d in dag.descendants(m) {
+                        if z.contains(&d) {
+                            open = true;
+                            break;
+                        }
+                    }
+                }
+                if !open {
+                    continue 'paths;
+                }
+            } else if z.contains(&m) {
+                continue 'paths; // chain/fork blocked
+            }
+        }
+        return false; // found an active path
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bayes_ball_matches_brute_force(dag in dag_strategy(6), z_mask in proptest::collection::vec(any::<bool>(), 6)) {
+        let x = NodeId(0);
+        let y = NodeId(5);
+        let z: BTreeSet<NodeId> = (1..5)
+            .filter(|&i| z_mask[i])
+            .map(NodeId)
+            .collect();
+        let fast = d_separated(&dag, x, y, &z);
+        let slow = d_separated_oracle(&dag, x, y, &z);
+        prop_assert_eq!(fast, slow, "disagreement on {:?} with Z={:?}", dag.edges(), z);
+    }
+
+    #[test]
+    fn dsep_is_symmetric(dag in dag_strategy(6)) {
+        let z = BTreeSet::from([NodeId(2), NodeId(3)]);
+        let a = d_separated(&dag, NodeId(0), NodeId(5), &z);
+        let b = d_separated(&dag, NodeId(5), NodeId(0), &z);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ancestors_and_descendants_are_dual(dag in dag_strategy(7)) {
+        for i in 0..7 {
+            for j in 0..7 {
+                if i == j {
+                    continue;
+                }
+                let i_anc_of_j = dag.ancestors(NodeId(j)).contains(&NodeId(i));
+                let j_desc_of_i = dag.descendants(NodeId(i)).contains(&NodeId(j));
+                prop_assert_eq!(i_anc_of_j, j_desc_of_i);
+            }
+        }
+    }
+
+    #[test]
+    fn topological_order_is_valid(dag in dag_strategy(8)) {
+        let order = dag.topological_order();
+        prop_assert_eq!(order.len(), 8);
+        let pos: std::collections::HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for (f, t) in dag.edges() {
+            prop_assert!(pos[&f] < pos[&t]);
+        }
+    }
+
+    #[test]
+    fn disconnected_nodes_always_separated(n_edges_mask in proptest::collection::vec(any::<bool>(), 10)) {
+        // Two components: nodes 0-2 and 3-5, never connected.
+        let mut dag = Dag::new();
+        for i in 0..6 {
+            dag.add_node(format!("n{i}"));
+        }
+        let pairs = [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)];
+        for (k, &(a, b)) in pairs.iter().enumerate() {
+            if n_edges_mask[k % n_edges_mask.len()] {
+                dag.add_edge(NodeId(a), NodeId(b));
+            }
+        }
+        let empty = BTreeSet::new();
+        prop_assert!(d_separated(&dag, NodeId(0), NodeId(3), &empty));
+        prop_assert!(d_separated(&dag, NodeId(2), NodeId(5), &empty));
+    }
+}

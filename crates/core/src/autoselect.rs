@@ -1,0 +1,158 @@
+//! Automatic scorer selection.
+//!
+//! §6.1's takeaway ends with: *"We are working on techniques to
+//! automatically select the appropriate method without user intervention."*
+//! This module implements that extension with the heuristics the paper's
+//! own analysis justifies:
+//!
+//! * univariate scorers have low power on wide families but are cheap and
+//!   robust when families are narrow;
+//! * joint scoring pays `O(min(T·nx², T²·nx))` per hypothesis and risks
+//!   bias toward wide families;
+//! * random projection caps the joint cost at `d` dimensions, the right
+//!   call when families are wide relative to the sample count.
+//!
+//! The selector inspects the family-width distribution and the number of
+//! time steps and picks the Table-6 scorer whose operating regime matches,
+//! along with a human-readable justification.
+
+use crate::family::FeatureFamily;
+use crate::scorers::ScorerKind;
+
+/// A scorer recommendation with its reasoning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScorerChoice {
+    /// The recommended scorer.
+    pub scorer: ScorerKind,
+    /// Why it was chosen (shown to the operator).
+    pub reason: String,
+    /// Width statistics that drove the choice: (max, mean).
+    pub width_stats: (usize, f64),
+}
+
+/// Recommends a scorer for ranking `families` against a target with
+/// `t_steps` shared time steps.
+///
+/// Decision rule (each threshold cites the regime it separates):
+/// * every family univariate → `CorrMax` (§6.1: "univariate methods shine
+///   if the cause itself is univariate"; joint adds cost, not power);
+/// * widest family beyond `t_steps` (p ≫ n) → `L2-P500` when `t_steps`
+///   affords it, else `L2-P50` (§4.2: projection spans the spectrum);
+/// * widest family beyond `t_steps / 4` (overfitting territory per
+///   Appendix A's variance-vs-p analysis) → `L2-P50`;
+/// * otherwise → `L2` (most statistical power at acceptable cost).
+pub fn auto_select_scorer(families: &[FeatureFamily], t_steps: usize) -> ScorerChoice {
+    let widths: Vec<usize> = families.iter().map(FeatureFamily::width).collect();
+    let max_w = widths.iter().copied().max().unwrap_or(0);
+    let mean_w = if widths.is_empty() {
+        0.0
+    } else {
+        widths.iter().sum::<usize>() as f64 / widths.len() as f64
+    };
+    let stats = (max_w, mean_w);
+    if max_w <= 1 {
+        return ScorerChoice {
+            scorer: ScorerKind::CorrMax,
+            reason: "all families univariate: pairwise correlation has full power at minimal cost"
+                .into(),
+            width_stats: stats,
+        };
+    }
+    if max_w >= t_steps {
+        let scorer = if t_steps > 1000 {
+            ScorerKind::L2_P500
+        } else {
+            ScorerKind::L2_P50
+        };
+        return ScorerChoice {
+            scorer,
+            reason: format!(
+                "widest family ({max_w} features) exceeds the {t_steps} samples (p >= n): \
+                 random projection bounds cost and overfitting"
+            ),
+            width_stats: stats,
+        };
+    }
+    if max_w * 4 >= t_steps {
+        return ScorerChoice {
+            scorer: ScorerKind::L2_P50,
+            reason: format!(
+                "widest family ({max_w} features) is large relative to {t_steps} samples: \
+                 projecting to 50 dims keeps the adjusted-r² variance small (Appendix A)"
+            ),
+            width_stats: stats,
+        };
+    }
+    ScorerChoice {
+        scorer: ScorerKind::L2,
+        reason: format!(
+            "families are moderate-width (max {max_w}, mean {mean_w:.1}) versus {t_steps} \
+             samples: full joint scoring has the most power to detect multivariate causes"
+        ),
+        width_stats: stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family(name: &str, width: usize, len: usize) -> FeatureFamily {
+        let ts: Vec<i64> = (0..len as i64).collect();
+        let cols: Vec<Vec<f64>> = (0..width)
+            .map(|c| (0..len).map(|i| (i + c) as f64).collect())
+            .collect();
+        FeatureFamily::new(
+            name,
+            ts,
+            (0..width).map(|i| format!("f{i}")).collect(),
+            explainit_linalg::Matrix::from_columns(&cols),
+        )
+    }
+
+    #[test]
+    fn univariate_families_pick_corrmax() {
+        let fams = vec![family("a", 1, 100), family("b", 1, 100)];
+        let choice = auto_select_scorer(&fams, 100);
+        assert_eq!(choice.scorer, ScorerKind::CorrMax);
+        assert!(choice.reason.contains("univariate"));
+    }
+
+    #[test]
+    fn moderate_width_picks_l2() {
+        let fams = vec![family("a", 5, 1440), family("b", 8, 1440)];
+        let choice = auto_select_scorer(&fams, 1440);
+        assert_eq!(choice.scorer, ScorerKind::L2);
+    }
+
+    #[test]
+    fn wide_families_pick_projection() {
+        let fams = vec![family("a", 500, 1440)];
+        let choice = auto_select_scorer(&fams, 1440);
+        assert_eq!(choice.scorer, ScorerKind::L2_P50);
+    }
+
+    #[test]
+    fn p_over_n_picks_projection_sized_by_samples() {
+        let fams = vec![family("a", 2000, 1440)];
+        let choice = auto_select_scorer(&fams, 1440);
+        assert_eq!(choice.scorer, ScorerKind::L2_P500);
+        let fams = vec![family("a", 900, 720)];
+        let choice = auto_select_scorer(&fams, 720);
+        assert_eq!(choice.scorer, ScorerKind::L2_P50);
+    }
+
+    #[test]
+    fn empty_input_defaults_to_corrmax() {
+        let choice = auto_select_scorer(&[], 1440);
+        assert_eq!(choice.scorer, ScorerKind::CorrMax);
+    }
+
+    #[test]
+    fn width_stats_reported() {
+        let fams = vec![family("a", 2, 50), family("b", 6, 50)];
+        let choice = auto_select_scorer(&fams, 200);
+        assert_eq!(choice.width_stats.0, 6);
+        assert!((choice.width_stats.1 - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Baseline rankers from related work (§7).
+//!
+//! The "vanishing correlation" line of work (Chen et al., Cheng et al.)
+//! detects anomalies by looking for pairwise correlations that weaken
+//! during the anomalous period relative to a reference period, then ranks
+//! variables by how much their invariants broke. The paper argues this is
+//! insufficient in their environment ("existing correlations among
+//! variables do not weaken sufficiently during a period of interest"); this
+//! module implements the baseline so the evaluation can show the contrast.
+
+use explainit_stats::pearson;
+
+use crate::family::FeatureFamily;
+use crate::{CoreError, Result};
+
+/// A family ranked by invariant breakage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VanishingScore {
+    /// Family name.
+    pub family: String,
+    /// Mean absolute correlation drop versus the target between the
+    /// reference and anomaly windows, in `[0, 2]`.
+    pub drop: f64,
+    /// Correlation in the reference window.
+    pub reference_corr: f64,
+    /// Correlation in the anomaly window.
+    pub anomaly_corr: f64,
+}
+
+/// Ranks families by how much their correlation with the target *weakened*
+/// between a reference window and an anomaly window (row index ranges,
+/// half-open).
+pub fn vanishing_correlation_rank(
+    families: &[FeatureFamily],
+    target: &str,
+    reference: (usize, usize),
+    anomaly: (usize, usize),
+) -> Result<Vec<VanishingScore>> {
+    let y_fam = families
+        .iter()
+        .find(|f| f.name == target)
+        .ok_or_else(|| CoreError::UnknownFamily(target.to_string()))?;
+    let y = y_fam.data.column(0);
+    let check = |(s, e): (usize, usize)| -> Result<()> {
+        if s >= e || e > y.len() {
+            return Err(CoreError::Model(format!(
+                "window {s}..{e} out of bounds for target of length {}",
+                y.len()
+            )));
+        }
+        Ok(())
+    };
+    check(reference)?;
+    check(anomaly)?;
+    let mut out = Vec::new();
+    for fam in families.iter().filter(|f| f.name != target) {
+        if fam.len() != y.len() {
+            continue; // baseline requires one shared grid
+        }
+        // Mean |corr| over the family's features against the target.
+        let mut ref_acc = 0.0;
+        let mut anom_acc = 0.0;
+        for c in 0..fam.width() {
+            let x = fam.data.column(c);
+            ref_acc += pearson(&x[reference.0..reference.1], &y[reference.0..reference.1]).abs();
+            anom_acc += pearson(&x[anomaly.0..anomaly.1], &y[anomaly.0..anomaly.1]).abs();
+        }
+        let w = fam.width().max(1) as f64;
+        let reference_corr = ref_acc / w;
+        let anomaly_corr = anom_acc / w;
+        out.push(VanishingScore {
+            family: fam.name.clone(),
+            drop: (reference_corr - anomaly_corr).max(0.0),
+            reference_corr,
+            anomaly_corr,
+        });
+    }
+    out.sort_by(|a, b| b.drop.total_cmp(&a.drop).then_with(|| a.family.cmp(&b.family)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fam(name: &str, values: Vec<f64>) -> FeatureFamily {
+        let ts: Vec<i64> = (0..values.len() as i64).collect();
+        FeatureFamily::univariate(name, ts, values)
+    }
+
+    #[test]
+    fn broken_invariant_ranks_first() {
+        let n = 200;
+        let base: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let target = fam("y", base.clone());
+        // `broken` tracks y in the first half, decouples in the second.
+        let broken: Vec<f64> = (0..n)
+            .map(|i| if i < n / 2 { base[i] } else { (i as f64 * 1.7).cos() })
+            .collect();
+        // `steady` tracks y throughout.
+        let steady: Vec<f64> = base.iter().map(|v| v * 2.0).collect();
+        let fams = vec![target, fam("broken", broken), fam("steady", steady)];
+        let ranking =
+            vanishing_correlation_rank(&fams, "y", (0, n / 2), (n / 2, n)).unwrap();
+        assert_eq!(ranking[0].family, "broken");
+        assert!(ranking[0].drop > 0.5);
+        assert!(ranking[1].drop < 0.1);
+    }
+
+    #[test]
+    fn windows_validated() {
+        let fams = vec![fam("y", vec![1.0; 10]), fam("x", vec![2.0; 10])];
+        assert!(vanishing_correlation_rank(&fams, "y", (5, 5), (0, 10)).is_err());
+        assert!(vanishing_correlation_rank(&fams, "y", (0, 11), (0, 10)).is_err());
+        assert!(vanishing_correlation_rank(&fams, "nope", (0, 5), (5, 10)).is_err());
+    }
+
+    #[test]
+    fn mismatched_grids_skipped() {
+        let mut short = fam("short", vec![1.0, 2.0, 3.0]);
+        short.timestamps = vec![0, 1, 2];
+        let fams = vec![fam("y", (0..20).map(|i| i as f64).collect()), short];
+        let ranking = vanishing_correlation_rank(&fams, "y", (0, 10), (10, 20)).unwrap();
+        assert!(ranking.is_empty());
+    }
+}

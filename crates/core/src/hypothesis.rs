@@ -1,0 +1,170 @@
+//! Hypothesis enumeration (§3.3, Figure 4).
+//!
+//! A hypothesis is a disjoint triple `(X, Y, Z)` of feature families. The
+//! engine's "hypothesis table" is the cross product of the family table
+//! with the chosen target, minus the target and conditioning families —
+//! materialised lazily as index triples rather than copied rows, which is
+//! exactly what the paper's broadcast-join optimisation (§4.2) achieves on
+//! Spark: Y and Z are broadcast once, only X varies.
+
+use crate::family::FeatureFamily;
+use crate::{CoreError, Result};
+
+/// One scoring task: indices into the engine's family list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hypothesis {
+    /// Index of the explainable family X.
+    pub x: usize,
+    /// Index of the target family Y.
+    pub y: usize,
+}
+
+/// The full set of hypotheses for one ranking request: a shared `(Y, Z)`
+/// "broadcast side" and one entry per candidate X.
+#[derive(Debug, Clone)]
+pub struct HypothesisSet {
+    /// Target family index.
+    pub y: usize,
+    /// Conditioning family indices (may be empty).
+    pub z: Vec<usize>,
+    /// Candidate X family indices (excludes Y and Z).
+    pub xs: Vec<usize>,
+}
+
+impl HypothesisSet {
+    /// Enumerates hypotheses over `families`: every family except the
+    /// target and the conditioning set becomes a candidate X
+    /// (Algorithm 1, line 4).
+    ///
+    /// `search_space`, when non-empty, restricts candidates to the named
+    /// families (the user-defined subset of Algorithm 1, line 2).
+    pub fn enumerate(
+        families: &[FeatureFamily],
+        target: &str,
+        condition: &[&str],
+        search_space: &[&str],
+    ) -> Result<HypothesisSet> {
+        let find = |name: &str| -> Result<usize> {
+            families
+                .iter()
+                .position(|f| f.name == name)
+                .ok_or_else(|| CoreError::UnknownFamily(name.to_string()))
+        };
+        let y = find(target)?;
+        let mut z = Vec::with_capacity(condition.len());
+        for c in condition {
+            let zi = find(c)?;
+            if zi == y {
+                return Err(CoreError::OverlappingRoles(c.to_string()));
+            }
+            if z.contains(&zi) {
+                return Err(CoreError::OverlappingRoles(c.to_string()));
+            }
+            z.push(zi);
+        }
+        let allowed: Option<Vec<usize>> = if search_space.is_empty() {
+            None
+        } else {
+            let mut idx = Vec::with_capacity(search_space.len());
+            for s in search_space {
+                idx.push(find(s)?);
+            }
+            Some(idx)
+        };
+        let xs: Vec<usize> = (0..families.len())
+            .filter(|&i| i != y && !z.contains(&i))
+            .filter(|i| allowed.as_ref().is_none_or(|a| a.contains(i)))
+            .collect();
+        Ok(HypothesisSet { y, z, xs })
+    }
+
+    /// Number of hypotheses to score.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when no candidates remain.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Iterator over the `(x, y)` scoring tasks.
+    pub fn iter(&self) -> impl Iterator<Item = Hypothesis> + '_ {
+        self.xs.iter().map(|&x| Hypothesis { x, y: self.y })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn families() -> Vec<FeatureFamily> {
+        ["y", "a", "b", "c"]
+            .iter()
+            .map(|n| {
+                FeatureFamily::univariate(*n, vec![0, 60, 120], vec![1.0, 2.0, 3.0])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn enumerates_all_but_target() {
+        let fams = families();
+        let set = HypothesisSet::enumerate(&fams, "y", &[], &[]).unwrap();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.y, 0);
+        assert!(set.xs.contains(&1) && set.xs.contains(&2) && set.xs.contains(&3));
+    }
+
+    #[test]
+    fn conditioning_families_excluded() {
+        let fams = families();
+        let set = HypothesisSet::enumerate(&fams, "y", &["b"], &[]).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(!set.xs.contains(&2));
+        assert_eq!(set.z, vec![2]);
+    }
+
+    #[test]
+    fn search_space_restricts() {
+        let fams = families();
+        let set = HypothesisSet::enumerate(&fams, "y", &[], &["a", "c"]).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(!set.xs.contains(&2));
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let fams = families();
+        assert!(matches!(
+            HypothesisSet::enumerate(&fams, "nope", &[], &[]),
+            Err(CoreError::UnknownFamily(_))
+        ));
+        assert!(matches!(
+            HypothesisSet::enumerate(&fams, "y", &["nope"], &[]),
+            Err(CoreError::UnknownFamily(_))
+        ));
+    }
+
+    #[test]
+    fn overlapping_roles_rejected() {
+        let fams = families();
+        assert!(matches!(
+            HypothesisSet::enumerate(&fams, "y", &["y"], &[]),
+            Err(CoreError::OverlappingRoles(_))
+        ));
+        assert!(matches!(
+            HypothesisSet::enumerate(&fams, "y", &["a", "a"], &[]),
+            Err(CoreError::OverlappingRoles(_))
+        ));
+    }
+
+    #[test]
+    fn iter_yields_tasks() {
+        let fams = families();
+        let set = HypothesisSet::enumerate(&fams, "y", &[], &[]).unwrap();
+        let tasks: Vec<Hypothesis> = set.iter().collect();
+        assert_eq!(tasks.len(), 3);
+        assert!(tasks.iter().all(|h| h.y == 0 && h.x != 0));
+    }
+}

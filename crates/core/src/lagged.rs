@@ -1,0 +1,144 @@
+//! Lagged features for lead-lag causal signals.
+//!
+//! §3.5, footnote 1: *"The user could specify lagged features from the past
+//! when preparing the input data (by using LAG function in SQL)."* SQL-side
+//! LAG works for hand-picked columns; this module provides the engine-side
+//! equivalent: expanding a feature family with shifted copies of its
+//! columns so the joint scorers can pick up delayed effects (a cause whose
+//! impact reaches the target several minutes later scores poorly at lag 0).
+
+use explainit_linalg::Matrix;
+
+use crate::family::FeatureFamily;
+use crate::{CoreError, Result};
+
+/// Expands a family with lagged copies of every feature.
+///
+/// For each lag `k` in `lags`, a copy of each column shifted *forward* in
+/// time by `k` steps is appended (the value at row `t` is the original value
+/// at `t - k`). The first `max(lags)` rows — where lagged values would need
+/// data from before the window — are dropped, so all columns stay aligned.
+/// Lag 0 is the identity copy and need not be listed; the original columns
+/// are always kept.
+///
+/// Feature names get a `@lag{k}` suffix.
+pub fn with_lags(family: &FeatureFamily, lags: &[usize]) -> Result<FeatureFamily> {
+    let max_lag = lags.iter().copied().max().unwrap_or(0);
+    if max_lag == 0 {
+        return Ok(family.clone());
+    }
+    if family.len() <= max_lag + 1 {
+        return Err(CoreError::InsufficientOverlap {
+            rows: family.len(),
+            needed: max_lag + 2,
+        });
+    }
+    let t_out = family.len() - max_lag;
+    let width = family.width();
+    let extra: Vec<usize> = lags.iter().copied().filter(|&k| k > 0).collect();
+    let mut data = Matrix::zeros(t_out, width * (1 + extra.len()));
+    let mut names = Vec::with_capacity(width * (1 + extra.len()));
+    // Original columns, truncated to the aligned region.
+    for c in 0..width {
+        names.push(family.feature_names[c].clone());
+        for t in 0..t_out {
+            data[(t, c)] = family.data[(t + max_lag, c)];
+        }
+    }
+    for (li, &k) in extra.iter().enumerate() {
+        for c in 0..width {
+            let out_col = width * (1 + li) + c;
+            names.push(format!("{}@lag{k}", family.feature_names[c]));
+            for t in 0..t_out {
+                data[(t, out_col)] = family.data[(t + max_lag - k, c)];
+            }
+        }
+    }
+    Ok(FeatureFamily::new(
+        family.name.clone(),
+        family.timestamps[max_lag..].to_vec(),
+        names,
+        data,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scorers::{score_hypothesis, ScoreConfig, ScorerKind};
+
+    fn ramp_family(name: &str, n: usize, f: impl Fn(usize) -> f64) -> FeatureFamily {
+        let ts: Vec<i64> = (0..n as i64).collect();
+        let vals: Vec<f64> = (0..n).map(f).collect();
+        FeatureFamily::univariate(name, ts, vals)
+    }
+
+    #[test]
+    fn lag_columns_are_shifted_copies() {
+        let fam = ramp_family("m", 10, |i| i as f64);
+        let lagged = with_lags(&fam, &[2]).unwrap();
+        assert_eq!(lagged.len(), 8);
+        assert_eq!(lagged.width(), 2);
+        assert_eq!(lagged.feature_names[1], "m@lag2");
+        // Row t holds original value (t + 2) in col 0 and (t) in col 1.
+        for t in 0..8 {
+            assert_eq!(lagged.data[(t, 0)], (t + 2) as f64);
+            assert_eq!(lagged.data[(t, 1)], t as f64);
+        }
+        // Timestamps trimmed to the aligned region.
+        assert_eq!(lagged.timestamps[0], 2);
+    }
+
+    #[test]
+    fn multiple_lags() {
+        let fam = ramp_family("m", 12, |i| i as f64);
+        let lagged = with_lags(&fam, &[1, 3]).unwrap();
+        assert_eq!(lagged.width(), 3);
+        assert_eq!(lagged.len(), 9);
+        for t in 0..9 {
+            assert_eq!(lagged.data[(t, 0)], (t + 3) as f64); // original
+            assert_eq!(lagged.data[(t, 1)], (t + 2) as f64); // lag 1
+            assert_eq!(lagged.data[(t, 2)], t as f64); // lag 3
+        }
+    }
+
+    #[test]
+    fn zero_or_empty_lags_is_identity() {
+        let fam = ramp_family("m", 6, |i| i as f64);
+        assert_eq!(with_lags(&fam, &[]).unwrap(), fam);
+        assert_eq!(with_lags(&fam, &[0]).unwrap(), fam);
+    }
+
+    #[test]
+    fn too_short_family_errors() {
+        let fam = ramp_family("m", 4, |i| i as f64);
+        assert!(with_lags(&fam, &[4]).is_err());
+    }
+
+    #[test]
+    fn lagged_features_reveal_delayed_cause() {
+        // y(t) = x(t - 5): at lag 0 the dependence is invisible to a fast
+        // oscillation; with lag-5 features it is perfect.
+        let n = 300;
+        // Aperiodic pseudo-noise: a sinusoid would stay correlated with its
+        // own shift (corr = cos(phase)), hiding the effect under test.
+        let x_vals: Vec<f64> = (0..n)
+            .map(|i| (((i * 2654435761usize) % 1000) as f64) / 500.0 - 1.0)
+            .collect();
+        let y_vals: Vec<f64> = (0..n)
+            .map(|i| if i >= 5 { x_vals[i - 5] } else { 0.0 })
+            .collect();
+        let ts: Vec<i64> = (0..n as i64).collect();
+        let x = FeatureFamily::univariate("x", ts.clone(), x_vals);
+        let y = FeatureFamily::univariate("y", ts, y_vals);
+        let cfg = ScoreConfig::default();
+
+        let plain = score_hypothesis(ScorerKind::L2, &x.data, &y.data, None, &cfg).unwrap();
+        let x_lagged = with_lags(&x, &[5]).unwrap();
+        let y_trimmed = y.restrict_to(&x_lagged.timestamps);
+        let lagged =
+            score_hypothesis(ScorerKind::L2, &x_lagged.data, &y_trimmed.data, None, &cfg).unwrap();
+        assert!(plain.score < 0.2, "contemporaneous score {}", plain.score);
+        assert!(lagged.score > 0.9, "lagged score {}", lagged.score);
+    }
+}

@@ -1,0 +1,82 @@
+//! Pseudocauses (§3.4, Figure 3).
+//!
+//! When the target `Y1 = Ys + Yr` mixes a seasonal component `Ys` (caused by
+//! unknown `Cs`) with the residual `Yr` the user actually wants explained,
+//! conditioning on a *pseudocause* — the seasonal part derived from Y
+//! itself — blocks the association between `Cs` and `Y1` without ever
+//! finding `Cs`, boosting the ranking of the causes of `Yr`.
+
+use explainit_stats::seasonal_decompose;
+
+use crate::family::FeatureFamily;
+use crate::{CoreError, Result};
+
+/// Derives a pseudocause family from the (first feature of the) target
+/// family: a two-feature family holding the seasonal and trend components
+/// at the given period.
+///
+/// Returns an error when the family is too short for one full period.
+pub fn derive_pseudocause(target: &FeatureFamily, period: usize) -> Result<FeatureFamily> {
+    if target.width() == 0 {
+        return Err(CoreError::Model("target family has no features".into()));
+    }
+    if target.len() < period.max(4) {
+        return Err(CoreError::InsufficientOverlap {
+            rows: target.len(),
+            needed: period.max(4),
+        });
+    }
+    let y = target.data.column(0);
+    let decomp = seasonal_decompose(&y, period);
+    let name = format!("{}::pseudocause", target.name);
+    let data = explainit_linalg::Matrix::from_columns(&[decomp.seasonal, decomp.trend]);
+    Ok(FeatureFamily::new(
+        name.clone(),
+        target.timestamps.clone(),
+        vec![format!("{name}::seasonal"), format!("{name}::trend")],
+        data,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explainit_stats::pearson;
+
+    fn seasonal_target(n: usize, period: usize) -> FeatureFamily {
+        let ts: Vec<i64> = (0..n as i64).collect();
+        let vals: Vec<f64> = (0..n)
+            .map(|i| {
+                10.0 + 0.01 * i as f64
+                    + 4.0 * (2.0 * std::f64::consts::PI * (i % period) as f64 / period as f64).sin()
+            })
+            .collect();
+        FeatureFamily::univariate("runtime", ts, vals)
+    }
+
+    #[test]
+    fn pseudocause_tracks_seasonality() {
+        let target = seasonal_target(240, 12);
+        let pc = derive_pseudocause(&target, 12).unwrap();
+        assert_eq!(pc.width(), 2);
+        assert_eq!(pc.len(), target.len());
+        // Seasonal feature correlates strongly with the target's oscillation.
+        let season = pc.data.column(0);
+        let y = target.data.column(0);
+        let detrended: Vec<f64> = explainit_stats::decompose::detrend_linear(&y);
+        assert!(pearson(&season, &detrended) > 0.95);
+    }
+
+    #[test]
+    fn pseudocause_name_is_derived() {
+        let target = seasonal_target(48, 12);
+        let pc = derive_pseudocause(&target, 12).unwrap();
+        assert_eq!(pc.name, "runtime::pseudocause");
+    }
+
+    #[test]
+    fn too_short_target_errors() {
+        let target = seasonal_target(24, 12);
+        assert!(derive_pseudocause(&target, 48).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the engine: determinism under parallelism, ranking
+//! invariants, scorer bounds.
+
+use explainit_core::{Engine, EngineConfig, FeatureFamily, ScorerKind};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-noise without an RNG dependency in the strategy.
+fn pseudo(n: usize, seed: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((((i + 1) * (seed * 2 + 1) * 2654435761) % 10_000) as f64) / 5_000.0 - 1.0)
+        .collect()
+}
+
+fn engine_with(n_families: usize, n: usize, signal_strength: f64) -> Engine {
+    let ts: Vec<i64> = (0..n as i64).collect();
+    let base = pseudo(n, 999);
+    let mut e = Engine::new(EngineConfig { workers: 3, ..EngineConfig::default() });
+    let target: Vec<f64> = base.iter().map(|v| v * 2.0).collect();
+    e.add_family(FeatureFamily::univariate("target", ts.clone(), target));
+    for s in 0..n_families {
+        let noise = pseudo(n, s);
+        let vals: Vec<f64> = base
+            .iter()
+            .zip(noise.iter())
+            .map(|(b, nz)| signal_strength * b / (s + 1) as f64 + nz)
+            .collect();
+        e.add_family(FeatureFamily::univariate(format!("fam{s:02}"), ts.clone(), vals));
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parallel_ranking_is_deterministic(
+        n_families in 3usize..10,
+        strength in 0.5f64..4.0,
+    ) {
+        let e = engine_with(n_families, 80, strength);
+        let a = e.rank("target", &[], ScorerKind::CorrMax).unwrap();
+        let b = e.rank("target", &[], ScorerKind::CorrMax).unwrap();
+        let names_a: Vec<&str> = a.entries.iter().map(|x| x.family.as_str()).collect();
+        let names_b: Vec<&str> = b.entries.iter().map(|x| x.family.as_str()).collect();
+        prop_assert_eq!(names_a, names_b, "order must not depend on thread scheduling");
+        for (x, y) in a.entries.iter().zip(b.entries.iter()) {
+            prop_assert_eq!(x.score, y.score);
+        }
+    }
+
+    #[test]
+    fn scores_sorted_and_bounded(
+        n_families in 3usize..10,
+        strength in 0.5f64..4.0,
+    ) {
+        let e = engine_with(n_families, 80, strength);
+        for scorer in [ScorerKind::CorrMean, ScorerKind::CorrMax, ScorerKind::L2] {
+            let r = e.rank("target", &[], scorer).unwrap();
+            for w in r.entries.windows(2) {
+                if w[0].error.is_none() && w[1].error.is_none() {
+                    prop_assert!(w[0].score >= w[1].score, "descending order");
+                }
+            }
+            for entry in &r.entries {
+                prop_assert!((0.0..=1.0).contains(&entry.score), "score bounds");
+                prop_assert!((0.0..=1.0).contains(&entry.p_value), "p-value bounds");
+            }
+        }
+    }
+
+    #[test]
+    fn stronger_signal_never_ranks_below_weaker(
+        strength in 1.5f64..4.0,
+    ) {
+        // fam00 has the strongest mix of base signal by construction.
+        let e = engine_with(6, 120, strength);
+        let r = e.rank("target", &[], ScorerKind::CorrMax).unwrap();
+        let first = r.rank_of("fam00").expect("present");
+        let last = r.rank_of("fam05").expect("present");
+        prop_assert!(first < last, "signal/(s+1) ordering: {first} vs {last}");
+    }
+
+    #[test]
+    fn search_space_subset_of_full_ranking(n_families in 4usize..9) {
+        let e = engine_with(n_families, 80, 2.0);
+        let all = e.rank("target", &[], ScorerKind::CorrMax).unwrap();
+        let subset_names: Vec<String> =
+            (0..n_families / 2).map(|s| format!("fam{s:02}")).collect();
+        let subset_refs: Vec<&str> = subset_names.iter().map(String::as_str).collect();
+        let sub = e
+            .rank_in_search_space("target", &[], &subset_refs, ScorerKind::CorrMax)
+            .unwrap();
+        prop_assert_eq!(sub.hypotheses_scored, subset_refs.len());
+        // Relative order inside the subset matches the full ranking.
+        let order_in_full: Vec<usize> = sub
+            .entries
+            .iter()
+            .map(|x| all.rank_of(&x.family).expect("present in full"))
+            .collect();
+        for w in order_in_full.windows(2) {
+            prop_assert!(w[0] < w[1], "subset preserves relative order");
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Rank fusion: combining rankings from multiple queries/scorers.
+//!
+//! §8 of the paper: "...and also improving the ranking using results
+//! multiple queries". §6.1's takeaway is that univariate and joint scorers
+//! have complementary strengths; fusing their rankings hedges the choice.
+//! Two standard fusion rules are implemented:
+//!
+//! * **Reciprocal rank fusion (RRF)** — `score(f) = Σ_r 1/(k + rank_r(f))`
+//!   with the conventional `k = 60`; robust to score-scale differences;
+//! * **Borda count** — `score(f) = Σ_r (N - rank_r(f))`, linear weighting.
+
+use std::collections::BTreeMap;
+
+use explainit_core::Ranking;
+
+/// Fusion rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FusionRule {
+    /// Reciprocal rank fusion with smoothing constant `k`.
+    ReciprocalRank {
+        /// Smoothing constant (60 is the literature default).
+        k: f64,
+    },
+    /// Borda count over the union of ranked families.
+    Borda,
+}
+
+impl Default for FusionRule {
+    fn default() -> Self {
+        FusionRule::ReciprocalRank { k: 60.0 }
+    }
+}
+
+/// A fused ranking entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedEntry {
+    /// Family name.
+    pub family: String,
+    /// Fused score (rule-dependent scale; higher is better).
+    pub score: f64,
+    /// Per-input ranks (1-based), `None` where the family was absent.
+    pub ranks: Vec<Option<usize>>,
+}
+
+/// Fuses several rankings into one ordered list.
+///
+/// Families missing from an input ranking contribute nothing for that input
+/// (RRF) or zero Borda points; the union of all ranked families is scored.
+pub fn fuse_rankings(rankings: &[&Ranking], rule: FusionRule) -> Vec<FusedEntry> {
+    let mut families: BTreeMap<String, Vec<Option<usize>>> = BTreeMap::new();
+    for (ri, ranking) in rankings.iter().enumerate() {
+        for (pos, e) in ranking.entries.iter().enumerate() {
+            if e.error.is_some() {
+                continue;
+            }
+            let slot = families
+                .entry(e.family.clone())
+                .or_insert_with(|| vec![None; rankings.len()]);
+            slot[ri] = Some(pos + 1);
+        }
+    }
+    // Late-created entries may have short vectors if a family appeared only
+    // in later rankings — normalise.
+    for ranks in families.values_mut() {
+        ranks.resize(rankings.len(), None);
+    }
+    let max_len = rankings.iter().map(|r| r.entries.len()).max().unwrap_or(0);
+    let mut out: Vec<FusedEntry> = families
+        .into_iter()
+        .map(|(family, ranks)| {
+            let score = match rule {
+                FusionRule::ReciprocalRank { k } => ranks
+                    .iter()
+                    .flatten()
+                    .map(|&r| 1.0 / (k + r as f64))
+                    .sum(),
+                FusionRule::Borda => ranks
+                    .iter()
+                    .flatten()
+                    .map(|&r| (max_len + 1 - r) as f64)
+                    .sum(),
+            };
+            FusedEntry { family, score, ranks }
+        })
+        .collect();
+    out.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.family.cmp(&b.family)));
+    out
+}
+
+/// Position (1-based) of a family in a fused ranking.
+pub fn fused_rank_of(fused: &[FusedEntry], family: &str) -> Option<usize> {
+    fused.iter().position(|e| e.family == family).map(|i| i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explainit_core::{Engine, EngineConfig, FeatureFamily, ScorerKind};
+
+    /// Engine where `shared` is good under both scorers, `corr_only` only
+    /// under CorrMax (single clean column buried among noise columns), and
+    /// `joint_only` only under L2 (two half-signals).
+    fn build_rankings() -> (Ranking, Ranking) {
+        let n = 240usize;
+        let ts: Vec<i64> = (0..n as i64).collect();
+        let sig: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin()).collect();
+        let pseudo = |seed: usize| -> Vec<f64> {
+            (0..n)
+                .map(|i| (((i * 2654435761 + seed * 97) % 1000) as f64) / 500.0 - 1.0)
+                .collect()
+        };
+        let mut e = Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
+        e.add_family(FeatureFamily::univariate("y", ts.clone(), sig.clone()));
+        e.add_family(FeatureFamily::univariate(
+            "shared",
+            ts.clone(),
+            sig.iter().map(|v| 2.0 * v).collect(),
+        ));
+        // corr_only: one perfect column + 9 noise columns (CorrMax sees the
+        // best pair; L2's CV dilutes across 10 predictors).
+        let mut corr_cols: Vec<Vec<f64>> = vec![sig.clone()];
+        for s in 0..9 {
+            corr_cols.push(pseudo(s));
+        }
+        e.add_family(FeatureFamily::new(
+            "corr_only",
+            ts.clone(),
+            (0..10).map(|i| format!("c{i}")).collect(),
+            explainit_linalg_matrix(&corr_cols),
+        ));
+        // joint_only: y = a + b where each half is noise-like alone.
+        let a = pseudo(40);
+        let b: Vec<f64> = sig.iter().zip(a.iter()).map(|(s, av)| s - av).collect();
+        e.add_family(FeatureFamily::new(
+            "joint_only",
+            ts.clone(),
+            vec!["a".into(), "b".into()],
+            explainit_linalg_matrix(&[a, b]),
+        ));
+        for s in 0..4 {
+            e.add_family(FeatureFamily::univariate(format!("noise{s}"), ts.clone(), pseudo(100 + s)));
+        }
+        let corr = e.rank("y", &[], ScorerKind::CorrMax).unwrap();
+        let joint = e.rank("y", &[], ScorerKind::L2).unwrap();
+        (corr, joint)
+    }
+
+    fn explainit_linalg_matrix(cols: &[Vec<f64>]) -> explainit_linalg::Matrix {
+        explainit_linalg::Matrix::from_columns(cols)
+    }
+
+    #[test]
+    fn fusion_keeps_both_scorers_winners_high() {
+        let (corr, joint) = build_rankings();
+        let fused = fuse_rankings(&[&corr, &joint], FusionRule::default());
+        let shared = fused_rank_of(&fused, "shared").expect("present");
+        let corr_only = fused_rank_of(&fused, "corr_only").expect("present");
+        let joint_only = fused_rank_of(&fused, "joint_only").expect("present");
+        // `corr_only` embeds a perfect copy of the signal, so it can tie
+        // with `shared` for the top; both must be in the top two.
+        assert!(shared <= 2, "consensus winner near the top, got {shared}");
+        // Both specialist families beat the pure-noise families.
+        for s in 0..4 {
+            let noise = fused_rank_of(&fused, &format!("noise{s}")).expect("present");
+            assert!(corr_only < noise, "corr_only {corr_only} vs noise {noise}");
+            assert!(joint_only < noise, "joint_only {joint_only} vs noise {noise}");
+        }
+    }
+
+    #[test]
+    fn borda_and_rrf_agree_on_the_top() {
+        let (corr, joint) = build_rankings();
+        let rrf = fuse_rankings(&[&corr, &joint], FusionRule::default());
+        let borda = fuse_rankings(&[&corr, &joint], FusionRule::Borda);
+        assert_eq!(rrf[0].family, borda[0].family);
+    }
+
+    #[test]
+    fn single_input_preserves_order() {
+        let (corr, _) = build_rankings();
+        let fused = fuse_rankings(&[&corr], FusionRule::default());
+        let original: Vec<&str> = corr
+            .entries
+            .iter()
+            .filter(|e| e.error.is_none())
+            .map(|e| e.family.as_str())
+            .collect();
+        let fused_names: Vec<&str> = fused.iter().map(|e| e.family.as_str()).collect();
+        assert_eq!(fused_names, original);
+    }
+
+    #[test]
+    fn missing_family_contributes_nothing() {
+        let (corr, joint) = build_rankings();
+        let fused = fuse_rankings(&[&corr, &joint], FusionRule::default());
+        for e in &fused {
+            // ranks has one slot per input ranking.
+            assert_eq!(e.ranks.len(), 2);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_empty_output() {
+        let fused = fuse_rankings(&[], FusionRule::default());
+        assert!(fused.is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! Dense linear algebra kernels for the ExplainIt! reproduction.
+//!
+//! The regression-heavy scoring path of ExplainIt! (§3.5 of the paper) needs a
+//! small, predictable set of dense operations: matrix products, Gram matrices,
+//! and solving symmetric positive definite systems (the ridge normal
+//! equations).  This crate implements exactly that set from scratch — no
+//! external BLAS — with row-major [`Matrix`] storage matching the paper's
+//! "dense arrays" optimisation (§4.2).
+//!
+//! # Example
+//!
+//! ```
+//! use explainit_linalg::Matrix;
+//!
+//! let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], [5.0, 6.0].as_slice()]);
+//! let gram = x.xtx();            // X^T X, 2x2
+//! assert_eq!(gram.shape(), (2, 2));
+//! assert!((gram[(0, 0)] - 35.0).abs() < 1e-12);
+//! ```
+
+#![allow(clippy::needless_range_loop)] // indexed loops read naturally in these math kernels
+mod cholesky;
+mod error;
+mod matrix;
+mod qr;
+mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use qr::QrDecomposition;
+pub use vector::{
+    axpy, dot, mean, norm2, scale_in_place, standardize_in_place, sub_in_place, sum, variance,
+};
+
+/// Result alias for fallible linear algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

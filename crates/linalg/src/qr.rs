@@ -1,0 +1,230 @@
+//! Householder QR factorisation and least-squares solves.
+//!
+//! OLS scoring (Appendix A of the paper analyses the OLS r² null
+//! distribution) uses QR rather than normal equations: for the p close to n
+//! regimes the paper studies (n=1000, p=500), `X^T X` squares the condition
+//! number while QR works directly on `X`.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Compact Householder QR of a tall matrix `A` (`n × p`, `n >= p`).
+///
+/// Stores the Householder vectors in the lower trapezoid and `R` in the upper
+/// triangle, mirroring LAPACK's `geqrf` layout.
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    qr: Matrix,
+    /// Householder scalar coefficients tau_k.
+    tau: Vec<f64>,
+}
+
+impl QrDecomposition {
+    /// Factorises `a` in compact form.
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when the matrix is wider than
+    /// tall (callers in this workspace always regress with `n >= p`; the
+    /// p ≫ n path uses kernel ridge instead).
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (n, p) = a.shape();
+        if n == 0 || p == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if n < p {
+            return Err(LinalgError::ShapeMismatch { op: "qr (requires n >= p)", lhs: (n, p), rhs: (n, p) });
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; p];
+        for k in 0..p {
+            // Compute the norm of the k-th column below the diagonal.
+            let mut norm_sq = 0.0;
+            for i in k..n {
+                let v = qr[(i, k)];
+                norm_sq += v * v;
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            // v = x - alpha e1, normalised so v[0] = 1.
+            let v0 = qr[(k, k)] - alpha;
+            tau[k] = -v0 / alpha; // tau = 2 / (v^T v) * v0^2 simplification
+            for i in (k + 1)..n {
+                qr[(i, k)] /= v0;
+            }
+            qr[(k, k)] = alpha;
+            // Apply the reflector to the trailing columns.
+            for j in (k + 1)..p {
+                let mut s = qr[(k, j)];
+                for i in (k + 1)..n {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= tau[k];
+                qr[(k, j)] -= s;
+                for i in (k + 1)..n {
+                    let h = qr[(i, k)];
+                    qr[(i, j)] -= s * h;
+                }
+            }
+        }
+        Ok(QrDecomposition { qr, tau })
+    }
+
+    /// Applies `Q^T` to a vector in place (`b` must have `n` elements).
+    fn apply_qt(&self, b: &mut [f64]) {
+        let (n, p) = self.qr.shape();
+        debug_assert_eq!(b.len(), n);
+        for k in 0..p {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut s = b[k];
+            for i in (k + 1)..n {
+                s += self.qr[(i, k)] * b[i];
+            }
+            s *= self.tau[k];
+            b[k] -= s;
+            for i in (k + 1)..n {
+                let h = self.qr[(i, k)];
+                b[i] -= s * h;
+            }
+        }
+    }
+
+    /// Solves the least-squares problem `min ||A x - b||` for one RHS.
+    ///
+    /// Returns [`LinalgError::Singular`] when `R` has a (near-)zero diagonal
+    /// element, i.e. `A` is column-rank-deficient.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (n, p) = self.qr.shape();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch { op: "qr solve", lhs: (n, p), rhs: (b.len(), 1) });
+        }
+        let mut qtb = b.to_vec();
+        self.apply_qt(&mut qtb);
+        let scale = self.qr.max_abs().max(1.0);
+        let tol = scale * 1e-13;
+        let mut x = vec![0.0; p];
+        for i in (0..p).rev() {
+            let mut s = qtb[i];
+            for j in (i + 1)..p {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            let d = self.qr[(i, i)];
+            if d.abs() <= tol {
+                return Err(LinalgError::Singular);
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+
+    /// Solves the least-squares problem for every column of `b`.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        let (n, p) = self.qr.shape();
+        if b.nrows() != n {
+            return Err(LinalgError::ShapeMismatch { op: "qr solve", lhs: (n, p), rhs: b.shape() });
+        }
+        let mut out = Matrix::zeros(p, b.ncols());
+        for j in 0..b.ncols() {
+            let col = b.column(j);
+            let x = self.solve_vec(&col)?;
+            out.set_column(j, &x);
+        }
+        Ok(out)
+    }
+
+    /// Extracts the upper-triangular factor `R` (`p × p`).
+    pub fn r(&self) -> Matrix {
+        let p = self.qr.ncols();
+        let mut r = Matrix::zeros(p, p);
+        for i in 0..p {
+            for j in i..p {
+                r[(i, j)] = self.qr[(i, j)];
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_exact_system() {
+        let a = Matrix::from_rows(&[[2.0, 1.0], [1.0, 3.0], [0.0, 1.0]]);
+        let x_true = [1.5, -0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let qr = QrDecomposition::factor(&a).unwrap();
+        let x = qr.solve_vec(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        // Overdetermined system with noise: QR solution must satisfy the
+        // normal equations X^T X b = X^T y.
+        let a = Matrix::from_rows(&[
+            [1.0, 0.0],
+            [1.0, 1.0],
+            [1.0, 2.0],
+            [1.0, 3.0],
+        ]);
+        let y = [1.0, 2.2, 2.8, 4.1];
+        let qr = QrDecomposition::factor(&a).unwrap();
+        let beta = qr.solve_vec(&y).unwrap();
+        let xtx = a.xtx();
+        let xty = a.xt_mul(&Matrix::column_vector(&y)).unwrap();
+        let lhs = xtx.matvec(&beta).unwrap();
+        for i in 0..2 {
+            assert!((lhs[i] - xty[(i, 0)]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular_and_consistent() {
+        let a = Matrix::from_rows(&[[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]);
+        let qr = QrDecomposition::factor(&a).unwrap();
+        let r = qr.r();
+        assert_eq!(r[(1, 0)], 0.0);
+        // R^T R == A^T A (Q orthogonal).
+        let rtr = r.transpose().matmul(&r).unwrap();
+        let ata = a.xtx();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((rtr[(i, j)] - ata[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        let a = Matrix::from_rows(&[[1.0, 2.0], [2.0, 4.0], [3.0, 6.0]]);
+        let qr = QrDecomposition::factor(&a).unwrap();
+        assert!(matches!(qr.solve_vec(&[1.0, 1.0, 1.0]), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn rejects_wide_and_empty() {
+        assert!(QrDecomposition::factor(&Matrix::zeros(2, 3)).is_err());
+        assert!(QrDecomposition::factor(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn multi_rhs_solve() {
+        let a = Matrix::from_rows(&[[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]);
+        let b = Matrix::from_rows(&[[1.0, 2.0], [1.0, 0.0], [2.0, 2.0]]);
+        let qr = QrDecomposition::factor(&a).unwrap();
+        let x = qr.solve(&b).unwrap();
+        assert_eq!(x.shape(), (2, 2));
+        // Residual must be orthogonal to the column space.
+        let fitted = a.matmul(&x).unwrap();
+        let resid = b.sub(&fitted).unwrap();
+        let ortho = a.xt_mul(&resid).unwrap();
+        assert!(ortho.max_abs() < 1e-9);
+    }
+}

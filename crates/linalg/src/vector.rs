@@ -1,0 +1,172 @@
+//! Slice-level vector kernels shared by the regression and statistics code.
+
+/// Dot product of two equally sized slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    // Four-way unrolled accumulation: keeps several FP chains in flight and
+    // reduces round-off versus a single serial accumulator.
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for c in 0..chunks {
+        let i = c * 4;
+        s0 += a[i] * b[i];
+        s1 += a[i + 1] * b[i + 1];
+        s2 += a[i + 2] * b[i + 2];
+        s3 += a[i + 3] * b[i + 3];
+    }
+    let mut tail = 0.0;
+    for i in chunks * 4..a.len() {
+        tail += a[i] * b[i];
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+/// Sum of all elements.
+#[inline]
+pub fn sum(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+#[inline]
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        sum(a) / a.len() as f64
+    }
+}
+
+/// Population variance; 0.0 for slices with fewer than two elements.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / a.len() as f64
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place `y -= x`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn sub_in_place(y: &mut [f64], x: &[f64]) {
+    assert_eq!(x.len(), y.len(), "sub length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi -= xi;
+    }
+}
+
+/// In-place scalar multiply.
+#[inline]
+pub fn scale_in_place(y: &mut [f64], alpha: f64) {
+    for yi in y.iter_mut() {
+        *yi *= alpha;
+    }
+}
+
+/// Centres and scales a slice to zero mean and unit population variance in
+/// place, returning `(mean, std)`. Constant slices are centred only (std is
+/// reported as 0 and no division happens), so downstream code can detect and
+/// skip degenerate features.
+pub fn standardize_in_place(a: &mut [f64]) -> (f64, f64) {
+    let m = mean(a);
+    for v in a.iter_mut() {
+        *v -= m;
+    }
+    let sd = variance(a).sqrt();
+    if sd > 0.0 {
+        for v in a.iter_mut() {
+            *v /= sd;
+        }
+    }
+    (m, sd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f64> = (0..17).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..17).map(|i| (i * 2) as f64).collect();
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mean_variance_known() {
+        let a = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&a) - 5.0).abs() < 1e-12);
+        assert!((variance(&a) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_short_slices_is_zero() {
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_and_sub() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+        sub_in_place(&mut y, &x);
+        assert_eq!(y, [11.0, 22.0]);
+    }
+
+    #[test]
+    fn standardize_normalises() {
+        let mut a = vec![1.0, 2.0, 3.0, 4.0];
+        let (m, s) = standardize_in_place(&mut a);
+        assert!((m - 2.5).abs() < 1e-12);
+        assert!(s > 0.0);
+        assert!(mean(&a).abs() < 1e-12);
+        assert!((variance(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardize_constant_slice() {
+        let mut a = vec![5.0; 4];
+        let (m, s) = standardize_in_place(&mut a);
+        assert_eq!(m, 5.0);
+        assert_eq!(s, 0.0);
+        assert!(a.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn norm2_known() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the linear algebra kernels.
+
+use explainit_linalg::{dot, Cholesky, Matrix, QrDecomposition};
+use proptest::prelude::*;
+
+/// Strategy: a small matrix with bounded entries.
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Strategy: a tall matrix (rows >= cols).
+fn tall_matrix_strategy() -> impl Strategy<Value = Matrix> {
+    (2..=6usize, 1..=4usize).prop_flat_map(|(extra, c)| {
+        let r = c + extra;
+        proptest::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_involution(m in matrix_strategy(8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn xtx_is_symmetric_psd_diagonal(m in matrix_strategy(8)) {
+        let g = m.xtx();
+        for i in 0..g.nrows() {
+            // Diagonal of a Gram matrix is a sum of squares.
+            prop_assert!(g[(i, i)] >= -1e-12);
+            for j in 0..g.ncols() {
+                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_associates_with_vectors(m in matrix_strategy(6), s in -3.0f64..3.0) {
+        // (s*A) v == s*(A v)
+        let v: Vec<f64> = (0..m.ncols()).map(|i| (i as f64) - 1.0).collect();
+        let av = m.matvec(&v).unwrap();
+        let mut sm = m.clone();
+        sm.scale_in_place(s);
+        let smv = sm.matvec(&v).unwrap();
+        for (a, b) in av.iter().zip(smv.iter()) {
+            prop_assert!((a * s - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in proptest::collection::vec(-5.0f64..5.0, 1..32), s in -4.0f64..4.0) {
+        let b: Vec<f64> = a.iter().map(|v| v + 1.0).collect();
+        let scaled: Vec<f64> = a.iter().map(|v| v * s).collect();
+        let lhs = dot(&scaled, &b);
+        let rhs = s * dot(&a, &b);
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn cholesky_round_trip(m in tall_matrix_strategy()) {
+        // X^T X + I is always SPD.
+        let mut a = m.xtx();
+        a.add_diagonal(1.0);
+        let c = Cholesky::factor(&a).unwrap();
+        let recon = c.l().matmul(&c.l().transpose()).unwrap();
+        let diff = recon.sub(&a).unwrap();
+        prop_assert!(diff.max_abs() < 1e-8 * (1.0 + a.max_abs()));
+    }
+
+    #[test]
+    fn cholesky_solve_residual_small(m in tall_matrix_strategy()) {
+        let mut a = m.xtx();
+        a.add_diagonal(1.0);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let c = Cholesky::factor(&a).unwrap();
+        let x = c.solve_vec(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (l, r) in ax.iter().zip(b.iter()) {
+            prop_assert!((l - r).abs() < 1e-7 * (1.0 + a.max_abs()));
+        }
+    }
+
+    #[test]
+    fn qr_residual_orthogonal_to_columns(m in tall_matrix_strategy()) {
+        // Least-squares residuals are orthogonal to the design columns —
+        // the exact property Appendix B's proof relies on.
+        let n = m.nrows();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let qr = match QrDecomposition::factor(&m) {
+            Ok(qr) => qr,
+            Err(_) => return Ok(()),
+        };
+        let beta = match qr.solve_vec(&y) {
+            Ok(b) => b,
+            Err(_) => return Ok(()), // rank-deficient random draw
+        };
+        let fitted = m.matvec(&beta).unwrap();
+        let resid: Vec<f64> = y.iter().zip(fitted.iter()).map(|(a, b)| a - b).collect();
+        for j in 0..m.ncols() {
+            let col = m.column(j);
+            prop_assert!(dot(&col, &resid).abs() < 1e-6 * (1.0 + m.max_abs() * 10.0));
+        }
+    }
+
+    #[test]
+    fn hcat_preserves_columns(a in matrix_strategy(5)) {
+        let b = a.clone();
+        let h = a.hcat(&b).unwrap();
+        prop_assert_eq!(h.ncols(), a.ncols() * 2);
+        for j in 0..a.ncols() {
+            prop_assert_eq!(h.column(j), a.column(j));
+            prop_assert_eq!(h.column(j + a.ncols()), a.column(j));
+        }
+    }
+
+    #[test]
+    fn select_rows_matches_row_access(m in matrix_strategy(6)) {
+        let idx: Vec<usize> = (0..m.nrows()).rev().collect();
+        let sel = m.select_rows(&idx);
+        for (dst, &src) in idx.iter().enumerate() {
+            prop_assert_eq!(sel.row(dst), m.row(src));
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Abstract syntax tree for the SQL subset.
+
+use crate::value::Value;
+
+/// A full query: one or more SELECTs combined with UNION ALL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The selects, unioned in order.
+    pub selects: Vec<SelectStmt>,
+}
+
+/// One SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM clause (None supports `SELECT 1`-style constant queries).
+    pub from: Option<TableRef>,
+    /// JOIN clauses applied left to right.
+    pub joins: Vec<JoinClause>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+/// A projected item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — all columns of the FROM scope.
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// `AS alias` if given.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference in FROM or JOIN.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A named table in the catalog, with optional alias.
+    Named {
+        /// Catalog table name.
+        name: String,
+        /// Alias for qualified column references.
+        alias: Option<String>,
+    },
+    /// A parenthesised subquery, with optional alias.
+    Subquery {
+        /// The inner query.
+        query: Box<Query>,
+        /// Alias for qualified column references.
+        alias: Option<String>,
+    },
+}
+
+impl TableRef {
+    /// The name columns get qualified with inside join scopes.
+    pub fn scope_name(&self) -> Option<&str> {
+        match self {
+            TableRef::Named { alias: Some(a), .. } => Some(a),
+            TableRef::Named { name, .. } => Some(name),
+            TableRef::Subquery { alias, .. } => alias.as_deref(),
+        }
+    }
+}
+
+/// Join flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Rows must match on both sides.
+    Inner,
+    /// Keep all left rows, NULL-extend right.
+    Left,
+    /// Keep all rows from both sides (Appendix C's hypothesis join).
+    FullOuter,
+}
+
+/// One JOIN clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// INNER / LEFT / FULL OUTER.
+    pub kind: JoinKind,
+    /// The joined table.
+    pub table: TableRef,
+    /// The ON predicate.
+    pub on: Expr,
+}
+
+/// ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Sort expression.
+    pub expr: Expr,
+    /// Ascending (default) or descending.
+    pub ascending: bool,
+}
+
+/// Binary operators in precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `OR`
+    Or,
+    /// `AND`
+    And,
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `LIKE` (SQL `%`/`_` wildcards)
+    Like,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-x`
+    Neg,
+    /// `NOT x`
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Column reference, possibly qualified (`t.col`).
+    Column(String),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Function call (scalar, aggregate or window — resolved at execution).
+    Function {
+        /// Uppercased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Subscript: `expr[index]` for maps (string key) and lists (int).
+    Index {
+        /// The container expression.
+        container: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+    /// `expr IN (v1, v2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr BETWEEN low AND high` (inclusive).
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `CASE WHEN c THEN v [WHEN ...] [ELSE e] END`.
+    Case {
+        /// `(condition, result)` arms in order.
+        when_then: Vec<(Expr, Expr)>,
+        /// ELSE result (NULL if absent).
+        else_expr: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Column reference helper.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column(name.to_string())
+    }
+
+    /// Literal helper.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// True if any node in this expression is an aggregate function call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Function { name, args } => {
+                crate::functions::is_aggregate(name) || args.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Unary { operand, .. } => operand.contains_aggregate(),
+            Expr::Index { container, index } => {
+                container.contains_aggregate() || index.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::Case { when_then, else_expr } => {
+                when_then
+                    .iter()
+                    .any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
+                    || else_expr.as_ref().is_some_and(|e| e.contains_aggregate())
+            }
+            Expr::Literal(_) | Expr::Column(_) => false,
+        }
+    }
+
+    /// A display name for unaliased projections (mirrors common SQL engines:
+    /// bare columns keep their name, everything else gets a rendered form).
+    pub fn default_name(&self) -> String {
+        match self {
+            Expr::Column(c) => c.rsplit('.').next().unwrap_or(c).to_string(),
+            Expr::Function { name, .. } => name.to_lowercase(),
+            Expr::Literal(v) => v.render(),
+            _ => "expr".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Function { name: "AVG".into(), args: vec![Expr::col("v")] };
+        assert!(agg.contains_aggregate());
+        let nested = Expr::Binary {
+            op: BinaryOp::Add,
+            left: Box::new(agg),
+            right: Box::new(Expr::lit(1i64)),
+        };
+        assert!(nested.contains_aggregate());
+        let scalar = Expr::Function { name: "CONCAT".into(), args: vec![Expr::col("a")] };
+        assert!(!scalar.contains_aggregate());
+    }
+
+    #[test]
+    fn default_names() {
+        assert_eq!(Expr::col("t.runtime").default_name(), "runtime");
+        assert_eq!(
+            Expr::Function { name: "AVG".into(), args: vec![] }.default_name(),
+            "avg"
+        );
+        assert_eq!(Expr::lit(5i64).default_name(), "5");
+    }
+
+    #[test]
+    fn table_ref_scope_names() {
+        let named = TableRef::Named { name: "t".into(), alias: None };
+        assert_eq!(named.scope_name(), Some("t"));
+        let aliased = TableRef::Named { name: "t".into(), alias: Some("x".into()) };
+        assert_eq!(aliased.scope_name(), Some("x"));
+    }
+}

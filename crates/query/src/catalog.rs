@@ -1,0 +1,178 @@
+//! The table catalog: named tables plus the TSDB virtual table binding.
+
+use std::collections::HashMap;
+
+use explainit_tsdb::Tsdb;
+
+use crate::ast::Query;
+use crate::exec::execute;
+use crate::parser::parse_query;
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+
+/// A catalog of named tables that SQL queries run against.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) a table under a case-insensitive name.
+    pub fn register(&mut self, name: &str, table: Table) {
+        self.tables.insert(name.to_lowercase(), table);
+    }
+
+    /// Binds a TSDB as a relational table (default name `tsdb`) with the
+    /// paper's observation schema: `timestamp, metric_name, tag, value`.
+    ///
+    /// The store is materialised row-wise at bind time; re-bind after
+    /// ingesting more data.
+    pub fn register_tsdb(&mut self, name: &str, db: &Tsdb) {
+        self.register(name, table_from_tsdb(db));
+    }
+
+    /// Looks a table up (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_lowercase())
+    }
+
+    /// Registered table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Parses and executes a SQL string.
+    pub fn execute(&self, sql: &str) -> Result<Table> {
+        let query = parse_query(sql)?;
+        self.execute_query(&query)
+    }
+
+    /// Executes a pre-parsed query.
+    pub fn execute_query(&self, query: &Query) -> Result<Table> {
+        execute(self, query)
+    }
+
+    /// Executes a query and registers the result as a new table — the
+    /// paper's workflow stores each stage (Target, Condition, feature
+    /// families) in a session-scoped temporary table.
+    pub fn execute_into(&mut self, sql: &str, into: &str) -> Result<Table> {
+        let t = self.execute(sql)?;
+        self.register(into, t.clone());
+        Ok(t)
+    }
+}
+
+/// Converts a TSDB to the relational observation table.
+///
+/// Rows are ordered by `(timestamp, series key)` for deterministic output.
+pub fn table_from_tsdb(db: &Tsdb) -> Table {
+    let mut rows: Vec<(i64, String, Vec<Value>)> = Vec::with_capacity(db.point_count());
+    for (_, series) in db.iter() {
+        let canonical = series.key.canonical();
+        let tag_map: std::collections::BTreeMap<String, String> = series.key.tags.clone();
+        for p in series.points() {
+            rows.push((
+                p.ts,
+                canonical.clone(),
+                vec![
+                    Value::Int(p.ts),
+                    Value::Str(series.key.name.clone()),
+                    Value::Map(tag_map.clone()),
+                    Value::Float(p.value),
+                ],
+            ));
+        }
+    }
+    rows.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    Table::from_rows(
+        &["timestamp", "metric_name", "tag", "value"],
+        rows.into_iter().map(|(_, _, r)| r).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explainit_tsdb::SeriesKey;
+
+    fn db() -> Tsdb {
+        let mut db = Tsdb::new();
+        for (host, base) in [("web-1", 1.0), ("web-2", 2.0)] {
+            let key = SeriesKey::new("cpu").with_tag("host", host);
+            for t in 0..3 {
+                db.insert(&key, t * 60, base + t as f64);
+            }
+        }
+        let key = SeriesKey::new("pipeline_runtime").with_tag("pipeline_name", "p1");
+        for t in 0..3 {
+            db.insert(&key, t * 60, 10.0 * t as f64);
+        }
+        db
+    }
+
+    #[test]
+    fn tsdb_binding_schema_and_rows() {
+        let mut c = Catalog::new();
+        c.register_tsdb("tsdb", &db());
+        let t = c.execute("SELECT * FROM tsdb").unwrap();
+        assert_eq!(t.schema().columns(), &["timestamp", "metric_name", "tag", "value"]);
+        assert_eq!(t.len(), 9);
+    }
+
+    #[test]
+    fn paper_target_query_runs() {
+        let mut c = Catalog::new();
+        c.register_tsdb("tsdb", &db());
+        let t = c
+            .execute(
+                "SELECT timestamp, tag['pipeline_name'], AVG(value) AS runtime_sec \
+                 FROM tsdb WHERE metric_name = 'pipeline_runtime' \
+                 AND timestamp BETWEEN 0 AND 200 \
+                 GROUP BY timestamp, tag['pipeline_name'] ORDER BY timestamp ASC",
+            )
+            .unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.rows()[2][2], Value::Float(20.0));
+        assert_eq!(t.rows()[0][1], Value::str("p1"));
+    }
+
+    #[test]
+    fn tag_filtering() {
+        let mut c = Catalog::new();
+        c.register_tsdb("tsdb", &db());
+        let t = c
+            .execute("SELECT value FROM tsdb WHERE tag['host'] = 'web-2' ORDER BY value")
+            .unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.rows()[0][0], Value::Float(2.0));
+    }
+
+    #[test]
+    fn execute_into_registers_result() {
+        let mut c = Catalog::new();
+        c.register_tsdb("tsdb", &db());
+        c.execute_into(
+            "SELECT timestamp, AVG(value) AS v FROM tsdb WHERE metric_name = 'cpu' GROUP BY timestamp",
+            "target",
+        )
+        .unwrap();
+        let t = c.execute("SELECT COUNT(*) FROM target").unwrap();
+        assert_eq!(t.rows()[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn case_insensitive_names() {
+        let mut c = Catalog::new();
+        c.register("MyTable", Table::empty(&["x"]));
+        assert!(c.get("mytable").is_some());
+        assert!(c.execute("SELECT * FROM MYTABLE").is_ok());
+    }
+}

@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors produced while lexing, parsing, planning or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Lexer rejected the input.
+    Lex {
+        /// Byte offset of the offending character.
+        position: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// Parser rejected the token stream.
+    Parse(String),
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A referenced column does not exist (includes candidates when
+    /// ambiguous).
+    UnknownColumn(String),
+    /// A function name is not recognised or was called with a bad arity.
+    BadFunction(String),
+    /// A runtime type error (e.g. adding a string to a map).
+    Type(String),
+    /// Structural error: mismatched UNION schemas, aggregates mixed wrongly,
+    /// etc.
+    Plan(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            QueryError::Parse(m) => write!(f, "parse error: {m}"),
+            QueryError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            QueryError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            QueryError::BadFunction(m) => write!(f, "bad function: {m}"),
+            QueryError::Type(m) => write!(f, "type error: {m}"),
+            QueryError::Plan(m) => write!(f, "plan error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

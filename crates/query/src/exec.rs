@@ -1,0 +1,640 @@
+//! The query executor.
+//!
+//! Pipeline per SELECT: resolve FROM → apply JOINs (hash join on
+//! decomposable equi-conditions, nested loop otherwise) → WHERE → GROUP BY /
+//! aggregate or plain projection (with window functions) → ORDER BY →
+//! LIMIT. UNION concatenates compatible SELECT outputs.
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, JoinKind, Query, SelectItem, SelectStmt, TableRef};
+use crate::catalog::Catalog;
+use crate::eval::{eval_group, eval_row, eval_with_rows};
+use crate::table::{Schema, Table};
+use crate::value::Value;
+use crate::{QueryError, Result};
+
+/// Executes a parsed query against a catalog.
+pub fn execute(catalog: &Catalog, query: &Query) -> Result<Table> {
+    let mut result: Option<Table> = None;
+    for select in &query.selects {
+        let part = execute_select(catalog, select)?;
+        result = Some(match result {
+            None => part,
+            Some(acc) => union(acc, part)?,
+        });
+    }
+    result.ok_or_else(|| QueryError::Plan("query has no SELECT".into()))
+}
+
+fn union(mut acc: Table, part: Table) -> Result<Table> {
+    if acc.schema().len() != part.schema().len() {
+        return Err(QueryError::Plan(format!(
+            "UNION arity mismatch: {} vs {} columns",
+            acc.schema().len(),
+            part.schema().len()
+        )));
+    }
+    for row in part.into_rows() {
+        acc.push_row(row);
+    }
+    Ok(acc)
+}
+
+fn execute_select(catalog: &Catalog, select: &SelectStmt) -> Result<Table> {
+    // ---- FROM + JOINs ----------------------------------------------------
+    let (mut schema, mut rows) = match &select.from {
+        Some(tref) => {
+            let (s, r) = resolve_table_ref(catalog, tref)?;
+            if select.joins.is_empty() {
+                (s, r)
+            } else {
+                let scope = tref.scope_name().ok_or_else(|| {
+                    QueryError::Plan("subquery in a join needs an alias".into())
+                })?;
+                (s.qualified(scope), r)
+            }
+        }
+        None => (Schema::new(vec![]), vec![vec![]]), // SELECT <constants>
+    };
+    for join in &select.joins {
+        let (right_schema, right_rows) = resolve_table_ref(catalog, &join.table)?;
+        let scope = join
+            .table
+            .scope_name()
+            .ok_or_else(|| QueryError::Plan("joined subquery needs an alias".into()))?;
+        let right_schema = right_schema.qualified(scope);
+        (schema, rows) = join_tables(
+            schema,
+            rows,
+            right_schema,
+            right_rows,
+            join.kind,
+            &join.on,
+        )?;
+    }
+
+    // ---- WHERE -----------------------------------------------------------
+    if let Some(pred) = &select.where_clause {
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            if eval_row(pred, &schema, &row)?.is_true() {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    // ---- GROUP BY / projection --------------------------------------------
+    let has_aggregates = select.items.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+        SelectItem::Wildcard => false,
+    });
+    let grouped = !select.group_by.is_empty() || has_aggregates;
+
+    let (out_schema, mut out_rows, sort_keys) = if grouped {
+        project_grouped(select, &schema, &rows)?
+    } else {
+        project_plain(select, &schema, &rows)?
+    };
+
+    // ---- ORDER BY ---------------------------------------------------------
+    if !select.order_by.is_empty() {
+        let mut order: Vec<usize> = (0..out_rows.len()).collect();
+        order.sort_by(|&a, &b| {
+            for (k, key) in select.order_by.iter().enumerate() {
+                let cmp = sort_keys[a][k].order_cmp(&sort_keys[b][k]);
+                let cmp = if key.ascending { cmp } else { cmp.reverse() };
+                if cmp != std::cmp::Ordering::Equal {
+                    return cmp;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        out_rows = {
+            let mut permuted = Vec::with_capacity(out_rows.len());
+            let mut taken: Vec<Option<Vec<Value>>> = out_rows.into_iter().map(Some).collect();
+            for i in order {
+                permuted.push(taken[i].take().expect("each index used once"));
+            }
+            permuted
+        };
+    }
+
+    // ---- LIMIT --------------------------------------------------------------
+    if let Some(limit) = select.limit {
+        out_rows.truncate(limit);
+    }
+    Ok(Table::from_parts(out_schema, out_rows))
+}
+
+/// Projection output: schema, output rows, and per-row ORDER BY key values.
+type Projected = (Schema, Vec<Vec<Value>>, Vec<Vec<Value>>);
+
+/// Plain (non-aggregate) projection. Returns schema, rows and per-row sort
+/// key values for ORDER BY.
+fn project_plain(select: &SelectStmt, schema: &Schema, rows: &[Vec<Value>]) -> Result<Projected> {
+    // Expand projection list.
+    let mut names = Vec::new();
+    let mut exprs: Vec<Expr> = Vec::new();
+    for item in &select.items {
+        match item {
+            SelectItem::Wildcard => {
+                for (i, c) in schema.columns().iter().enumerate() {
+                    names.push(c.clone());
+                    let _ = i;
+                    exprs.push(Expr::Column(c.clone()));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                names.push(alias.clone().unwrap_or_else(|| expr.default_name()));
+                exprs.push(expr.clone());
+            }
+        }
+    }
+    let out_schema = Schema::new(names);
+    let mut out_rows = Vec::with_capacity(rows.len());
+    let mut sort_keys = Vec::with_capacity(rows.len());
+    for idx in 0..rows.len() {
+        let mut out = Vec::with_capacity(exprs.len());
+        for e in &exprs {
+            out.push(eval_with_rows(e, schema, rows, idx)?);
+        }
+        // Sort keys: output alias reference or input expression.
+        let mut keys = Vec::with_capacity(select.order_by.len());
+        for ok in &select.order_by {
+            keys.push(order_key_value(&ok.expr, &out_schema, &out, schema, rows, idx)?);
+        }
+        sort_keys.push(keys);
+        out_rows.push(out);
+    }
+    Ok((out_schema, out_rows, sort_keys))
+}
+
+/// Grouped projection with aggregates.
+fn project_grouped(select: &SelectStmt, schema: &Schema, rows: &[Vec<Value>]) -> Result<Projected> {
+    for item in &select.items {
+        if matches!(item, SelectItem::Wildcard) {
+            return Err(QueryError::Plan("SELECT * cannot be combined with GROUP BY".into()));
+        }
+    }
+    // Group rows by key.
+    let mut group_order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, Vec<&Vec<Value>>> = HashMap::new();
+    for row in rows {
+        let mut key = String::new();
+        for g in &select.group_by {
+            key.push_str(&eval_row(g, schema, row)?.group_key());
+            key.push('\u{1}');
+        }
+        match groups.entry(key.clone()) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                group_order.push(key);
+                e.insert(vec![row]);
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(row),
+        }
+    }
+    // No GROUP BY but aggregates present: one global group (even when the
+    // input is empty, SQL returns one row of aggregates over nothing — we
+    // return an empty table for the empty-input case to keep COUNT simple).
+    if select.group_by.is_empty() && !rows.is_empty() {
+        groups.clear();
+        group_order.clear();
+        group_order.push(String::new());
+        groups.insert(String::new(), rows.iter().collect());
+    }
+
+    let mut names = Vec::with_capacity(select.items.len());
+    let mut exprs = Vec::with_capacity(select.items.len());
+    for item in &select.items {
+        if let SelectItem::Expr { expr, alias } = item {
+            names.push(alias.clone().unwrap_or_else(|| expr.default_name()));
+            exprs.push(expr.clone());
+        }
+    }
+    let out_schema = Schema::new(names);
+    let mut out_rows = Vec::with_capacity(groups.len());
+    let mut sort_keys = Vec::with_capacity(groups.len());
+    for key in &group_order {
+        let group = &groups[key];
+        let mut out = Vec::with_capacity(exprs.len());
+        for e in &exprs {
+            out.push(eval_group(e, schema, group)?);
+        }
+        let mut keys = Vec::with_capacity(select.order_by.len());
+        for ok in &select.order_by {
+            // Alias fast path; otherwise group evaluation.
+            let v = match &ok.expr {
+                Expr::Column(name) if out_schema.resolve(name).is_ok() => {
+                    out[out_schema.resolve(name)?].clone()
+                }
+                other => eval_group(other, schema, group)?,
+            };
+            keys.push(v);
+        }
+        sort_keys.push(keys);
+        out_rows.push(out);
+    }
+    Ok((out_schema, out_rows, sort_keys))
+}
+
+fn order_key_value(
+    expr: &Expr,
+    out_schema: &Schema,
+    out_row: &[Value],
+    in_schema: &Schema,
+    rows: &[Vec<Value>],
+    idx: usize,
+) -> Result<Value> {
+    if let Expr::Column(name) = expr {
+        if let Ok(i) = out_schema.resolve(name) {
+            return Ok(out_row[i].clone());
+        }
+    }
+    eval_with_rows(expr, in_schema, rows, idx)
+}
+
+fn resolve_table_ref(catalog: &Catalog, tref: &TableRef) -> Result<(Schema, Vec<Vec<Value>>)> {
+    match tref {
+        TableRef::Named { name, .. } => {
+            let t = catalog
+                .get(name)
+                .ok_or_else(|| QueryError::UnknownTable(name.clone()))?;
+            Ok((t.schema().clone(), t.rows().to_vec()))
+        }
+        TableRef::Subquery { query, .. } => {
+            let t = execute(catalog, query)?;
+            let schema = t.schema().clone();
+            Ok((schema, t.into_rows()))
+        }
+    }
+}
+
+// ---- joins -----------------------------------------------------------------
+
+fn join_tables(
+    left_schema: Schema,
+    left_rows: Vec<Vec<Value>>,
+    right_schema: Schema,
+    right_rows: Vec<Vec<Value>>,
+    kind: JoinKind,
+    on: &Expr,
+) -> Result<(Schema, Vec<Vec<Value>>)> {
+    let mut columns = left_schema.columns().to_vec();
+    columns.extend(right_schema.columns().iter().cloned());
+    let combined = Schema::new(columns);
+    let left_width = left_schema.len();
+    let right_width = right_schema.len();
+
+    let mut out: Vec<Vec<Value>> = Vec::new();
+    let mut right_matched = vec![false; right_rows.len()];
+
+    if let Some((lk, rk)) = equi_join_keys(on, &left_schema, &right_schema) {
+        // Hash join on the decomposed key columns.
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for (ri, rrow) in right_rows.iter().enumerate() {
+            if rk.iter().any(|&c| rrow[c].is_null()) {
+                continue; // NULL keys never match
+            }
+            let key = join_key(rrow, &rk);
+            index.entry(key).or_default().push(ri);
+        }
+        for lrow in &left_rows {
+            let null_key = lk.iter().any(|&c| lrow[c].is_null());
+            let matches = if null_key {
+                None
+            } else {
+                index.get(&join_key(lrow, &lk))
+            };
+            match matches {
+                Some(ris) if !ris.is_empty() => {
+                    for &ri in ris {
+                        right_matched[ri] = true;
+                        let mut row = lrow.clone();
+                        row.extend(right_rows[ri].iter().cloned());
+                        out.push(row);
+                    }
+                }
+                _ => {
+                    if kind != JoinKind::Inner {
+                        let mut row = lrow.clone();
+                        row.extend(std::iter::repeat_n(Value::Null, right_width));
+                        out.push(row);
+                    }
+                }
+            }
+        }
+    } else {
+        // General nested loop with full ON evaluation.
+        for lrow in &left_rows {
+            let mut matched = false;
+            for (ri, rrow) in right_rows.iter().enumerate() {
+                let mut row = lrow.clone();
+                row.extend(rrow.iter().cloned());
+                if eval_row(on, &combined, &row)?.is_true() {
+                    matched = true;
+                    right_matched[ri] = true;
+                    out.push(row);
+                }
+            }
+            if !matched && kind != JoinKind::Inner {
+                let mut row = lrow.clone();
+                row.extend(std::iter::repeat_n(Value::Null, right_width));
+                out.push(row);
+            }
+        }
+    }
+
+    if kind == JoinKind::FullOuter {
+        for (ri, rrow) in right_rows.iter().enumerate() {
+            if !right_matched[ri] {
+                let mut row: Vec<Value> = std::iter::repeat_n(Value::Null, left_width).collect();
+                row.extend(rrow.iter().cloned());
+                out.push(row);
+            }
+        }
+    }
+    Ok((combined, out))
+}
+
+fn join_key(row: &[Value], cols: &[usize]) -> String {
+    let mut key = String::new();
+    for &c in cols {
+        key.push_str(&row[c].group_key());
+        key.push('\u{1}');
+    }
+    key
+}
+
+/// Tries to decompose the ON predicate into `l1 = r1 AND l2 = r2 AND ...`
+/// with each side resolving in exactly one input. Returns parallel column
+/// index lists on success.
+fn equi_join_keys(on: &Expr, left: &Schema, right: &Schema) -> Option<(Vec<usize>, Vec<usize>)> {
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(on, &mut conjuncts);
+    let mut lk = Vec::new();
+    let mut rk = Vec::new();
+    for c in conjuncts {
+        match c {
+            Expr::Binary { op: crate::ast::BinaryOp::Eq, left: a, right: b } => {
+                let (Expr::Column(ca), Expr::Column(cb)) = (a.as_ref(), b.as_ref()) else {
+                    return None;
+                };
+                let (la, ra) = (left.resolve(ca).ok(), right.resolve(ca).ok());
+                let (lb, rb) = (left.resolve(cb).ok(), right.resolve(cb).ok());
+                match (la, rb, ra, lb) {
+                    // a on the left, b on the right (only unambiguous splits).
+                    (Some(l), Some(r), None, None) => {
+                        lk.push(l);
+                        rk.push(r);
+                    }
+                    (None, None, Some(r), Some(l)) => {
+                        lk.push(l);
+                        rk.push(r);
+                    }
+                    _ => return None,
+                }
+            }
+            _ => return None,
+        }
+    }
+    if lk.is_empty() {
+        None
+    } else {
+        Some((lk, rk))
+    }
+}
+
+fn collect_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Binary { op: crate::ast::BinaryOp::And, left, right } => {
+            collect_conjuncts(left, out);
+            collect_conjuncts(right, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "t",
+            Table::from_rows(
+                &["ts", "host", "v"],
+                vec![
+                    vec![Value::Int(0), Value::str("web-1"), Value::Float(1.0)],
+                    vec![Value::Int(0), Value::str("web-2"), Value::Float(3.0)],
+                    vec![Value::Int(1), Value::str("web-1"), Value::Float(5.0)],
+                    vec![Value::Int(1), Value::str("web-2"), Value::Float(7.0)],
+                    vec![Value::Int(2), Value::str("db-1"), Value::Float(100.0)],
+                ],
+            ),
+        );
+        c.register(
+            "u",
+            Table::from_rows(
+                &["ts", "w"],
+                vec![
+                    vec![Value::Int(0), Value::Float(10.0)],
+                    vec![Value::Int(2), Value::Float(30.0)],
+                    vec![Value::Int(9), Value::Float(90.0)],
+                ],
+            ),
+        );
+        c
+    }
+
+    fn run(sql: &str) -> Table {
+        let c = catalog();
+        execute(&c, &parse_query(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn select_star() {
+        let t = run("SELECT * FROM t");
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.schema().columns().len(), 3);
+    }
+
+    #[test]
+    fn where_filters() {
+        let t = run("SELECT v FROM t WHERE host = 'web-1'");
+        assert_eq!(t.len(), 2);
+        let t = run("SELECT v FROM t WHERE host LIKE 'web%' AND v > 2");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn group_by_avg() {
+        let t = run("SELECT ts, AVG(v) AS m FROM t GROUP BY ts ORDER BY ts");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.rows()[0], vec![Value::Int(0), Value::Float(2.0)]);
+        assert_eq!(t.rows()[1], vec![Value::Int(1), Value::Float(6.0)]);
+        assert_eq!(t.rows()[2], vec![Value::Int(2), Value::Float(100.0)]);
+    }
+
+    #[test]
+    fn group_by_expression_key() {
+        let t = run(
+            "SELECT SPLIT(host, '-')[0] AS grp, SUM(v) AS total FROM t \
+             GROUP BY SPLIT(host, '-')[0] ORDER BY grp",
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[0][0], Value::str("db"));
+        assert_eq!(t.rows()[0][1], Value::Float(100.0));
+        assert_eq!(t.rows()[1][1], Value::Float(16.0));
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let t = run("SELECT COUNT(*) AS n, MAX(v) AS mx FROM t");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows()[0], vec![Value::Int(5), Value::Float(100.0)]);
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let t = run("SELECT v FROM t ORDER BY v DESC LIMIT 2");
+        assert_eq!(t.rows()[0][0], Value::Float(100.0));
+        assert_eq!(t.rows()[1][0], Value::Float(7.0));
+    }
+
+    #[test]
+    fn order_by_alias() {
+        let t = run("SELECT v * 2 AS dv FROM t ORDER BY dv DESC LIMIT 1");
+        assert_eq!(t.rows()[0][0], Value::Float(200.0));
+    }
+
+    #[test]
+    fn inner_join() {
+        let t = run("SELECT t.ts, v, w FROM t JOIN u ON t.ts = u.ts ORDER BY v");
+        assert_eq!(t.len(), 3); // ts=0 matches twice, ts=2 once
+        assert_eq!(t.rows()[2], vec![Value::Int(2), Value::Float(100.0), Value::Float(30.0)]);
+    }
+
+    #[test]
+    fn left_join_null_extends() {
+        let t = run("SELECT t.ts, w FROM t LEFT JOIN u ON t.ts = u.ts WHERE t.ts = 1");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[0][1], Value::Null);
+    }
+
+    #[test]
+    fn full_outer_join_keeps_both_sides() {
+        let t = run("SELECT t.ts, u.ts FROM t FULL OUTER JOIN u ON t.ts = u.ts");
+        // 3 matched (0x2, 2) + 2 unmatched-left (ts=1 x2) + 1 unmatched-right (ts=9).
+        assert_eq!(t.len(), 6);
+        let unmatched_right: Vec<_> = t
+            .rows()
+            .iter()
+            .filter(|r| r[0].is_null())
+            .collect();
+        assert_eq!(unmatched_right.len(), 1);
+        assert_eq!(unmatched_right[0][1], Value::Int(9));
+    }
+
+    #[test]
+    fn non_equi_join_falls_back_to_nested_loop() {
+        let t = run("SELECT t.ts, u.ts FROM t JOIN u ON t.ts < u.ts ORDER BY t.ts, u.ts");
+        assert!(t.len() > 3);
+        // Every pair satisfies the predicate.
+        for r in t.rows() {
+            let a = r[0].as_i64().unwrap();
+            let b = r[1].as_i64().unwrap();
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn union_all_concats() {
+        let t = run("SELECT v FROM t WHERE ts = 0 UNION ALL SELECT w FROM u");
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn union_arity_mismatch_errors() {
+        let c = catalog();
+        let q = parse_query("SELECT v FROM t UNION ALL SELECT ts, w FROM u").unwrap();
+        assert!(matches!(execute(&c, &q), Err(QueryError::Plan(_))));
+    }
+
+    #[test]
+    fn subquery_in_from() {
+        let t = run("SELECT m FROM (SELECT ts, AVG(v) AS m FROM t GROUP BY ts) s WHERE m > 3");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lag_window_function() {
+        let t = run("SELECT ts, v, LAG(v, 1) AS prev FROM t WHERE host = 'web-1' ORDER BY ts");
+        assert_eq!(t.rows()[0][2], Value::Null);
+        assert_eq!(t.rows()[1][2], Value::Float(1.0));
+    }
+
+    #[test]
+    fn constant_select_without_from() {
+        let t = run("SELECT 1 + 2 AS three");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows()[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let c = catalog();
+        assert!(matches!(
+            execute(&c, &parse_query("SELECT * FROM nope").unwrap()),
+            Err(QueryError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            execute(&c, &parse_query("SELECT nope FROM t").unwrap()),
+            Err(QueryError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn wildcard_with_group_by_rejected() {
+        let c = catalog();
+        let q = parse_query("SELECT * FROM t GROUP BY ts").unwrap();
+        assert!(matches!(execute(&c, &q), Err(QueryError::Plan(_))));
+    }
+
+    #[test]
+    fn percentile_aggregate_in_query() {
+        let t = run("SELECT PERCENTILE(v, 0.5) AS p50 FROM t WHERE host LIKE 'web%'");
+        assert_eq!(t.rows()[0][0], Value::Float(4.0));
+    }
+
+    #[test]
+    fn case_in_projection() {
+        let t = run(
+            "SELECT host, CASE WHEN v >= 100 THEN 'hot' ELSE 'ok' END AS status \
+             FROM t ORDER BY v DESC LIMIT 1",
+        );
+        assert_eq!(t.rows()[0][1], Value::str("hot"));
+    }
+
+    #[test]
+    fn join_key_with_nulls_never_matches() {
+        let mut c = catalog();
+        c.register(
+            "n",
+            Table::from_rows(
+                &["k", "x"],
+                vec![
+                    vec![Value::Null, Value::Int(1)],
+                    vec![Value::Int(0), Value::Int(2)],
+                ],
+            ),
+        );
+        let q = parse_query("SELECT n.x, u.w FROM n JOIN u ON n.k = u.ts").unwrap();
+        let t = execute(&c, &q).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows()[0][0], Value::Int(2));
+    }
+}

@@ -1,0 +1,461 @@
+//! Scalar and aggregate function implementations.
+
+use crate::value::Value;
+use crate::{QueryError, Result};
+
+/// True when `name` (uppercase) is an aggregate function.
+pub fn is_aggregate(name: &str) -> bool {
+    matches!(
+        name,
+        "AVG" | "SUM" | "MIN" | "MAX" | "COUNT" | "STDDEV" | "VARIANCE" | "PERCENTILE"
+    )
+}
+
+/// True when `name` (uppercase) is a window function.
+pub fn is_window(name: &str) -> bool {
+    matches!(name, "LAG" | "LEAD")
+}
+
+/// Evaluates a scalar function over already-evaluated arguments.
+pub fn eval_scalar(name: &str, args: &[Value]) -> Result<Value> {
+    match name {
+        "CONCAT" => {
+            // NULL inputs render as empty (Spark-style CONCAT returns NULL;
+            // the paper's grouping keys are friendlier with empty) — we
+            // follow the forgiving variant and document it.
+            let mut s = String::new();
+            for a in args {
+                if !a.is_null() {
+                    s.push_str(&a.render());
+                }
+            }
+            Ok(Value::Str(s))
+        }
+        "SPLIT" => {
+            expect_arity(name, args, 2)?;
+            match (&args[0], &args[1]) {
+                (Value::Null, _) => Ok(Value::Null),
+                (Value::Str(s), Value::Str(sep)) => {
+                    if sep.is_empty() {
+                        return Err(QueryError::BadFunction("SPLIT separator must be non-empty".into()));
+                    }
+                    Ok(Value::List(
+                        s.split(sep.as_str()).map(|p| Value::Str(p.to_string())).collect(),
+                    ))
+                }
+                _ => Err(QueryError::Type("SPLIT expects (string, string)".into())),
+            }
+        }
+        "UPPER" => unary_string(name, args, |s| s.to_uppercase()),
+        "LOWER" => unary_string(name, args, |s| s.to_lowercase()),
+        "TRIM" => unary_string(name, args, |s| s.trim().to_string()),
+        "LENGTH" => {
+            expect_arity(name, args, 1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+                Value::List(l) => Ok(Value::Int(l.len() as i64)),
+                _ => Err(QueryError::Type("LENGTH expects a string or list".into())),
+            }
+        }
+        "COALESCE" => {
+            for a in args {
+                if !a.is_null() {
+                    return Ok(a.clone());
+                }
+            }
+            Ok(Value::Null)
+        }
+        "GREATEST" => fold_numeric(name, args, f64::max),
+        "LEAST" => fold_numeric(name, args, f64::min),
+        "ABS" => unary_numeric(name, args, f64::abs),
+        "SQRT" => unary_numeric(name, args, f64::sqrt),
+        "LN" => unary_numeric(name, args, f64::ln),
+        "EXP" => unary_numeric(name, args, f64::exp),
+        "FLOOR" => unary_numeric(name, args, f64::floor),
+        "CEIL" => unary_numeric(name, args, f64::ceil),
+        "ROUND" => {
+            if args.len() == 1 {
+                return unary_numeric(name, args, |v| v.round());
+            }
+            expect_arity(name, args, 2)?;
+            if args[0].is_null() {
+                return Ok(Value::Null);
+            }
+            let v = numeric_arg(name, &args[0])?;
+            let digits = args[1]
+                .as_i64()
+                .ok_or_else(|| QueryError::Type("ROUND digits must be integer".into()))?;
+            let scale = 10f64.powi(digits as i32);
+            Ok(Value::Float((v * scale).round() / scale))
+        }
+        "POW" | "POWER" => {
+            expect_arity(name, args, 2)?;
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let a = numeric_arg(name, &args[0])?;
+            let b = numeric_arg(name, &args[1])?;
+            Ok(Value::Float(a.powf(b)))
+        }
+        "SUBSTR" | "SUBSTRING" => {
+            // SUBSTR(s, start_1_based[, len])
+            if args.len() != 2 && args.len() != 3 {
+                return Err(QueryError::BadFunction(format!("{name} expects 2 or 3 args")));
+            }
+            if args[0].is_null() {
+                return Ok(Value::Null);
+            }
+            let s = args[0]
+                .as_str()
+                .ok_or_else(|| QueryError::Type("SUBSTR expects a string".into()))?;
+            let start = args[1]
+                .as_i64()
+                .ok_or_else(|| QueryError::Type("SUBSTR start must be integer".into()))?;
+            let chars: Vec<char> = s.chars().collect();
+            let begin = (start.max(1) as usize - 1).min(chars.len());
+            let end = match args.get(2) {
+                Some(l) => {
+                    let len = l
+                        .as_i64()
+                        .ok_or_else(|| QueryError::Type("SUBSTR length must be integer".into()))?
+                        .max(0) as usize;
+                    (begin + len).min(chars.len())
+                }
+                None => chars.len(),
+            };
+            Ok(Value::Str(chars[begin..end].iter().collect()))
+        }
+        "REPLACE" => {
+            expect_arity(name, args, 3)?;
+            if args[0].is_null() {
+                return Ok(Value::Null);
+            }
+            match (&args[0], &args[1], &args[2]) {
+                (Value::Str(s), Value::Str(from), Value::Str(to)) => {
+                    Ok(Value::Str(s.replace(from.as_str(), to)))
+                }
+                _ => Err(QueryError::Type("REPLACE expects three strings".into())),
+            }
+        }
+        "HOSTGROUP" => {
+            // The UDF from Appendix C: hostgroup('web-12') == 'web'.
+            expect_arity(name, args, 1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Str(
+                    s.split('-').next().unwrap_or_default().to_string(),
+                )),
+                _ => Err(QueryError::Type("HOSTGROUP expects a string".into())),
+            }
+        }
+        "IF" => {
+            expect_arity(name, args, 3)?;
+            Ok(if args[0].is_true() { args[1].clone() } else { args[2].clone() })
+        }
+        "NULLIF" => {
+            expect_arity(name, args, 2)?;
+            if args[0].sql_cmp(&args[1]) == Some(std::cmp::Ordering::Equal) {
+                Ok(Value::Null)
+            } else {
+                Ok(args[0].clone())
+            }
+        }
+        other => Err(QueryError::BadFunction(format!("unknown function {other}"))),
+    }
+}
+
+/// Evaluates an aggregate function over a group's argument values.
+///
+/// `args_per_row` holds, for each row in the group, the evaluated argument
+/// list. NULL first-arguments are skipped (SQL semantics) except by COUNT
+/// whose argument convention here is `COUNT(*)` ≙ `COUNT(1)`.
+pub fn eval_aggregate(name: &str, args_per_row: &[Vec<Value>]) -> Result<Value> {
+    let first_args: Vec<&Value> = args_per_row
+        .iter()
+        .map(|a| a.first().unwrap_or(&Value::Null))
+        .collect();
+    let numeric: Vec<f64> = first_args.iter().filter_map(|v| v.as_f64()).collect();
+    match name {
+        "COUNT" => Ok(Value::Int(first_args.iter().filter(|v| !v.is_null()).count() as i64)),
+        "SUM" => {
+            if numeric.is_empty() {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Float(numeric.iter().sum()))
+            }
+        }
+        "AVG" => {
+            if numeric.is_empty() {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Float(numeric.iter().sum::<f64>() / numeric.len() as f64))
+            }
+        }
+        "MIN" => min_max(&first_args, true),
+        "MAX" => min_max(&first_args, false),
+        "STDDEV" | "VARIANCE" => {
+            if numeric.len() < 2 {
+                return Ok(Value::Null);
+            }
+            let mean = numeric.iter().sum::<f64>() / numeric.len() as f64;
+            let var = numeric.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / numeric.len() as f64;
+            Ok(Value::Float(if name == "STDDEV" { var.sqrt() } else { var }))
+        }
+        "PERCENTILE" => {
+            // PERCENTILE(expr, p) with p in [0, 1]; p must be constant per
+            // group (we read it from the first row).
+            let p = args_per_row
+                .iter()
+                .find_map(|a| a.get(1).and_then(Value::as_f64))
+                .ok_or_else(|| QueryError::BadFunction("PERCENTILE needs a p argument".into()))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(QueryError::BadFunction("PERCENTILE p must be in [0,1]".into()));
+            }
+            if numeric.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut sorted = numeric;
+            sorted.sort_by(f64::total_cmp);
+            // Linear interpolation between closest ranks.
+            let idx = p * (sorted.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let frac = idx - lo as f64;
+            Ok(Value::Float(sorted[lo] * (1.0 - frac) + sorted[hi] * frac))
+        }
+        other => Err(QueryError::BadFunction(format!("unknown aggregate {other}"))),
+    }
+}
+
+fn min_max(values: &[&Value], want_min: bool) -> Result<Value> {
+    let mut best: Option<&Value> = None;
+    for v in values {
+        if v.is_null() {
+            continue;
+        }
+        best = Some(match best {
+            None => v,
+            Some(b) => {
+                let take_new = match v.sql_cmp(b) {
+                    Some(std::cmp::Ordering::Less) => want_min,
+                    Some(std::cmp::Ordering::Greater) => !want_min,
+                    _ => false,
+                };
+                if take_new {
+                    v
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    Ok(best.cloned().unwrap_or(Value::Null))
+}
+
+fn expect_arity(name: &str, args: &[Value], n: usize) -> Result<()> {
+    if args.len() == n {
+        Ok(())
+    } else {
+        Err(QueryError::BadFunction(format!(
+            "{name} expects {n} argument(s), got {}",
+            args.len()
+        )))
+    }
+}
+
+fn numeric_arg(name: &str, v: &Value) -> Result<f64> {
+    v.as_f64()
+        .ok_or_else(|| QueryError::Type(format!("{name} expects a numeric argument, got {v}")))
+}
+
+fn unary_numeric(name: &str, args: &[Value], f: impl Fn(f64) -> f64) -> Result<Value> {
+    expect_arity(name, args, 1)?;
+    if args[0].is_null() {
+        return Ok(Value::Null);
+    }
+    Ok(Value::Float(f(numeric_arg(name, &args[0])?)))
+}
+
+fn unary_string(name: &str, args: &[Value], f: impl Fn(&str) -> String) -> Result<Value> {
+    expect_arity(name, args, 1)?;
+    match &args[0] {
+        Value::Null => Ok(Value::Null),
+        Value::Str(s) => Ok(Value::Str(f(s))),
+        _ => Err(QueryError::Type(format!("{name} expects a string"))),
+    }
+}
+
+fn fold_numeric(name: &str, args: &[Value], f: impl Fn(f64, f64) -> f64) -> Result<Value> {
+    if args.is_empty() {
+        return Err(QueryError::BadFunction(format!("{name} needs arguments")));
+    }
+    if args.iter().any(Value::is_null) {
+        return Ok(Value::Null);
+    }
+    let mut acc = numeric_arg(name, &args[0])?;
+    for a in &args[1..] {
+        acc = f(acc, numeric_arg(name, a)?);
+    }
+    Ok(Value::Float(acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_renders_and_skips_nulls() {
+        let v = eval_scalar(
+            "CONCAT",
+            &[Value::str("web"), Value::Int(1), Value::Null, Value::str("x")],
+        )
+        .unwrap();
+        assert_eq!(v, Value::str("web1x"));
+    }
+
+    #[test]
+    fn split_and_index_style_usage() {
+        let v = eval_scalar("SPLIT", &[Value::str("web-1-a"), Value::str("-")]).unwrap();
+        match v {
+            Value::List(parts) => {
+                assert_eq!(parts, vec![Value::str("web"), Value::str("1"), Value::str("a")]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(eval_scalar("SPLIT", &[Value::Null, Value::str("-")]).unwrap(), Value::Null);
+        assert!(eval_scalar("SPLIT", &[Value::str("x"), Value::str("")]).is_err());
+    }
+
+    #[test]
+    fn greatest_least_with_papers_usage() {
+        // GREATEST(write_b - cancelled_write_b, 0)
+        let v = eval_scalar("GREATEST", &[Value::Float(-3.0), Value::Int(0)]).unwrap();
+        assert_eq!(v, Value::Float(0.0));
+        let v = eval_scalar("LEAST", &[Value::Float(5.0), Value::Int(2)]).unwrap();
+        assert_eq!(v, Value::Float(2.0));
+        assert_eq!(
+            eval_scalar("GREATEST", &[Value::Null, Value::Int(1)]).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn hostgroup_udf() {
+        assert_eq!(
+            eval_scalar("HOSTGROUP", &[Value::str("web-12")]).unwrap(),
+            Value::str("web")
+        );
+        assert_eq!(
+            eval_scalar("HOSTGROUP", &[Value::str("standalone")]).unwrap(),
+            Value::str("standalone")
+        );
+    }
+
+    #[test]
+    fn coalesce_picks_first_non_null() {
+        let v = eval_scalar("COALESCE", &[Value::Null, Value::Null, Value::Int(3)]).unwrap();
+        assert_eq!(v, Value::Int(3));
+        assert_eq!(eval_scalar("COALESCE", &[Value::Null]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn string_helpers() {
+        assert_eq!(eval_scalar("UPPER", &[Value::str("ab")]).unwrap(), Value::str("AB"));
+        assert_eq!(eval_scalar("LOWER", &[Value::str("AB")]).unwrap(), Value::str("ab"));
+        assert_eq!(eval_scalar("TRIM", &[Value::str(" x ")]).unwrap(), Value::str("x"));
+        assert_eq!(eval_scalar("LENGTH", &[Value::str("abc")]).unwrap(), Value::Int(3));
+        assert_eq!(
+            eval_scalar("SUBSTR", &[Value::str("hello"), Value::Int(2), Value::Int(3)]).unwrap(),
+            Value::str("ell")
+        );
+        assert_eq!(
+            eval_scalar("REPLACE", &[Value::str("a-b"), Value::str("-"), Value::str("_")]).unwrap(),
+            Value::str("a_b")
+        );
+    }
+
+    #[test]
+    fn math_helpers() {
+        assert_eq!(eval_scalar("ABS", &[Value::Float(-2.5)]).unwrap(), Value::Float(2.5));
+        assert_eq!(eval_scalar("SQRT", &[Value::Int(9)]).unwrap(), Value::Float(3.0));
+        assert_eq!(
+            eval_scalar("ROUND", &[Value::Float(2.345), Value::Int(2)]).unwrap(),
+            Value::Float(2.35)
+        );
+        assert_eq!(eval_scalar("POW", &[Value::Int(2), Value::Int(10)]).unwrap(), Value::Float(1024.0));
+    }
+
+    #[test]
+    fn aggregate_avg_sum_count() {
+        let rows = vec![
+            vec![Value::Float(1.0)],
+            vec![Value::Float(3.0)],
+            vec![Value::Null],
+        ];
+        assert_eq!(eval_aggregate("AVG", &rows).unwrap(), Value::Float(2.0));
+        assert_eq!(eval_aggregate("SUM", &rows).unwrap(), Value::Float(4.0));
+        assert_eq!(eval_aggregate("COUNT", &rows).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn aggregate_min_max_strings() {
+        let rows = vec![
+            vec![Value::str("b")],
+            vec![Value::str("a")],
+            vec![Value::str("c")],
+        ];
+        assert_eq!(eval_aggregate("MIN", &rows).unwrap(), Value::str("a"));
+        assert_eq!(eval_aggregate("MAX", &rows).unwrap(), Value::str("c"));
+    }
+
+    #[test]
+    fn aggregate_empty_group() {
+        let rows: Vec<Vec<Value>> = vec![];
+        assert_eq!(eval_aggregate("AVG", &rows).unwrap(), Value::Null);
+        assert_eq!(eval_aggregate("COUNT", &rows).unwrap(), Value::Int(0));
+        assert_eq!(eval_aggregate("MIN", &rows).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn aggregate_stddev() {
+        let rows: Vec<Vec<Value>> = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .iter()
+            .map(|&v| vec![Value::Float(v)])
+            .collect();
+        assert_eq!(eval_aggregate("STDDEV", &rows).unwrap(), Value::Float(2.0));
+        assert_eq!(eval_aggregate("VARIANCE", &rows).unwrap(), Value::Float(4.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let rows: Vec<Vec<Value>> = (1..=5)
+            .map(|v| vec![Value::Float(v as f64), Value::Float(0.5)])
+            .collect();
+        assert_eq!(eval_aggregate("PERCENTILE", &rows).unwrap(), Value::Float(3.0));
+        let rows99: Vec<Vec<Value>> = (0..101)
+            .map(|v| vec![Value::Float(v as f64), Value::Float(0.99)])
+            .collect();
+        assert_eq!(eval_aggregate("PERCENTILE", &rows99).unwrap(), Value::Float(99.0));
+        let bad: Vec<Vec<Value>> = vec![vec![Value::Float(1.0), Value::Float(2.0)]];
+        assert!(eval_aggregate("PERCENTILE", &bad).is_err());
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        assert!(matches!(
+            eval_scalar("NOPE", &[]),
+            Err(QueryError::BadFunction(_))
+        ));
+        assert!(eval_aggregate("NOPE", &[]).is_err());
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(is_aggregate("AVG") && is_aggregate("PERCENTILE"));
+        assert!(!is_aggregate("CONCAT"));
+        assert!(is_window("LAG") && is_window("LEAD"));
+        assert!(!is_window("AVG"));
+    }
+}

@@ -1,0 +1,66 @@
+//! A declarative SQL-subset engine over the time series store.
+//!
+//! The paper's thesis is that *databases are in a unique position to enable
+//! exploratory causal analysis*: users enumerate hypotheses with SQL
+//! (Appendix C lists the production queries). The production system used
+//! Spark SQL; this crate implements the subset those queries need, from
+//! scratch:
+//!
+//! * `SELECT` projections with aliases, arithmetic and scalar functions
+//!   (`CONCAT`, `SPLIT(s, sep)[i]`, `GREATEST`, `COALESCE`, ...);
+//! * `WHERE` with full boolean logic, `IN`, `BETWEEN`, `LIKE` (SQL
+//!   wildcards), `IS [NOT] NULL`;
+//! * `GROUP BY` with `AVG`/`SUM`/`MIN`/`MAX`/`COUNT`/`STDDEV`/
+//!   `PERCENTILE(expr, p)`;
+//! * the window function `LAG(expr, k)` over the current row order (§3.5
+//!   footnote: lagged features for time series);
+//! * `UNION ALL` of compatible queries (stage-one family queries are
+//!   unioned, Figure 4);
+//! * `INNER` / `LEFT` / `FULL OUTER JOIN ... ON` equality conditions (the
+//!   hypothesis-generation join of Appendix C);
+//! * `ORDER BY ... ASC|DESC`, `LIMIT`;
+//! * map access `tag['host']` against the TSDB virtual table.
+//!
+//! The entry point is [`Catalog`]: register tables (or bind a
+//! [`explainit_tsdb::Tsdb`] as the `tsdb` virtual table) and call
+//! [`Catalog::execute`].
+//!
+//! ```
+//! use explainit_query::{Catalog, Table, Value};
+//!
+//! let mut catalog = Catalog::new();
+//! let table = Table::from_rows(
+//!     &["ts", "host", "v"],
+//!     vec![
+//!         vec![Value::Int(0), Value::str("a"), Value::Float(1.0)],
+//!         vec![Value::Int(0), Value::str("b"), Value::Float(3.0)],
+//!     ],
+//! );
+//! catalog.register("m", table);
+//! let out = catalog.execute("SELECT ts, AVG(v) AS mean_v FROM m GROUP BY ts").unwrap();
+//! assert_eq!(out.rows()[0][1], Value::Float(2.0));
+//! ```
+
+mod ast;
+mod catalog;
+mod error;
+mod eval;
+mod exec;
+mod functions;
+mod lexer;
+mod parser;
+mod pivot;
+mod table;
+mod value;
+
+pub use ast::{BinaryOp, Expr, JoinKind, OrderKey, Query, SelectItem, SelectStmt, TableRef, UnaryOp};
+pub use catalog::Catalog;
+pub use error::QueryError;
+pub use lexer::{tokenize, Token};
+pub use parser::parse_query;
+pub use pivot::{pivot_long, pivot_wide, FamilyFrame};
+pub use table::{Schema, Table};
+pub use value::Value;
+
+/// Result alias for query operations.
+pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,657 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::ast::{
+    BinaryOp, Expr, JoinClause, JoinKind, OrderKey, Query, SelectItem, SelectStmt, TableRef,
+    UnaryOp,
+};
+use crate::lexer::{tokenize, Token};
+use crate::value::Value;
+use crate::{QueryError, Result};
+
+/// Words that terminate expressions / cannot be bare aliases.
+const RESERVED: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "LIMIT", "UNION", "JOIN", "INNER", "LEFT",
+    "FULL", "OUTER", "ON", "AS", "AND", "OR", "NOT", "IN", "BETWEEN", "IS", "NULL", "LIKE",
+    "CASE", "WHEN", "THEN", "ELSE", "END", "ASC", "DESC", "BY", "ALL", "TRUE", "FALSE", "HAVING",
+];
+
+/// Parses a SQL string into a [`Query`].
+pub fn parse_query(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(QueryError::Parse(format!(
+            "unexpected trailing input at token {:?}",
+            p.tokens[p.pos]
+        )));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(QueryError::Parse(format!(
+                "expected keyword {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_token(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, t: &Token) -> Result<()> {
+        if self.eat_token(t) {
+            Ok(())
+        } else {
+            Err(QueryError::Parse(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn peek_is_reserved(&self) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if RESERVED.iter().any(|r| s.eq_ignore_ascii_case(r)))
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(QueryError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        let mut selects = vec![self.select()?];
+        while self.eat_kw("UNION") {
+            // UNION ALL and plain UNION are both bag semantics here; the
+            // paper's stage-one queries use UNION of disjoint families.
+            self.eat_kw("ALL");
+            selects.push(self.select()?);
+        }
+        Ok(Query { selects })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let mut items = vec![self.select_item()?];
+        while self.eat_token(&Token::Comma) {
+            items.push(self.select_item()?);
+        }
+        let mut from = None;
+        let mut joins = Vec::new();
+        if self.eat_kw("FROM") {
+            from = Some(self.table_ref()?);
+            loop {
+                let kind = if self.eat_kw("JOIN") {
+                    JoinKind::Inner
+                } else if self.peek().is_some_and(|t| t.is_kw("INNER")) {
+                    self.pos += 1;
+                    self.expect_kw("JOIN")?;
+                    JoinKind::Inner
+                } else if self.peek().is_some_and(|t| t.is_kw("LEFT")) {
+                    self.pos += 1;
+                    self.eat_kw("OUTER");
+                    self.expect_kw("JOIN")?;
+                    JoinKind::Left
+                } else if self.peek().is_some_and(|t| t.is_kw("FULL")) {
+                    self.pos += 1;
+                    self.eat_kw("OUTER");
+                    self.expect_kw("JOIN")?;
+                    JoinKind::FullOuter
+                } else {
+                    break;
+                };
+                let table = self.table_ref()?;
+                self.expect_kw("ON")?;
+                let on = self.expr()?;
+                joins.push(JoinClause { kind, table, on });
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat_token(&Token::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let ascending = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_by.push(OrderKey { expr, ascending });
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.advance() {
+                Some(Token::IntLit(n)) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(QueryError::Parse(format!(
+                        "LIMIT expects a non-negative integer, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt { items, from, joins, where_clause, group_by, order_by, limit })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_token(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if !self.peek_is_reserved() {
+            // Bare alias: a non-reserved identifier right after the expr.
+            match self.peek() {
+                Some(Token::Ident(_)) => Some(self.ident()?),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        if self.eat_token(&Token::LParen) {
+            let query = self.query()?;
+            self.expect_token(&Token::RParen)?;
+            let alias = self.optional_alias()?;
+            return Ok(TableRef::Subquery { query: Box::new(query), alias });
+        }
+        let name = self.ident()?;
+        let alias = self.optional_alias()?;
+        Ok(TableRef::Named { name, alias })
+    }
+
+    fn optional_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw("AS") {
+            return Ok(Some(self.ident()?));
+        }
+        if !self.peek_is_reserved() {
+            if let Some(Token::Ident(_)) = self.peek() {
+                return Ok(Some(self.ident()?));
+            }
+        }
+        Ok(None)
+    }
+
+    // ---- expressions, precedence climbing --------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary { op: BinaryOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary { op: BinaryOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            let operand = self.not_expr()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, operand: Box::new(operand) });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // NOT IN / NOT BETWEEN / NOT LIKE.
+        let negated = if self.peek().is_some_and(|t| t.is_kw("NOT"))
+            && self.peek2().is_some_and(|t| t.is_kw("IN") || t.is_kw("BETWEEN") || t.is_kw("LIKE"))
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("IN") {
+            self.expect_token(&Token::LParen)?;
+            let mut list = vec![self.expr()?];
+            while self.eat_token(&Token::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect_token(&Token::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_kw("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_kw("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("LIKE") {
+            let right = self.additive()?;
+            let like = Expr::Binary {
+                op: BinaryOp::Like,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+            return Ok(if negated {
+                Expr::Unary { op: UnaryOp::Not, operand: Box::new(like) }
+            } else {
+                like
+            });
+        }
+        if negated {
+            return Err(QueryError::Parse("dangling NOT before comparison".into()));
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinaryOp::Eq),
+            Some(Token::NotEq) => Some(BinaryOp::NotEq),
+            Some(Token::Lt) => Some(BinaryOp::Lt),
+            Some(Token::LtEq) => Some(BinaryOp::LtEq),
+            Some(Token::Gt) => Some(BinaryOp::Gt),
+            Some(Token::GtEq) => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                Some(Token::Percent) => BinaryOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_token(&Token::Minus) {
+            let operand = self.unary()?;
+            return Ok(Expr::Unary { op: UnaryOp::Neg, operand: Box::new(operand) });
+        }
+        if self.eat_token(&Token::Plus) {
+            return self.unary();
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        while self.eat_token(&Token::LBracket) {
+            let index = self.expr()?;
+            self.expect_token(&Token::RBracket)?;
+            e = Expr::Index { container: Box::new(e), index: Box::new(index) };
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::IntLit(n)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Int(n)))
+            }
+            Some(Token::FloatLit(f)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Float(f)))
+            }
+            Some(Token::StringLit(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_token(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if name.eq_ignore_ascii_case("NULL") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if name.eq_ignore_ascii_case("TRUE") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Value::Bool(false)));
+                }
+                if name.eq_ignore_ascii_case("CASE") {
+                    self.pos += 1;
+                    return self.case_expr();
+                }
+                // Function call?
+                if self.peek2() == Some(&Token::LParen) {
+                    self.pos += 2;
+                    let mut args = Vec::new();
+                    if !self.eat_token(&Token::RParen) {
+                        loop {
+                            // COUNT(*).
+                            if self.peek() == Some(&Token::Star) {
+                                self.pos += 1;
+                                args.push(Expr::Literal(Value::Int(1)));
+                            } else {
+                                args.push(self.expr()?);
+                            }
+                            if !self.eat_token(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect_token(&Token::RParen)?;
+                    }
+                    return Ok(Expr::Function { name: name.to_uppercase(), args });
+                }
+                // Qualified column t.c?
+                self.pos += 1;
+                if self.eat_token(&Token::Dot) {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column(format!("{name}.{col}")));
+                }
+                Ok(Expr::Column(name))
+            }
+            other => Err(QueryError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<Expr> {
+        let mut when_then = Vec::new();
+        while self.eat_kw("WHEN") {
+            let cond = self.expr()?;
+            self.expect_kw("THEN")?;
+            let result = self.expr()?;
+            when_then.push((cond, result));
+        }
+        if when_then.is_empty() {
+            return Err(QueryError::Parse("CASE requires at least one WHEN arm".into()));
+        }
+        let else_expr = if self.eat_kw("ELSE") { Some(Box::new(self.expr()?)) } else { None };
+        self.expect_kw("END")?;
+        Ok(Expr::Case { when_then, else_expr })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_select() {
+        let q = parse_query("SELECT a FROM t").unwrap();
+        assert_eq!(q.selects.len(), 1);
+        let s = &q.selects[0];
+        assert_eq!(s.items.len(), 1);
+        assert!(matches!(
+            s.from,
+            Some(TableRef::Named { ref name, .. }) if name == "t"
+        ));
+    }
+
+    #[test]
+    fn aliases_with_and_without_as() {
+        let q = parse_query("SELECT a AS x, b y FROM t").unwrap();
+        let items = &q.selects[0].items;
+        match (&items[0], &items[1]) {
+            (
+                SelectItem::Expr { alias: Some(x), .. },
+                SelectItem::Expr { alias: Some(y), .. },
+            ) => {
+                assert_eq!(x, "x");
+                assert_eq!(y, "y");
+            }
+            other => panic!("unexpected items {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_clause_stack() {
+        let q = parse_query(
+            "SELECT ts, AVG(v) AS m FROM t WHERE ts BETWEEN 0 AND 100 \
+             GROUP BY ts ORDER BY ts ASC LIMIT 10",
+        )
+        .unwrap();
+        let s = &q.selects[0];
+        assert!(s.where_clause.is_some());
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.order_by.len(), 1);
+        assert!(s.order_by[0].ascending);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn union_all_of_selects() {
+        let q = parse_query("SELECT a FROM t UNION ALL SELECT a FROM u UNION SELECT a FROM w")
+            .unwrap();
+        assert_eq!(q.selects.len(), 3);
+    }
+
+    #[test]
+    fn joins_parse() {
+        let q = parse_query(
+            "SELECT * FROM a FULL OUTER JOIN b ON a.ts = b.ts LEFT JOIN c ON a.ts = c.ts \
+             JOIN d ON a.ts = d.ts",
+        )
+        .unwrap();
+        let joins = &q.selects[0].joins;
+        assert_eq!(joins.len(), 3);
+        assert_eq!(joins[0].kind, JoinKind::FullOuter);
+        assert_eq!(joins[1].kind, JoinKind::Left);
+        assert_eq!(joins[2].kind, JoinKind::Inner);
+    }
+
+    #[test]
+    fn subquery_in_from() {
+        let q = parse_query("SELECT x FROM (SELECT a AS x FROM t) sub").unwrap();
+        match &q.selects[0].from {
+            Some(TableRef::Subquery { alias: Some(a), .. }) => assert_eq!(a, "sub"),
+            other => panic!("expected subquery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn map_and_list_indexing() {
+        let q = parse_query("SELECT tag['host'], SPLIT(h, '-')[0] FROM tsdb").unwrap();
+        let items = &q.selects[0].items;
+        assert!(matches!(items[0], SelectItem::Expr { expr: Expr::Index { .. }, .. }));
+        assert!(matches!(items[1], SelectItem::Expr { expr: Expr::Index { .. }, .. }));
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let q = parse_query("SELECT 1 + 2 * 3").unwrap();
+        match &q.selects[0].items[0] {
+            SelectItem::Expr { expr: Expr::Binary { op: BinaryOp::Add, right, .. }, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let q2 = parse_query("SELECT (1 + 2) * 3").unwrap();
+        match &q2.selects[0].items[0] {
+            SelectItem::Expr { expr: Expr::Binary { op: BinaryOp::Mul, left, .. }, .. } => {
+                assert!(matches!(**left, Expr::Binary { op: BinaryOp::Add, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_precedence() {
+        // a OR b AND c == a OR (b AND c)
+        let q = parse_query("SELECT * FROM t WHERE a OR b AND c").unwrap();
+        match q.selects[0].where_clause.as_ref().unwrap() {
+            Expr::Binary { op: BinaryOp::Or, right, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinaryOp::And, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_between_null_like() {
+        let q = parse_query(
+            "SELECT * FROM t WHERE a IN ('x', 'y') AND b NOT IN (1) AND \
+             c BETWEEN 1 AND 2 AND d IS NOT NULL AND e LIKE 'web%' AND f NOT LIKE '_x'",
+        )
+        .unwrap();
+        assert!(q.selects[0].where_clause.is_some());
+    }
+
+    #[test]
+    fn case_expression() {
+        let q = parse_query("SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t").unwrap();
+        assert!(matches!(
+            q.selects[0].items[0],
+            SelectItem::Expr { expr: Expr::Case { .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn count_star() {
+        let q = parse_query("SELECT COUNT(*) FROM t").unwrap();
+        match &q.selects[0].items[0] {
+            SelectItem::Expr { expr: Expr::Function { name, args }, .. } => {
+                assert_eq!(name, "COUNT");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_query("SELECT a FROM t extra garbage !").is_err());
+        assert!(parse_query("SELECT").is_err());
+        assert!(parse_query("FROM t").is_err());
+    }
+
+    #[test]
+    fn qualified_columns() {
+        let q = parse_query("SELECT t.a, u.b FROM t JOIN u ON t.k = u.k").unwrap();
+        match &q.selects[0].items[0] {
+            SelectItem::Expr { expr: Expr::Column(c), .. } => assert_eq!(c, "t.a"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_appendix_c_target_query_parses() {
+        let sql = "SELECT timestamp, tag['pipeline_name'], AVG(value) as runtime_sec \
+                   FROM tsdb WHERE metric_name = 'pipeline_runtime' \
+                   AND timestamp BETWEEN 0 AND 86400 \
+                   GROUP BY timestamp, tag['pipeline_name'] ORDER BY timestamp ASC";
+        let q = parse_query(sql).unwrap();
+        assert_eq!(q.selects[0].group_by.len(), 2);
+    }
+
+    #[test]
+    fn paper_appendix_c_process_query_parses() {
+        let sql = "SELECT timestamp, CONCAT(service_name, SPLIT(hostname, '-')[0]), \
+                   AVG(stime + utime) as cpu, AVG(statm_resident) as mem, \
+                   AVG(GREATEST(write_b - cancelled_write_b, 0)) \
+                   FROM processes \
+                   WHERE SPLIT(hostname, '-')[0] IN ('web', 'app', 'db', 'pipeline') \
+                   AND timestamp BETWEEN 0 AND 86400 \
+                   GROUP BY timestamp, CONCAT(service_name, SPLIT(hostname, '-')[0]) \
+                   ORDER BY timestamp ASC";
+        assert!(parse_query(sql).is_ok());
+    }
+}

@@ -1,0 +1,351 @@
+//! Pivoting query results into feature families.
+//!
+//! The second stage of the paper's pipeline (Figure 4) turns stage-one query
+//! output into the Feature Family Table: one entry per `(timestamp, family)`
+//! holding a map of feature values. Two layouts are supported:
+//!
+//! * **wide** — `(ts, family, v1, v2, ...)`: each numeric column is a
+//!   feature of the family (the paper's network-features query produces 6
+//!   features per `(src, port)` family);
+//! * **long** — `(ts, family, feature, value)`: each distinct feature string
+//!   becomes a column (grouping all of `disk{host=...}` under family
+//!   `disk`).
+//!
+//! Missing `(ts, feature)` cells follow the paper's policy: interpolated to
+//! the closest non-null observation of that feature.
+
+use std::collections::HashMap;
+
+use crate::table::Table;
+use crate::value::Value;
+use crate::{QueryError, Result};
+
+/// A dense per-family frame: shared timestamps × named feature columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyFrame {
+    /// Family name (the paper's grouping key, e.g. metric name).
+    pub name: String,
+    /// Sorted shared timestamps.
+    pub timestamps: Vec<i64>,
+    /// Feature column names.
+    pub feature_names: Vec<String>,
+    /// One dense column per feature (parallel to `feature_names`, each of
+    /// `timestamps.len()` values).
+    pub columns: Vec<Vec<f64>>,
+}
+
+impl FamilyFrame {
+    /// Number of time steps.
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// True when the frame has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Number of features.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// Pivots a wide table: `ts_col` and `family_col` identify the row, every
+/// *other* column is a feature (non-numeric cells become gaps, then get
+/// nearest-filled).
+pub fn pivot_wide(table: &Table, ts_col: &str, family_col: &str) -> Result<Vec<FamilyFrame>> {
+    let ts_idx = table.schema().resolve(ts_col)?;
+    let fam_idx = table.schema().resolve(family_col)?;
+    let feature_idx: Vec<usize> = (0..table.schema().len())
+        .filter(|&i| i != ts_idx && i != fam_idx)
+        .collect();
+    if feature_idx.is_empty() {
+        return Err(QueryError::Plan("pivot_wide needs at least one feature column".into()));
+    }
+    let mut builder = PivotBuilder::new();
+    for row in table.rows() {
+        let Some(ts) = row[ts_idx].as_i64() else { continue };
+        let family = render_family(&row[fam_idx]);
+        for &fi in &feature_idx {
+            let feature = table.schema().columns()[fi].clone();
+            let v = row[fi].as_f64().unwrap_or(f64::NAN);
+            builder.add(family.clone(), ts, feature, v);
+        }
+    }
+    Ok(builder.finish())
+}
+
+/// Pivots a long table: each row is `(ts, family, feature, value)`.
+pub fn pivot_long(
+    table: &Table,
+    ts_col: &str,
+    family_col: &str,
+    feature_col: &str,
+    value_col: &str,
+) -> Result<Vec<FamilyFrame>> {
+    let ts_idx = table.schema().resolve(ts_col)?;
+    let fam_idx = table.schema().resolve(family_col)?;
+    let feat_idx = table.schema().resolve(feature_col)?;
+    let val_idx = table.schema().resolve(value_col)?;
+    let mut builder = PivotBuilder::new();
+    for row in table.rows() {
+        let Some(ts) = row[ts_idx].as_i64() else { continue };
+        let family = render_family(&row[fam_idx]);
+        let feature = render_family(&row[feat_idx]);
+        let v = row[val_idx].as_f64().unwrap_or(f64::NAN);
+        builder.add(family, ts, feature, v);
+    }
+    Ok(builder.finish())
+}
+
+fn render_family(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        other => other.render(),
+    }
+}
+
+/// Accumulates sparse (family, ts, feature) → value cells and densifies.
+struct PivotBuilder {
+    /// family -> (feature -> (ts -> value)); insertion order preserved.
+    families: Vec<(String, FamilyAcc)>,
+    index: HashMap<String, usize>,
+}
+
+/// Sparse per-feature cells: timestamp -> value.
+type FeatureCells = HashMap<i64, f64>;
+
+struct FamilyAcc {
+    features: Vec<(String, FeatureCells)>,
+    feature_index: HashMap<String, usize>,
+    timestamps: Vec<i64>,
+    seen_ts: HashMap<i64, ()>,
+}
+
+impl PivotBuilder {
+    fn new() -> Self {
+        PivotBuilder { families: Vec::new(), index: HashMap::new() }
+    }
+
+    fn add(&mut self, family: String, ts: i64, feature: String, value: f64) {
+        let fi = match self.index.get(&family) {
+            Some(&i) => i,
+            None => {
+                let i = self.families.len();
+                self.index.insert(family.clone(), i);
+                self.families.push((
+                    family,
+                    FamilyAcc {
+                        features: Vec::new(),
+                        feature_index: HashMap::new(),
+                        timestamps: Vec::new(),
+                        seen_ts: HashMap::new(),
+                    },
+                ));
+                i
+            }
+        };
+        let acc = &mut self.families[fi].1;
+        if acc.seen_ts.insert(ts, ()).is_none() {
+            acc.timestamps.push(ts);
+        }
+        let col = match acc.feature_index.get(&feature) {
+            Some(&i) => i,
+            None => {
+                let i = acc.features.len();
+                acc.feature_index.insert(feature.clone(), i);
+                acc.features.push((feature, HashMap::new()));
+                i
+            }
+        };
+        // Last write wins for duplicate cells (mirrors overwrite semantics
+        // in the TSDB).
+        if value.is_finite() {
+            acc.features[col].1.insert(ts, value);
+        }
+    }
+
+    fn finish(self) -> Vec<FamilyFrame> {
+        self.families
+            .into_iter()
+            .map(|(name, mut acc)| {
+                acc.timestamps.sort_unstable();
+                let timestamps = acc.timestamps;
+                let mut feature_names = Vec::with_capacity(acc.features.len());
+                let mut columns = Vec::with_capacity(acc.features.len());
+                for (fname, cells) in acc.features {
+                    let mut col: Vec<f64> =
+                        timestamps.iter().map(|t| cells.get(t).copied().unwrap_or(f64::NAN)).collect();
+                    nearest_fill(&timestamps, &mut col);
+                    feature_names.push(fname);
+                    columns.push(col);
+                }
+                FamilyFrame { name, timestamps, feature_names, columns }
+            })
+            .collect()
+    }
+}
+
+/// Replaces NaN gaps with the value of the nearest (in time) non-NaN
+/// observation; all-NaN columns become all-zero (a constant feature the
+/// scorers already treat as signal-free).
+fn nearest_fill(timestamps: &[i64], col: &mut [f64]) {
+    let known: Vec<(i64, f64)> = timestamps
+        .iter()
+        .zip(col.iter())
+        .filter(|(_, v)| v.is_finite())
+        .map(|(&t, &v)| (t, v))
+        .collect();
+    if known.is_empty() {
+        for v in col.iter_mut() {
+            *v = 0.0;
+        }
+        return;
+    }
+    for (i, v) in col.iter_mut().enumerate() {
+        if v.is_finite() {
+            continue;
+        }
+        let t = timestamps[i];
+        // Binary search over known timestamps.
+        let pos = known.partition_point(|&(kt, _)| kt < t);
+        let candidate = if pos == 0 {
+            known[0]
+        } else if pos == known.len() {
+            known[known.len() - 1]
+        } else {
+            let before = known[pos - 1];
+            let after = known[pos];
+            if (t - before.0) <= (after.0 - t) {
+                before
+            } else {
+                after
+            }
+        };
+        *v = candidate.1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wide_table() -> Table {
+        Table::from_rows(
+            &["ts", "name", "cpu", "mem"],
+            vec![
+                vec![Value::Int(0), Value::str("web"), Value::Float(1.0), Value::Float(10.0)],
+                vec![Value::Int(60), Value::str("web"), Value::Float(2.0), Value::Float(20.0)],
+                vec![Value::Int(0), Value::str("db"), Value::Float(5.0), Value::Float(50.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn wide_pivot_produces_one_frame_per_family() {
+        let frames = pivot_wide(&wide_table(), "ts", "name").unwrap();
+        assert_eq!(frames.len(), 2);
+        let web = frames.iter().find(|f| f.name == "web").unwrap();
+        assert_eq!(web.timestamps, vec![0, 60]);
+        assert_eq!(web.feature_names, vec!["cpu", "mem"]);
+        assert_eq!(web.columns[0], vec![1.0, 2.0]);
+        assert_eq!(web.columns[1], vec![10.0, 20.0]);
+        let db = frames.iter().find(|f| f.name == "db").unwrap();
+        assert_eq!(db.timestamps, vec![0]);
+    }
+
+    #[test]
+    fn long_pivot_spreads_features() {
+        let t = Table::from_rows(
+            &["ts", "fam", "feat", "v"],
+            vec![
+                vec![Value::Int(0), Value::str("disk"), Value::str("h1.read"), Value::Float(1.0)],
+                vec![Value::Int(0), Value::str("disk"), Value::str("h2.read"), Value::Float(2.0)],
+                vec![Value::Int(60), Value::str("disk"), Value::str("h1.read"), Value::Float(3.0)],
+                vec![Value::Int(60), Value::str("disk"), Value::str("h2.read"), Value::Float(4.0)],
+            ],
+        );
+        let frames = pivot_long(&t, "ts", "fam", "feat", "v").unwrap();
+        assert_eq!(frames.len(), 1);
+        let f = &frames[0];
+        assert_eq!(f.width(), 2);
+        assert_eq!(f.columns[0], vec![1.0, 3.0]);
+        assert_eq!(f.columns[1], vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn missing_cells_nearest_filled() {
+        let t = Table::from_rows(
+            &["ts", "fam", "feat", "v"],
+            vec![
+                vec![Value::Int(0), Value::str("f"), Value::str("a"), Value::Float(1.0)],
+                vec![Value::Int(60), Value::str("f"), Value::str("b"), Value::Float(9.0)],
+                vec![Value::Int(120), Value::str("f"), Value::str("a"), Value::Float(5.0)],
+            ],
+        );
+        let frames = pivot_long(&t, "ts", "fam", "feat", "v").unwrap();
+        let f = &frames[0];
+        // Feature a is missing at ts=60: equidistant to 0 and 120, prefers
+        // the earlier (1.0).
+        let a = &f.columns[f.feature_names.iter().position(|n| n == "a").unwrap()];
+        assert_eq!(a, &vec![1.0, 1.0, 5.0]);
+        // Feature b only exists at 60: clamps outward.
+        let b = &f.columns[f.feature_names.iter().position(|n| n == "b").unwrap()];
+        assert_eq!(b, &vec![9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn non_numeric_values_are_gaps() {
+        let t = Table::from_rows(
+            &["ts", "fam", "x"],
+            vec![
+                vec![Value::Int(0), Value::str("f"), Value::str("oops")],
+                vec![Value::Int(60), Value::str("f"), Value::Float(2.0)],
+            ],
+        );
+        let frames = pivot_wide(&t, "ts", "fam").unwrap();
+        assert_eq!(frames[0].columns[0], vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn all_gap_feature_becomes_zero() {
+        let t = Table::from_rows(
+            &["ts", "fam", "x"],
+            vec![vec![Value::Int(0), Value::str("f"), Value::Null]],
+        );
+        let frames = pivot_wide(&t, "ts", "fam").unwrap();
+        assert_eq!(frames[0].columns[0], vec![0.0]);
+    }
+
+    #[test]
+    fn null_family_becomes_null_string() {
+        let t = Table::from_rows(
+            &["ts", "fam", "x"],
+            vec![vec![Value::Int(0), Value::Null, Value::Float(1.0)]],
+        );
+        let frames = pivot_wide(&t, "ts", "fam").unwrap();
+        assert_eq!(frames[0].name, "NULL");
+    }
+
+    #[test]
+    fn no_feature_columns_errors() {
+        let t = Table::from_rows(&["ts", "fam"], vec![vec![Value::Int(0), Value::str("f")]]);
+        assert!(pivot_wide(&t, "ts", "fam").is_err());
+    }
+
+    #[test]
+    fn unsorted_input_timestamps_sorted() {
+        let t = Table::from_rows(
+            &["ts", "fam", "x"],
+            vec![
+                vec![Value::Int(120), Value::str("f"), Value::Float(3.0)],
+                vec![Value::Int(0), Value::str("f"), Value::Float(1.0)],
+                vec![Value::Int(60), Value::str("f"), Value::Float(2.0)],
+            ],
+        );
+        let frames = pivot_wide(&t, "ts", "fam").unwrap();
+        assert_eq!(frames[0].timestamps, vec![0, 60, 120]);
+        assert_eq!(frames[0].columns[0], vec![1.0, 2.0, 3.0]);
+    }
+}

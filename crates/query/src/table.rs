@@ -1,0 +1,267 @@
+//! Row-oriented tables with named columns.
+
+use crate::value::Value;
+use crate::{QueryError, Result};
+
+/// Column names of a table. Names may be qualified (`t.col`) after joins;
+/// resolution matches on the unqualified suffix when unambiguous.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema from column names.
+    pub fn new(columns: Vec<String>) -> Self {
+        Schema { columns }
+    }
+
+    /// Column names in order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Resolves a (possibly qualified) column reference to an index.
+    ///
+    /// Resolution order: exact match, then unique suffix match on the
+    /// unqualified name (`runtime` finds `t.runtime` when only one table has
+    /// a `runtime` column). Ambiguity and misses produce
+    /// [`QueryError::UnknownColumn`].
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        if let Some(i) = self.columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+            return Ok(i);
+        }
+        // Suffix match: "col" matches "tbl.col".
+        let matches: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.rsplit('.')
+                    .next()
+                    .is_some_and(|last| last.eq_ignore_ascii_case(name))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            1 => Ok(matches[0]),
+            0 => Err(QueryError::UnknownColumn(name.to_string())),
+            _ => Err(QueryError::UnknownColumn(format!(
+                "{name} is ambiguous (candidates: {})",
+                matches
+                    .iter()
+                    .map(|&i| self.columns[i].as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))),
+        }
+    }
+
+    /// Prefixes every column with `alias.` (stripping any previous
+    /// qualifier), used when a table enters a join scope.
+    pub fn qualified(&self, alias: &str) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| {
+                    let base = c.rsplit('.').next().unwrap_or(c);
+                    format!("{alias}.{base}")
+                })
+                .collect(),
+        }
+    }
+}
+
+/// An in-memory table: schema plus rows of [`Value`]s.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given column names.
+    pub fn empty(columns: &[&str]) -> Self {
+        Table {
+            schema: Schema::new(columns.iter().map(|s| s.to_string()).collect()),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a table from rows.
+    ///
+    /// # Panics
+    /// Panics if any row width differs from the column count.
+    pub fn from_rows(columns: &[&str], rows: Vec<Vec<Value>>) -> Self {
+        for r in &rows {
+            assert_eq!(r.len(), columns.len(), "row width mismatch");
+        }
+        Table {
+            schema: Schema::new(columns.iter().map(|s| s.to_string()).collect()),
+            rows,
+        }
+    }
+
+    /// Creates a table taking ownership of schema and rows (internal fast
+    /// path for the executor).
+    pub fn from_parts(schema: Schema, rows: Vec<Vec<Value>>) -> Self {
+        debug_assert!(rows.iter().all(|r| r.len() == schema.len()));
+        Table { schema, rows }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Consumes the table into its rows.
+    pub fn into_rows(self) -> Vec<Vec<Value>> {
+        self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.schema.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Extracts a column by name as a value vector.
+    pub fn column(&self, name: &str) -> Result<Vec<Value>> {
+        let i = self.schema.resolve(name)?;
+        Ok(self.rows.iter().map(|r| r[i].clone()).collect())
+    }
+
+    /// Extracts a column as f64s; non-numeric / NULL entries become NaN.
+    pub fn numeric_column(&self, name: &str) -> Result<Vec<f64>> {
+        let i = self.schema.resolve(name)?;
+        Ok(self
+            .rows
+            .iter()
+            .map(|r| r[i].as_f64().unwrap_or(f64::NAN))
+            .collect())
+    }
+
+    /// Renders the table as an aligned-text report (first `max_rows` rows).
+    pub fn render(&self, max_rows: usize) -> String {
+        let mut widths: Vec<usize> = self.schema.columns().iter().map(String::len).collect();
+        let shown = self.rows.iter().take(max_rows);
+        let rendered: Vec<Vec<String>> = shown
+            .map(|r| r.iter().map(Value::render).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.schema.columns().iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+            }
+            out.push('\n');
+        }
+        if self.rows.len() > max_rows {
+            out.push_str(&format!("... ({} more rows)\n", self.rows.len() - max_rows));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_exact_and_suffix() {
+        let s = Schema::new(vec!["a.ts".into(), "b.ts".into(), "a.v".into()]);
+        assert_eq!(s.resolve("a.ts").unwrap(), 0);
+        assert_eq!(s.resolve("v").unwrap(), 2);
+        assert!(matches!(s.resolve("ts"), Err(QueryError::UnknownColumn(_))));
+        assert!(matches!(s.resolve("nope"), Err(QueryError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn resolve_is_case_insensitive() {
+        let s = Schema::new(vec!["Timestamp".into()]);
+        assert_eq!(s.resolve("timestamp").unwrap(), 0);
+        assert_eq!(s.resolve("TIMESTAMP").unwrap(), 0);
+    }
+
+    #[test]
+    fn qualify_strips_old_prefix() {
+        let s = Schema::new(vec!["old.v".into(), "w".into()]);
+        let q = s.qualified("t");
+        assert_eq!(q.columns(), &["t.v".to_string(), "t.w".to_string()]);
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let t = Table::from_rows(
+            &["ts", "v"],
+            vec![
+                vec![Value::Int(0), Value::Float(1.0)],
+                vec![Value::Int(1), Value::Float(2.0)],
+            ],
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.column("v").unwrap(), vec![Value::Float(1.0), Value::Float(2.0)]);
+        assert_eq!(t.numeric_column("ts").unwrap(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn numeric_column_nan_for_strings() {
+        let t = Table::from_rows(&["x"], vec![vec![Value::str("abc")], vec![Value::Null]]);
+        let v = t.numeric_column("x").unwrap();
+        assert!(v[0].is_nan() && v[1].is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_row_checks_width() {
+        let mut t = Table::empty(&["a", "b"]);
+        t.push_row(vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn render_truncates() {
+        let t = Table::from_rows(
+            &["n"],
+            (0..5).map(|i| vec![Value::Int(i)]).collect(),
+        );
+        let s = t.render(2);
+        assert!(s.contains("3 more rows"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Multiple-testing control: Bonferroni correction and the
+//! Benjamini–Hochberg false discovery rate procedure (Appendix A.2).
+//!
+//! ExplainIt! scores hundreds-to-thousands of hypotheses simultaneously;
+//! these procedures decide how many of the top-K scores are "statistically
+//! significant" rather than lucky draws from the null.
+
+/// Bonferroni-corrected p-values: `min(1, p * m)` where `m` is the number of
+/// simultaneous tests.
+pub fn bonferroni(p_values: &[f64]) -> Vec<f64> {
+    let m = p_values.len() as f64;
+    p_values.iter().map(|&p| (p * m).min(1.0)).collect()
+}
+
+/// Benjamini–Hochberg adjusted p-values (q-values).
+///
+/// Returns, for each input position, the smallest FDR level at which that
+/// hypothesis would be rejected. Input order is preserved.
+pub fn benjamini_hochberg(p_values: &[f64]) -> Vec<f64> {
+    let m = p_values.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    // Sort indices by ascending p-value.
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| p_values[a].total_cmp(&p_values[b]));
+    // Raw BH values p_(i) * m / i, then enforce monotonicity from the top.
+    let mut adjusted = vec![0.0; m];
+    let mut running_min = 1.0f64;
+    for rank in (0..m).rev() {
+        let idx = order[rank];
+        let raw = p_values[idx] * m as f64 / (rank + 1) as f64;
+        running_min = running_min.min(raw).min(1.0);
+        adjusted[idx] = running_min;
+    }
+    adjusted
+}
+
+/// Indices (into the original slice) of hypotheses rejected by the BH
+/// procedure at FDR level `alpha`.
+pub fn bh_rejections(p_values: &[f64], alpha: f64) -> Vec<usize> {
+    benjamini_hochberg(p_values)
+        .iter()
+        .enumerate()
+        .filter(|(_, &q)| q <= alpha)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bonferroni_scales_and_caps() {
+        let p = [0.01, 0.2, 0.5];
+        let adj = bonferroni(&p);
+        assert!((adj[0] - 0.03).abs() < 1e-12);
+        assert!((adj[1] - 0.6).abs() < 1e-12);
+        assert_eq!(adj[2], 1.0);
+    }
+
+    #[test]
+    fn bonferroni_empty() {
+        assert!(bonferroni(&[]).is_empty());
+    }
+
+    #[test]
+    fn bh_known_example() {
+        // Classic example: p = [0.01, 0.04, 0.03, 0.005], m=4.
+        // sorted: 0.005, 0.01, 0.03, 0.04
+        // raw: 0.02, 0.02, 0.04, 0.04 -> monotone from top: same.
+        let p = [0.01, 0.04, 0.03, 0.005];
+        let q = benjamini_hochberg(&p);
+        assert!((q[3] - 0.02).abs() < 1e-12);
+        assert!((q[0] - 0.02).abs() < 1e-12);
+        assert!((q[2] - 0.04).abs() < 1e-12);
+        assert!((q[1] - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bh_monotone_in_p() {
+        let p = [0.001, 0.01, 0.02, 0.8];
+        let q = benjamini_hochberg(&p);
+        for w in [0usize, 1, 2].windows(2) {
+            assert!(q[w[0]] <= q[w[1]] + 1e-15);
+        }
+        assert!(q[3] <= 1.0);
+    }
+
+    #[test]
+    fn bh_less_conservative_than_bonferroni() {
+        let p: Vec<f64> = (1..=20).map(|i| i as f64 * 0.002).collect();
+        let bf = bonferroni(&p);
+        let bh = benjamini_hochberg(&p);
+        for (b, h) in bf.iter().zip(bh.iter()) {
+            assert!(h <= b, "BH must not exceed Bonferroni");
+        }
+    }
+
+    #[test]
+    fn bh_rejections_at_level() {
+        let p = [0.001, 0.011, 0.02, 0.9];
+        let rej = bh_rejections(&p, 0.05);
+        assert_eq!(rej, vec![0, 1, 2]);
+        let none = bh_rejections(&p, 0.0001);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn bh_all_equal_p_values() {
+        let p = [0.05; 5];
+        let q = benjamini_hochberg(&p);
+        // p * m / m = p at top rank; monotone pass makes all equal p.
+        for &v in &q {
+            assert!((v - 0.05).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Fixed-width histograms used by the figure reports (Figures 6, 12 and 13
+//! of the paper are histograms / density plots).
+
+/// A fixed-width histogram over `[lo, hi)` with values outside the range
+/// clamped into the boundary bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins over
+    /// `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram { lo, hi, counts: vec![0; bins], total: 0 }
+    }
+
+    /// Builds a histogram from data with the range taken from the data's
+    /// min/max (expanded slightly so the max lands inside the last bin).
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or `bins == 0`.
+    pub fn from_data(values: &[f64], bins: usize) -> Self {
+        assert!(!values.is_empty(), "histogram needs data");
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1e-12);
+        let mut h = Histogram::new(lo, hi + span * 1e-9, bins);
+        for &v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Adds one observation (non-finite values are ignored).
+    pub fn add(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let bins = self.counts.len();
+        let frac = (v - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * bins as f64) as isize).clamp(0, bins as isize - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of observations added.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Normalised density value for bin `i` (integrates to ~1 over the
+    /// range).
+    pub fn density(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts[i] as f64 / (self.total as f64 * w)
+    }
+
+    /// Renders a simple ASCII bar chart, one row per bin, for terminal
+    /// reports. `width` is the maximum bar width in characters.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar_len = (c as f64 / max as f64 * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{:>10.4} | {:<width$} {}\n",
+                self.bin_center(i),
+                "#".repeat(bar_len),
+                c,
+                width = width
+            ));
+        }
+        out
+    }
+
+    /// Approximate quantile from the histogram (linear within bins).
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]` or the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1]");
+        assert!(self.total > 0, "quantile of empty histogram");
+        let target = q * self.total as f64;
+        let mut acc = 0.0;
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = acc + c as f64;
+            if next >= target {
+                let within = if c > 0 { (target - acc) / c as f64 } else { 0.0 };
+                return self.lo + w * (i as f64 + within);
+            }
+            acc = next;
+        }
+        self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_expected_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.5);
+        h.add(9.5);
+        h.add(5.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-5.0);
+        h.add(42.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn non_finite_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(f64::NAN);
+        h.add(f64::INFINITY);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn from_data_covers_all_points() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let h = Histogram::from_data(&data, 5);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts().iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64) / 100.0).collect();
+        let h = Histogram::from_data(&data, 20);
+        let w = h.bin_center(1) - h.bin_center(0);
+        let integral: f64 = (0..20).map(|i| h.density(i) * w).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_median_of_uniform() {
+        let data: Vec<f64> = (0..10_000).map(|i| i as f64 / 10_000.0).collect();
+        let h = Histogram::from_data(&data, 100);
+        let med = h.quantile(0.5);
+        assert!((med - 0.5).abs() < 0.02, "median {med}");
+    }
+
+    #[test]
+    fn ascii_render_has_one_row_per_bin() {
+        let h = Histogram::from_data(&[1.0, 2.0, 2.5], 4);
+        let s = h.render_ascii(20);
+        assert_eq!(s.lines().count(), 4);
+    }
+}

@@ -1,0 +1,244 @@
+//! The r² machinery of Appendix A: plain and adjusted r², the Beta null
+//! distribution, and the Chebyshev p-value bound that ExplainIt! uses to
+//! control false positives over many simultaneous hypotheses.
+
+use crate::dist::Beta;
+
+/// A computed coefficient of determination together with the problem size it
+/// came from, so p-values and adjustment can be derived later.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RSquared {
+    /// Plain (unadjusted) r².
+    pub r2: f64,
+    /// Number of observations.
+    pub n: usize,
+    /// Number of predictors.
+    pub p: usize,
+}
+
+impl RSquared {
+    /// Computes r² = 1 - RSS/TSS from observed and predicted values.
+    ///
+    /// TSS is taken around `baseline_mean` (the *training* mean, per §3.5's
+    /// cross-validation protocol where the validation fold is scored against
+    /// the model "predict the training mean"). Degenerate targets (TSS = 0)
+    /// yield r² = 0.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn from_predictions(observed: &[f64], predicted: &[f64], baseline_mean: f64, p: usize) -> Self {
+        assert_eq!(observed.len(), predicted.len(), "r² length mismatch");
+        let n = observed.len();
+        let mut rss = 0.0;
+        let mut tss = 0.0;
+        for (&y, &yh) in observed.iter().zip(predicted.iter()) {
+            let e = y - yh;
+            rss += e * e;
+            let d = y - baseline_mean;
+            tss += d * d;
+        }
+        let r2 = if tss > 0.0 { 1.0 - rss / tss } else { 0.0 };
+        RSquared { r2, n, p }
+    }
+
+    /// Wherry's adjusted r² (Appendix A):
+    /// `r²_adj = 1 - (1 - r²)(n - 1)/(n - p)`.
+    ///
+    /// Returns `None` when `n <= p` (the adjustment is undefined; the ridge
+    /// path with its effective-dof argument applies there instead).
+    pub fn adjusted(&self) -> Option<f64> {
+        adjusted_r2(self.r2, self.n, self.p)
+    }
+
+    /// Exact p-value of this r² under the OLS null (no dependency), using
+    /// the `Beta((p-1)/2, (n-p)/2)` distribution from Appendix A.1.
+    ///
+    /// Returns `None` when the Beta shape parameters would be non-positive
+    /// (p < 2 or n <= p).
+    pub fn null_p_value(&self) -> Option<f64> {
+        let d = r2_null_distribution(self.n, self.p)?;
+        Some(d.sf(self.r2.clamp(0.0, 1.0)))
+    }
+
+    /// Chebyshev upper bound on the p-value of the *adjusted* score `s`,
+    /// Appendix A.2: `P(r²_adj >= s) <= 2(p-1) / ((n-p)(n-1) s²)`.
+    pub fn chebyshev_p_value(&self, s: f64) -> f64 {
+        chebyshev_p_value(s, self.n, self.p)
+    }
+}
+
+/// Wherry's adjusted r²; `None` when `n <= p`.
+pub fn adjusted_r2(r2: f64, n: usize, p: usize) -> Option<f64> {
+    if n <= p || n < 2 {
+        return None;
+    }
+    let n = n as f64;
+    let p = p as f64;
+    Some(1.0 - (1.0 - r2) * (n - 1.0) / (n - p))
+}
+
+/// Null distribution of OLS r² with `n` data points and `p` predictors:
+/// `Beta((p-1)/2, (n-p)/2)` (Appendix A.1). `None` when shapes would be
+/// non-positive.
+pub fn r2_null_distribution(n: usize, p: usize) -> Option<Beta> {
+    if p < 2 || n <= p {
+        return None;
+    }
+    Some(Beta::new((p as f64 - 1.0) / 2.0, (n as f64 - p as f64) / 2.0))
+}
+
+/// Chebyshev bound from Appendix A.2 on `P(r²_adj >= s)` under the null:
+/// `var(r²_adj)/s² = 2(p-1) / ((n-p)(n-1) s²)`, clamped to [0, 1].
+///
+/// Non-positive scores give the trivial bound 1.
+pub fn chebyshev_p_value(s: f64, n: usize, p: usize) -> f64 {
+    if s <= 0.0 || n <= p || p < 2 {
+        return 1.0;
+    }
+    let n = n as f64;
+    let p = p as f64;
+    let var = 2.0 * (p - 1.0) / ((n - p) * (n - 1.0));
+    (var / (s * s)).min(1.0)
+}
+
+/// Effective degrees of freedom of ridge regression at penalty `lambda`,
+/// given the eigenvalues `d²_j` of `X^T X` (Appendix A.2):
+///
+/// `df = Σ_j [ 2 d²_j/(d²_j+λ) − 1/n − (d²_j/(d²_j+λ))² ]`, clamped at 0.
+///
+/// Monotonically decreasing in λ; `λ → 0` recovers ≈ `p − p/n ≈ p − 1` and
+/// `λ → ∞` drives it to 0.
+pub fn ridge_effective_dof(eigenvalues: &[f64], lambda: f64, n: usize) -> f64 {
+    let n = n as f64;
+    let mut df = 0.0;
+    for &d2 in eigenvalues {
+        if d2 <= 0.0 {
+            continue;
+        }
+        let h = d2 / (d2 + lambda);
+        df += 2.0 * h - 1.0 / n - h * h;
+    }
+    df.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_r2_is_one() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let r = RSquared::from_predictions(&y, &y, 2.5, 1);
+        assert!((r.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_prediction_r2_is_zero() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let yh = [2.5; 4];
+        let r = RSquared::from_predictions(&y, &yh, 2.5, 1);
+        assert!(r.r2.abs() < 1e-12);
+    }
+
+    #[test]
+    fn worse_than_mean_gives_negative_r2() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let yh = [4.0, 3.0, 2.0, 1.0];
+        let r = RSquared::from_predictions(&y, &yh, 2.5, 1);
+        assert!(r.r2 < 0.0);
+    }
+
+    #[test]
+    fn constant_target_gives_zero() {
+        let y = [5.0; 4];
+        let yh = [5.0; 4];
+        let r = RSquared::from_predictions(&y, &yh, 5.0, 1);
+        assert_eq!(r.r2, 0.0);
+    }
+
+    #[test]
+    fn adjusted_r2_known_value() {
+        // r²=0.8, n=100, p=10: adj = 1 - 0.2 * 99/90 = 0.78.
+        assert!((adjusted_r2(0.8, 100, 10).unwrap() - 0.78).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjusted_r2_undefined_when_saturated() {
+        assert!(adjusted_r2(0.5, 10, 10).is_none());
+        assert!(adjusted_r2(0.5, 5, 10).is_none());
+    }
+
+    #[test]
+    fn adjusted_null_mean_is_zero() {
+        // Under the null E[r²] = (p-1)/(n-1); plugging that into Wherry's
+        // formula must give exactly 0 (Appendix A: E[r²_adj] = 0).
+        let (n, p) = (1000usize, 500usize);
+        let r2 = (p as f64 - 1.0) / (n as f64 - 1.0);
+        let adj = adjusted_r2(r2, n, p).unwrap();
+        assert!(adj.abs() < 1e-12);
+    }
+
+    #[test]
+    fn null_distribution_mean_matches_formula() {
+        let d = r2_null_distribution(1440, 50).unwrap();
+        let expect = 49.0 / 1439.0 / 2.0 * 2.0; // (p-1)/(n-1)
+        assert!((d.mean() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn null_distribution_requires_valid_shapes() {
+        assert!(r2_null_distribution(100, 1).is_none());
+        assert!(r2_null_distribution(10, 10).is_none());
+    }
+
+    #[test]
+    fn chebyshev_bound_matches_papers_example() {
+        // Paper: L2-P50, n=1440, p=50 -> p(s) ≈ 4.9e-5 / s².
+        let p_at_1 = chebyshev_p_value(1.0, 1440, 50);
+        assert!((p_at_1 - 4.9e-5).abs() < 5e-6, "got {p_at_1}");
+        // And s=0.03 with n=1000, p=50 gives ≈ 0.05 (paper's closing example
+        // uses the same order of magnitude).
+        let p_small = chebyshev_p_value(0.03, 1000, 50);
+        assert!(p_small > 0.02 && p_small < 0.2, "got {p_small}");
+    }
+
+    #[test]
+    fn chebyshev_degenerate_cases() {
+        assert_eq!(chebyshev_p_value(0.0, 1000, 50), 1.0);
+        assert_eq!(chebyshev_p_value(-1.0, 1000, 50), 1.0);
+        assert_eq!(chebyshev_p_value(0.5, 10, 50), 1.0);
+    }
+
+    #[test]
+    fn ridge_dof_monotone_in_lambda() {
+        let eig: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let mut prev = f64::INFINITY;
+        for &l in &[0.0, 0.1, 1.0, 10.0, 100.0, 1e4, 1e6] {
+            let df = ridge_effective_dof(&eig, l, 100);
+            assert!(df <= prev + 1e-12, "df must decrease with lambda");
+            prev = df;
+        }
+        // λ→∞ drives df to ~0.
+        assert!(ridge_effective_dof(&eig, 1e12, 100) < 1e-6);
+    }
+
+    #[test]
+    fn ridge_dof_ols_limit() {
+        // λ = 0: df = Σ (2 - 1/n - 1) = p (1 - 1/n) ≈ p - p/n.
+        let p = 8;
+        let eig = vec![3.0; p];
+        let df = ridge_effective_dof(&eig, 0.0, 100);
+        assert!((df - (p as f64) * (1.0 - 1.0 / 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn null_p_value_sane() {
+        let r = RSquared { r2: 0.9, n: 1000, p: 50 };
+        // An r² of 0.9 with n≫p is astronomically unlikely under the null.
+        assert!(r.null_p_value().unwrap() < 1e-12);
+        let r = RSquared { r2: 0.05, n: 1000, p: 50 };
+        // Near the null mean (49/999 ≈ 0.049): p-value near 0.5.
+        let p = r.null_p_value().unwrap();
+        assert!(p > 0.2 && p < 0.8, "got {p}");
+    }
+}

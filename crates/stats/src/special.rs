@@ -1,0 +1,316 @@
+//! Special functions: log-gamma, error function, regularised incomplete
+//! beta and gamma functions.
+//!
+//! These back the distribution CDFs in [`crate::dist`]; accuracy targets are
+//! ~1e-10 relative error over the argument ranges the engine uses (p-values,
+//! Beta null CDFs with shape parameters up to a few thousand).
+
+/// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
+///
+/// Accurate to ~1e-13 for x > 0. Negative non-integer arguments go through
+/// the reflection formula; poles (x = 0, -1, -2, ...) return `f64::INFINITY`.
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x <= 0.0 {
+        if x == x.floor() {
+            return f64::INFINITY;
+        }
+        // Reflection: Γ(x)Γ(1-x) = π / sin(πx).
+        let s = (std::f64::consts::PI * x).sin();
+        return std::f64::consts::PI.ln() - s.abs().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Error function.
+///
+/// Maclaurin series for |x| < 3 (converges to machine precision in < 60
+/// terms there) and the complementary asymptotic expansion beyond; practical
+/// accuracy ~1e-12 over the range p-value computations use.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < 0.0 {
+        return -erf(-x);
+    }
+    if x > 6.0 {
+        return 1.0;
+    }
+    let e = if x < 3.0 {
+        let mut term = x;
+        let mut sum = x;
+        for n in 1..60 {
+            term *= -x * x / n as f64;
+            sum += term / (2 * n + 1) as f64;
+            if term.abs() < 1e-17 {
+                break;
+            }
+        }
+        sum * 2.0 / std::f64::consts::PI.sqrt()
+    } else {
+        let mut s = 1.0;
+        let mut term = 1.0;
+        for k in 1..10 {
+            term *= -(2.0 * k as f64 - 1.0) / (2.0 * x * x);
+            s += term;
+        }
+        1.0 - (-x * x).exp() / (x * std::f64::consts::PI.sqrt()) * s
+    };
+    e.clamp(-1.0, 1.0)
+}
+
+/// Complementary error function.
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// Regularised incomplete beta function `I_x(a, b)` via the Lentz continued
+/// fraction (Numerical Recipes §6.4). Defined for `a, b > 0`, `x ∈ [0, 1]`.
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "incomplete_beta requires positive shape parameters");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry to keep the continued fraction in its fast-converging
+    // region x < (a+1)/(a+b+2).
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + b * (1.0 - x).ln() + a * x.ln())
+            .exp()
+            * beta_cf(b, a, 1.0 - x)
+            / b
+    }
+}
+
+/// Modified Lentz continued fraction for the incomplete beta.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularised lower incomplete gamma function `P(a, x)`.
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise.
+pub fn incomplete_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "incomplete_gamma requires a > 0");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut ap = a;
+        let mut sum = 1.0 / a;
+        let mut del = sum;
+        for _ in 0..500 {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if del.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        (sum.ln() + a * x.ln() - x - ln_gamma(a)).exp().min(1.0)
+    } else {
+        // Continued fraction for Q(a, x), then P = 1 - Q.
+        const FPMIN: f64 = 1e-300;
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / FPMIN;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < FPMIN {
+                d = FPMIN;
+            }
+            c = b + an / c;
+            if c.abs() < FPMIN {
+                c = FPMIN;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (a * x.ln() - x - ln_gamma(a)).exp() * h;
+        (1.0 - q).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_integer_factorials() {
+        // Γ(n) = (n-1)!
+        let facts = [1.0f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (i, &f) in facts.iter().enumerate() {
+            let x = (i + 1) as f64;
+            assert!((ln_gamma(x) - f.ln()).abs() < 1e-10, "ln_gamma({x})");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(π)
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // Γ(x+1) = x Γ(x)
+        for &x in &[0.3, 1.7, 5.5, 42.0, 500.5] {
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = x.ln() + ln_gamma(x);
+            assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "recurrence at {x}");
+        }
+    }
+
+    #[test]
+    fn erf_known_values() {
+        // Reference values from tables.
+        assert!(erf(0.0).abs() < 1e-15);
+        assert!((erf(1.0) - 0.842_700_792_949_715).abs() < 1e-9);
+        assert!((erf(2.0) - 0.995_322_265_018_953).abs() < 1e-9);
+        assert!((erf(-1.0) + 0.842_700_792_949_715).abs() < 1e-9);
+        assert!((erf(0.5) - 0.520_499_877_813_047).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erf_monotone_and_bounded() {
+        let mut prev = -1.0;
+        for i in -60..=60 {
+            let v = erf(i as f64 / 10.0);
+            assert!(v >= prev - 1e-12);
+            assert!((-1.0..=1.0).contains(&v));
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries_and_symmetry() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        for &(a, b, x) in &[(2.0, 3.0, 0.4), (0.5, 0.5, 0.25), (10.0, 2.0, 0.9)] {
+            let lhs = incomplete_beta(a, b, x);
+            let rhs = 1.0 - incomplete_beta(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-10, "symmetry at ({a},{b},{x})");
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_case() {
+        // I_x(1,1) = x.
+        for &x in &[0.1, 0.37, 0.5, 0.9] {
+            assert!((incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_known_value() {
+        // I_{0.5}(2,2) = 0.5 by symmetry; I_{0.25}(2,2) = 5/32 + ... compute:
+        // CDF of Beta(2,2) is 3x^2 - 2x^3.
+        let x: f64 = 0.25;
+        let expect = 3.0 * x * x - 2.0 * x * x * x;
+        assert!((incomplete_beta(2.0, 2.0, x) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_gamma_known_values() {
+        // P(1, x) = 1 - e^{-x}.
+        for &x in &[0.1f64, 1.0, 2.5, 10.0] {
+            let expect = 1.0 - (-x).exp();
+            assert!((incomplete_gamma(1.0, x) - expect).abs() < 1e-10, "P(1,{x})");
+        }
+    }
+
+    #[test]
+    fn incomplete_gamma_monotone() {
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let v = incomplete_gamma(3.0, i as f64 * 0.2);
+            assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+        assert!(prev > 0.999);
+    }
+
+    #[test]
+    fn erf_relates_to_normal_cdf() {
+        // Φ(x) = (1 + erf(x/√2)) / 2; check Φ(1.96) ≈ 0.975.
+        let phi = |x: f64| 0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2));
+        assert!((phi(1.959_963_985) - 0.975).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the statistics crate: distribution laws, correlation
+//! invariants, decomposition identities, multiple-testing monotonicity.
+
+use explainit_stats::{
+    benjamini_hochberg, bonferroni, pearson, seasonal_decompose, Beta, ChiSquared, Normal,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn normal_cdf_monotone_and_symmetric(mu in -5.0f64..5.0, sigma in 0.1f64..4.0) {
+        let d = Normal::new(mu, sigma);
+        let mut prev = 0.0;
+        for i in -40..=40 {
+            let x = mu + i as f64 * sigma / 10.0;
+            let c = d.cdf(x);
+            prop_assert!(c >= prev - 1e-12, "CDF must be monotone");
+            prev = c;
+        }
+        // Symmetry about the mean.
+        for i in 1..10 {
+            let dx = i as f64 * sigma / 3.0;
+            let left = d.cdf(mu - dx);
+            let right = 1.0 - d.cdf(mu + dx);
+            prop_assert!((left - right).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normal_quantile_round_trip(mu in -3.0f64..3.0, sigma in 0.2f64..3.0, p in 0.001f64..0.999) {
+        let d = Normal::new(mu, sigma);
+        let x = d.quantile(p);
+        prop_assert!((d.cdf(x) - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn beta_cdf_in_unit_interval_and_monotone(a in 0.2f64..50.0, b in 0.2f64..50.0) {
+        let d = Beta::new(a, b);
+        let mut prev = 0.0;
+        for i in 0..=40 {
+            let x = i as f64 / 40.0;
+            let c = d.cdf(x);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        prop_assert!((d.cdf(1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_quantile_round_trip(a in 0.5f64..20.0, b in 0.5f64..20.0, p in 0.01f64..0.99) {
+        let d = Beta::new(a, b);
+        let x = d.quantile(p);
+        prop_assert!((d.cdf(x) - p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn chi_squared_cdf_monotone(k in 0.5f64..60.0) {
+        let d = ChiSquared::new(k);
+        let mut prev = 0.0;
+        for i in 0..60 {
+            let x = i as f64 * k / 15.0;
+            let c = d.cdf(x);
+            prop_assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn pearson_bounds_and_symmetry(
+        xs in proptest::collection::vec(-100.0f64..100.0, 3..50),
+    ) {
+        let ys: Vec<f64> = xs.iter().rev().copied().collect();
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0..=1.0).contains(&r));
+        prop_assert!((pearson(&ys, &xs) - r).abs() < 1e-12, "symmetry");
+        // Self-correlation is 1 for non-constant series.
+        if explainit_stats::variance(&xs) > 1e-9 {
+            prop_assert!((pearson(&xs, &xs) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pearson_affine_invariance(
+        xs in proptest::collection::vec(-10.0f64..10.0, 4..30),
+        a in 0.1f64..5.0,
+        b in -10.0f64..10.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, &v)| v + (i as f64).sin()).collect();
+        let r1 = pearson(&xs, &ys);
+        let scaled: Vec<f64> = xs.iter().map(|&v| a * v + b).collect();
+        let r2 = pearson(&scaled, &ys);
+        prop_assert!((r1 - r2).abs() < 1e-8, "positive affine maps preserve correlation");
+    }
+
+    #[test]
+    fn decomposition_identity(
+        base in proptest::collection::vec(-5.0f64..5.0, 24..96),
+        period in 2usize..8,
+    ) {
+        let d = seasonal_decompose(&base, period);
+        for i in 0..base.len() {
+            let recon = d.trend[i] + d.seasonal[i] + d.residual[i];
+            prop_assert!((recon - base[i]).abs() < 1e-9);
+        }
+        // The per-phase pattern is re-centred to zero mean; over whole
+        // periods the seasonal series therefore averages to zero (partial
+        // trailing periods can leave a remainder, so truncate).
+        let whole = (base.len() / period) * period;
+        let mean: f64 = d.seasonal[..whole].iter().sum::<f64>() / whole as f64;
+        prop_assert!(mean.abs() < 1e-6);
+    }
+
+    #[test]
+    fn bonferroni_dominates_bh(
+        ps in proptest::collection::vec(0.0f64..1.0, 1..30),
+    ) {
+        let bf = bonferroni(&ps);
+        let bh = benjamini_hochberg(&ps);
+        for ((&raw, &b), &h) in ps.iter().zip(bf.iter()).zip(bh.iter()) {
+            prop_assert!(b >= raw - 1e-12, "bonferroni never decreases p");
+            prop_assert!(h <= b + 1e-12, "BH is no more conservative than Bonferroni");
+            prop_assert!((0.0..=1.0).contains(&h));
+        }
+    }
+
+    #[test]
+    fn bh_is_permutation_equivariant(
+        ps in proptest::collection::vec(0.0f64..1.0, 2..20),
+    ) {
+        let q = benjamini_hochberg(&ps);
+        let mut reversed = ps.clone();
+        reversed.reverse();
+        let q_rev = benjamini_hochberg(&reversed);
+        for (a, b) in q.iter().zip(q_rev.iter().rev()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

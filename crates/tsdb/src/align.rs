@@ -1,0 +1,232 @@
+//! Alignment of irregular series onto a shared regular grid.
+//!
+//! Scoring needs a dense `T × F` matrix (§4.2 "dense arrays"): every series
+//! becomes one column sampled on the same timestamp grid. Missing samples
+//! follow the paper's policy — "interpolated to the closest non-null
+//! observation" — with a linear-interpolation option for completeness.
+
+use crate::model::{Series, TimeRange};
+
+/// How to fill grid slots that have no exact observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FillPolicy {
+    /// Take the value of the nearest observation in time (the paper's
+    /// default).
+    #[default]
+    Nearest,
+    /// Linear interpolation between the straddling observations, clamped at
+    /// the ends.
+    Linear,
+    /// Leave missing slots as NaN (callers that want to drop incomplete
+    /// rows).
+    Nan,
+}
+
+/// A dense, column-aligned frame: shared timestamps plus one value column
+/// per input series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignedFrame {
+    /// The shared grid timestamps (length `T`).
+    pub timestamps: Vec<i64>,
+    /// Column labels (canonical series keys, or caller-provided names).
+    pub names: Vec<String>,
+    /// One column per series, each of length `T`.
+    pub columns: Vec<Vec<f64>>,
+}
+
+impl AlignedFrame {
+    /// Number of grid rows.
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// True when the frame has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Looks a column up by name.
+    pub fn column(&self, name: &str) -> Option<&[f64]> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.columns[i].as_slice())
+    }
+
+    /// Drops rows where any column is NaN (useful with
+    /// [`FillPolicy::Nan`]). Returns the number of rows removed.
+    pub fn drop_incomplete_rows(&mut self) -> usize {
+        let keep: Vec<bool> = (0..self.len())
+            .map(|i| self.columns.iter().all(|c| c[i].is_finite()))
+            .collect();
+        let removed = keep.iter().filter(|&&k| !k).count();
+        if removed == 0 {
+            return 0;
+        }
+        let mut idx = 0;
+        self.timestamps.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+        for col in &mut self.columns {
+            let mut idx = 0;
+            col.retain(|_| {
+                let k = keep[idx];
+                idx += 1;
+                k
+            });
+        }
+        removed
+    }
+}
+
+/// Samples one series onto the grid defined by `range` and `step`.
+pub fn sample_series(series: &Series, range: &TimeRange, step: i64, fill: FillPolicy) -> Vec<f64> {
+    let len = range.grid_len(step);
+    let mut out = Vec::with_capacity(len);
+    let ts = series.timestamps();
+    let vs = series.values();
+    for g in 0..len {
+        let t = range.start + g as i64 * step;
+        let v = if ts.is_empty() {
+            f64::NAN
+        } else {
+            match fill {
+                FillPolicy::Nearest => series.nearest_value(t).unwrap_or(f64::NAN),
+                FillPolicy::Nan => series.value_at(t).unwrap_or(f64::NAN),
+                FillPolicy::Linear => {
+                    let i = ts.partition_point(|&x| x < t);
+                    if i == 0 {
+                        vs[0]
+                    } else if i == ts.len() {
+                        vs[ts.len() - 1]
+                    } else if ts[i] == t {
+                        vs[i]
+                    } else {
+                        let (t0, t1) = (ts[i - 1], ts[i]);
+                        let (v0, v1) = (vs[i - 1], vs[i]);
+                        let w = (t - t0) as f64 / (t1 - t0) as f64;
+                        v0 + w * (v1 - v0)
+                    }
+                }
+            }
+        };
+        out.push(v);
+    }
+    out
+}
+
+/// Aligns many series onto one grid, producing an [`AlignedFrame`].
+///
+/// The column names are the canonical series keys.
+///
+/// # Panics
+/// Panics if `step <= 0`.
+pub fn align_series(
+    series: &[&Series],
+    range: &TimeRange,
+    step: i64,
+    fill: FillPolicy,
+) -> AlignedFrame {
+    assert!(step > 0, "alignment step must be positive");
+    let len = range.grid_len(step);
+    let timestamps: Vec<i64> = (0..len).map(|g| range.start + g as i64 * step).collect();
+    let mut names = Vec::with_capacity(series.len());
+    let mut columns = Vec::with_capacity(series.len());
+    for s in series {
+        names.push(s.key.canonical());
+        columns.push(sample_series(s, range, step, fill));
+    }
+    AlignedFrame { timestamps, names, columns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SeriesKey;
+
+    fn series(ts: Vec<i64>, vs: Vec<f64>) -> Series {
+        Series::from_points(SeriesKey::new("m"), ts, vs)
+    }
+
+    #[test]
+    fn exact_grid_passthrough() {
+        let s = series(vec![0, 60, 120], vec![1.0, 2.0, 3.0]);
+        let got = sample_series(&s, &TimeRange::new(0, 180), 60, FillPolicy::Nearest);
+        assert_eq!(got, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn nearest_fills_gaps() {
+        let s = series(vec![0, 120], vec![1.0, 3.0]);
+        let got = sample_series(&s, &TimeRange::new(0, 180), 60, FillPolicy::Nearest);
+        // t=60 equidistant -> earlier value.
+        assert_eq!(got, vec![1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn linear_interpolates() {
+        let s = series(vec![0, 120], vec![1.0, 3.0]);
+        let got = sample_series(&s, &TimeRange::new(0, 180), 60, FillPolicy::Linear);
+        assert_eq!(got, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn linear_clamps_outside_span() {
+        let s = series(vec![60], vec![5.0]);
+        let got = sample_series(&s, &TimeRange::new(0, 180), 60, FillPolicy::Linear);
+        assert_eq!(got, vec![5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn nan_policy_marks_missing() {
+        let s = series(vec![0, 120], vec![1.0, 3.0]);
+        let got = sample_series(&s, &TimeRange::new(0, 180), 60, FillPolicy::Nan);
+        assert_eq!(got[0], 1.0);
+        assert!(got[1].is_nan());
+        assert_eq!(got[2], 3.0);
+    }
+
+    #[test]
+    fn empty_series_yields_nans() {
+        let s = Series::new(SeriesKey::new("m"));
+        let got = sample_series(&s, &TimeRange::new(0, 120), 60, FillPolicy::Nearest);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn align_multi_series_frame() {
+        let a = series(vec![0, 60], vec![1.0, 2.0]);
+        let b = series(vec![0, 60], vec![10.0, 20.0]);
+        let frame = align_series(&[&a, &b], &TimeRange::new(0, 120), 60, FillPolicy::Nearest);
+        assert_eq!(frame.len(), 2);
+        assert_eq!(frame.width(), 2);
+        assert_eq!(frame.timestamps, vec![0, 60]);
+        assert_eq!(frame.column("m").unwrap(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn drop_incomplete_rows() {
+        let a = series(vec![0, 120], vec![1.0, 3.0]);
+        let b = series(vec![0, 60, 120], vec![1.0, 2.0, 3.0]);
+        let mut frame = align_series(&[&a, &b], &TimeRange::new(0, 180), 60, FillPolicy::Nan);
+        let removed = frame.drop_incomplete_rows();
+        assert_eq!(removed, 1);
+        assert_eq!(frame.timestamps, vec![0, 120]);
+        assert_eq!(frame.columns[0], vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn grid_shorter_than_step() {
+        let s = series(vec![0], vec![1.0]);
+        let got = sample_series(&s, &TimeRange::new(0, 30), 60, FillPolicy::Nearest);
+        assert_eq!(got, vec![1.0]);
+    }
+}

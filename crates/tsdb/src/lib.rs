@@ -1,0 +1,35 @@
+//! An in-memory tagged time series database.
+//!
+//! This is the storage substrate of the ExplainIt! reproduction, standing in
+//! for the OpenTSDB/Druid/Parquet sources of the paper (§2, §4). The data
+//! model is the paper's: an observation has a timestamp (epoch minutes in
+//! practice), a metric *name*, a set of key-value *tags*, and a numeric
+//! value. A [`Series`] is one `(name, tags)` combination; a [`Tsdb`] holds
+//! many series behind an inverted tag index and answers filtered scans,
+//! range queries and grid alignment (with the paper's "interpolate to the
+//! closest non-null observation" policy).
+//!
+//! ```
+//! use explainit_tsdb::{SeriesKey, Tsdb, MetricFilter};
+//!
+//! let mut db = Tsdb::new();
+//! let key = SeriesKey::new("disk").with_tag("host", "datanode-1").with_tag("type", "read_latency");
+//! db.insert(&key, 0, 1.2);
+//! db.insert(&key, 60, 1.4);
+//! let hits = db.find(&MetricFilter::name("disk"));
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+mod align;
+pub mod logs;
+mod glob;
+mod model;
+mod snapshot;
+mod store;
+
+pub use align::{align_series, AlignedFrame, FillPolicy};
+pub use glob::glob_match;
+pub use logs::{featurize_logs, template_of, LogRecord};
+pub use model::{DataPoint, Series, SeriesKey, TimeRange};
+pub use snapshot::Snapshot;
+pub use store::{MetricFilter, SeriesId, TagFilter, Tsdb};

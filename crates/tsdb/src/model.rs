@@ -1,0 +1,337 @@
+//! Core data model: series keys, data points, time ranges.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open time range `[start, end)` in the same units the database is
+/// fed with (the workloads use epoch seconds at minute granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeRange {
+    /// Inclusive start.
+    pub start: i64,
+    /// Exclusive end.
+    pub end: i64,
+}
+
+impl TimeRange {
+    /// Creates `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if `start > end`.
+    pub fn new(start: i64, end: i64) -> Self {
+        assert!(start <= end, "time range start {start} after end {end}");
+        TimeRange { start, end }
+    }
+
+    /// True if `t` falls inside the range.
+    #[inline]
+    pub fn contains(&self, t: i64) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Length of the range.
+    pub fn duration(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// Intersection of two ranges, if non-empty.
+    pub fn intersect(&self, other: &TimeRange) -> Option<TimeRange> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(TimeRange { start, end })
+        } else {
+            None
+        }
+    }
+
+    /// Number of grid points with the given step that fall in the range.
+    pub fn grid_len(&self, step: i64) -> usize {
+        assert!(step > 0, "grid step must be positive");
+        ((self.end - self.start + step - 1) / step).max(0) as usize
+    }
+}
+
+/// A single timestamped observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// Observation timestamp.
+    pub ts: i64,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// The identity of a series: metric name plus sorted key-value tags.
+///
+/// Tags are stored in a `BTreeMap` so two keys with the same tags in a
+/// different insertion order compare (and hash) equal — the paper's tag
+/// model has set semantics.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SeriesKey {
+    /// Metric name, e.g. `pipeline_runtime`.
+    pub name: String,
+    /// Key-value tags, e.g. `host=datanode-1`.
+    pub tags: BTreeMap<String, String>,
+}
+
+impl SeriesKey {
+    /// Creates a key with no tags.
+    pub fn new(name: impl Into<String>) -> Self {
+        SeriesKey { name: name.into(), tags: BTreeMap::new() }
+    }
+
+    /// Builder-style tag insertion.
+    pub fn with_tag(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.tags.insert(key.into(), value.into());
+        self
+    }
+
+    /// Looks up a tag value.
+    pub fn tag(&self, key: &str) -> Option<&str> {
+        self.tags.get(key).map(String::as_str)
+    }
+
+    /// Canonical display form `name{k1=v1,k2=v2}`.
+    pub fn canonical(&self) -> String {
+        let mut s = self.name.clone();
+        if !self.tags.is_empty() {
+            s.push('{');
+            for (i, (k, v)) in self.tags.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(k);
+                s.push('=');
+                s.push_str(v);
+            }
+            s.push('}');
+        }
+        s
+    }
+}
+
+impl fmt::Display for SeriesKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+/// One time series: a key plus columnar, timestamp-sorted storage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Identity of the series.
+    pub key: SeriesKey,
+    timestamps: Vec<i64>,
+    values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(key: SeriesKey) -> Self {
+        Series { key, timestamps: Vec::new(), values: Vec::new() }
+    }
+
+    /// Creates a series from parallel timestamp/value vectors.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or timestamps are not strictly increasing.
+    pub fn from_points(key: SeriesKey, timestamps: Vec<i64>, values: Vec<f64>) -> Self {
+        assert_eq!(timestamps.len(), values.len(), "timestamp/value length mismatch");
+        assert!(
+            timestamps.windows(2).all(|w| w[0] < w[1]),
+            "timestamps must be strictly increasing"
+        );
+        Series { key, timestamps, values }
+    }
+
+    /// Appends or overwrites the observation at `ts`.
+    ///
+    /// Appends in O(1) for in-order arrivals (the common case for monitoring
+    /// feeds); out-of-order arrivals insert in O(n); duplicate timestamps
+    /// overwrite (last-writer-wins).
+    pub fn push(&mut self, ts: i64, value: f64) {
+        match self.timestamps.last() {
+            Some(&last) if last < ts => {
+                self.timestamps.push(ts);
+                self.values.push(value);
+            }
+            Some(&last) if last == ts => {
+                *self.values.last_mut().expect("non-empty") = value;
+            }
+            None => {
+                self.timestamps.push(ts);
+                self.values.push(value);
+            }
+            _ => match self.timestamps.binary_search(&ts) {
+                Ok(i) => self.values[i] = value,
+                Err(i) => {
+                    self.timestamps.insert(i, ts);
+                    self.values.insert(i, value);
+                }
+            },
+        }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// True when the series has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Borrow the sorted timestamps.
+    pub fn timestamps(&self) -> &[i64] {
+        &self.timestamps
+    }
+
+    /// Borrow the values (parallel to [`Series::timestamps`]).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates observations as [`DataPoint`]s.
+    pub fn points(&self) -> impl Iterator<Item = DataPoint> + '_ {
+        self.timestamps
+            .iter()
+            .zip(self.values.iter())
+            .map(|(&ts, &value)| DataPoint { ts, value })
+    }
+
+    /// The value exactly at `ts`, if present.
+    pub fn value_at(&self, ts: i64) -> Option<f64> {
+        self.timestamps.binary_search(&ts).ok().map(|i| self.values[i])
+    }
+
+    /// Observations within the half-open `range`, as slices.
+    pub fn range(&self, range: &TimeRange) -> (&[i64], &[f64]) {
+        let lo = self.timestamps.partition_point(|&t| t < range.start);
+        let hi = self.timestamps.partition_point(|&t| t < range.end);
+        (&self.timestamps[lo..hi], &self.values[lo..hi])
+    }
+
+    /// The value at the observation closest in time to `ts`, if the series
+    /// is non-empty. Ties prefer the earlier observation.
+    ///
+    /// This is the paper's missing-value policy ("interpolated to the
+    /// closest non-null observation", Appendix C).
+    pub fn nearest_value(&self, ts: i64) -> Option<f64> {
+        if self.timestamps.is_empty() {
+            return None;
+        }
+        let i = self.timestamps.partition_point(|&t| t < ts);
+        if i == 0 {
+            return Some(self.values[0]);
+        }
+        if i == self.timestamps.len() {
+            return Some(self.values[i - 1]);
+        }
+        let before = ts - self.timestamps[i - 1];
+        let after = self.timestamps[i] - ts;
+        Some(if before <= after { self.values[i - 1] } else { self.values[i] })
+    }
+
+    /// First and last timestamp, if non-empty.
+    pub fn time_span(&self) -> Option<TimeRange> {
+        match (self.timestamps.first(), self.timestamps.last()) {
+            (Some(&a), Some(&b)) => Some(TimeRange::new(a, b + 1)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_range_contains_and_duration() {
+        let r = TimeRange::new(10, 20);
+        assert!(r.contains(10) && r.contains(19));
+        assert!(!r.contains(20) && !r.contains(9));
+        assert_eq!(r.duration(), 10);
+    }
+
+    #[test]
+    fn time_range_intersection() {
+        let a = TimeRange::new(0, 10);
+        let b = TimeRange::new(5, 15);
+        assert_eq!(a.intersect(&b), Some(TimeRange::new(5, 10)));
+        let c = TimeRange::new(10, 20);
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn grid_len_rounding() {
+        assert_eq!(TimeRange::new(0, 10).grid_len(5), 2);
+        assert_eq!(TimeRange::new(0, 11).grid_len(5), 3);
+        assert_eq!(TimeRange::new(0, 0).grid_len(5), 0);
+    }
+
+    #[test]
+    fn series_key_tag_order_irrelevant() {
+        let a = SeriesKey::new("m").with_tag("x", "1").with_tag("y", "2");
+        let b = SeriesKey::new("m").with_tag("y", "2").with_tag("x", "1");
+        assert_eq!(a, b);
+        assert_eq!(a.canonical(), "m{x=1,y=2}");
+    }
+
+    #[test]
+    fn series_push_in_order_and_out_of_order() {
+        let mut s = Series::new(SeriesKey::new("m"));
+        s.push(10, 1.0);
+        s.push(30, 3.0);
+        s.push(20, 2.0); // out-of-order insert
+        assert_eq!(s.timestamps(), &[10, 20, 30]);
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn series_push_duplicate_overwrites() {
+        let mut s = Series::new(SeriesKey::new("m"));
+        s.push(10, 1.0);
+        s.push(10, 9.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.value_at(10), Some(9.0));
+    }
+
+    #[test]
+    fn series_range_query() {
+        let s = Series::from_points(
+            SeriesKey::new("m"),
+            vec![0, 10, 20, 30, 40],
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+        );
+        let (ts, vs) = s.range(&TimeRange::new(10, 31));
+        assert_eq!(ts, &[10, 20, 30]);
+        assert_eq!(vs, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn nearest_value_policy() {
+        let s = Series::from_points(SeriesKey::new("m"), vec![0, 100], vec![1.0, 2.0]);
+        assert_eq!(s.nearest_value(-5), Some(1.0)); // clamp left
+        assert_eq!(s.nearest_value(49), Some(1.0)); // closer to 0
+        assert_eq!(s.nearest_value(50), Some(1.0)); // tie prefers earlier
+        assert_eq!(s.nearest_value(51), Some(2.0)); // closer to 100
+        assert_eq!(s.nearest_value(500), Some(2.0)); // clamp right
+        assert_eq!(Series::new(SeriesKey::new("e")).nearest_value(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_points_rejects_unsorted() {
+        Series::from_points(SeriesKey::new("m"), vec![10, 5], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn time_span() {
+        let s = Series::from_points(SeriesKey::new("m"), vec![5, 9], vec![0.0, 0.0]);
+        assert_eq!(s.time_span(), Some(TimeRange::new(5, 10)));
+        assert_eq!(Series::new(SeriesKey::new("e")).time_span(), None);
+    }
+}

@@ -1,0 +1,203 @@
+//! Snapshot (de)serialisation of database contents.
+//!
+//! The production system reads from warehouses (Parquet et al.); our
+//! substitute persists the in-memory store through `serde` so workload
+//! datasets can be saved and reloaded by tests and benches. The wire format
+//! is a compact self-describing binary layout (no external format crates).
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::Series;
+use crate::store::Tsdb;
+
+/// A serialisable snapshot of a whole database.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// All series, keys included.
+    pub series: Vec<Series>,
+}
+
+impl Snapshot {
+    /// Captures the contents of a database.
+    pub fn capture(db: &Tsdb) -> Self {
+        Snapshot { series: db.iter().map(|(_, s)| s.clone()).collect() }
+    }
+
+    /// Restores a database from the snapshot.
+    pub fn restore(&self) -> Tsdb {
+        let mut db = Tsdb::new();
+        for s in &self.series {
+            db.insert_series(s.clone());
+        }
+        db
+    }
+
+    /// Encodes to a simple length-prefixed binary representation.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_u64(&mut out, self.series.len() as u64);
+        for s in &self.series {
+            write_str(&mut out, &s.key.name);
+            write_u64(&mut out, s.key.tags.len() as u64);
+            for (k, v) in &s.key.tags {
+                write_str(&mut out, k);
+                write_str(&mut out, v);
+            }
+            write_u64(&mut out, s.len() as u64);
+            for &t in s.timestamps() {
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+            for &v in s.values() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes from the binary representation produced by
+    /// [`Snapshot::to_bytes`]. Returns `None` on any structural error.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        let n_series = cur.read_u64()? as usize;
+        // Defensive cap: reject absurd counts before allocating.
+        if n_series > bytes.len() {
+            return None;
+        }
+        let mut series = Vec::with_capacity(n_series);
+        for _ in 0..n_series {
+            let name = cur.read_str()?;
+            let n_tags = cur.read_u64()? as usize;
+            let mut key = crate::model::SeriesKey::new(name);
+            for _ in 0..n_tags {
+                let k = cur.read_str()?;
+                let v = cur.read_str()?;
+                key.tags.insert(k, v);
+            }
+            let n_points = cur.read_u64()? as usize;
+            if n_points.checked_mul(16)? > bytes.len() {
+                return None;
+            }
+            let mut timestamps = Vec::with_capacity(n_points);
+            for _ in 0..n_points {
+                timestamps.push(cur.read_i64()?);
+            }
+            let mut values = Vec::with_capacity(n_points);
+            for _ in 0..n_points {
+                values.push(cur.read_f64()?);
+            }
+            if !timestamps.windows(2).all(|w| w[0] < w[1]) {
+                return None;
+            }
+            series.push(Series::from_points(key, timestamps, values));
+        }
+        Some(Snapshot { series })
+    }
+}
+
+fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn read_u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn read_i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn read_f64(&mut self) -> Option<f64> {
+        Some(f64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn read_str(&mut self) -> Option<String> {
+        let len = self.read_u64()? as usize;
+        if len > self.bytes.len() {
+            return None;
+        }
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SeriesKey;
+
+    fn sample_db() -> Tsdb {
+        let mut db = Tsdb::new();
+        let a = SeriesKey::new("cpu").with_tag("host", "h1");
+        let b = SeriesKey::new("mem").with_tag("host", "h2").with_tag("kind", "rss");
+        for t in 0..5 {
+            db.insert(&a, t * 60, t as f64 * 1.5);
+            db.insert(&b, t * 60, 100.0 - t as f64);
+        }
+        db
+    }
+
+    #[test]
+    fn capture_restore_round_trip() {
+        let db = sample_db();
+        let snap = Snapshot::capture(&db);
+        let restored = snap.restore();
+        assert_eq!(restored.series_count(), db.series_count());
+        assert_eq!(restored.point_count(), db.point_count());
+        let key = SeriesKey::new("cpu").with_tag("host", "h1");
+        assert_eq!(restored.get(&key).unwrap().values(), db.get(&key).unwrap().values());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let snap = Snapshot::capture(&sample_db());
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).expect("decode");
+        assert_eq!(back.series.len(), snap.series.len());
+        for (a, b) in back.series.iter().zip(snap.series.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn truncated_bytes_rejected() {
+        let snap = Snapshot::capture(&sample_db());
+        let bytes = snap.to_bytes();
+        for cut in [0, 1, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Snapshot::from_bytes(&bytes[..cut]).is_none(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_rejected() {
+        let garbage = vec![0xFF; 64];
+        assert!(Snapshot::from_bytes(&garbage).is_none());
+    }
+
+    #[test]
+    fn empty_db_round_trips() {
+        let snap = Snapshot::capture(&Tsdb::new());
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert!(back.series.is_empty());
+    }
+}

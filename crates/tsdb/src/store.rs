@@ -1,0 +1,355 @@
+//! The series store with its inverted tag index.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::glob::{glob_match, is_glob};
+use crate::model::{Series, SeriesKey, TimeRange};
+
+/// Opaque, dense identifier of a series inside one [`Tsdb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeriesId(pub(crate) u32);
+
+impl SeriesId {
+    /// Index form for external columnar bookkeeping.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single tag predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TagFilter {
+    /// Tag must exist and equal the value exactly.
+    Equals(String, String),
+    /// Tag must exist and match the glob pattern.
+    Glob(String, String),
+    /// Tag key must exist with any value.
+    HasKey(String),
+    /// Tag key must be absent (the paper's `*{host=NULL}` family).
+    Absent(String),
+}
+
+impl TagFilter {
+    fn matches(&self, key: &SeriesKey) -> bool {
+        match self {
+            TagFilter::Equals(k, v) => key.tag(k) == Some(v.as_str()),
+            TagFilter::Glob(k, pat) => key.tag(k).is_some_and(|v| glob_match(pat, v)),
+            TagFilter::HasKey(k) => key.tag(k).is_some(),
+            TagFilter::Absent(k) => key.tag(k).is_none(),
+        }
+    }
+}
+
+/// A metric selection filter: optional name pattern plus tag predicates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricFilter {
+    /// Metric name, exact or glob. `None` matches every name.
+    pub name: Option<String>,
+    /// All predicates must hold (conjunction).
+    pub tags: Vec<TagFilter>,
+}
+
+impl MetricFilter {
+    /// Matches all series.
+    pub fn all() -> Self {
+        MetricFilter::default()
+    }
+
+    /// Filter on a metric name (exact or glob).
+    pub fn name(name: impl Into<String>) -> Self {
+        MetricFilter { name: Some(name.into()), tags: Vec::new() }
+    }
+
+    /// Builder-style exact tag predicate.
+    pub fn with_tag(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.tags.push(TagFilter::Equals(key.into(), value.into()));
+        self
+    }
+
+    /// Builder-style glob tag predicate.
+    pub fn with_tag_glob(mut self, key: impl Into<String>, pattern: impl Into<String>) -> Self {
+        self.tags.push(TagFilter::Glob(key.into(), pattern.into()));
+        self
+    }
+
+    /// True when the filter accepts the key.
+    pub fn matches(&self, key: &SeriesKey) -> bool {
+        if let Some(name) = &self.name {
+            let ok = if is_glob(name) { glob_match(name, &key.name) } else { name == &key.name };
+            if !ok {
+                return false;
+            }
+        }
+        self.tags.iter().all(|t| t.matches(key))
+    }
+}
+
+/// The in-memory time series database.
+///
+/// Lookup structures:
+/// * `by_key` — exact key to id;
+/// * `name_index` — metric name to ids (names are low-cardinality);
+/// * `tag_index` — `(key, value)` pair to ids (the classic OpenTSDB-style
+///   inverted index).
+#[derive(Debug, Default)]
+pub struct Tsdb {
+    series: Vec<Series>,
+    by_key: HashMap<SeriesKey, SeriesId>,
+    name_index: BTreeMap<String, BTreeSet<SeriesId>>,
+    tag_index: BTreeMap<(String, String), BTreeSet<SeriesId>>,
+}
+
+impl Tsdb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Tsdb::default()
+    }
+
+    /// Number of distinct series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Total number of stored observations.
+    pub fn point_count(&self) -> usize {
+        self.series.iter().map(Series::len).sum()
+    }
+
+    /// Returns (creating if necessary) the id for a series key.
+    pub fn series_id(&mut self, key: &SeriesKey) -> SeriesId {
+        if let Some(&id) = self.by_key.get(key) {
+            return id;
+        }
+        let id = SeriesId(u32::try_from(self.series.len()).expect("series id overflow"));
+        self.series.push(Series::new(key.clone()));
+        self.by_key.insert(key.clone(), id);
+        self.name_index.entry(key.name.clone()).or_default().insert(id);
+        for (k, v) in &key.tags {
+            self.tag_index.entry((k.clone(), v.clone())).or_default().insert(id);
+        }
+        id
+    }
+
+    /// Inserts one observation, creating the series on first touch.
+    pub fn insert(&mut self, key: &SeriesKey, ts: i64, value: f64) {
+        let id = self.series_id(key);
+        self.series[id.index()].push(ts, value);
+    }
+
+    /// Bulk-inserts a fully formed series (replacing any same-key series).
+    pub fn insert_series(&mut self, series: Series) {
+        let id = self.series_id(&series.key);
+        self.series[id.index()] = series;
+    }
+
+    /// Borrows a series by id.
+    ///
+    /// # Panics
+    /// Panics if the id came from a different database instance.
+    pub fn series(&self, id: SeriesId) -> &Series {
+        &self.series[id.index()]
+    }
+
+    /// Looks up a series by exact key.
+    pub fn get(&self, key: &SeriesKey) -> Option<&Series> {
+        self.by_key.get(key).map(|id| &self.series[id.index()])
+    }
+
+    /// Iterates all series.
+    pub fn iter(&self) -> impl Iterator<Item = (SeriesId, &Series)> {
+        self.series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SeriesId(i as u32), s))
+    }
+
+    /// All distinct metric names, sorted.
+    pub fn metric_names(&self) -> Vec<&str> {
+        self.name_index.keys().map(String::as_str).collect()
+    }
+
+    /// All distinct values of a tag key, sorted.
+    pub fn tag_values(&self, key: &str) -> Vec<&str> {
+        self.tag_index
+            .range((key.to_string(), String::new())..)
+            .take_while(|((k, _), _)| k == key)
+            .map(|((_, v), _)| v.as_str())
+            .collect()
+    }
+
+    /// Finds series ids matching the filter, using the indexes where the
+    /// filter is exact and falling back to a scan for glob components.
+    pub fn find(&self, filter: &MetricFilter) -> Vec<SeriesId> {
+        // Fast path: exact name narrows the candidate set via the index.
+        let candidates: Vec<SeriesId> = match &filter.name {
+            Some(name) if !is_glob(name) => match self.name_index.get(name) {
+                Some(set) => set.iter().copied().collect(),
+                None => return Vec::new(),
+            },
+            _ => {
+                // Try narrowing by the first exact tag predicate.
+                let exact_tag = filter.tags.iter().find_map(|t| match t {
+                    TagFilter::Equals(k, v) => Some((k.clone(), v.clone())),
+                    _ => None,
+                });
+                match exact_tag {
+                    Some(kv) => match self.tag_index.get(&kv) {
+                        Some(set) => set.iter().copied().collect(),
+                        None => return Vec::new(),
+                    },
+                    None => (0..self.series.len()).map(|i| SeriesId(i as u32)).collect(),
+                }
+            }
+        };
+        candidates
+            .into_iter()
+            .filter(|id| filter.matches(&self.series[id.index()].key))
+            .collect()
+    }
+
+    /// Finds series and restricts them to a time range, returning
+    /// `(key, timestamps, values)` triples with only in-range points.
+    pub fn scan(
+        &self,
+        filter: &MetricFilter,
+        range: &TimeRange,
+    ) -> Vec<(&SeriesKey, &[i64], &[f64])> {
+        self.find(filter)
+            .into_iter()
+            .map(|id| {
+                let s = &self.series[id.index()];
+                let (ts, vs) = s.range(range);
+                (&s.key, ts, vs)
+            })
+            .collect()
+    }
+
+    /// The union time span of all series, if any data exists.
+    pub fn time_span(&self) -> Option<TimeRange> {
+        let mut span: Option<TimeRange> = None;
+        for s in &self.series {
+            if let Some(r) = s.time_span() {
+                span = Some(match span {
+                    None => r,
+                    Some(acc) => TimeRange::new(acc.start.min(r.start), acc.end.max(r.end)),
+                });
+            }
+        }
+        span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Tsdb {
+        let mut db = Tsdb::new();
+        for host in ["datanode-1", "datanode-2", "namenode-1"] {
+            let key = SeriesKey::new("disk")
+                .with_tag("host", host)
+                .with_tag("type", "read_latency");
+            for t in 0..10 {
+                db.insert(&key, t * 60, t as f64);
+            }
+        }
+        let key = SeriesKey::new("runtime").with_tag("component", "pipeline-1");
+        for t in 0..10 {
+            db.insert(&key, t * 60, 100.0 + t as f64);
+        }
+        db
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let db = sample_db();
+        assert_eq!(db.series_count(), 4);
+        assert_eq!(db.point_count(), 40);
+    }
+
+    #[test]
+    fn exact_name_lookup_uses_index() {
+        let db = sample_db();
+        assert_eq!(db.find(&MetricFilter::name("disk")).len(), 3);
+        assert_eq!(db.find(&MetricFilter::name("runtime")).len(), 1);
+        assert!(db.find(&MetricFilter::name("nope")).is_empty());
+    }
+
+    #[test]
+    fn glob_name_lookup() {
+        let db = sample_db();
+        assert_eq!(db.find(&MetricFilter::name("r*")).len(), 1);
+        assert_eq!(db.find(&MetricFilter::name("*")).len(), 4);
+    }
+
+    #[test]
+    fn tag_filters() {
+        let db = sample_db();
+        let f = MetricFilter::all().with_tag("host", "datanode-1");
+        assert_eq!(db.find(&f).len(), 1);
+        let f = MetricFilter::all().with_tag_glob("host", "datanode*");
+        assert_eq!(db.find(&f).len(), 2);
+        let f = MetricFilter {
+            name: None,
+            tags: vec![TagFilter::Absent("host".into())],
+        };
+        assert_eq!(db.find(&f).len(), 1); // runtime has no host tag
+        let f = MetricFilter { name: None, tags: vec![TagFilter::HasKey("component".into())] };
+        assert_eq!(db.find(&f).len(), 1);
+    }
+
+    #[test]
+    fn combined_name_and_tag() {
+        let db = sample_db();
+        let f = MetricFilter::name("disk").with_tag("host", "namenode-1");
+        let hits = db.find(&f);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(db.series(hits[0]).key.tag("host"), Some("namenode-1"));
+    }
+
+    #[test]
+    fn scan_restricts_range() {
+        let db = sample_db();
+        let rows = db.scan(&MetricFilter::name("runtime"), &TimeRange::new(120, 300));
+        assert_eq!(rows.len(), 1);
+        let (_, ts, vs) = &rows[0];
+        assert_eq!(*ts, &[120, 180, 240]);
+        assert_eq!(*vs, &[102.0, 103.0, 104.0]);
+    }
+
+    #[test]
+    fn duplicate_insert_same_key_reuses_series() {
+        let mut db = Tsdb::new();
+        let key = SeriesKey::new("m").with_tag("a", "b");
+        db.insert(&key, 0, 1.0);
+        db.insert(&key, 60, 2.0);
+        assert_eq!(db.series_count(), 1);
+        assert_eq!(db.get(&key).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn metric_names_and_tag_values() {
+        let db = sample_db();
+        assert_eq!(db.metric_names(), vec!["disk", "runtime"]);
+        assert_eq!(db.tag_values("host"), vec!["datanode-1", "datanode-2", "namenode-1"]);
+        assert!(db.tag_values("nothere").is_empty());
+    }
+
+    #[test]
+    fn time_span_union() {
+        let db = sample_db();
+        assert_eq!(db.time_span(), Some(TimeRange::new(0, 541)));
+        assert_eq!(Tsdb::new().time_span(), None);
+    }
+
+    #[test]
+    fn insert_series_replaces() {
+        let mut db = Tsdb::new();
+        let key = SeriesKey::new("m");
+        db.insert(&key, 0, 1.0);
+        let replacement = Series::from_points(key.clone(), vec![0, 60], vec![5.0, 6.0]);
+        db.insert_series(replacement);
+        assert_eq!(db.get(&key).unwrap().values(), &[5.0, 6.0]);
+        assert_eq!(db.series_count(), 1);
+    }
+}

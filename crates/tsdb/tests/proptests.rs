@@ -1,0 +1,153 @@
+//! Property tests for the TSDB: index consistency, alignment invariants,
+//! snapshot round trips, glob matching.
+
+use explainit_tsdb::{
+    align_series, glob_match, FillPolicy, MetricFilter, Series, SeriesKey, Snapshot, TimeRange,
+    Tsdb,
+};
+use proptest::prelude::*;
+
+fn key_strategy() -> impl Strategy<Value = SeriesKey> {
+    (
+        "[a-z]{1,6}",
+        proptest::collection::btree_map("[a-z]{1,4}", "[a-z0-9]{1,4}", 0..3),
+    )
+        .prop_map(|(name, tags)| {
+            let mut k = SeriesKey::new(name);
+            k.tags = tags;
+            k
+        })
+}
+
+fn points_strategy() -> impl Strategy<Value = Vec<(i64, f64)>> {
+    proptest::collection::btree_map(0i64..10_000, -1e6f64..1e6, 0..50)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn insert_then_find_by_exact_name(key in key_strategy(), pts in points_strategy()) {
+        let mut db = Tsdb::new();
+        for &(ts, v) in &pts {
+            db.insert(&key, ts, v);
+        }
+        if pts.is_empty() {
+            return Ok(());
+        }
+        let hits = db.find(&MetricFilter::name(key.name.clone()));
+        prop_assert_eq!(hits.len(), 1);
+        let s = db.series(hits[0]);
+        prop_assert_eq!(s.len(), pts.len());
+        // Sorted invariant.
+        prop_assert!(s.timestamps().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn duplicate_timestamps_last_writer_wins(ts in 0i64..1000, a in -10.0f64..10.0, b in -10.0f64..10.0) {
+        let mut db = Tsdb::new();
+        let key = SeriesKey::new("m");
+        db.insert(&key, ts, a);
+        db.insert(&key, ts, b);
+        prop_assert_eq!(db.get(&key).expect("series").value_at(ts), Some(b));
+        prop_assert_eq!(db.point_count(), 1);
+    }
+
+    #[test]
+    fn out_of_order_inserts_sort(mut pts in proptest::collection::vec((0i64..10_000, -5.0f64..5.0), 1..40)) {
+        // Dedup timestamps keeping the last occurrence (insert semantics).
+        let mut db = Tsdb::new();
+        let key = SeriesKey::new("m");
+        for &(ts, v) in &pts {
+            db.insert(&key, ts, v);
+        }
+        pts.reverse();
+        pts.dedup_by_key(|p| p.0);
+        let s = db.get(&key).expect("series");
+        prop_assert!(s.timestamps().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn nearest_alignment_uses_existing_values(pts in points_strategy()) {
+        if pts.len() < 2 {
+            return Ok(());
+        }
+        let (ts, vs): (Vec<i64>, Vec<f64>) = pts.iter().copied().unzip();
+        let series = Series::from_points(SeriesKey::new("m"), ts.clone(), vs.clone());
+        let range = TimeRange::new(0, 10_000);
+        let sampled = align_series(&[&series], &range, 500, FillPolicy::Nearest);
+        // Every sampled value must be one of the original values.
+        for &v in &sampled.columns[0] {
+            prop_assert!(vs.contains(&v), "sampled {v} not in source");
+        }
+    }
+
+    #[test]
+    fn linear_alignment_stays_in_value_envelope(pts in points_strategy()) {
+        if pts.len() < 2 {
+            return Ok(());
+        }
+        let (ts, vs): (Vec<i64>, Vec<f64>) = pts.iter().copied().unzip();
+        let lo = vs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = vs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let series = Series::from_points(SeriesKey::new("m"), ts, vs);
+        let range = TimeRange::new(0, 10_000);
+        let sampled = align_series(&[&series], &range, 250, FillPolicy::Linear);
+        for &v in &sampled.columns[0] {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "interpolation escaped envelope");
+        }
+    }
+
+    #[test]
+    fn snapshot_binary_round_trip(keys in proptest::collection::vec(key_strategy(), 0..5)) {
+        let mut db = Tsdb::new();
+        for (i, key) in keys.iter().enumerate() {
+            for t in 0..(i + 1) {
+                db.insert(key, t as i64 * 60, t as f64 + i as f64);
+            }
+        }
+        let snap = Snapshot::capture(&db);
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).expect("decode");
+        let restored = back.restore();
+        prop_assert_eq!(restored.series_count(), db.series_count());
+        prop_assert_eq!(restored.point_count(), db.point_count());
+    }
+
+    #[test]
+    fn snapshot_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Snapshot::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn glob_star_is_reflexive_and_prefix_safe(s in "[a-z0-9.-]{0,16}") {
+        prop_assert!(glob_match(&s, &s), "literal self-match");
+        prop_assert!(glob_match("*", &s));
+        let suffixed = format!("{s}*");
+        prop_assert!(glob_match(&suffixed, &s));
+        let prefixed = format!("*{s}");
+        prop_assert!(glob_match(&prefixed, &s));
+        if !s.is_empty() {
+            let with_prefix = format!("{}*", &s[..s.len() / 2]);
+            prop_assert!(glob_match(&with_prefix, &s));
+        }
+    }
+
+    #[test]
+    fn filter_matches_iff_scan_finds(key in key_strategy(), other in key_strategy()) {
+        let mut db = Tsdb::new();
+        db.insert(&key, 0, 1.0);
+        db.insert(&other, 0, 2.0);
+        // Exact filter on the first key's name + all its tags.
+        let mut filter = MetricFilter::name(key.name.clone());
+        for (k, v) in &key.tags {
+            filter = filter.with_tag(k.clone(), v.clone());
+        }
+        let hits = db.find(&filter);
+        // The target key must be among the hits.
+        prop_assert!(hits.iter().any(|&id| db.series(id).key == key));
+        // Every hit must actually satisfy the filter.
+        for &id in &hits {
+            prop_assert!(filter.matches(&db.series(id).key));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Fault injectors: deterministic activation signals in `[0, 1]` over
+//! simulation minutes, one per §5 case study.
+
+/// A fault to inject into the simulated cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// §5.1: firewall rule dropping a fraction of packets to the datanodes
+    /// during `[start_min, end_min)`.
+    PacketDrop {
+        /// Activation window start (minutes from simulation start).
+        start_min: usize,
+        /// Activation window end.
+        end_min: usize,
+        /// Drop probability (the paper used 0.10).
+        rate: f64,
+    },
+    /// §5.2: hypervisor receive-queue drops whose intensity scales with the
+    /// instantaneous input load — the confounded case that requires
+    /// conditioning on input size.
+    HypervisorDrop {
+        /// Coupling strength between load and drops.
+        intensity: f64,
+    },
+    /// §5.3: a service scanning the entire filesystem via a Namenode RPC on
+    /// a fixed period.
+    NamenodeScan {
+        /// Scan period in minutes (the paper observed 15).
+        period_min: usize,
+        /// How long each scan keeps the Namenode busy (≈5 in the paper).
+        duration_min: usize,
+    },
+    /// §5.4: the RAID controller's periodic consistency check.
+    RaidCheck {
+        /// Check period in minutes (168 h = 10 080 min in the paper).
+        period_min: usize,
+        /// Check duration in minutes (≈4 h in the paper).
+        duration_min: usize,
+        /// Fraction of disk IO capacity the check consumes (default 0.20).
+        io_share: f64,
+    },
+    /// A rogue process saturating disks during a window (used by synthetic
+    /// scenarios beyond the four case studies).
+    DiskSaturation {
+        /// Window start minute.
+        start_min: usize,
+        /// Window end minute.
+        end_min: usize,
+        /// Saturation intensity in `[0, 1]`.
+        intensity: f64,
+    },
+}
+
+impl Fault {
+    /// Activation level of this fault at minute `t` (0 = inactive). For
+    /// [`Fault::HypervisorDrop`], the returned value must still be scaled
+    /// by the load; this function reports the *structural* activation (1).
+    pub fn activation(&self, t: usize) -> f64 {
+        match self {
+            Fault::PacketDrop { start_min, end_min, rate } => {
+                if t >= *start_min && t < *end_min {
+                    *rate
+                } else {
+                    0.0
+                }
+            }
+            Fault::HypervisorDrop { intensity } => *intensity,
+            Fault::NamenodeScan { period_min, duration_min } => {
+                if period_min == &0 {
+                    return 0.0;
+                }
+                if t % period_min < *duration_min {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Fault::RaidCheck { period_min, duration_min, io_share } => {
+                if period_min == &0 {
+                    return 0.0;
+                }
+                if t % period_min < *duration_min {
+                    *io_share
+                } else {
+                    0.0
+                }
+            }
+            Fault::DiskSaturation { start_min, end_min, intensity } => {
+                if t >= *start_min && t < *end_min {
+                    *intensity
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Short identifier used in ground-truth labels and reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Fault::PacketDrop { .. } => "packet_drop",
+            Fault::HypervisorDrop { .. } => "hypervisor_drop",
+            Fault::NamenodeScan { .. } => "namenode_scan",
+            Fault::RaidCheck { .. } => "raid_check",
+            Fault::DiskSaturation { .. } => "disk_saturation",
+        }
+    }
+
+    /// Metric-name families that are *causes* under this fault (ancestors
+    /// of the runtime on the fault's causal path).
+    pub fn cause_families(&self) -> Vec<&'static str> {
+        match self {
+            Fault::PacketDrop { .. } => {
+                vec!["tcp_retransmits", "hdfs_ack_rtt", "network_latency"]
+            }
+            Fault::HypervisorDrop { .. } => vec!["tcp_retransmits", "network_latency"],
+            Fault::NamenodeScan { .. } => {
+                vec!["namenode_rpc_latency", "namenode_live_threads", "namenode_rpc_rate"]
+            }
+            Fault::RaidCheck { .. } => {
+                vec!["disk_util", "disk_read_latency", "load_avg", "raid_temperature"]
+            }
+            Fault::DiskSaturation { .. } => {
+                vec!["disk_util", "disk_read_latency", "disk_write_latency", "load_avg"]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_drop_window() {
+        let f = Fault::PacketDrop { start_min: 10, end_min: 20, rate: 0.1 };
+        assert_eq!(f.activation(9), 0.0);
+        assert_eq!(f.activation(10), 0.1);
+        assert_eq!(f.activation(19), 0.1);
+        assert_eq!(f.activation(20), 0.0);
+    }
+
+    #[test]
+    fn namenode_scan_periodicity() {
+        let f = Fault::NamenodeScan { period_min: 15, duration_min: 5 };
+        // Active for the first 5 minutes of each 15-minute period.
+        for t in 0..60 {
+            let expect = if t % 15 < 5 { 1.0 } else { 0.0 };
+            assert_eq!(f.activation(t), expect, "t={t}");
+        }
+    }
+
+    #[test]
+    fn raid_check_weekly() {
+        let f = Fault::RaidCheck { period_min: 10_080, duration_min: 240, io_share: 0.2 };
+        assert_eq!(f.activation(0), 0.2);
+        assert_eq!(f.activation(239), 0.2);
+        assert_eq!(f.activation(240), 0.0);
+        assert_eq!(f.activation(10_080), 0.2);
+    }
+
+    #[test]
+    fn cause_families_non_empty() {
+        let faults = [
+            Fault::PacketDrop { start_min: 0, end_min: 1, rate: 0.1 },
+            Fault::HypervisorDrop { intensity: 0.5 },
+            Fault::NamenodeScan { period_min: 15, duration_min: 5 },
+            Fault::RaidCheck { period_min: 100, duration_min: 10, io_share: 0.2 },
+            Fault::DiskSaturation { start_min: 0, end_min: 10, intensity: 0.7 },
+        ];
+        for f in &faults {
+            assert!(!f.cause_families().is_empty());
+            assert!(!f.kind_name().is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_period_is_inactive() {
+        let f = Fault::NamenodeScan { period_min: 0, duration_min: 5 };
+        assert_eq!(f.activation(7), 0.0);
+    }
+}

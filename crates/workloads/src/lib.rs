@@ -1,0 +1,33 @@
+//! Synthetic datacentre workloads, fault injectors and evaluation
+//! scenarios.
+//!
+//! The paper evaluates ExplainIt! on proprietary production incidents from
+//! the Tetration Analytics clusters. This crate substitutes a ground-truth
+//! simulator: a datacentre of datanodes, pipelines and auxiliary services
+//! whose per-minute metrics are generated from an explicit causal model
+//! (load → runtime, faults → subsystem metrics → runtime), with fault
+//! injectors reproducing each §5 case study:
+//!
+//! * [`faults::Fault::PacketDrop`] — §5.1's iptables 10% drop experiment;
+//! * [`faults::Fault::HypervisorDrop`] — §5.2's load-correlated hypervisor
+//!   receive-queue drops (the case that needs conditioning on input size);
+//! * [`faults::Fault::NamenodeScan`] — §5.3's 15-minute
+//!   `GetContentSummary` filesystem scans;
+//! * [`faults::Fault::RaidCheck`] — §5.4's weekly RAID consistency check;
+//! * [`faults::Fault::DiskSaturation`] — a rogue-process disk hog used by
+//!   extra scenarios.
+//!
+//! Because the simulator knows the true causal graph, every emitted metric
+//! family is labelled *cause*, *effect* or *irrelevant* for the injected
+//! fault — the labels Table 6's ranking-accuracy metrics need.
+
+pub mod case_studies;
+pub mod cluster;
+pub mod faults;
+pub mod scenarios;
+pub mod sim;
+
+pub use cluster::ClusterSpec;
+pub use faults::Fault;
+pub use scenarios::{scenario, scenario_specs, ScenarioSpec};
+pub use sim::{families_by_name, simulate, GroundTruth, Label, SimOutput};

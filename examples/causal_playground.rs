@@ -1,0 +1,87 @@
+//! The causal machinery under the hood (§3.1, §3.3, Appendix B):
+//! d-separation on the paper's Figure 1/Figure 3 structures, SEM sampling,
+//! the conditional-independence score's soundness, and the PC-skeleton
+//! baseline versus ExplainIt!'s targeted queries.
+//!
+//! Run with: `cargo run --release --example causal_playground`
+
+use std::collections::HashMap;
+
+use explainit::causal::dsep::d_separated_by_name;
+use explainit::causal::{pc_skeleton, Dag, LinearGaussianSem, NodeSpec, PcConfig};
+use explainit::core::scorers::{score_hypothesis, ScoreConfig, ScorerKind};
+use explainit::linalg::Matrix;
+
+fn main() {
+    // ---- Figure 1's chain: Z -> Y -> X --------------------------------------
+    let mut dag = Dag::new();
+    dag.add_edge_by_name("input_rate", "runtime");
+    dag.add_edge_by_name("runtime", "disk_activity");
+    println!("Figure 1 chain: input_rate -> runtime -> disk_activity");
+    println!(
+        "  input ⊥ disk | runtime?  {}  (faithfulness: conditioning blocks the chain)",
+        d_separated_by_name(&dag, "input_rate", "disk_activity", &["runtime"])
+    );
+    println!(
+        "  input ⊥ disk (marginal)? {}\n",
+        d_separated_by_name(&dag, "input_rate", "disk_activity", &[])
+    );
+
+    // ---- Figure 3's pseudocause structure ------------------------------------
+    let mut fig3 = Dag::new();
+    fig3.add_edge_by_name("Cs", "Ys");
+    fig3.add_edge_by_name("Ys", "Y1");
+    fig3.add_edge_by_name("Cr", "Yr");
+    fig3.add_edge_by_name("Yr", "Y1");
+    println!("Figure 3: conditioning on the pseudocause Ys");
+    println!(
+        "  Cs ⊥ Y1 | Ys?  {}  (the seasonality cause is blocked without finding it)",
+        d_separated_by_name(&fig3, "Cs", "Y1", &["Ys"])
+    );
+    println!(
+        "  Cr ⊥ Y1 | Ys?  {}  (the residual cause stays visible)\n",
+        d_separated_by_name(&fig3, "Cr", "Y1", &["Ys"])
+    );
+
+    // ---- Appendix B soundness on sampled data ---------------------------------
+    // Sample the chain as a linear Gaussian SEM and verify the conditional
+    // score is ~0 exactly when d-separation says so.
+    let mut chain = Dag::new();
+    chain.add_edge_by_name("Z", "Y");
+    chain.add_edge_by_name("Y", "X");
+    let mut specs = HashMap::new();
+    specs.insert("Z".into(), NodeSpec::default().noise(1.0));
+    specs.insert("Y".into(), NodeSpec::with_weights(&[("Z", 1.6)]).noise(0.6));
+    specs.insert("X".into(), NodeSpec::with_weights(&[("Y", 1.3)]).noise(0.6));
+    let sem = LinearGaussianSem::new(chain, specs);
+    let data = sem.sample(2000, 99);
+    let col = |name: &str| {
+        let id = sem.dag().node(name).expect("node");
+        Matrix::column_vector(&data.column(id.0))
+    };
+    let cfg = ScoreConfig::default();
+    let marginal =
+        score_hypothesis(ScorerKind::L2, &col("Z"), &col("X"), None, &cfg).expect("score");
+    let conditional =
+        score_hypothesis(ScorerKind::L2, &col("Z"), &col("X"), Some(&col("Y")), &cfg)
+            .expect("score");
+    println!("Appendix B check on 2000 SEM samples of Z -> Y -> X:");
+    println!("  score(X ~ Z)      = {:.3}  (dependent through the chain)", marginal.score);
+    println!("  score(X ~ Z | Y)  = {:.3}  (≈0: conditionally independent)\n", conditional.score);
+
+    // ---- PC baseline vs targeted hypotheses -----------------------------------
+    let skel = pc_skeleton(&data, &PcConfig::default());
+    println!("PC skeleton discovery over the same data:");
+    for (i, j) in skel.edges() {
+        println!(
+            "  edge {} — {}",
+            sem.dag().name(explainit::causal::NodeId(i)),
+            sem.dag().name(explainit::causal::NodeId(j))
+        );
+    }
+    println!(
+        "  CI tests run: {} (full-structure search; ExplainIt! instead scores only \
+         the user-declared hypotheses — §3.3)",
+        skel.tests_run
+    );
+}

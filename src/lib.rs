@@ -1,0 +1,19 @@
+//! Facade crate for the ExplainIt! reproduction workspace.
+//!
+//! Re-exports every sub-crate under a short module name so examples and
+//! integration tests can depend on a single crate:
+//!
+//! ```
+//! use explainit::core::ScorerKind;
+//! assert_eq!(ScorerKind::CorrMax.name(), "CorrMax");
+//! ```
+
+pub use explainit_causal as causal;
+pub use explainit_core as core;
+pub use explainit_eval as eval;
+pub use explainit_linalg as linalg;
+pub use explainit_ml as ml;
+pub use explainit_query as query;
+pub use explainit_stats as stats;
+pub use explainit_tsdb as tsdb;
+pub use explainit_workloads as workloads;

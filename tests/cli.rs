@@ -1,0 +1,129 @@
+//! Integration tests of the `explainit` CLI binary: the full
+//! simulate → sql → rank → explain loop through the executable interface.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_explainit"))
+}
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("explainit-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn simulate_rank_explain_round_trip() {
+    let snapshot = tmp_path("round-trip.tsdb");
+    // simulate
+    let out = bin()
+        .args([
+            "simulate",
+            "--out",
+            snapshot.to_str().expect("utf8 path"),
+            "--fault",
+            "packet_drop",
+            "--minutes",
+            "240",
+            "--seed",
+            "9",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tcp_retransmits"), "cause families listed");
+
+    // sql
+    let out = bin()
+        .args([
+            "sql",
+            snapshot.to_str().expect("utf8 path"),
+            "SELECT metric_name, COUNT(*) AS n FROM tsdb GROUP BY metric_name ORDER BY n DESC LIMIT 3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(3 rows)"));
+
+    // rank with auto selection
+    let out = bin()
+        .args(["rank", snapshot.to_str().expect("utf8 path"), "--scorer", "auto", "--top", "10"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "rank failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("auto-selected scorer"));
+    assert!(stdout.contains("pipeline_runtime"));
+
+    // explain overlay
+    let out = bin()
+        .args([
+            "explain",
+            snapshot.to_str().expect("utf8 path"),
+            "--candidate",
+            "tcp_retransmits",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "explain failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("observed"));
+
+    let _ = std::fs::remove_file(&snapshot);
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // Unknown command.
+    let out = bin().args(["frobnicate"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing snapshot file.
+    let out = bin()
+        .args(["rank", "/nonexistent/path.tsdb"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+
+    // Corrupt snapshot.
+    let bad = tmp_path("corrupt.tsdb");
+    std::fs::write(&bad, b"definitely not a snapshot").expect("write temp");
+    let out = bin()
+        .args(["rank", bad.to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not a valid snapshot"));
+    let _ = std::fs::remove_file(&bad);
+
+    // Bad SQL surfaces a query error, not a panic.
+    let snapshot = tmp_path("sql-errors.tsdb");
+    let out = bin()
+        .args([
+            "simulate",
+            "--out",
+            snapshot.to_str().expect("utf8 path"),
+            "--fault",
+            "none",
+            "--minutes",
+            "60",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let out = bin()
+        .args(["sql", snapshot.to_str().expect("utf8 path"), "SELEKT oops"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(&snapshot);
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().args(["--help"]).output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}

@@ -1,0 +1,92 @@
+//! End-to-end test of the log-message extension (§8): featurise a log
+//! stream into template-count families and rank them alongside metric
+//! families — the §5.3 scenario where the smoking gun was a periodic
+//! `GetContentSummary` RPC visible in the Namenode log.
+
+use explainit::core::{Engine, EngineConfig, FeatureFamily, ScorerKind};
+use explainit::tsdb::{featurize_logs, LogRecord, MetricFilter, TimeRange};
+use explainit::workloads::{simulate, ClusterSpec, Fault};
+
+#[test]
+fn log_templates_rank_against_runtime() {
+    // Simulate the §5.3 cluster: scans every 15 minutes.
+    let sim = simulate(&ClusterSpec {
+        minutes: 360,
+        datanodes: 3,
+        pipelines: 2,
+        service_hosts: 3,
+        noise_services: 4,
+        metrics_per_noise_service: 2,
+        seed: 606,
+        faults: vec![Fault::NamenodeScan { period_min: 15, duration_min: 5 }],
+        ..ClusterSpec::default()
+    });
+
+    // Synthesise the Namenode log: GetContentSummary lines during each scan
+    // window (several per minute), heartbeat lines all the time.
+    let mut records = Vec::new();
+    for minute in 0..360usize {
+        let ts = sim.start_ts + minute as i64 * 60;
+        records.push(LogRecord::new(ts, "namenode-1", "heartbeat from datanode 1 ok"));
+        if minute % 15 < 5 {
+            for call in 0..6 {
+                records.push(LogRecord::new(
+                    ts + call,
+                    "namenode-1",
+                    format!("served GetContentSummary for /data/{call} in {} ms", 100 + call),
+                ));
+            }
+        }
+    }
+    let mut db = sim.db;
+    let template_count = featurize_logs(&mut db, &records, 60);
+    assert!(template_count >= 2, "scan + heartbeat templates");
+
+    // The scan template series must exist and be periodic.
+    let hits = db.find(
+        &MetricFilter::name("log_template").with_tag_glob("template", "*GetContentSummary*"),
+    );
+    assert_eq!(hits.len(), 1, "one masked template for all scan lines");
+
+    // Group everything (metrics + log templates) and rank.
+    let range = TimeRange::new(sim.start_ts, sim.start_ts + 360 * 60);
+    let mut engine = Engine::new(EngineConfig { workers: 2, top_k: 50, ..EngineConfig::default() });
+    for f in explainit::workloads::families_by_name(&db, &range, 60) {
+        engine.add_family(f);
+    }
+    // Log-template counts become their own family; scans drive runtime, so
+    // the template family must rank near the causes.
+    let ranking = engine
+        .rank("pipeline_runtime", &[], ScorerKind::L2)
+        .expect("ranking");
+    let log_rank = ranking.rank_of("log_template").expect("log family ranked");
+    assert!(
+        log_rank <= 8,
+        "the GetContentSummary template should be top evidence, got rank {log_rank}"
+    );
+}
+
+#[test]
+fn template_family_width_matches_distinct_templates() {
+    let mut db = explainit::tsdb::Tsdb::new();
+    let records = vec![
+        LogRecord::new(0, "svc", "request 1 done"),
+        LogRecord::new(0, "svc", "request 2 done"),
+        LogRecord::new(0, "svc", "cache miss for key abc"),
+        LogRecord::new(60, "svc", "request 3 done"),
+    ];
+    featurize_logs(&mut db, &records, 60);
+    let range = TimeRange::new(0, 120);
+    let fams = explainit::workloads::families_by_name(&db, &range, 60);
+    let log_fam: Vec<&FeatureFamily> =
+        fams.iter().filter(|f| f.name == "log_template").collect();
+    assert_eq!(log_fam.len(), 1);
+    // Two templates: "request <*> done" and the cache-miss line.
+    assert_eq!(log_fam[0].width(), 2);
+    let request_col = log_fam[0]
+        .feature_names
+        .iter()
+        .position(|n| n.contains("request"))
+        .expect("request template");
+    assert_eq!(log_fam[0].data.column(request_col), vec![2.0, 1.0]);
+}
