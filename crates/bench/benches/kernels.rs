@@ -82,16 +82,12 @@ fn bench_sql(c: &mut Criterion) {
     catalog.register("m", Table::from_rows(&["ts", "host", "v"], rows));
     c.bench_function("kernels/sql_group_by_20k_rows", |b| {
         b.iter(|| {
-            catalog
-                .execute("SELECT ts, AVG(v) FROM m GROUP BY ts ORDER BY ts")
-                .expect("query")
+            catalog.execute("SELECT ts, AVG(v) FROM m GROUP BY ts ORDER BY ts").expect("query")
         });
     });
     c.bench_function("kernels/sql_filter_20k_rows", |b| {
         b.iter(|| {
-            catalog
-                .execute("SELECT v FROM m WHERE host LIKE 'host-1%' AND v > 50")
-                .expect("query")
+            catalog.execute("SELECT v FROM m WHERE host LIKE 'host-1%' AND v > 50").expect("query")
         });
     });
 }

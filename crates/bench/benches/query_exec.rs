@@ -1,0 +1,102 @@
+//! Query engine benchmark: the plan → optimize → columnar-execute pipeline
+//! versus the retained naive row interpreter, on the Appendix-C-style
+//! family queries the paper's workflow is built from.
+//!
+//! The headline comparison is the tsdb-backed filtered aggregate: the
+//! pipeline pushes `metric_name` + time-range conjuncts into the store's
+//! inverted tag index and scans 2 series; the naive path materializes every
+//! observation of every series as rows first.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use explainit_query::reference::execute_naive;
+use explainit_query::{parse_query, Catalog};
+use explainit_tsdb::{SeriesKey, Tsdb};
+
+/// A store shaped like a small monitoring deployment: many noise series,
+/// two pipeline-runtime series (the query target).
+fn build_db(series: usize, points: usize) -> Tsdb {
+    let mut db = Tsdb::new();
+    for s in 0..series {
+        let key = SeriesKey::new(format!("noise_{}", s % 50)).with_tag("host", format!("host-{s}"));
+        for t in 0..points {
+            db.insert(&key, t as i64 * 60, (s * points + t) as f64 * 0.001);
+        }
+    }
+    for p in ["p1", "p2"] {
+        let key = SeriesKey::new("pipeline_runtime").with_tag("pipeline_name", p);
+        for t in 0..points {
+            db.insert(&key, t as i64 * 60, 100.0 + t as f64);
+        }
+    }
+    db
+}
+
+const FAMILY_QUERY: &str = "SELECT timestamp, tag['pipeline_name'], AVG(value) AS runtime_sec \
+     FROM tsdb WHERE metric_name = 'pipeline_runtime' \
+     AND timestamp BETWEEN 0 AND 86400 \
+     GROUP BY timestamp, tag['pipeline_name'] ORDER BY timestamp ASC";
+
+fn bench_tsdb_family_query(c: &mut Criterion) {
+    let db = build_db(200, 720);
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", &db);
+    let query = parse_query(FAMILY_QUERY).expect("parse");
+    // Materialize the naive path's relational view up front so the bench
+    // compares steady-state execution, not one-time cache fills.
+    let _ = execute_naive(&catalog, &query).expect("naive run");
+
+    let mut group = c.benchmark_group("query_exec/tsdb_family");
+    group.sample_size(20);
+    group.bench_function("pipeline_pushdown", |b| {
+        b.iter(|| catalog.execute_query(&query).expect("pipeline run"));
+    });
+    group.bench_function("naive_materialize", |b| {
+        b.iter(|| execute_naive(&catalog, &query).expect("naive run"));
+    });
+    group.finish();
+}
+
+fn bench_plain_table_scan(c: &mut Criterion) {
+    // Vectorized WHERE + hash aggregate over an in-memory table (no
+    // pushdown involved): isolates the columnar operator win.
+    let db = build_db(50, 720);
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", &db);
+    // Materialize once into a plain table so both engines start from the
+    // same columnar relation.
+    let all = catalog.execute("SELECT * FROM tsdb").expect("materialize");
+    catalog.register("obs", all);
+    let query = parse_query(
+        "SELECT metric_name, COUNT(*) AS n, AVG(value) AS mean_v FROM obs \
+         WHERE value > 5.0 AND timestamp BETWEEN 0 AND 20000 \
+         GROUP BY metric_name ORDER BY metric_name",
+    )
+    .expect("parse");
+
+    let mut group = c.benchmark_group("query_exec/plain_filter_agg");
+    group.sample_size(20);
+    group.bench_function("pipeline_columnar", |b| {
+        b.iter(|| catalog.execute_query(&query).expect("pipeline run"));
+    });
+    group.bench_function("naive_rows", |b| {
+        b.iter(|| execute_naive(&catalog, &query).expect("naive run"));
+    });
+    group.finish();
+}
+
+fn bench_explain_overhead(c: &mut Criterion) {
+    // Planning + optimization cost alone (EXPLAIN never touches data).
+    let db = build_db(50, 60);
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", &db);
+    let query = parse_query(&format!("EXPLAIN {FAMILY_QUERY}")).expect("parse");
+    let mut group = c.benchmark_group("query_exec/plan_optimize");
+    group.sample_size(20);
+    group.bench_function("explain", |b| {
+        b.iter(|| catalog.execute_query(&query).expect("explain run"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tsdb_family_query, bench_plain_table_scan, bench_explain_overhead);
+criterion_main!(benches);

@@ -89,8 +89,8 @@ fn main() {
         scores.push(s.score);
     }
     let mean = scores.iter().sum::<f64>() / scores.len() as f64;
-    let sd = (scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / scores.len() as f64)
-        .sqrt();
+    let sd =
+        (scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / scores.len() as f64).sqrt();
     println!("  single-projection scores across 8 seeds: mean {mean:.3}, sd {sd:.4}");
     println!("  (paper: \"little variance... even one projection is mostly sufficient\")\n");
 

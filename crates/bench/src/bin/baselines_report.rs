@@ -44,12 +44,7 @@ fn main() {
     let cols: Vec<Vec<f64>> = subsystem
         .iter()
         .map(|name| {
-            families
-                .iter()
-                .find(|f| f.name == *name)
-                .expect("family exists")
-                .data
-                .column(0)
+            families.iter().find(|f| f.name == *name).expect("family exists").data.column(0)
         })
         .collect();
     let data = Matrix::from_columns(&cols);
@@ -58,17 +53,12 @@ fn main() {
     for (i, j) in skel.edges() {
         println!("  {} — {}", subsystem[i], subsystem[j]);
     }
-    println!(
-        "  CI tests run: {} (grows combinatorially with subsystem size)\n",
-        skel.tests_run
-    );
+    println!("  CI tests run: {} (grows combinatorially with subsystem size)\n", skel.tests_run);
     let mut engine = Engine::new(EngineConfig::default());
     for f in &families {
         engine.add_family(f.clone());
     }
-    let ranking = engine
-        .rank("pipeline_runtime", &[], ScorerKind::L2)
-        .expect("ranking");
+    let ranking = engine.rank("pipeline_runtime", &[], ScorerKind::L2).expect("ranking");
     println!(
         "ExplainIt!: {} hypotheses scored for the same question ('what explains \
          runtime?') across ALL {} families — one score per family, no structure \
@@ -89,10 +79,7 @@ fn main() {
             v.family, v.drop, v.reference_corr, v.anomaly_corr
         );
     }
-    let pos = vanishing
-        .iter()
-        .position(|v| v.family == "tcp_retransmits")
-        .map(|i| i + 1);
+    let pos = vanishing.iter().position(|v| v.family == "tcp_retransmits").map(|i| i + 1);
     println!(
         "\ntcp_retransmits rank under vanishing-correlation: {pos:?} \
          (ExplainIt! L2: {:?})",

@@ -29,7 +29,9 @@ fn main() {
     let instances = arg("--instances", 40);
     let n = arg("--n", 1000);
     let p = arg("--p", 500);
-    println!("=== Figure 13: ridge r² under the null, small λ vs CV-selected λ (n={n}, p={p}) ===\n");
+    println!(
+        "=== Figure 13: ridge r² under the null, small λ vs CV-selected λ (n={n}, p={p}) ===\n"
+    );
 
     let mut rng = ChaCha8Rng::seed_from_u64(0xF13);
     let mut gauss = move || {
@@ -46,10 +48,7 @@ fn main() {
     let mut small_lambda_r2 = Vec::with_capacity(instances);
     let mut cv_r2 = Vec::with_capacity(instances);
     let mut chosen_lambdas = Vec::with_capacity(instances);
-    let cv_cfg = CvConfig {
-        lambda_grid: vec![1e-1, 1e1, 1e3, 1e5, 1e6],
-        ..CvConfig::default()
-    };
+    let cv_cfg = CvConfig { lambda_grid: vec![1e-1, 1e1, 1e3, 1e5, 1e6], ..CvConfig::default() };
     for i in 0..instances {
         let mut x = Matrix::zeros(n, p);
         for v in x.as_mut_slice() {
@@ -74,7 +73,11 @@ fn main() {
     }
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    println!("small λ=0.1 : mean r² = {:.3} (OLS-like bias toward {:.3})", mean(&small_lambda_r2), (p as f64 - 1.0) / (n as f64 - 1.0));
+    println!(
+        "small λ=0.1 : mean r² = {:.3} (OLS-like bias toward {:.3})",
+        mean(&small_lambda_r2),
+        (p as f64 - 1.0) / (n as f64 - 1.0)
+    );
     println!("CV-selected : mean r² = {:.3} (biased toward 0, smaller variance)", mean(&cv_r2));
     let typical_lambda = {
         let mut ls = chosen_lambdas.clone();

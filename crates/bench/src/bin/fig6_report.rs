@@ -43,16 +43,8 @@ fn main() {
     let rt_before = rt(&before);
     let rt_after = rt(&after);
     println!("Figure 6 — runtime histograms (top: before fix, bottom: after fix):");
-    let lo = rt_before
-        .iter()
-        .chain(rt_after.iter())
-        .copied()
-        .fold(f64::INFINITY, f64::min);
-    let hi = rt_before
-        .iter()
-        .chain(rt_after.iter())
-        .copied()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let lo = rt_before.iter().chain(rt_after.iter()).copied().fold(f64::INFINITY, f64::min);
+    let hi = rt_before.iter().chain(rt_after.iter()).copied().fold(f64::NEG_INFINITY, f64::max);
     let mut h_before = Histogram::new(lo, hi + 1e-9, 18);
     let mut h_after = Histogram::new(lo, hi + 1e-9, 18);
     for &v in &rt_before {

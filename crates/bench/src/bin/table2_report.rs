@@ -40,12 +40,7 @@ fn main() {
     println!("L2         O(kL (Cx,y + Cy,z + Cz,x)), C = O(ny min(T nx², T² nx))");
     println!("L2-Pd      O(kL T d (nx + ny + nz + d))\n");
 
-    let scorers = [
-        ScorerKind::CorrMean,
-        ScorerKind::CorrMax,
-        ScorerKind::L2,
-        ScorerKind::L2_P50,
-    ];
+    let scorers = [ScorerKind::CorrMean, ScorerKind::CorrMax, ScorerKind::L2, ScorerKind::L2_P50];
 
     println!("Sweep 1: nx at fixed T = 720 (expect L2 superlinear, others ~linear)");
     println!(
@@ -56,10 +51,8 @@ fn main() {
     let y = noise(720, 2, 999);
     for &nx in &[25usize, 50, 100, 200, 400] {
         let x = noise(720, nx, nx as u64);
-        let cells: Vec<String> = scorers
-            .iter()
-            .map(|&s| format!("{:>12.3?}", time_once(s, &x, &y)))
-            .collect();
+        let cells: Vec<String> =
+            scorers.iter().map(|&s| format!("{:>12.3?}", time_once(s, &x, &y))).collect();
         println!("{nx:<8} {}", cells.join(" "));
     }
 
@@ -72,10 +65,8 @@ fn main() {
     for &t in &[180usize, 360, 720, 1440, 2880] {
         let x = noise(t, 100, t as u64);
         let y = noise(t, 2, t as u64 + 1);
-        let cells: Vec<String> = scorers
-            .iter()
-            .map(|&s| format!("{:>12.3?}", time_once(s, &x, &y)))
-            .collect();
+        let cells: Vec<String> =
+            scorers.iter().map(|&s| format!("{:>12.3?}", time_once(s, &x, &y))).collect();
         println!("{t:<8} {}", cells.join(" "));
     }
 

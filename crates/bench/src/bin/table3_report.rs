@@ -23,10 +23,7 @@ fn main() {
 
     // Figure 5: the runtime series with the fault-induced spike.
     let families = sim.families();
-    let runtime = families
-        .iter()
-        .find(|f| f.name == "pipeline_runtime")
-        .expect("runtime family");
+    let runtime = families.iter().find(|f| f.name == "pipeline_runtime").expect("runtime family");
     println!("Figure 5 — pipeline runtime over the day (spike = injected drops):");
     println!("  {}\n", report::sparkline(&runtime.data.column(0), 96));
 

@@ -17,15 +17,11 @@ fn main() {
     println!("=== Table 4 / Figure 7: periodic Namenode slowdown (§5.3) ===\n");
     let (before, after) = case_studies::namenode_periodic();
     let fams_before = before.families();
-    let runtime_before = fams_before
-        .iter()
-        .find(|f| f.name == "pipeline_runtime")
-        .expect("runtime family");
+    let runtime_before =
+        fams_before.iter().find(|f| f.name == "pipeline_runtime").expect("runtime family");
     let fams_after = after.families();
-    let runtime_after = fams_after
-        .iter()
-        .find(|f| f.name == "pipeline_runtime")
-        .expect("runtime family");
+    let runtime_after =
+        fams_after.iter().find(|f| f.name == "pipeline_runtime").expect("runtime family");
 
     println!("Figure 7 — runtime before the fix (15-minute spikes) and after:");
     println!("  before: {}", report::sparkline(&runtime_before.data.column(0)[..240], 96));

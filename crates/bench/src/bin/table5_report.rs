@@ -18,10 +18,7 @@ fn main() {
     // Month-long range at 10-minute resolution (the paper: "when we looked
     // at time ranges of over a month, we noticed a regularity").
     let families = families_by_name(&sim.db, &sim.time_range(), 600);
-    let runtime = families
-        .iter()
-        .find(|f| f.name == "pipeline_runtime")
-        .expect("runtime family");
+    let runtime = families.iter().find(|f| f.name == "pipeline_runtime").expect("runtime family");
     println!("Figure 8 — pipeline runtime across four weeks (one spike per week):");
     println!("  {}\n", report::sparkline(&runtime.data.column(0), 112));
 
@@ -34,9 +31,7 @@ fn main() {
         engine.family_count(),
         engine.feature_count()
     );
-    let ranking = engine
-        .rank("pipeline_runtime", &[], ScorerKind::L2)
-        .expect("ranking succeeds");
+    let ranking = engine.rank("pipeline_runtime", &[], ScorerKind::L2).expect("ranking succeeds");
     println!("{}", report::render_ranking(&ranking));
 
     println!("Interpretation:");
@@ -48,12 +43,10 @@ fn main() {
         };
         println!("  {:>2}. {:<28} {}", i + 1, e.family, label);
     }
-    let eval = explainit_eval::evaluate_ranking(&ranking, 20, |f| {
-        match sim.truth.label(f) {
-            explainit_workloads::Label::Cause => Relevance::Cause,
-            explainit_workloads::Label::Effect => Relevance::Effect,
-            explainit_workloads::Label::Irrelevant => Relevance::Irrelevant,
-        }
+    let eval = explainit_eval::evaluate_ranking(&ranking, 20, |f| match sim.truth.label(f) {
+        explainit_workloads::Label::Cause => Relevance::Cause,
+        explainit_workloads::Label::Effect => Relevance::Effect,
+        explainit_workloads::Label::Irrelevant => Relevance::Irrelevant,
     });
     println!(
         "\nFirst cause rank: {:?} (paper: rank 3 = load average); success@10 = {}",
@@ -65,16 +58,10 @@ fn main() {
     println!("\nFigure 9 — intervention timeline (20% cap | disabled | 20% | 5% cap):");
     let intervention = case_studies::raid_intervention();
     let fams = intervention.families();
-    let rt = fams
-        .iter()
-        .find(|f| f.name == "pipeline_runtime")
-        .expect("runtime family")
-        .data
-        .column(0);
+    let rt =
+        fams.iter().find(|f| f.name == "pipeline_runtime").expect("runtime family").data.column(0);
     println!("  runtime: {}", report::sparkline(&rt, 80));
-    let phase = |range: std::ops::Range<usize>| -> f64 {
-        explainit_stats::mean(&rt[range])
-    };
+    let phase = |range: std::ops::Range<usize>| -> f64 { explainit_stats::mean(&rt[range]) };
     println!(
         "  mean runtime: default={:.1}s  disabled={:.1}s  re-enabled={:.1}s  5%-cap={:.1}s",
         phase(2..15),

@@ -41,11 +41,7 @@ fn main() {
         "Scenario",
         "#Families",
         "#Features",
-        scorers
-            .iter()
-            .map(|s| format!("{:>9}", s.name()))
-            .collect::<Vec<_>>()
-            .join(" ")
+        scorers.iter().map(|s| format!("{:>9}", s.name())).collect::<Vec<_>>().join(" ")
     );
     for spec in &specs {
         if let Some(w) = &wanted {

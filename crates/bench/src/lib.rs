@@ -73,12 +73,8 @@ pub fn evaluate(sim: &SimOutput, ranking: &Ranking) -> RankingEval {
 /// Per-hypothesis timing stats for Figure 10: mean and max scoring time per
 /// feature family.
 pub fn time_stats(ranking: &Ranking) -> (Duration, Duration) {
-    let times: Vec<Duration> = ranking
-        .entries
-        .iter()
-        .filter(|e| e.error.is_none())
-        .map(|e| e.duration)
-        .collect();
+    let times: Vec<Duration> =
+        ranking.entries.iter().filter(|e| e.error.is_none()).map(|e| e.duration).collect();
     if times.is_empty() {
         return (Duration::ZERO, Duration::ZERO);
     }

@@ -143,7 +143,11 @@ impl Dag {
         self.closure(id, |n| &self.children[n.0])
     }
 
-    fn closure<'a>(&'a self, id: NodeId, step: impl Fn(NodeId) -> &'a [NodeId]) -> BTreeSet<NodeId> {
+    fn closure<'a>(
+        &'a self,
+        id: NodeId,
+        step: impl Fn(NodeId) -> &'a [NodeId],
+    ) -> BTreeSet<NodeId> {
         let mut out = BTreeSet::new();
         let mut queue = VecDeque::from([id]);
         while let Some(cur) = queue.pop_front() {
@@ -161,8 +165,7 @@ impl Dag {
     pub fn topological_order(&self) -> Vec<NodeId> {
         let n = self.names.len();
         let mut indeg: Vec<usize> = (0..n).map(|i| self.parents[i].len()).collect();
-        let mut queue: VecDeque<NodeId> =
-            (0..n).filter(|&i| indeg[i] == 0).map(NodeId).collect();
+        let mut queue: VecDeque<NodeId> = (0..n).filter(|&i| indeg[i] == 0).map(NodeId).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(cur) = queue.pop_front() {
             order.push(cur);
@@ -250,8 +253,7 @@ mod tests {
         g.add_edge_by_name("b", "c");
         g.add_edge_by_name("c", "d");
         let order = g.topological_order();
-        let pos: HashMap<NodeId, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for (f, t) in g.edges() {
             assert!(pos[&f] < pos[&t], "edge {f:?}->{t:?} violates order");
         }

@@ -98,10 +98,8 @@ pub fn d_separated(dag: &Dag, x: NodeId, y: NodeId, z: &BTreeSet<NodeId>) -> boo
 pub fn d_separated_by_name(dag: &Dag, x: &str, y: &str, z: &[&str]) -> bool {
     let xi = dag.node(x).unwrap_or_else(|| panic!("unknown node {x}"));
     let yi = dag.node(y).unwrap_or_else(|| panic!("unknown node {y}"));
-    let zs: BTreeSet<NodeId> = z
-        .iter()
-        .map(|n| dag.node(n).unwrap_or_else(|| panic!("unknown node {n}")))
-        .collect();
+    let zs: BTreeSet<NodeId> =
+        z.iter().map(|n| dag.node(n).unwrap_or_else(|| panic!("unknown node {n}"))).collect();
     d_separated(dag, xi, yi, &zs)
 }
 

@@ -43,9 +43,7 @@ pub struct Skeleton {
 impl Skeleton {
     /// Complete graph over `n` variables.
     fn complete(n: usize) -> Self {
-        let adj = (0..n)
-            .map(|i| (0..n).filter(|&j| j != i).collect())
-            .collect();
+        let adj = (0..n).map(|i| (0..n).filter(|&j| j != i).collect()).collect();
         Skeleton { n, adj, tests_run: 0 }
     }
 
@@ -247,10 +245,7 @@ mod tests {
         let mut specs = HashMap::new();
         specs.insert("A".into(), NodeSpec::default().noise(1.0));
         specs.insert("B".into(), NodeSpec::with_weights(&[("A", 1.0)]).noise(0.5));
-        specs.insert(
-            "C".into(),
-            NodeSpec::with_weights(&[("A", 1.0), ("B", 1.0)]).noise(0.5),
-        );
+        specs.insert("C".into(), NodeSpec::with_weights(&[("A", 1.0), ("B", 1.0)]).noise(0.5));
         let data = LinearGaussianSem::new(dag, specs).sample(2000, 14);
         let skel = pc_skeleton(&data, &PcConfig::default());
         assert!(skel.tests_run >= 3, "at least the order-0 sweep must run");

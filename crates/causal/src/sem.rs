@@ -76,9 +76,8 @@ impl LinearGaussianSem {
     /// Builds a SEM; nodes without an explicit spec get
     /// [`NodeSpec::default`].
     pub fn new(dag: Dag, mut specs: HashMap<String, NodeSpec>) -> Self {
-        let ordered: Vec<NodeSpec> = (0..dag.len())
-            .map(|i| specs.remove(dag.name(NodeId(i))).unwrap_or_default())
-            .collect();
+        let ordered: Vec<NodeSpec> =
+            (0..dag.len()).map(|i| specs.remove(dag.name(NodeId(i))).unwrap_or_default()).collect();
         assert!(specs.is_empty(), "specs given for unknown nodes: {:?}", specs.keys());
         LinearGaussianSem { dag, specs: ordered }
     }
@@ -100,11 +99,7 @@ impl LinearGaussianSem {
                 let spec = &self.specs[node.0];
                 let mut v = spec.bias;
                 for &p in self.dag.parents(node) {
-                    let w = spec
-                        .parent_weights
-                        .get(self.dag.name(p))
-                        .copied()
-                        .unwrap_or(1.0);
+                    let w = spec.parent_weights.get(self.dag.name(p)).copied().unwrap_or(1.0);
                     v += w * data[(t, p.0)];
                 }
                 if let Some(driver) = spec.driver {
@@ -122,9 +117,7 @@ impl LinearGaussianSem {
     /// Samples and returns one named column per node.
     pub fn sample_named(&self, t_steps: usize, seed: u64) -> Vec<(String, Vec<f64>)> {
         let m = self.sample(t_steps, seed);
-        (0..self.dag.len())
-            .map(|i| (self.dag.name(NodeId(i)).to_string(), m.column(i)))
-            .collect()
+        (0..self.dag.len()).map(|i| (self.dag.name(NodeId(i)).to_string(), m.column(i))).collect()
     }
 }
 

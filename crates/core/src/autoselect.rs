@@ -59,11 +59,7 @@ pub fn auto_select_scorer(families: &[FeatureFamily], t_steps: usize) -> ScorerC
         };
     }
     if max_w >= t_steps {
-        let scorer = if t_steps > 1000 {
-            ScorerKind::L2_P500
-        } else {
-            ScorerKind::L2_P50
-        };
+        let scorer = if t_steps > 1000 { ScorerKind::L2_P500 } else { ScorerKind::L2_P50 };
         return ScorerChoice {
             scorer,
             reason: format!(
@@ -99,9 +95,8 @@ mod tests {
 
     fn family(name: &str, width: usize, len: usize) -> FeatureFamily {
         let ts: Vec<i64> = (0..len as i64).collect();
-        let cols: Vec<Vec<f64>> = (0..width)
-            .map(|c| (0..len).map(|i| (i + c) as f64).collect())
-            .collect();
+        let cols: Vec<Vec<f64>> =
+            (0..width).map(|c| (0..len).map(|i| (i + c) as f64).collect()).collect();
         FeatureFamily::new(
             name,
             ts,

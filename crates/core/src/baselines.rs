@@ -94,14 +94,12 @@ mod tests {
         let base: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
         let target = fam("y", base.clone());
         // `broken` tracks y in the first half, decouples in the second.
-        let broken: Vec<f64> = (0..n)
-            .map(|i| if i < n / 2 { base[i] } else { (i as f64 * 1.7).cos() })
-            .collect();
+        let broken: Vec<f64> =
+            (0..n).map(|i| if i < n / 2 { base[i] } else { (i as f64 * 1.7).cos() }).collect();
         // `steady` tracks y throughout.
         let steady: Vec<f64> = base.iter().map(|v| v * 2.0).collect();
         let fams = vec![target, fam("broken", broken), fam("steady", steady)];
-        let ranking =
-            vanishing_correlation_rank(&fams, "y", (0, n / 2), (n / 2, n)).unwrap();
+        let ranking = vanishing_correlation_rank(&fams, "y", (0, n / 2), (n / 2, n)).unwrap();
         assert_eq!(ranking[0].family, "broken");
         assert!(ranking[0].drop > 0.5);
         assert!(ranking[1].drop < 0.1);

@@ -6,10 +6,10 @@
 //! per-hypothesis timing — the measurements Figure 10 plots.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use explainit_linalg::Matrix;
-use parking_lot::Mutex;
 
 use crate::family::FeatureFamily;
 use crate::hypothesis::HypothesisSet;
@@ -82,10 +82,7 @@ pub struct Ranking {
 impl Ranking {
     /// Position (1-based rank) of the named family, if it made the top-K.
     pub fn rank_of(&self, family: &str) -> Option<usize> {
-        self.entries
-            .iter()
-            .position(|e| e.family == family)
-            .map(|i| i + 1)
+        self.entries.iter().position(|e| e.family == family).map(|i| i + 1)
     }
 }
 
@@ -115,6 +112,14 @@ impl Engine {
     pub fn add_frames(&mut self, frames: &[explainit_query::FamilyFrame]) {
         for f in frames {
             self.add_family(FeatureFamily::from_frame(f));
+        }
+    }
+
+    /// Owned variant of [`Engine::add_frames`]: consumes pivot output
+    /// without cloning timestamps or feature names.
+    pub fn add_frames_owned(&mut self, frames: Vec<explainit_query::FamilyFrame>) {
+        for f in frames {
+            self.add_family(FeatureFamily::from_frame_owned(f));
         }
     }
 
@@ -169,7 +174,8 @@ impl Engine {
             });
         }
         let tasks: Vec<usize> = set.xs.clone();
-        let results: Mutex<Vec<(usize, ScoreOutcome)>> = Mutex::new(Vec::with_capacity(tasks.len()));
+        let results: Mutex<Vec<(usize, ScoreOutcome)>> =
+            Mutex::new(Vec::with_capacity(tasks.len()));
         let next = AtomicUsize::new(0);
         let workers = if self.config.workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
@@ -178,23 +184,23 @@ impl Engine {
         }
         .min(tasks.len().max(1));
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= tasks.len() {
                         break;
                     }
                     let xi = tasks[i];
                     let outcome = self.score_one(xi, set.y, &set.z, &shared_ts, scorer);
-                    results.lock().push((xi, outcome));
+                    results.lock().expect("results lock").push((xi, outcome));
                 });
             }
-        })
-        .expect("scoring workers must not panic");
+        });
 
         let mut entries: Vec<RankedHypothesis> = results
             .into_inner()
+            .expect("results lock")
             .into_iter()
             .map(|(xi, outcome)| {
                 let fam = &self.families[xi];
@@ -231,9 +237,7 @@ impl Engine {
                 (true, false) => return std::cmp::Ordering::Greater,
                 _ => {}
             }
-            b.score
-                .total_cmp(&a.score)
-                .then_with(|| a.family.cmp(&b.family))
+            b.score.total_cmp(&a.score).then_with(|| a.family.cmp(&b.family))
         });
         entries.truncate(self.config.top_k);
         Ok(Ranking {
@@ -368,10 +372,7 @@ mod tests {
     #[test]
     fn unknown_target_errors() {
         let e = engine_with_signal();
-        assert!(matches!(
-            e.rank("nope", &[], ScorerKind::L2),
-            Err(CoreError::UnknownFamily(_))
-        ));
+        assert!(matches!(e.rank("nope", &[], ScorerKind::L2), Err(CoreError::UnknownFamily(_))));
     }
 
     #[test]

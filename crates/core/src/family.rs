@@ -61,6 +61,14 @@ impl FeatureFamily {
         )
     }
 
+    /// Owned variant of [`FeatureFamily::from_frame`]: consumes the frame's
+    /// columns directly, so the pivot-output → family handoff copies only
+    /// the dense matrix data (no timestamp / name vector clones).
+    pub fn from_frame_owned(frame: FamilyFrame) -> Self {
+        let data = Matrix::from_columns(&frame.columns);
+        FeatureFamily::new(frame.name, frame.timestamps, frame.feature_names, data)
+    }
+
     /// Converts a TSDB [`AlignedFrame`] into a family with the given name.
     pub fn from_aligned(name: impl Into<String>, frame: &AlignedFrame) -> Self {
         let data = Matrix::from_columns(&frame.columns);
@@ -84,10 +92,7 @@ impl FeatureFamily {
 
     /// One feature column by name.
     pub fn feature(&self, name: &str) -> Option<Vec<f64>> {
-        self.feature_names
-            .iter()
-            .position(|n| n == name)
-            .map(|i| self.data.column(i))
+        self.feature_names.iter().position(|n| n == name).map(|i| self.data.column(i))
     }
 
     /// The rows whose timestamps appear in `keep` (assumed sorted), together

@@ -101,9 +101,7 @@ mod tests {
     fn families() -> Vec<FeatureFamily> {
         ["y", "a", "b", "c"]
             .iter()
-            .map(|n| {
-                FeatureFamily::univariate(*n, vec![0, 60, 120], vec![1.0, 2.0, 3.0])
-            })
+            .map(|n| FeatureFamily::univariate(*n, vec![0, 60, 120], vec![1.0, 2.0, 3.0]))
             .collect()
     }
 

@@ -28,10 +28,7 @@ pub fn with_lags(family: &FeatureFamily, lags: &[usize]) -> Result<FeatureFamily
         return Ok(family.clone());
     }
     if family.len() <= max_lag + 1 {
-        return Err(CoreError::InsufficientOverlap {
-            rows: family.len(),
-            needed: max_lag + 2,
-        });
+        return Err(CoreError::InsufficientOverlap { rows: family.len(), needed: max_lag + 2 });
     }
     let t_out = family.len() - max_lag;
     let width = family.width();
@@ -54,12 +51,7 @@ pub fn with_lags(family: &FeatureFamily, lags: &[usize]) -> Result<FeatureFamily
             }
         }
     }
-    Ok(FeatureFamily::new(
-        family.name.clone(),
-        family.timestamps[max_lag..].to_vec(),
-        names,
-        data,
-    ))
+    Ok(FeatureFamily::new(family.name.clone(), family.timestamps[max_lag..].to_vec(), names, data))
 }
 
 #[cfg(test)]
@@ -122,12 +114,9 @@ mod tests {
         let n = 300;
         // Aperiodic pseudo-noise: a sinusoid would stay correlated with its
         // own shift (corr = cos(phase)), hiding the effect under test.
-        let x_vals: Vec<f64> = (0..n)
-            .map(|i| (((i * 2654435761usize) % 1000) as f64) / 500.0 - 1.0)
-            .collect();
-        let y_vals: Vec<f64> = (0..n)
-            .map(|i| if i >= 5 { x_vals[i - 5] } else { 0.0 })
-            .collect();
+        let x_vals: Vec<f64> =
+            (0..n).map(|i| (((i * 2654435761usize) % 1000) as f64) / 500.0 - 1.0).collect();
+        let y_vals: Vec<f64> = (0..n).map(|i| if i >= 5 { x_vals[i - 5] } else { 0.0 }).collect();
         let ts: Vec<i64> = (0..n as i64).collect();
         let x = FeatureFamily::univariate("x", ts.clone(), x_vals);
         let y = FeatureFamily::univariate("y", ts, y_vals);

@@ -21,10 +21,7 @@ pub fn derive_pseudocause(target: &FeatureFamily, period: usize) -> Result<Featu
         return Err(CoreError::Model("target family has no features".into()));
     }
     if target.len() < period.max(4) {
-        return Err(CoreError::InsufficientOverlap {
-            rows: target.len(),
-            needed: period.max(4),
-        });
+        return Err(CoreError::InsufficientOverlap { rows: target.len(), needed: period.max(4) });
     }
     let y = target.data.column(0);
     let decomp = seasonal_decompose(&y, period);

@@ -51,18 +51,14 @@ pub fn explain(
     condition: &[&str],
     lambda: f64,
 ) -> Result<Explanation> {
-    let y_fam = engine
-        .family(target)
-        .ok_or_else(|| CoreError::UnknownFamily(target.to_string()))?;
-    let x_fam = engine
-        .family(candidate)
-        .ok_or_else(|| CoreError::UnknownFamily(candidate.to_string()))?;
+    let y_fam =
+        engine.family(target).ok_or_else(|| CoreError::UnknownFamily(target.to_string()))?;
+    let x_fam =
+        engine.family(candidate).ok_or_else(|| CoreError::UnknownFamily(candidate.to_string()))?;
     let mut ts = x_fam.shared_timestamps(&y_fam.timestamps);
     let mut z_fams = Vec::new();
     for c in condition {
-        let zf = engine
-            .family(c)
-            .ok_or_else(|| CoreError::UnknownFamily(c.to_string()))?;
+        let zf = engine.family(c).ok_or_else(|| CoreError::UnknownFamily(c.to_string()))?;
         ts = zf.shared_timestamps(&ts);
         z_fams.push(zf);
     }
@@ -84,11 +80,7 @@ pub fn explain(
             });
         }
         let z = z.expect("non-empty condition");
-        (
-            residualize(&x, &z)?,
-            residualize(&y, &z)?,
-            true,
-        )
+        (residualize(&x, &z)?, residualize(&y, &z)?, true)
     };
     let model =
         RidgeModel::fit(&x_eff, &y_eff, lambda).map_err(|e| CoreError::Model(e.to_string()))?;
@@ -213,13 +205,9 @@ mod tests {
         let e = engine();
         let ex = explain(&e, "y", "x", &[], 1e-6).unwrap();
         assert!(!ex.conditioned);
-        let err: f64 = ex
-            .observed
-            .iter()
-            .zip(ex.predicted.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f64>()
-            / ex.observed.len() as f64;
+        let err: f64 =
+            ex.observed.iter().zip(ex.predicted.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>()
+                / ex.observed.len() as f64;
         assert!(err < 0.05, "mean abs err {err}");
     }
 

@@ -159,10 +159,7 @@ pub fn score_hypothesis(
             let mut lambda = None;
             let mut eff = 0usize;
             for s in 0..samples {
-                let seed = cfg
-                    .seed
-                    .wrapping_mul(0x9E3779B97F4A7C15)
-                    .wrapping_add(s as u64);
+                let seed = cfg.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(s as u64);
                 let xp = project_if_wide(&x_eff, d, seed);
                 let yp = project_if_wide(&y_eff, d, seed.wrapping_add(1));
                 let detail = joint_score(&xp, &yp, &cfg.cv, PenaltyKind::Ridge)?;

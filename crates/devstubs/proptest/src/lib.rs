@@ -1,0 +1,723 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a crates registry, so this
+//! stub vendors the subset of the proptest API the workspace's property
+//! tests use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]` header);
+//! * [`Strategy`] with `prop_map` / `prop_flat_map` / `prop_filter`;
+//! * range strategies for ints/floats, regex-lite string strategies
+//!   (character classes with `{m,n}` quantifiers and `\PC`), tuples,
+//!   [`any`] for `bool`/`u8`/`u64`, and `collection::{vec, btree_map}`;
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+//!
+//! Differences from upstream: **no shrinking** (failing inputs are reported
+//! as-is), a fixed deterministic seed per test (override with
+//! `PROPTEST_SEED`), and a default of 96 cases (override with
+//! `PROPTEST_CASES`).
+
+use std::collections::BTreeMap;
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator backing test case production (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from the test's fully qualified name plus `PROPTEST_SEED`.
+    pub fn for_test(name: &str) -> TestRng {
+        let base: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_D00D);
+        let mut h = base;
+        for b in name.bytes() {
+            h = h.wrapping_mul(0x100000001B3).wrapping_add(u64::from(b));
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform usize in [lo, hi] (inclusive).
+    pub fn size_in(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (self.next_u64() % (hi - lo + 1) as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config and errors
+// ---------------------------------------------------------------------------
+
+/// Per-block test configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(96);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped, not failed.
+    Reject(String),
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Constructs a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A generator of test values. `generate` returns `None` when a filter
+/// rejects the sample (the runner retries).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produces one value, or `None` on filter rejection.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects values failing the predicate.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f, _whence: whence }
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let mid = self.inner.generate(rng)?;
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// `prop_filter` adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    _whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        let v = self.inner.generate(rng)?;
+        if (self.f)(&v) {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                Some((self.start as i128 + off as i128) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                Some((lo as i128 + off as i128) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        assert!(self.start < self.end, "empty range strategy");
+        Some(self.start + rng.unit_f64() * (self.end - self.start))
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f32> {
+        assert!(self.start < self.end, "empty range strategy");
+        Some(self.start + (rng.unit_f64() as f32) * (self.end - self.start))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+/// Strategy over a type's whole domain.
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// Whole-domain strategy for `T` (`any::<bool>()`, `any::<u8>()`, ...).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: regex-lite string patterns
+// ---------------------------------------------------------------------------
+
+/// One element of a regex-lite pattern: a set of candidate chars plus a
+/// repetition range.
+#[derive(Debug, Clone)]
+struct PatternPiece {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    // chars[i] is the char right after '['.
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(chars[i]);
+            i += 1;
+        }
+    }
+    (set, i + 1) // skip ']'
+}
+
+fn parse_quantifier(chars: &[char], i: usize) -> (usize, usize, usize) {
+    // Returns (min, max, next index). Supports {n} and {m,n}.
+    if i < chars.len() && chars[i] == '{' {
+        let close = chars[i..].iter().position(|&c| c == '}').map(|p| i + p);
+        if let Some(close) = close {
+            let body: String = chars[i + 1..close].iter().collect();
+            let parts: Vec<&str> = body.split(',').collect();
+            let parsed = match parts.as_slice() {
+                [n] => n.trim().parse::<usize>().ok().map(|n| (n, n)),
+                [m, n] => m
+                    .trim()
+                    .parse::<usize>()
+                    .ok()
+                    .and_then(|m| n.trim().parse::<usize>().ok().map(|n| (m, n))),
+                _ => None,
+            };
+            if let Some((min, max)) = parsed {
+                return (min, max, close + 1);
+            }
+        }
+    }
+    (1, 1, i)
+}
+
+/// Printable characters used for `\PC` (plus a few multibyte samples so the
+/// lexer sees non-ASCII input too).
+fn printable_chars() -> Vec<char> {
+    let mut set: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+    set.extend(['é', 'λ', '→', '世', '\u{80}']);
+    set
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char>;
+        match chars[i] {
+            '[' => {
+                let (s, next) = parse_class(&chars, i + 1);
+                set = s;
+                i = next;
+            }
+            '\\' if i + 1 < chars.len() => {
+                let c = chars[i + 1];
+                match c {
+                    'P' | 'p' if i + 2 < chars.len() => {
+                        // \PC / \pC: treat as "printable-ish char".
+                        set = printable_chars();
+                        i += 3;
+                    }
+                    'd' => {
+                        set = ('0'..='9').collect();
+                        i += 2;
+                    }
+                    'w' => {
+                        let mut s: Vec<char> = ('a'..='z').collect();
+                        s.extend('A'..='Z');
+                        s.extend('0'..='9');
+                        s.push('_');
+                        set = s;
+                        i += 2;
+                    }
+                    other => {
+                        set = vec![other];
+                        i += 2;
+                    }
+                }
+            }
+            '.' => {
+                set = printable_chars();
+                i += 1;
+            }
+            lit => {
+                set = vec![lit];
+                i += 1;
+            }
+        }
+        let (min, max, next) = parse_quantifier(&chars, i);
+        i = next;
+        pieces.push(PatternPiece { chars: set, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<String> {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for p in &pieces {
+            if p.chars.is_empty() {
+                continue;
+            }
+            let n = rng.size_in(p.min, p.max);
+            for _ in 0..n {
+                out.push(p.chars[rng.size_in(0, p.chars.len() - 1)]);
+            }
+        }
+        Some(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        Some((self.0.generate(rng)?, self.1.generate(rng)?))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        Some((self.0.generate(rng)?, self.1.generate(rng)?, self.2.generate(rng)?))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        Some((
+            self.0.generate(rng)?,
+            self.1.generate(rng)?,
+            self.2.generate(rng)?,
+            self.3.generate(rng)?,
+        ))
+    }
+}
+
+/// Always produces a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    //! `vec` and `btree_map` strategies.
+
+    use super::*;
+
+    /// Size specification: a fixed count or a range of counts.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Vec-of-elements strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = rng.size_in(self.size.lo, self.size.hi);
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Give element-level filters a few retries before giving up
+                // on the whole sample.
+                let mut v = None;
+                for _ in 0..16 {
+                    v = self.element.generate(rng);
+                    if v.is_some() {
+                        break;
+                    }
+                }
+                out.push(v?);
+            }
+            Some(out)
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Map strategy: keys that collide overwrite, so the final length may be
+    /// below the requested size (matching upstream semantics loosely).
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            let n = rng.size_in(self.size.lo, self.size.hi);
+            let mut out = BTreeMap::new();
+            for _ in 0..n {
+                out.insert(self.key.generate(rng)?, self.value.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+
+    /// `proptest::collection::btree_map(key, value, size)`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Assert inside a proptest body (returns a `TestCaseError` failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Skip the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(format!($($fmt)+)));
+        }
+    };
+}
+
+/// The test-block macro: expands each `fn name(pat in strategy, ...)` into a
+/// `#[test]` running `cases` accepted samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted: u32 = 0;
+                let mut attempts: u64 = 0;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts < u64::from(config.cases) * 500 + 2000,
+                        "proptest stub: too many rejected samples in {}",
+                        stringify!($name)
+                    );
+                    let ($($pat,)+) = ($(
+                        match $crate::Strategy::generate(&($strat), &mut rng) {
+                            ::std::option::Option::Some(v) => v,
+                            ::std::option::Option::None => continue,
+                        },
+                    )+);
+                    accepted += 1;
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case failed in {}: {}", stringify!($name), msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}

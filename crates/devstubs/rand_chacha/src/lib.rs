@@ -1,0 +1,167 @@
+//! Offline stand-in for `rand_chacha`: a real ChaCha8 keystream generator
+//! behind the few trait items the workspace uses (`ChaCha8Rng`,
+//! `rand_core::SeedableRng::seed_from_u64`).
+//!
+//! Output is deterministic per seed but not bit-compatible with upstream
+//! `rand_chacha` (which applies different stream/word conventions); in-tree
+//! consumers only need seeded determinism and uniformity.
+
+use rand::RngCore;
+
+/// The subset of `rand_core` re-exported by the real crate.
+pub mod rand_core {
+    /// Seedable RNG constructors.
+    pub trait SeedableRng: Sized {
+        /// Fixed-size seed type.
+        type Seed;
+
+        /// Builds from a full seed.
+        fn from_seed(seed: Self::Seed) -> Self;
+
+        /// Builds from a 64-bit convenience seed.
+        fn seed_from_u64(state: u64) -> Self;
+    }
+}
+
+/// ChaCha with 8 double-rounds, 64-bit counter.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread word index in `buf`; 16 means empty.
+    cursor: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [
+            CHACHA_CONST[0],
+            CHACHA_CONST[1],
+            CHACHA_CONST[2],
+            CHACHA_CONST[3],
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let initial = state;
+        // 8 rounds = 4 double-rounds.
+        for _ in 0..4 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (s, &i) in state.iter_mut().zip(initial.iter()) {
+            *s = s.wrapping_add(i);
+        }
+        self.buf = state;
+        self.cursor = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl rand_core::SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng { key, counter: 0, buf: [0; 16], cursor: 16 }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 key expansion (the convention rand_core uses).
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&next().to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.cursor + 2 > 16 {
+            self.refill();
+        }
+        let lo = self.buf[self.cursor] as u64;
+        let hi = self.buf[self.cursor + 1] as u64;
+        self.cursor += 2;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_core::SeedableRng;
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn uniform_f64_mean_near_half() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn full_block_consumed_before_refill() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        // 8 next_u64 calls = 16 words = exactly one block; the 9th must
+        // trigger a refill without panicking.
+        for _ in 0..9 {
+            rng.next_u64();
+        }
+    }
+}

@@ -53,9 +53,8 @@ pub fn fuse_rankings(rankings: &[&Ranking], rule: FusionRule) -> Vec<FusedEntry>
             if e.error.is_some() {
                 continue;
             }
-            let slot = families
-                .entry(e.family.clone())
-                .or_insert_with(|| vec![None; rankings.len()]);
+            let slot =
+                families.entry(e.family.clone()).or_insert_with(|| vec![None; rankings.len()]);
             slot[ri] = Some(pos + 1);
         }
     }
@@ -69,16 +68,12 @@ pub fn fuse_rankings(rankings: &[&Ranking], rule: FusionRule) -> Vec<FusedEntry>
         .into_iter()
         .map(|(family, ranks)| {
             let score = match rule {
-                FusionRule::ReciprocalRank { k } => ranks
-                    .iter()
-                    .flatten()
-                    .map(|&r| 1.0 / (k + r as f64))
-                    .sum(),
-                FusionRule::Borda => ranks
-                    .iter()
-                    .flatten()
-                    .map(|&r| (max_len + 1 - r) as f64)
-                    .sum(),
+                FusionRule::ReciprocalRank { k } => {
+                    ranks.iter().flatten().map(|&r| 1.0 / (k + r as f64)).sum()
+                }
+                FusionRule::Borda => {
+                    ranks.iter().flatten().map(|&r| (max_len + 1 - r) as f64).sum()
+                }
             };
             FusedEntry { family, score, ranks }
         })
@@ -105,9 +100,7 @@ mod tests {
         let ts: Vec<i64> = (0..n as i64).collect();
         let sig: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin()).collect();
         let pseudo = |seed: usize| -> Vec<f64> {
-            (0..n)
-                .map(|i| (((i * 2654435761 + seed * 97) % 1000) as f64) / 500.0 - 1.0)
-                .collect()
+            (0..n).map(|i| (((i * 2654435761 + seed * 97) % 1000) as f64) / 500.0 - 1.0).collect()
         };
         let mut e = Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
         e.add_family(FeatureFamily::univariate("y", ts.clone(), sig.clone()));
@@ -138,7 +131,11 @@ mod tests {
             explainit_linalg_matrix(&[a, b]),
         ));
         for s in 0..4 {
-            e.add_family(FeatureFamily::univariate(format!("noise{s}"), ts.clone(), pseudo(100 + s)));
+            e.add_family(FeatureFamily::univariate(
+                format!("noise{s}"),
+                ts.clone(),
+                pseudo(100 + s),
+            ));
         }
         let corr = e.rank("y", &[], ScorerKind::CorrMax).unwrap();
         let joint = e.rank("y", &[], ScorerKind::L2).unwrap();
@@ -179,12 +176,8 @@ mod tests {
     fn single_input_preserves_order() {
         let (corr, _) = build_rankings();
         let fused = fuse_rankings(&[&corr], FusionRule::default());
-        let original: Vec<&str> = corr
-            .entries
-            .iter()
-            .filter(|e| e.error.is_none())
-            .map(|e| e.family.as_str())
-            .collect();
+        let original: Vec<&str> =
+            corr.entries.iter().filter(|e| e.error.is_none()).map(|e| e.family.as_str()).collect();
         let fused_names: Vec<&str> = fused.iter().map(|e| e.family.as_str()).collect();
         assert_eq!(fused_names, original);
     }

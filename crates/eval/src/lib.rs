@@ -64,16 +64,9 @@ pub fn evaluate_ranking(
     cutoff: usize,
     label: impl Fn(&str) -> Relevance,
 ) -> RankingEval {
-    let labels: Vec<Relevance> = ranking
-        .entries
-        .iter()
-        .take(cutoff)
-        .map(|e| label(&e.family))
-        .collect();
-    let first_cause_rank = labels
-        .iter()
-        .position(|&l| l == Relevance::Cause)
-        .map(|i| i + 1);
+    let labels: Vec<Relevance> =
+        ranking.entries.iter().take(cutoff).map(|e| label(&e.family)).collect();
+    let first_cause_rank = labels.iter().position(|&l| l == Relevance::Cause).map(|i| i + 1);
     let discounted_gain = first_cause_rank.map(|r| 1.0 / r as f64);
     let log_discounted_gain = first_cause_rank.map(|r| 1.0 / (1.0 + r as f64).log2());
     RankingEval { first_cause_rank, discounted_gain, log_discounted_gain, labels }

@@ -21,7 +21,11 @@ impl Cholesky {
     pub fn factor(a: &Matrix) -> Result<Self> {
         let (n, m) = a.shape();
         if n != m {
-            return Err(LinalgError::ShapeMismatch { op: "cholesky", lhs: a.shape(), rhs: a.shape() });
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
         }
         if n == 0 {
             return Err(LinalgError::Empty);
@@ -176,10 +180,7 @@ mod tests {
     #[test]
     fn rejects_indefinite() {
         let a = Matrix::from_rows(&[[1.0, 2.0], [2.0, 1.0]]); // eigenvalues 3, -1
-        assert!(matches!(
-            Cholesky::factor(&a),
-            Err(LinalgError::NotPositiveDefinite { .. })
-        ));
+        assert!(matches!(Cholesky::factor(&a), Err(LinalgError::NotPositiveDefinite { .. })));
     }
 
     #[test]

@@ -30,7 +30,11 @@ impl QrDecomposition {
             return Err(LinalgError::Empty);
         }
         if n < p {
-            return Err(LinalgError::ShapeMismatch { op: "qr (requires n >= p)", lhs: (n, p), rhs: (n, p) });
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr (requires n >= p)",
+                lhs: (n, p),
+                rhs: (n, p),
+            });
         }
         let mut qr = a.clone();
         let mut tau = vec![0.0; p];
@@ -99,7 +103,11 @@ impl QrDecomposition {
     pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
         let (n, p) = self.qr.shape();
         if b.len() != n {
-            return Err(LinalgError::ShapeMismatch { op: "qr solve", lhs: (n, p), rhs: (b.len(), 1) });
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr solve",
+                lhs: (n, p),
+                rhs: (b.len(), 1),
+            });
         }
         let mut qtb = b.to_vec();
         self.apply_qt(&mut qtb);
@@ -168,12 +176,7 @@ mod tests {
     fn least_squares_matches_normal_equations() {
         // Overdetermined system with noise: QR solution must satisfy the
         // normal equations X^T X b = X^T y.
-        let a = Matrix::from_rows(&[
-            [1.0, 0.0],
-            [1.0, 1.0],
-            [1.0, 2.0],
-            [1.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[[1.0, 0.0], [1.0, 1.0], [1.0, 2.0], [1.0, 3.0]]);
         let y = [1.0, 2.2, 2.8, 4.1];
         let qr = QrDecomposition::factor(&a).unwrap();
         let beta = qr.solve_vec(&y).unwrap();

@@ -153,9 +153,8 @@ mod tests {
         let mut rows = Vec::with_capacity(n);
         let mut ys = Vec::with_capacity(n);
         for i in 0..n {
-            let row: Vec<f64> = (0..p)
-                .map(|j| ((i * 131 + j * 733) % 97) as f64 / 97.0 - 0.5)
-                .collect();
+            let row: Vec<f64> =
+                (0..p).map(|j| ((i * 131 + j * 733) % 97) as f64 / 97.0 - 0.5).collect();
             let y = 4.0 * row[0] - 3.0 * row[3.min(p - 1)];
             ys.push(y);
             rows.push(row);
@@ -229,10 +228,7 @@ mod tests {
     fn error_cases() {
         let x = Matrix::zeros(3, 1);
         let y = Matrix::zeros(2, 1);
-        assert!(matches!(
-            LassoModel::fit(&x, &y, 0.1, 10, 1e-8),
-            Err(MlError::RowMismatch { .. })
-        ));
+        assert!(matches!(LassoModel::fit(&x, &y, 0.1, 10, 1e-8), Err(MlError::RowMismatch { .. })));
     }
 
     #[test]

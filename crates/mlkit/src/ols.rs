@@ -119,16 +119,8 @@ mod tests {
     #[test]
     fn recovers_exact_linear_relationship() {
         // y = 2 x0 - 3 x1 + 5
-        let x = Matrix::from_rows(&[
-            [1.0, 0.0],
-            [0.0, 1.0],
-            [1.0, 1.0],
-            [2.0, 1.0],
-            [0.5, 2.0],
-        ]);
-        let y_vals: Vec<f64> = (0..5)
-            .map(|i| 2.0 * x[(i, 0)] - 3.0 * x[(i, 1)] + 5.0)
-            .collect();
+        let x = Matrix::from_rows(&[[1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [2.0, 1.0], [0.5, 2.0]]);
+        let y_vals: Vec<f64> = (0..5).map(|i| 2.0 * x[(i, 0)] - 3.0 * x[(i, 1)] + 5.0).collect();
         let y = Matrix::column_vector(&y_vals);
         let m = OlsModel::fit(&x, &y).unwrap();
         assert!((m.coefficients()[(0, 0)] - 2.0).abs() < 1e-10);

@@ -290,7 +290,8 @@ mod tests {
         // 10 rows, 200 features; must not error and must shrink sensibly.
         let mut rows = Vec::new();
         for i in 0..10 {
-            let row: Vec<f64> = (0..200).map(|j| ((i * 31 + j * 17) % 23) as f64 / 23.0 - 0.5).collect();
+            let row: Vec<f64> =
+                (0..200).map(|j| ((i * 31 + j * 17) % 23) as f64 / 23.0 - 0.5).collect();
             rows.push(row);
         }
         let x = Matrix::from_rows(&rows);

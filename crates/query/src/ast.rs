@@ -2,11 +2,15 @@
 
 use crate::value::Value;
 
-/// A full query: one or more SELECTs combined with UNION ALL.
+/// A full query: one or more SELECTs combined with UNION ALL, optionally
+/// prefixed with `EXPLAIN`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     /// The selects, unioned in order.
     pub selects: Vec<SelectStmt>,
+    /// True for `EXPLAIN <query>`: return the optimized plan instead of
+    /// executing it.
+    pub explain: bool,
 }
 
 /// One SELECT statement.
@@ -250,9 +254,7 @@ impl Expr {
             }
             Expr::IsNull { expr, .. } => expr.contains_aggregate(),
             Expr::Case { when_then, else_expr } => {
-                when_then
-                    .iter()
-                    .any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
+                when_then.iter().any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
                     || else_expr.as_ref().is_some_and(|e| e.contains_aggregate())
             }
             Expr::Literal(_) | Expr::Column(_) => false,
@@ -292,10 +294,7 @@ mod tests {
     #[test]
     fn default_names() {
         assert_eq!(Expr::col("t.runtime").default_name(), "runtime");
-        assert_eq!(
-            Expr::Function { name: "AVG".into(), args: vec![] }.default_name(),
-            "avg"
-        );
+        assert_eq!(Expr::Function { name: "AVG".into(), args: vec![] }.default_name(), "avg");
         assert_eq!(Expr::lit(5i64).default_name(), "5");
     }
 

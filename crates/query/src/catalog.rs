@@ -1,20 +1,37 @@
-//! The table catalog: named tables plus the TSDB virtual table binding.
+//! The table catalog: named tables plus TSDB virtual table bindings.
+//!
+//! A TSDB registered via [`Catalog::register_tsdb`] stays a *live store
+//! handle* (snapshotted at bind time): the optimizer pushes `metric_name`,
+//! `tag['k']` and `timestamp` predicates down into its inverted tag index
+//! instead of materializing the whole store as rows. Row materialization
+//! only happens for queries that genuinely read everything (and for the
+//! naive reference executor), and is cached.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use explainit_tsdb::Tsdb;
 
 use crate::ast::Query;
 use crate::exec::execute;
 use crate::parser::parse_query;
-use crate::table::Table;
+use crate::plan::TSDB_COLUMNS;
+use crate::table::{Schema, Table};
 use crate::value::Value;
 use crate::Result;
+
+/// One registered table: plain rows, or a bound TSDB with a lazily
+/// materialized relational view.
+#[derive(Debug)]
+enum Source {
+    Mem(Table),
+    Tsdb { db: Tsdb, cache: OnceLock<Table> },
+}
 
 /// A catalog of named tables that SQL queries run against.
 #[derive(Debug, Default)]
 pub struct Catalog {
-    tables: HashMap<String, Table>,
+    tables: HashMap<String, Source>,
 }
 
 impl Catalog {
@@ -25,21 +42,46 @@ impl Catalog {
 
     /// Registers (or replaces) a table under a case-insensitive name.
     pub fn register(&mut self, name: &str, table: Table) {
-        self.tables.insert(name.to_lowercase(), table);
+        self.tables.insert(name.to_lowercase(), Source::Mem(table));
     }
 
     /// Binds a TSDB as a relational table (default name `tsdb`) with the
     /// paper's observation schema: `timestamp, metric_name, tag, value`.
     ///
-    /// The store is materialised row-wise at bind time; re-bind after
-    /// ingesting more data.
+    /// The store is snapshotted at bind time (re-bind after ingesting more
+    /// data) but *not* materialized: filtered queries scan through the tag
+    /// index via predicate pushdown.
     pub fn register_tsdb(&mut self, name: &str, db: &Tsdb) {
-        self.register(name, table_from_tsdb(db));
+        self.tables
+            .insert(name.to_lowercase(), Source::Tsdb { db: db.clone(), cache: OnceLock::new() });
     }
 
-    /// Looks a table up (case-insensitive).
+    /// Looks a table up (case-insensitive). For a TSDB binding this
+    /// materializes (and caches) the full relational view — the pushdown
+    /// path in the executor avoids this entirely.
     pub fn get(&self, name: &str) -> Option<&Table> {
-        self.tables.get(&name.to_lowercase())
+        match self.tables.get(&name.to_lowercase())? {
+            Source::Mem(t) => Some(t),
+            Source::Tsdb { db, cache } => Some(cache.get_or_init(|| table_from_tsdb(db))),
+        }
+    }
+
+    /// The live TSDB behind a binding, if `name` is one.
+    pub fn tsdb_source(&self, name: &str) -> Option<&Tsdb> {
+        match self.tables.get(&name.to_lowercase())? {
+            Source::Tsdb { db, .. } => Some(db),
+            Source::Mem(_) => None,
+        }
+    }
+
+    /// The schema of a registered table without materializing it.
+    pub fn schema_of(&self, name: &str) -> Option<Schema> {
+        match self.tables.get(&name.to_lowercase())? {
+            Source::Mem(t) => Some(t.schema().clone()),
+            Source::Tsdb { .. } => {
+                Some(Schema::new(TSDB_COLUMNS.iter().map(|s| s.to_string()).collect()))
+            }
+        }
     }
 
     /// Registered table names, sorted.
@@ -49,7 +91,8 @@ impl Catalog {
         names
     }
 
-    /// Parses and executes a SQL string.
+    /// Parses and executes a SQL string (`EXPLAIN <query>` returns the
+    /// optimized plan as a one-column table).
     pub fn execute(&self, sql: &str) -> Result<Table> {
         let query = parse_query(sql)?;
         self.execute_query(&query)
@@ -92,10 +135,7 @@ pub fn table_from_tsdb(db: &Tsdb) -> Table {
         }
     }
     rows.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
-    Table::from_rows(
-        &["timestamp", "metric_name", "tag", "value"],
-        rows.into_iter().map(|(_, _, r)| r).collect(),
-    )
+    Table::from_rows(&TSDB_COLUMNS, rows.into_iter().map(|(_, _, r)| r).collect())
 }
 
 #[cfg(test)]
@@ -148,9 +188,8 @@ mod tests {
     fn tag_filtering() {
         let mut c = Catalog::new();
         c.register_tsdb("tsdb", &db());
-        let t = c
-            .execute("SELECT value FROM tsdb WHERE tag['host'] = 'web-2' ORDER BY value")
-            .unwrap();
+        let t =
+            c.execute("SELECT value FROM tsdb WHERE tag['host'] = 'web-2' ORDER BY value").unwrap();
         assert_eq!(t.len(), 3);
         assert_eq!(t.rows()[0][0], Value::Float(2.0));
     }
@@ -174,5 +213,43 @@ mod tests {
         c.register("MyTable", Table::empty(&["x"]));
         assert!(c.get("mytable").is_some());
         assert!(c.execute("SELECT * FROM MYTABLE").is_ok());
+    }
+
+    #[test]
+    fn tsdb_source_exposed_for_pushdown() {
+        let mut c = Catalog::new();
+        c.register_tsdb("tsdb", &db());
+        assert!(c.tsdb_source("tsdb").is_some());
+        assert!(c.tsdb_source("nope").is_none());
+        c.register("plain", Table::empty(&["x"]));
+        assert!(c.tsdb_source("plain").is_none());
+    }
+
+    #[test]
+    fn schema_of_does_not_materialize() {
+        let mut c = Catalog::new();
+        c.register_tsdb("tsdb", &db());
+        let s = c.schema_of("tsdb").unwrap();
+        assert_eq!(s.columns(), &["timestamp", "metric_name", "tag", "value"]);
+    }
+
+    #[test]
+    fn explain_renders_pushed_down_plan() {
+        let mut c = Catalog::new();
+        c.register_tsdb("tsdb", &db());
+        let t = c
+            .execute(
+                "EXPLAIN SELECT timestamp, AVG(value) AS v FROM tsdb \
+                 WHERE metric_name = 'cpu' AND tag['host'] = 'web-1' \
+                 AND timestamp BETWEEN 0 AND 120 GROUP BY timestamp",
+            )
+            .unwrap();
+        assert_eq!(t.schema().columns(), &["plan"]);
+        let text: Vec<String> = t.rows().iter().map(|r| r[0].render()).collect();
+        let joined = text.join("\n");
+        assert!(joined.contains("TsdbScan"), "plan:\n{joined}");
+        assert!(joined.contains("name=cpu"), "plan:\n{joined}");
+        assert!(joined.contains("tag[host]=web-1"), "plan:\n{joined}");
+        assert!(joined.contains("time=[0, 120]"), "plan:\n{joined}");
     }
 }

@@ -1,0 +1,338 @@
+//! Typed column vectors — the physical storage of the columnar executor.
+//!
+//! A [`Column`] stores homogeneous `Int` / `Float` / `Str` / `Bool` data in
+//! dense native vectors and falls back to a boxed [`Value`] vector
+//! (`Values`) for NULLs, maps, lists, or mixed content. Construction never
+//! changes a value's identity: pushing `Value::Int` into a `Float` column
+//! demotes the column to `Values` rather than silently rewriting the value
+//! (explicit numeric coercion is a `UNION` policy, see
+//! [`Column::append_coercing`]).
+
+use crate::value::Value;
+
+/// A single table column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Dense non-null 64-bit integers.
+    Int(Vec<i64>),
+    /// Dense non-null 64-bit floats.
+    Float(Vec<f64>),
+    /// Dense non-null strings.
+    Str(Vec<String>),
+    /// Dense non-null booleans.
+    Bool(Vec<bool>),
+    /// Generic fallback: any values, including NULLs, maps and lists.
+    Values(Vec<Value>),
+}
+
+impl Column {
+    /// An empty generic column.
+    pub fn empty() -> Column {
+        Column::Values(Vec::new())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Values(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `i` (cloned into a [`Value`]).
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[i]),
+            Column::Float(v) => Value::Float(v[i]),
+            Column::Str(v) => Value::Str(v[i].clone()),
+            Column::Bool(v) => Value::Bool(v[i]),
+            Column::Values(v) => v[i].clone(),
+        }
+    }
+
+    /// Builds the densest representation of `values`: a typed vector when
+    /// homogeneous and null-free, the generic fallback otherwise.
+    pub fn from_values(values: Vec<Value>) -> Column {
+        #[derive(PartialEq, Clone, Copy)]
+        enum Kind {
+            Int,
+            Float,
+            Str,
+            Bool,
+            Mixed,
+        }
+        let mut kind: Option<Kind> = None;
+        for v in &values {
+            let k = match v {
+                Value::Int(_) => Kind::Int,
+                Value::Float(_) => Kind::Float,
+                Value::Str(_) => Kind::Str,
+                Value::Bool(_) => Kind::Bool,
+                _ => Kind::Mixed,
+            };
+            match kind {
+                None => kind = Some(k),
+                Some(prev) if prev == k => {}
+                Some(_) => {
+                    kind = Some(Kind::Mixed);
+                    break;
+                }
+            }
+        }
+        match kind {
+            Some(Kind::Int) => Column::Int(
+                values
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Int(i) => i,
+                        _ => unreachable!("homogeneous int column"),
+                    })
+                    .collect(),
+            ),
+            Some(Kind::Float) => Column::Float(
+                values
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Float(f) => f,
+                        _ => unreachable!("homogeneous float column"),
+                    })
+                    .collect(),
+            ),
+            Some(Kind::Str) => Column::Str(
+                values
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Str(s) => s,
+                        _ => unreachable!("homogeneous string column"),
+                    })
+                    .collect(),
+            ),
+            Some(Kind::Bool) => Column::Bool(
+                values
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Bool(b) => b,
+                        _ => unreachable!("homogeneous bool column"),
+                    })
+                    .collect(),
+            ),
+            _ => Column::Values(values),
+        }
+    }
+
+    /// Demotes the column to the generic representation in place.
+    fn make_generic(&mut self) -> &mut Vec<Value> {
+        if !matches!(self, Column::Values(_)) {
+            let generic: Vec<Value> = (0..self.len()).map(|i| self.get(i)).collect();
+            *self = Column::Values(generic);
+        }
+        match self {
+            Column::Values(v) => v,
+            _ => unreachable!("just converted"),
+        }
+    }
+
+    /// Appends one value, demoting the representation when the type does
+    /// not match (value identity is always preserved).
+    pub fn push(&mut self, value: Value) {
+        match (&mut *self, value) {
+            (Column::Int(v), Value::Int(i)) => v.push(i),
+            (Column::Float(v), Value::Float(f)) => v.push(f),
+            (Column::Str(v), Value::Str(s)) => v.push(s),
+            (Column::Bool(v), Value::Bool(b)) => v.push(b),
+            (Column::Values(v), other) => v.push(other),
+            (_, other) => self.make_generic().push(other),
+        }
+    }
+
+    /// Selects the entries at `indices` into a new column.
+    pub fn gather(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(indices.iter().map(|&i| v[i]).collect()),
+            Column::Float(v) => Column::Float(indices.iter().map(|&i| v[i]).collect()),
+            Column::Str(v) => Column::Str(indices.iter().map(|&i| v[i].clone()).collect()),
+            Column::Bool(v) => Column::Bool(indices.iter().map(|&i| v[i]).collect()),
+            Column::Values(v) => Column::Values(indices.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+
+    /// Gather with optional indices: `None` produces NULL (used by outer
+    /// joins to null-extend the unmatched side).
+    pub fn gather_opt(&self, indices: &[Option<usize>]) -> Column {
+        if indices.iter().all(Option::is_some) {
+            let dense: Vec<usize> = indices.iter().map(|i| i.expect("checked")).collect();
+            return self.gather(&dense);
+        }
+        Column::Values(
+            indices
+                .iter()
+                .map(|i| match i {
+                    Some(i) => self.get(*i),
+                    None => Value::Null,
+                })
+                .collect(),
+        )
+    }
+
+    /// Keeps only entries whose mask bit is set.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        debug_assert_eq!(mask.len(), self.len());
+        fn keep<T: Clone>(v: &[T], mask: &[bool]) -> Vec<T> {
+            v.iter().zip(mask.iter()).filter(|(_, &m)| m).map(|(x, _)| x.clone()).collect()
+        }
+        match self {
+            Column::Int(v) => Column::Int(keep(v, mask)),
+            Column::Float(v) => Column::Float(keep(v, mask)),
+            Column::Str(v) => Column::Str(keep(v, mask)),
+            Column::Bool(v) => Column::Bool(keep(v, mask)),
+            Column::Values(v) => Column::Values(keep(v, mask)),
+        }
+    }
+
+    /// Truncates to the first `n` entries.
+    pub fn truncate(&mut self, n: usize) {
+        match self {
+            Column::Int(v) => v.truncate(n),
+            Column::Float(v) => v.truncate(n),
+            Column::Str(v) => v.truncate(n),
+            Column::Bool(v) => v.truncate(n),
+            Column::Values(v) => v.truncate(n),
+        }
+    }
+
+    /// Appends another column with `UNION` numeric coercion: an `Int`
+    /// column meeting a `Float` column (either way) becomes `Float`; any
+    /// other kind mismatch demotes to the generic representation.
+    pub fn append_coercing(&mut self, other: Column) {
+        match (&mut *self, other) {
+            (Column::Int(a), Column::Int(b)) => a.extend(b),
+            (Column::Float(a), Column::Float(b)) => a.extend(b),
+            (Column::Str(a), Column::Str(b)) => a.extend(b),
+            (Column::Bool(a), Column::Bool(b)) => a.extend(b),
+            (Column::Values(a), b) => {
+                for i in 0..b.len() {
+                    a.push(b.get(i));
+                }
+            }
+            (Column::Int(a), Column::Float(b)) => {
+                let mut floats: Vec<f64> = a.iter().map(|&i| i as f64).collect();
+                floats.extend(b);
+                *self = Column::Float(floats);
+            }
+            (Column::Float(a), Column::Int(b)) => {
+                a.extend(b.into_iter().map(|i| i as f64));
+            }
+            (_, b) => {
+                let generic = self.make_generic();
+                for i in 0..b.len() {
+                    generic.push(b.get(i));
+                }
+            }
+        }
+    }
+
+    /// Numeric view: each entry as `f64`, non-numeric entries as NaN
+    /// (mirrors the row-era `Table::numeric_column` semantics).
+    pub fn to_f64_lossy(&self) -> Vec<f64> {
+        match self {
+            Column::Int(v) => v.iter().map(|&i| i as f64).collect(),
+            Column::Float(v) => v.clone(),
+            Column::Bool(v) => v.iter().map(|&b| f64::from(b)).collect(),
+            Column::Str(v) => vec![f64::NAN; v.len()],
+            Column::Values(v) => v.iter().map(|x| x.as_f64().unwrap_or(f64::NAN)).collect(),
+        }
+    }
+
+    /// Borrow as native i64 slice when the column is dense `Int`.
+    pub fn as_int(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as native f64 slice when the column is dense `Float`.
+    pub fn as_float(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Iterates entries as [`Value`]s.
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_picks_dense_representation() {
+        let c = Column::from_values(vec![Value::Int(1), Value::Int(2)]);
+        assert!(matches!(c, Column::Int(_)));
+        let c = Column::from_values(vec![Value::Float(1.5)]);
+        assert!(matches!(c, Column::Float(_)));
+        let c = Column::from_values(vec![Value::Int(1), Value::Float(2.0)]);
+        assert!(matches!(c, Column::Values(_)));
+        let c = Column::from_values(vec![Value::Null]);
+        assert!(matches!(c, Column::Values(_)));
+    }
+
+    #[test]
+    fn push_preserves_value_identity() {
+        let mut c = Column::Int(vec![1]);
+        c.push(Value::Float(2.5));
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Float(2.5));
+    }
+
+    #[test]
+    fn gather_and_filter() {
+        let c = Column::Int(vec![10, 20, 30, 40]);
+        assert_eq!(c.gather(&[3, 0]), Column::Int(vec![40, 10]));
+        assert_eq!(c.filter(&[true, false, false, true]), Column::Int(vec![10, 40]));
+    }
+
+    #[test]
+    fn gather_opt_null_extends() {
+        let c = Column::Int(vec![1, 2]);
+        let out = c.gather_opt(&[Some(1), None]);
+        assert_eq!(out.get(0), Value::Int(2));
+        assert_eq!(out.get(1), Value::Null);
+    }
+
+    #[test]
+    fn union_coercion_promotes_numerics() {
+        let mut c = Column::Int(vec![1, 2]);
+        c.append_coercing(Column::Float(vec![0.5]));
+        assert_eq!(c, Column::Float(vec![1.0, 2.0, 0.5]));
+        let mut c = Column::Float(vec![0.5]);
+        c.append_coercing(Column::Int(vec![3]));
+        assert_eq!(c, Column::Float(vec![0.5, 3.0]));
+        let mut c = Column::Str(vec!["a".into()]);
+        c.append_coercing(Column::Int(vec![1]));
+        assert_eq!(c.get(1), Value::Int(1));
+    }
+
+    #[test]
+    fn lossy_numeric_view() {
+        let c = Column::Values(vec![Value::Int(1), Value::str("x"), Value::Null]);
+        let f = c.to_f64_lossy();
+        assert_eq!(f[0], 1.0);
+        assert!(f[1].is_nan() && f[2].is_nan());
+    }
+}

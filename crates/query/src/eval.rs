@@ -25,7 +25,12 @@ pub fn eval_row(expr: &Expr, schema: &Schema, row: &[Value]) -> Result<Value> {
 
 /// Evaluates with full-input access (supports LAG/LEAD at the current
 /// `idx`).
-pub fn eval_with_rows(expr: &Expr, schema: &Schema, rows: &[Vec<Value>], idx: usize) -> Result<Value> {
+pub fn eval_with_rows(
+    expr: &Expr,
+    schema: &Schema,
+    rows: &[Vec<Value>],
+    idx: usize,
+) -> Result<Value> {
     let row = &rows[idx];
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
@@ -186,9 +191,7 @@ pub fn eval_group(expr: &Expr, schema: &Schema, group: &[&Vec<Value>]) -> Result
         // Everything else (columns, literals, IN, BETWEEN, IS NULL) resolves
         // against the representative first row of the group.
         _ => {
-            let first = group
-                .first()
-                .ok_or_else(|| QueryError::Plan("empty group".into()))?;
+            let first = group.first().ok_or_else(|| QueryError::Plan("empty group".into()))?;
             eval_row(expr, schema, first)
         }
     }
@@ -210,11 +213,7 @@ fn eval_window(
             .ok_or_else(|| QueryError::Type(format!("{name} offset must be integer")))?,
         None => 1,
     };
-    let target = if name == "LAG" {
-        idx as i64 - offset
-    } else {
-        idx as i64 + offset
-    };
+    let target = if name == "LAG" { idx as i64 - offset } else { idx as i64 + offset };
     if target < 0 || target as usize >= rows.len() {
         // Default value argument, else NULL.
         return match args.get(2) {
@@ -225,7 +224,7 @@ fn eval_window(
     eval_with_rows(&args[0], schema, rows, target as usize)
 }
 
-fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
+pub(crate) fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
     match op {
         UnaryOp::Neg => {
             if v.is_null() {
@@ -244,7 +243,7 @@ fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
     }
 }
 
-fn eval_and(l: Value, r: Value) -> Result<Value> {
+pub(crate) fn eval_and(l: Value, r: Value) -> Result<Value> {
     // Three-valued logic: false dominates, then NULL.
     match (l.is_null(), r.is_null()) {
         (false, false) => Ok(Value::Bool(l.is_true() && r.is_true())),
@@ -254,7 +253,7 @@ fn eval_and(l: Value, r: Value) -> Result<Value> {
     }
 }
 
-fn eval_or(l: Value, r: Value) -> Result<Value> {
+pub(crate) fn eval_or(l: Value, r: Value) -> Result<Value> {
     match (l.is_null(), r.is_null()) {
         (false, false) => Ok(Value::Bool(l.is_true() || r.is_true())),
         (true, false) if r.is_true() => Ok(Value::Bool(true)),
@@ -263,10 +262,14 @@ fn eval_or(l: Value, r: Value) -> Result<Value> {
     }
 }
 
-fn eval_binary(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
+pub(crate) fn eval_binary(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
     match op {
         BinaryOp::And | BinaryOp::Or => unreachable!("handled by caller"),
-        BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt
+        BinaryOp::Eq
+        | BinaryOp::NotEq
+        | BinaryOp::Lt
+        | BinaryOp::LtEq
+        | BinaryOp::Gt
         | BinaryOp::GtEq => {
             let cmp = match l.sql_cmp(&r) {
                 Some(c) => c,
@@ -339,7 +342,7 @@ fn eval_binary(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
     }
 }
 
-fn eval_index(container: Value, index: Value) -> Result<Value> {
+pub(crate) fn eval_index(container: Value, index: Value) -> Result<Value> {
     match container {
         Value::Null => Ok(Value::Null),
         Value::Map(m) => {
@@ -363,7 +366,7 @@ fn eval_index(container: Value, index: Value) -> Result<Value> {
 }
 
 /// SQL LIKE matching: `%` = any run, `_` = one char.
-fn sql_like(pattern: &str, text: &str) -> bool {
+pub(crate) fn sql_like(pattern: &str, text: &str) -> bool {
     let p: Vec<char> = pattern.chars().collect();
     let t: Vec<char> = text.chars().collect();
     let (mut pi, mut ti) = (0usize, 0usize);
@@ -465,15 +468,9 @@ mod tests {
 
     #[test]
     fn map_index_and_missing_key() {
-        let hit = E::Index {
-            container: Box::new(E::col("tag")),
-            index: Box::new(E::lit("host")),
-        };
+        let hit = E::Index { container: Box::new(E::col("tag")), index: Box::new(E::lit("host")) };
         assert_eq!(ev(&hit), Value::str("web-1"));
-        let miss = E::Index {
-            container: Box::new(E::col("tag")),
-            index: Box::new(E::lit("nope")),
-        };
+        let miss = E::Index { container: Box::new(E::col("tag")), index: Box::new(E::lit("nope")) };
         assert_eq!(ev(&miss), Value::Null);
     }
 
@@ -560,10 +557,7 @@ mod tests {
         let lag = E::Function { name: "LAG".into(), args: vec![E::col("v")] };
         assert_eq!(eval_with_rows(&lag, &schema, &rows, 0).unwrap(), Value::Null);
         assert_eq!(eval_with_rows(&lag, &schema, &rows, 2).unwrap(), Value::Int(1));
-        let lead2 = E::Function {
-            name: "LEAD".into(),
-            args: vec![E::col("v"), E::lit(2i64)],
-        };
+        let lead2 = E::Function { name: "LEAD".into(), args: vec![E::col("v"), E::lit(2i64)] };
         assert_eq!(eval_with_rows(&lead2, &schema, &rows, 1).unwrap(), Value::Int(3));
         assert_eq!(eval_with_rows(&lead2, &schema, &rows, 3).unwrap(), Value::Null);
         let lag_default = E::Function {
@@ -594,11 +588,8 @@ mod tests {
         // Non-aggregate resolves on first row.
         assert_eq!(eval_group(&E::col("k"), &schema, &group).unwrap(), Value::str("a"));
         // Mixed expression: AVG(v) * 2.
-        let mixed = E::Binary {
-            op: BinaryOp::Mul,
-            left: Box::new(avg),
-            right: Box::new(E::lit(2i64)),
-        };
+        let mixed =
+            E::Binary { op: BinaryOp::Mul, left: Box::new(avg), right: Box::new(E::lit(2i64)) };
         assert_eq!(eval_group(&mixed, &schema, &group).unwrap(), Value::Float(4.0));
     }
 

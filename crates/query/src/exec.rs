@@ -1,351 +1,515 @@
-//! The query executor.
+//! The columnar query executor.
 //!
-//! Pipeline per SELECT: resolve FROM → apply JOINs (hash join on
-//! decomposable equi-conditions, nested loop otherwise) → WHERE → GROUP BY /
-//! aggregate or plain projection (with window functions) → ORDER BY →
-//! LIMIT. UNION concatenates compatible SELECT outputs.
+//! [`execute`] runs the three-stage pipeline: lower the AST to a logical
+//! plan ([`crate::plan::build`]), rewrite it ([`crate::optimize::optimize`])
+//! and interpret the optimized tree over typed [`Column`] vectors. The
+//! operators are vectorized where [`crate::veval`] supports the expression
+//! and fall back to the row-compat shim (`Table::rows`) for window
+//! functions, CASE and scalar function calls — mirroring the retained
+//! row-at-a-time oracle in [`crate::reference`].
+//!
+//! `EXPLAIN <query>` short-circuits after optimization and returns the
+//! rendered plan as a one-column table.
 
 use std::collections::HashMap;
 
-use crate::ast::{Expr, JoinKind, Query, SelectItem, SelectStmt, TableRef};
+use explainit_tsdb::{MetricFilter, TimeRange};
+
+use crate::ast::{Expr, JoinKind, Query};
 use crate::catalog::Catalog;
+use crate::column::Column;
 use crate::eval::{eval_group, eval_row, eval_with_rows};
+use crate::functions::{eval_aggregate, is_aggregate};
+use crate::optimize::optimize;
+use crate::plan::{build, equi_join_keys, render, LogicalPlan, TSDB_COLUMNS};
 use crate::table::{Schema, Table};
 use crate::value::Value;
+use crate::veval;
 use crate::{QueryError, Result};
 
-/// Executes a parsed query against a catalog.
+/// Executes a parsed query against a catalog through the
+/// plan → optimize → columnar-execute pipeline.
 pub fn execute(catalog: &Catalog, query: &Query) -> Result<Table> {
-    let mut result: Option<Table> = None;
-    for select in &query.selects {
-        let part = execute_select(catalog, select)?;
-        result = Some(match result {
-            None => part,
-            Some(acc) => union(acc, part)?,
-        });
+    let plan = build(catalog, query)?;
+    let plan = optimize(plan, catalog)?;
+    if query.explain {
+        let text = render(&plan);
+        let lines: Vec<Vec<Value>> = text.lines().map(|l| vec![Value::str(l)]).collect();
+        return Ok(Table::from_rows(&["plan"], lines));
     }
-    result.ok_or_else(|| QueryError::Plan("query has no SELECT".into()))
+    run(catalog, &plan)
 }
 
-fn union(mut acc: Table, part: Table) -> Result<Table> {
-    if acc.schema().len() != part.schema().len() {
-        return Err(QueryError::Plan(format!(
-            "UNION arity mismatch: {} vs {} columns",
-            acc.schema().len(),
-            part.schema().len()
-        )));
-    }
-    for row in part.into_rows() {
-        acc.push_row(row);
-    }
-    Ok(acc)
-}
+/// Runs an (optimized) plan.
+///
+/// Project/Aggregate outputs may carry trailing hidden ORDER BY key
+/// columns; the enclosing Sort (always directly above, by construction)
+/// consumes and drops them, and the planner emits hidden keys only when a
+/// Sort exists.
+pub fn run(catalog: &Catalog, plan: &LogicalPlan) -> Result<Table> {
+    match plan {
+        LogicalPlan::Scan { table } => {
+            let t = catalog.get(table).ok_or_else(|| QueryError::UnknownTable(table.clone()))?;
+            Ok(t.clone())
+        }
 
-fn execute_select(catalog: &Catalog, select: &SelectStmt) -> Result<Table> {
-    // ---- FROM + JOINs ----------------------------------------------------
-    let (mut schema, mut rows) = match &select.from {
-        Some(tref) => {
-            let (s, r) = resolve_table_ref(catalog, tref)?;
-            if select.joins.is_empty() {
-                (s, r)
+        LogicalPlan::TsdbScan { table, name, tags, start, end, columns } => {
+            run_tsdb_scan(catalog, table, name, tags, *start, *end, columns)
+        }
+
+        LogicalPlan::Unit => Ok(Table::unit(1)),
+
+        LogicalPlan::Alias { input, alias } => {
+            let t = run(catalog, input)?;
+            let schema = t.schema().qualified(alias);
+            Ok(t.with_schema(schema))
+        }
+
+        LogicalPlan::Filter { input, predicate } => {
+            let t = run(catalog, input)?;
+            if t.is_empty() {
+                // Per-row semantics: an empty input never evaluates the
+                // predicate (so e.g. ambiguous references cannot error),
+                // matching the reference interpreter.
+                return Ok(t);
+            }
+            let mask = if veval::supported(predicate) {
+                veval::eval_mask(predicate, t.schema(), t.columns(), t.len())?
             } else {
-                let scope = tref.scope_name().ok_or_else(|| {
-                    QueryError::Plan("subquery in a join needs an alias".into())
-                })?;
-                (s.qualified(scope), r)
-            }
-        }
-        None => (Schema::new(vec![]), vec![vec![]]), // SELECT <constants>
-    };
-    for join in &select.joins {
-        let (right_schema, right_rows) = resolve_table_ref(catalog, &join.table)?;
-        let scope = join
-            .table
-            .scope_name()
-            .ok_or_else(|| QueryError::Plan("joined subquery needs an alias".into()))?;
-        let right_schema = right_schema.qualified(scope);
-        (schema, rows) = join_tables(
-            schema,
-            rows,
-            right_schema,
-            right_rows,
-            join.kind,
-            &join.on,
-        )?;
-    }
-
-    // ---- WHERE -----------------------------------------------------------
-    if let Some(pred) = &select.where_clause {
-        let mut kept = Vec::with_capacity(rows.len());
-        for row in rows {
-            if eval_row(pred, &schema, &row)?.is_true() {
-                kept.push(row);
-            }
-        }
-        rows = kept;
-    }
-
-    // ---- GROUP BY / projection --------------------------------------------
-    let has_aggregates = select.items.iter().any(|i| match i {
-        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
-        SelectItem::Wildcard => false,
-    });
-    let grouped = !select.group_by.is_empty() || has_aggregates;
-
-    let (out_schema, mut out_rows, sort_keys) = if grouped {
-        project_grouped(select, &schema, &rows)?
-    } else {
-        project_plain(select, &schema, &rows)?
-    };
-
-    // ---- ORDER BY ---------------------------------------------------------
-    if !select.order_by.is_empty() {
-        let mut order: Vec<usize> = (0..out_rows.len()).collect();
-        order.sort_by(|&a, &b| {
-            for (k, key) in select.order_by.iter().enumerate() {
-                let cmp = sort_keys[a][k].order_cmp(&sort_keys[b][k]);
-                let cmp = if key.ascending { cmp } else { cmp.reverse() };
-                if cmp != std::cmp::Ordering::Equal {
-                    return cmp;
+                // Row fallback (window functions, CASE, scalar calls).
+                let mut mask = Vec::with_capacity(t.len());
+                for row in t.rows() {
+                    mask.push(eval_row(predicate, t.schema(), row)?.is_true());
                 }
-            }
-            std::cmp::Ordering::Equal
-        });
-        out_rows = {
-            let mut permuted = Vec::with_capacity(out_rows.len());
-            let mut taken: Vec<Option<Vec<Value>>> = out_rows.into_iter().map(Some).collect();
-            for i in order {
-                permuted.push(taken[i].take().expect("each index used once"));
-            }
-            permuted
-        };
-    }
-
-    // ---- LIMIT --------------------------------------------------------------
-    if let Some(limit) = select.limit {
-        out_rows.truncate(limit);
-    }
-    Ok(Table::from_parts(out_schema, out_rows))
-}
-
-/// Projection output: schema, output rows, and per-row ORDER BY key values.
-type Projected = (Schema, Vec<Vec<Value>>, Vec<Vec<Value>>);
-
-/// Plain (non-aggregate) projection. Returns schema, rows and per-row sort
-/// key values for ORDER BY.
-fn project_plain(select: &SelectStmt, schema: &Schema, rows: &[Vec<Value>]) -> Result<Projected> {
-    // Expand projection list.
-    let mut names = Vec::new();
-    let mut exprs: Vec<Expr> = Vec::new();
-    for item in &select.items {
-        match item {
-            SelectItem::Wildcard => {
-                for (i, c) in schema.columns().iter().enumerate() {
-                    names.push(c.clone());
-                    let _ = i;
-                    exprs.push(Expr::Column(c.clone()));
-                }
-            }
-            SelectItem::Expr { expr, alias } => {
-                names.push(alias.clone().unwrap_or_else(|| expr.default_name()));
-                exprs.push(expr.clone());
-            }
-        }
-    }
-    let out_schema = Schema::new(names);
-    let mut out_rows = Vec::with_capacity(rows.len());
-    let mut sort_keys = Vec::with_capacity(rows.len());
-    for idx in 0..rows.len() {
-        let mut out = Vec::with_capacity(exprs.len());
-        for e in &exprs {
-            out.push(eval_with_rows(e, schema, rows, idx)?);
-        }
-        // Sort keys: output alias reference or input expression.
-        let mut keys = Vec::with_capacity(select.order_by.len());
-        for ok in &select.order_by {
-            keys.push(order_key_value(&ok.expr, &out_schema, &out, schema, rows, idx)?);
-        }
-        sort_keys.push(keys);
-        out_rows.push(out);
-    }
-    Ok((out_schema, out_rows, sort_keys))
-}
-
-/// Grouped projection with aggregates.
-fn project_grouped(select: &SelectStmt, schema: &Schema, rows: &[Vec<Value>]) -> Result<Projected> {
-    for item in &select.items {
-        if matches!(item, SelectItem::Wildcard) {
-            return Err(QueryError::Plan("SELECT * cannot be combined with GROUP BY".into()));
-        }
-    }
-    // Group rows by key.
-    let mut group_order: Vec<String> = Vec::new();
-    let mut groups: HashMap<String, Vec<&Vec<Value>>> = HashMap::new();
-    for row in rows {
-        let mut key = String::new();
-        for g in &select.group_by {
-            key.push_str(&eval_row(g, schema, row)?.group_key());
-            key.push('\u{1}');
-        }
-        match groups.entry(key.clone()) {
-            std::collections::hash_map::Entry::Vacant(e) => {
-                group_order.push(key);
-                e.insert(vec![row]);
-            }
-            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(row),
-        }
-    }
-    // No GROUP BY but aggregates present: one global group (even when the
-    // input is empty, SQL returns one row of aggregates over nothing — we
-    // return an empty table for the empty-input case to keep COUNT simple).
-    if select.group_by.is_empty() && !rows.is_empty() {
-        groups.clear();
-        group_order.clear();
-        group_order.push(String::new());
-        groups.insert(String::new(), rows.iter().collect());
-    }
-
-    let mut names = Vec::with_capacity(select.items.len());
-    let mut exprs = Vec::with_capacity(select.items.len());
-    for item in &select.items {
-        if let SelectItem::Expr { expr, alias } = item {
-            names.push(alias.clone().unwrap_or_else(|| expr.default_name()));
-            exprs.push(expr.clone());
-        }
-    }
-    let out_schema = Schema::new(names);
-    let mut out_rows = Vec::with_capacity(groups.len());
-    let mut sort_keys = Vec::with_capacity(groups.len());
-    for key in &group_order {
-        let group = &groups[key];
-        let mut out = Vec::with_capacity(exprs.len());
-        for e in &exprs {
-            out.push(eval_group(e, schema, group)?);
-        }
-        let mut keys = Vec::with_capacity(select.order_by.len());
-        for ok in &select.order_by {
-            // Alias fast path; otherwise group evaluation.
-            let v = match &ok.expr {
-                Expr::Column(name) if out_schema.resolve(name).is_ok() => {
-                    out[out_schema.resolve(name)?].clone()
-                }
-                other => eval_group(other, schema, group)?,
+                mask
             };
-            keys.push(v);
+            let kept = mask.iter().filter(|&&m| m).count();
+            let (schema, cols, _) = t.into_columnar_parts();
+            let filtered: Vec<Column> = cols.iter().map(|c| c.filter(&mask)).collect();
+            Ok(Table::from_columnar_parts(schema, filtered, kept))
         }
-        sort_keys.push(keys);
-        out_rows.push(out);
+
+        LogicalPlan::Project { input, items, hidden } => {
+            let t = run(catalog, input)?;
+            run_project(&t, items, hidden)
+        }
+
+        LogicalPlan::Aggregate { input, group_by, items, hidden } => {
+            let t = run(catalog, input)?;
+            run_aggregate(&t, group_by, items, hidden)
+        }
+
+        LogicalPlan::Join { left, right, kind, on } => {
+            let l = run(catalog, left)?;
+            let r = run(catalog, right)?;
+            run_join(l, r, *kind, on)
+        }
+
+        LogicalPlan::Sort { input, keys, output_width } => {
+            let t = run(catalog, input)?;
+            // Materialize key values once: Column::get clones (allocating
+            // for strings), which must not happen per comparison.
+            let key_vals: Vec<(Vec<Value>, bool)> = keys
+                .iter()
+                .map(|&(k, asc)| {
+                    let col = t.column_at(k);
+                    ((0..t.len()).map(|i| col.get(i)).collect(), asc)
+                })
+                .collect();
+            let mut order: Vec<usize> = (0..t.len()).collect();
+            order.sort_by(|&a, &b| {
+                for (vals, asc) in &key_vals {
+                    let cmp = vals[a].order_cmp(&vals[b]);
+                    let cmp = if *asc { cmp } else { cmp.reverse() };
+                    if cmp != std::cmp::Ordering::Equal {
+                        return cmp;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            let (schema, cols, _) = t.into_columnar_parts();
+            let visible_names = schema.columns()[..*output_width].to_vec();
+            let visible_cols: Vec<Column> =
+                cols[..*output_width].iter().map(|c| c.gather(&order)).collect();
+            Ok(Table::from_columnar_parts(Schema::new(visible_names), visible_cols, order.len()))
+        }
+
+        LogicalPlan::Limit { input, n } => {
+            let t = run(catalog, input)?;
+            Ok(t.truncated(*n))
+        }
+
+        LogicalPlan::Union { inputs } => {
+            // Column-name compatibility is deliberately *not* enforced:
+            // standard SQL lets branches carry different names (the seed
+            // contract unions `v` with `w`), so the first branch names the
+            // output and later branches match by position. Arity mismatch
+            // errors name both schemas; Int/Float mixes coerce to Float.
+            let mut parts = inputs.iter();
+            let first = run(catalog, parts.next().expect("union has inputs"))?;
+            let (schema, mut cols, mut len) = first.into_columnar_parts();
+            for p in parts {
+                let part = run(catalog, p)?;
+                if part.schema().len() != schema.len() {
+                    return Err(QueryError::Plan(format!(
+                        "UNION arity mismatch: [{}] has {} columns, [{}] has {}",
+                        schema.columns().join(", "),
+                        schema.len(),
+                        part.schema().columns().join(", "),
+                        part.schema().len(),
+                    )));
+                }
+                len += part.len();
+                let (_, pcols, _) = part.into_columnar_parts();
+                for (acc, pc) in cols.iter_mut().zip(pcols) {
+                    acc.append_coercing(pc);
+                }
+            }
+            Ok(Table::from_columnar_parts(schema, cols, len))
+        }
     }
-    Ok((out_schema, out_rows, sort_keys))
 }
 
-fn order_key_value(
-    expr: &Expr,
-    out_schema: &Schema,
-    out_row: &[Value],
-    in_schema: &Schema,
-    rows: &[Vec<Value>],
-    idx: usize,
-) -> Result<Value> {
-    if let Expr::Column(name) = expr {
-        if let Ok(i) = out_schema.resolve(name) {
-            return Ok(out_row[i].clone());
-        }
+// ---------------------------------------------------------------------------
+// TSDB scan
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn run_tsdb_scan(
+    catalog: &Catalog,
+    table: &str,
+    name: &Option<String>,
+    tags: &[explainit_tsdb::TagFilter],
+    start: Option<i64>,
+    end: Option<i64>,
+    columns: &Option<Vec<usize>>,
+) -> Result<Table> {
+    let db =
+        catalog.tsdb_source(table).ok_or_else(|| QueryError::UnknownTable(table.to_string()))?;
+    let wanted: Vec<usize> = match columns {
+        Some(c) => c.clone(),
+        None => (0..TSDB_COLUMNS.len()).collect(),
+    };
+    let schema = Schema::new(wanted.iter().map(|&i| TSDB_COLUMNS[i].to_string()).collect());
+
+    // Inclusive plan bounds -> half-open store range.
+    let lo = start.unwrap_or(i64::MIN);
+    let hi = end.map_or(i64::MAX, |e| e.saturating_add(1));
+    if lo >= hi {
+        let empty: Vec<Column> = wanted
+            .iter()
+            .map(|&i| match i {
+                0 => Column::Int(Vec::new()),
+                3 => Column::Float(Vec::new()),
+                _ => Column::Str(Vec::new()),
+            })
+            .collect();
+        return Ok(Table::from_columnar_parts(schema, empty, 0));
     }
-    eval_with_rows(expr, in_schema, rows, idx)
+
+    let filter = MetricFilter { name: name.clone(), tags: tags.to_vec() };
+    let range = TimeRange::new(lo, hi);
+    let mut hits = db.scan(&filter, &range);
+    // Canonical-key order first, then a stable sort by timestamp, gives the
+    // same (timestamp, series key) row order as the materialized view.
+    hits.sort_by_cached_key(|(key, _, _)| key.canonical());
+
+    let total: usize = hits.iter().map(|(_, ts, _)| ts.len()).sum();
+    let mut ts_concat: Vec<i64> = Vec::with_capacity(total);
+    let mut hit_of: Vec<u32> = Vec::with_capacity(total);
+    for (h, (_, ts, _)) in hits.iter().enumerate() {
+        ts_concat.extend_from_slice(ts);
+        hit_of.extend(std::iter::repeat_n(h as u32, ts.len()));
+    }
+    let mut order: Vec<u32> = (0..total as u32).collect();
+    order.sort_by_key(|&i| ts_concat[i as usize]); // stable: ties stay key-ordered
+
+    let mut out_cols: Vec<Column> = Vec::with_capacity(wanted.len());
+    for &c in &wanted {
+        let col = match c {
+            0 => Column::Int(order.iter().map(|&i| ts_concat[i as usize]).collect()),
+            1 => {
+                let names: Vec<&str> = hits.iter().map(|(k, _, _)| k.name.as_str()).collect();
+                Column::Str(
+                    order.iter().map(|&i| names[hit_of[i as usize] as usize].to_string()).collect(),
+                )
+            }
+            2 => {
+                let maps: Vec<&std::collections::BTreeMap<String, String>> =
+                    hits.iter().map(|(k, _, _)| &k.tags).collect();
+                Column::Values(
+                    order
+                        .iter()
+                        .map(|&i| Value::Map(maps[hit_of[i as usize] as usize].clone()))
+                        .collect(),
+                )
+            }
+            _ => {
+                let mut vals_concat: Vec<f64> = Vec::with_capacity(total);
+                for (_, _, vs) in &hits {
+                    vals_concat.extend_from_slice(vs);
+                }
+                Column::Float(order.iter().map(|&i| vals_concat[i as usize]).collect())
+            }
+        };
+        out_cols.push(col);
+    }
+    Ok(Table::from_columnar_parts(schema, out_cols, total))
 }
 
-fn resolve_table_ref(catalog: &Catalog, tref: &TableRef) -> Result<(Schema, Vec<Vec<Value>>)> {
-    match tref {
-        TableRef::Named { name, .. } => {
-            let t = catalog
-                .get(name)
-                .ok_or_else(|| QueryError::UnknownTable(name.clone()))?;
-            Ok((t.schema().clone(), t.rows().to_vec()))
-        }
-        TableRef::Subquery { query, .. } => {
-            let t = execute(catalog, query)?;
-            let schema = t.schema().clone();
-            Ok((schema, t.into_rows()))
-        }
+// ---------------------------------------------------------------------------
+// Projection
+// ---------------------------------------------------------------------------
+
+fn project_names(items: &[(Expr, String)], hidden_count: usize) -> Schema {
+    let mut names: Vec<String> = items.iter().map(|(_, n)| n.clone()).collect();
+    for i in 0..hidden_count {
+        names.push(format!("__ord{i}"));
     }
+    Schema::new(names)
 }
 
-// ---- joins -----------------------------------------------------------------
+fn run_project(t: &Table, items: &[(Expr, String)], hidden: &[Expr]) -> Result<Table> {
+    let len = t.len();
+    if len == 0 {
+        // Per-row semantics: nothing is evaluated over an empty input.
+        let cols = vec![Column::empty(); items.len() + hidden.len()];
+        return Ok(Table::from_columnar_parts(project_names(items, hidden.len()), cols, 0));
+    }
+    let exprs: Vec<&Expr> = items.iter().map(|(e, _)| e).chain(hidden.iter()).collect();
+    let mut out_cols: Vec<Column> = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        let col = if veval::supported(e) {
+            veval::eval(e, t.schema(), t.columns(), len)?.into_column(len)
+        } else {
+            // Row fallback: window functions see the full input rows.
+            let rows = t.rows();
+            let mut vals = Vec::with_capacity(len);
+            for idx in 0..len {
+                vals.push(eval_with_rows(e, t.schema(), rows, idx)?);
+            }
+            Column::from_values(vals)
+        };
+        out_cols.push(col);
+    }
+    Ok(Table::from_columnar_parts(project_names(items, hidden.len()), out_cols, len))
+}
 
-fn join_tables(
-    left_schema: Schema,
-    left_rows: Vec<Vec<Value>>,
-    right_schema: Schema,
-    right_rows: Vec<Vec<Value>>,
-    kind: JoinKind,
-    on: &Expr,
-) -> Result<(Schema, Vec<Vec<Value>>)> {
-    let mut columns = left_schema.columns().to_vec();
-    columns.extend(right_schema.columns().iter().cloned());
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+fn run_aggregate(
+    t: &Table,
+    group_by: &[Expr],
+    items: &[(Expr, String)],
+    hidden: &[Expr],
+) -> Result<Table> {
+    let len = t.len();
+    if len == 0 {
+        // Per-row semantics: no rows, no groups, no expression evaluation.
+        let cols = vec![Column::empty(); items.len() + hidden.len()];
+        return Ok(Table::from_columnar_parts(project_names(items, hidden.len()), cols, 0));
+    }
+
+    // Group keys, vectorized where possible.
+    let mut key_cols: Vec<Column> = Vec::with_capacity(group_by.len());
+    for g in group_by {
+        let col = if veval::supported(g) {
+            veval::eval(g, t.schema(), t.columns(), len)?.into_column(len)
+        } else {
+            let rows = t.rows();
+            let mut vals = Vec::with_capacity(len);
+            for row in rows {
+                vals.push(eval_row(g, t.schema(), row)?);
+            }
+            Column::from_values(vals)
+        };
+        key_cols.push(col);
+    }
+
+    // Bucket row indices by key, preserving first-seen order.
+    let mut group_order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+    if group_by.is_empty() {
+        // One global group over all rows; empty input yields an empty
+        // result (COUNT over nothing stays simple, matching the oracle).
+        if len > 0 {
+            group_order.push(String::new());
+            groups.insert(String::new(), (0..len).collect());
+        }
+    } else {
+        for row in 0..len {
+            let mut key = String::new();
+            for kc in &key_cols {
+                key.push_str(&kc.get(row).group_key());
+                key.push('\u{1}');
+            }
+            match groups.entry(key.clone()) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    group_order.push(key);
+                    e.insert(vec![row]);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(row),
+            }
+        }
+    }
+
+    let exprs: Vec<&Expr> = items.iter().map(|(e, _)| e).chain(hidden.iter()).collect();
+    let mut out_cols: Vec<Column> = Vec::with_capacity(exprs.len());
+    // Lazily materialized row shim for the general fallback.
+    let mut fallback_rows: Option<&[Vec<Value>]> = None;
+
+    for e in exprs {
+        // Fast path (a): the expression IS one of the group keys.
+        if let Some(k) = group_by.iter().position(|g| g == e) {
+            let vals: Vec<Value> =
+                group_order.iter().map(|key| key_cols[k].get(groups[key][0])).collect();
+            out_cols.push(Column::from_values(vals));
+            continue;
+        }
+        // Fast path (b): a plain aggregate call over vectorizable args.
+        if let Expr::Function { name, args } = e {
+            if is_aggregate(name) && args.iter().all(veval::supported) {
+                let arg_cols: Vec<Column> = args
+                    .iter()
+                    .map(|a| {
+                        veval::eval(a, t.schema(), t.columns(), len).map(|v| v.into_column(len))
+                    })
+                    .collect::<Result<_>>()?;
+                let mut vals = Vec::with_capacity(group_order.len());
+                for key in &group_order {
+                    let idx = &groups[key];
+                    let per_row: Vec<Vec<Value>> =
+                        idx.iter().map(|&r| arg_cols.iter().map(|c| c.get(r)).collect()).collect();
+                    vals.push(eval_aggregate(name, &per_row)?);
+                }
+                out_cols.push(Column::from_values(vals));
+                continue;
+            }
+        }
+        // General fallback: evaluate over the group's rows.
+        let rows = match fallback_rows {
+            Some(r) => r,
+            None => {
+                fallback_rows = Some(t.rows());
+                fallback_rows.expect("just set")
+            }
+        };
+        let mut vals = Vec::with_capacity(group_order.len());
+        for key in &group_order {
+            let group: Vec<&Vec<Value>> = groups[key].iter().map(|&r| &rows[r]).collect();
+            vals.push(eval_group(e, t.schema(), &group)?);
+        }
+        out_cols.push(Column::from_values(vals));
+    }
+
+    Ok(Table::from_columnar_parts(project_names(items, hidden.len()), out_cols, group_order.len()))
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+fn join_key_at(cols: &[&Column], row: usize) -> (bool, String) {
+    let mut key = String::new();
+    let mut has_null = false;
+    for c in cols {
+        let v = c.get(row);
+        if v.is_null() {
+            has_null = true;
+        }
+        key.push_str(&v.group_key());
+        key.push('\u{1}');
+    }
+    (has_null, key)
+}
+
+fn run_join(left: Table, right: Table, kind: JoinKind, on: &Expr) -> Result<Table> {
+    let mut columns = left.schema().columns().to_vec();
+    columns.extend(right.schema().columns().iter().cloned());
     let combined = Schema::new(columns);
-    let left_width = left_schema.len();
-    let right_width = right_schema.len();
 
-    let mut out: Vec<Vec<Value>> = Vec::new();
-    let mut right_matched = vec![false; right_rows.len()];
+    if let Some((lk, rk)) = equi_join_keys(on, left.schema(), right.schema()) {
+        // Hash join over columnar keys: build pair lists, then gather.
+        let right_key_cols: Vec<&Column> = rk.iter().map(|&c| right.column_at(c)).collect();
+        let left_key_cols: Vec<&Column> = lk.iter().map(|&c| left.column_at(c)).collect();
 
-    if let Some((lk, rk)) = equi_join_keys(on, &left_schema, &right_schema) {
-        // Hash join on the decomposed key columns.
         let mut index: HashMap<String, Vec<usize>> = HashMap::new();
-        for (ri, rrow) in right_rows.iter().enumerate() {
-            if rk.iter().any(|&c| rrow[c].is_null()) {
+        for ri in 0..right.len() {
+            let (has_null, key) = join_key_at(&right_key_cols, ri);
+            if has_null {
                 continue; // NULL keys never match
             }
-            let key = join_key(rrow, &rk);
             index.entry(key).or_default().push(ri);
         }
-        for lrow in &left_rows {
-            let null_key = lk.iter().any(|&c| lrow[c].is_null());
-            let matches = if null_key {
-                None
-            } else {
-                index.get(&join_key(lrow, &lk))
-            };
+
+        let mut left_idx: Vec<Option<usize>> = Vec::new();
+        let mut right_idx: Vec<Option<usize>> = Vec::new();
+        let mut right_matched = vec![false; right.len()];
+        for li in 0..left.len() {
+            let (has_null, key) = join_key_at(&left_key_cols, li);
+            let matches = if has_null { None } else { index.get(&key) };
             match matches {
                 Some(ris) if !ris.is_empty() => {
                     for &ri in ris {
                         right_matched[ri] = true;
-                        let mut row = lrow.clone();
-                        row.extend(right_rows[ri].iter().cloned());
-                        out.push(row);
+                        left_idx.push(Some(li));
+                        right_idx.push(Some(ri));
                     }
                 }
                 _ => {
                     if kind != JoinKind::Inner {
-                        let mut row = lrow.clone();
-                        row.extend(std::iter::repeat_n(Value::Null, right_width));
-                        out.push(row);
+                        left_idx.push(Some(li));
+                        right_idx.push(None);
                     }
                 }
             }
         }
-    } else {
-        // General nested loop with full ON evaluation.
-        for lrow in &left_rows {
-            let mut matched = false;
-            for (ri, rrow) in right_rows.iter().enumerate() {
-                let mut row = lrow.clone();
-                row.extend(rrow.iter().cloned());
-                if eval_row(on, &combined, &row)?.is_true() {
-                    matched = true;
-                    right_matched[ri] = true;
-                    out.push(row);
+        if kind == JoinKind::FullOuter {
+            for (ri, matched) in right_matched.iter().enumerate() {
+                if !matched {
+                    left_idx.push(None);
+                    right_idx.push(Some(ri));
                 }
             }
-            if !matched && kind != JoinKind::Inner {
-                let mut row = lrow.clone();
-                row.extend(std::iter::repeat_n(Value::Null, right_width));
+        }
+
+        let mut out: Vec<Column> = Vec::with_capacity(combined.len());
+        for c in left.columns() {
+            out.push(c.gather_opt(&left_idx));
+        }
+        for c in right.columns() {
+            out.push(c.gather_opt(&right_idx));
+        }
+        let len = left_idx.len();
+        return Ok(Table::from_columnar_parts(combined, out, len));
+    }
+
+    // General nested loop with full ON evaluation (row shim).
+    let left_rows = left.rows();
+    let right_rows = right.rows();
+    let right_width = right.schema().len();
+    let left_width = left.schema().len();
+    let mut out: Vec<Vec<Value>> = Vec::new();
+    let mut right_matched = vec![false; right_rows.len()];
+    for lrow in left_rows {
+        let mut matched = false;
+        for (ri, rrow) in right_rows.iter().enumerate() {
+            let mut row = lrow.clone();
+            row.extend(rrow.iter().cloned());
+            if eval_row(on, &combined, &row)?.is_true() {
+                matched = true;
+                right_matched[ri] = true;
                 out.push(row);
             }
         }
+        if !matched && kind != JoinKind::Inner {
+            let mut row = lrow.clone();
+            row.extend(std::iter::repeat_n(Value::Null, right_width));
+            out.push(row);
+        }
     }
-
     if kind == JoinKind::FullOuter {
         for (ri, rrow) in right_rows.iter().enumerate() {
             if !right_matched[ri] {
@@ -355,65 +519,7 @@ fn join_tables(
             }
         }
     }
-    Ok((combined, out))
-}
-
-fn join_key(row: &[Value], cols: &[usize]) -> String {
-    let mut key = String::new();
-    for &c in cols {
-        key.push_str(&row[c].group_key());
-        key.push('\u{1}');
-    }
-    key
-}
-
-/// Tries to decompose the ON predicate into `l1 = r1 AND l2 = r2 AND ...`
-/// with each side resolving in exactly one input. Returns parallel column
-/// index lists on success.
-fn equi_join_keys(on: &Expr, left: &Schema, right: &Schema) -> Option<(Vec<usize>, Vec<usize>)> {
-    let mut conjuncts = Vec::new();
-    collect_conjuncts(on, &mut conjuncts);
-    let mut lk = Vec::new();
-    let mut rk = Vec::new();
-    for c in conjuncts {
-        match c {
-            Expr::Binary { op: crate::ast::BinaryOp::Eq, left: a, right: b } => {
-                let (Expr::Column(ca), Expr::Column(cb)) = (a.as_ref(), b.as_ref()) else {
-                    return None;
-                };
-                let (la, ra) = (left.resolve(ca).ok(), right.resolve(ca).ok());
-                let (lb, rb) = (left.resolve(cb).ok(), right.resolve(cb).ok());
-                match (la, rb, ra, lb) {
-                    // a on the left, b on the right (only unambiguous splits).
-                    (Some(l), Some(r), None, None) => {
-                        lk.push(l);
-                        rk.push(r);
-                    }
-                    (None, None, Some(r), Some(l)) => {
-                        lk.push(l);
-                        rk.push(r);
-                    }
-                    _ => return None,
-                }
-            }
-            _ => return None,
-        }
-    }
-    if lk.is_empty() {
-        None
-    } else {
-        Some((lk, rk))
-    }
-}
-
-fn collect_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
-    match e {
-        Expr::Binary { op: crate::ast::BinaryOp::And, left, right } => {
-            collect_conjuncts(left, out);
-            collect_conjuncts(right, out);
-        }
-        other => out.push(other.clone()),
-    }
+    Ok(Table::from_parts(combined, out))
 }
 
 #[cfg(test)]
@@ -481,10 +587,8 @@ mod tests {
 
     #[test]
     fn group_by_expression_key() {
-        let t = run(
-            "SELECT SPLIT(host, '-')[0] AS grp, SUM(v) AS total FROM t \
-             GROUP BY SPLIT(host, '-')[0] ORDER BY grp",
-        );
+        let t = run("SELECT SPLIT(host, '-')[0] AS grp, SUM(v) AS total FROM t \
+             GROUP BY SPLIT(host, '-')[0] ORDER BY grp");
         assert_eq!(t.len(), 2);
         assert_eq!(t.rows()[0][0], Value::str("db"));
         assert_eq!(t.rows()[0][1], Value::Float(100.0));
@@ -530,11 +634,7 @@ mod tests {
         let t = run("SELECT t.ts, u.ts FROM t FULL OUTER JOIN u ON t.ts = u.ts");
         // 3 matched (0x2, 2) + 2 unmatched-left (ts=1 x2) + 1 unmatched-right (ts=9).
         assert_eq!(t.len(), 6);
-        let unmatched_right: Vec<_> = t
-            .rows()
-            .iter()
-            .filter(|r| r[0].is_null())
-            .collect();
+        let unmatched_right: Vec<_> = t.rows().iter().filter(|r| r[0].is_null()).collect();
         assert_eq!(unmatched_right.len(), 1);
         assert_eq!(unmatched_right[0][1], Value::Int(9));
     }
@@ -562,6 +662,31 @@ mod tests {
         let c = catalog();
         let q = parse_query("SELECT v FROM t UNION ALL SELECT ts, w FROM u").unwrap();
         assert!(matches!(execute(&c, &q), Err(QueryError::Plan(_))));
+    }
+
+    #[test]
+    fn union_arity_error_names_both_schemas() {
+        let c = catalog();
+        let q = parse_query("SELECT v FROM t UNION ALL SELECT ts, w FROM u").unwrap();
+        let Err(QueryError::Plan(msg)) = execute(&c, &q) else { panic!("expected plan error") };
+        assert!(msg.contains("[v]"), "message: {msg}");
+        assert!(msg.contains("[ts, w]"), "message: {msg}");
+    }
+
+    #[test]
+    fn union_coerces_int_and_float_columns() {
+        let t = run("SELECT ts FROM t WHERE ts = 2 UNION ALL SELECT w FROM u WHERE ts = 0");
+        assert_eq!(t.len(), 2);
+        // The Int column meets a Float column: both render as floats.
+        assert_eq!(t.rows()[0][0], Value::Float(2.0));
+        assert_eq!(t.rows()[1][0], Value::Float(10.0));
+    }
+
+    #[test]
+    fn union_keeps_first_branch_column_names() {
+        let t = run("SELECT v AS reading FROM t WHERE ts = 2 UNION ALL SELECT w FROM u");
+        assert_eq!(t.schema().columns(), &["reading"]);
+        assert_eq!(t.len(), 4);
     }
 
     #[test]
@@ -612,10 +737,8 @@ mod tests {
 
     #[test]
     fn case_in_projection() {
-        let t = run(
-            "SELECT host, CASE WHEN v >= 100 THEN 'hot' ELSE 'ok' END AS status \
-             FROM t ORDER BY v DESC LIMIT 1",
-        );
+        let t = run("SELECT host, CASE WHEN v >= 100 THEN 'hot' ELSE 'ok' END AS status \
+             FROM t ORDER BY v DESC LIMIT 1");
         assert_eq!(t.rows()[0][1], Value::str("hot"));
     }
 
@@ -626,15 +749,32 @@ mod tests {
             "n",
             Table::from_rows(
                 &["k", "x"],
-                vec![
-                    vec![Value::Null, Value::Int(1)],
-                    vec![Value::Int(0), Value::Int(2)],
-                ],
+                vec![vec![Value::Null, Value::Int(1)], vec![Value::Int(0), Value::Int(2)]],
             ),
         );
         let q = parse_query("SELECT n.x, u.w FROM n JOIN u ON n.k = u.ts").unwrap();
         let t = execute(&c, &q).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.rows()[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn explain_returns_one_column_plan() {
+        let c = catalog();
+        let q = parse_query("EXPLAIN SELECT v FROM t WHERE ts > 0 ORDER BY v LIMIT 2").unwrap();
+        let t = execute(&c, &q).unwrap();
+        assert_eq!(t.schema().columns(), &["plan"]);
+        let text: Vec<String> = t.rows().iter().map(|r| r[0].render()).collect();
+        let joined = text.join("\n");
+        assert!(joined.contains("Limit 2"), "plan:\n{joined}");
+        assert!(joined.contains("Sort"), "plan:\n{joined}");
+        assert!(joined.contains("Filter"), "plan:\n{joined}");
+        assert!(joined.contains("Scan t"), "plan:\n{joined}");
+    }
+
+    #[test]
+    fn empty_global_aggregate_returns_empty_table() {
+        let t = run("SELECT COUNT(*) AS n FROM t WHERE ts > 100");
+        assert_eq!(t.len(), 0);
     }
 }

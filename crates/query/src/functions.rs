@@ -5,10 +5,7 @@ use crate::{QueryError, Result};
 
 /// True when `name` (uppercase) is an aggregate function.
 pub fn is_aggregate(name: &str) -> bool {
-    matches!(
-        name,
-        "AVG" | "SUM" | "MIN" | "MAX" | "COUNT" | "STDDEV" | "VARIANCE" | "PERCENTILE"
-    )
+    matches!(name, "AVG" | "SUM" | "MIN" | "MAX" | "COUNT" | "STDDEV" | "VARIANCE" | "PERCENTILE")
 }
 
 /// True when `name` (uppercase) is a window function.
@@ -37,7 +34,9 @@ pub fn eval_scalar(name: &str, args: &[Value]) -> Result<Value> {
                 (Value::Null, _) => Ok(Value::Null),
                 (Value::Str(s), Value::Str(sep)) => {
                     if sep.is_empty() {
-                        return Err(QueryError::BadFunction("SPLIT separator must be non-empty".into()));
+                        return Err(QueryError::BadFunction(
+                            "SPLIT separator must be non-empty".into(),
+                        ));
                     }
                     Ok(Value::List(
                         s.split(sep.as_str()).map(|p| Value::Str(p.to_string())).collect(),
@@ -143,9 +142,9 @@ pub fn eval_scalar(name: &str, args: &[Value]) -> Result<Value> {
             expect_arity(name, args, 1)?;
             match &args[0] {
                 Value::Null => Ok(Value::Null),
-                Value::Str(s) => Ok(Value::Str(
-                    s.split('-').next().unwrap_or_default().to_string(),
-                )),
+                Value::Str(s) => {
+                    Ok(Value::Str(s.split('-').next().unwrap_or_default().to_string()))
+                }
                 _ => Err(QueryError::Type("HOSTGROUP expects a string".into())),
             }
         }
@@ -171,10 +170,8 @@ pub fn eval_scalar(name: &str, args: &[Value]) -> Result<Value> {
 /// list. NULL first-arguments are skipped (SQL semantics) except by COUNT
 /// whose argument convention here is `COUNT(*)` ≙ `COUNT(1)`.
 pub fn eval_aggregate(name: &str, args_per_row: &[Vec<Value>]) -> Result<Value> {
-    let first_args: Vec<&Value> = args_per_row
-        .iter()
-        .map(|a| a.first().unwrap_or(&Value::Null))
-        .collect();
+    let first_args: Vec<&Value> =
+        args_per_row.iter().map(|a| a.first().unwrap_or(&Value::Null)).collect();
     let numeric: Vec<f64> = first_args.iter().filter_map(|v| v.as_f64()).collect();
     match name {
         "COUNT" => Ok(Value::Int(first_args.iter().filter(|v| !v.is_null()).count() as i64)),
@@ -199,8 +196,8 @@ pub fn eval_aggregate(name: &str, args_per_row: &[Vec<Value>]) -> Result<Value> 
                 return Ok(Value::Null);
             }
             let mean = numeric.iter().sum::<f64>() / numeric.len() as f64;
-            let var = numeric.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / numeric.len() as f64;
+            let var =
+                numeric.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / numeric.len() as f64;
             Ok(Value::Float(if name == "STDDEV" { var.sqrt() } else { var }))
         }
         "PERCENTILE" => {
@@ -258,10 +255,7 @@ fn expect_arity(name: &str, args: &[Value], n: usize) -> Result<()> {
     if args.len() == n {
         Ok(())
     } else {
-        Err(QueryError::BadFunction(format!(
-            "{name} expects {n} argument(s), got {}",
-            args.len()
-        )))
+        Err(QueryError::BadFunction(format!("{name} expects {n} argument(s), got {}", args.len())))
     }
 }
 
@@ -335,18 +329,12 @@ mod tests {
         assert_eq!(v, Value::Float(0.0));
         let v = eval_scalar("LEAST", &[Value::Float(5.0), Value::Int(2)]).unwrap();
         assert_eq!(v, Value::Float(2.0));
-        assert_eq!(
-            eval_scalar("GREATEST", &[Value::Null, Value::Int(1)]).unwrap(),
-            Value::Null
-        );
+        assert_eq!(eval_scalar("GREATEST", &[Value::Null, Value::Int(1)]).unwrap(), Value::Null);
     }
 
     #[test]
     fn hostgroup_udf() {
-        assert_eq!(
-            eval_scalar("HOSTGROUP", &[Value::str("web-12")]).unwrap(),
-            Value::str("web")
-        );
+        assert_eq!(eval_scalar("HOSTGROUP", &[Value::str("web-12")]).unwrap(), Value::str("web"));
         assert_eq!(
             eval_scalar("HOSTGROUP", &[Value::str("standalone")]).unwrap(),
             Value::str("standalone")
@@ -384,16 +372,15 @@ mod tests {
             eval_scalar("ROUND", &[Value::Float(2.345), Value::Int(2)]).unwrap(),
             Value::Float(2.35)
         );
-        assert_eq!(eval_scalar("POW", &[Value::Int(2), Value::Int(10)]).unwrap(), Value::Float(1024.0));
+        assert_eq!(
+            eval_scalar("POW", &[Value::Int(2), Value::Int(10)]).unwrap(),
+            Value::Float(1024.0)
+        );
     }
 
     #[test]
     fn aggregate_avg_sum_count() {
-        let rows = vec![
-            vec![Value::Float(1.0)],
-            vec![Value::Float(3.0)],
-            vec![Value::Null],
-        ];
+        let rows = vec![vec![Value::Float(1.0)], vec![Value::Float(3.0)], vec![Value::Null]];
         assert_eq!(eval_aggregate("AVG", &rows).unwrap(), Value::Float(2.0));
         assert_eq!(eval_aggregate("SUM", &rows).unwrap(), Value::Float(4.0));
         assert_eq!(eval_aggregate("COUNT", &rows).unwrap(), Value::Int(2));
@@ -401,11 +388,7 @@ mod tests {
 
     #[test]
     fn aggregate_min_max_strings() {
-        let rows = vec![
-            vec![Value::str("b")],
-            vec![Value::str("a")],
-            vec![Value::str("c")],
-        ];
+        let rows = vec![vec![Value::str("b")], vec![Value::str("a")], vec![Value::str("c")]];
         assert_eq!(eval_aggregate("MIN", &rows).unwrap(), Value::str("a"));
         assert_eq!(eval_aggregate("MAX", &rows).unwrap(), Value::str("c"));
     }
@@ -430,13 +413,11 @@ mod tests {
 
     #[test]
     fn percentile_interpolates() {
-        let rows: Vec<Vec<Value>> = (1..=5)
-            .map(|v| vec![Value::Float(v as f64), Value::Float(0.5)])
-            .collect();
+        let rows: Vec<Vec<Value>> =
+            (1..=5).map(|v| vec![Value::Float(v as f64), Value::Float(0.5)]).collect();
         assert_eq!(eval_aggregate("PERCENTILE", &rows).unwrap(), Value::Float(3.0));
-        let rows99: Vec<Vec<Value>> = (0..101)
-            .map(|v| vec![Value::Float(v as f64), Value::Float(0.99)])
-            .collect();
+        let rows99: Vec<Vec<Value>> =
+            (0..101).map(|v| vec![Value::Float(v as f64), Value::Float(0.99)]).collect();
         assert_eq!(eval_aggregate("PERCENTILE", &rows99).unwrap(), Value::Float(99.0));
         let bad: Vec<Vec<Value>> = vec![vec![Value::Float(1.0), Value::Float(2.0)]];
         assert!(eval_aggregate("PERCENTILE", &bad).is_err());
@@ -444,10 +425,7 @@ mod tests {
 
     #[test]
     fn unknown_function_errors() {
-        assert!(matches!(
-            eval_scalar("NOPE", &[]),
-            Err(QueryError::BadFunction(_))
-        ));
+        assert!(matches!(eval_scalar("NOPE", &[]), Err(QueryError::BadFunction(_))));
         assert!(eval_aggregate("NOPE", &[]).is_err());
     }
 

@@ -328,4 +328,12 @@ mod tests {
         assert!(t[0].is_kw("select"));
         assert!(!t[0].is_kw("FROM"));
     }
+
+    #[test]
+    fn explain_prefix_tokenizes_as_keyword() {
+        let t = tokenize("EXPLAIN SELECT 1").unwrap();
+        assert!(t[0].is_kw("EXPLAIN"));
+        let t = tokenize("explain select 1").unwrap();
+        assert!(t[0].is_kw("EXPLAIN"));
+    }
 }

@@ -1,10 +1,42 @@
-//! A declarative SQL-subset engine over the time series store.
+//! A declarative SQL-subset engine over the time series store, built as a
+//! three-stage **plan → optimize → columnar-execute** pipeline.
 //!
 //! The paper's thesis is that *databases are in a unique position to enable
 //! exploratory causal analysis*: users enumerate hypotheses with SQL
-//! (Appendix C lists the production queries). The production system used
-//! Spark SQL; this crate implements the subset those queries need, from
-//! scratch:
+//! (Appendix C lists the production queries), so hypothesis-exploration
+//! throughput is bounded by query throughput. The production system leaned
+//! on Spark SQL's optimizer and columnar execution; this crate implements
+//! the same staging from scratch:
+//!
+//! 1. **Plan** ([`plan`]) — the parsed AST is lowered to a logical operator
+//!    tree (`Scan`/`Filter`/`Project`/`Aggregate`/`Join`/`Sort`/`Limit`/
+//!    `Union`), with ORDER BY keys resolved to output columns or hidden
+//!    input-scope key columns at plan time.
+//! 2. **Optimize** ([`optimize`]) — rule-based rewrites: constant folding,
+//!    predicate pushdown (through projections and aliases, into the
+//!    matching side of joins, and through aggregate group keys), and —
+//!    crucially — pushdown *into storage*: on a table bound with
+//!    [`Catalog::register_tsdb`], `metric_name = '…'`, `tag['k'] = 'v'`,
+//!    `tag['k'] IS [NOT] NULL` and `timestamp` range conjuncts become an
+//!    inverted-tag-index scan ([`explainit_tsdb::Tsdb::scan`]) instead of a
+//!    full-store materialization. Projection pruning then drops unused
+//!    observation columns (skipping per-row tag-map clones entirely when
+//!    `tag` is never read).
+//! 3. **Execute** ([`exec`], internal) — physical operators over typed
+//!    column vectors ([`Table`] is columnar with a row-compat shim):
+//!    vectorized WHERE masks, hash joins and grouped aggregation gather
+//!    column indices instead of materializing row vectors; window
+//!    functions, CASE and scalar calls fall back to the row shim.
+//!
+//! `EXPLAIN <query>` returns the optimized plan as a one-column table —
+//! the fastest way to confirm a predicate reached the `TsdbScan` node.
+//!
+//! The pre-pipeline tree-walking interpreter is retained verbatim in
+//! [`reference`] as a differential-testing oracle (see
+//! `tests/differential.rs`) and as the baseline the `query_exec` bench
+//! measures the pipeline against.
+//!
+//! Supported SQL surface (unchanged from the seed engine):
 //!
 //! * `SELECT` projections with aliases, arithmetic and scalar functions
 //!   (`CONCAT`, `SPLIT(s, sep)[i]`, `GREATEST`, `COALESCE`, ...);
@@ -15,11 +47,12 @@
 //! * the window function `LAG(expr, k)` over the current row order (§3.5
 //!   footnote: lagged features for time series);
 //! * `UNION ALL` of compatible queries (stage-one family queries are
-//!   unioned, Figure 4);
+//!   unioned, Figure 4) with Int/Float column coercion;
 //! * `INNER` / `LEFT` / `FULL OUTER JOIN ... ON` equality conditions (the
 //!   hypothesis-generation join of Appendix C);
 //! * `ORDER BY ... ASC|DESC`, `LIMIT`;
-//! * map access `tag['host']` against the TSDB virtual table.
+//! * map access `tag['host']` against the TSDB virtual table;
+//! * `EXPLAIN <query>`.
 //!
 //! The entry point is [`Catalog`]: register tables (or bind a
 //! [`explainit_tsdb::Tsdb`] as the `tsdb` virtual table) and call
@@ -43,22 +76,31 @@
 
 mod ast;
 mod catalog;
+mod column;
 mod error;
 mod eval;
 mod exec;
 mod functions;
 mod lexer;
+pub mod optimize;
 mod parser;
 mod pivot;
+pub mod plan;
+pub mod reference;
 mod table;
 mod value;
+mod veval;
 
-pub use ast::{BinaryOp, Expr, JoinKind, OrderKey, Query, SelectItem, SelectStmt, TableRef, UnaryOp};
+pub use ast::{
+    BinaryOp, Expr, JoinKind, OrderKey, Query, SelectItem, SelectStmt, TableRef, UnaryOp,
+};
 pub use catalog::Catalog;
+pub use column::Column;
 pub use error::QueryError;
 pub use lexer::{tokenize, Token};
 pub use parser::parse_query;
 pub use pivot::{pivot_long, pivot_wide, FamilyFrame};
+pub use plan::LogicalPlan;
 pub use table::{Schema, Table};
 pub use value::Value;
 

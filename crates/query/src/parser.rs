@@ -10,16 +10,19 @@ use crate::{QueryError, Result};
 
 /// Words that terminate expressions / cannot be bare aliases.
 const RESERVED: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "LIMIT", "UNION", "JOIN", "INNER", "LEFT",
-    "FULL", "OUTER", "ON", "AS", "AND", "OR", "NOT", "IN", "BETWEEN", "IS", "NULL", "LIKE",
-    "CASE", "WHEN", "THEN", "ELSE", "END", "ASC", "DESC", "BY", "ALL", "TRUE", "FALSE", "HAVING",
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "LIMIT", "UNION", "JOIN", "INNER", "LEFT", "FULL",
+    "OUTER", "ON", "AS", "AND", "OR", "NOT", "IN", "BETWEEN", "IS", "NULL", "LIKE", "CASE", "WHEN",
+    "THEN", "ELSE", "END", "ASC", "DESC", "BY", "ALL", "TRUE", "FALSE", "HAVING", "EXPLAIN",
 ];
 
-/// Parses a SQL string into a [`Query`].
+/// Parses a SQL string into a [`Query`]. A leading `EXPLAIN` keyword marks
+/// the query for plan rendering instead of execution.
 pub fn parse_query(sql: &str) -> Result<Query> {
     let tokens = tokenize(sql)?;
     let mut p = Parser { tokens, pos: 0 };
-    let q = p.query()?;
+    let explain = p.eat_kw("EXPLAIN");
+    let mut q = p.query()?;
+    q.explain = explain;
     if p.pos != p.tokens.len() {
         return Err(QueryError::Parse(format!(
             "unexpected trailing input at token {:?}",
@@ -64,10 +67,7 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(QueryError::Parse(format!(
-                "expected keyword {kw}, found {:?}",
-                self.peek()
-            )))
+            Err(QueryError::Parse(format!("expected keyword {kw}, found {:?}", self.peek())))
         }
     }
 
@@ -107,7 +107,7 @@ impl Parser {
             self.eat_kw("ALL");
             selects.push(self.select()?);
         }
-        Ok(Query { selects })
+        Ok(Query { selects, explain: false })
     }
 
     fn select(&mut self) -> Result<SelectStmt> {
@@ -295,11 +295,8 @@ impl Parser {
         }
         if self.eat_kw("LIKE") {
             let right = self.additive()?;
-            let like = Expr::Binary {
-                op: BinaryOp::Like,
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            let like =
+                Expr::Binary { op: BinaryOp::Like, left: Box::new(left), right: Box::new(right) };
             return Ok(if negated {
                 Expr::Unary { op: UnaryOp::Not, operand: Box::new(like) }
             } else {
@@ -491,10 +488,7 @@ mod tests {
         let q = parse_query("SELECT a AS x, b y FROM t").unwrap();
         let items = &q.selects[0].items;
         match (&items[0], &items[1]) {
-            (
-                SelectItem::Expr { alias: Some(x), .. },
-                SelectItem::Expr { alias: Some(y), .. },
-            ) => {
+            (SelectItem::Expr { alias: Some(x), .. }, SelectItem::Expr { alias: Some(y), .. }) => {
                 assert_eq!(x, "x");
                 assert_eq!(y, "y");
             }
@@ -519,8 +513,8 @@ mod tests {
 
     #[test]
     fn union_all_of_selects() {
-        let q = parse_query("SELECT a FROM t UNION ALL SELECT a FROM u UNION SELECT a FROM w")
-            .unwrap();
+        let q =
+            parse_query("SELECT a FROM t UNION ALL SELECT a FROM u UNION SELECT a FROM w").unwrap();
         assert_eq!(q.selects.len(), 3);
     }
 
@@ -598,10 +592,7 @@ mod tests {
     #[test]
     fn case_expression() {
         let q = parse_query("SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t").unwrap();
-        assert!(matches!(
-            q.selects[0].items[0],
-            SelectItem::Expr { expr: Expr::Case { .. }, .. }
-        ));
+        assert!(matches!(q.selects[0].items[0], SelectItem::Expr { expr: Expr::Case { .. }, .. }));
     }
 
     #[test]
@@ -614,6 +605,16 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn explain_prefix_sets_flag() {
+        let q = parse_query("EXPLAIN SELECT a FROM t").unwrap();
+        assert!(q.explain);
+        let q = parse_query("SELECT a FROM t").unwrap();
+        assert!(!q.explain);
+        // EXPLAIN must prefix a whole query, not appear mid-stream.
+        assert!(parse_query("SELECT a FROM t EXPLAIN").is_err());
     }
 
     #[test]

@@ -16,9 +16,49 @@
 
 use std::collections::HashMap;
 
+use crate::column::Column;
 use crate::table::Table;
 use crate::value::Value;
 use crate::{QueryError, Result};
+
+/// Column accessors that read typed column vectors directly, falling back
+/// to per-entry [`Value`] extraction for generic columns. This keeps the
+/// pivot on the columnar fast path — no row materialization, and no `Value`
+/// boxing for dense `Int`/`Float`/`Str` columns.
+struct ColReader<'t> {
+    col: &'t Column,
+}
+
+impl<'t> ColReader<'t> {
+    fn new(table: &'t Table, idx: usize) -> Self {
+        ColReader { col: table.column_at(idx) }
+    }
+
+    /// Timestamp view: `None` for non-integer cells (row skipped upstream).
+    fn ts(&self, i: usize) -> Option<i64> {
+        match self.col {
+            Column::Int(v) => Some(v[i]),
+            other => other.get(i).as_i64(),
+        }
+    }
+
+    /// Numeric view: NaN marks a gap.
+    fn num(&self, i: usize) -> f64 {
+        match self.col {
+            Column::Float(v) => v[i],
+            Column::Int(v) => v[i] as f64,
+            other => other.get(i).as_f64().unwrap_or(f64::NAN),
+        }
+    }
+
+    /// Label view (family / feature names).
+    fn label(&self, i: usize) -> String {
+        match self.col {
+            Column::Str(v) => v[i].clone(),
+            other => render_family(&other.get(i)),
+        }
+    }
+}
 
 /// A dense per-family frame: shared timestamps × named feature columns.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,20 +97,23 @@ impl FamilyFrame {
 pub fn pivot_wide(table: &Table, ts_col: &str, family_col: &str) -> Result<Vec<FamilyFrame>> {
     let ts_idx = table.schema().resolve(ts_col)?;
     let fam_idx = table.schema().resolve(family_col)?;
-    let feature_idx: Vec<usize> = (0..table.schema().len())
-        .filter(|&i| i != ts_idx && i != fam_idx)
-        .collect();
+    let feature_idx: Vec<usize> =
+        (0..table.schema().len()).filter(|&i| i != ts_idx && i != fam_idx).collect();
     if feature_idx.is_empty() {
         return Err(QueryError::Plan("pivot_wide needs at least one feature column".into()));
     }
+    let ts_col = ColReader::new(table, ts_idx);
+    let fam_col = ColReader::new(table, fam_idx);
+    let features: Vec<(String, ColReader)> = feature_idx
+        .iter()
+        .map(|&fi| (table.schema().columns()[fi].clone(), ColReader::new(table, fi)))
+        .collect();
     let mut builder = PivotBuilder::new();
-    for row in table.rows() {
-        let Some(ts) = row[ts_idx].as_i64() else { continue };
-        let family = render_family(&row[fam_idx]);
-        for &fi in &feature_idx {
-            let feature = table.schema().columns()[fi].clone();
-            let v = row[fi].as_f64().unwrap_or(f64::NAN);
-            builder.add(family.clone(), ts, feature, v);
+    for i in 0..table.len() {
+        let Some(ts) = ts_col.ts(i) else { continue };
+        let family = fam_col.label(i);
+        for (feature, col) in &features {
+            builder.add(family.clone(), ts, feature.clone(), col.num(i));
         }
     }
     Ok(builder.finish())
@@ -88,13 +131,14 @@ pub fn pivot_long(
     let fam_idx = table.schema().resolve(family_col)?;
     let feat_idx = table.schema().resolve(feature_col)?;
     let val_idx = table.schema().resolve(value_col)?;
+    let ts = ColReader::new(table, ts_idx);
+    let fam = ColReader::new(table, fam_idx);
+    let feat = ColReader::new(table, feat_idx);
+    let val = ColReader::new(table, val_idx);
     let mut builder = PivotBuilder::new();
-    for row in table.rows() {
-        let Some(ts) = row[ts_idx].as_i64() else { continue };
-        let family = render_family(&row[fam_idx]);
-        let feature = render_family(&row[feat_idx]);
-        let v = row[val_idx].as_f64().unwrap_or(f64::NAN);
-        builder.add(family, ts, feature, v);
+    for i in 0..table.len() {
+        let Some(t) = ts.ts(i) else { continue };
+        builder.add(fam.label(i), t, feat.label(i), val.num(i));
     }
     Ok(builder.finish())
 }
@@ -175,8 +219,10 @@ impl PivotBuilder {
                 let mut feature_names = Vec::with_capacity(acc.features.len());
                 let mut columns = Vec::with_capacity(acc.features.len());
                 for (fname, cells) in acc.features {
-                    let mut col: Vec<f64> =
-                        timestamps.iter().map(|t| cells.get(t).copied().unwrap_or(f64::NAN)).collect();
+                    let mut col: Vec<f64> = timestamps
+                        .iter()
+                        .map(|t| cells.get(t).copied().unwrap_or(f64::NAN))
+                        .collect();
                     nearest_fill(&timestamps, &mut col);
                     feature_names.push(fname);
                     columns.push(col);

@@ -1,5 +1,15 @@
-//! Row-oriented tables with named columns.
+//! Tables: named, typed column vectors with a row-compatibility shim.
+//!
+//! Physically a [`Table`] is columnar — one [`Column`] per schema entry —
+//! which is what the vectorized executor operates on. The row-oriented
+//! views (`rows()`, `into_rows()`) that the rest of the workspace and the
+//! retained naive reference executor use are served by a lazily
+//! materialized cache, so purely columnar pipelines never pay for row
+//! construction.
 
+use std::sync::OnceLock;
+
+use crate::column::Column;
 use crate::value::Value;
 use crate::{QueryError, Result};
 
@@ -47,9 +57,7 @@ impl Schema {
             .iter()
             .enumerate()
             .filter(|(_, c)| {
-                c.rsplit('.')
-                    .next()
-                    .is_some_and(|last| last.eq_ignore_ascii_case(name))
+                c.rsplit('.').next().is_some_and(|last| last.eq_ignore_ascii_case(name))
             })
             .map(|(i, _)| i)
             .collect();
@@ -58,11 +66,7 @@ impl Schema {
             0 => Err(QueryError::UnknownColumn(name.to_string())),
             _ => Err(QueryError::UnknownColumn(format!(
                 "{name} is ambiguous (candidates: {})",
-                matches
-                    .iter()
-                    .map(|&i| self.columns[i].as_str())
-                    .collect::<Vec<_>>()
-                    .join(", ")
+                matches.iter().map(|&i| self.columns[i].as_str()).collect::<Vec<_>>().join(", ")
             ))),
         }
     }
@@ -83,11 +87,22 @@ impl Schema {
     }
 }
 
-/// An in-memory table: schema plus rows of [`Value`]s.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// An in-memory table: schema plus typed value columns.
+#[derive(Debug, Clone, Default)]
 pub struct Table {
     schema: Schema,
-    rows: Vec<Vec<Value>>,
+    columns: Vec<Column>,
+    /// Explicit row count: a table can have rows but no columns
+    /// (`SELECT 1`-style constant queries start from one empty row).
+    len: usize,
+    /// Lazily materialized row view (the row-compat shim).
+    row_cache: OnceLock<Vec<Vec<Value>>>,
+}
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.len == other.len && self.columns == other.columns
+    }
 }
 
 impl Table {
@@ -95,7 +110,9 @@ impl Table {
     pub fn empty(columns: &[&str]) -> Self {
         Table {
             schema: Schema::new(columns.iter().map(|s| s.to_string()).collect()),
-            rows: Vec::new(),
+            columns: columns.iter().map(|_| Column::empty()).collect(),
+            len: 0,
+            row_cache: OnceLock::new(),
         }
     }
 
@@ -104,20 +121,47 @@ impl Table {
     /// # Panics
     /// Panics if any row width differs from the column count.
     pub fn from_rows(columns: &[&str], rows: Vec<Vec<Value>>) -> Self {
-        for r in &rows {
-            assert_eq!(r.len(), columns.len(), "row width mismatch");
-        }
-        Table {
-            schema: Schema::new(columns.iter().map(|s| s.to_string()).collect()),
-            rows,
-        }
+        let schema = Schema::new(columns.iter().map(|s| s.to_string()).collect());
+        Table::from_parts(schema, rows)
     }
 
-    /// Creates a table taking ownership of schema and rows (internal fast
-    /// path for the executor).
+    /// Creates a table taking ownership of schema and rows (the row-era
+    /// constructor, still used by the naive reference executor).
+    ///
+    /// # Panics
+    /// Panics if any row width differs from the schema width.
     pub fn from_parts(schema: Schema, rows: Vec<Vec<Value>>) -> Self {
-        debug_assert!(rows.iter().all(|r| r.len() == schema.len()));
-        Table { schema, rows }
+        let width = schema.len();
+        let len = rows.len();
+        let mut per_column: Vec<Vec<Value>> = (0..width).map(|_| Vec::with_capacity(len)).collect();
+        for row in &rows {
+            assert_eq!(row.len(), width, "row width mismatch");
+            for (acc, v) in per_column.iter_mut().zip(row.iter()) {
+                acc.push(v.clone());
+            }
+        }
+        let columns = per_column.into_iter().map(Column::from_values).collect();
+        let row_cache = OnceLock::new();
+        let _ = row_cache.set(rows); // seed the shim: we already own the rows
+        Table { schema, columns, len, row_cache }
+    }
+
+    /// Creates a table directly from columns (the columnar fast path).
+    ///
+    /// # Panics
+    /// Panics if column lengths disagree or the count differs from the
+    /// schema width.
+    pub fn from_columns(schema: Schema, columns: Vec<Column>) -> Self {
+        assert_eq!(schema.len(), columns.len(), "schema/column count mismatch");
+        let len = columns.first().map_or(0, Column::len);
+        assert!(columns.iter().all(|c| c.len() == len), "column length mismatch");
+        Table { schema, columns, len, row_cache: OnceLock::new() }
+    }
+
+    /// Creates a zero-column table with `len` (empty) rows — the input of a
+    /// constant `SELECT` without FROM.
+    pub fn unit(len: usize) -> Self {
+        Table { schema: Schema::default(), columns: Vec::new(), len, row_cache: OnceLock::new() }
     }
 
     /// The table's schema.
@@ -125,24 +169,74 @@ impl Table {
         &self.schema
     }
 
-    /// The rows.
+    /// Decomposes into `(schema, columns, len)` for operator pipelines.
+    pub(crate) fn into_columnar_parts(self) -> (Schema, Vec<Column>, usize) {
+        (self.schema, self.columns, self.len)
+    }
+
+    /// Rebuilds a table from operator output without a width-zero length
+    /// guess (zero-column tables keep an explicit row count).
+    pub(crate) fn from_columnar_parts(schema: Schema, columns: Vec<Column>, len: usize) -> Table {
+        debug_assert_eq!(schema.len(), columns.len());
+        debug_assert!(columns.iter().all(|c| c.len() == len));
+        Table { schema, columns, len, row_cache: OnceLock::new() }
+    }
+
+    /// Replaces the schema (a pure rename — used by join-scope
+    /// qualification).
+    ///
+    /// # Panics
+    /// Panics if the new schema's width differs.
+    pub(crate) fn with_schema(mut self, schema: Schema) -> Table {
+        assert_eq!(schema.len(), self.schema.len(), "rename must preserve width");
+        self.schema = schema;
+        self
+    }
+
+    /// Keeps only the first `n` rows.
+    pub(crate) fn truncated(mut self, n: usize) -> Table {
+        if n >= self.len {
+            return self;
+        }
+        for c in &mut self.columns {
+            c.truncate(n);
+        }
+        self.len = n;
+        self.row_cache = OnceLock::new();
+        self
+    }
+
+    /// The physical columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// One physical column by index.
+    pub fn column_at(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// The rows (materialized on first use and cached).
     pub fn rows(&self) -> &[Vec<Value>] {
-        &self.rows
+        self.row_cache.get_or_init(|| {
+            (0..self.len).map(|r| self.columns.iter().map(|c| c.get(r)).collect()).collect()
+        })
     }
 
     /// Consumes the table into its rows.
-    pub fn into_rows(self) -> Vec<Vec<Value>> {
-        self.rows
+    pub fn into_rows(mut self) -> Vec<Vec<Value>> {
+        self.rows();
+        self.row_cache.take().expect("cache was just filled")
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// True when there are no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
     /// Appends a row.
@@ -151,32 +245,32 @@ impl Table {
     /// Panics on width mismatch.
     pub fn push_row(&mut self, row: Vec<Value>) {
         assert_eq!(row.len(), self.schema.len(), "row width mismatch");
-        self.rows.push(row);
+        for (c, v) in self.columns.iter_mut().zip(row) {
+            c.push(v);
+        }
+        self.len += 1;
+        self.row_cache = OnceLock::new(); // invalidate the shim
     }
 
     /// Extracts a column by name as a value vector.
     pub fn column(&self, name: &str) -> Result<Vec<Value>> {
         let i = self.schema.resolve(name)?;
-        Ok(self.rows.iter().map(|r| r[i].clone()).collect())
+        Ok(self.columns[i].iter_values().collect())
     }
 
     /// Extracts a column as f64s; non-numeric / NULL entries become NaN.
+    /// Dense `Float`/`Int` columns convert without touching [`Value`]s.
     pub fn numeric_column(&self, name: &str) -> Result<Vec<f64>> {
         let i = self.schema.resolve(name)?;
-        Ok(self
-            .rows
-            .iter()
-            .map(|r| r[i].as_f64().unwrap_or(f64::NAN))
-            .collect())
+        Ok(self.columns[i].to_f64_lossy())
     }
 
     /// Renders the table as an aligned-text report (first `max_rows` rows).
     pub fn render(&self, max_rows: usize) -> String {
         let mut widths: Vec<usize> = self.schema.columns().iter().map(String::len).collect();
-        let shown = self.rows.iter().take(max_rows);
-        let rendered: Vec<Vec<String>> = shown
-            .map(|r| r.iter().map(Value::render).collect())
-            .collect();
+        let shown = self.len.min(max_rows);
+        let rendered: Vec<Vec<String>> =
+            (0..shown).map(|r| self.columns.iter().map(|c| c.get(r).render()).collect()).collect();
         for row in &rendered {
             for (w, cell) in widths.iter_mut().zip(row.iter()) {
                 *w = (*w).max(cell.len());
@@ -193,8 +287,8 @@ impl Table {
             }
             out.push('\n');
         }
-        if self.rows.len() > max_rows {
-            out.push_str(&format!("... ({} more rows)\n", self.rows.len() - max_rows));
+        if self.len > max_rows {
+            out.push_str(&format!("... ({} more rows)\n", self.len - max_rows));
         }
         out
     }
@@ -231,14 +325,45 @@ mod tests {
     fn table_round_trip() {
         let t = Table::from_rows(
             &["ts", "v"],
-            vec![
-                vec![Value::Int(0), Value::Float(1.0)],
-                vec![Value::Int(1), Value::Float(2.0)],
-            ],
+            vec![vec![Value::Int(0), Value::Float(1.0)], vec![Value::Int(1), Value::Float(2.0)]],
         );
         assert_eq!(t.len(), 2);
         assert_eq!(t.column("v").unwrap(), vec![Value::Float(1.0), Value::Float(2.0)]);
         assert_eq!(t.numeric_column("ts").unwrap(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn homogeneous_rows_become_typed_columns() {
+        let t = Table::from_rows(
+            &["ts", "v", "host"],
+            vec![
+                vec![Value::Int(0), Value::Float(1.0), Value::str("a")],
+                vec![Value::Int(1), Value::Float(2.0), Value::str("b")],
+            ],
+        );
+        assert!(matches!(t.column_at(0), Column::Int(_)));
+        assert!(matches!(t.column_at(1), Column::Float(_)));
+        assert!(matches!(t.column_at(2), Column::Str(_)));
+    }
+
+    #[test]
+    fn columnar_construction_and_row_shim() {
+        let t = Table::from_columns(
+            Schema::new(vec!["ts".into(), "v".into()]),
+            vec![Column::Int(vec![0, 1]), Column::Float(vec![1.0, 2.0])],
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[1], vec![Value::Int(1), Value::Float(2.0)]);
+        assert_eq!(t.into_rows().len(), 2);
+    }
+
+    #[test]
+    fn push_row_invalidates_row_cache() {
+        let mut t = Table::from_rows(&["x"], vec![vec![Value::Int(1)]]);
+        assert_eq!(t.rows().len(), 1);
+        t.push_row(vec![Value::Int(2)]);
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.rows()[1][0], Value::Int(2));
     }
 
     #[test]
@@ -256,11 +381,16 @@ mod tests {
     }
 
     #[test]
+    fn unit_table_has_rows_without_columns() {
+        let t = Table::unit(1);
+        assert_eq!(t.len(), 1);
+        assert!(t.schema().is_empty());
+        assert_eq!(t.rows(), &[Vec::<Value>::new()]);
+    }
+
+    #[test]
     fn render_truncates() {
-        let t = Table::from_rows(
-            &["n"],
-            (0..5).map(|i| vec![Value::Int(i)]).collect(),
-        );
+        let t = Table::from_rows(&["n"], (0..5).map(|i| vec![Value::Int(i)]).collect());
         let s = t.render(2);
         assert!(s.contains("3 more rows"));
     }

@@ -230,13 +230,8 @@ mod tests {
 
     #[test]
     fn order_cmp_total_with_nulls_first() {
-        let mut vals = [
-            Value::str("z"),
-            Value::Int(5),
-            Value::Null,
-            Value::Float(1.5),
-            Value::Bool(true),
-        ];
+        let mut vals =
+            [Value::str("z"), Value::Int(5), Value::Null, Value::Float(1.5), Value::Bool(true)];
         vals.sort_by(|a, b| a.order_cmp(b));
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));
@@ -271,9 +266,6 @@ mod tests {
         let mut m = BTreeMap::new();
         m.insert("a".to_string(), "1".to_string());
         assert_eq!(Value::Map(m).render(), "{a=1}");
-        assert_eq!(
-            Value::List(vec![Value::Int(1), Value::str("x")]).render(),
-            "[1,x]"
-        );
+        assert_eq!(Value::List(vec![Value::Int(1), Value::str("x")]).render(), "[1,x]");
     }
 }

@@ -1,0 +1,474 @@
+//! Vectorized expression evaluation over columns.
+//!
+//! The columnar executor evaluates WHERE predicates, projection items,
+//! group keys and join keys directly against [`Column`]s — no intermediate
+//! `Vec<Vec<Value>>` rows. Dense fast paths cover the hot comparisons
+//! (typed column vs. literal) and boolean combinators; everything else in
+//! the supported subset falls back to per-entry [`Value`] evaluation, which
+//! still avoids row materialization. Expressions outside the subset
+//! (scalar/window/aggregate function calls, CASE) are reported by
+//! [`supported`] so the executor can use the row shim instead.
+
+use std::cmp::Ordering;
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::column::Column;
+use crate::eval::{eval_and, eval_binary, eval_index, eval_or, eval_unary, sql_like};
+use crate::table::Schema;
+use crate::value::Value;
+use crate::Result;
+
+/// A vectorized evaluation result: a full column or an unexpanded constant.
+pub enum VOut {
+    /// Per-row values.
+    Col(Column),
+    /// The same value for every row.
+    Const(Value),
+}
+
+impl VOut {
+    /// The value at row `i`.
+    fn get(&self, i: usize) -> Value {
+        match self {
+            VOut::Col(c) => c.get(i),
+            VOut::Const(v) => v.clone(),
+        }
+    }
+
+    /// Expands to a full column of `len` entries.
+    pub fn into_column(self, len: usize) -> Column {
+        match self {
+            VOut::Col(c) => c,
+            VOut::Const(v) => Column::from_values(vec![v; len]),
+        }
+    }
+}
+
+/// True when [`eval`] can handle the expression. Function calls (scalar,
+/// aggregate, window) and CASE go through the row-oriented fallback.
+pub fn supported(expr: &Expr) -> bool {
+    match expr {
+        Expr::Literal(_) | Expr::Column(_) => true,
+        Expr::Binary { left, right, .. } => supported(left) && supported(right),
+        Expr::Unary { operand, .. } => supported(operand),
+        Expr::Function { .. } | Expr::Case { .. } => false,
+        Expr::Index { container, index } => supported(container) && supported(index),
+        Expr::InList { expr, list, .. } => supported(expr) && list.iter().all(supported),
+        Expr::Between { expr, low, high, .. } => {
+            supported(expr) && supported(low) && supported(high)
+        }
+        Expr::IsNull { expr, .. } => supported(expr),
+    }
+}
+
+/// Evaluates a supported expression against the columns of `(schema, cols)`
+/// with `len` rows.
+pub fn eval(expr: &Expr, schema: &Schema, cols: &[Column], len: usize) -> Result<VOut> {
+    match expr {
+        Expr::Literal(v) => Ok(VOut::Const(v.clone())),
+        Expr::Column(name) => {
+            let i = schema.resolve(name)?;
+            Ok(VOut::Col(cols[i].clone()))
+        }
+        Expr::Unary { op, operand } => {
+            let v = eval(operand, schema, cols, len)?;
+            match v {
+                VOut::Const(c) => Ok(VOut::Const(eval_unary(*op, c)?)),
+                VOut::Col(col) => {
+                    // Dense negation fast paths.
+                    match (op, &col) {
+                        (UnaryOp::Neg, Column::Int(v)) => {
+                            Ok(VOut::Col(Column::Int(v.iter().map(|&x| -x).collect())))
+                        }
+                        (UnaryOp::Neg, Column::Float(v)) => {
+                            Ok(VOut::Col(Column::Float(v.iter().map(|&x| -x).collect())))
+                        }
+                        (UnaryOp::Not, Column::Bool(v)) => {
+                            Ok(VOut::Col(Column::Bool(v.iter().map(|&b| !b).collect())))
+                        }
+                        _ => {
+                            let mut out = Vec::with_capacity(len);
+                            for i in 0..len {
+                                out.push(eval_unary(*op, col.get(i))?);
+                            }
+                            Ok(VOut::Col(Column::from_values(out)))
+                        }
+                    }
+                }
+            }
+        }
+        Expr::Binary { op, left, right } => {
+            let l = eval(left, schema, cols, len)?;
+            let r = eval(right, schema, cols, len)?;
+            eval_binary_vec(*op, l, r, len)
+        }
+        Expr::Index { container, index } => {
+            let c = eval(container, schema, cols, len)?;
+            let i = eval(index, schema, cols, len)?;
+            match (c, i) {
+                (VOut::Const(c), VOut::Const(i)) => Ok(VOut::Const(eval_index(c, i)?)),
+                (c, i) => {
+                    let mut out = Vec::with_capacity(len);
+                    for row in 0..len {
+                        out.push(eval_index(c.get(row), i.get(row))?);
+                    }
+                    Ok(VOut::Col(Column::from_values(out)))
+                }
+            }
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval(expr, schema, cols, len)?;
+            let items: Vec<VOut> =
+                list.iter().map(|e| eval(e, schema, cols, len)).collect::<Result<_>>()?;
+            let mut out = Vec::with_capacity(len);
+            for row in 0..len {
+                let x = v.get(row);
+                if x.is_null() {
+                    out.push(Value::Null);
+                    continue;
+                }
+                let mut saw_null = false;
+                let mut hit = false;
+                for item in &items {
+                    let iv = item.get(row);
+                    if iv.is_null() {
+                        saw_null = true;
+                        continue;
+                    }
+                    if x.sql_cmp(&iv) == Some(Ordering::Equal) {
+                        hit = true;
+                        break;
+                    }
+                }
+                out.push(if hit {
+                    Value::Bool(!negated)
+                } else if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(*negated)
+                });
+            }
+            Ok(VOut::Col(Column::from_values(out)))
+        }
+        Expr::Between { expr, low, high, negated } => {
+            let v = eval(expr, schema, cols, len)?;
+            let lo = eval(low, schema, cols, len)?;
+            let hi = eval(high, schema, cols, len)?;
+            // Dense fast path: Int column between constant ints.
+            if let (
+                VOut::Col(Column::Int(vs)),
+                VOut::Const(Value::Int(a)),
+                VOut::Const(Value::Int(b)),
+            ) = (&v, &lo, &hi)
+            {
+                let (a, b) = (*a, *b);
+                return Ok(VOut::Col(Column::Bool(
+                    vs.iter().map(|&x| (x >= a && x <= b) != *negated).collect(),
+                )));
+            }
+            let mut out = Vec::with_capacity(len);
+            for row in 0..len {
+                let x = v.get(row);
+                let res = match (x.sql_cmp(&lo.get(row)), x.sql_cmp(&hi.get(row))) {
+                    (Some(a), Some(b)) => {
+                        let inside = a != Ordering::Less && b != Ordering::Greater;
+                        Value::Bool(inside != *negated)
+                    }
+                    _ => Value::Null,
+                };
+                out.push(res);
+            }
+            Ok(VOut::Col(Column::from_values(out)))
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, schema, cols, len)?;
+            match v {
+                VOut::Const(c) => Ok(VOut::Const(Value::Bool(c.is_null() != *negated))),
+                VOut::Col(Column::Values(vs)) => Ok(VOut::Col(Column::Bool(
+                    vs.iter().map(|x| x.is_null() != *negated).collect(),
+                ))),
+                // Typed columns never contain NULLs.
+                VOut::Col(_) => Ok(VOut::Const(Value::Bool(*negated))),
+            }
+        }
+        Expr::Function { .. } | Expr::Case { .. } => Err(crate::QueryError::Plan(
+            "vectorized evaluation does not support this expression (executor bug)".into(),
+        )),
+    }
+}
+
+fn cmp_matches(op: BinaryOp, ord: Ordering) -> bool {
+    match op {
+        BinaryOp::Eq => ord == Ordering::Equal,
+        BinaryOp::NotEq => ord != Ordering::Equal,
+        BinaryOp::Lt => ord == Ordering::Less,
+        BinaryOp::LtEq => ord != Ordering::Greater,
+        BinaryOp::Gt => ord == Ordering::Greater,
+        BinaryOp::GtEq => ord != Ordering::Less,
+        _ => unreachable!("comparison operator"),
+    }
+}
+
+fn eval_binary_vec(op: BinaryOp, l: VOut, r: VOut, len: usize) -> Result<VOut> {
+    // Constant-constant folds to a constant.
+    if let (VOut::Const(a), VOut::Const(b)) = (&l, &r) {
+        let v = match op {
+            BinaryOp::And => eval_and(a.clone(), b.clone())?,
+            BinaryOp::Or => eval_or(a.clone(), b.clone())?,
+            _ => eval_binary(op, a.clone(), b.clone())?,
+        };
+        return Ok(VOut::Const(v));
+    }
+
+    // Dense comparison fast paths: typed column vs. constant.
+    if matches!(
+        op,
+        BinaryOp::Eq
+            | BinaryOp::NotEq
+            | BinaryOp::Lt
+            | BinaryOp::LtEq
+            | BinaryOp::Gt
+            | BinaryOp::GtEq
+    ) {
+        // Normalize to column-on-the-left by flipping the comparison.
+        let (col, konst, op) = match (&l, &r) {
+            (VOut::Col(c), VOut::Const(k)) => (Some(c), k.clone(), op),
+            (VOut::Const(k), VOut::Col(c)) => (
+                Some(c),
+                k.clone(),
+                match op {
+                    BinaryOp::Lt => BinaryOp::Gt,
+                    BinaryOp::LtEq => BinaryOp::GtEq,
+                    BinaryOp::Gt => BinaryOp::Lt,
+                    BinaryOp::GtEq => BinaryOp::LtEq,
+                    other => other,
+                },
+            ),
+            _ => (None, Value::Null, op),
+        };
+        if let Some(col) = col {
+            match (col, &konst) {
+                (Column::Int(vs), Value::Int(k)) => {
+                    let k = *k;
+                    return Ok(VOut::Col(Column::Bool(
+                        vs.iter().map(|&x| cmp_matches(op, x.cmp(&k))).collect(),
+                    )));
+                }
+                (Column::Int(vs), Value::Float(k)) => {
+                    let k = *k;
+                    return Ok(VOut::Col(Column::from_values(
+                        vs.iter()
+                            .map(|&x| match (x as f64).partial_cmp(&k) {
+                                Some(ord) => Value::Bool(cmp_matches(op, ord)),
+                                None => Value::Null,
+                            })
+                            .collect(),
+                    )));
+                }
+                (Column::Float(vs), k) if k.as_f64().is_some() => {
+                    let k = k.as_f64().expect("checked");
+                    return Ok(VOut::Col(Column::from_values(
+                        vs.iter()
+                            .map(|&x| match x.partial_cmp(&k) {
+                                Some(ord) => Value::Bool(cmp_matches(op, ord)),
+                                None => Value::Null,
+                            })
+                            .collect(),
+                    )));
+                }
+                (Column::Str(vs), Value::Str(k)) => {
+                    return Ok(VOut::Col(Column::Bool(
+                        vs.iter().map(|x| cmp_matches(op, x.as_str().cmp(k.as_str()))).collect(),
+                    )));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // LIKE with a constant pattern over a dense string column.
+    if op == BinaryOp::Like {
+        if let (VOut::Col(Column::Str(vs)), VOut::Const(Value::Str(pat))) = (&l, &r) {
+            return Ok(VOut::Col(Column::Bool(vs.iter().map(|s| sql_like(pat, s)).collect())));
+        }
+    }
+
+    // Boolean combinators over dense masks.
+    if matches!(op, BinaryOp::And | BinaryOp::Or) {
+        if let (VOut::Col(Column::Bool(a)), VOut::Col(Column::Bool(b))) = (&l, &r) {
+            let out: Vec<bool> = match op {
+                BinaryOp::And => a.iter().zip(b.iter()).map(|(&x, &y)| x && y).collect(),
+                _ => a.iter().zip(b.iter()).map(|(&x, &y)| x || y).collect(),
+            };
+            return Ok(VOut::Col(Column::Bool(out)));
+        }
+    }
+
+    // Dense arithmetic fast paths.
+    if matches!(op, BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul) {
+        match (&l, &r) {
+            (VOut::Col(Column::Float(a)), VOut::Const(k)) if k.as_f64().is_some() => {
+                let k = k.as_f64().expect("checked");
+                let out: Vec<f64> = match op {
+                    BinaryOp::Add => a.iter().map(|&x| x + k).collect(),
+                    BinaryOp::Sub => a.iter().map(|&x| x - k).collect(),
+                    _ => a.iter().map(|&x| x * k).collect(),
+                };
+                return Ok(VOut::Col(Column::Float(out)));
+            }
+            (VOut::Col(Column::Float(a)), VOut::Col(Column::Float(b))) => {
+                let out: Vec<f64> = match op {
+                    BinaryOp::Add => a.iter().zip(b).map(|(&x, &y)| x + y).collect(),
+                    BinaryOp::Sub => a.iter().zip(b).map(|(&x, &y)| x - y).collect(),
+                    _ => a.iter().zip(b).map(|(&x, &y)| x * y).collect(),
+                };
+                return Ok(VOut::Col(Column::Float(out)));
+            }
+            _ => {}
+        }
+    }
+
+    // Generic per-entry path (short-circuiting AND/OR semantics preserved
+    // by the scalar helpers).
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        let a = l.get(i);
+        let b = r.get(i);
+        let v = match op {
+            BinaryOp::And => eval_and(a, b)?,
+            BinaryOp::Or => eval_or(a, b)?,
+            _ => eval_binary(op, a, b)?,
+        };
+        out.push(v);
+    }
+    Ok(VOut::Col(Column::from_values(out)))
+}
+
+/// Evaluates a predicate to a keep-mask (`is_true` semantics: NULL and
+/// false drop the row).
+pub fn eval_mask(expr: &Expr, schema: &Schema, cols: &[Column], len: usize) -> Result<Vec<bool>> {
+    match eval(expr, schema, cols, len)? {
+        VOut::Const(v) => Ok(vec![v.is_true(); len]),
+        VOut::Col(Column::Bool(mask)) => Ok(mask),
+        VOut::Col(col) => Ok((0..len).map(|i| col.get(i).is_true()).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr as E;
+
+    fn schema() -> Schema {
+        Schema::new(vec!["ts".into(), "v".into(), "host".into()])
+    }
+
+    fn cols() -> Vec<Column> {
+        vec![
+            Column::Int(vec![0, 1, 2, 3]),
+            Column::Float(vec![1.0, 2.0, 3.0, 4.0]),
+            Column::Str(vec!["a".into(), "b".into(), "a".into(), "c".into()]),
+        ]
+    }
+
+    fn mask(e: &E) -> Vec<bool> {
+        eval_mask(e, &schema(), &cols(), 4).unwrap()
+    }
+
+    #[test]
+    fn dense_int_comparison() {
+        let e = E::Binary {
+            op: BinaryOp::Gt,
+            left: Box::new(E::col("ts")),
+            right: Box::new(E::lit(1i64)),
+        };
+        assert_eq!(mask(&e), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn flipped_comparison_normalizes() {
+        // 2 <= ts  ==  ts >= 2
+        let e = E::Binary {
+            op: BinaryOp::LtEq,
+            left: Box::new(E::lit(2i64)),
+            right: Box::new(E::col("ts")),
+        };
+        assert_eq!(mask(&e), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn string_equality_and_and_combinator() {
+        let host = E::Binary {
+            op: BinaryOp::Eq,
+            left: Box::new(E::col("host")),
+            right: Box::new(E::lit("a")),
+        };
+        let v = E::Binary {
+            op: BinaryOp::Gt,
+            left: Box::new(E::col("v")),
+            right: Box::new(E::lit(1.5)),
+        };
+        let both = E::Binary { op: BinaryOp::And, left: Box::new(host), right: Box::new(v) };
+        assert_eq!(mask(&both), vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn between_fast_path() {
+        let e = E::Between {
+            expr: Box::new(E::col("ts")),
+            low: Box::new(E::lit(1i64)),
+            high: Box::new(E::lit(2i64)),
+            negated: false,
+        };
+        assert_eq!(mask(&e), vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn in_list_on_strings() {
+        let e = E::InList {
+            expr: Box::new(E::col("host")),
+            list: vec![E::lit("a"), E::lit("c")],
+            negated: false,
+        };
+        assert_eq!(mask(&e), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn is_null_on_dense_column_is_constant_false() {
+        let e = E::IsNull { expr: Box::new(E::col("ts")), negated: false };
+        assert_eq!(mask(&e), vec![false; 4]);
+        let e = E::IsNull { expr: Box::new(E::col("ts")), negated: true };
+        assert_eq!(mask(&e), vec![true; 4]);
+    }
+
+    #[test]
+    fn unsupported_expressions_are_reported() {
+        assert!(!supported(&E::Function { name: "AVG".into(), args: vec![] }));
+        assert!(!supported(&E::Case { when_then: vec![], else_expr: None }));
+        assert!(supported(&E::Binary {
+            op: BinaryOp::Add,
+            left: Box::new(E::col("v")),
+            right: Box::new(E::lit(1i64)),
+        }));
+    }
+
+    #[test]
+    fn arithmetic_matches_scalar_semantics() {
+        // Int + Int stays Int via the generic path.
+        let e = E::Binary {
+            op: BinaryOp::Add,
+            left: Box::new(E::col("ts")),
+            right: Box::new(E::lit(10i64)),
+        };
+        let out = eval(&e, &schema(), &cols(), 4).unwrap().into_column(4);
+        assert_eq!(out.get(2), Value::Int(12));
+        // Float column uses the dense path.
+        let e = E::Binary {
+            op: BinaryOp::Mul,
+            left: Box::new(E::col("v")),
+            right: Box::new(E::lit(2.0)),
+        };
+        let out = eval(&e, &schema(), &cols(), 4).unwrap().into_column(4);
+        assert_eq!(out.get(3), Value::Float(8.0));
+    }
+}

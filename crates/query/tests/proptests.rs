@@ -9,10 +9,40 @@ fn ident_strategy() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,8}".prop_filter("avoid keywords", |s| {
         !matches!(
             s.to_uppercase().as_str(),
-            "SELECT" | "FROM" | "WHERE" | "GROUP" | "ORDER" | "LIMIT" | "UNION" | "JOIN"
-                | "INNER" | "LEFT" | "FULL" | "OUTER" | "ON" | "AS" | "AND" | "OR" | "NOT"
-                | "IN" | "BETWEEN" | "IS" | "NULL" | "LIKE" | "CASE" | "WHEN" | "THEN"
-                | "ELSE" | "END" | "ASC" | "DESC" | "BY" | "ALL" | "TRUE" | "FALSE" | "HAVING"
+            "SELECT"
+                | "FROM"
+                | "WHERE"
+                | "GROUP"
+                | "ORDER"
+                | "LIMIT"
+                | "UNION"
+                | "JOIN"
+                | "INNER"
+                | "LEFT"
+                | "FULL"
+                | "OUTER"
+                | "ON"
+                | "AS"
+                | "AND"
+                | "OR"
+                | "NOT"
+                | "IN"
+                | "BETWEEN"
+                | "IS"
+                | "NULL"
+                | "LIKE"
+                | "CASE"
+                | "WHEN"
+                | "THEN"
+                | "ELSE"
+                | "END"
+                | "ASC"
+                | "DESC"
+                | "BY"
+                | "ALL"
+                | "TRUE"
+                | "FALSE"
+                | "HAVING"
         )
     })
 }

@@ -24,11 +24,7 @@ impl Decomposition {
     /// The "pseudocause" series of §3.4: the explained (trend + seasonal)
     /// part of the signal, suitable for use as a conditioning variable `Z`.
     pub fn pseudocause(&self) -> Vec<f64> {
-        self.trend
-            .iter()
-            .zip(self.seasonal.iter())
-            .map(|(&t, &s)| t + s)
-            .collect()
+        self.trend.iter().zip(self.seasonal.iter()).map(|(&t, &s)| t + s).collect()
     }
 }
 
@@ -45,11 +41,7 @@ impl Decomposition {
 /// Panics if `period < 2` or the series is shorter than one full period.
 pub fn seasonal_decompose(series: &[f64], period: usize) -> Decomposition {
     assert!(period >= 2, "seasonal period must be at least 2");
-    assert!(
-        series.len() >= period,
-        "series length {} shorter than period {period}",
-        series.len()
-    );
+    assert!(series.len() >= period, "series length {} shorter than period {period}", series.len());
     let n = series.len();
     let trend = moving_average_trend(series, period);
     // Per-phase means of the detrended series.
@@ -71,9 +63,7 @@ pub fn seasonal_decompose(series: &[f64], period: usize) -> Decomposition {
         *m -= grand;
     }
     let seasonal: Vec<f64> = (0..n).map(|i| phase_means[i % period]).collect();
-    let residual: Vec<f64> = (0..n)
-        .map(|i| series[i] - trend[i] - seasonal[i])
-        .collect();
+    let residual: Vec<f64> = (0..n).map(|i| series[i] - trend[i] - seasonal[i]).collect();
     Decomposition { trend, seasonal, residual, period }
 }
 
@@ -142,11 +132,7 @@ pub fn detrend_linear(series: &[f64]) -> Vec<f64> {
         sxy += dx * (y - mean_y);
     }
     let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
-    series
-        .iter()
-        .enumerate()
-        .map(|(i, &y)| y - (mean_y + slope * (i as f64 - mean_x)))
-        .collect()
+    series.iter().enumerate().map(|(i, &y)| y - (mean_y + slope * (i as f64 - mean_x))).collect()
 }
 
 #[cfg(test)]
@@ -236,9 +222,7 @@ mod tests {
 
     #[test]
     fn detrend_preserves_oscillation() {
-        let series: Vec<f64> = (0..100)
-            .map(|i| 0.5 * i as f64 + (i as f64 * 0.7).sin())
-            .collect();
+        let series: Vec<f64> = (0..100).map(|i| 0.5 * i as f64 + (i as f64 * 0.7).sin()).collect();
         let d = detrend_linear(&series);
         // Line removed; oscillation variance remains.
         assert!(variance(&d) > 0.2);

@@ -134,7 +134,10 @@ impl Beta {
     /// # Panics
     /// Panics unless both shape parameters are positive and finite.
     pub fn new(a: f64, b: f64) -> Self {
-        assert!(a > 0.0 && b > 0.0 && a.is_finite() && b.is_finite(), "beta shapes must be positive");
+        assert!(
+            a > 0.0 && b > 0.0 && a.is_finite() && b.is_finite(),
+            "beta shapes must be positive"
+        );
         Beta { a, b }
     }
 

@@ -27,7 +27,5 @@ pub use decompose::{seasonal_decompose, Decomposition};
 pub use dist::{Beta, ChiSquared, Normal};
 pub use fp::{benjamini_hochberg, bonferroni};
 pub use histogram::Histogram;
-pub use moments::{
-    autocorrelation, covariance, mean, pearson, std_dev, variance, zscore_in_place,
-};
+pub use moments::{autocorrelation, covariance, mean, pearson, std_dev, variance, zscore_in_place};
 pub use rsquared::{adjusted_r2, chebyshev_p_value, r2_null_distribution, RSquared};

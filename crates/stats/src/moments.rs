@@ -34,11 +34,7 @@ pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
     }
     let mx = mean(xs);
     let my = mean(ys);
-    xs.iter()
-        .zip(ys.iter())
-        .map(|(&x, &y)| (x - mx) * (y - my))
-        .sum::<f64>()
-        / xs.len() as f64
+    xs.iter().zip(ys.iter()).map(|(&x, &y)| (x - mx) * (y - my)).sum::<f64>() / xs.len() as f64
 }
 
 /// Pearson product-moment correlation coefficient.
@@ -82,11 +78,7 @@ pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
     if denom <= 0.0 {
         return 0.0;
     }
-    let numer: f64 = xs[lag..]
-        .iter()
-        .zip(xs.iter())
-        .map(|(&a, &b)| (a - m) * (b - m))
-        .sum();
+    let numer: f64 = xs[lag..].iter().zip(xs.iter()).map(|(&a, &b)| (a - m) * (b - m)).sum();
     numer / denom
 }
 

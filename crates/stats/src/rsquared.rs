@@ -26,7 +26,12 @@ impl RSquared {
     ///
     /// # Panics
     /// Panics on length mismatch.
-    pub fn from_predictions(observed: &[f64], predicted: &[f64], baseline_mean: f64, p: usize) -> Self {
+    pub fn from_predictions(
+        observed: &[f64],
+        predicted: &[f64],
+        baseline_mean: f64,
+        p: usize,
+    ) -> Self {
         assert_eq!(observed.len(), predicted.len(), "r² length mismatch");
         let n = observed.len();
         let mut rss = 0.0;

@@ -98,8 +98,7 @@ pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a
     } else {
-        1.0 - (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + b * (1.0 - x).ln() + a * x.ln())
-            .exp()
+        1.0 - (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + b * (1.0 - x).ln() + a * x.ln()).exp()
             * beta_cf(b, a, 1.0 - x)
             / b
     }

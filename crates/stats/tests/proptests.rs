@@ -99,9 +99,9 @@ proptest! {
         period in 2usize..8,
     ) {
         let d = seasonal_decompose(&base, period);
-        for i in 0..base.len() {
+        for (i, &b) in base.iter().enumerate() {
             let recon = d.trend[i] + d.seasonal[i] + d.residual[i];
-            prop_assert!((recon - base[i]).abs() < 1e-9);
+            prop_assert!((recon - b).abs() < 1e-9);
         }
         // The per-phase pattern is re-centred to zero mean; over whole
         // periods the seasonal series therefore averages to zero (partial

@@ -52,18 +52,14 @@ impl AlignedFrame {
 
     /// Looks a column up by name.
     pub fn column(&self, name: &str) -> Option<&[f64]> {
-        self.names
-            .iter()
-            .position(|n| n == name)
-            .map(|i| self.columns[i].as_slice())
+        self.names.iter().position(|n| n == name).map(|i| self.columns[i].as_slice())
     }
 
     /// Drops rows where any column is NaN (useful with
     /// [`FillPolicy::Nan`]). Returns the number of rows removed.
     pub fn drop_incomplete_rows(&mut self) -> usize {
-        let keep: Vec<bool> = (0..self.len())
-            .map(|i| self.columns.iter().all(|c| c[i].is_finite()))
-            .collect();
+        let keep: Vec<bool> =
+            (0..self.len()).map(|i| self.columns.iter().all(|c| c[i].is_finite())).collect();
         let removed = keep.iter().filter(|&&k| !k).count();
         if removed == 0 {
             return 0;

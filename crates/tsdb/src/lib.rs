@@ -21,8 +21,8 @@
 //! ```
 
 mod align;
-pub mod logs;
 mod glob;
+pub mod logs;
 mod model;
 mod snapshot;
 mod store;

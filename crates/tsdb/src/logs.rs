@@ -60,7 +60,8 @@ fn mask_token(token: &str) -> String {
     if core.is_empty() {
         return token.to_string();
     }
-    let is_variable = is_numeric_like(core) || is_hex_id(core) || is_ipv4(core) || has_numeric_path_segment(core);
+    let is_variable =
+        is_numeric_like(core) || is_hex_id(core) || is_ipv4(core) || has_numeric_path_segment(core);
     if !is_variable {
         return token.to_string();
     }
@@ -127,17 +128,14 @@ pub fn featurize_logs(db: &mut Tsdb, records: &[LogRecord], bucket: i64) -> usiz
         let slot = (r.ts.div_euclid(bucket)) * bucket;
         lo = lo.min(slot);
         hi = hi.max(slot);
-        *counts
-            .entry((template, r.source.clone()))
-            .or_default()
-            .entry(slot)
-            .or_insert(0.0) += 1.0;
+        *counts.entry((template, r.source.clone())).or_default().entry(slot).or_insert(0.0) += 1.0;
     }
     let grid: Vec<i64> = (0..=((hi - lo) / bucket)).map(|i| lo + i * bucket).collect();
     let mut templates: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     for ((template, source), buckets) in counts {
         templates.insert(template.clone());
-        let values: Vec<f64> = grid.iter().map(|t| buckets.get(t).copied().unwrap_or(0.0)).collect();
+        let values: Vec<f64> =
+            grid.iter().map(|t| buckets.get(t).copied().unwrap_or(0.0)).collect();
         let key = SeriesKey::new("log_template")
             .with_tag("template", template)
             .with_tag("source", source);
@@ -159,18 +157,12 @@ mod tests {
             "block blk_1073741825 replicated" // underscore id left alone (stable name)
         );
         assert_eq!(template_of("conn from 10.0.0.17 closed"), "conn from <*> closed");
-        assert_eq!(
-            template_of("txn deadbeef01234567 commit"),
-            "txn <*> commit"
-        );
+        assert_eq!(template_of("txn deadbeef01234567 commit"), "txn <*> commit");
     }
 
     #[test]
     fn template_masks_numeric_path_segments_only() {
-        assert_eq!(
-            template_of("scan /data/42/part done"),
-            "scan /data/<*>/part done"
-        );
+        assert_eq!(template_of("scan /data/42/part done"), "scan /data/<*>/part done");
         assert_eq!(template_of("scan /data/static done"), "scan /data/static done");
     }
 
@@ -202,10 +194,8 @@ mod tests {
     #[test]
     fn sources_kept_separate() {
         let mut db = Tsdb::new();
-        let records = vec![
-            LogRecord::new(0, "host-a", "tick 1"),
-            LogRecord::new(0, "host-b", "tick 2"),
-        ];
+        let records =
+            vec![LogRecord::new(0, "host-a", "tick 1"), LogRecord::new(0, "host-b", "tick 2")];
         featurize_logs(&mut db, &records, 60);
         let hits = db.find(&MetricFilter::name("log_template"));
         assert_eq!(hits.len(), 2);

@@ -3,11 +3,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A half-open time range `[start, end)` in the same units the database is
 /// fed with (the workloads use epoch seconds at minute granularity).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimeRange {
     /// Inclusive start.
     pub start: i64,
@@ -55,7 +53,7 @@ impl TimeRange {
 }
 
 /// A single timestamped observation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DataPoint {
     /// Observation timestamp.
     pub ts: i64,
@@ -68,7 +66,7 @@ pub struct DataPoint {
 /// Tags are stored in a `BTreeMap` so two keys with the same tags in a
 /// different insertion order compare (and hash) equal — the paper's tag
 /// model has set semantics.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SeriesKey {
     /// Metric name, e.g. `pipeline_runtime`.
     pub name: String,
@@ -119,7 +117,7 @@ impl fmt::Display for SeriesKey {
 }
 
 /// One time series: a key plus columnar, timestamp-sorted storage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Identity of the series.
     pub key: SeriesKey,
@@ -196,10 +194,7 @@ impl Series {
 
     /// Iterates observations as [`DataPoint`]s.
     pub fn points(&self) -> impl Iterator<Item = DataPoint> + '_ {
-        self.timestamps
-            .iter()
-            .zip(self.values.iter())
-            .map(|(&ts, &value)| DataPoint { ts, value })
+        self.timestamps.iter().zip(self.values.iter()).map(|(&ts, &value)| DataPoint { ts, value })
     }
 
     /// The value exactly at `ts`, if present.

@@ -1,17 +1,15 @@
 //! Snapshot (de)serialisation of database contents.
 //!
 //! The production system reads from warehouses (Parquet et al.); our
-//! substitute persists the in-memory store through `serde` so workload
-//! datasets can be saved and reloaded by tests and benches. The wire format
-//! is a compact self-describing binary layout (no external format crates).
-
-use serde::{Deserialize, Serialize};
+//! substitute persists the in-memory store so workload datasets can be
+//! saved and reloaded by tests and benches. The wire format is a compact
+//! self-describing binary layout (no external format crates).
 
 use crate::model::Series;
 use crate::store::Tsdb;
 
 /// A serialisable snapshot of a whole database.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Snapshot {
     /// All series, keys included.
     pub series: Vec<Series>,

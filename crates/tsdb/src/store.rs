@@ -91,7 +91,7 @@ impl MetricFilter {
 /// * `name_index` — metric name to ids (names are low-cardinality);
 /// * `tag_index` — `(key, value)` pair to ids (the classic OpenTSDB-style
 ///   inverted index).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Tsdb {
     series: Vec<Series>,
     by_key: HashMap<SeriesKey, SeriesId>,
@@ -157,10 +157,7 @@ impl Tsdb {
 
     /// Iterates all series.
     pub fn iter(&self) -> impl Iterator<Item = (SeriesId, &Series)> {
-        self.series
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (SeriesId(i as u32), s))
+        self.series.iter().enumerate().map(|(i, s)| (SeriesId(i as u32), s))
     }
 
     /// All distinct metric names, sorted.
@@ -201,10 +198,7 @@ impl Tsdb {
                 }
             }
         };
-        candidates
-            .into_iter()
-            .filter(|id| filter.matches(&self.series[id.index()].key))
-            .collect()
+        candidates.into_iter().filter(|id| filter.matches(&self.series[id.index()].key)).collect()
     }
 
     /// Finds series and restricts them to a time range, returning
@@ -246,9 +240,8 @@ mod tests {
     fn sample_db() -> Tsdb {
         let mut db = Tsdb::new();
         for host in ["datanode-1", "datanode-2", "namenode-1"] {
-            let key = SeriesKey::new("disk")
-                .with_tag("host", host)
-                .with_tag("type", "read_latency");
+            let key =
+                SeriesKey::new("disk").with_tag("host", host).with_tag("type", "read_latency");
             for t in 0..10 {
                 db.insert(&key, t * 60, t as f64);
             }
@@ -289,10 +282,7 @@ mod tests {
         assert_eq!(db.find(&f).len(), 1);
         let f = MetricFilter::all().with_tag_glob("host", "datanode*");
         assert_eq!(db.find(&f).len(), 2);
-        let f = MetricFilter {
-            name: None,
-            tags: vec![TagFilter::Absent("host".into())],
-        };
+        let f = MetricFilter { name: None, tags: vec![TagFilter::Absent("host".into())] };
         assert_eq!(db.find(&f).len(), 1); // runtime has no host tag
         let f = MetricFilter { name: None, tags: vec![TagFilter::HasKey("component".into())] };
         assert_eq!(db.find(&f).len(), 1);

@@ -8,15 +8,13 @@ use explainit_tsdb::{
 use proptest::prelude::*;
 
 fn key_strategy() -> impl Strategy<Value = SeriesKey> {
-    (
-        "[a-z]{1,6}",
-        proptest::collection::btree_map("[a-z]{1,4}", "[a-z0-9]{1,4}", 0..3),
-    )
-        .prop_map(|(name, tags)| {
+    ("[a-z]{1,6}", proptest::collection::btree_map("[a-z]{1,4}", "[a-z0-9]{1,4}", 0..3)).prop_map(
+        |(name, tags)| {
             let mut k = SeriesKey::new(name);
             k.tags = tags;
             k
-        })
+        },
+    )
 }
 
 fn points_strategy() -> impl Strategy<Value = Vec<(i64, f64)>> {

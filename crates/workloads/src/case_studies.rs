@@ -85,11 +85,7 @@ pub fn weekly_raid() -> SimOutput {
         noise_services: 8,
         metrics_per_noise_service: 3,
         seed: 54,
-        faults: vec![Fault::RaidCheck {
-            period_min: 7 * 1440,
-            duration_min: 240,
-            io_share: 0.20,
-        }],
+        faults: vec![Fault::RaidCheck { period_min: 7 * 1440, duration_min: 240, io_share: 0.20 }],
         ..ClusterSpec::default()
     };
     simulate(&spec)
@@ -168,12 +164,7 @@ mod tests {
     fn namenode_fix_removes_periodicity() {
         let (before, after) = namenode_periodic();
         let get_rt = |o: &SimOutput| {
-            o.families()
-                .into_iter()
-                .find(|f| f.name == "pipeline_runtime")
-                .unwrap()
-                .data
-                .column(0)
+            o.families().into_iter().find(|f| f.name == "pipeline_runtime").unwrap().data.column(0)
         };
         let acf_before = explainit_stats::autocorrelation(&get_rt(&before), 15);
         let acf_after = explainit_stats::autocorrelation(&get_rt(&after), 15);

@@ -76,11 +76,12 @@ impl ClusterSpec {
     /// Approximate number of univariate metrics this spec will emit.
     pub fn approx_metric_count(&self) -> usize {
         let hosts = self.datanodes + self.service_hosts + 1; // + namenode
-        // Per-host infra metrics (see sim.rs emitters).
+                                                             // Per-host infra metrics (see sim.rs emitters).
         let per_host = 8;
         let pipeline_metrics = self.pipelines * 4;
         let namenode_metrics = 4;
-        let noise = self.noise_services * self.metrics_per_noise_service * self.service_hosts.max(1);
+        let noise =
+            self.noise_services * self.metrics_per_noise_service * self.service_hosts.max(1);
         hosts * per_host + pipeline_metrics + namenode_metrics + noise
     }
 }

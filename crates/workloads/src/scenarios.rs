@@ -67,17 +67,17 @@ pub fn scenario_specs(scale: Scale) -> Vec<ScenarioSpec> {
     // scenario, chosen so family/feature counts spread like Table 6's
     // 436–2337 families and 27k–158k features (at Paper scale).
     let shape: [(usize, usize, usize, usize); 11] = [
-        (100, 8, 18, 10),  // 1:  816 families, ~130k features
-        (290, 8, 8, 8),    // 2:  2337 families, ~158k features
-        (110, 8, 8, 8),    // 3:  902 families, ~61k features
-        (265, 8, 8, 8),    // 4:  2156 families, ~141k features
-        (98, 8, 9, 8),     // 5:  800 families, ~64k features
-        (52, 8, 8, 8),     // 6:  436 families, ~30k features
-        (92, 8, 9, 10),    // 7:  751 families, ~61k features
-        (73, 8, 20, 12),   // 8:  603 families, ~100k features
-        (76, 8, 9, 8),     // 9:  622 families, ~51k features
-        (73, 8, 13, 10),   // 10: 601 families, ~71k features
-        (62, 8, 6, 6),     // 11: 509 families, ~28k features
+        (100, 8, 18, 10), // 1:  816 families, ~130k features
+        (290, 8, 8, 8),   // 2:  2337 families, ~158k features
+        (110, 8, 8, 8),   // 3:  902 families, ~61k features
+        (265, 8, 8, 8),   // 4:  2156 families, ~141k features
+        (98, 8, 9, 8),    // 5:  800 families, ~64k features
+        (52, 8, 8, 8),    // 6:  436 families, ~30k features
+        (92, 8, 9, 10),   // 7:  751 families, ~61k features
+        (73, 8, 20, 12),  // 8:  603 families, ~100k features
+        (76, 8, 9, 8),    // 9:  622 families, ~51k features
+        (73, 8, 13, 10),  // 10: 601 families, ~71k features
+        (62, 8, 6, 6),    // 11: 509 families, ~28k features
     ];
     let faults: [Fault; 11] = [
         Fault::PacketDrop { start_min: 700, end_min: 800, rate: 0.10 },

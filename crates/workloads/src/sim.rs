@@ -105,7 +105,8 @@ pub fn families_by_name(db: &Tsdb, range: &TimeRange, step: i64) -> Vec<FeatureF
     for name in names {
         let ids = db.find(&explainit_tsdb::MetricFilter::name(name.clone()));
         let series: Vec<&Series> = ids.iter().map(|&id| db.series(id)).collect();
-        let frame = explainit_tsdb::align_series(&series, range, step, explainit_tsdb::FillPolicy::Nearest);
+        let frame =
+            explainit_tsdb::align_series(&series, range, step, explainit_tsdb::FillPolicy::Nearest);
         if frame.is_empty() {
             continue;
         }
@@ -197,38 +198,57 @@ pub fn simulate(spec: &ClusterSpec) -> SimOutput {
 
     for host in &datanode_names {
         let retrans: Vec<f64> = (0..t_len)
-            .map(|t| (4.0 + 420.0 * drop_level[t] * (1.0 + 0.15 * gauss(&mut rng)) + 1.5 * cn * gauss(&mut rng).abs()).max(0.0))
+            .map(|t| {
+                (4.0 + 420.0 * drop_level[t] * (1.0 + 0.15 * gauss(&mut rng))
+                    + 1.5 * cn * gauss(&mut rng).abs())
+                .max(0.0)
+            })
             .collect();
         let net_lat: Vec<f64> = (0..t_len)
-            .map(|t| (0.8 + 18.0 * drop_level[t] + 0.4 * load_norm[t] + 0.15 * cn * gauss(&mut rng)).max(0.0))
+            .map(|t| {
+                (0.8 + 18.0 * drop_level[t] + 0.4 * load_norm[t] + 0.15 * cn * gauss(&mut rng))
+                    .max(0.0)
+            })
             .collect();
         let ack: Vec<f64> = (0..t_len)
-            .map(|t| (2.0 + 28.0 * drop_level[t] + 0.8 * raid_level[t] + 0.3 * cn * gauss(&mut rng)).max(0.0))
+            .map(|t| {
+                (2.0 + 28.0 * drop_level[t] + 0.8 * raid_level[t] + 0.3 * cn * gauss(&mut rng))
+                    .max(0.0)
+            })
             .collect();
         let util: Vec<f64> = (0..t_len)
             .map(|t| {
-                (0.25 + 0.30 * load_norm[t] + 0.55 * raid_level[t] + 0.6 * disk_hog[t]
+                (0.25
+                    + 0.30 * load_norm[t]
+                    + 0.55 * raid_level[t]
+                    + 0.6 * disk_hog[t]
                     + 0.04 * cn * gauss(&mut rng))
                 .clamp(0.0, 1.0)
             })
             .collect();
         let read_lat: Vec<f64> = (0..t_len)
             .map(|t| {
-                (2.0 + 14.0 * raid_level[t] + 11.0 * disk_hog[t] + 3.0 * util[t]
+                (2.0 + 14.0 * raid_level[t]
+                    + 11.0 * disk_hog[t]
+                    + 3.0 * util[t]
                     + 0.4 * cn * gauss(&mut rng))
                 .max(0.1)
             })
             .collect();
         let write_lat: Vec<f64> = (0..t_len)
             .map(|t| {
-                (3.0 + 7.0 * raid_level[t] + 9.0 * disk_hog[t] + 2.0 * util[t]
+                (3.0 + 7.0 * raid_level[t]
+                    + 9.0 * disk_hog[t]
+                    + 2.0 * util[t]
                     + 0.4 * gauss(&mut rng))
                 .max(0.1)
             })
             .collect();
         let load_avg: Vec<f64> = (0..t_len)
             .map(|t| {
-                (1.0 + 3.0 * load_norm[t] + 4.5 * raid_level[t] + 3.5 * disk_hog[t]
+                (1.0 + 3.0 * load_norm[t]
+                    + 4.5 * raid_level[t]
+                    + 3.5 * disk_hog[t]
                     + 0.3 * cn * gauss(&mut rng))
                 .max(0.0)
             })
@@ -236,9 +256,8 @@ pub fn simulate(spec: &ClusterSpec) -> SimOutput {
         let cpu: Vec<f64> = (0..t_len)
             .map(|t| (18.0 + 55.0 * load_norm[t] + 4.0 * gauss(&mut rng)).clamp(0.0, 100.0))
             .collect();
-        let temp: Vec<f64> = (0..t_len)
-            .map(|t| 35.0 + 9.0 * raid_level[t] + 0.5 * gauss(&mut rng))
-            .collect();
+        let temp: Vec<f64> =
+            (0..t_len).map(|t| 35.0 + 9.0 * raid_level[t] + 0.5 * gauss(&mut rng)).collect();
         for t in 0..t_len {
             mean_retrans[t] += retrans[t] / spec.datanodes as f64;
             mean_disk_read_lat[t] += read_lat[t] / spec.datanodes as f64;
@@ -280,10 +299,15 @@ pub fn simulate(spec: &ClusterSpec) -> SimOutput {
 
     // ---- namenode ----------------------------------------------------------
     let rpc_rate: Vec<f64> = (0..t_len)
-        .map(|t| (120.0 + 950.0 * nn_level[t] + 40.0 * load_norm[t] + 8.0 * cn * gauss(&mut rng)).max(0.0))
+        .map(|t| {
+            (120.0 + 950.0 * nn_level[t] + 40.0 * load_norm[t] + 8.0 * cn * gauss(&mut rng))
+                .max(0.0)
+        })
         .collect();
     let rpc_latency: Vec<f64> = (0..t_len)
-        .map(|t| (4.0 + 85.0 * nn_level[t] + 0.004 * rpc_rate[t] + 0.8 * cn * gauss(&mut rng)).max(0.1))
+        .map(|t| {
+            (4.0 + 85.0 * nn_level[t] + 0.004 * rpc_rate[t] + 0.8 * cn * gauss(&mut rng)).max(0.1)
+        })
         .collect();
     let live_threads: Vec<f64> = (0..t_len)
         .map(|t| (18.0 + 170.0 * nn_level[t] + 2.5 * cn * gauss(&mut rng)).max(1.0))
@@ -317,10 +341,8 @@ pub fn simulate(spec: &ClusterSpec) -> SimOutput {
             .iter()
             .map(|&r| (55.0 + 1.6 * r + 2.0 * en * gauss(&mut rng)).max(0.0))
             .collect();
-        let save_time: Vec<f64> = runtime
-            .iter()
-            .map(|&r| (0.45 * r + 0.8 * en * gauss(&mut rng)).max(0.0))
-            .collect();
+        let save_time: Vec<f64> =
+            runtime.iter().map(|&r| (0.45 * r + 0.8 * en * gauss(&mut rng)).max(0.0)).collect();
         push(&mut db, "pipeline_input_rate", &[("pipeline_name", &pname)], load.clone());
         push(&mut db, "pipeline_runtime", &[("pipeline_name", &pname)], runtime);
         push(&mut db, "pipeline_latency", &[("pipeline_name", &pname)], latency);
@@ -332,8 +354,7 @@ pub fn simulate(spec: &ClusterSpec) -> SimOutput {
         let seasonal_weight = if s % 3 == 0 { 0.4 } else { 0.0 };
         for m in 0..spec.metrics_per_noise_service {
             let name = format!("svc_{s:03}_metric_{m}");
-            for host in service_host_names.iter().chain(std::iter::once(&"shared-1".to_string()))
-            {
+            for host in service_host_names.iter().chain(std::iter::once(&"shared-1".to_string())) {
                 let mut walk = 0.0;
                 let values: Vec<f64> = (0..t_len)
                     .map(|t| {
@@ -353,15 +374,11 @@ pub fn simulate(spec: &ClusterSpec) -> SimOutput {
             cause_families.insert(c.to_string());
         }
     }
-    let effect_families: BTreeSet<String> = [
-        "pipeline_runtime",
-        "pipeline_latency",
-        "pipeline_save_time",
-        "pipeline_input_rate",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
+    let effect_families: BTreeSet<String> =
+        ["pipeline_runtime", "pipeline_latency", "pipeline_save_time", "pipeline_input_rate"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     let truth = GroundTruth {
         cause_families,
         effect_families,
@@ -461,7 +478,11 @@ mod tests {
     fn raid_check_hits_disks_weekly() {
         let spec = ClusterSpec {
             minutes: 2 * 10_080, // two weeks at minute granularity is heavy; use stride below
-            ..quick_spec(vec![Fault::RaidCheck { period_min: 10_080, duration_min: 240, io_share: 0.2 }])
+            ..quick_spec(vec![Fault::RaidCheck {
+                period_min: 10_080,
+                duration_min: 240,
+                io_share: 0.2,
+            }])
         };
         // Shrink: scale the period down 20x to keep the test fast while
         // preserving the periodic structure.

@@ -62,9 +62,8 @@ fn main() {
     let cfg = ScoreConfig::default();
     let marginal =
         score_hypothesis(ScorerKind::L2, &col("Z"), &col("X"), None, &cfg).expect("score");
-    let conditional =
-        score_hypothesis(ScorerKind::L2, &col("Z"), &col("X"), Some(&col("Y")), &cfg)
-            .expect("score");
+    let conditional = score_hypothesis(ScorerKind::L2, &col("Z"), &col("X"), Some(&col("Y")), &cfg)
+        .expect("score");
     println!("Appendix B check on 2000 SEM samples of Z -> Y -> X:");
     println!("  score(X ~ Z)      = {:.3}  (dependent through the chain)", marginal.score);
     println!("  score(X ~ Z | Y)  = {:.3}  (≈0: conditionally independent)\n", conditional.score);

@@ -20,15 +20,12 @@ fn main() {
     }
 
     println!("Unconditioned global search (everything load-driven scores high):\n");
-    let global = engine
-        .rank("pipeline_runtime", &[], ScorerKind::L2)
-        .expect("ranking");
+    let global = engine.rank("pipeline_runtime", &[], ScorerKind::L2).expect("ranking");
     println!("{}", render_ranking(&global));
 
     println!("Conditioned on pipeline_input_rate (§3.4):\n");
-    let conditioned = engine
-        .rank("pipeline_runtime", &["pipeline_input_rate"], ScorerKind::L2)
-        .expect("ranking");
+    let conditioned =
+        engine.rank("pipeline_runtime", &["pipeline_input_rate"], ScorerKind::L2).expect("ranking");
     println!("{}", render_ranking(&conditioned));
     println!(
         "tcp_retransmits: rank {:?} unconditioned -> {:?} conditioned\n",
@@ -38,14 +35,9 @@ fn main() {
 
     // Figures 14/15: overlay of the (residualised) target and E[Y | X, Z].
     println!("Figure 15 — residual runtime vs prediction from tcp_retransmits | input:");
-    let overlay = explain(
-        &engine,
-        "pipeline_runtime",
-        "tcp_retransmits",
-        &["pipeline_input_rate"],
-        1.0,
-    )
-    .expect("overlay");
+    let overlay =
+        explain(&engine, "pipeline_runtime", "tcp_retransmits", &["pipeline_input_rate"], 1.0)
+            .expect("overlay");
     println!("{}", overlay.render_ascii(96));
 
     // Figure 6: effect of the fix.

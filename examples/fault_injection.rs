@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example fault_injection`
 
-use explainit::core::{report, EngineConfig, ScorerKind};
 use explainit::core::Engine;
+use explainit::core::{report, EngineConfig, ScorerKind};
 use explainit::tsdb::TimeRange;
 use explainit::workloads::{case_studies, families_by_name};
 
@@ -19,10 +19,7 @@ fn main() {
     );
 
     let families = sim.families();
-    let runtime = families
-        .iter()
-        .find(|f| f.name == "pipeline_runtime")
-        .expect("runtime family");
+    let runtime = families.iter().find(|f| f.name == "pipeline_runtime").expect("runtime family");
     println!("pipeline runtime (Figure 5 — spike during the fault window):");
     println!("  {}\n", report::sparkline(&runtime.data.column(0), 96));
 
@@ -40,9 +37,7 @@ fn main() {
     // Score with both a univariate and the joint scorer, as an operator
     // comparing methods would.
     for scorer in [ScorerKind::CorrMax, ScorerKind::L2] {
-        let ranking = engine
-            .rank("pipeline_runtime", &[], scorer)
-            .expect("ranking");
+        let ranking = engine.rank("pipeline_runtime", &[], scorer).expect("ranking");
         println!("--- scorer: {} ---", scorer.name());
         println!("{}", report::render_ranking(&ranking));
         println!(

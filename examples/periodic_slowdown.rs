@@ -11,11 +11,8 @@ use explainit::workloads::case_studies;
 fn main() {
     let (before, after) = case_studies::namenode_periodic();
     let families = before.families();
-    let runtime = families
-        .iter()
-        .find(|f| f.name == "pipeline_runtime")
-        .expect("runtime family")
-        .clone();
+    let runtime =
+        families.iter().find(|f| f.name == "pipeline_runtime").expect("runtime family").clone();
 
     println!("Figure 7 — runtime with ~15-minute spikes (first 4 hours):");
     println!("  {}\n", report::sparkline(&runtime.data.column(0)[..240], 96));
@@ -28,18 +25,12 @@ fn main() {
     for f in families.iter().cloned() {
         engine.add_family(f);
     }
-    let ranking = engine
-        .rank("pipeline_runtime", &[], ScorerKind::L2)
-        .expect("ranking");
+    let ranking = engine.rank("pipeline_runtime", &[], ScorerKind::L2).expect("ranking");
     println!("{}", report::render_ranking(&ranking));
 
     // The sign analysis that ruled out garbage collection.
     let rt = runtime.data.column(0);
-    let gc = engine
-        .family("namenode_gc_time")
-        .expect("gc family")
-        .data
-        .column(0);
+    let gc = engine.family("namenode_gc_time").expect("gc family").data.column(0);
     println!(
         "corr(runtime, namenode_gc_time) = {:+.2} -> negative, GC ruled out (§5.3)\n",
         pearson(&rt, &gc)
@@ -51,9 +42,8 @@ fn main() {
     let pseudo = derive_pseudocause(&runtime, 15).expect("pseudocause");
     let pseudo_name = pseudo.name.clone();
     engine.add_family(pseudo);
-    let residual_rank = engine
-        .rank("pipeline_runtime", &[&pseudo_name], ScorerKind::L2)
-        .expect("ranking");
+    let residual_rank =
+        engine.rank("pipeline_runtime", &[&pseudo_name], ScorerKind::L2).expect("ranking");
     println!(
         "Conditioned on the derived pseudocause '{pseudo_name}', the namenode \
          family's rank moves from {:?} to {:?} (its periodic signal is 'blocked').\n",
@@ -70,8 +60,5 @@ fn main() {
         .column(0);
     println!("After the fix (Figure 7 right): ");
     println!("  {}", report::sparkline(&rt_after[..240], 96));
-    println!(
-        "  lag-15 autocorrelation drops to {:.2}",
-        autocorrelation(&rt_after, 15)
-    );
+    println!("  lag-15 autocorrelation drops to {:.2}", autocorrelation(&rt_after, 15));
 }

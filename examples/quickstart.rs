@@ -66,9 +66,7 @@ fn main() {
     for frame in &frames {
         engine.add_family(FeatureFamily::from_frame(frame));
     }
-    let ranking = engine
-        .rank("pipeline_runtime", &[], ScorerKind::L2)
-        .expect("ranking");
+    let ranking = engine.rank("pipeline_runtime", &[], ScorerKind::L2).expect("ranking");
     println!("Step 3 — candidate causes, ranked:\n");
     println!("{}", report::render_ranking(&ranking));
     println!(

@@ -130,8 +130,5 @@ fn main() {
              WHERE inventory.os = 'linux-5.4' AND metric_name = 'cpu_usage'",
         )
         .expect("inventory join");
-    println!(
-        "Observations from hosts running linux-5.4 only: {}",
-        filtered.rows()[0][0]
-    );
+    println!("Observations from hosts running linux-5.4 only: {}", filtered.rows()[0][0]);
 }

@@ -12,44 +12,28 @@ fn main() {
     let sim = case_studies::weekly_raid();
 
     // A short (2-day) window hides the weekly structure...
-    let two_days = explainit::tsdb::TimeRange::new(
-        sim.start_ts,
-        sim.start_ts + 2 * 1440 * 60,
-    );
+    let two_days = explainit::tsdb::TimeRange::new(sim.start_ts, sim.start_ts + 2 * 1440 * 60);
     let short_fams = families_by_name(&sim.db, &two_days, 60);
-    let short_rt = short_fams
-        .iter()
-        .find(|f| f.name == "pipeline_runtime")
-        .expect("runtime")
-        .data
-        .column(0);
+    let short_rt =
+        short_fams.iter().find(|f| f.name == "pipeline_runtime").expect("runtime").data.column(0);
     println!("Two-day view (the spike looks like a one-off):");
     println!("  {}\n", report::sparkline(&short_rt, 96));
 
     // ...the month view reveals the period (Figure 8).
     let month_fams = families_by_name(&sim.db, &sim.time_range(), 600);
-    let month_rt = month_fams
-        .iter()
-        .find(|f| f.name == "pipeline_runtime")
-        .expect("runtime")
-        .data
-        .column(0);
+    let month_rt =
+        month_fams.iter().find(|f| f.name == "pipeline_runtime").expect("runtime").data.column(0);
     println!("Month view at 10-minute resolution (Figure 8 — weekly spikes):");
     println!("  {}", report::sparkline(&month_rt, 112));
     let weekly_lag = 7 * 1440 / 10; // one week in 10-minute samples
-    println!(
-        "  autocorrelation at a 1-week lag: {:.2}\n",
-        autocorrelation(&month_rt, weekly_lag)
-    );
+    println!("  autocorrelation at a 1-week lag: {:.2}\n", autocorrelation(&month_rt, weekly_lag));
 
     // Rank over the month.
     let mut engine = Engine::new(EngineConfig::default());
     for f in month_fams {
         engine.add_family(f);
     }
-    let ranking = engine
-        .rank("pipeline_runtime", &[], ScorerKind::L2)
-        .expect("ranking");
+    let ranking = engine.rank("pipeline_runtime", &[], ScorerKind::L2).expect("ranking");
     println!("{}", report::render_ranking(&ranking));
     println!(
         "disk_util rank {:?}, load_avg rank {:?}, raid_temperature rank {:?} \

@@ -59,22 +59,23 @@ fn print_usage() {
 }
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn load_db(path: &str) -> Result<Tsdb, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let snap = Snapshot::from_bytes(&bytes).ok_or_else(|| format!("{path} is not a valid snapshot"))?;
+    let snap =
+        Snapshot::from_bytes(&bytes).ok_or_else(|| format!("{path} is not a valid snapshot"))?;
     Ok(snap.restore())
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let out = flag(args, "--out").ok_or("simulate requires --out FILE")?;
-    let minutes: usize = flag(args, "--minutes").map_or(Ok(720), str::parse).map_err(|e| format!("--minutes: {e}"))?;
-    let seed: u64 = flag(args, "--seed").map_or(Ok(42), str::parse).map_err(|e| format!("--seed: {e}"))?;
+    let minutes: usize = flag(args, "--minutes")
+        .map_or(Ok(720), str::parse)
+        .map_err(|e| format!("--minutes: {e}"))?;
+    let seed: u64 =
+        flag(args, "--seed").map_or(Ok(42), str::parse).map_err(|e| format!("--seed: {e}"))?;
     let fault = match flag(args, "--fault").unwrap_or("packet_drop") {
         "packet_drop" => vec![Fault::PacketDrop {
             start_min: minutes / 2,
@@ -83,7 +84,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         }],
         "hypervisor" => vec![Fault::HypervisorDrop { intensity: 0.3 }],
         "namenode" => vec![Fault::NamenodeScan { period_min: 15, duration_min: 5 }],
-        "raid" => vec![Fault::RaidCheck { period_min: minutes / 2, duration_min: minutes / 12, io_share: 0.2 }],
+        "raid" => vec![Fault::RaidCheck {
+            period_min: minutes / 2,
+            duration_min: minutes / 12,
+            io_share: 0.2,
+        }],
         "disk" => vec![Fault::DiskSaturation {
             start_min: minutes / 3,
             end_min: minutes / 2,
@@ -137,26 +142,21 @@ fn cmd_rank(args: &[String]) -> Result<(), String> {
     let db = load_db(path)?;
     let (engine, t_steps) = engine_from_db(&db)?;
     let target = flag(args, "--target").unwrap_or("pipeline_runtime");
-    let condition: Vec<&str> = flag(args, "--condition")
-        .map(|s| s.split(',').collect())
-        .unwrap_or_default();
+    let condition: Vec<&str> =
+        flag(args, "--condition").map(|s| s.split(',').collect()).unwrap_or_default();
     let scorer = match parse_scorer(flag(args, "--scorer").unwrap_or("auto"))? {
         Some(s) => s,
         None => {
-            let fams: Vec<_> = engine
-                .family_names()
-                .iter()
-                .filter_map(|n| engine.family(n).cloned())
-                .collect();
+            let fams: Vec<_> =
+                engine.family_names().iter().filter_map(|n| engine.family(n).cloned()).collect();
             let choice = auto_select_scorer(&fams, t_steps);
             println!("auto-selected scorer {}: {}\n", choice.scorer.name(), choice.reason);
             choice.scorer
         }
     };
-    let ranking = engine
-        .rank(target, &condition, scorer)
-        .map_err(|e| e.to_string())?;
-    let top: usize = flag(args, "--top").map_or(Ok(20), str::parse).map_err(|e| format!("--top: {e}"))?;
+    let ranking = engine.rank(target, &condition, scorer).map_err(|e| e.to_string())?;
+    let top: usize =
+        flag(args, "--top").map_or(Ok(20), str::parse).map_err(|e| format!("--top: {e}"))?;
     let mut ranking = ranking;
     ranking.entries.truncate(top);
     println!("{}", render_ranking(&ranking));
@@ -179,12 +179,12 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("explain requires a snapshot FILE")?;
     let candidate = flag(args, "--candidate").ok_or("explain requires --candidate FAMILY")?;
     let target = flag(args, "--target").unwrap_or("pipeline_runtime");
-    let condition: Vec<&str> = flag(args, "--condition")
-        .map(|s| s.split(',').collect())
-        .unwrap_or_default();
+    let condition: Vec<&str> =
+        flag(args, "--condition").map(|s| s.split(',').collect()).unwrap_or_default();
     let db = load_db(path)?;
     let (engine, _) = engine_from_db(&db)?;
-    let overlay = explain(&engine, target, candidate, &condition, 1.0).map_err(|e| e.to_string())?;
+    let overlay =
+        explain(&engine, target, candidate, &condition, 1.0).map_err(|e| e.to_string())?;
     println!(
         "E[{target} | {candidate}{}] over {} samples{}:\n",
         if condition.is_empty() { String::new() } else { format!(", {}", condition.join(",")) },
@@ -228,9 +228,8 @@ fn cmd_case_study(args: &[String]) -> Result<(), String> {
         engine.add_family(f);
     }
     let condition: Vec<&str> = if which == "5.2" { vec!["pipeline_input_rate"] } else { vec![] };
-    let ranking = engine
-        .rank("pipeline_runtime", &condition, ScorerKind::L2)
-        .map_err(|e| e.to_string())?;
+    let ranking =
+        engine.rank("pipeline_runtime", &condition, ScorerKind::L2).map_err(|e| e.to_string())?;
     println!("{}", render_ranking(&ranking));
     if let Some((w0, w1)) = window {
         println!("fault window: minutes {w0}..{w1}");

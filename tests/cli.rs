@@ -59,12 +59,7 @@ fn simulate_rank_explain_round_trip() {
 
     // explain overlay
     let out = bin()
-        .args([
-            "explain",
-            snapshot.to_str().expect("utf8 path"),
-            "--candidate",
-            "tcp_retransmits",
-        ])
+        .args(["explain", snapshot.to_str().expect("utf8 path"), "--candidate", "tcp_retransmits"])
         .output()
         .expect("binary runs");
     assert!(out.status.success(), "explain failed: {}", String::from_utf8_lossy(&out.stderr));
@@ -81,19 +76,13 @@ fn bad_inputs_fail_cleanly() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
     // Missing snapshot file.
-    let out = bin()
-        .args(["rank", "/nonexistent/path.tsdb"])
-        .output()
-        .expect("binary runs");
+    let out = bin().args(["rank", "/nonexistent/path.tsdb"]).output().expect("binary runs");
     assert!(!out.status.success());
 
     // Corrupt snapshot.
     let bad = tmp_path("corrupt.tsdb");
     std::fs::write(&bad, b"definitely not a snapshot").expect("write temp");
-    let out = bin()
-        .args(["rank", bad.to_str().expect("utf8 path")])
-        .output()
-        .expect("binary runs");
+    let out = bin().args(["rank", bad.to_str().expect("utf8 path")]).output().expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("not a valid snapshot"));
     let _ = std::fs::remove_file(&bad);

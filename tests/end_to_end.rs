@@ -1,7 +1,7 @@
 //! End-to-end integration: simulator → TSDB → SQL → feature families →
 //! engine → ranking, across the crate boundaries.
 
-use explainit::core::{Engine, EngineConfig, FeatureFamily, ScorerKind};
+use explainit::core::{Engine, EngineConfig, ScorerKind};
 use explainit::query::{pivot_long, Catalog};
 use explainit::tsdb::TimeRange;
 use explainit::workloads::{families_by_name, simulate, ClusterSpec, Fault, Label};
@@ -38,14 +38,11 @@ fn sql_pipeline_to_ranking_finds_cause() {
     // Stage 2: pivot to families.
     let frames = pivot_long(&table, "timestamp", "metric_name", "feat", "v").expect("pivot");
     assert!(frames.len() > 10);
-    // Stage 3: hypothesis scoring.
+    // Stage 3: hypothesis scoring (columnar frames move straight into the
+    // engine, no row detour).
     let mut engine = Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
-    for f in &frames {
-        engine.add_family(FeatureFamily::from_frame(f));
-    }
-    let ranking = engine
-        .rank("pipeline_runtime", &[], ScorerKind::L2)
-        .expect("ranking");
+    engine.add_frames_owned(frames);
+    let ranking = engine.rank("pipeline_runtime", &[], ScorerKind::L2).expect("ranking");
     let cause_rank = ranking.rank_of("tcp_retransmits");
     assert!(
         cause_rank.is_some_and(|r| r <= 10),
@@ -97,14 +94,10 @@ fn conditioning_workflow_demotes_load_families() {
     for f in sim.families() {
         engine.add_family(f);
     }
-    let conditioned = engine
-        .rank("pipeline_runtime", &["pipeline_input_rate"], ScorerKind::L2)
-        .expect("ranking");
+    let conditioned =
+        engine.rank("pipeline_runtime", &["pipeline_input_rate"], ScorerKind::L2).expect("ranking");
     let cause_rank = conditioned.rank_of("tcp_retransmits");
-    assert!(
-        cause_rank.is_some_and(|r| r <= 6),
-        "conditioned cause rank {cause_rank:?}"
-    );
+    assert!(cause_rank.is_some_and(|r| r <= 6), "conditioned cause rank {cause_rank:?}");
 }
 
 #[test]
@@ -112,9 +105,7 @@ fn snapshot_round_trip_preserves_rankings() {
     let sim = small_incident();
     let snap = explainit::tsdb::Snapshot::capture(&sim.db);
     let bytes = snap.to_bytes();
-    let restored = explainit::tsdb::Snapshot::from_bytes(&bytes)
-        .expect("decode")
-        .restore();
+    let restored = explainit::tsdb::Snapshot::from_bytes(&bytes).expect("decode").restore();
     let fams_a = families_by_name(&sim.db, &sim.time_range(), 60);
     let fams_b = families_by_name(&restored, &sim.time_range(), 60);
     assert_eq!(fams_a.len(), fams_b.len());
@@ -143,18 +134,14 @@ fn restricted_time_range_scoring() {
     let sim = small_incident();
     let quiet = TimeRange::new(sim.start_ts, sim.start_ts + 100 * 60);
     // Large top_k so the low-scoring cause entry stays visible to the test.
-    let mut engine = Engine::new(EngineConfig { workers: 2, top_k: 500, ..EngineConfig::default() });
+    let mut engine =
+        Engine::new(EngineConfig { workers: 2, top_k: 500, ..EngineConfig::default() });
     for f in families_by_name(&sim.db, &quiet, 60) {
         engine.add_family(f);
     }
-    let ranking = engine
-        .rank("pipeline_runtime", &[], ScorerKind::L2)
-        .expect("ranking");
-    let quiet_cause = ranking
-        .entries
-        .iter()
-        .find(|e| e.family == "tcp_retransmits")
-        .expect("entry exists");
+    let ranking = engine.rank("pipeline_runtime", &[], ScorerKind::L2).expect("ranking");
+    let quiet_cause =
+        ranking.entries.iter().find(|e| e.family == "tcp_retransmits").expect("entry exists");
     assert!(
         quiet_cause.score < 0.35,
         "no fault in window -> low cause score, got {}",

@@ -43,9 +43,8 @@ fn log_templates_rank_against_runtime() {
     assert!(template_count >= 2, "scan + heartbeat templates");
 
     // The scan template series must exist and be periodic.
-    let hits = db.find(
-        &MetricFilter::name("log_template").with_tag_glob("template", "*GetContentSummary*"),
-    );
+    let hits = db
+        .find(&MetricFilter::name("log_template").with_tag_glob("template", "*GetContentSummary*"));
     assert_eq!(hits.len(), 1, "one masked template for all scan lines");
 
     // Group everything (metrics + log templates) and rank.
@@ -56,9 +55,7 @@ fn log_templates_rank_against_runtime() {
     }
     // Log-template counts become their own family; scans drive runtime, so
     // the template family must rank near the causes.
-    let ranking = engine
-        .rank("pipeline_runtime", &[], ScorerKind::L2)
-        .expect("ranking");
+    let ranking = engine.rank("pipeline_runtime", &[], ScorerKind::L2).expect("ranking");
     let log_rank = ranking.rank_of("log_template").expect("log family ranked");
     assert!(
         log_rank <= 8,
@@ -78,8 +75,7 @@ fn template_family_width_matches_distinct_templates() {
     featurize_logs(&mut db, &records, 60);
     let range = TimeRange::new(0, 120);
     let fams = explainit::workloads::families_by_name(&db, &range, 60);
-    let log_fam: Vec<&FeatureFamily> =
-        fams.iter().filter(|f| f.name == "log_template").collect();
+    let log_fam: Vec<&FeatureFamily> = fams.iter().filter(|f| f.name == "log_template").collect();
     assert_eq!(log_fam.len(), 1);
     // Two templates: "request <*> done" and the cache-miss line.
     assert_eq!(log_fam[0].width(), 2);

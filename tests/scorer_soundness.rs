@@ -38,18 +38,10 @@ fn check_consistency(
         }
         acc
     };
-    let detail = score_hypothesis(
-        ScorerKind::L2,
-        &col(x),
-        &col(y),
-        z_mat.as_ref(),
-        &ScoreConfig::default(),
-    )
-    .expect("scoring succeeds");
-    let zset: BTreeSet<_> = z
-        .iter()
-        .map(|n| sem.dag().node(n).expect("node"))
-        .collect();
+    let detail =
+        score_hypothesis(ScorerKind::L2, &col(x), &col(y), z_mat.as_ref(), &ScoreConfig::default())
+            .expect("scoring succeeds");
+    let zset: BTreeSet<_> = z.iter().map(|n| sem.dag().node(n).expect("node")).collect();
     let separated = d_separated(
         sem.dag(),
         sem.dag().node(x).expect("node"),
@@ -116,7 +108,8 @@ fn chain_conditional_independence_scores_near_zero() {
 fn fork_blocked_by_common_cause() {
     for seed in [4, 5] {
         let (dag, specs) = fork();
-        let (sep_marg, score_marg) = check_consistency(dag.clone(), specs.clone(), "L", "R", &[], seed);
+        let (sep_marg, score_marg) =
+            check_consistency(dag.clone(), specs.clone(), "L", "R", &[], seed);
         assert!(!sep_marg);
         assert!(score_marg > 0.3, "marginal {score_marg}");
         let (sep_cond, score_cond) = check_consistency(dag, specs, "L", "R", &["Z"], seed);
@@ -129,7 +122,8 @@ fn fork_blocked_by_common_cause() {
 fn collider_opens_under_conditioning() {
     for seed in [6, 7] {
         let (dag, specs) = collider();
-        let (sep_marg, score_marg) = check_consistency(dag.clone(), specs.clone(), "L", "R", &[], seed);
+        let (sep_marg, score_marg) =
+            check_consistency(dag.clone(), specs.clone(), "L", "R", &[], seed);
         assert!(sep_marg, "collider parents marginally separated");
         assert!(score_marg < 0.05, "marginal {score_marg}");
         let (sep_cond, score_cond) = check_consistency(dag, specs, "L", "R", &["C"], seed);
@@ -151,12 +145,8 @@ fn pseudocause_structure_of_figure_3() {
     specs.insert("Cr".into(), NodeSpec::default().noise(1.0));
     specs.insert("Ys".into(), NodeSpec::with_weights(&[("Cs", 1.3)]).noise(0.3));
     specs.insert("Yr".into(), NodeSpec::with_weights(&[("Cr", 1.3)]).noise(0.3));
-    specs.insert(
-        "Y1".into(),
-        NodeSpec::with_weights(&[("Ys", 1.0), ("Yr", 1.0)]).noise(0.2),
-    );
-    let (sep_cs, score_cs) =
-        check_consistency(dag.clone(), specs.clone(), "Cs", "Y1", &["Ys"], 8);
+    specs.insert("Y1".into(), NodeSpec::with_weights(&[("Ys", 1.0), ("Yr", 1.0)]).noise(0.2));
+    let (sep_cs, score_cs) = check_consistency(dag.clone(), specs.clone(), "Cs", "Y1", &["Ys"], 8);
     assert!(sep_cs);
     assert!(score_cs < 0.05, "seasonality cause blocked: {score_cs}");
     let (sep_cr, score_cr) = check_consistency(dag, specs, "Cr", "Y1", &["Ys"], 8);

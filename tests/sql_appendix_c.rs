@@ -40,7 +40,15 @@ fn build_catalog() -> Catalog {
     catalog.register(
         "flows",
         Table::from_rows(
-            &["timestamp", "src_address", "service_port", "pkts", "bytes", "network_latency", "retransmissions"],
+            &[
+                "timestamp",
+                "src_address",
+                "service_port",
+                "pkts",
+                "bytes",
+                "network_latency",
+                "retransmissions",
+            ],
             flow_rows,
         ),
     );
@@ -66,8 +74,15 @@ fn build_catalog() -> Catalog {
         "processes",
         Table::from_rows(
             &[
-                "timestamp", "service_name", "hostname", "stime", "utime", "statm_resident",
-                "read_b", "cancelled_write_b", "write_b",
+                "timestamp",
+                "service_name",
+                "hostname",
+                "stime",
+                "utime",
+                "statm_resident",
+                "read_b",
+                "cancelled_write_b",
+                "write_b",
             ],
             proc_rows,
         ),
