@@ -1,0 +1,126 @@
+//! Partition-parallel executor benchmark: the Appendix-C-style family
+//! query (GROUP BY timestamp × tag dimension over one metric's series
+//! fleet) at increasing partition counts, against the serial pipeline and
+//! the naive reference interpreter.
+//!
+//! The workload is shaped so the parallel region dominates: a wide fleet
+//! of `disk` series whose scan output feeds a two-phase aggregate
+//! (per-morsel partial accumulators, order-preserving merge). The
+//! `parallel_scaling` report binary prints the full partition-sweep
+//! speedup table; this bench pins the headline comparisons.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use explainit_query::reference::execute_naive;
+use explainit_query::{parse_query, Catalog, ExecOptions};
+use explainit_tsdb::{SeriesKey, Tsdb};
+
+/// A fleet of `disk` series (the query target) plus background noise
+/// series the scan's index pushdown must skip.
+fn build_db(fleet: usize, points: usize) -> Tsdb {
+    let mut db = Tsdb::new();
+    for s in 0..fleet {
+        let key = SeriesKey::new("disk")
+            .with_tag("host", format!("host-{s}"))
+            .with_tag("grp", format!("g{}", s % 8));
+        for t in 0..points {
+            db.insert(&key, t as i64 * 60, ((s * points + t) % 997) as f64 * 0.1);
+        }
+    }
+    for s in 0..fleet {
+        let key = SeriesKey::new(format!("noise_{}", s % 20)).with_tag("host", format!("host-{s}"));
+        for t in 0..(points / 4) {
+            db.insert(&key, t as i64 * 60, t as f64);
+        }
+    }
+    db
+}
+
+/// Appendix-C family-query shape: per-(timestamp, group) aggregation of
+/// one metric over the whole fleet.
+const FAMILY_QUERY: &str = "SELECT timestamp, tag['grp'], AVG(value) AS mean_v, \
+     STDDEV(value) AS sd FROM tsdb WHERE metric_name = 'disk' \
+     AND timestamp BETWEEN 0 AND 10000000 \
+     GROUP BY timestamp, tag['grp'] ORDER BY timestamp ASC";
+
+fn bench_family_query_partitions(c: &mut Criterion) {
+    let db = build_db(64, 2000);
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", &db);
+    let query = parse_query(FAMILY_QUERY).expect("parse");
+
+    // Sanity: all partition counts must agree before timing means anything.
+    let serial = catalog.execute_query_with(&query, ExecOptions { partitions: 1 }).expect("serial");
+    for parts in [2, 4, 8] {
+        let p = catalog.execute_query_with(&query, ExecOptions { partitions: parts }).expect("par");
+        assert_eq!(serial.rows(), p.rows(), "partitions={parts} must match serial");
+    }
+
+    let mut group = c.benchmark_group("query_parallel/family");
+    group.sample_size(10);
+    group.bench_function("serial_1_partition", |b| {
+        b.iter(|| {
+            catalog.execute_query_with(&query, ExecOptions { partitions: 1 }).expect("serial")
+        });
+    });
+    for parts in [2usize, 4, 8] {
+        group.bench_function(format!("parallel_{parts}_partitions"), |b| {
+            b.iter(|| {
+                catalog
+                    .execute_query_with(&query, ExecOptions { partitions: parts })
+                    .expect("parallel")
+            });
+        });
+    }
+    group.bench_function("auto_partitions", |b| {
+        b.iter(|| catalog.execute_query_with(&query, ExecOptions { partitions: 0 }).expect("auto"));
+    });
+    group.finish();
+}
+
+fn bench_against_reference(c: &mut Criterion) {
+    // Smaller store so the naive full-materialization interpreter finishes
+    // in bench time; same query shape.
+    let db = build_db(32, 400);
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", &db);
+    let query = parse_query(FAMILY_QUERY).expect("parse");
+    let _ = execute_naive(&catalog, &query).expect("naive warm-up fills the view cache");
+
+    let mut group = c.benchmark_group("query_parallel/vs_reference");
+    group.sample_size(10);
+    group.bench_function("pipeline_auto", |b| {
+        b.iter(|| catalog.execute_query_with(&query, ExecOptions { partitions: 0 }).expect("auto"));
+    });
+    group.bench_function("reference_naive", |b| {
+        b.iter(|| execute_naive(&catalog, &query).expect("naive"));
+    });
+    group.finish();
+}
+
+fn bench_dictionary_scan(c: &mut Criterion) {
+    // Isolates the dictionary-encoded scan: a projection that reads the
+    // metric_name and tag columns of every row. Pre-dictionary, this
+    // cloned a String and a BTreeMap per row.
+    let db = build_db(64, 1000);
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", &db);
+    let query = parse_query(
+        "SELECT metric_name, tag['host'] AS h, value FROM tsdb WHERE metric_name = 'disk'",
+    )
+    .expect("parse");
+
+    let mut group = c.benchmark_group("query_parallel/dict_scan");
+    group.sample_size(10);
+    group.bench_function("project_name_and_tag", |b| {
+        b.iter(|| catalog.execute_query_with(&query, ExecOptions { partitions: 0 }).expect("run"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_family_query_partitions,
+    bench_against_reference,
+    bench_dictionary_scan
+);
+criterion_main!(benches);

@@ -58,6 +58,11 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine`, storing the mean per-iteration cost.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.samples == 0 {
+            // `--test` smoke mode: execute once, measure nothing.
+            std_black_box(routine());
+            return;
+        }
         // Warm-up and calibration: find an iteration count that runs long
         // enough to be measurable.
         let mut iters: u64 = 1;
@@ -87,7 +92,19 @@ impl Bencher {
     }
 }
 
+/// True when the bench binary was invoked with `--test` (criterion's
+/// smoke mode: run every routine once, skip measurement).
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_one(full_label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    if test_mode() {
+        let mut b = Bencher { samples: 0, last_mean: Duration::ZERO };
+        f(&mut b);
+        println!("test bench {full_label} ... ok");
+        return;
+    }
     let mut b = Bencher { samples, last_mean: Duration::ZERO };
     f(&mut b);
     println!("bench {full_label:<48} {:>12.3?}/iter", b.last_mean);

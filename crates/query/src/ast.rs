@@ -138,6 +138,9 @@ pub enum BinaryOp {
     Mod,
     /// `LIKE` (SQL `%`/`_` wildcards)
     Like,
+    /// `GLOB` (shell `*`/`?` wildcards — the paper's `disk{host=datanode*}`
+    /// selector family, pushable to the TSDB tag index)
+    Glob,
 }
 
 /// Unary operators.

@@ -6,26 +6,70 @@
 //! instead of materializing the whole store as rows. Row materialization
 //! only happens for queries that genuinely read everything (and for the
 //! naive reference executor), and is cached.
+//!
+//! Each binding also carries lazily built **scan dictionaries**
+//! ([`TsdbDicts`]): the distinct metric names and tag maps of the store,
+//! each behind a shared `Arc`, plus a per-series code. Scans emit their
+//! `metric_name`/`tag` columns as [`crate::column::Column::Dict`] code
+//! vectors over these dictionaries, so a scan allocates no per-row strings
+//! or tag-map clones no matter how many rows it returns.
 
-use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, OnceLock};
 
 use explainit_tsdb::Tsdb;
 
 use crate::ast::Query;
-use crate::exec::execute;
+use crate::exec::{execute, execute_with, ExecOptions};
 use crate::parser::parse_query;
 use crate::plan::TSDB_COLUMNS;
 use crate::table::{Schema, Table};
 use crate::value::Value;
 use crate::Result;
 
+/// Shared dictionaries for one TSDB binding's scan columns.
+#[derive(Debug)]
+pub(crate) struct TsdbDicts {
+    /// Distinct metric names as `Value::Str`.
+    pub names: Arc<Vec<Value>>,
+    /// `names` code per series, indexed by `SeriesId::index()`.
+    pub name_code: Vec<u32>,
+    /// Distinct tag maps as `Value::Map`.
+    pub tags: Arc<Vec<Value>>,
+    /// `tags` code per series, indexed by `SeriesId::index()`.
+    pub tag_code: Vec<u32>,
+}
+
+impl TsdbDicts {
+    fn build(db: &Tsdb) -> TsdbDicts {
+        let mut names: Vec<Value> = Vec::new();
+        let mut name_ix: HashMap<String, u32> = HashMap::new();
+        let mut tags: Vec<Value> = Vec::new();
+        let mut tag_ix: HashMap<BTreeMap<String, String>, u32> = HashMap::new();
+        let mut name_code = vec![0u32; db.series_count()];
+        let mut tag_code = vec![0u32; db.series_count()];
+        for (id, series) in db.iter() {
+            let nc = *name_ix.entry(series.key.name.clone()).or_insert_with(|| {
+                names.push(Value::Str(series.key.name.clone()));
+                (names.len() - 1) as u32
+            });
+            name_code[id.index()] = nc;
+            let tc = *tag_ix.entry(series.key.tags.clone()).or_insert_with(|| {
+                tags.push(Value::Map(series.key.tags.clone()));
+                (tags.len() - 1) as u32
+            });
+            tag_code[id.index()] = tc;
+        }
+        TsdbDicts { names: Arc::new(names), name_code, tags: Arc::new(tags), tag_code }
+    }
+}
+
 /// One registered table: plain rows, or a bound TSDB with a lazily
-/// materialized relational view.
+/// materialized relational view and lazily built scan dictionaries.
 #[derive(Debug)]
 enum Source {
     Mem(Table),
-    Tsdb { db: Tsdb, cache: OnceLock<Table> },
+    Tsdb { db: Tsdb, cache: OnceLock<Table>, dicts: OnceLock<TsdbDicts> },
 }
 
 /// A catalog of named tables that SQL queries run against.
@@ -52,8 +96,10 @@ impl Catalog {
     /// data) but *not* materialized: filtered queries scan through the tag
     /// index via predicate pushdown.
     pub fn register_tsdb(&mut self, name: &str, db: &Tsdb) {
-        self.tables
-            .insert(name.to_lowercase(), Source::Tsdb { db: db.clone(), cache: OnceLock::new() });
+        self.tables.insert(
+            name.to_lowercase(),
+            Source::Tsdb { db: db.clone(), cache: OnceLock::new(), dicts: OnceLock::new() },
+        );
     }
 
     /// Looks a table up (case-insensitive). For a TSDB binding this
@@ -62,7 +108,7 @@ impl Catalog {
     pub fn get(&self, name: &str) -> Option<&Table> {
         match self.tables.get(&name.to_lowercase())? {
             Source::Mem(t) => Some(t),
-            Source::Tsdb { db, cache } => Some(cache.get_or_init(|| table_from_tsdb(db))),
+            Source::Tsdb { db, cache, .. } => Some(cache.get_or_init(|| table_from_tsdb(db))),
         }
     }
 
@@ -70,6 +116,14 @@ impl Catalog {
     pub fn tsdb_source(&self, name: &str) -> Option<&Tsdb> {
         match self.tables.get(&name.to_lowercase())? {
             Source::Tsdb { db, .. } => Some(db),
+            Source::Mem(_) => None,
+        }
+    }
+
+    /// The scan dictionaries of a TSDB binding (built on first use).
+    pub(crate) fn tsdb_dicts(&self, name: &str) -> Option<&TsdbDicts> {
+        match self.tables.get(&name.to_lowercase())? {
+            Source::Tsdb { db, dicts, .. } => Some(dicts.get_or_init(|| TsdbDicts::build(db))),
             Source::Mem(_) => None,
         }
     }
@@ -101,6 +155,12 @@ impl Catalog {
     /// Executes a pre-parsed query.
     pub fn execute_query(&self, query: &Query) -> Result<Table> {
         execute(self, query)
+    }
+
+    /// Executes a pre-parsed query with explicit execution options (e.g. a
+    /// forced partition count for the parallel pipelines).
+    pub fn execute_query_with(&self, query: &Query, opts: ExecOptions) -> Result<Table> {
+        execute_with(self, query, opts)
     }
 
     /// Executes a query and registers the result as a new table — the

@@ -7,6 +7,16 @@
 //! demotes the column to `Values` rather than silently rewriting the value
 //! (explicit numeric coercion is a `UNION` policy, see
 //! [`Column::append_coercing`]).
+//!
+//! The [`Column::Dict`] variant is a *dictionary-encoded* column: a shared
+//! `Arc` dictionary of distinct values plus one `u32` code per row. The
+//! TSDB scan emits its `metric_name` and `tag` columns this way — the
+//! dictionary is built once per bound store, so scanning a million rows
+//! clones one `Arc` instead of a million `String`s/tag maps — and the
+//! vectorized kernels in [`crate::veval`] evaluate predicates per distinct
+//! dictionary entry instead of per row.
+
+use std::sync::Arc;
 
 use crate::value::Value;
 
@@ -21,6 +31,14 @@ pub enum Column {
     Str(Vec<String>),
     /// Dense non-null booleans.
     Bool(Vec<bool>),
+    /// Dictionary-encoded values: `values[codes[i]]` is row `i`'s value.
+    /// The dictionary is shared (`Arc`) across columns, morsels and scans.
+    Dict {
+        /// Distinct values (may be any [`Value`], typically `Str` or `Map`).
+        values: Arc<Vec<Value>>,
+        /// Per-row index into `values`.
+        codes: Vec<u32>,
+    },
     /// Generic fallback: any values, including NULLs, maps and lists.
     Values(Vec<Value>),
 }
@@ -31,6 +49,15 @@ impl Column {
         Column::Values(Vec::new())
     }
 
+    /// Builds a dictionary column from shared values and row codes.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) when a code is out of range.
+    pub fn dict(values: Arc<Vec<Value>>, codes: Vec<u32>) -> Column {
+        debug_assert!(codes.iter().all(|&c| (c as usize) < values.len()));
+        Column::Dict { values, codes }
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         match self {
@@ -38,6 +65,7 @@ impl Column {
             Column::Float(v) => v.len(),
             Column::Str(v) => v.len(),
             Column::Bool(v) => v.len(),
+            Column::Dict { codes, .. } => codes.len(),
             Column::Values(v) => v.len(),
         }
     }
@@ -57,6 +85,7 @@ impl Column {
             Column::Float(v) => Value::Float(v[i]),
             Column::Str(v) => Value::Str(v[i].clone()),
             Column::Bool(v) => Value::Bool(v[i]),
+            Column::Dict { values, codes } => values[codes[i] as usize].clone(),
             Column::Values(v) => v[i].clone(),
         }
     }
@@ -163,6 +192,10 @@ impl Column {
             Column::Float(v) => Column::Float(indices.iter().map(|&i| v[i]).collect()),
             Column::Str(v) => Column::Str(indices.iter().map(|&i| v[i].clone()).collect()),
             Column::Bool(v) => Column::Bool(indices.iter().map(|&i| v[i]).collect()),
+            Column::Dict { values, codes } => Column::Dict {
+                values: Arc::clone(values),
+                codes: indices.iter().map(|&i| codes[i]).collect(),
+            },
             Column::Values(v) => Column::Values(indices.iter().map(|&i| v[i].clone()).collect()),
         }
     }
@@ -196,7 +229,26 @@ impl Column {
             Column::Float(v) => Column::Float(keep(v, mask)),
             Column::Str(v) => Column::Str(keep(v, mask)),
             Column::Bool(v) => Column::Bool(keep(v, mask)),
+            Column::Dict { values, codes } => {
+                Column::Dict { values: Arc::clone(values), codes: keep(codes, mask) }
+            }
             Column::Values(v) => Column::Values(keep(v, mask)),
+        }
+    }
+
+    /// Copies the `[start, end)` subrange into a new column — the morsel
+    /// cut of the partition-parallel executor. Cheap for dense numeric and
+    /// dictionary columns (a memcpy of natives / codes).
+    pub fn slice(&self, start: usize, end: usize) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(v[start..end].to_vec()),
+            Column::Float(v) => Column::Float(v[start..end].to_vec()),
+            Column::Str(v) => Column::Str(v[start..end].to_vec()),
+            Column::Bool(v) => Column::Bool(v[start..end].to_vec()),
+            Column::Dict { values, codes } => {
+                Column::Dict { values: Arc::clone(values), codes: codes[start..end].to_vec() }
+            }
+            Column::Values(v) => Column::Values(v[start..end].to_vec()),
         }
     }
 
@@ -207,24 +259,16 @@ impl Column {
             Column::Float(v) => v.truncate(n),
             Column::Str(v) => v.truncate(n),
             Column::Bool(v) => v.truncate(n),
+            Column::Dict { codes, .. } => codes.truncate(n),
             Column::Values(v) => v.truncate(n),
         }
     }
 
     /// Appends another column with `UNION` numeric coercion: an `Int`
     /// column meeting a `Float` column (either way) becomes `Float`; any
-    /// other kind mismatch demotes to the generic representation.
+    /// other combination behaves like [`Column::append_preserving`].
     pub fn append_coercing(&mut self, other: Column) {
         match (&mut *self, other) {
-            (Column::Int(a), Column::Int(b)) => a.extend(b),
-            (Column::Float(a), Column::Float(b)) => a.extend(b),
-            (Column::Str(a), Column::Str(b)) => a.extend(b),
-            (Column::Bool(a), Column::Bool(b)) => a.extend(b),
-            (Column::Values(a), b) => {
-                for i in 0..b.len() {
-                    a.push(b.get(i));
-                }
-            }
             (Column::Int(a), Column::Float(b)) => {
                 let mut floats: Vec<f64> = a.iter().map(|&i| i as f64).collect();
                 floats.extend(b);
@@ -232,6 +276,31 @@ impl Column {
             }
             (Column::Float(a), Column::Int(b)) => {
                 a.extend(b.into_iter().map(|i| i as f64));
+            }
+            (_, b) => self.append_preserving(b),
+        }
+    }
+
+    /// Appends another column *without* coercion: same-kind dense columns
+    /// extend in place, anything else demotes to the generic
+    /// representation, preserving every value's identity. This is how the
+    /// partition-parallel executor concatenates morsel outputs so the
+    /// result is value-identical to a single-pass evaluation.
+    pub fn append_preserving(&mut self, other: Column) {
+        match (&mut *self, other) {
+            (Column::Int(a), Column::Int(b)) => a.extend(b),
+            (Column::Float(a), Column::Float(b)) => a.extend(b),
+            (Column::Str(a), Column::Str(b)) => a.extend(b),
+            (Column::Bool(a), Column::Bool(b)) => a.extend(b),
+            (Column::Dict { values: av, codes: ac }, Column::Dict { values: bv, codes: bc })
+                if Arc::ptr_eq(av, &bv) =>
+            {
+                ac.extend(bc)
+            }
+            (Column::Values(a), b) => {
+                for i in 0..b.len() {
+                    a.push(b.get(i));
+                }
             }
             (_, b) => {
                 let generic = self.make_generic();
@@ -250,6 +319,10 @@ impl Column {
             Column::Float(v) => v.clone(),
             Column::Bool(v) => v.iter().map(|&b| f64::from(b)).collect(),
             Column::Str(v) => vec![f64::NAN; v.len()],
+            Column::Dict { values, codes } => {
+                let per: Vec<f64> = values.iter().map(|v| v.as_f64().unwrap_or(f64::NAN)).collect();
+                codes.iter().map(|&c| per[c as usize]).collect()
+            }
             Column::Values(v) => v.iter().map(|x| x.as_f64().unwrap_or(f64::NAN)).collect(),
         }
     }
@@ -329,10 +402,81 @@ mod tests {
     }
 
     #[test]
+    fn append_preserving_never_rewrites_values() {
+        let mut c = Column::Int(vec![1, 2]);
+        c.append_preserving(Column::Float(vec![0.5]));
+        // No Int→Float coercion: identities survive, repr demotes.
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(2), Value::Float(0.5));
+        let mut c = Column::Int(vec![1]);
+        c.append_preserving(Column::Int(vec![2]));
+        assert_eq!(c, Column::Int(vec![1, 2]));
+    }
+
+    #[test]
     fn lossy_numeric_view() {
         let c = Column::Values(vec![Value::Int(1), Value::str("x"), Value::Null]);
         let f = c.to_f64_lossy();
         assert_eq!(f[0], 1.0);
         assert!(f[1].is_nan() && f[2].is_nan());
+    }
+
+    fn sample_dict() -> Column {
+        let values = Arc::new(vec![Value::str("cpu"), Value::str("disk"), Value::str("net")]);
+        Column::dict(values, vec![0, 1, 0, 2, 1])
+    }
+
+    #[test]
+    fn dict_column_basics() {
+        let c = sample_dict();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.get(0), Value::str("cpu"));
+        assert_eq!(c.get(3), Value::str("net"));
+        assert_eq!(c.gather(&[4, 0]).get(0), Value::str("disk"));
+        let filtered = c.filter(&[false, true, false, false, true]);
+        assert_eq!(filtered.len(), 2);
+        assert_eq!(filtered.get(0), Value::str("disk"));
+        let sliced = c.slice(1, 4);
+        assert_eq!(sliced.len(), 3);
+        assert_eq!(sliced.get(0), Value::str("disk"));
+        let mut t = sample_dict();
+        t.truncate(2);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn dict_append_shares_or_demotes() {
+        // Same dictionary: code-level extend.
+        let mut a = sample_dict();
+        let b = a.slice(0, 2);
+        a.append_preserving(b);
+        assert_eq!(a.len(), 7);
+        assert!(matches!(a, Column::Dict { .. }));
+        // Different dictionary: demote, values preserved.
+        let mut a = sample_dict();
+        let other = Column::dict(Arc::new(vec![Value::str("io")]), vec![0]);
+        a.append_preserving(other);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.get(5), Value::str("io"));
+        assert!(matches!(a, Column::Values(_)));
+    }
+
+    #[test]
+    fn dict_push_demotes_to_generic() {
+        let mut c = sample_dict();
+        c.push(Value::str("new"));
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.get(0), Value::str("cpu"));
+        assert_eq!(c.get(5), Value::str("new"));
+    }
+
+    #[test]
+    fn dict_numeric_view_decodes_per_entry() {
+        let values = Arc::new(vec![Value::Int(7), Value::str("x")]);
+        let c = Column::dict(values, vec![0, 1, 0]);
+        let f = c.to_f64_lossy();
+        assert_eq!(f[0], 7.0);
+        assert!(f[1].is_nan());
+        assert_eq!(f[2], 7.0);
     }
 }

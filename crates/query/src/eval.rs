@@ -286,17 +286,22 @@ pub(crate) fn eval_binary(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
             };
             Ok(Value::Bool(b))
         }
-        BinaryOp::Like => {
+        BinaryOp::Like | BinaryOp::Glob => {
+            let name = if op == BinaryOp::Like { "LIKE" } else { "GLOB" };
             if l.is_null() || r.is_null() {
                 return Ok(Value::Null);
             }
             let text = l
                 .as_str()
-                .ok_or_else(|| QueryError::Type("LIKE expects a string operand".into()))?;
+                .ok_or_else(|| QueryError::Type(format!("{name} expects a string operand")))?;
             let pattern = r
                 .as_str()
-                .ok_or_else(|| QueryError::Type("LIKE expects a string pattern".into()))?;
-            Ok(Value::Bool(sql_like(pattern, text)))
+                .ok_or_else(|| QueryError::Type(format!("{name} expects a string pattern")))?;
+            Ok(Value::Bool(if op == BinaryOp::Like {
+                sql_like(pattern, text)
+            } else {
+                explainit_tsdb::glob_match(pattern, text)
+            }))
         }
         BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
             if l.is_null() || r.is_null() {

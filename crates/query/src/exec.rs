@@ -8,10 +8,24 @@
 //! functions, CASE and scalar function calls — mirroring the retained
 //! row-at-a-time oracle in [`crate::reference`].
 //!
+//! **Partition parallelism.** Pipelines the optimizer marked with
+//! [`LogicalPlan::Exchange`] run morsel-parallel on a scoped worker pool
+//! (the hypothesis-scoring idiom from `explainit-core`): the source table
+//! is cut into contiguous row morsels, each worker applies the nested
+//! `Filter`s and either projects or builds *partial aggregate states*
+//! ([`AggAcc`]) for its morsel, and a final exchange step merges partials
+//! in morsel order. Merging is exactly fold-equivalent (error-free float
+//! sums, integer counts, per-class MIN/MAX candidates, PERCENTILE value
+//! gathering), so a parallel run is bit-identical to the serial one — the
+//! differential suite asserts serial == parallel == reference. Partition
+//! count comes from [`ExecOptions`]; `0` means one per available core.
+//!
 //! `EXPLAIN <query>` short-circuits after optimization and returns the
 //! rendered plan as a one-column table.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use explainit_tsdb::{MetricFilter, TimeRange};
 
@@ -19,7 +33,7 @@ use crate::ast::{Expr, JoinKind, Query};
 use crate::catalog::Catalog;
 use crate::column::Column;
 use crate::eval::{eval_group, eval_row, eval_with_rows};
-use crate::functions::{eval_aggregate, is_aggregate};
+use crate::functions::{is_aggregate, AggAcc};
 use crate::optimize::optimize;
 use crate::plan::{build, equi_join_keys, render, LogicalPlan, TSDB_COLUMNS};
 use crate::table::{Schema, Table};
@@ -27,9 +41,33 @@ use crate::value::Value;
 use crate::veval;
 use crate::{QueryError, Result};
 
+/// Execution options for the columnar pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Partition count for [`LogicalPlan::Exchange`] pipelines.
+    ///
+    /// * `0` — auto: one partition per available core, capped so each
+    ///   morsel keeps at least [`MIN_PARTITION_ROWS`] rows;
+    /// * `1` — serial execution (single morsel);
+    /// * `k` — exactly `min(k, rows)` morsels, regardless of core count
+    ///   (lets tests exercise partial-state merging deterministically).
+    ///
+    /// The default is `0` (auto).
+    pub partitions: usize,
+}
+
+/// Auto mode keeps at least this many rows per morsel so partitioning
+/// never dominates small queries.
+const MIN_PARTITION_ROWS: usize = 4096;
+
 /// Executes a parsed query against a catalog through the
-/// plan → optimize → columnar-execute pipeline.
+/// plan → optimize → columnar-execute pipeline with default options.
 pub fn execute(catalog: &Catalog, query: &Query) -> Result<Table> {
+    execute_with(catalog, query, ExecOptions::default())
+}
+
+/// [`execute`] with explicit execution options.
+pub fn execute_with(catalog: &Catalog, query: &Query, opts: ExecOptions) -> Result<Table> {
     let plan = build(catalog, query)?;
     let plan = optimize(plan, catalog)?;
     if query.explain {
@@ -37,7 +75,7 @@ pub fn execute(catalog: &Catalog, query: &Query) -> Result<Table> {
         let lines: Vec<Vec<Value>> = text.lines().map(|l| vec![Value::str(l)]).collect();
         return Ok(Table::from_rows(&["plan"], lines));
     }
-    run(catalog, &plan)
+    run_with(catalog, &plan, &opts)
 }
 
 /// Runs an (optimized) plan.
@@ -46,7 +84,7 @@ pub fn execute(catalog: &Catalog, query: &Query) -> Result<Table> {
 /// columns; the enclosing Sort (always directly above, by construction)
 /// consumes and drops them, and the planner emits hidden keys only when a
 /// Sort exists.
-pub fn run(catalog: &Catalog, plan: &LogicalPlan) -> Result<Table> {
+pub fn run_with(catalog: &Catalog, plan: &LogicalPlan, opts: &ExecOptions) -> Result<Table> {
     match plan {
         LogicalPlan::Scan { table } => {
             let t = catalog.get(table).ok_or_else(|| QueryError::UnknownTable(table.clone()))?;
@@ -60,13 +98,13 @@ pub fn run(catalog: &Catalog, plan: &LogicalPlan) -> Result<Table> {
         LogicalPlan::Unit => Ok(Table::unit(1)),
 
         LogicalPlan::Alias { input, alias } => {
-            let t = run(catalog, input)?;
+            let t = run_with(catalog, input, opts)?;
             let schema = t.schema().qualified(alias);
             Ok(t.with_schema(schema))
         }
 
         LogicalPlan::Filter { input, predicate } => {
-            let t = run(catalog, input)?;
+            let t = run_with(catalog, input, opts)?;
             if t.is_empty() {
                 // Per-row semantics: an empty input never evaluates the
                 // predicate (so e.g. ambiguous references cannot error),
@@ -90,23 +128,25 @@ pub fn run(catalog: &Catalog, plan: &LogicalPlan) -> Result<Table> {
         }
 
         LogicalPlan::Project { input, items, hidden } => {
-            let t = run(catalog, input)?;
+            let t = run_with(catalog, input, opts)?;
             run_project(&t, items, hidden)
         }
 
         LogicalPlan::Aggregate { input, group_by, items, hidden } => {
-            let t = run(catalog, input)?;
+            let t = run_with(catalog, input, opts)?;
             run_aggregate(&t, group_by, items, hidden)
         }
 
         LogicalPlan::Join { left, right, kind, on } => {
-            let l = run(catalog, left)?;
-            let r = run(catalog, right)?;
+            let l = run_with(catalog, left, opts)?;
+            let r = run_with(catalog, right, opts)?;
             run_join(l, r, *kind, on)
         }
 
+        LogicalPlan::Exchange { input } => run_exchange(catalog, input, opts),
+
         LogicalPlan::Sort { input, keys, output_width } => {
-            let t = run(catalog, input)?;
+            let t = run_with(catalog, input, opts)?;
             // Materialize key values once: Column::get clones (allocating
             // for strings), which must not happen per comparison.
             let key_vals: Vec<(Vec<Value>, bool)> = keys
@@ -135,7 +175,7 @@ pub fn run(catalog: &Catalog, plan: &LogicalPlan) -> Result<Table> {
         }
 
         LogicalPlan::Limit { input, n } => {
-            let t = run(catalog, input)?;
+            let t = run_with(catalog, input, opts)?;
             Ok(t.truncated(*n))
         }
 
@@ -146,10 +186,10 @@ pub fn run(catalog: &Catalog, plan: &LogicalPlan) -> Result<Table> {
             // output and later branches match by position. Arity mismatch
             // errors name both schemas; Int/Float mixes coerce to Float.
             let mut parts = inputs.iter();
-            let first = run(catalog, parts.next().expect("union has inputs"))?;
+            let first = run_with(catalog, parts.next().expect("union has inputs"), opts)?;
             let (schema, mut cols, mut len) = first.into_columnar_parts();
             for p in parts {
-                let part = run(catalog, p)?;
+                let part = run_with(catalog, p, opts)?;
                 if part.schema().len() != schema.len() {
                     return Err(QueryError::Plan(format!(
                         "UNION arity mismatch: [{}] has {} columns, [{}] has {}",
@@ -186,6 +226,10 @@ fn run_tsdb_scan(
 ) -> Result<Table> {
     let db =
         catalog.tsdb_source(table).ok_or_else(|| QueryError::UnknownTable(table.to_string()))?;
+    // Per-binding dictionaries, built once: metric_name and tag columns are
+    // emitted as code vectors over shared Arc dictionaries instead of
+    // cloning a String / tag map per row.
+    let dicts = catalog.tsdb_dicts(table).expect("tsdb binding has dictionaries");
     let wanted: Vec<usize> = match columns {
         Some(c) => c.clone(),
         None => (0..TSDB_COLUMNS.len()).collect(),
@@ -200,8 +244,9 @@ fn run_tsdb_scan(
             .iter()
             .map(|&i| match i {
                 0 => Column::Int(Vec::new()),
+                1 => Column::dict(dicts.names.clone(), Vec::new()),
                 3 => Column::Float(Vec::new()),
-                _ => Column::Str(Vec::new()),
+                _ => Column::dict(dicts.tags.clone(), Vec::new()),
             })
             .collect();
         return Ok(Table::from_columnar_parts(schema, empty, 0));
@@ -209,17 +254,17 @@ fn run_tsdb_scan(
 
     let filter = MetricFilter { name: name.clone(), tags: tags.to_vec() };
     let range = TimeRange::new(lo, hi);
-    let mut hits = db.scan(&filter, &range);
+    let mut hits = db.scan_parts(&filter, &range);
     // Canonical-key order first, then a stable sort by timestamp, gives the
     // same (timestamp, series key) row order as the materialized view.
-    hits.sort_by_cached_key(|(key, _, _)| key.canonical());
+    hits.sort_by_cached_key(|part| part.key.canonical());
 
-    let total: usize = hits.iter().map(|(_, ts, _)| ts.len()).sum();
+    let total: usize = hits.iter().map(|p| p.timestamps.len()).sum();
     let mut ts_concat: Vec<i64> = Vec::with_capacity(total);
     let mut hit_of: Vec<u32> = Vec::with_capacity(total);
-    for (h, (_, ts, _)) in hits.iter().enumerate() {
-        ts_concat.extend_from_slice(ts);
-        hit_of.extend(std::iter::repeat_n(h as u32, ts.len()));
+    for (h, part) in hits.iter().enumerate() {
+        ts_concat.extend_from_slice(part.timestamps);
+        hit_of.extend(std::iter::repeat_n(h as u32, part.timestamps.len()));
     }
     let mut order: Vec<u32> = (0..total as u32).collect();
     order.sort_by_key(|&i| ts_concat[i as usize]); // stable: ties stay key-ordered
@@ -229,25 +274,25 @@ fn run_tsdb_scan(
         let col = match c {
             0 => Column::Int(order.iter().map(|&i| ts_concat[i as usize]).collect()),
             1 => {
-                let names: Vec<&str> = hits.iter().map(|(k, _, _)| k.name.as_str()).collect();
-                Column::Str(
-                    order.iter().map(|&i| names[hit_of[i as usize] as usize].to_string()).collect(),
+                let code_of_hit: Vec<u32> =
+                    hits.iter().map(|p| dicts.name_code[p.id.index()]).collect();
+                Column::dict(
+                    dicts.names.clone(),
+                    order.iter().map(|&i| code_of_hit[hit_of[i as usize] as usize]).collect(),
                 )
             }
             2 => {
-                let maps: Vec<&std::collections::BTreeMap<String, String>> =
-                    hits.iter().map(|(k, _, _)| &k.tags).collect();
-                Column::Values(
-                    order
-                        .iter()
-                        .map(|&i| Value::Map(maps[hit_of[i as usize] as usize].clone()))
-                        .collect(),
+                let code_of_hit: Vec<u32> =
+                    hits.iter().map(|p| dicts.tag_code[p.id.index()]).collect();
+                Column::dict(
+                    dicts.tags.clone(),
+                    order.iter().map(|&i| code_of_hit[hit_of[i as usize] as usize]).collect(),
                 )
             }
             _ => {
                 let mut vals_concat: Vec<f64> = Vec::with_capacity(total);
-                for (_, _, vs) in &hits {
-                    vals_concat.extend_from_slice(vs);
+                for part in &hits {
+                    vals_concat.extend_from_slice(part.values);
                 }
                 Column::Float(order.iter().map(|&i| vals_concat[i as usize]).collect())
             }
@@ -299,6 +344,49 @@ fn run_project(t: &Table, items: &[(Expr, String)], hidden: &[Expr]) -> Result<T
 // Aggregation
 // ---------------------------------------------------------------------------
 
+/// Per-row GROUP BY key strings. Dictionary columns render each
+/// *referenced* entry's key fragment once (a selective filter may leave a
+/// handful of codes over a store-wide dictionary) and splice by code;
+/// other columns render per row. Byte-identical to the naive
+/// `get(row).group_key()` loop, so every engine buckets rows the same way.
+fn group_key_strings(key_cols: &[Column], len: usize) -> Vec<String> {
+    enum Part<'c> {
+        Dict { per: Vec<String>, codes: &'c [u32] },
+        Plain(&'c Column),
+    }
+    let parts: Vec<Part> = key_cols
+        .iter()
+        .map(|c| match c {
+            Column::Dict { values, codes } => {
+                let mut per: Vec<String> = vec![String::new(); values.len()];
+                let mut done = vec![false; values.len()];
+                for &code in codes.iter() {
+                    let i = code as usize;
+                    if !done[i] {
+                        per[i] = values[i].group_key();
+                        done[i] = true;
+                    }
+                }
+                Part::Dict { per, codes }
+            }
+            other => Part::Plain(other),
+        })
+        .collect();
+    let mut keys = Vec::with_capacity(len);
+    for row in 0..len {
+        let mut key = String::new();
+        for p in &parts {
+            match p {
+                Part::Dict { per, codes } => key.push_str(&per[codes[row] as usize]),
+                Part::Plain(c) => key.push_str(&c.get(row).group_key()),
+            }
+            key.push('\u{1}');
+        }
+        keys.push(key);
+    }
+    keys
+}
+
 fn run_aggregate(
     t: &Table,
     group_by: &[Expr],
@@ -339,15 +427,11 @@ fn run_aggregate(
             groups.insert(String::new(), (0..len).collect());
         }
     } else {
-        for row in 0..len {
-            let mut key = String::new();
-            for kc in &key_cols {
-                key.push_str(&kc.get(row).group_key());
-                key.push('\u{1}');
-            }
-            match groups.entry(key.clone()) {
+        let keys = group_key_strings(&key_cols, len);
+        for (row, key) in keys.into_iter().enumerate() {
+            match groups.entry(key) {
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    group_order.push(key);
+                    group_order.push(e.key().clone());
                     e.insert(vec![row]);
                 }
                 std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(row),
@@ -368,7 +452,9 @@ fn run_aggregate(
             out_cols.push(Column::from_values(vals));
             continue;
         }
-        // Fast path (b): a plain aggregate call over vectorizable args.
+        // Fast path (b): a plain aggregate call over vectorizable args —
+        // feed the group's rows straight into a mergeable accumulator, no
+        // per-group row-replay materialization.
         if let Expr::Function { name, args } = e {
             if is_aggregate(name) && args.iter().all(veval::supported) {
                 let arg_cols: Vec<Column> = args
@@ -378,11 +464,17 @@ fn run_aggregate(
                     })
                     .collect::<Result<_>>()?;
                 let mut vals = Vec::with_capacity(group_order.len());
+                let mut scratch: Vec<Value> = Vec::with_capacity(arg_cols.len());
                 for key in &group_order {
-                    let idx = &groups[key];
-                    let per_row: Vec<Vec<Value>> =
-                        idx.iter().map(|&r| arg_cols.iter().map(|c| c.get(r)).collect()).collect();
-                    vals.push(eval_aggregate(name, &per_row)?);
+                    let mut acc = AggAcc::new(name).ok_or_else(|| {
+                        QueryError::BadFunction(format!("unknown aggregate {name}"))
+                    })?;
+                    for &r in &groups[key] {
+                        scratch.clear();
+                        scratch.extend(arg_cols.iter().map(|c| c.get(r)));
+                        acc.push(&scratch)?;
+                    }
+                    vals.push(acc.finish()?);
                 }
                 out_cols.push(Column::from_values(vals));
                 continue;
@@ -405,6 +497,310 @@ fn run_aggregate(
     }
 
     Ok(Table::from_columnar_parts(project_names(items, hidden.len()), out_cols, group_order.len()))
+}
+
+// ---------------------------------------------------------------------------
+// Exchange: partition-parallel pipelines
+// ---------------------------------------------------------------------------
+
+/// Splits a Filter chain off a plan: returns the predicates (outermost
+/// first) and the underlying source node.
+fn peel_filters(mut plan: &LogicalPlan) -> (Vec<&Expr>, &LogicalPlan) {
+    let mut filters = Vec::new();
+    loop {
+        match plan {
+            LogicalPlan::Filter { input, predicate } => {
+                filters.push(predicate);
+                plan = input;
+            }
+            other => return (filters, other),
+        }
+    }
+}
+
+/// Applies a peeled filter chain (innermost first) to morsel columns.
+fn apply_filters(
+    filters: &[&Expr],
+    schema: &Schema,
+    mut cols: Vec<Column>,
+    mut len: usize,
+) -> Result<(Vec<Column>, usize)> {
+    for pred in filters.iter().rev() {
+        if len == 0 {
+            break; // per-row semantics: empty inputs never evaluate
+        }
+        let mask = veval::eval_mask(pred, schema, &cols, len)?;
+        len = mask.iter().filter(|&&m| m).count();
+        cols = cols.iter().map(|c| c.filter(&mask)).collect();
+    }
+    Ok((cols, len))
+}
+
+/// Resolves the morsel count for `len` rows under the options.
+fn effective_partitions(opts: &ExecOptions, len: usize) -> usize {
+    let requested = if opts.partitions == 0 {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        cores.min(len.div_ceil(MIN_PARTITION_ROWS).max(1))
+    } else {
+        opts.partitions
+    };
+    requested.clamp(1, len.max(1))
+}
+
+/// Contiguous `[start, end)` morsel ranges covering `len` rows.
+fn morsel_ranges(len: usize, partitions: usize) -> Vec<(usize, usize)> {
+    let chunk = len.div_ceil(partitions.max(1)).max(1);
+    (0..partitions)
+        .map(|i| (i * chunk, ((i + 1) * chunk).min(len)))
+        .filter(|(a, b)| a < b)
+        .collect()
+}
+
+/// Runs `f(morsel_index)` for every morsel on a scoped worker pool (the
+/// `explainit-core` ranking idiom: shared atomic cursor, scoped threads)
+/// and returns results in morsel order. Errors surface deterministically:
+/// the lowest-indexed morsel's error wins.
+fn run_partitioned<T: Send>(
+    morsels: usize,
+    f: impl Fn(usize) -> Result<T> + Sync,
+) -> Result<Vec<T>> {
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(morsels);
+    if morsels <= 1 || workers <= 1 {
+        return (0..morsels).map(&f).collect();
+    }
+    let results: Mutex<Vec<(usize, Result<T>)>> = Mutex::new(Vec::with_capacity(morsels));
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= morsels {
+                    break;
+                }
+                let r = f(i);
+                results.lock().expect("morsel results lock").push((i, r));
+            });
+        }
+    });
+    let mut collected = results.into_inner().expect("morsel results lock");
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Executes an [`LogicalPlan::Exchange`]-marked pipeline morsel-parallel.
+fn run_exchange(catalog: &Catalog, input: &LogicalPlan, opts: &ExecOptions) -> Result<Table> {
+    match input {
+        LogicalPlan::Aggregate { input, group_by, items, hidden } => {
+            let (filters, source) = peel_filters(input);
+            let src = run_with(catalog, source, opts)?;
+            run_parallel_aggregate(&src, &filters, group_by, items, hidden, opts)
+        }
+        LogicalPlan::Project { input, items, hidden } => {
+            let (filters, source) = peel_filters(input);
+            let src = run_with(catalog, source, opts)?;
+            run_parallel_project(&src, &filters, items, hidden, opts)
+        }
+        // The optimizer only marks Aggregate/Project pipelines; anything
+        // else runs serially.
+        other => run_with(catalog, other, opts),
+    }
+}
+
+fn run_parallel_project(
+    src: &Table,
+    filters: &[&Expr],
+    items: &[(Expr, String)],
+    hidden: &[Expr],
+    opts: &ExecOptions,
+) -> Result<Table> {
+    let len = src.len();
+    let out_schema = project_names(items, hidden.len());
+    let width = items.len() + hidden.len();
+    if len == 0 {
+        return Ok(Table::from_columnar_parts(out_schema, vec![Column::empty(); width], 0));
+    }
+    let exprs: Vec<&Expr> = items.iter().map(|(e, _)| e).chain(hidden.iter()).collect();
+    let ranges = morsel_ranges(len, effective_partitions(opts, len));
+    let parts = run_partitioned(ranges.len(), |m| -> Result<(Vec<Column>, usize)> {
+        let (a, b) = ranges[m];
+        let cols: Vec<Column> = src.columns().iter().map(|c| c.slice(a, b)).collect();
+        let (cols, mlen) = apply_filters(filters, src.schema(), cols, b - a)?;
+        if mlen == 0 {
+            return Ok((Vec::new(), 0));
+        }
+        let mut out = Vec::with_capacity(exprs.len());
+        for e in &exprs {
+            out.push(veval::eval(e, src.schema(), &cols, mlen)?.into_column(mlen));
+        }
+        Ok((out, mlen))
+    })?;
+
+    // Order-preserving concatenation of morsel outputs.
+    let mut parts = parts.into_iter().filter(|(_, l)| *l > 0);
+    let (mut cols, mut total) = match parts.next() {
+        Some(first) => first,
+        None => return Ok(Table::from_columnar_parts(out_schema, vec![Column::empty(); width], 0)),
+    };
+    for (pcols, plen) in parts {
+        total += plen;
+        for (acc, pc) in cols.iter_mut().zip(pcols) {
+            acc.append_preserving(pc);
+        }
+    }
+    Ok(Table::from_columnar_parts(out_schema, cols, total))
+}
+
+/// How one output expression of a parallel aggregate is produced.
+enum AggSlot {
+    /// Index into the GROUP BY key list.
+    Key(usize),
+    /// Index into the aggregate-spec list.
+    Agg(usize),
+}
+
+/// One group's partial state within a morsel (or after merging).
+struct GroupPartial {
+    /// Group-key values at the group's first row (output for key slots).
+    keys: Vec<Value>,
+    /// One accumulator per aggregate spec.
+    accs: Vec<AggAcc>,
+}
+
+/// One morsel's partial aggregation result.
+struct AggPartial {
+    /// First-seen key order within the morsel.
+    order: Vec<String>,
+    /// Partial state per key.
+    groups: HashMap<String, GroupPartial>,
+}
+
+fn run_parallel_aggregate(
+    src: &Table,
+    filters: &[&Expr],
+    group_by: &[Expr],
+    items: &[(Expr, String)],
+    hidden: &[Expr],
+    opts: &ExecOptions,
+) -> Result<Table> {
+    let len = src.len();
+    let out_schema = project_names(items, hidden.len());
+    let width = items.len() + hidden.len();
+    if len == 0 {
+        return Ok(Table::from_columnar_parts(out_schema, vec![Column::empty(); width], 0));
+    }
+
+    // Decompose outputs into key references and aggregate specs (the
+    // optimizer only marks pipelines where this decomposition is total).
+    let mut slots: Vec<AggSlot> = Vec::with_capacity(width);
+    let mut specs: Vec<(&str, &[Expr])> = Vec::new();
+    for e in items.iter().map(|(e, _)| e).chain(hidden.iter()) {
+        if let Some(k) = group_by.iter().position(|g| g == e) {
+            slots.push(AggSlot::Key(k));
+        } else if let Expr::Function { name, args } = e {
+            debug_assert!(is_aggregate(name));
+            slots.push(AggSlot::Agg(specs.len()));
+            specs.push((name.as_str(), args.as_slice()));
+        } else {
+            return Err(QueryError::Plan(
+                "exchange aggregate with non-mergeable output (optimizer bug)".into(),
+            ));
+        }
+    }
+
+    // Phase 1: per-morsel partial aggregation.
+    let ranges = morsel_ranges(len, effective_partitions(opts, len));
+    let partials = run_partitioned(ranges.len(), |m| -> Result<AggPartial> {
+        let (a, b) = ranges[m];
+        let cols: Vec<Column> = src.columns().iter().map(|c| c.slice(a, b)).collect();
+        let (cols, mlen) = apply_filters(filters, src.schema(), cols, b - a)?;
+        let mut partial = AggPartial { order: Vec::new(), groups: HashMap::new() };
+        if mlen == 0 {
+            return Ok(partial);
+        }
+        let key_cols: Vec<Column> = group_by
+            .iter()
+            .map(|g| veval::eval(g, src.schema(), &cols, mlen).map(|v| v.into_column(mlen)))
+            .collect::<Result<_>>()?;
+        let keys = if group_by.is_empty() {
+            vec![String::new(); mlen]
+        } else {
+            group_key_strings(&key_cols, mlen)
+        };
+        let arg_cols: Vec<Vec<Column>> = specs
+            .iter()
+            .map(|(_, args)| {
+                args.iter()
+                    .map(|a| veval::eval(a, src.schema(), &cols, mlen).map(|v| v.into_column(mlen)))
+                    .collect::<Result<_>>()
+            })
+            .collect::<Result<_>>()?;
+        let mut scratch: Vec<Value> = Vec::new();
+        for (row, key) in keys.into_iter().enumerate() {
+            let group = match partial.groups.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    partial.order.push(e.key().clone());
+                    let accs = specs
+                        .iter()
+                        .map(|(name, _)| {
+                            AggAcc::new(name).ok_or_else(|| {
+                                QueryError::BadFunction(format!("unknown aggregate {name}"))
+                            })
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    e.insert(GroupPartial {
+                        keys: key_cols.iter().map(|c| c.get(row)).collect(),
+                        accs,
+                    })
+                }
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            };
+            for (acc, cols) in group.accs.iter_mut().zip(arg_cols.iter()) {
+                scratch.clear();
+                scratch.extend(cols.iter().map(|c| c.get(row)));
+                acc.push(&scratch)?;
+            }
+        }
+        Ok(partial)
+    })?;
+
+    // Phase 2: exchange — merge partials in morsel order, which preserves
+    // the serial first-seen group order and makes every accumulator fold
+    // identical to the single-pass fold.
+    let mut order: Vec<String> = Vec::new();
+    let mut merged: HashMap<String, GroupPartial> = HashMap::new();
+    for mut partial in partials {
+        for key in partial.order {
+            let gp = partial.groups.remove(&key).expect("partial group exists");
+            match merged.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    order.push(e.key().clone());
+                    e.insert(gp);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (acc, part) in e.get_mut().accs.iter_mut().zip(gp.accs) {
+                        acc.merge(part)?;
+                    }
+                }
+            }
+        }
+    }
+
+    // Finish accumulators and assemble output columns.
+    let mut out_vals: Vec<Vec<Value>> =
+        (0..width).map(|_| Vec::with_capacity(order.len())).collect();
+    for key in &order {
+        let gp = merged.remove(key).expect("merged group exists");
+        let finished: Vec<Value> =
+            gp.accs.into_iter().map(AggAcc::finish).collect::<Result<_>>()?;
+        for (slot, out) in slots.iter().zip(out_vals.iter_mut()) {
+            match slot {
+                AggSlot::Key(k) => out.push(gp.keys[*k].clone()),
+                AggSlot::Agg(i) => out.push(finished[*i].clone()),
+            }
+        }
+    }
+    let out_cols: Vec<Column> = out_vals.into_iter().map(Column::from_values).collect();
+    Ok(Table::from_columnar_parts(out_schema, out_cols, order.len()))
 }
 
 // ---------------------------------------------------------------------------
@@ -561,6 +957,12 @@ mod tests {
         execute(&c, &parse_query(sql).unwrap()).unwrap()
     }
 
+    /// Runs with forced multi-partition execution.
+    fn run_parallel(sql: &str, partitions: usize) -> Table {
+        let c = catalog();
+        execute_with(&c, &parse_query(sql).unwrap(), ExecOptions { partitions }).unwrap()
+    }
+
     #[test]
     fn select_star() {
         let t = run("SELECT * FROM t");
@@ -574,6 +976,16 @@ mod tests {
         assert_eq!(t.len(), 2);
         let t = run("SELECT v FROM t WHERE host LIKE 'web%' AND v > 2");
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn glob_operator_filters() {
+        let t = run("SELECT v FROM t WHERE host GLOB 'web-*'");
+        assert_eq!(t.len(), 4);
+        let t = run("SELECT v FROM t WHERE host GLOB 'web-?' AND v > 2");
+        assert_eq!(t.len(), 3);
+        let t = run("SELECT v FROM t WHERE host NOT GLOB 'web-*'");
+        assert_eq!(t.len(), 1);
     }
 
     #[test]
@@ -600,6 +1012,41 @@ mod tests {
         let t = run("SELECT COUNT(*) AS n, MAX(v) AS mx FROM t");
         assert_eq!(t.len(), 1);
         assert_eq!(t.rows()[0], vec![Value::Int(5), Value::Float(100.0)]);
+    }
+
+    #[test]
+    fn sum_keeps_int_typing_for_int_columns() {
+        let t = run("SELECT SUM(ts) AS s FROM t");
+        assert_eq!(t.rows()[0][0], Value::Int(4));
+        let t = run("SELECT SUM(v) AS s FROM t WHERE ts = 0");
+        assert_eq!(t.rows()[0][0], Value::Float(4.0));
+    }
+
+    #[test]
+    fn forced_partitions_match_serial_results() {
+        for parts in [1, 2, 3, 7] {
+            let t = run_parallel(
+                "SELECT ts, AVG(v) AS m, SUM(v) AS s, COUNT(*) AS n, MIN(host) AS h, \
+                 STDDEV(v) AS sd FROM t GROUP BY ts ORDER BY ts",
+                parts,
+            );
+            let serial =
+                run("SELECT ts, AVG(v) AS m, SUM(v) AS s, COUNT(*) AS n, MIN(host) AS h, \
+                 STDDEV(v) AS sd FROM t GROUP BY ts ORDER BY ts");
+            assert_eq!(t.rows(), serial.rows(), "partitions={parts}");
+            assert_eq!(t.schema(), serial.schema());
+        }
+    }
+
+    #[test]
+    fn forced_partitions_preserve_group_first_seen_order() {
+        // Without ORDER BY the group order is first-seen; morsel-order
+        // merging must reproduce it exactly.
+        for parts in [1, 2, 3, 5] {
+            let t = run_parallel("SELECT host, COUNT(*) AS n FROM t GROUP BY host", parts);
+            let serial = run("SELECT host, COUNT(*) AS n FROM t GROUP BY host");
+            assert_eq!(t.rows(), serial.rows(), "partitions={parts}");
+        }
     }
 
     #[test]
@@ -736,6 +1183,20 @@ mod tests {
     }
 
     #[test]
+    fn percentile_with_non_constant_p_errors() {
+        let c = catalog();
+        let q = parse_query("SELECT PERCENTILE(v, ts) AS p FROM t").unwrap();
+        assert!(matches!(execute(&c, &q), Err(QueryError::BadFunction(_))));
+        // Same under forced parallel partitions.
+        for parts in [2, 3] {
+            assert!(matches!(
+                execute_with(&c, &q, ExecOptions { partitions: parts }),
+                Err(QueryError::BadFunction(_))
+            ));
+        }
+    }
+
+    #[test]
     fn case_in_projection() {
         let t = run("SELECT host, CASE WHEN v >= 100 THEN 'hot' ELSE 'ok' END AS status \
              FROM t ORDER BY v DESC LIMIT 1");
@@ -775,6 +1236,9 @@ mod tests {
     #[test]
     fn empty_global_aggregate_returns_empty_table() {
         let t = run("SELECT COUNT(*) AS n FROM t WHERE ts > 100");
+        assert_eq!(t.len(), 0);
+        // Ditto under forced partitions.
+        let t = run_parallel("SELECT COUNT(*) AS n FROM t WHERE ts > 100", 3);
         assert_eq!(t.len(), 0);
     }
 }

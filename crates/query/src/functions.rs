@@ -1,4 +1,14 @@
 //! Scalar and aggregate function implementations.
+//!
+//! Aggregates are built on *mergeable accumulators* ([`AggAcc`]): every
+//! engine — the naive reference interpreter, the serial columnar executor
+//! and the partition-parallel executor — feeds rows into the same
+//! accumulator type and the parallel executor additionally merges partial
+//! states across partitions. Floating-point sums use [`ExactSum`]
+//! (Shewchuk-style error-free accumulation, finished with the `fsum`
+//! rounding step), so a sum is the correctly rounded exact result and is
+//! therefore *independent of partitioning*: serial, parallel and reference
+//! results are bit-identical by construction, not by luck.
 
 use crate::value::Value;
 use crate::{QueryError, Result};
@@ -170,85 +180,392 @@ pub fn eval_scalar(name: &str, args: &[Value]) -> Result<Value> {
 /// list. NULL first-arguments are skipped (SQL semantics) except by COUNT
 /// whose argument convention here is `COUNT(*)` ≙ `COUNT(1)`.
 pub fn eval_aggregate(name: &str, args_per_row: &[Vec<Value>]) -> Result<Value> {
-    let first_args: Vec<&Value> =
-        args_per_row.iter().map(|a| a.first().unwrap_or(&Value::Null)).collect();
-    let numeric: Vec<f64> = first_args.iter().filter_map(|v| v.as_f64()).collect();
-    match name {
-        "COUNT" => Ok(Value::Int(first_args.iter().filter(|v| !v.is_null()).count() as i64)),
-        "SUM" => {
-            if numeric.is_empty() {
-                Ok(Value::Null)
-            } else {
-                Ok(Value::Float(numeric.iter().sum()))
+    let mut acc = AggAcc::new(name)
+        .ok_or_else(|| QueryError::BadFunction(format!("unknown aggregate {name}")))?;
+    for row in args_per_row {
+        acc.push(row)?;
+    }
+    acc.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Mergeable aggregate accumulators
+// ---------------------------------------------------------------------------
+
+/// Error-free f64 accumulation: a Shewchuk expansion of non-overlapping
+/// partials whose sum is the *exact* real sum of everything added.
+///
+/// Because the expansion represents the exact sum, adding values (or
+/// merging whole expansions) in any order produces the same final
+/// [`ExactSum::value`] — the property the partition-parallel aggregate
+/// relies on to match serial execution bit-for-bit.
+#[derive(Debug, Clone, Default)]
+pub struct ExactSum {
+    /// Non-overlapping partials, ascending in magnitude.
+    partials: Vec<f64>,
+    /// Plain running sum of non-finite inputs (inf/NaN poison the
+    /// two-sum trick; they propagate here instead, order-independently).
+    special: f64,
+}
+
+impl ExactSum {
+    /// Adds one value.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.special += x;
+            return;
+        }
+        let mut x = x;
+        let mut kept = 0;
+        for j in 0..self.partials.len() {
+            let mut y = self.partials[j];
+            if x.abs() < y.abs() {
+                std::mem::swap(&mut x, &mut y);
+            }
+            let hi = x + y;
+            let lo = y - (hi - x);
+            if lo != 0.0 {
+                self.partials[kept] = lo;
+                kept += 1;
+            }
+            x = hi;
+        }
+        self.partials.truncate(kept);
+        self.partials.push(x);
+    }
+
+    /// Folds another expansion in (still exact).
+    pub fn merge(&mut self, other: &ExactSum) {
+        for &p in &other.partials {
+            self.add(p);
+        }
+        self.special += other.special;
+    }
+
+    /// The correctly rounded sum (CPython `math.fsum` finalization).
+    pub fn value(&self) -> f64 {
+        if self.special != 0.0 || self.special.is_nan() {
+            return self.special + self.partials.iter().sum::<f64>();
+        }
+        let mut n = self.partials.len();
+        if n == 0 {
+            return 0.0;
+        }
+        n -= 1;
+        let mut x = self.partials[n];
+        let mut lo = 0.0;
+        while n > 0 {
+            n -= 1;
+            let y = self.partials[n];
+            let hi = x + y;
+            lo = y - (hi - x);
+            x = hi;
+            if lo != 0.0 {
+                break;
             }
         }
-        "AVG" => {
-            if numeric.is_empty() {
-                Ok(Value::Null)
-            } else {
-                Ok(Value::Float(numeric.iter().sum::<f64>() / numeric.len() as f64))
+        // Round-half-even correction against the next lower partial.
+        if n > 0
+            && ((lo < 0.0 && self.partials[n - 1] < 0.0)
+                || (lo > 0.0 && self.partials[n - 1] > 0.0))
+        {
+            let y = lo * 2.0;
+            let z = x + y;
+            if y == z - x {
+                x = z;
             }
         }
-        "MIN" => min_max(&first_args, true),
-        "MAX" => min_max(&first_args, false),
-        "STDDEV" | "VARIANCE" => {
-            if numeric.len() < 2 {
-                return Ok(Value::Null);
-            }
-            let mean = numeric.iter().sum::<f64>() / numeric.len() as f64;
-            let var =
-                numeric.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / numeric.len() as f64;
-            Ok(Value::Float(if name == "STDDEV" { var.sqrt() } else { var }))
-        }
-        "PERCENTILE" => {
-            // PERCENTILE(expr, p) with p in [0, 1]; p must be constant per
-            // group (we read it from the first row).
-            let p = args_per_row
-                .iter()
-                .find_map(|a| a.get(1).and_then(Value::as_f64))
-                .ok_or_else(|| QueryError::BadFunction("PERCENTILE needs a p argument".into()))?;
-            if !(0.0..=1.0).contains(&p) {
-                return Err(QueryError::BadFunction("PERCENTILE p must be in [0,1]".into()));
-            }
-            if numeric.is_empty() {
-                return Ok(Value::Null);
-            }
-            let mut sorted = numeric;
-            sorted.sort_by(f64::total_cmp);
-            // Linear interpolation between closest ranks.
-            let idx = p * (sorted.len() - 1) as f64;
-            let lo = idx.floor() as usize;
-            let hi = idx.ceil() as usize;
-            let frac = idx - lo as f64;
-            Ok(Value::Float(sorted[lo] * (1.0 - frac) + sorted[hi] * frac))
-        }
-        other => Err(QueryError::BadFunction(format!("unknown aggregate {other}"))),
+        x
     }
 }
 
-fn min_max(values: &[&Value], want_min: bool) -> Result<Value> {
-    let mut best: Option<&Value> = None;
-    for v in values {
-        if v.is_null() {
-            continue;
-        }
-        best = Some(match best {
-            None => v,
-            Some(b) => {
-                let take_new = match v.sql_cmp(b) {
-                    Some(std::cmp::Ordering::Less) => want_min,
-                    Some(std::cmp::Ordering::Greater) => !want_min,
-                    _ => false,
-                };
-                if take_new {
-                    v
-                } else {
-                    b
+/// One aggregate's mergeable partial state.
+///
+/// Every engine computes aggregates by `new` → `push` per row → `finish`;
+/// the partition-parallel executor additionally `merge`s partials in
+/// partition order. For each function, `merge` is *exactly* equivalent to
+/// having pushed the second partial's rows after the first's — sums are
+/// error-free (see [`ExactSum`]), COUNT/SUM-over-Int are integer-exact,
+/// MIN/MAX folds candidates per comparability class, and PERCENTILE gathers
+/// raw values and only sorts at `finish` — so partitioning never changes a
+/// result.
+#[derive(Debug, Clone)]
+pub enum AggAcc {
+    /// `COUNT(x)`: non-null rows.
+    Count {
+        /// Rows counted so far.
+        n: i64,
+    },
+    /// `SUM(x)`: Int-typed when every input is an Int, Float otherwise.
+    Sum {
+        /// Exact integer sum (i128 cannot overflow from i64 inputs).
+        int: i128,
+        /// Exact float sum over all numeric inputs.
+        float: ExactSum,
+        /// True once any non-Int numeric input was seen.
+        saw_float: bool,
+        /// Numeric inputs seen.
+        n: usize,
+    },
+    /// `AVG(x)`.
+    Avg {
+        /// Exact sum.
+        sum: ExactSum,
+        /// Numeric inputs seen.
+        n: usize,
+    },
+    /// `VARIANCE(x)` / `STDDEV(x)` — *sample* (n−1) variance.
+    Var {
+        /// Exact Σv.
+        sum: ExactSum,
+        /// Exact Σv².
+        sumsq: ExactSum,
+        /// Numeric inputs seen.
+        n: usize,
+        /// Take the square root at finish (STDDEV).
+        stddev: bool,
+    },
+    /// `MIN(x)` / `MAX(x)`.
+    MinMax {
+        /// One running best per comparability class, in first-seen class
+        /// order; the head is the fold result. Keeping per-class bests
+        /// makes the merge order-equivalent to the serial row fold even
+        /// when a group mixes incomparable types.
+        candidates: Vec<Value>,
+        /// MIN when true.
+        want_min: bool,
+    },
+    /// `PERCENTILE(x, p)` with constant `p` per group.
+    Percentile {
+        /// Gathered numeric inputs (sorted at finish).
+        vals: Vec<f64>,
+        /// The pinned p (first non-null seen; later disagreement errors).
+        p: Option<f64>,
+    },
+}
+
+impl AggAcc {
+    /// A fresh accumulator for the (uppercase) aggregate name.
+    pub fn new(name: &str) -> Option<AggAcc> {
+        Some(match name {
+            "COUNT" => AggAcc::Count { n: 0 },
+            "SUM" => AggAcc::Sum { int: 0, float: ExactSum::default(), saw_float: false, n: 0 },
+            "AVG" => AggAcc::Avg { sum: ExactSum::default(), n: 0 },
+            "VARIANCE" => AggAcc::Var {
+                sum: ExactSum::default(),
+                sumsq: ExactSum::default(),
+                n: 0,
+                stddev: false,
+            },
+            "STDDEV" => AggAcc::Var {
+                sum: ExactSum::default(),
+                sumsq: ExactSum::default(),
+                n: 0,
+                stddev: true,
+            },
+            "MIN" => AggAcc::MinMax { candidates: Vec::new(), want_min: true },
+            "MAX" => AggAcc::MinMax { candidates: Vec::new(), want_min: false },
+            "PERCENTILE" => AggAcc::Percentile { vals: Vec::new(), p: None },
+            _ => return None,
+        })
+    }
+
+    /// Feeds one row's evaluated argument list.
+    pub fn push(&mut self, args: &[Value]) -> Result<()> {
+        let first = args.first().unwrap_or(&Value::Null);
+        match self {
+            AggAcc::Count { n } => {
+                if !first.is_null() {
+                    *n += 1;
                 }
             }
-        });
+            AggAcc::Sum { int, float, saw_float, n } => match first {
+                Value::Int(i) => {
+                    *int += i128::from(*i);
+                    float.add(*i as f64);
+                    *n += 1;
+                }
+                other => {
+                    if let Some(f) = other.as_f64() {
+                        float.add(f);
+                        *saw_float = true;
+                        *n += 1;
+                    }
+                }
+            },
+            AggAcc::Avg { sum, n } => {
+                if let Some(f) = first.as_f64() {
+                    sum.add(f);
+                    *n += 1;
+                }
+            }
+            AggAcc::Var { sum, sumsq, n, .. } => {
+                if let Some(f) = first.as_f64() {
+                    sum.add(f);
+                    sumsq.add(f * f);
+                    *n += 1;
+                }
+            }
+            AggAcc::MinMax { candidates, want_min } => {
+                if !first.is_null() {
+                    fold_minmax(candidates, first.clone(), *want_min);
+                }
+            }
+            AggAcc::Percentile { vals, p } => {
+                if let Some(pv) = args.get(1).and_then(Value::as_f64) {
+                    if !(0.0..=1.0).contains(&pv) {
+                        return Err(QueryError::BadFunction(
+                            "PERCENTILE p must be in [0,1]".into(),
+                        ));
+                    }
+                    match *p {
+                        None => *p = Some(pv),
+                        Some(prev) if prev == pv => {}
+                        Some(prev) => {
+                            return Err(QueryError::BadFunction(format!(
+                                "PERCENTILE p must be constant within a group (saw {prev} and {pv})"
+                            )))
+                        }
+                    }
+                }
+                if let Some(v) = first.as_f64() {
+                    vals.push(v);
+                }
+            }
+        }
+        Ok(())
     }
-    Ok(best.cloned().unwrap_or(Value::Null))
+
+    /// Folds another partial in; equivalent to pushing `other`'s rows
+    /// after this accumulator's rows.
+    pub fn merge(&mut self, other: AggAcc) -> Result<()> {
+        match (self, other) {
+            (AggAcc::Count { n }, AggAcc::Count { n: o }) => *n += o,
+            (
+                AggAcc::Sum { int, float, saw_float, n },
+                AggAcc::Sum { int: oi, float: of, saw_float: os, n: on },
+            ) => {
+                *int += oi;
+                float.merge(&of);
+                *saw_float |= os;
+                *n += on;
+            }
+            (AggAcc::Avg { sum, n }, AggAcc::Avg { sum: os, n: on }) => {
+                sum.merge(&os);
+                *n += on;
+            }
+            (AggAcc::Var { sum, sumsq, n, .. }, AggAcc::Var { sum: os, sumsq: oss, n: on, .. }) => {
+                sum.merge(&os);
+                sumsq.merge(&oss);
+                *n += on;
+            }
+            (AggAcc::MinMax { candidates, want_min }, AggAcc::MinMax { candidates: oc, .. }) => {
+                for v in oc {
+                    fold_minmax(candidates, v, *want_min);
+                }
+            }
+            (AggAcc::Percentile { vals, p }, AggAcc::Percentile { vals: ov, p: op }) => {
+                match (*p, op) {
+                    (Some(a), Some(b)) if a != b => {
+                        return Err(QueryError::BadFunction(format!(
+                            "PERCENTILE p must be constant within a group (saw {a} and {b})"
+                        )))
+                    }
+                    (None, some) => *p = some,
+                    _ => {}
+                }
+                vals.extend(ov);
+            }
+            _ => unreachable!("merging mismatched aggregate accumulators"),
+        }
+        Ok(())
+    }
+
+    /// The aggregate's final value.
+    pub fn finish(self) -> Result<Value> {
+        match self {
+            AggAcc::Count { n } => Ok(Value::Int(n)),
+            AggAcc::Sum { int, float, saw_float, n } => {
+                if n == 0 {
+                    Ok(Value::Null)
+                } else if !saw_float {
+                    // All-Int input keeps Int typing; i64 overflow promotes
+                    // to the exact float sum.
+                    match i64::try_from(int) {
+                        Ok(i) => Ok(Value::Int(i)),
+                        Err(_) => Ok(Value::Float(float.value())),
+                    }
+                } else {
+                    Ok(Value::Float(float.value()))
+                }
+            }
+            AggAcc::Avg { sum, n } => {
+                if n == 0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Float(sum.value() / n as f64))
+                }
+            }
+            AggAcc::Var { sum, sumsq, n, stddev } => {
+                if n < 2 {
+                    return Ok(Value::Null);
+                }
+                let s = sum.value();
+                let ss = sumsq.value();
+                // Sample (n−1) variance from exact moments; the subtraction
+                // can go epsilon-negative, never meaningfully so.
+                let mut var = (ss - s * s / n as f64) / (n as f64 - 1.0);
+                if var < 0.0 {
+                    var = 0.0;
+                }
+                Ok(Value::Float(if stddev { var.sqrt() } else { var }))
+            }
+            AggAcc::MinMax { candidates, .. } => {
+                Ok(candidates.into_iter().next().unwrap_or(Value::Null))
+            }
+            AggAcc::Percentile { mut vals, p } => {
+                let p = p.ok_or_else(|| {
+                    QueryError::BadFunction("PERCENTILE needs a p argument".into())
+                })?;
+                if vals.is_empty() {
+                    return Ok(Value::Null);
+                }
+                vals.sort_by(f64::total_cmp);
+                // Linear interpolation between closest ranks.
+                let idx = p * (vals.len() - 1) as f64;
+                let lo = idx.floor() as usize;
+                let hi = idx.ceil() as usize;
+                let frac = idx - lo as f64;
+                Ok(Value::Float(vals[lo] * (1.0 - frac) + vals[hi] * frac))
+            }
+        }
+    }
+}
+
+/// One step of the MIN/MAX fold: replace the candidate `v` is comparable
+/// with when `v` is strictly better, append `v` as a new class head when it
+/// compares with nothing. Ties keep the incumbent (first-seen wins), which
+/// is what makes the fold merge-associative.
+fn fold_minmax(candidates: &mut Vec<Value>, v: Value, want_min: bool) {
+    for c in candidates.iter_mut() {
+        match v.sql_cmp(c) {
+            Some(std::cmp::Ordering::Less) => {
+                if want_min {
+                    *c = v;
+                }
+                return;
+            }
+            Some(std::cmp::Ordering::Greater) => {
+                if !want_min {
+                    *c = v;
+                }
+                return;
+            }
+            Some(std::cmp::Ordering::Equal) => return,
+            None => {}
+        }
+    }
+    candidates.push(v);
 }
 
 fn expect_arity(name: &str, args: &[Value], n: usize) -> Result<()> {
@@ -387,6 +704,18 @@ mod tests {
     }
 
     #[test]
+    fn sum_preserves_int_typing() {
+        let ints = vec![vec![Value::Int(2)], vec![Value::Int(40)], vec![Value::Null]];
+        assert_eq!(eval_aggregate("SUM", &ints).unwrap(), Value::Int(42));
+        // One float input demotes the whole sum to Float.
+        let mixed = vec![vec![Value::Int(2)], vec![Value::Float(1.5)]];
+        assert_eq!(eval_aggregate("SUM", &mixed).unwrap(), Value::Float(3.5));
+        // i64 overflow promotes to the (exact) float sum instead of wrapping.
+        let big = vec![vec![Value::Int(i64::MAX)], vec![Value::Int(i64::MAX)]];
+        assert_eq!(eval_aggregate("SUM", &big).unwrap(), Value::Float(2.0 * i64::MAX as f64));
+    }
+
+    #[test]
     fn aggregate_min_max_strings() {
         let rows = vec![vec![Value::str("b")], vec![Value::str("a")], vec![Value::str("c")]];
         assert_eq!(eval_aggregate("MIN", &rows).unwrap(), Value::str("a"));
@@ -402,13 +731,17 @@ mod tests {
     }
 
     #[test]
-    fn aggregate_stddev() {
+    fn aggregate_stddev_is_sample_not_population() {
+        // [2, 4, 4, 4, 5, 5, 7, 9]: Σv = 40, Σv² = 232, n = 8 →
+        // sample variance = (232 − 40²/8) / 7 = 32/7 (population would be 4).
         let rows: Vec<Vec<Value>> = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
             .iter()
             .map(|&v| vec![Value::Float(v)])
             .collect();
-        assert_eq!(eval_aggregate("STDDEV", &rows).unwrap(), Value::Float(2.0));
-        assert_eq!(eval_aggregate("VARIANCE", &rows).unwrap(), Value::Float(4.0));
+        assert_eq!(eval_aggregate("VARIANCE", &rows).unwrap(), Value::Float(32.0 / 7.0));
+        assert_eq!(eval_aggregate("STDDEV", &rows).unwrap(), Value::Float((32.0f64 / 7.0).sqrt()));
+        // n < 2 has no sample variance.
+        assert_eq!(eval_aggregate("VARIANCE", &rows[..1]).unwrap(), Value::Null);
     }
 
     #[test]
@@ -421,6 +754,99 @@ mod tests {
         assert_eq!(eval_aggregate("PERCENTILE", &rows99).unwrap(), Value::Float(99.0));
         let bad: Vec<Vec<Value>> = vec![vec![Value::Float(1.0), Value::Float(2.0)]];
         assert!(eval_aggregate("PERCENTILE", &bad).is_err());
+    }
+
+    #[test]
+    fn percentile_rejects_non_constant_p() {
+        let rows = vec![
+            vec![Value::Float(1.0), Value::Float(0.5)],
+            vec![Value::Float(2.0), Value::Float(0.9)],
+        ];
+        let err = eval_aggregate("PERCENTILE", &rows).unwrap_err();
+        assert!(matches!(err, QueryError::BadFunction(_)), "got {err:?}");
+        // A NULL p row does not conflict with the pinned p.
+        let rows = vec![
+            vec![Value::Float(1.0), Value::Float(0.5)],
+            vec![Value::Float(2.0), Value::Null],
+            vec![Value::Float(3.0), Value::Float(0.5)],
+        ];
+        assert_eq!(eval_aggregate("PERCENTILE", &rows).unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn exact_sum_is_order_and_partition_independent() {
+        let values = [1e16, 3.25, -1e16, 2.75, 1e-9, 0.1, -0.3, 7.5e15, -7.5e15];
+        let mut forward = ExactSum::default();
+        for &v in &values {
+            forward.add(v);
+        }
+        let mut backward = ExactSum::default();
+        for &v in values.iter().rev() {
+            backward.add(v);
+        }
+        assert_eq!(forward.value(), backward.value());
+        // Split into two partials and merge: identical bits.
+        let (mut a, mut b) = (ExactSum::default(), ExactSum::default());
+        for &v in &values[..4] {
+            a.add(v);
+        }
+        for &v in &values[4..] {
+            b.add(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.value(), forward.value());
+        // And the exact result is right where naive summation drifts.
+        assert_eq!(forward.value(), 3.25 + 2.75 + 1e-9 + 0.1 - 0.3);
+    }
+
+    #[test]
+    fn accumulator_merge_equals_single_pass() {
+        let rows: Vec<Vec<Value>> = [0.1, 0.2, 0.3, 0.7, -1.5, 2.5, 0.4, 1e15, -1e15]
+            .iter()
+            .map(|&v| vec![Value::Float(v), Value::Float(0.5)])
+            .collect();
+        for name in ["COUNT", "SUM", "AVG", "MIN", "MAX", "VARIANCE", "STDDEV", "PERCENTILE"] {
+            let serial = eval_aggregate(name, &rows).unwrap();
+            for split in [1, 4, 8] {
+                let mut left = AggAcc::new(name).unwrap();
+                for r in &rows[..split] {
+                    left.push(r).unwrap();
+                }
+                let mut right = AggAcc::new(name).unwrap();
+                for r in &rows[split..] {
+                    right.push(r).unwrap();
+                }
+                left.merge(right).unwrap();
+                assert_eq!(left.finish().unwrap(), serial, "{name} split at {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_merge_handles_incomparable_classes_like_the_serial_fold() {
+        // Strings and numbers are mutually incomparable under sql_cmp: the
+        // serial fold keeps the first value's class. Partition merges must
+        // reproduce that, whatever the split.
+        let rows = vec![
+            vec![Value::Int(5)],
+            vec![Value::str("zz")],
+            vec![Value::Int(1)],
+            vec![Value::str("aa")],
+        ];
+        let serial = eval_aggregate("MIN", &rows).unwrap();
+        assert_eq!(serial, Value::Int(1));
+        for split in 1..rows.len() {
+            let mut l = AggAcc::new("MIN").unwrap();
+            for r in &rows[..split] {
+                l.push(r).unwrap();
+            }
+            let mut r_acc = AggAcc::new("MIN").unwrap();
+            for r in &rows[split..] {
+                r_acc.push(r).unwrap();
+            }
+            l.merge(r_acc).unwrap();
+            assert_eq!(l.finish().unwrap(), serial, "split {split}");
+        }
     }
 
     #[test]

@@ -26,7 +26,17 @@
 //!    column vectors ([`Table`] is columnar with a row-compat shim):
 //!    vectorized WHERE masks, hash joins and grouped aggregation gather
 //!    column indices instead of materializing row vectors; window
-//!    functions, CASE and scalar calls fall back to the row shim.
+//!    functions, CASE and scalar calls fall back to the row shim. TSDB
+//!    scans emit *dictionary-encoded* `metric_name`/`tag` columns
+//!    ([`Column::Dict`]: one shared `Arc` dictionary per binding plus a
+//!    `u32` code per row), and predicates over them evaluate once per
+//!    distinct entry. Pipelines the optimizer marked with
+//!    `LogicalPlan::Exchange` run **partition-parallel**: the source is
+//!    cut into row morsels, workers apply filters and build mergeable
+//!    partial aggregate states, and a final exchange merges partials in
+//!    morsel order — bit-identical to serial execution by construction
+//!    (error-free float summation), with the partition count controlled
+//!    via [`ExecOptions`] / [`Catalog::execute_query_with`].
 //!
 //! `EXPLAIN <query>` returns the optimized plan as a one-column table —
 //! the fastest way to confirm a predicate reached the `TsdbScan` node.
@@ -36,14 +46,19 @@
 //! `tests/differential.rs`) and as the baseline the `query_exec` bench
 //! measures the pipeline against.
 //!
-//! Supported SQL surface (unchanged from the seed engine):
+//! Supported SQL surface:
 //!
 //! * `SELECT` projections with aliases, arithmetic and scalar functions
 //!   (`CONCAT`, `SPLIT(s, sep)[i]`, `GREATEST`, `COALESCE`, ...);
 //! * `WHERE` with full boolean logic, `IN`, `BETWEEN`, `LIKE` (SQL
-//!   wildcards), `IS [NOT] NULL`;
-//! * `GROUP BY` with `AVG`/`SUM`/`MIN`/`MAX`/`COUNT`/`STDDEV`/
-//!   `PERCENTILE(expr, p)`;
+//!   wildcards), `GLOB` (shell wildcards — pushable to the TSDB name/tag
+//!   indexes, with a literal-prefix range scan of the name index),
+//!   `IS [NOT] NULL`;
+//! * `GROUP BY` with `AVG`/`SUM`/`MIN`/`MAX`/`COUNT`/`STDDEV`/`VARIANCE`/
+//!   `PERCENTILE(expr, p)` — `SUM` keeps Int typing over all-Int input
+//!   (promoting to Float on i64 overflow), `STDDEV`/`VARIANCE` are the
+//!   *sample* (n−1) statistics, and `PERCENTILE` requires `p` to be
+//!   constant within each group;
 //! * the window function `LAG(expr, k)` over the current row order (§3.5
 //!   footnote: lagged features for time series);
 //! * `UNION ALL` of compatible queries (stage-one family queries are
@@ -97,6 +112,7 @@ pub use ast::{
 pub use catalog::Catalog;
 pub use column::Column;
 pub use error::QueryError;
+pub use exec::ExecOptions;
 pub use lexer::{tokenize, Token};
 pub use parser::parse_query;
 pub use pivot::{pivot_long, pivot_wide, FamilyFrame};

@@ -17,6 +17,13 @@
 //! 4. **Projection pruning** — TSDB scans only materialize the observation
 //!    columns the rest of the plan references (skipping per-row tag-map
 //!    clones when `tag` is never read).
+//! 5. **Parallelization** — an `Aggregate` whose outputs are group keys and
+//!    plain (mergeable) aggregate calls, or a TSDB-scan-rooted `Project`,
+//!    with any directly nested vectorizable `Filter`s, is wrapped in a
+//!    [`LogicalPlan::Exchange`] marker: the executor runs the pipeline
+//!    per-partition (two-phase aggregation with accumulator merges) when
+//!    partitions are available. The wrapped plan stays a valid serial
+//!    plan, so the marker never changes results.
 
 use std::collections::HashSet;
 
@@ -29,6 +36,7 @@ use crate::functions::{is_aggregate, is_window};
 use crate::plan::{collect_conjuncts, conjoin, LogicalPlan};
 use crate::table::Schema;
 use crate::value::Value;
+use crate::veval;
 use crate::Result;
 
 /// Applies all rewrite rules.
@@ -36,7 +44,8 @@ pub fn optimize(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan> {
     let plan = fold_plan(plan);
     let plan = convert_tsdb_scans(plan, catalog);
     let plan = pushdown(plan, catalog)?;
-    Ok(prune(plan, None))
+    let plan = prune(plan, None);
+    Ok(parallelize(plan))
 }
 
 // ---------------------------------------------------------------------------
@@ -81,6 +90,9 @@ fn map_exprs(plan: LogicalPlan, f: &impl Fn(Expr) -> Expr) -> LogicalPlan {
         }
         LogicalPlan::Union { inputs } => {
             LogicalPlan::Union { inputs: inputs.into_iter().map(|p| map_exprs(p, f)).collect() }
+        }
+        LogicalPlan::Exchange { input } => {
+            LogicalPlan::Exchange { input: Box::new(map_exprs(*input, f)) }
         }
         leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::TsdbScan { .. } | LogicalPlan::Unit) => {
             leaf
@@ -236,6 +248,9 @@ fn map_plan(plan: LogicalPlan, f: &impl Fn(LogicalPlan) -> LogicalPlan) -> Logic
         }
         LogicalPlan::Union { inputs } => {
             LogicalPlan::Union { inputs: inputs.into_iter().map(|p| map_plan(p, f)).collect() }
+        }
+        LogicalPlan::Exchange { input } => {
+            LogicalPlan::Exchange { input: Box::new(map_plan(*input, f)) }
         }
         leaf => leaf,
     };
@@ -655,6 +670,41 @@ fn absorb_tsdb_conjunct(
             }
             false
         }
+        // metric_name/tag['k'] GLOB 'pat' (and LIKE, translated to glob):
+        // the store's find() range-scans the name index over the pattern's
+        // literal prefix; tag globs become TagFilter::Glob predicates.
+        Expr::Binary { op: op @ (BinaryOp::Like | BinaryOp::Glob), left, right } => {
+            let Expr::Literal(Value::Str(pat)) = right.as_ref() else {
+                return false;
+            };
+            let glob_pat = match op {
+                BinaryOp::Glob => pat.clone(),
+                _ => {
+                    // LIKE: `%` ≙ `*`, `_` ≙ `?` (identical matchers).
+                    // Literal glob metacharacters in the pattern would
+                    // change meaning, so such patterns stay residual.
+                    if pat.contains('*') || pat.contains('?') {
+                        return false;
+                    }
+                    pat.replace('%', "*").replace('_', "?")
+                }
+            };
+            if is_tsdb_col(left, schema, 1) {
+                if name.is_none() {
+                    *name = Some(glob_pat);
+                    return true;
+                }
+                return false;
+            }
+            if let Some(k) = tag_access(left, schema) {
+                // Row semantics match exactly: a missing tag key makes the
+                // row predicate NULL (dropped), and TagFilter::Glob
+                // requires the key to exist.
+                tags.push(TagFilter::Glob(k.to_string(), glob_pat));
+                return true;
+            }
+            false
+        }
         // timestamp BETWEEN a AND b (inclusive)
         Expr::Between { expr, low, high, negated: false } => {
             if is_tsdb_col(expr, schema, 0) {
@@ -791,6 +841,9 @@ fn prune(plan: LogicalPlan, needs: Option<HashSet<String>>) -> LogicalPlan {
         LogicalPlan::Limit { input, n } => {
             LogicalPlan::Limit { input: Box::new(prune(*input, needs)), n }
         }
+        LogicalPlan::Exchange { input } => {
+            LogicalPlan::Exchange { input: Box::new(prune(*input, needs)) }
+        }
         LogicalPlan::Union { inputs } => LogicalPlan::Union {
             // Positional name mapping across branches is fragile; keep all.
             inputs: inputs.into_iter().map(|p| prune(p, None)).collect(),
@@ -823,6 +876,97 @@ fn prune(plan: LogicalPlan, needs: Option<HashSet<String>>) -> LogicalPlan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Rule 5: parallelization markers
+// ---------------------------------------------------------------------------
+
+/// Wraps partition-parallelizable pipelines in [`LogicalPlan::Exchange`].
+fn parallelize(plan: LogicalPlan) -> LogicalPlan {
+    map_plan(plan, &|node| {
+        let eligible = match &node {
+            LogicalPlan::Aggregate { input, group_by, items, hidden } => {
+                aggregate_exchange_eligible(input, group_by, items, hidden)
+            }
+            LogicalPlan::Project { input, items, hidden } => {
+                project_exchange_eligible(input, items, hidden)
+            }
+            _ => false,
+        };
+        if eligible {
+            LogicalPlan::Exchange { input: Box::new(node) }
+        } else {
+            node
+        }
+    })
+}
+
+/// Walks a chain of `Filter` nodes, requiring every predicate to be
+/// vectorizable (the executor evaluates them per morsel); returns the
+/// first non-Filter node.
+fn peel_supported_filters(mut plan: &LogicalPlan) -> Option<&LogicalPlan> {
+    loop {
+        match plan {
+            LogicalPlan::Filter { input, predicate } => {
+                if !veval::supported(predicate) {
+                    return None;
+                }
+                plan = input;
+            }
+            other => return Some(other),
+        }
+    }
+}
+
+/// An aggregate pipeline parallelizes when the executor can run it
+/// two-phase: vectorizable group keys, every output either a group key or a
+/// plain aggregate call (whose partial states merge), and only
+/// vectorizable filters between the aggregate and its source.
+fn aggregate_exchange_eligible(
+    input: &LogicalPlan,
+    group_by: &[Expr],
+    items: &[(Expr, String)],
+    hidden: &[Expr],
+) -> bool {
+    if peel_supported_filters(input).is_none() {
+        return false;
+    }
+    if !group_by.iter().all(veval::supported) {
+        return false;
+    }
+    items.iter().map(|(e, _)| e).chain(hidden.iter()).all(|e| {
+        if group_by.iter().any(|g| g == e) {
+            return true;
+        }
+        match e {
+            Expr::Function { name, args } => {
+                is_aggregate(name) && args.iter().all(veval::supported)
+            }
+            _ => false,
+        }
+    })
+}
+
+/// A projection pipeline parallelizes when it is TSDB-scan-rooted (the
+/// partitioned source of §4's data-parallel loop) and fully vectorizable —
+/// window functions (which read the whole input) never qualify because
+/// [`veval::supported`] rejects function calls.
+fn project_exchange_eligible(
+    input: &LogicalPlan,
+    items: &[(Expr, String)],
+    hidden: &[Expr],
+) -> bool {
+    let Some(mut source) = peel_supported_filters(input) else {
+        return false;
+    };
+    while let LogicalPlan::Alias { input, .. } = source {
+        source = input;
+    }
+    if !matches!(source, LogicalPlan::TsdbScan { .. }) {
+        return false;
+    }
+    items.iter().map(|(e, _)| e).chain(hidden.iter()).all(veval::supported)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -845,6 +989,15 @@ mod tests {
     fn optimized(c: &Catalog, sql: &str) -> LogicalPlan {
         let q = parse_query(sql).unwrap();
         optimize(build(c, &q).unwrap(), c).unwrap()
+    }
+
+    /// Strips an `Exchange` parallelization marker (rule 5, tested on its
+    /// own) so the rule-1..4 shape assertions stay focused.
+    fn unwrap_exchange(p: LogicalPlan) -> LogicalPlan {
+        match p {
+            LogicalPlan::Exchange { input } => *input,
+            other => other,
+        }
     }
 
     #[test]
@@ -883,7 +1036,9 @@ mod tests {
             "SELECT value FROM tsdb WHERE metric_name = 'cpu' AND tag['host'] = 'web-1' \
              AND timestamp BETWEEN 0 AND 100",
         );
-        let LogicalPlan::Project { input, .. } = p else { panic!("expected project") };
+        let LogicalPlan::Project { input, .. } = unwrap_exchange(p) else {
+            panic!("expected project")
+        };
         let LogicalPlan::TsdbScan { name, tags, start, end, .. } = *input else {
             panic!("expected tsdb scan, got {input:?}")
         };
@@ -896,7 +1051,9 @@ mod tests {
     fn tsdb_residual_keeps_unpushable_conjuncts() {
         let c = tsdb_catalog();
         let p = optimized(&c, "SELECT value FROM tsdb WHERE metric_name = 'cpu' AND value > 1.5");
-        let LogicalPlan::Project { input, .. } = p else { panic!("expected project") };
+        let LogicalPlan::Project { input, .. } = unwrap_exchange(p) else {
+            panic!("expected project")
+        };
         let LogicalPlan::Filter { input, predicate } = *input else {
             panic!("expected residual filter, got {input:?}")
         };
@@ -912,7 +1069,9 @@ mod tests {
     fn tag_null_checks_become_index_predicates() {
         let c = tsdb_catalog();
         let p = optimized(&c, "SELECT value FROM tsdb WHERE tag['host'] IS NOT NULL");
-        let LogicalPlan::Project { input, .. } = p else { panic!("expected project") };
+        let LogicalPlan::Project { input, .. } = unwrap_exchange(p) else {
+            panic!("expected project")
+        };
         let LogicalPlan::TsdbScan { tags, .. } = *input else { panic!("expected scan") };
         assert_eq!(tags, vec![TagFilter::HasKey("host".into())]);
     }
@@ -924,7 +1083,9 @@ mod tests {
             &c,
             "SELECT value FROM tsdb WHERE timestamp >= 10 AND timestamp < 50 AND 20 <= timestamp",
         );
-        let LogicalPlan::Project { input, .. } = p else { panic!("expected project") };
+        let LogicalPlan::Project { input, .. } = unwrap_exchange(p) else {
+            panic!("expected project")
+        };
         let LogicalPlan::TsdbScan { start, end, .. } = *input else { panic!("expected scan") };
         assert_eq!((start, end), (Some(20), Some(49)));
     }
@@ -933,7 +1094,9 @@ mod tests {
     fn pruning_drops_unreferenced_scan_columns() {
         let c = tsdb_catalog();
         let p = optimized(&c, "SELECT timestamp, value FROM tsdb WHERE metric_name = 'cpu'");
-        let LogicalPlan::Project { input, .. } = p else { panic!("expected project") };
+        let LogicalPlan::Project { input, .. } = unwrap_exchange(p) else {
+            panic!("expected project")
+        };
         let LogicalPlan::TsdbScan { columns, .. } = *input else { panic!("expected scan") };
         // metric_name was absorbed into the scan filter, so only
         // timestamp + value survive; the tag maps are never cloned.
@@ -1005,6 +1168,61 @@ mod tests {
     }
 
     #[test]
+    fn glob_and_like_patterns_push_into_the_scan() {
+        let c = tsdb_catalog();
+        // metric_name GLOB with a literal prefix becomes the scan's name
+        // pattern (served by a name-index range scan in the store).
+        let p = optimized(&c, "SELECT value FROM tsdb WHERE metric_name GLOB 'c*'");
+        let LogicalPlan::Project { input, .. } = unwrap_exchange(p) else {
+            panic!("expected project")
+        };
+        let LogicalPlan::TsdbScan { name, .. } = *input else {
+            panic!("expected scan, got {input:?}")
+        };
+        assert_eq!(name.as_deref(), Some("c*"));
+
+        // tag['k'] LIKE translates %/_ to */? and lands in the tag filters.
+        let p = optimized(&c, "SELECT value FROM tsdb WHERE tag['host'] LIKE 'web-%'");
+        let LogicalPlan::Project { input, .. } = unwrap_exchange(p) else {
+            panic!("expected project")
+        };
+        let LogicalPlan::TsdbScan { tags, .. } = *input else { panic!("expected scan") };
+        assert_eq!(tags, vec![TagFilter::Glob("host".into(), "web-*".into())]);
+
+        // A LIKE pattern containing literal glob metacharacters must stay
+        // a residual filter (translation would change its meaning).
+        let p = optimized(&c, "SELECT value FROM tsdb WHERE tag['host'] LIKE 'w*b%'");
+        let LogicalPlan::Project { input, .. } = unwrap_exchange(p) else {
+            panic!("expected project")
+        };
+        assert!(matches!(*input, LogicalPlan::Filter { .. }), "expected residual, got {input:?}");
+    }
+
+    #[test]
+    fn parallelize_marks_mergeable_aggregates() {
+        let c = tsdb_catalog();
+        let p = optimized(
+            &c,
+            "SELECT timestamp, AVG(value) AS m, COUNT(*) AS n FROM tsdb \
+             WHERE metric_name = 'cpu' GROUP BY timestamp",
+        );
+        let LogicalPlan::Exchange { input } = p else { panic!("expected exchange, got {p:?}") };
+        assert!(matches!(*input, LogicalPlan::Aggregate { .. }));
+    }
+
+    #[test]
+    fn parallelize_skips_non_mergeable_aggregate_outputs() {
+        let c = tsdb_catalog();
+        // AVG(x) * 2 is not a plain aggregate call: its partial states
+        // cannot merge, so the pipeline stays serial.
+        let p = optimized(&c, "SELECT AVG(x) * 2 AS m FROM plain GROUP BY x");
+        assert!(matches!(p, LogicalPlan::Aggregate { .. }), "got {p:?}");
+        // Window projections stay serial too (they read the whole input).
+        let p = optimized(&c, "SELECT LAG(value) AS prev FROM tsdb");
+        assert!(matches!(p, LogicalPlan::Project { .. }), "got {p:?}");
+    }
+
+    #[test]
     fn aggregate_only_passes_group_key_conjuncts() {
         let c = tsdb_catalog();
         let p = optimized(
@@ -1017,7 +1235,9 @@ mod tests {
         let mut cols = Vec::new();
         collect_columns(&predicate, &mut cols);
         assert_eq!(cols, vec!["m".to_string()]);
-        let LogicalPlan::Aggregate { input, .. } = *input else { panic!("expected aggregate") };
+        let LogicalPlan::Aggregate { input, .. } = unwrap_exchange(*input) else {
+            panic!("expected aggregate")
+        };
         assert!(matches!(*input, LogicalPlan::Filter { .. }), "group-key conjunct pushed below");
     }
 }

@@ -11,8 +11,9 @@ use crate::{QueryError, Result};
 /// Words that terminate expressions / cannot be bare aliases.
 const RESERVED: &[&str] = &[
     "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "LIMIT", "UNION", "JOIN", "INNER", "LEFT", "FULL",
-    "OUTER", "ON", "AS", "AND", "OR", "NOT", "IN", "BETWEEN", "IS", "NULL", "LIKE", "CASE", "WHEN",
-    "THEN", "ELSE", "END", "ASC", "DESC", "BY", "ALL", "TRUE", "FALSE", "HAVING", "EXPLAIN",
+    "OUTER", "ON", "AS", "AND", "OR", "NOT", "IN", "BETWEEN", "IS", "NULL", "LIKE", "GLOB", "CASE",
+    "WHEN", "THEN", "ELSE", "END", "ASC", "DESC", "BY", "ALL", "TRUE", "FALSE", "HAVING",
+    "EXPLAIN",
 ];
 
 /// Parses a SQL string into a [`Query`]. A leading `EXPLAIN` keyword marks
@@ -264,10 +265,11 @@ impl Parser {
 
     fn comparison(&mut self) -> Result<Expr> {
         let left = self.additive()?;
-        // NOT IN / NOT BETWEEN / NOT LIKE.
+        // NOT IN / NOT BETWEEN / NOT LIKE / NOT GLOB.
         let negated = if self.peek().is_some_and(|t| t.is_kw("NOT"))
-            && self.peek2().is_some_and(|t| t.is_kw("IN") || t.is_kw("BETWEEN") || t.is_kw("LIKE"))
-        {
+            && self.peek2().is_some_and(|t| {
+                t.is_kw("IN") || t.is_kw("BETWEEN") || t.is_kw("LIKE") || t.is_kw("GLOB")
+            }) {
             self.pos += 1;
             true
         } else {
@@ -293,15 +295,16 @@ impl Parser {
                 negated,
             });
         }
-        if self.eat_kw("LIKE") {
-            let right = self.additive()?;
-            let like =
-                Expr::Binary { op: BinaryOp::Like, left: Box::new(left), right: Box::new(right) };
-            return Ok(if negated {
-                Expr::Unary { op: UnaryOp::Not, operand: Box::new(like) }
-            } else {
-                like
-            });
+        for (kw, op) in [("LIKE", BinaryOp::Like), ("GLOB", BinaryOp::Glob)] {
+            if self.eat_kw(kw) {
+                let right = self.additive()?;
+                let matched = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+                return Ok(if negated {
+                    Expr::Unary { op: UnaryOp::Not, operand: Box::new(matched) }
+                } else {
+                    matched
+                });
+            }
         }
         if negated {
             return Err(QueryError::Parse("dangling NOT before comparison".into()));

@@ -123,6 +123,17 @@ pub enum LogicalPlan {
         /// Unioned plans, in order; the first defines the output names.
         inputs: Vec<LogicalPlan>,
     },
+    /// Partition-parallel execution marker, inserted by the optimizer
+    /// around a pipeline the executor may run morsel-parallel: an
+    /// `Aggregate` (two-phase: per-partition partial accumulators, then an
+    /// order-preserving merge exchange) or a `Project`, in both cases with
+    /// any directly nested `Filter`s evaluated per partition. The wrapped
+    /// plan is also a valid serial plan; partition count is an execution
+    /// option, so `Exchange` never changes results, only scheduling.
+    Exchange {
+        /// The pipeline to parallelize.
+        input: Box<LogicalPlan>,
+    },
 }
 
 /// The observation schema of a TSDB-bound table.
@@ -155,7 +166,9 @@ impl LogicalPlan {
                 cols.extend(right.schema(catalog)?.columns().iter().cloned());
                 Ok(Schema::new(cols))
             }
-            LogicalPlan::Sort { input, .. } => input.schema(catalog),
+            LogicalPlan::Sort { input, .. } | LogicalPlan::Exchange { input } => {
+                input.schema(catalog)
+            }
             LogicalPlan::Union { inputs } => inputs
                 .first()
                 .ok_or_else(|| QueryError::Plan("empty UNION".into()))?
@@ -404,6 +417,7 @@ fn render_expr(e: &Expr) -> String {
                 BinaryOp::Div => "/",
                 BinaryOp::Mod => "%",
                 BinaryOp::Like => "LIKE",
+                BinaryOp::Glob => "GLOB",
             };
             format!("({} {} {})", render_expr(left), op, render_expr(right))
         }
@@ -528,6 +542,10 @@ fn render_into(plan: &LogicalPlan, depth: usize, out: &mut String) {
             for i in inputs {
                 render_into(i, depth + 1, out);
             }
+        }
+        LogicalPlan::Exchange { input } => {
+            push_line(out, depth, "Exchange partitions=auto");
+            render_into(input, depth + 1, out);
         }
     }
 }

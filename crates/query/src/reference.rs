@@ -5,7 +5,13 @@
 //! tree-walking interpreter over materialized `Vec<Vec<Value>>` rows with
 //! no planning, no optimization and no columnar operators. It must stay
 //! semantically aligned with [`crate::exec`] — when the two disagree on a
-//! query, one of them has a bug (historically the new one).
+//! query, one of them has a bug (historically the new one). Aggregate
+//! semantics are shared by construction: this interpreter evaluates
+//! aggregates through the same mergeable accumulators
+//! ([`crate::functions::eval_aggregate`]) the serial and
+//! partition-parallel columnar executors use, so the corrected
+//! sample-variance / Int-SUM / constant-p PERCENTILE behaviour is defined
+//! in exactly one place.
 //!
 //! Pipeline per SELECT: resolve FROM → apply JOINs (hash join on
 //! decomposable equi-conditions, nested loop otherwise) → WHERE → GROUP BY /

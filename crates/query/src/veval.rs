@@ -3,13 +3,18 @@
 //! The columnar executor evaluates WHERE predicates, projection items,
 //! group keys and join keys directly against [`Column`]s — no intermediate
 //! `Vec<Vec<Value>>` rows. Dense fast paths cover the hot comparisons
-//! (typed column vs. literal) and boolean combinators; everything else in
-//! the supported subset falls back to per-entry [`Value`] evaluation, which
-//! still avoids row materialization. Expressions outside the subset
-//! (scalar/window/aggregate function calls, CASE) are reported by
-//! [`supported`] so the executor can use the row shim instead.
+//! (typed column vs. literal) and boolean combinators; dictionary columns
+//! ([`Column::Dict`]) evaluate predicates, map accesses and NULL checks
+//! *once per distinct dictionary entry* and expand by code — so
+//! `metric_name = 'cpu'` over a million-row scan does one string compare
+//! per distinct metric, not per row. Everything else in the supported
+//! subset falls back to per-entry [`Value`] evaluation, which still avoids
+//! row materialization. Expressions outside the subset (scalar/window/
+//! aggregate function calls, CASE) are reported by [`supported`] so the
+//! executor can use the row shim instead.
 
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 use crate::ast::{BinaryOp, Expr, UnaryOp};
 use crate::column::Column;
@@ -107,6 +112,11 @@ pub fn eval(expr: &Expr, schema: &Schema, cols: &[Column], len: usize) -> Result
             let i = eval(index, schema, cols, len)?;
             match (c, i) {
                 (VOut::Const(c), VOut::Const(i)) => Ok(VOut::Const(eval_index(c, i)?)),
+                // Dictionary container, constant key: one lookup per
+                // distinct entry — this is the `tag['host']` hot path.
+                (VOut::Col(Column::Dict { values, codes }), VOut::Const(k)) => {
+                    map_dict(&values, &codes, |v| eval_index(v.clone(), k.clone())).map(VOut::Col)
+                }
                 (c, i) => {
                     let mut out = Vec::with_capacity(len);
                     for row in 0..len {
@@ -187,7 +197,13 @@ pub fn eval(expr: &Expr, schema: &Schema, cols: &[Column], len: usize) -> Result
                 VOut::Col(Column::Values(vs)) => Ok(VOut::Col(Column::Bool(
                     vs.iter().map(|x| x.is_null() != *negated).collect(),
                 ))),
-                // Typed columns never contain NULLs.
+                // Dictionary entries may be NULL (e.g. a missing tag key
+                // after indexing): one null-check per entry.
+                VOut::Col(Column::Dict { values, codes }) => {
+                    let per: Vec<bool> = values.iter().map(|x| x.is_null() != *negated).collect();
+                    Ok(VOut::Col(Column::Bool(codes.iter().map(|&c| per[c as usize]).collect())))
+                }
+                // Other typed columns never contain NULLs.
                 VOut::Col(_) => Ok(VOut::Const(Value::Bool(*negated))),
             }
         }
@@ -209,6 +225,35 @@ fn cmp_matches(op: BinaryOp, ord: Ordering) -> bool {
     }
 }
 
+/// Applies a scalar binary op (with AND/OR routed to the three-valued
+/// helpers, matching the row evaluator exactly).
+fn scalar_binary(op: BinaryOp, a: Value, b: Value) -> Result<Value> {
+    match op {
+        BinaryOp::And => eval_and(a, b),
+        BinaryOp::Or => eval_or(a, b),
+        _ => eval_binary(op, a, b),
+    }
+}
+
+/// Evaluates `f` once per dictionary entry *referenced by a row* (lazily,
+/// in first-reference order, so the error surface matches a per-row scan)
+/// and expands the results by code into a new dictionary column.
+fn map_dict(
+    values: &[Value],
+    codes: &[u32],
+    f: impl Fn(&Value) -> Result<Value>,
+) -> Result<Column> {
+    let mut per: Vec<Option<Value>> = vec![None; values.len()];
+    for &c in codes {
+        let slot = &mut per[c as usize];
+        if slot.is_none() {
+            *slot = Some(f(&values[c as usize])?);
+        }
+    }
+    let dict: Vec<Value> = per.into_iter().map(|v| v.unwrap_or(Value::Null)).collect();
+    Ok(Column::dict(Arc::new(dict), codes.to_vec()))
+}
+
 fn eval_binary_vec(op: BinaryOp, l: VOut, r: VOut, len: usize) -> Result<VOut> {
     // Constant-constant folds to a constant.
     if let (VOut::Const(a), VOut::Const(b)) = (&l, &r) {
@@ -218,6 +263,16 @@ fn eval_binary_vec(op: BinaryOp, l: VOut, r: VOut, len: usize) -> Result<VOut> {
             _ => eval_binary(op, a.clone(), b.clone())?,
         };
         return Ok(VOut::Const(v));
+    }
+
+    // Dictionary column against a constant (either side): evaluate the
+    // scalar op once per distinct entry, expand by code. Covers
+    // comparisons, LIKE/GLOB and arithmetic in one rule.
+    if let (VOut::Col(Column::Dict { values, codes }), VOut::Const(k)) = (&l, &r) {
+        return map_dict(values, codes, |v| scalar_binary(op, v.clone(), k.clone())).map(VOut::Col);
+    }
+    if let (VOut::Const(k), VOut::Col(Column::Dict { values, codes })) = (&l, &r) {
+        return map_dict(values, codes, |v| scalar_binary(op, k.clone(), v.clone())).map(VOut::Col);
     }
 
     // Dense comparison fast paths: typed column vs. constant.
@@ -286,10 +341,12 @@ fn eval_binary_vec(op: BinaryOp, l: VOut, r: VOut, len: usize) -> Result<VOut> {
         }
     }
 
-    // LIKE with a constant pattern over a dense string column.
-    if op == BinaryOp::Like {
+    // LIKE/GLOB with a constant pattern over a dense string column.
+    if matches!(op, BinaryOp::Like | BinaryOp::Glob) {
         if let (VOut::Col(Column::Str(vs)), VOut::Const(Value::Str(pat))) = (&l, &r) {
-            return Ok(VOut::Col(Column::Bool(vs.iter().map(|s| sql_like(pat, s)).collect())));
+            let matcher: fn(&str, &str) -> bool =
+                if op == BinaryOp::Like { sql_like } else { explainit_tsdb::glob_match };
+            return Ok(VOut::Col(Column::Bool(vs.iter().map(|s| matcher(pat, s)).collect())));
         }
     }
 
@@ -350,6 +407,10 @@ pub fn eval_mask(expr: &Expr, schema: &Schema, cols: &[Column], len: usize) -> R
     match eval(expr, schema, cols, len)? {
         VOut::Const(v) => Ok(vec![v.is_true(); len]),
         VOut::Col(Column::Bool(mask)) => Ok(mask),
+        VOut::Col(Column::Dict { values, codes }) => {
+            let per: Vec<bool> = values.iter().map(Value::is_true).collect();
+            Ok(codes.iter().map(|&c| per[c as usize]).collect())
+        }
         VOut::Col(col) => Ok((0..len).map(|i| col.get(i).is_true()).collect()),
     }
 }
@@ -450,6 +511,78 @@ mod tests {
             left: Box::new(E::col("v")),
             right: Box::new(E::lit(1i64)),
         }));
+    }
+
+    fn dict_cols() -> Vec<Column> {
+        let names = Arc::new(vec![Value::str("cpu"), Value::str("disk")]);
+        let tags = Arc::new(vec![
+            Value::Map([("host".to_string(), "web-1".to_string())].into_iter().collect()),
+            Value::Map(std::collections::BTreeMap::new()),
+        ]);
+        vec![
+            Column::Int(vec![0, 1, 2, 3]),
+            Column::dict(names, vec![0, 1, 0, 1]),
+            Column::dict(tags, vec![0, 0, 1, 1]),
+        ]
+    }
+
+    fn dict_schema() -> Schema {
+        Schema::new(vec!["ts".into(), "metric_name".into(), "tag".into()])
+    }
+
+    #[test]
+    fn dict_equality_evaluates_per_entry() {
+        let e = E::Binary {
+            op: BinaryOp::Eq,
+            left: Box::new(E::col("metric_name")),
+            right: Box::new(E::lit("cpu")),
+        };
+        let m = eval_mask(&e, &dict_schema(), &dict_cols(), 4).unwrap();
+        assert_eq!(m, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn dict_glob_and_like() {
+        for (op, pat, want) in [
+            (BinaryOp::Glob, "c*", vec![true, false, true, false]),
+            (BinaryOp::Like, "d%k", vec![false, true, false, true]),
+        ] {
+            let e = E::Binary {
+                op,
+                left: Box::new(E::col("metric_name")),
+                right: Box::new(E::lit(pat)),
+            };
+            assert_eq!(eval_mask(&e, &dict_schema(), &dict_cols(), 4).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn dict_map_index_and_is_null() {
+        // tag['host'] resolves per dictionary entry; the tagless entry
+        // yields NULL, which IS NULL must see through the dictionary.
+        let access =
+            E::Index { container: Box::new(E::col("tag")), index: Box::new(E::lit("host")) };
+        let out = eval(&access, &dict_schema(), &dict_cols(), 4).unwrap().into_column(4);
+        assert_eq!(out.get(0), Value::str("web-1"));
+        assert_eq!(out.get(2), Value::Null);
+        let isnull = E::IsNull { expr: Box::new(access), negated: false };
+        assert_eq!(
+            eval_mask(&isnull, &dict_schema(), &dict_cols(), 4).unwrap(),
+            vec![false, false, true, true]
+        );
+    }
+
+    #[test]
+    fn dict_errors_only_for_referenced_entries() {
+        // Indexing into a Str dictionary entry is a type error — but only
+        // entries actually referenced by a row may raise it.
+        let names = Arc::new(vec![Value::str("cpu"), Value::Int(7)]);
+        let cols = vec![Column::dict(names, vec![1, 1])];
+        let schema = Schema::new(vec!["x".into()]);
+        let e = E::Index { container: Box::new(E::col("x")), index: Box::new(E::lit("k")) };
+        // Entry 0 ("cpu", unreferenced) would also error; entry 1 errors
+        // first because rows reference it.
+        assert!(eval(&e, &schema, &cols, 2).is_err());
     }
 
     #[test]

@@ -2,10 +2,18 @@
 //! must produce *identical* tables to the retained naive row interpreter
 //! (`explainit_query::reference`) on randomly generated queries and data —
 //! same schema, same rows, same row order.
+//!
+//! Every query runs **three** ways: the pipeline serially (one partition),
+//! the pipeline partition-parallel (a forced multi-morsel split, so
+//! partial-aggregate merging is exercised even on small inputs and
+//! single-core machines), and the reference interpreter. All three must
+//! agree bit-for-bit — the parallel aggregate's accumulators are built to
+//! be exactly fold-equivalent (error-free sums, per-class MIN/MAX,
+//! gathered PERCENTILE), so this is an equality check, not an epsilon one.
 
 use explainit_query::reference::execute_naive;
-use explainit_query::{parse_query, Catalog, Table, Value};
-use explainit_tsdb::{SeriesKey, Tsdb};
+use explainit_query::{parse_query, Catalog, ExecOptions, Table, Value};
+use explainit_tsdb::{glob_match, MetricFilter, SeriesKey, Tsdb};
 use proptest::prelude::*;
 
 const HOSTS: [&str; 4] = ["web-1", "web-2", "db-1", "app-3"];
@@ -62,15 +70,34 @@ fn build_catalog(
     catalog
 }
 
-/// Runs `sql` through both engines and asserts identical output.
+/// Runs `sql` serially, partition-parallel and through the reference
+/// interpreter, asserting all three agree (or all three reject).
 fn assert_same(catalog: &Catalog, sql: &str) -> Result<(), TestCaseError> {
     let query = match parse_query(sql) {
         Ok(q) => q,
         Err(e) => panic!("generated query must parse: {sql}: {e}"),
     };
-    let fast = catalog.execute_query(&query);
+    let serial = catalog.execute_query_with(&query, ExecOptions { partitions: 1 });
+    let parallel = catalog.execute_query_with(&query, ExecOptions { partitions: 3 });
     let naive = execute_naive(catalog, &query);
-    match (fast, naive) {
+    match (&serial, &parallel) {
+        (Ok(a), Ok(b)) => {
+            prop_assert_eq!(
+                a.schema().columns(),
+                b.schema().columns(),
+                "serial/parallel schema mismatch for {}",
+                sql
+            );
+            prop_assert_eq!(a.rows(), b.rows(), "serial/parallel row mismatch for {}", sql);
+        }
+        (Err(_), Err(_)) => {}
+        _ => panic!(
+            "serial/parallel divergence for {sql}:\n  serial: {:?}\n  parallel: {:?}",
+            serial.as_ref().map(Table::len),
+            parallel.as_ref().map(Table::len)
+        ),
+    }
+    match (serial, naive) {
         (Ok(a), Ok(b)) => {
             prop_assert_eq!(
                 a.schema().columns(),
@@ -107,6 +134,18 @@ const PREDICATES: [&str; 8] = [
 const PROJECTIONS: [&str; 4] = ["*", "ts, v", "host, v * 2 AS dv", "ts + 1 AS t2, v"];
 
 const ORDERS: [&str; 4] = ["", " ORDER BY ts", " ORDER BY v DESC", " ORDER BY ts DESC, v"];
+
+/// Aggregate select lists for the aggregate-heavy generator — mixes the
+/// corrected semantics (sample STDDEV/VARIANCE, Int-preserving SUM,
+/// constant-p PERCENTILE) with the mergeable basics.
+const AGG_ITEMS: [&str; 6] = [
+    "AVG(v) AS m, COUNT(*) AS n, MAX(v) AS mx",
+    "SUM(v) AS s, MIN(v) AS lo, STDDEV(v) AS sd",
+    "VARIANCE(v) AS var, PERCENTILE(v, 0.5) AS med",
+    "SUM(ts) AS s_int, COUNT(v) AS n",
+    "PERCENTILE(v, 0.9) AS p90, STDDEV(v) AS sd, SUM(v) AS s",
+    "MIN(host) AS h0, MAX(host) AS h1, VARIANCE(ts) AS vt",
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -152,6 +191,29 @@ proptest! {
         assert_same(&catalog, &sql)?;
         // Global aggregate (no GROUP BY).
         let sql = format!("SELECT SUM(v) AS s, MIN(v) AS lo FROM t WHERE {}", PREDICATES[p]);
+        assert_same(&catalog, &sql)?;
+    }
+
+    #[test]
+    fn aggregate_heavy_group_bys_agree(
+        t in t_rows(), u in u_rows(),
+        items in 0usize..AGG_ITEMS.len(),
+        p in 0usize..PREDICATES.len(),
+        filtered in any::<bool>(),
+        key_is_host in any::<bool>(),
+        order_by_key in any::<bool>(),
+        global in any::<bool>(),
+    ) {
+        let catalog = build_catalog(&t, &u, &[]);
+        let agg = AGG_ITEMS[items];
+        let filter = if filtered { format!(" WHERE {}", PREDICATES[p]) } else { String::new() };
+        let sql = if global {
+            format!("SELECT {agg} FROM t{filter}")
+        } else {
+            let key = if key_is_host { "host" } else { "ts" };
+            let order = if order_by_key { format!(" ORDER BY {key}") } else { String::new() };
+            format!("SELECT {key}, {agg} FROM t{filter} GROUP BY {key}{order}")
+        };
         assert_same(&catalog, &sql)?;
     }
 
@@ -240,4 +302,111 @@ proptest! {
         };
         assert_same(&catalog, &sql)?;
     }
+
+    #[test]
+    fn glob_queries_agree_with_reference(
+        points in tsdb_points(),
+        variant in 0usize..5,
+        h in 0usize..HOSTS.len(),
+    ) {
+        // The pipeline pushes GLOB (and translatable LIKE) patterns into
+        // the scan — the glob-prefix name-index range scan and
+        // TagFilter::Glob — while the reference evaluates the operator per
+        // materialized row. Agreement proves the pushdown is lossless.
+        let catalog = build_catalog(&[], &[], &points);
+        let sql = match variant {
+            0 => "SELECT timestamp, value FROM tsdb WHERE metric_name GLOB 'disk*' \
+                  ORDER BY timestamp, value"
+                .to_string(),
+            1 => "SELECT metric_name, COUNT(*) AS n FROM tsdb \
+                  WHERE metric_name GLOB '*_r?ad' GROUP BY metric_name"
+                .to_string(),
+            2 => format!(
+                "SELECT timestamp, value FROM tsdb WHERE tag['host'] GLOB '{}*' \
+                 ORDER BY timestamp, value",
+                &HOSTS[h][..3]
+            ),
+            3 => "SELECT COUNT(*) AS n FROM tsdb WHERE metric_name LIKE 'pipeline%'".to_string(),
+            _ => "SELECT value FROM tsdb WHERE metric_name GLOB 'c?u' AND value > -5.0 \
+                  ORDER BY value"
+                .to_string(),
+        };
+        assert_same(&catalog, &sql)?;
+    }
+
+    #[test]
+    fn glob_prefix_find_matches_brute_force(
+        points in tsdb_points(),
+        pat in 0usize..6,
+    ) {
+        // Store-level property for the prefix range scan itself.
+        let mut db = Tsdb::new();
+        for &(m, h, ts, v) in &points {
+            db.insert(&SeriesKey::new(METRICS[m]).with_tag("host", HOSTS[h]), ts, v);
+        }
+        let pattern = ["cpu*", "disk*", "disk_r?ad", "pipeline*e", "*untime", "c*p*u"][pat];
+        let fast = db.find(&MetricFilter::name(pattern));
+        let brute: Vec<_> = db
+            .iter()
+            .filter(|(_, s)| glob_match(pattern, &s.key.name))
+            .map(|(id, _)| id)
+            .collect();
+        prop_assert_eq!(fast, brute, "pattern {}", pattern);
+    }
+}
+
+/// Pins the corrected aggregate semantics with exact expected values, in
+/// all three engines.
+#[test]
+fn corrected_aggregate_semantics_pinned() {
+    // t(ts, host, v) with v = [2, 4, 4, 4, 5, 5, 7, 9] in one group:
+    // sample variance = 32/7, stddev = sqrt(32/7) (population would be 4).
+    let vals = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+    let rows: Vec<Vec<Value>> = vals
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| vec![Value::Int(i as i64), Value::str("h"), Value::Float(v)])
+        .collect();
+    let mut catalog = Catalog::new();
+    catalog.register("t", Table::from_rows(&["ts", "host", "v"], rows));
+
+    let sql = "SELECT VARIANCE(v) AS var, STDDEV(v) AS sd, SUM(ts) AS si, SUM(v) AS sf, \
+               PERCENTILE(v, 0.5) AS med FROM t";
+    let query = parse_query(sql).unwrap();
+    let expect = vec![
+        Value::Float(32.0 / 7.0),
+        Value::Float((32.0f64 / 7.0).sqrt()),
+        Value::Int(28),     // Int column keeps Int typing
+        Value::Float(40.0), // Float column stays Float
+        Value::Float(4.5),
+    ];
+    for parts in [1usize, 2, 3, 8] {
+        let out = catalog.execute_query_with(&query, ExecOptions { partitions: parts }).unwrap();
+        assert_eq!(out.rows()[0], expect, "partitions={parts}");
+    }
+    let naive = execute_naive(&catalog, &query).unwrap();
+    assert_eq!(naive.rows()[0], expect, "reference");
+}
+
+/// Non-constant PERCENTILE p must error identically everywhere.
+#[test]
+fn non_constant_percentile_p_rejected_by_all_engines() {
+    let rows = vec![
+        vec![Value::Int(0), Value::str("a"), Value::Float(1.0)],
+        vec![Value::Int(1), Value::str("a"), Value::Float(2.0)],
+    ];
+    let mut catalog = Catalog::new();
+    catalog.register("t", Table::from_rows(&["ts", "host", "v"], rows));
+    let query = parse_query("SELECT PERCENTILE(v, ts * 0.1) AS p FROM t").unwrap();
+    for parts in [1usize, 2] {
+        let out = catalog.execute_query_with(&query, ExecOptions { partitions: parts });
+        assert!(
+            matches!(out, Err(explainit_query::QueryError::BadFunction(_))),
+            "partitions={parts}: {out:?}"
+        );
+    }
+    assert!(matches!(
+        execute_naive(&catalog, &query),
+        Err(explainit_query::QueryError::BadFunction(_))
+    ));
 }

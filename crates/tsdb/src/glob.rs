@@ -40,6 +40,19 @@ pub fn is_glob(pattern: &str) -> bool {
     pattern.contains('*') || pattern.contains('?')
 }
 
+/// The literal prefix of a glob pattern: everything before the first
+/// metacharacter. `datanode*` → `datanode`, `*node*` → `` (empty).
+///
+/// Every string matching the pattern starts with this prefix, so an ordered
+/// name index can be range-scanned over `[prefix, prefix-successor)` instead
+/// of walking every key.
+pub fn glob_literal_prefix(pattern: &str) -> &str {
+    match pattern.find(['*', '?']) {
+        Some(i) => &pattern[..i],
+        None => pattern,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +107,24 @@ mod tests {
         assert!(is_glob("data*"));
         assert!(is_glob("h?st"));
         assert!(!is_glob("plain-name"));
+    }
+
+    #[test]
+    fn literal_prefix_extraction() {
+        assert_eq!(glob_literal_prefix("datanode*"), "datanode");
+        assert_eq!(glob_literal_prefix("disk?x*"), "disk");
+        assert_eq!(glob_literal_prefix("*node*"), "");
+        assert_eq!(glob_literal_prefix("exact"), "exact");
+        assert_eq!(glob_literal_prefix(""), "");
+    }
+
+    #[test]
+    fn every_match_starts_with_the_literal_prefix() {
+        for (pat, text) in
+            [("data*-1", "datanode-1"), ("a?c*", "abcdef"), ("host-*", "host-"), ("x*", "x")]
+        {
+            assert!(glob_match(pat, text));
+            assert!(text.starts_with(glob_literal_prefix(pat)));
+        }
     }
 }

@@ -28,8 +28,8 @@ mod snapshot;
 mod store;
 
 pub use align::{align_series, AlignedFrame, FillPolicy};
-pub use glob::glob_match;
+pub use glob::{glob_literal_prefix, glob_match, is_glob};
 pub use logs::{featurize_logs, template_of, LogRecord};
 pub use model::{DataPoint, Series, SeriesKey, TimeRange};
 pub use snapshot::Snapshot;
-pub use store::{MetricFilter, SeriesId, TagFilter, Tsdb};
+pub use store::{MetricFilter, SeriesId, SeriesSlice, TagFilter, Tsdb};

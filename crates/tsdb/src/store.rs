@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use crate::glob::{glob_match, is_glob};
+use crate::glob::{glob_literal_prefix, glob_match, is_glob};
 use crate::model::{Series, SeriesKey, TimeRange};
 
 /// Opaque, dense identifier of a series inside one [`Tsdb`].
@@ -38,6 +38,21 @@ impl TagFilter {
             TagFilter::Absent(k) => key.tag(k).is_none(),
         }
     }
+}
+
+/// A borrowed partition handle over one series' in-range observations:
+/// the atom of partition-parallel scan execution. Handles are cheap to
+/// copy, so a scheduler can bucket them into morsels freely.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesSlice<'a> {
+    /// Dense store-local series id (stable across scans of one instance).
+    pub id: SeriesId,
+    /// The series key (metric name + tags).
+    pub key: &'a SeriesKey,
+    /// In-range timestamps, ascending.
+    pub timestamps: &'a [i64],
+    /// Values parallel to `timestamps`.
+    pub values: &'a [f64],
 }
 
 /// A metric selection filter: optional name pattern plus tag predicates.
@@ -175,7 +190,9 @@ impl Tsdb {
     }
 
     /// Finds series ids matching the filter, using the indexes where the
-    /// filter is exact and falling back to a scan for glob components.
+    /// filter is exact, a `name_index` range scan for glob names with a
+    /// literal prefix, and a full scan only for prefix-free globs with no
+    /// exact tag predicate.
     pub fn find(&self, filter: &MetricFilter) -> Vec<SeriesId> {
         // Fast path: exact name narrows the candidate set via the index.
         let candidates: Vec<SeriesId> = match &filter.name {
@@ -183,6 +200,23 @@ impl Tsdb {
                 Some(set) => set.iter().copied().collect(),
                 None => return Vec::new(),
             },
+            // Glob with a literal prefix (`disk*`, `pipeline_?`): range-scan
+            // the ordered name index over the prefix instead of walking
+            // every series. Candidate ids stay ascending (matching the
+            // other index paths) via the BTreeSet union.
+            Some(name) if !glob_literal_prefix(name).is_empty() => {
+                let prefix = glob_literal_prefix(name);
+                let mut ids: BTreeSet<SeriesId> = BTreeSet::new();
+                for (indexed, set) in self.name_index.range(prefix.to_string()..) {
+                    if !indexed.starts_with(prefix) {
+                        break;
+                    }
+                    if glob_match(name, indexed) {
+                        ids.extend(set.iter().copied());
+                    }
+                }
+                ids.into_iter().collect()
+            }
             _ => {
                 // Try narrowing by the first exact tag predicate.
                 let exact_tag = filter.tags.iter().find_map(|t| match t {
@@ -208,12 +242,23 @@ impl Tsdb {
         filter: &MetricFilter,
         range: &TimeRange,
     ) -> Vec<(&SeriesKey, &[i64], &[f64])> {
+        self.scan_parts(filter, range)
+            .into_iter()
+            .map(|p| (p.key, p.timestamps, p.values))
+            .collect()
+    }
+
+    /// Like [`Tsdb::scan`], but returns per-series *partition handles*
+    /// carrying the [`SeriesId`] — the unit the partition-parallel query
+    /// executor distributes across workers and the key into any per-series
+    /// side tables (dictionary codes, pre-aggregates).
+    pub fn scan_parts(&self, filter: &MetricFilter, range: &TimeRange) -> Vec<SeriesSlice<'_>> {
         self.find(filter)
             .into_iter()
             .map(|id| {
                 let s = &self.series[id.index()];
                 let (ts, vs) = s.range(range);
-                (&s.key, ts, vs)
+                SeriesSlice { id, key: &s.key, timestamps: ts, values: vs }
             })
             .collect()
     }
@@ -273,6 +318,37 @@ mod tests {
         let db = sample_db();
         assert_eq!(db.find(&MetricFilter::name("r*")).len(), 1);
         assert_eq!(db.find(&MetricFilter::name("*")).len(), 4);
+    }
+
+    #[test]
+    fn glob_prefix_range_scan_matches_brute_force() {
+        let mut db = Tsdb::new();
+        for name in ["disk_read", "disk_write", "diskette", "disco", "net_in", "runtime"] {
+            for host in ["a", "b"] {
+                db.insert(&SeriesKey::new(name).with_tag("host", host), 0, 1.0);
+            }
+        }
+        for pat in ["disk*", "disk_*", "disk_rea?", "dis*o", "d*", "z*", "*isk*", "disk_read"] {
+            let fast = db.find(&MetricFilter::name(pat));
+            let brute: Vec<SeriesId> =
+                db.iter().filter(|(_, s)| glob_match(pat, &s.key.name)).map(|(id, _)| id).collect();
+            assert_eq!(fast, brute, "pattern {pat}");
+        }
+        // Prefix-bounded globs combine with tag predicates.
+        let f = MetricFilter::name("disk_*").with_tag("host", "a");
+        assert_eq!(db.find(&f).len(), 2);
+    }
+
+    #[test]
+    fn scan_parts_carries_ids_and_slices() {
+        let db = sample_db();
+        let parts = db.scan_parts(&MetricFilter::name("disk"), &TimeRange::new(120, 300));
+        assert_eq!(parts.len(), 3);
+        for p in &parts {
+            assert_eq!(db.series(p.id).key, *p.key);
+            assert_eq!(p.timestamps, &[120, 180, 240]);
+            assert_eq!(p.timestamps.len(), p.values.len());
+        }
     }
 
     #[test]
