@@ -108,6 +108,23 @@ impl Engine {
         }
     }
 
+    /// Removes a family by name. Returns true if it existed.
+    pub fn remove_family(&mut self, name: &str) -> bool {
+        let before = self.families.len();
+        self.families.retain(|f| f.name != name);
+        self.families.len() != before
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (e.g. a per-request `TOP k`).
+    pub fn config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.config
+    }
+
     /// Adds every frame from a query pivot.
     pub fn add_frames(&mut self, frames: &[explainit_query::FamilyFrame]) {
         for f in frames {
@@ -136,6 +153,12 @@ impl Engine {
     /// Borrow a family by name.
     pub fn family(&self, name: &str) -> Option<&FeatureFamily> {
         self.families.iter().find(|f| f.name == name)
+    }
+
+    /// All registered families in insertion order (the slice
+    /// [`crate::auto_select_scorer`] inspects — no clones needed).
+    pub fn families(&self) -> &[FeatureFamily] {
+        &self.families
     }
 
     /// All family names in insertion order.
@@ -386,6 +409,25 @@ mod tests {
         ));
         assert_eq!(e.family_count(), n_before);
         assert_eq!(e.family("noise_a").unwrap().len(), 50);
+    }
+
+    #[test]
+    fn remove_family_by_name() {
+        let mut e = engine_with_signal();
+        let before = e.family_count();
+        assert!(e.remove_family("noise_a"));
+        assert_eq!(e.family_count(), before - 1);
+        assert!(e.family("noise_a").is_none());
+        assert!(!e.remove_family("noise_a"));
+    }
+
+    #[test]
+    fn config_mut_adjusts_top_k() {
+        let mut e = engine_with_signal();
+        e.config_mut().top_k = 1;
+        assert_eq!(e.config().top_k, 1);
+        let r = e.rank("runtime", &[], ScorerKind::CorrMax).unwrap();
+        assert_eq!(r.entries.len(), 1);
     }
 
     #[test]

@@ -57,6 +57,22 @@ impl ScorerKind {
         }
     }
 
+    /// Parses a scorer name as written on the SQL / CLI surface
+    /// (case-insensitive; `l2-p50` and `l2p50` both work). `auto` is not a
+    /// [`ScorerKind`] — callers route it to
+    /// [`crate::auto_select_scorer`].
+    pub fn parse(name: &str) -> Option<ScorerKind> {
+        match name.to_ascii_lowercase().replace('-', "").as_str() {
+            "corrmean" => Some(ScorerKind::CorrMean),
+            "corrmax" => Some(ScorerKind::CorrMax),
+            "l2" => Some(ScorerKind::L2),
+            "l2p50" => Some(ScorerKind::L2_P50),
+            "l2p500" => Some(ScorerKind::L2_P500),
+            "lasso" => Some(ScorerKind::Lasso),
+            _ => None,
+        }
+    }
+
     /// All five scorers evaluated in Table 6.
     pub fn table6_set() -> Vec<ScorerKind> {
         vec![
@@ -233,6 +249,21 @@ mod tests {
     use super::*;
     use rand_chacha::rand_core::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn scorer_names_parse() {
+        assert_eq!(ScorerKind::parse("l2"), Some(ScorerKind::L2));
+        assert_eq!(ScorerKind::parse("CorrMax"), Some(ScorerKind::CorrMax));
+        assert_eq!(ScorerKind::parse("L2-P50"), Some(ScorerKind::L2_P50));
+        assert_eq!(ScorerKind::parse("l2p500"), Some(ScorerKind::L2_P500));
+        assert_eq!(ScorerKind::parse("lasso"), Some(ScorerKind::Lasso));
+        assert_eq!(ScorerKind::parse("auto"), None);
+        assert_eq!(ScorerKind::parse("nope"), None);
+        // Every display name round-trips.
+        for kind in ScorerKind::table6_set() {
+            assert_eq!(ScorerKind::parse(&kind.name()), Some(kind));
+        }
+    }
 
     fn noise(n: usize, cols: usize, seed: u64) -> Matrix {
         use rand::Rng;

@@ -2,6 +2,62 @@
 
 use crate::value::Value;
 
+/// One statement of the declarative RCA surface (Figure 4 / Appendix C of
+/// the paper as SQL): plain queries plus the session statements that drive
+/// the root-cause engine. Produced by [`crate::parse_statement`] /
+/// [`crate::parse_script`]; the session statements are executed by a
+/// stateful session layer (the facade crate's `Session`), while
+/// [`Statement::Query`] runs on a bare [`crate::Catalog`] too.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// An ordinary query (optionally `EXPLAIN`-prefixed).
+    Query(Query),
+    /// `CREATE FAMILY <name> [WITH (...)] AS <query>` — stage one + pivot:
+    /// run the query, pivot the result into feature-family frames, register
+    /// them with the RCA engine.
+    CreateFamily(CreateFamily),
+    /// `EXPLAIN FOR <target> [GIVEN ...] [USING SCORER ...] [TOP k]` —
+    /// hypothesis ranking, returned as an ordinary table.
+    ExplainFor(ExplainFor),
+    /// `SHOW FAMILIES` — the registered feature families.
+    ShowFamilies,
+    /// `SHOW TABLES` — the catalog's registered tables.
+    ShowTables,
+    /// `DROP FAMILY <name>` — remove a family (or a whole `CREATE FAMILY`
+    /// group) from the engine.
+    DropFamily {
+        /// Family or group name.
+        name: String,
+    },
+}
+
+/// `CREATE FAMILY` payload: where the stage-one rows come from and how to
+/// pivot them into the Feature Family Table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateFamily {
+    /// The statement name: the family name for single-frame pivots, and
+    /// the *group* name when the pivot yields one frame per family label.
+    pub name: String,
+    /// `WITH (key = value, ...)` options (`layout`, `ts`, `family`,
+    /// `feature`, `value`), validated by the session layer.
+    pub options: Vec<(String, Value)>,
+    /// The stage-one query producing the rows to pivot.
+    pub query: Query,
+}
+
+/// `EXPLAIN FOR` payload: one Algorithm-1 ranking request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainFor {
+    /// Target family (Y).
+    pub target: String,
+    /// Conditioning families (Z) from the `GIVEN` clause.
+    pub given: Vec<String>,
+    /// Scorer name from `USING SCORER` (`auto` when absent).
+    pub scorer: Option<String>,
+    /// `TOP k` result count (engine default when absent).
+    pub top: Option<usize>,
+}
+
 /// A full query: one or more SELECTs combined with UNION ALL, optionally
 /// prefixed with `EXPLAIN`.
 #[derive(Debug, Clone, PartialEq)]

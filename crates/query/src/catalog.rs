@@ -7,17 +7,27 @@
 //! only happens for queries that genuinely read everything (and for the
 //! naive reference executor), and is cached.
 //!
-//! Each binding also carries lazily built **scan dictionaries**
-//! ([`TsdbDicts`]): the distinct metric names and tag maps of the store,
-//! each behind a shared `Arc`, plus a per-series code. Scans emit their
+//! Bindings come in two flavours:
+//!
+//! * [`Catalog::register_tsdb`] — **fixed**: the store is cloned at bind
+//!   time and never changes (the original snapshot contract);
+//! * [`Catalog::register_tsdb_shared`] — **live**: the binding holds a
+//!   [`SharedTsdb`] handle and re-snapshots itself whenever the handle's
+//!   generation counter has advanced, so a long-lived session sees fresh
+//!   ingests without re-binding. Two names bound to the same handle share
+//!   one snapshot (and therefore one dictionary set) per generation.
+//!
+//! Each snapshot carries lazily built **scan dictionaries** ([`TsdbDicts`]):
+//! the distinct metric names and tag maps of the store, each behind a
+//! shared `Arc`, plus a per-series code. Scans emit their
 //! `metric_name`/`tag` columns as [`crate::column::Column::Dict`] code
 //! vectors over these dictionaries, so a scan allocates no per-row strings
 //! or tag-map clones no matter how many rows it returns.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use explainit_tsdb::Tsdb;
+use explainit_tsdb::{SharedTsdb, Tsdb};
 
 use crate::ast::Query;
 use crate::exec::{execute, execute_with, ExecOptions};
@@ -64,12 +74,56 @@ impl TsdbDicts {
     }
 }
 
-/// One registered table: plain rows, or a bound TSDB with a lazily
-/// materialized relational view and lazily built scan dictionaries.
+/// One generation's snapshot of a bound store, with its lazily built
+/// materialized view and scan dictionaries. Cheap to share: bindings of
+/// the same [`SharedTsdb`] at the same generation hold the same `Arc`.
+#[derive(Debug)]
+pub(crate) struct TsdbBinding {
+    db: Tsdb,
+    generation: u64,
+    cache: OnceLock<Arc<Table>>,
+    dicts: OnceLock<TsdbDicts>,
+}
+
+impl TsdbBinding {
+    fn at(db: Tsdb, generation: u64) -> Arc<TsdbBinding> {
+        Arc::new(TsdbBinding { db, generation, cache: OnceLock::new(), dicts: OnceLock::new() })
+    }
+
+    fn snapshot(handle: &SharedTsdb) -> Arc<TsdbBinding> {
+        let (generation, db) = handle.snapshot();
+        TsdbBinding::at(db, generation)
+    }
+
+    /// The bound store snapshot.
+    pub(crate) fn db(&self) -> &Tsdb {
+        &self.db
+    }
+
+    /// The scan dictionaries (built on first use).
+    pub(crate) fn dicts(&self) -> &TsdbDicts {
+        self.dicts.get_or_init(|| TsdbDicts::build(&self.db))
+    }
+
+    /// The materialized relational view (built on first use) — the
+    /// pushdown path in the executor avoids this entirely.
+    pub(crate) fn table(&self) -> Arc<Table> {
+        self.cache.get_or_init(|| Arc::new(table_from_tsdb(&self.db))).clone()
+    }
+}
+
+/// One registered table: plain rows, or a bound TSDB. Live TSDB bindings
+/// keep the shared handle and swap in a fresh snapshot when its
+/// generation moves.
 #[derive(Debug)]
 enum Source {
-    Mem(Table),
-    Tsdb { db: Tsdb, cache: OnceLock<Table>, dicts: OnceLock<TsdbDicts> },
+    Mem(Arc<Table>),
+    Tsdb {
+        /// `Some` for live bindings; `None` for fixed snapshot binds.
+        shared: Option<SharedTsdb>,
+        /// The current snapshot (refreshed on access for live bindings).
+        bound: Mutex<Arc<TsdbBinding>>,
+    },
 }
 
 /// A catalog of named tables that SQL queries run against.
@@ -86,45 +140,90 @@ impl Catalog {
 
     /// Registers (or replaces) a table under a case-insensitive name.
     pub fn register(&mut self, name: &str, table: Table) {
-        self.tables.insert(name.to_lowercase(), Source::Mem(table));
+        self.tables.insert(name.to_lowercase(), Source::Mem(Arc::new(table)));
+    }
+
+    /// Removes a registered table or binding. Returns true if it existed.
+    pub fn deregister(&mut self, name: &str) -> bool {
+        self.tables.remove(&name.to_lowercase()).is_some()
     }
 
     /// Binds a TSDB as a relational table (default name `tsdb`) with the
     /// paper's observation schema: `timestamp, metric_name, tag, value`.
     ///
     /// The store is snapshotted at bind time (re-bind after ingesting more
-    /// data) but *not* materialized: filtered queries scan through the tag
-    /// index via predicate pushdown.
+    /// data, or use [`Catalog::register_tsdb_shared`] for a live binding)
+    /// but *not* materialized: filtered queries scan through the tag index
+    /// via predicate pushdown.
     pub fn register_tsdb(&mut self, name: &str, db: &Tsdb) {
         self.tables.insert(
             name.to_lowercase(),
-            Source::Tsdb { db: db.clone(), cache: OnceLock::new(), dicts: OnceLock::new() },
+            Source::Tsdb { shared: None, bound: Mutex::new(TsdbBinding::at(db.clone(), 0)) },
         );
     }
 
+    /// Binds a [`SharedTsdb`] as a live relational table: queries always
+    /// run against the handle's current generation, re-snapshotting (and
+    /// rebuilding dictionaries) only when an ingest actually happened.
+    pub fn register_tsdb_shared(&mut self, name: &str, handle: &SharedTsdb) {
+        let bound =
+            self.current_binding_of(handle).unwrap_or_else(|| TsdbBinding::snapshot(handle));
+        self.tables.insert(
+            name.to_lowercase(),
+            Source::Tsdb { shared: Some(handle.clone()), bound: Mutex::new(bound) },
+        );
+    }
+
+    /// An up-to-date binding some *other* registration already holds for
+    /// the same store, so same-store bindings share snapshots and
+    /// dictionaries instead of cloning per name.
+    fn current_binding_of(&self, handle: &SharedTsdb) -> Option<Arc<TsdbBinding>> {
+        let generation = handle.generation();
+        self.tables.values().find_map(|source| match source {
+            Source::Tsdb { shared: Some(peer), bound } if peer.same_store(handle) => {
+                // try_lock: a peer mid-refresh on another thread is simply
+                // skipped; we fall back to snapshotting ourselves.
+                let peer_bound = bound.try_lock().ok()?;
+                (peer_bound.generation == generation).then(|| peer_bound.clone())
+            }
+            _ => None,
+        })
+    }
+
+    /// The current snapshot behind a TSDB binding, refreshed first if the
+    /// shared handle has advanced.
+    pub(crate) fn tsdb_binding(&self, name: &str) -> Option<Arc<TsdbBinding>> {
+        let Source::Tsdb { shared, bound } = self.tables.get(&name.to_lowercase())? else {
+            return None;
+        };
+        let current = bound.lock().expect("binding lock").clone();
+        let Some(handle) = shared else {
+            return Some(current);
+        };
+        if current.generation == handle.generation() {
+            return Some(current);
+        }
+        // Stale: reuse a same-store peer's fresh snapshot if one exists,
+        // else take our own, then publish it (last writer wins — the
+        // refresh is idempotent for one generation).
+        let fresh =
+            self.current_binding_of(handle).unwrap_or_else(|| TsdbBinding::snapshot(handle));
+        *bound.lock().expect("binding lock") = fresh.clone();
+        Some(fresh)
+    }
+
+    /// True when `name` is a TSDB binding (fixed or live).
+    pub fn is_tsdb(&self, name: &str) -> bool {
+        matches!(self.tables.get(&name.to_lowercase()), Some(Source::Tsdb { .. }))
+    }
+
     /// Looks a table up (case-insensitive). For a TSDB binding this
-    /// materializes (and caches) the full relational view — the pushdown
-    /// path in the executor avoids this entirely.
-    pub fn get(&self, name: &str) -> Option<&Table> {
+    /// materializes (and caches, per generation) the full relational view —
+    /// the pushdown path in the executor avoids this entirely.
+    pub fn get(&self, name: &str) -> Option<Arc<Table>> {
         match self.tables.get(&name.to_lowercase())? {
-            Source::Mem(t) => Some(t),
-            Source::Tsdb { db, cache, .. } => Some(cache.get_or_init(|| table_from_tsdb(db))),
-        }
-    }
-
-    /// The live TSDB behind a binding, if `name` is one.
-    pub fn tsdb_source(&self, name: &str) -> Option<&Tsdb> {
-        match self.tables.get(&name.to_lowercase())? {
-            Source::Tsdb { db, .. } => Some(db),
-            Source::Mem(_) => None,
-        }
-    }
-
-    /// The scan dictionaries of a TSDB binding (built on first use).
-    pub(crate) fn tsdb_dicts(&self, name: &str) -> Option<&TsdbDicts> {
-        match self.tables.get(&name.to_lowercase())? {
-            Source::Tsdb { db, dicts, .. } => Some(dicts.get_or_init(|| TsdbDicts::build(db))),
-            Source::Mem(_) => None,
+            Source::Mem(t) => Some(t.clone()),
+            Source::Tsdb { .. } => Some(self.tsdb_binding(name)?.table()),
         }
     }
 
@@ -276,13 +375,25 @@ mod tests {
     }
 
     #[test]
-    fn tsdb_source_exposed_for_pushdown() {
+    fn tsdb_binding_exposed_for_pushdown() {
         let mut c = Catalog::new();
         c.register_tsdb("tsdb", &db());
-        assert!(c.tsdb_source("tsdb").is_some());
-        assert!(c.tsdb_source("nope").is_none());
+        assert!(c.is_tsdb("tsdb"));
+        assert!(c.tsdb_binding("tsdb").is_some());
+        assert!(!c.is_tsdb("nope"));
+        assert!(c.tsdb_binding("nope").is_none());
         c.register("plain", Table::empty(&["x"]));
-        assert!(c.tsdb_source("plain").is_none());
+        assert!(!c.is_tsdb("plain"));
+        assert!(c.tsdb_binding("plain").is_none());
+    }
+
+    #[test]
+    fn deregister_removes_tables() {
+        let mut c = Catalog::new();
+        c.register("t", Table::empty(&["x"]));
+        assert!(c.deregister("T"));
+        assert!(!c.deregister("t"));
+        assert!(c.get("t").is_none());
     }
 
     #[test]
@@ -291,6 +402,61 @@ mod tests {
         c.register_tsdb("tsdb", &db());
         let s = c.schema_of("tsdb").unwrap();
         assert_eq!(s.columns(), &["timestamp", "metric_name", "tag", "value"]);
+    }
+
+    #[test]
+    fn fixed_binding_stays_a_snapshot() {
+        let mut live = db();
+        let mut c = Catalog::new();
+        c.register_tsdb("tsdb", &live);
+        live.insert(&SeriesKey::new("cpu").with_tag("host", "web-3"), 0, 7.0);
+        let t = c.execute("SELECT COUNT(*) FROM tsdb").unwrap();
+        assert_eq!(t.rows()[0][0], Value::Int(9)); // the late insert is invisible
+    }
+
+    #[test]
+    fn shared_binding_sees_fresh_ingests() {
+        let shared = SharedTsdb::new(db());
+        let mut c = Catalog::new();
+        c.register_tsdb_shared("tsdb", &shared);
+        let count =
+            |c: &Catalog| c.execute("SELECT COUNT(*) FROM tsdb").unwrap().rows()[0][0].clone();
+        assert_eq!(count(&c), Value::Int(9));
+        shared.insert(&SeriesKey::new("cpu").with_tag("host", "web-3"), 0, 7.0);
+        assert_eq!(count(&c), Value::Int(10)); // no re-bind needed
+                                               // The new series also reaches the dictionary-encoded pushdown path.
+        let t = c.execute("SELECT value FROM tsdb WHERE tag['host'] = 'web-3'").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows()[0][0], Value::Float(7.0));
+    }
+
+    #[test]
+    fn shared_binding_refreshes_only_on_generation_change() {
+        let shared = SharedTsdb::new(db());
+        let mut c = Catalog::new();
+        c.register_tsdb_shared("tsdb", &shared);
+        let first = c.tsdb_binding("tsdb").unwrap();
+        let again = c.tsdb_binding("tsdb").unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "no ingest, same snapshot");
+        shared.insert(&SeriesKey::new("cpu").with_tag("host", "web-9"), 0, 1.0);
+        let refreshed = c.tsdb_binding("tsdb").unwrap();
+        assert!(!Arc::ptr_eq(&first, &refreshed), "ingest forces a new snapshot");
+    }
+
+    #[test]
+    fn same_store_bindings_share_one_snapshot() {
+        let shared = SharedTsdb::new(db());
+        let mut c = Catalog::new();
+        c.register_tsdb_shared("tsdb", &shared);
+        c.register_tsdb_shared("mirror", &shared);
+        let a = c.tsdb_binding("tsdb").unwrap();
+        let b = c.tsdb_binding("mirror").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same handle, same generation, one snapshot");
+        shared.insert(&SeriesKey::new("cpu").with_tag("host", "web-9"), 0, 1.0);
+        let a2 = c.tsdb_binding("tsdb").unwrap();
+        let b2 = c.tsdb_binding("mirror").unwrap();
+        assert!(Arc::ptr_eq(&a2, &b2), "refresh is shared too");
+        assert!(!Arc::ptr_eq(&a, &a2));
     }
 
     #[test]

@@ -25,12 +25,12 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use explainit_tsdb::{MetricFilter, TimeRange};
 
 use crate::ast::{Expr, JoinKind, Query};
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, TsdbBinding};
 use crate::column::Column;
 use crate::eval::{eval_group, eval_row, eval_with_rows};
 use crate::functions::{is_aggregate, AggAcc};
@@ -60,6 +60,42 @@ pub struct ExecOptions {
 /// never dominates small queries.
 const MIN_PARTITION_ROWS: usize = 4096;
 
+/// One query execution's view of the catalog. Live TSDB bindings are
+/// **pinned on first touch**: every scan node of one statement reads the
+/// same store generation, even while ingesters advance a
+/// [`explainit_tsdb::SharedTsdb`] mid-query — a self-join or UNION never
+/// straddles two snapshots.
+struct ExecCtx<'a> {
+    catalog: &'a Catalog,
+    pinned: Mutex<HashMap<String, Arc<TsdbBinding>>>,
+}
+
+impl<'a> ExecCtx<'a> {
+    fn new(catalog: &'a Catalog) -> ExecCtx<'a> {
+        ExecCtx { catalog, pinned: Mutex::new(HashMap::new()) }
+    }
+
+    /// The pinned binding for a TSDB table (resolved once per execution).
+    fn binding(&self, name: &str) -> Option<Arc<TsdbBinding>> {
+        let key = name.to_lowercase();
+        if let Some(b) = self.pinned.lock().expect("pin lock").get(&key) {
+            return Some(b.clone());
+        }
+        let binding = self.catalog.tsdb_binding(name)?;
+        self.pinned.lock().expect("pin lock").entry(key).or_insert(binding.clone());
+        Some(binding)
+    }
+
+    /// A table by name, routing TSDB bindings through the pinned snapshot.
+    fn table(&self, name: &str) -> Option<Arc<Table>> {
+        if self.catalog.is_tsdb(name) {
+            Some(self.binding(name)?.table())
+        } else {
+            self.catalog.get(name)
+        }
+    }
+}
+
 /// Executes a parsed query against a catalog through the
 /// plan → optimize → columnar-execute pipeline with default options.
 pub fn execute(catalog: &Catalog, query: &Query) -> Result<Table> {
@@ -75,7 +111,7 @@ pub fn execute_with(catalog: &Catalog, query: &Query, opts: ExecOptions) -> Resu
         let lines: Vec<Vec<Value>> = text.lines().map(|l| vec![Value::str(l)]).collect();
         return Ok(Table::from_rows(&["plan"], lines));
     }
-    run_with(catalog, &plan, &opts)
+    run_plan(&ExecCtx::new(catalog), &plan, &opts)
 }
 
 /// Runs an (optimized) plan.
@@ -84,27 +120,27 @@ pub fn execute_with(catalog: &Catalog, query: &Query, opts: ExecOptions) -> Resu
 /// columns; the enclosing Sort (always directly above, by construction)
 /// consumes and drops them, and the planner emits hidden keys only when a
 /// Sort exists.
-pub fn run_with(catalog: &Catalog, plan: &LogicalPlan, opts: &ExecOptions) -> Result<Table> {
+fn run_plan(ctx: &ExecCtx, plan: &LogicalPlan, opts: &ExecOptions) -> Result<Table> {
     match plan {
         LogicalPlan::Scan { table } => {
-            let t = catalog.get(table).ok_or_else(|| QueryError::UnknownTable(table.clone()))?;
-            Ok(t.clone())
+            let t = ctx.table(table).ok_or_else(|| QueryError::UnknownTable(table.clone()))?;
+            Ok(t.as_ref().clone())
         }
 
         LogicalPlan::TsdbScan { table, name, tags, start, end, columns } => {
-            run_tsdb_scan(catalog, table, name, tags, *start, *end, columns)
+            run_tsdb_scan(ctx, table, name, tags, *start, *end, columns)
         }
 
         LogicalPlan::Unit => Ok(Table::unit(1)),
 
         LogicalPlan::Alias { input, alias } => {
-            let t = run_with(catalog, input, opts)?;
+            let t = run_plan(ctx, input, opts)?;
             let schema = t.schema().qualified(alias);
             Ok(t.with_schema(schema))
         }
 
         LogicalPlan::Filter { input, predicate } => {
-            let t = run_with(catalog, input, opts)?;
+            let t = run_plan(ctx, input, opts)?;
             if t.is_empty() {
                 // Per-row semantics: an empty input never evaluates the
                 // predicate (so e.g. ambiguous references cannot error),
@@ -128,25 +164,25 @@ pub fn run_with(catalog: &Catalog, plan: &LogicalPlan, opts: &ExecOptions) -> Re
         }
 
         LogicalPlan::Project { input, items, hidden } => {
-            let t = run_with(catalog, input, opts)?;
+            let t = run_plan(ctx, input, opts)?;
             run_project(&t, items, hidden)
         }
 
         LogicalPlan::Aggregate { input, group_by, items, hidden } => {
-            let t = run_with(catalog, input, opts)?;
+            let t = run_plan(ctx, input, opts)?;
             run_aggregate(&t, group_by, items, hidden)
         }
 
         LogicalPlan::Join { left, right, kind, on } => {
-            let l = run_with(catalog, left, opts)?;
-            let r = run_with(catalog, right, opts)?;
+            let l = run_plan(ctx, left, opts)?;
+            let r = run_plan(ctx, right, opts)?;
             run_join(l, r, *kind, on)
         }
 
-        LogicalPlan::Exchange { input } => run_exchange(catalog, input, opts),
+        LogicalPlan::Exchange { input } => run_exchange(ctx, input, opts),
 
         LogicalPlan::Sort { input, keys, output_width } => {
-            let t = run_with(catalog, input, opts)?;
+            let t = run_plan(ctx, input, opts)?;
             // Materialize key values once: Column::get clones (allocating
             // for strings), which must not happen per comparison.
             let key_vals: Vec<(Vec<Value>, bool)> = keys
@@ -175,7 +211,7 @@ pub fn run_with(catalog: &Catalog, plan: &LogicalPlan, opts: &ExecOptions) -> Re
         }
 
         LogicalPlan::Limit { input, n } => {
-            let t = run_with(catalog, input, opts)?;
+            let t = run_plan(ctx, input, opts)?;
             Ok(t.truncated(*n))
         }
 
@@ -186,10 +222,10 @@ pub fn run_with(catalog: &Catalog, plan: &LogicalPlan, opts: &ExecOptions) -> Re
             // output and later branches match by position. Arity mismatch
             // errors name both schemas; Int/Float mixes coerce to Float.
             let mut parts = inputs.iter();
-            let first = run_with(catalog, parts.next().expect("union has inputs"), opts)?;
+            let first = run_plan(ctx, parts.next().expect("union has inputs"), opts)?;
             let (schema, mut cols, mut len) = first.into_columnar_parts();
             for p in parts {
-                let part = run_with(catalog, p, opts)?;
+                let part = run_plan(ctx, p, opts)?;
                 if part.schema().len() != schema.len() {
                     return Err(QueryError::Plan(format!(
                         "UNION arity mismatch: [{}] has {} columns, [{}] has {}",
@@ -216,7 +252,7 @@ pub fn run_with(catalog: &Catalog, plan: &LogicalPlan, opts: &ExecOptions) -> Re
 
 #[allow(clippy::too_many_arguments)]
 fn run_tsdb_scan(
-    catalog: &Catalog,
+    ctx: &ExecCtx,
     table: &str,
     name: &Option<String>,
     tags: &[explainit_tsdb::TagFilter],
@@ -224,12 +260,12 @@ fn run_tsdb_scan(
     end: Option<i64>,
     columns: &Option<Vec<usize>>,
 ) -> Result<Table> {
-    let db =
-        catalog.tsdb_source(table).ok_or_else(|| QueryError::UnknownTable(table.to_string()))?;
-    // Per-binding dictionaries, built once: metric_name and tag columns are
+    let binding = ctx.binding(table).ok_or_else(|| QueryError::UnknownTable(table.to_string()))?;
+    let db = binding.db();
+    // Per-snapshot dictionaries, built once: metric_name and tag columns are
     // emitted as code vectors over shared Arc dictionaries instead of
     // cloning a String / tag map per row.
-    let dicts = catalog.tsdb_dicts(table).expect("tsdb binding has dictionaries");
+    let dicts = binding.dicts();
     let wanted: Vec<usize> = match columns {
         Some(c) => c.clone(),
         None => (0..TSDB_COLUMNS.len()).collect(),
@@ -588,21 +624,21 @@ fn run_partitioned<T: Send>(
 }
 
 /// Executes an [`LogicalPlan::Exchange`]-marked pipeline morsel-parallel.
-fn run_exchange(catalog: &Catalog, input: &LogicalPlan, opts: &ExecOptions) -> Result<Table> {
+fn run_exchange(ctx: &ExecCtx, input: &LogicalPlan, opts: &ExecOptions) -> Result<Table> {
     match input {
         LogicalPlan::Aggregate { input, group_by, items, hidden } => {
             let (filters, source) = peel_filters(input);
-            let src = run_with(catalog, source, opts)?;
+            let src = run_plan(ctx, source, opts)?;
             run_parallel_aggregate(&src, &filters, group_by, items, hidden, opts)
         }
         LogicalPlan::Project { input, items, hidden } => {
             let (filters, source) = peel_filters(input);
-            let src = run_with(catalog, source, opts)?;
+            let src = run_plan(ctx, source, opts)?;
             run_parallel_project(&src, &filters, items, hidden, opts)
         }
         // The optimizer only marks Aggregate/Project pipelines; anything
         // else runs serially.
-        other => run_with(catalog, other, opts),
+        other => run_plan(ctx, other, opts),
     }
 }
 
@@ -955,6 +991,27 @@ mod tests {
     fn run(sql: &str) -> Table {
         let c = catalog();
         execute(&c, &parse_query(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn exec_ctx_pins_live_bindings_for_one_execution() {
+        use explainit_tsdb::{SeriesKey, SharedTsdb, Tsdb};
+        let mut db = Tsdb::new();
+        db.insert(&SeriesKey::new("m").with_tag("host", "a"), 0, 1.0);
+        let shared = SharedTsdb::new(db);
+        let mut c = Catalog::new();
+        c.register_tsdb_shared("tsdb", &shared);
+        let ctx = ExecCtx::new(&c);
+        let first = ctx.binding("tsdb").unwrap();
+        // An ingest mid-execution must not change what this execution sees:
+        // a self-join's second scan reads the same pinned snapshot.
+        shared.insert(&SeriesKey::new("m").with_tag("host", "b"), 0, 2.0);
+        let second = ctx.binding("tsdb").unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "binding pinned per execution");
+        // A *new* execution picks up the fresh generation.
+        let fresh = ExecCtx::new(&c).binding("tsdb").unwrap();
+        assert!(!Arc::ptr_eq(&first, &fresh));
+        assert_eq!(fresh.db().series_count(), 2);
     }
 
     /// Runs with forced multi-partition execution.

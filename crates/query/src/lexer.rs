@@ -26,6 +26,8 @@ pub enum Token {
     RBracket,
     /// `,`
     Comma,
+    /// `;` — statement separator in scripts.
+    Semicolon,
     /// `.`
     Dot,
     /// `*`
@@ -92,6 +94,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             ',' => {
                 tokens.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
                 i += 1;
             }
             '.' => {
@@ -318,7 +324,13 @@ mod tests {
 
     #[test]
     fn bad_character_errors() {
-        assert!(matches!(tokenize("a ; b"), Err(QueryError::Lex { .. })));
+        assert!(matches!(tokenize("a @ b"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn semicolon_is_a_token() {
+        let t = tokenize("SELECT 1; SELECT 2").unwrap();
+        assert_eq!(t[2], Token::Semicolon);
     }
 
     #[test]

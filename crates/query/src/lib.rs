@@ -69,9 +69,29 @@
 //! * map access `tag['host']` against the TSDB virtual table;
 //! * `EXPLAIN <query>`.
 //!
-//! The entry point is [`Catalog`]: register tables (or bind a
-//! [`explainit_tsdb::Tsdb`] as the `tsdb` virtual table) and call
-//! [`Catalog::execute`].
+//! **Statements and scripts** ([`parse_statement`] / [`parse_script`]):
+//! beyond plain queries, the parser understands the paper's declarative
+//! RCA statements, separated by `;` in scripts:
+//!
+//! * `CREATE FAMILY <name> [WITH (layout = 'wide'|'long', ts = ..,
+//!   family = .., feature = .., value = ..)] AS <query>` — stage one +
+//!   pivot into the Feature Family Table;
+//! * `EXPLAIN FOR <target> [GIVEN <fam>, ...] [USING SCORER <name>]
+//!   [TOP <k>]` — hypothesis ranking (distinct from the `EXPLAIN <query>`
+//!   plan dump via one token of lookahead);
+//! * `SHOW FAMILIES`, `SHOW TABLES`, `DROP FAMILY <name>`.
+//!
+//! The statement keywords are recognised positionally, never reserved:
+//! `family`, `top`, `scorer`, `create`, ... all remain valid identifiers
+//! and aliases inside ordinary queries. This crate only *parses* the RCA
+//! statements (and executes plain queries); the stateful executor that
+//! pairs them with the ranking engine is the facade crate's `Session`.
+//!
+//! The query entry point is [`Catalog`]: register tables (or bind a
+//! [`explainit_tsdb::Tsdb`] as the `tsdb` virtual table — or a
+//! [`explainit_tsdb::SharedTsdb`] via [`Catalog::register_tsdb_shared`]
+//! for a live binding that tracks ingests through its generation counter)
+//! and call [`Catalog::execute`].
 //!
 //! ```
 //! use explainit_query::{Catalog, Table, Value};
@@ -107,15 +127,16 @@ mod value;
 mod veval;
 
 pub use ast::{
-    BinaryOp, Expr, JoinKind, OrderKey, Query, SelectItem, SelectStmt, TableRef, UnaryOp,
+    BinaryOp, CreateFamily, ExplainFor, Expr, JoinKind, OrderKey, Query, SelectItem, SelectStmt,
+    Statement, TableRef, UnaryOp,
 };
 pub use catalog::Catalog;
 pub use column::Column;
 pub use error::QueryError;
 pub use exec::ExecOptions;
 pub use lexer::{tokenize, Token};
-pub use parser::parse_query;
-pub use pivot::{pivot_long, pivot_wide, FamilyFrame};
+pub use parser::{parse_query, parse_script, parse_statement};
+pub use pivot::{pivot_long, pivot_one, pivot_wide, FamilyFrame};
 pub use plan::LogicalPlan;
 pub use table::{Schema, Table};
 pub use value::Value;

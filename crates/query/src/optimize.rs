@@ -205,16 +205,14 @@ pub fn fold_expr(expr: Expr) -> Expr {
 
 fn convert_tsdb_scans(plan: LogicalPlan, catalog: &Catalog) -> LogicalPlan {
     map_plan(plan, &|node| match node {
-        LogicalPlan::Scan { table } if catalog.tsdb_source(&table).is_some() => {
-            LogicalPlan::TsdbScan {
-                table,
-                name: None,
-                tags: Vec::new(),
-                start: None,
-                end: None,
-                columns: None,
-            }
-        }
+        LogicalPlan::Scan { table } if catalog.is_tsdb(&table) => LogicalPlan::TsdbScan {
+            table,
+            name: None,
+            tags: Vec::new(),
+            start: None,
+            end: None,
+            columns: None,
+        },
         other => other,
     })
 }

@@ -1,8 +1,8 @@
 //! Recursive-descent parser for the SQL subset.
 
 use crate::ast::{
-    BinaryOp, Expr, JoinClause, JoinKind, OrderKey, Query, SelectItem, SelectStmt, TableRef,
-    UnaryOp,
+    BinaryOp, CreateFamily, ExplainFor, Expr, JoinClause, JoinKind, OrderKey, Query, SelectItem,
+    SelectStmt, Statement, TableRef, UnaryOp,
 };
 use crate::lexer::{tokenize, Token};
 use crate::value::Value;
@@ -31,6 +31,60 @@ pub fn parse_query(sql: &str) -> Result<Query> {
         )));
     }
     Ok(q)
+}
+
+/// Parses exactly one [`Statement`] (a trailing `;` is allowed; anything
+/// beyond it is rejected).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let mut statements = parse_script(sql)?;
+    match statements.len() {
+        1 => Ok(statements.pop().expect("length checked")),
+        0 => Err(QueryError::Parse("empty statement".into())),
+        n => Err(QueryError::Parse(format!("expected one statement, found {n}"))),
+    }
+}
+
+/// Parses a `;`-separated script into its statements. Empty statements
+/// (stray or trailing semicolons) are skipped; parse errors name the
+/// 1-based statement they occurred in.
+///
+/// The RCA statement keywords (`CREATE`, `FAMILY`, `FOR`, `GIVEN`,
+/// `USING`, `SCORER`, `TOP`, `SHOW`, `DROP`, `WITH`, ...) are recognised
+/// *positionally*, not reserved: inside ordinary queries they all remain
+/// usable as table names, column names and aliases.
+pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_token(&Token::Semicolon) {}
+        if p.peek().is_none() {
+            break;
+        }
+        let idx = out.len() + 1;
+        out.push(p.statement().map_err(|e| at_statement(idx, e))?);
+        if p.peek().is_none() {
+            break;
+        }
+        if !p.eat_token(&Token::Semicolon) {
+            return Err(at_statement(
+                idx,
+                QueryError::Parse(format!(
+                    "unexpected trailing input at token {:?} (statements are separated by ';')",
+                    p.peek()
+                )),
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Labels a parse error with the 1-based statement index of a script.
+fn at_statement(idx: usize, e: QueryError) -> QueryError {
+    match e {
+        QueryError::Parse(m) => QueryError::Parse(format!("statement {idx}: {m}")),
+        other => other,
+    }
 }
 
 struct Parser {
@@ -98,6 +152,115 @@ impl Parser {
             Some(Token::Ident(s)) => Ok(s),
             other => Err(QueryError::Parse(format!("expected identifier, found {other:?}"))),
         }
+    }
+
+    /// True when the next two tokens are the given keywords — the
+    /// two-token lookahead that keeps every statement keyword usable as a
+    /// plain identifier elsewhere.
+    fn peek_kws(&self, first: &str, second: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(first)) && self.peek2().is_some_and(|t| t.is_kw(second))
+    }
+
+    /// A family / scorer name: a bare identifier, or a string literal for
+    /// names that are not valid identifiers (`'disk{host=a}'`).
+    fn object_name(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(Token::StringLit(s)) => Ok(s),
+            other => Err(QueryError::Parse(format!("expected a name, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.peek_kws("CREATE", "FAMILY") {
+            self.pos += 2;
+            return self.create_family();
+        }
+        if self.peek_kws("DROP", "FAMILY") {
+            self.pos += 2;
+            return Ok(Statement::DropFamily { name: self.object_name()? });
+        }
+        if self.peek_kws("SHOW", "FAMILIES") {
+            self.pos += 2;
+            return Ok(Statement::ShowFamilies);
+        }
+        if self.peek_kws("SHOW", "TABLES") {
+            self.pos += 2;
+            return Ok(Statement::ShowTables);
+        }
+        if self.peek_kws("EXPLAIN", "FOR") {
+            self.pos += 2;
+            return self.explain_for();
+        }
+        // Anything else is an ordinary (possibly EXPLAIN-prefixed) query.
+        let explain = self.eat_kw("EXPLAIN");
+        let mut q = self.query()?;
+        q.explain = explain;
+        Ok(Statement::Query(q))
+    }
+
+    /// `CREATE FAMILY <name> [WITH (k = v, ...)] AS <query>` (the leading
+    /// keywords are already consumed).
+    fn create_family(&mut self) -> Result<Statement> {
+        let name = self.object_name()?;
+        let mut options = Vec::new();
+        if self.eat_kw("WITH") {
+            self.expect_token(&Token::LParen)?;
+            loop {
+                let key = self.ident()?.to_lowercase();
+                self.expect_token(&Token::Eq)?;
+                let value = match self.advance() {
+                    Some(Token::StringLit(s)) | Some(Token::Ident(s)) => Value::Str(s),
+                    Some(Token::IntLit(n)) => Value::Int(n),
+                    Some(Token::FloatLit(f)) => Value::Float(f),
+                    other => {
+                        return Err(QueryError::Parse(format!(
+                            "expected an option value after {key} =, found {other:?}"
+                        )))
+                    }
+                };
+                options.push((key, value));
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(&Token::RParen)?;
+        }
+        self.expect_kw("AS")?;
+        let query = self.query()?;
+        Ok(Statement::CreateFamily(CreateFamily { name, options, query }))
+    }
+
+    /// `EXPLAIN FOR <target> [GIVEN a, b] [USING SCORER s] [TOP k]` (the
+    /// leading keywords are already consumed).
+    fn explain_for(&mut self) -> Result<Statement> {
+        let target = self.object_name()?;
+        let mut given = Vec::new();
+        if self.eat_kw("GIVEN") {
+            given.push(self.object_name()?);
+            while self.eat_token(&Token::Comma) {
+                given.push(self.object_name()?);
+            }
+        }
+        let scorer = if self.eat_kw("USING") {
+            self.expect_kw("SCORER")?;
+            Some(self.object_name()?)
+        } else {
+            None
+        };
+        let top = if self.eat_kw("TOP") {
+            match self.advance() {
+                Some(Token::IntLit(n)) if n > 0 => Some(n as usize),
+                other => {
+                    return Err(QueryError::Parse(format!(
+                        "TOP expects a positive integer, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Statement::ExplainFor(ExplainFor { target, given, scorer, top }))
     }
 
     fn query(&mut self) -> Result<Query> {
@@ -644,6 +807,140 @@ mod tests {
                    GROUP BY timestamp, tag['pipeline_name'] ORDER BY timestamp ASC";
         let q = parse_query(sql).unwrap();
         assert_eq!(q.selects[0].group_by.len(), 2);
+    }
+
+    #[test]
+    fn create_family_with_options() {
+        let s = parse_statement(
+            "CREATE FAMILY disk WITH (layout = 'long', ts = 'timestamp', family = metric_name) \
+             AS SELECT timestamp, metric_name, tag, value FROM tsdb",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateFamily(cf) => {
+                assert_eq!(cf.name, "disk");
+                assert_eq!(cf.options.len(), 3);
+                assert_eq!(cf.options[0], ("layout".to_string(), Value::str("long")));
+                // Bare identifiers are accepted as option values.
+                assert_eq!(cf.options[2], ("family".to_string(), Value::str("metric_name")));
+                assert_eq!(cf.query.selects.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_family_without_options() {
+        let s = parse_statement(
+            "CREATE FAMILY runtime AS SELECT timestamp, AVG(value) v FROM tsdb GROUP BY timestamp",
+        )
+        .unwrap();
+        assert!(matches!(s, Statement::CreateFamily(cf) if cf.options.is_empty()));
+    }
+
+    #[test]
+    fn explain_for_full_clause_stack() {
+        let s = parse_statement(
+            "EXPLAIN FOR pipeline_runtime GIVEN load, 'disk{host=a}' USING SCORER l2 TOP 5",
+        )
+        .unwrap();
+        match s {
+            Statement::ExplainFor(e) => {
+                assert_eq!(e.target, "pipeline_runtime");
+                assert_eq!(e.given, vec!["load", "disk{host=a}"]);
+                assert_eq!(e.scorer.as_deref(), Some("l2"));
+                assert_eq!(e.top, Some(5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_for_minimal() {
+        let s = parse_statement("EXPLAIN FOR runtime").unwrap();
+        match s {
+            Statement::ExplainFor(e) => {
+                assert!(e.given.is_empty() && e.scorer.is_none() && e.top.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_statement("EXPLAIN FOR runtime TOP 0").is_err());
+    }
+
+    #[test]
+    fn explain_for_and_explain_query_coexist() {
+        // A leading EXPLAIN still marks an ordinary query for plan dumping;
+        // only the FOR lookahead selects the ranking statement.
+        let s = parse_statement("EXPLAIN SELECT a FROM t").unwrap();
+        assert!(matches!(s, Statement::Query(q) if q.explain));
+        let s = parse_statement("EXPLAIN FOR t").unwrap();
+        assert!(matches!(s, Statement::ExplainFor(_)));
+    }
+
+    #[test]
+    fn show_and_drop_statements() {
+        assert_eq!(parse_statement("SHOW FAMILIES").unwrap(), Statement::ShowFamilies);
+        assert_eq!(parse_statement("show tables;").unwrap(), Statement::ShowTables);
+        assert!(matches!(
+            parse_statement("DROP FAMILY 'disk io'").unwrap(),
+            Statement::DropFamily { name } if name == "disk io"
+        ));
+    }
+
+    #[test]
+    fn script_splits_on_semicolons() {
+        let script = parse_script(
+            "CREATE FAMILY f AS SELECT ts, v FROM t;;\n\
+             -- a comment between statements\n\
+             EXPLAIN FOR f TOP 3;\n\
+             SELECT * FROM ranking;",
+        )
+        .unwrap();
+        assert_eq!(script.len(), 3);
+        assert!(matches!(script[0], Statement::CreateFamily(_)));
+        assert!(matches!(script[1], Statement::ExplainFor(_)));
+        assert!(matches!(script[2], Statement::Query(_)));
+        assert!(parse_script("  ;; ;").unwrap().is_empty());
+    }
+
+    #[test]
+    fn script_errors_name_the_statement() {
+        let err = parse_script("SELECT 1; SELECT; SELECT 2").unwrap_err();
+        assert!(err.to_string().contains("statement 2"), "got: {err}");
+        // Missing separator between statements is rejected, not ignored.
+        let err = parse_script("SELECT 1 SELECT 2").unwrap_err();
+        assert!(err.to_string().contains("';'"), "got: {err}");
+        // parse_statement rejects multi-statement input.
+        assert!(parse_statement("SELECT 1; SELECT 2").is_err());
+        assert!(parse_statement("   ;  ").is_err());
+    }
+
+    #[test]
+    fn statement_keywords_stay_plain_identifiers_in_queries() {
+        // Every new keyword works as a table name, column name or alias —
+        // they are recognised positionally, never reserved.
+        let q = parse_query(
+            "SELECT family, top, given scorer, tables FROM create \
+             JOIN drop ON create.family = drop.family WHERE show = 1",
+        )
+        .unwrap();
+        assert_eq!(q.selects[0].items.len(), 4);
+        match &q.selects[0].items[2] {
+            SelectItem::Expr { alias: Some(a), .. } => assert_eq!(a, "scorer"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // ... and in scripts too.
+        let script = parse_script("SELECT top FROM families; SELECT scorer FROM for").unwrap();
+        assert_eq!(script.len(), 2);
+        // `SELECT create` (no FROM) round-trips as a bare column reference.
+        let s = parse_statement("SELECT create").unwrap();
+        match s {
+            Statement::Query(q) => {
+                assert!(matches!(&q.selects[0].items[0],
+                    SelectItem::Expr { expr: Expr::Column(c), .. } if c == "create"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -119,6 +119,41 @@ pub fn pivot_wide(table: &Table, ts_col: &str, family_col: &str) -> Result<Vec<F
     Ok(builder.finish())
 }
 
+/// Pivots a wide table into a *single* family named `family_name`:
+/// `ts_col` identifies the row, every other column is a feature. Used for
+/// target/condition queries that aggregate to one series set per timestamp
+/// and carry no family label column.
+pub fn pivot_one(table: &Table, ts_col: &str, family_name: &str) -> Result<FamilyFrame> {
+    let ts_idx = table.schema().resolve(ts_col)?;
+    let feature_idx: Vec<usize> = (0..table.schema().len()).filter(|&i| i != ts_idx).collect();
+    if feature_idx.is_empty() {
+        return Err(QueryError::Plan("pivot_one needs at least one feature column".into()));
+    }
+    let ts_col = ColReader::new(table, ts_idx);
+    let features: Vec<(String, ColReader)> = feature_idx
+        .iter()
+        .map(|&fi| (table.schema().columns()[fi].clone(), ColReader::new(table, fi)))
+        .collect();
+    let mut builder = PivotBuilder::new();
+    for i in 0..table.len() {
+        let Some(ts) = ts_col.ts(i) else { continue };
+        for (feature, col) in &features {
+            builder.add(family_name.to_string(), ts, feature.clone(), col.num(i));
+        }
+    }
+    let mut frames = builder.finish();
+    if frames.is_empty() {
+        // No usable rows: an empty frame under the requested name.
+        return Ok(FamilyFrame {
+            name: family_name.to_string(),
+            timestamps: Vec::new(),
+            feature_names: features.into_iter().map(|(n, _)| n).collect(),
+            columns: vec![Vec::new(); feature_idx.len()],
+        });
+    }
+    Ok(frames.remove(0))
+}
+
 /// Pivots a long table: each row is `(ts, family, feature, value)`.
 pub fn pivot_long(
     table: &Table,
@@ -299,6 +334,32 @@ mod tests {
         assert_eq!(web.columns[1], vec![10.0, 20.0]);
         let db = frames.iter().find(|f| f.name == "db").unwrap();
         assert_eq!(db.timestamps, vec![0]);
+    }
+
+    #[test]
+    fn pivot_one_collapses_to_a_named_family() {
+        let t = Table::from_rows(
+            &["ts", "runtime_sec", "input_gb"],
+            vec![
+                vec![Value::Int(60), Value::Float(2.0), Value::Float(20.0)],
+                vec![Value::Int(0), Value::Float(1.0), Value::Float(10.0)],
+            ],
+        );
+        let f = pivot_one(&t, "ts", "pipeline_runtime").unwrap();
+        assert_eq!(f.name, "pipeline_runtime");
+        assert_eq!(f.timestamps, vec![0, 60]);
+        assert_eq!(f.feature_names, vec!["runtime_sec", "input_gb"]);
+        assert_eq!(f.columns[0], vec![1.0, 2.0]);
+        assert_eq!(f.columns[1], vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn pivot_one_empty_input_keeps_schema() {
+        let t = Table::empty(&["ts", "v"]);
+        let f = pivot_one(&t, "ts", "empty").unwrap();
+        assert!(f.is_empty());
+        assert_eq!(f.feature_names, vec!["v"]);
+        assert!(pivot_one(&Table::empty(&["ts"]), "ts", "x").is_err());
     }
 
     #[test]

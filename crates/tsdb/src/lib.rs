@@ -24,6 +24,7 @@ mod align;
 mod glob;
 pub mod logs;
 mod model;
+mod shared;
 mod snapshot;
 mod store;
 
@@ -31,5 +32,6 @@ pub use align::{align_series, AlignedFrame, FillPolicy};
 pub use glob::{glob_literal_prefix, glob_match, is_glob};
 pub use logs::{featurize_logs, template_of, LogRecord};
 pub use model::{DataPoint, Series, SeriesKey, TimeRange};
+pub use shared::{SharedTsdb, INITIAL_GENERATION};
 pub use snapshot::Snapshot;
 pub use store::{MetricFilter, SeriesId, SeriesSlice, TagFilter, Tsdb};

@@ -1,10 +1,13 @@
 //! The ExplainIt! command-line interface.
 //!
-//! Drives the full workflow of the paper from a terminal:
+//! Drives the full workflow of the paper from a terminal. Every
+//! RCA-facing command runs over the declarative [`Session`], so the CLI
+//! and the SQL surface share one code path:
 //!
 //! ```text
 //! explainit simulate --out incident.tsdb --fault packet_drop   # make data
 //! explainit sql incident.tsdb "SELECT COUNT(*) FROM tsdb"      # explore it
+//! explainit sql incident.tsdb -f case_study.sql                # whole workflow
 //! explainit rank incident.tsdb --scorer auto                   # step 3
 //! explainit explain incident.tsdb --candidate tcp_retransmits  # fig 14/15
 //! explainit case-study 5.1                                     # the paper's §5
@@ -12,11 +15,12 @@
 
 use std::process::ExitCode;
 
-use explainit::core::report::{explain, render_ranking};
-use explainit::core::{auto_select_scorer, Engine, EngineConfig, ScorerKind};
-use explainit::query::Catalog;
+use explainit::core::report::explain;
+use explainit::core::EngineConfig;
+use explainit::query::Statement;
 use explainit::tsdb::{Snapshot, Tsdb};
 use explainit::workloads::{case_studies, families_by_name, simulate, ClusterSpec, Fault};
+use explainit::{Session, StatementOutcome};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,10 +53,14 @@ fn print_usage() {
     eprintln!(
         "ExplainIt! — declarative root-cause analysis for time series\n\n\
          USAGE:\n  explainit simulate --out FILE [--fault KIND] [--minutes N] [--seed N]\n\
+         \x20 explainit sql FILE \"STMT; STMT; ...\" | explainit sql FILE -f SCRIPT.sql\n\
          \x20 explainit rank FILE [--target FAMILY] [--condition A,B] [--scorer NAME] [--top K]\n\
-         \x20 explainit sql FILE \"SELECT ...\"\n\
          \x20 explainit explain FILE --candidate FAMILY [--target FAMILY] [--condition A,B]\n\
          \x20 explainit case-study 5.1|5.2|5.3|5.4\n\n\
+         SQL STATEMENTS: ordinary SELECT / EXPLAIN <query>, plus the RCA surface:\n\
+         \x20 CREATE FAMILY name [WITH (layout='wide'|'long', ts=.., family=.., feature=.., value=..)] AS SELECT ...\n\
+         \x20 EXPLAIN FOR target [GIVEN fam, ...] [USING SCORER name] [TOP k]   (result also registered as table 'ranking')\n\
+         \x20 SHOW FAMILIES | SHOW TABLES | DROP FAMILY name\n\n\
          FAULT KINDS: packet_drop, hypervisor, namenode, raid, disk, none\n\
          SCORERS: auto, corrmean, corrmax, l2, l2p50, l2p500, lasso"
     );
@@ -113,65 +121,81 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_scorer(name: &str) -> Result<Option<ScorerKind>, String> {
-    Ok(Some(match name {
-        "auto" => return Ok(None),
-        "corrmean" => ScorerKind::CorrMean,
-        "corrmax" => ScorerKind::CorrMax,
-        "l2" => ScorerKind::L2,
-        "l2p50" => ScorerKind::L2_P50,
-        "l2p500" => ScorerKind::L2_P500,
-        "lasso" => ScorerKind::Lasso,
-        other => return Err(format!("unknown scorer: {other}")),
-    }))
+/// Builds a session whose engine holds the snapshot grouped by metric
+/// name into feature families (the §5 default grouping). `rank`/`explain`
+/// never run SQL against the store, so it is *not* bound as a catalog
+/// table here — that would deep-clone the whole snapshot for nothing
+/// (`sql` binds its own).
+fn session_from_db(db: &Tsdb) -> Result<Session, String> {
+    let range = db.time_span().ok_or("snapshot holds no data")?;
+    let mut session = Session::with_config(EngineConfig::default());
+    for family in families_by_name(db, &range, 60) {
+        session.add_family(family);
+    }
+    Ok(session)
 }
 
-fn engine_from_db(db: &Tsdb) -> Result<(Engine, usize), String> {
-    let range = db.time_span().ok_or("snapshot holds no data")?;
-    let mut engine = Engine::new(EngineConfig::default());
-    let families = families_by_name(db, &range, 60);
-    let t_steps = families.first().map_or(0, |f| f.len());
-    for f in families {
-        engine.add_family(f);
+/// Prints one statement outcome the way psql would: notices, the
+/// rendered relation, and an explicit row count (also for empty results).
+fn print_outcome(outcome: &StatementOutcome) {
+    for notice in &outcome.notices {
+        println!("-- {notice}");
     }
-    Ok((engine, t_steps))
+    print!("{}", outcome.table.render(40));
+    println!("({} rows)", outcome.table.len());
+}
+
+fn cmd_sql(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("sql requires a snapshot FILE")?;
+    let (script, consumed) = match args.get(1).map(String::as_str) {
+        Some("-f") => {
+            let file = args.get(2).ok_or("-f requires a script FILE")?;
+            (std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?, 3)
+        }
+        Some(inline) => (inline.to_string(), 2),
+        None => return Err("sql requires a statement string or -f SCRIPT.sql".into()),
+    };
+    // Trailing garbage is an error, not silently dropped: a shell-quoting
+    // slip would otherwise run a *prefix* of what the user wrote.
+    if let Some(extra) = args.get(consumed) {
+        return Err(format!("unexpected trailing argument: {extra}"));
+    }
+    let db = load_db(path)?;
+    let mut session = Session::new();
+    session.bind_tsdb("tsdb", &db);
+    let outcomes = session.execute_script(&script).map_err(|e| e.to_string())?;
+    if outcomes.is_empty() {
+        return Err("the script contains no statements".into());
+    }
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if outcomes.len() > 1 {
+            println!("-- [{}] {}", i + 1, outcome.summary);
+        }
+        print_outcome(outcome);
+        if i + 1 < outcomes.len() {
+            println!();
+        }
+    }
+    Ok(())
 }
 
 fn cmd_rank(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("rank requires a snapshot FILE")?;
     let db = load_db(path)?;
-    let (engine, t_steps) = engine_from_db(&db)?;
-    let target = flag(args, "--target").unwrap_or("pipeline_runtime");
-    let condition: Vec<&str> =
-        flag(args, "--condition").map(|s| s.split(',').collect()).unwrap_or_default();
-    let scorer = match parse_scorer(flag(args, "--scorer").unwrap_or("auto"))? {
-        Some(s) => s,
-        None => {
-            let fams: Vec<_> =
-                engine.family_names().iter().filter_map(|n| engine.family(n).cloned()).collect();
-            let choice = auto_select_scorer(&fams, t_steps);
-            println!("auto-selected scorer {}: {}\n", choice.scorer.name(), choice.reason);
-            choice.scorer
-        }
-    };
-    let ranking = engine.rank(target, &condition, scorer).map_err(|e| e.to_string())?;
-    let top: usize =
-        flag(args, "--top").map_or(Ok(20), str::parse).map_err(|e| format!("--top: {e}"))?;
-    let mut ranking = ranking;
-    ranking.entries.truncate(top);
-    println!("{}", render_ranking(&ranking));
-    Ok(())
-}
-
-fn cmd_sql(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("sql requires a snapshot FILE")?;
-    let query = args.get(1).ok_or("sql requires a query string")?;
-    let db = load_db(path)?;
-    let mut catalog = Catalog::new();
-    catalog.register_tsdb("tsdb", &db);
-    let table = catalog.execute(query).map_err(|e| e.to_string())?;
-    println!("{}", table.render(40));
-    println!("({} rows)", table.len());
+    let mut session = session_from_db(&db)?;
+    let statement = Statement::ExplainFor(explainit::query::ExplainFor {
+        target: flag(args, "--target").unwrap_or("pipeline_runtime").to_string(),
+        given: flag(args, "--condition")
+            .map(|s| s.split(',').map(str::to_string).collect())
+            .unwrap_or_default(),
+        scorer: flag(args, "--scorer").map(str::to_string),
+        top: Some(
+            flag(args, "--top").map_or(Ok(20), str::parse).map_err(|e| format!("--top: {e}"))?,
+        ),
+    });
+    let outcome = session.execute_statement(&statement).map_err(|e| e.to_string())?;
+    println!("-- {}", outcome.summary);
+    print_outcome(&outcome);
     Ok(())
 }
 
@@ -182,9 +206,9 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     let condition: Vec<&str> =
         flag(args, "--condition").map(|s| s.split(',').collect()).unwrap_or_default();
     let db = load_db(path)?;
-    let (engine, _) = engine_from_db(&db)?;
+    let session = session_from_db(&db)?;
     let overlay =
-        explain(&engine, target, candidate, &condition, 1.0).map_err(|e| e.to_string())?;
+        explain(session.engine(), target, candidate, &condition, 1.0).map_err(|e| e.to_string())?;
     println!(
         "E[{target} | {candidate}{}] over {} samples{}:\n",
         if condition.is_empty() { String::new() } else { format!(", {}", condition.join(",")) },
@@ -223,14 +247,19 @@ fn cmd_case_study(args: &[String]) -> Result<(), String> {
     println!("case study {which}: {story}\n");
     let range = sim.time_range();
     let step = if sim.minutes > 5000 { 600 } else { 60 };
-    let mut engine = Engine::new(EngineConfig::default());
-    for f in families_by_name(&sim.db, &range, step) {
-        engine.add_family(f);
+    let mut session = Session::with_config(EngineConfig::default());
+    for family in families_by_name(&sim.db, &range, step) {
+        session.add_family(family);
     }
-    let condition: Vec<&str> = if which == "5.2" { vec!["pipeline_input_rate"] } else { vec![] };
-    let ranking =
-        engine.rank("pipeline_runtime", &condition, ScorerKind::L2).map_err(|e| e.to_string())?;
-    println!("{}", render_ranking(&ranking));
+    let statement = Statement::ExplainFor(explainit::query::ExplainFor {
+        target: "pipeline_runtime".to_string(),
+        given: if which == "5.2" { vec!["pipeline_input_rate".to_string()] } else { Vec::new() },
+        scorer: Some("l2".to_string()),
+        top: None,
+    });
+    let outcome = session.execute_statement(&statement).map_err(|e| e.to_string())?;
+    println!("-- {}", outcome.summary);
+    print_outcome(&outcome);
     if let Some((w0, w1)) = window {
         println!("fault window: minutes {w0}..{w1}");
     }

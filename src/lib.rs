@@ -7,6 +7,16 @@
 //! use explainit::core::ScorerKind;
 //! assert_eq!(ScorerKind::CorrMax.name(), "CorrMax");
 //! ```
+//!
+//! The facade also hosts the [`session`] layer — the declarative
+//! [`Session`] that executes multi-statement SQL scripts (`CREATE
+//! FAMILY`, `EXPLAIN FOR`, `SHOW FAMILIES`, ...) against a query catalog
+//! and an embedded ranking engine. It lives here, above the sub-crates,
+//! because it is the one place the query and core layers meet.
+
+pub mod session;
+
+pub use session::{Session, SessionError, StatementOutcome, RANKING_TABLE};
 
 pub use explainit_causal as causal;
 pub use explainit_core as core;

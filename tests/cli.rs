@@ -69,6 +69,107 @@ fn simulate_rank_explain_round_trip() {
 }
 
 #[test]
+fn sql_script_runs_the_declarative_workflow() {
+    let snapshot = tmp_path("script.tsdb");
+    let out = bin()
+        .args([
+            "simulate",
+            "--out",
+            snapshot.to_str().expect("utf8 path"),
+            "--fault",
+            "packet_drop",
+            "--minutes",
+            "240",
+            "--seed",
+            "11",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // A whole case study as one inline script: create → rank → compose.
+    let script = "CREATE FAMILY metrics WITH (layout = 'long', family = 'metric_name') AS \
+                    SELECT timestamp, metric_name, tag, value FROM tsdb; \
+                  EXPLAIN FOR pipeline_runtime USING SCORER corrmax TOP 5; \
+                  SELECT family FROM ranking WHERE rank = 1";
+    let out = bin()
+        .args(["sql", snapshot.to_str().expect("utf8 path"), script])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "script failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("EXPLAIN FOR pipeline_runtime"), "summary shown:\n{stdout}");
+    assert!(stdout.contains("(5 rows)"), "TOP 5 ranking rendered:\n{stdout}");
+    assert!(stdout.contains("(1 rows)"), "composed SELECT over ranking:\n{stdout}");
+
+    // The same script from a file via -f.
+    let script_file = tmp_path("workflow.sql");
+    std::fs::write(&script_file, script).expect("write script");
+    let out = bin()
+        .args([
+            "sql",
+            snapshot.to_str().expect("utf8 path"),
+            "-f",
+            script_file.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "-f failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(5 rows)"));
+
+    // Empty results still report their row count.
+    let out = bin()
+        .args([
+            "sql",
+            snapshot.to_str().expect("utf8 path"),
+            "SELECT value FROM tsdb WHERE metric_name = 'no_such_metric'",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(0 rows)"));
+
+    let _ = std::fs::remove_file(&script_file);
+    let _ = std::fs::remove_file(&snapshot);
+}
+
+#[test]
+fn sql_rejects_trailing_garbage() {
+    let snapshot = tmp_path("garbage.tsdb");
+    let out = bin()
+        .args([
+            "simulate",
+            "--out",
+            snapshot.to_str().expect("utf8 path"),
+            "--fault",
+            "none",
+            "--minutes",
+            "60",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    // A stray extra CLI argument (classic shell-quoting slip) is an error,
+    // not silently dropped.
+    let out = bin()
+        .args(["sql", snapshot.to_str().expect("utf8 path"), "SELECT 1", "garbage"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected trailing argument"));
+
+    // Unseparated statements inside the string are a parse error too.
+    let out = bin()
+        .args(["sql", snapshot.to_str().expect("utf8 path"), "SELECT 1 SELECT 2"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+
+    let _ = std::fs::remove_file(&snapshot);
+}
+
+#[test]
 fn bad_inputs_fail_cleanly() {
     // Unknown command.
     let out = bin().args(["frobnicate"]).output().expect("binary runs");

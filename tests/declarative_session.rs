@@ -1,0 +1,127 @@
+//! The declarative Session end-to-end: a §5-style case study — family
+//! creation, conditioning, ranking — expressed as one `;`-separated SQL
+//! script, asserted identical to the programmatic `Engine::rank` path.
+
+use explainit::core::{Engine, EngineConfig, ScorerKind};
+use explainit::query::{pivot_long, Catalog, Value};
+use explainit::tsdb::{SeriesKey, SharedTsdb};
+use explainit::workloads::{simulate, ClusterSpec, Fault};
+use explainit::{Session, RANKING_TABLE};
+
+/// §5.2's shape: hypervisor drops confounded with load — the case study
+/// that needs conditioning on the pipeline input rate.
+fn hypervisor_incident() -> explainit::workloads::SimOutput {
+    simulate(&ClusterSpec {
+        minutes: 360,
+        datanodes: 4,
+        pipelines: 2,
+        service_hosts: 3,
+        noise_services: 6,
+        metrics_per_noise_service: 2,
+        seed: 77,
+        faults: vec![Fault::HypervisorDrop { intensity: 0.3 }],
+        ..ClusterSpec::default()
+    })
+}
+
+/// The Appendix-C style stage-one query both paths share.
+const STAGE_ONE: &str = "SELECT timestamp, metric_name, \
+     CONCAT(tag['host'], tag['pipeline_name']) AS feat, AVG(value) AS v \
+     FROM tsdb \
+     GROUP BY timestamp, metric_name, CONCAT(tag['host'], tag['pipeline_name'])";
+
+#[test]
+fn script_ranking_matches_programmatic_engine_path() {
+    let sim = hypervisor_incident();
+
+    // --- programmatic path: catalog → pivot → Engine::rank ---------------
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", &sim.db);
+    let table = catalog.execute(STAGE_ONE).expect("stage-one query");
+    let frames = pivot_long(&table, "timestamp", "metric_name", "feat", "v").expect("pivot");
+    let mut engine = Engine::new(EngineConfig { top_k: 10, ..EngineConfig::default() });
+    engine.add_frames_owned(frames);
+    let programmatic =
+        engine.rank("pipeline_runtime", &["pipeline_input_rate"], ScorerKind::L2).expect("rank");
+
+    // --- declarative path: the same case study as one SQL script ---------
+    let mut session = Session::new();
+    session.bind_tsdb("tsdb", &sim.db);
+    let script = format!(
+        "CREATE FAMILY metrics WITH (layout = 'long', ts = 'timestamp', \
+             family = 'metric_name', feature = 'feat', value = 'v') AS {STAGE_ONE};\n\
+         EXPLAIN FOR pipeline_runtime GIVEN pipeline_input_rate USING SCORER l2 TOP 10;"
+    );
+    let outcomes = session.execute_script(&script).expect("script");
+    assert_eq!(outcomes.len(), 2);
+    let ranking = &outcomes[1].table;
+
+    // Top-K equality, entry by entry: same families, same order, and
+    // bit-identical scores/p-values — the statement surface adds no
+    // semantic drift over the library calls it replaces.
+    assert_eq!(ranking.len(), programmatic.entries.len());
+    assert_eq!(ranking.len(), 10);
+    for (row, entry) in ranking.rows().iter().zip(&programmatic.entries) {
+        assert_eq!(row[1], Value::Str(entry.family.clone()));
+        match (&row[2], &row[3]) {
+            (Value::Float(score), Value::Float(p)) => {
+                assert_eq!(score.to_bits(), entry.score.to_bits(), "family {}", entry.family);
+                assert_eq!(p.to_bits(), entry.p_value.to_bits(), "family {}", entry.family);
+            }
+            other => panic!("unexpected score/p_value cells: {other:?}"),
+        }
+    }
+    // The conditioning clause really reached the engine.
+    assert_eq!(programmatic.conditioned_on, vec!["pipeline_input_rate"]);
+    assert!(ranking.rows().iter().all(|r| r[1] != Value::str("pipeline_input_rate")));
+}
+
+#[test]
+fn ranking_composes_with_downstream_sql() {
+    let sim = hypervisor_incident();
+    let mut session = Session::new();
+    session.bind_tsdb("tsdb", &sim.db);
+    let script = format!(
+        "CREATE FAMILY metrics WITH (layout = 'long', family = 'metric_name') AS {STAGE_ONE};\n\
+         EXPLAIN FOR pipeline_runtime USING SCORER corrmax TOP 5;\n\
+         SELECT family, score FROM {RANKING_TABLE} WHERE rank <= 3 ORDER BY rank ASC"
+    );
+    let outcomes = session.execute_script(&script).expect("script");
+    let full = &outcomes[1].table;
+    let filtered = &outcomes[2].table;
+    assert_eq!(filtered.len(), 3);
+    for (i, row) in filtered.rows().iter().enumerate() {
+        assert_eq!(row[0], full.rows()[i][1], "rank {} family", i + 1);
+    }
+}
+
+#[test]
+fn session_over_shared_store_reranks_after_ingest() {
+    // A long-lived session on a live store: ingests between scripts are
+    // visible without re-binding (the generation-counter satellite).
+    let sim = hypervisor_incident();
+    let shared = SharedTsdb::new(sim.db.clone());
+    let mut session = Session::new();
+    session.bind_shared("tsdb", &shared);
+
+    let create = format!(
+        "CREATE FAMILY metrics WITH (layout = 'long', family = 'metric_name') AS {STAGE_ONE}"
+    );
+    session.execute(&create).expect("create");
+    let families_before = session.engine().family_count();
+
+    // Ingest a brand-new metric and re-run the same statement: the new
+    // family appears without any re-bind call.
+    let range = sim.time_range();
+    shared.ingest(|db| {
+        let key = SeriesKey::new("freshly_ingested").with_tag("host", "h0");
+        let mut t = range.start;
+        while t < range.end {
+            db.insert(&key, t, (t % 17) as f64);
+            t += 60;
+        }
+    });
+    session.execute(&create).expect("re-create");
+    assert_eq!(session.engine().family_count(), families_before + 1);
+    assert!(session.engine().family("freshly_ingested").is_some());
+}
