@@ -49,9 +49,11 @@ fn bench_family_query_partitions(c: &mut Criterion) {
     let query = parse_query(FAMILY_QUERY).expect("parse");
 
     // Sanity: all partition counts must agree before timing means anything.
-    let serial = catalog.execute_query_with(&query, ExecOptions { partitions: 1 }).expect("serial");
+    let serial =
+        catalog.execute_query_with(&query, ExecOptions::with_partitions(1)).expect("serial");
     for parts in [2, 4, 8] {
-        let p = catalog.execute_query_with(&query, ExecOptions { partitions: parts }).expect("par");
+        let p =
+            catalog.execute_query_with(&query, ExecOptions::with_partitions(parts)).expect("par");
         assert_eq!(serial.rows(), p.rows(), "partitions={parts} must match serial");
     }
 
@@ -59,20 +61,22 @@ fn bench_family_query_partitions(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("serial_1_partition", |b| {
         b.iter(|| {
-            catalog.execute_query_with(&query, ExecOptions { partitions: 1 }).expect("serial")
+            catalog.execute_query_with(&query, ExecOptions::with_partitions(1)).expect("serial")
         });
     });
     for parts in [2usize, 4, 8] {
         group.bench_function(format!("parallel_{parts}_partitions"), |b| {
             b.iter(|| {
                 catalog
-                    .execute_query_with(&query, ExecOptions { partitions: parts })
+                    .execute_query_with(&query, ExecOptions::with_partitions(parts))
                     .expect("parallel")
             });
         });
     }
     group.bench_function("auto_partitions", |b| {
-        b.iter(|| catalog.execute_query_with(&query, ExecOptions { partitions: 0 }).expect("auto"));
+        b.iter(|| {
+            catalog.execute_query_with(&query, ExecOptions::with_partitions(0)).expect("auto")
+        });
     });
     group.finish();
 }
@@ -89,7 +93,9 @@ fn bench_against_reference(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_parallel/vs_reference");
     group.sample_size(10);
     group.bench_function("pipeline_auto", |b| {
-        b.iter(|| catalog.execute_query_with(&query, ExecOptions { partitions: 0 }).expect("auto"));
+        b.iter(|| {
+            catalog.execute_query_with(&query, ExecOptions::with_partitions(0)).expect("auto")
+        });
     });
     group.bench_function("reference_naive", |b| {
         b.iter(|| execute_naive(&catalog, &query).expect("naive"));
@@ -112,7 +118,9 @@ fn bench_dictionary_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_parallel/dict_scan");
     group.sample_size(10);
     group.bench_function("project_name_and_tag", |b| {
-        b.iter(|| catalog.execute_query_with(&query, ExecOptions { partitions: 0 }).expect("run"));
+        b.iter(|| {
+            catalog.execute_query_with(&query, ExecOptions::with_partitions(0)).expect("run")
+        });
     });
     group.finish();
 }

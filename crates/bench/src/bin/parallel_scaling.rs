@@ -61,18 +61,18 @@ fn main() {
     );
 
     let serial_out =
-        catalog.execute_query_with(&query, ExecOptions { partitions: 1 }).expect("serial");
+        catalog.execute_query_with(&query, ExecOptions::with_partitions(1)).expect("serial");
     let serial = best_of(3, || {
-        catalog.execute_query_with(&query, ExecOptions { partitions: 1 }).expect("serial");
+        catalog.execute_query_with(&query, ExecOptions::with_partitions(1)).expect("serial");
     });
     println!("{:<26} {:>12.3?}   (baseline, {} groups)", "partitions=1", serial, serial_out.len());
 
     for parts in [2usize, 4, 8, 16] {
         let out =
-            catalog.execute_query_with(&query, ExecOptions { partitions: parts }).expect("par");
+            catalog.execute_query_with(&query, ExecOptions::with_partitions(parts)).expect("par");
         assert_eq!(out.rows(), serial_out.rows(), "partitions={parts} diverged");
         let t = best_of(3, || {
-            catalog.execute_query_with(&query, ExecOptions { partitions: parts }).expect("par");
+            catalog.execute_query_with(&query, ExecOptions::with_partitions(parts)).expect("par");
         });
         println!(
             "{:<26} {:>12.3?}   {:.2}x vs serial",
@@ -83,7 +83,7 @@ fn main() {
     }
 
     let auto = best_of(3, || {
-        catalog.execute_query_with(&query, ExecOptions { partitions: 0 }).expect("auto");
+        catalog.execute_query_with(&query, ExecOptions::with_partitions(0)).expect("auto");
     });
     println!(
         "{:<26} {:>12.3?}   {:.2}x vs serial",

@@ -1,0 +1,107 @@
+//! Scan-level aggregate pushdown report: the Appendix-C family query with
+//! the `ScanAggregate` rewrite on vs. off, across a partition sweep.
+//!
+//! Before timing anything, every configuration's rows are asserted
+//! identical to the serial no-pushdown pipeline — CI runs this binary as a
+//! correctness gate (any row diff panics and fails the job). Run with:
+//!
+//! ```text
+//! cargo run --release -p explainit-bench --bin scan_agg_report [fleet] [points]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use explainit_query::reference::execute_naive;
+use explainit_query::{parse_query, Catalog, ExecOptions};
+use explainit_tsdb::{SeriesKey, Tsdb};
+
+fn build_db(fleet: usize, points: usize) -> Tsdb {
+    let mut db = Tsdb::new();
+    for s in 0..fleet {
+        let key = SeriesKey::new("disk")
+            .with_tag("host", format!("host-{s}"))
+            .with_tag("grp", format!("g{}", s % 8));
+        for t in 0..points {
+            db.insert(&key, t as i64 * 60, ((s * points + t) % 997) as f64 * 0.1);
+        }
+    }
+    // Background noise the scan predicates must skip.
+    for s in 0..fleet {
+        let key = SeriesKey::new(format!("noise_{}", s % 20)).with_tag("host", format!("host-{s}"));
+        for t in 0..(points / 4) {
+            db.insert(&key, t as i64 * 60, t as f64);
+        }
+    }
+    db
+}
+
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let started = Instant::now();
+        f();
+        best = best.min(started.elapsed());
+    }
+    best
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let fleet: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let points: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let db = build_db(fleet, points);
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", &db);
+    let query = parse_query(
+        "SELECT timestamp, tag['grp'], AVG(value) AS mean_v, STDDEV(value) AS sd \
+         FROM tsdb WHERE metric_name = 'disk' AND timestamp BETWEEN 0 AND 10000000 \
+         GROUP BY timestamp, tag['grp'] ORDER BY timestamp ASC",
+    )
+    .expect("parse");
+
+    println!(
+        "scan_agg: fleet={fleet} series x {points} points ({} rows), {cores} core(s)",
+        fleet * points
+    );
+
+    let opts = |partitions: usize, scan_aggregate: bool| ExecOptions { partitions, scan_aggregate };
+
+    // Correctness gate: every (partitions, pushdown) combination must be
+    // row-identical to the serial no-pushdown pipeline and the reference.
+    let baseline = catalog.execute_query_with(&query, opts(1, false)).expect("serial");
+    for partitions in [1usize, 2, 4, 8, 0] {
+        for scan_aggregate in [false, true] {
+            let out = catalog
+                .execute_query_with(&query, opts(partitions, scan_aggregate))
+                .expect("sweep");
+            assert_eq!(
+                out.rows(),
+                baseline.rows(),
+                "row diff at partitions={partitions} pushdown={scan_aggregate}"
+            );
+        }
+    }
+    let naive = execute_naive(&catalog, &query).expect("naive");
+    assert_eq!(naive.rows(), baseline.rows(), "reference diverged");
+    println!("row-identical across the sweep ({} groups)\n", baseline.len());
+
+    let serial_off = best_of(3, || {
+        catalog.execute_query_with(&query, opts(1, false)).expect("run");
+    });
+    println!("{:<34} {:>12.3?}   (baseline)", "pushdown=off partitions=1", serial_off);
+    for (label, o) in [
+        ("pushdown=off partitions=auto", opts(0, false)),
+        ("pushdown=on  partitions=1", opts(1, true)),
+        ("pushdown=on  partitions=auto", opts(0, true)),
+    ] {
+        let t = best_of(3, || {
+            catalog.execute_query_with(&query, o).expect("run");
+        });
+        println!(
+            "{label:<34} {t:>12.3?}   {:.2}x vs baseline",
+            serial_off.as_secs_f64() / t.as_secs_f64()
+        );
+    }
+}

@@ -473,7 +473,9 @@ mod tests {
         assert_eq!(t.schema().columns(), &["plan"]);
         let text: Vec<String> = t.rows().iter().map(|r| r[0].render()).collect();
         let joined = text.join("\n");
-        assert!(joined.contains("TsdbScan"), "plan:\n{joined}");
+        // The GROUP BY timestamp pipeline collapses all the way into the
+        // scan; the pushed-down predicates surface on its EXPLAIN line.
+        assert!(joined.contains("ScanAggregate"), "plan:\n{joined}");
         assert!(joined.contains("name=cpu"), "plan:\n{joined}");
         assert!(joined.contains("tag[host]=web-1"), "plan:\n{joined}");
         assert!(joined.contains("time=[0, 120]"), "plan:\n{joined}");

@@ -27,14 +27,14 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use explainit_tsdb::{MetricFilter, TimeRange};
+use explainit_tsdb::{MetricFilter, SeriesKey, TimeRange};
 
 use crate::ast::{Expr, JoinKind, Query};
 use crate::catalog::{Catalog, TsdbBinding};
 use crate::column::Column;
 use crate::eval::{eval_group, eval_row, eval_with_rows};
 use crate::functions::{is_aggregate, AggAcc};
-use crate::optimize::optimize;
+use crate::optimize::{map_columns, optimize_with, OptimizeOptions};
 use crate::plan::{build, equi_join_keys, render, LogicalPlan, TSDB_COLUMNS};
 use crate::table::{Schema, Table};
 use crate::value::Value;
@@ -42,9 +42,10 @@ use crate::veval;
 use crate::{QueryError, Result};
 
 /// Execution options for the columnar pipeline.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
-    /// Partition count for [`LogicalPlan::Exchange`] pipelines.
+    /// Partition count for [`LogicalPlan::Exchange`] pipelines, the
+    /// parallel scan gather and the scan-aggregate operator.
     ///
     /// * `0` — auto: one partition per available core, capped so each
     ///   morsel keeps at least [`MIN_PARTITION_ROWS`] rows;
@@ -54,6 +55,24 @@ pub struct ExecOptions {
     ///
     /// The default is `0` (auto).
     pub partitions: usize,
+    /// Apply the optimizer's scan-level aggregate pushdown
+    /// ([`LogicalPlan::ScanAggregate`]). On by default; the differential
+    /// harness turns it off to compare the pushdown against the ordinary
+    /// pipeline on identical queries.
+    pub scan_aggregate: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { partitions: 0, scan_aggregate: true }
+    }
+}
+
+impl ExecOptions {
+    /// Options with an explicit partition count and defaults elsewhere.
+    pub fn with_partitions(partitions: usize) -> ExecOptions {
+        ExecOptions { partitions, ..ExecOptions::default() }
+    }
 }
 
 /// Auto mode keeps at least this many rows per morsel so partitioning
@@ -105,7 +124,8 @@ pub fn execute(catalog: &Catalog, query: &Query) -> Result<Table> {
 /// [`execute`] with explicit execution options.
 pub fn execute_with(catalog: &Catalog, query: &Query, opts: ExecOptions) -> Result<Table> {
     let plan = build(catalog, query)?;
-    let plan = optimize(plan, catalog)?;
+    let plan =
+        optimize_with(plan, catalog, &OptimizeOptions { scan_aggregate: opts.scan_aggregate })?;
     if query.explain {
         let text = render(&plan);
         let lines: Vec<Vec<Value>> = text.lines().map(|l| vec![Value::str(l)]).collect();
@@ -128,8 +148,22 @@ fn run_plan(ctx: &ExecCtx, plan: &LogicalPlan, opts: &ExecOptions) -> Result<Tab
         }
 
         LogicalPlan::TsdbScan { table, name, tags, start, end, columns } => {
-            run_tsdb_scan(ctx, table, name, tags, *start, *end, columns)
+            run_tsdb_scan(ctx, table, name, tags, *start, *end, columns, opts)
         }
+
+        LogicalPlan::ScanAggregate {
+            table,
+            name,
+            tags,
+            start,
+            end,
+            filters,
+            group_by,
+            items,
+            hidden,
+        } => run_scan_aggregate(
+            ctx, table, name, tags, *start, *end, filters, group_by, items, hidden, opts,
+        ),
 
         LogicalPlan::Unit => Ok(Table::unit(1)),
 
@@ -259,6 +293,7 @@ fn run_tsdb_scan(
     start: Option<i64>,
     end: Option<i64>,
     columns: &Option<Vec<usize>>,
+    opts: &ExecOptions,
 ) -> Result<Table> {
     let binding = ctx.binding(table).ok_or_else(|| QueryError::UnknownTable(table.to_string()))?;
     let db = binding.db();
@@ -290,10 +325,9 @@ fn run_tsdb_scan(
 
     let filter = MetricFilter { name: name.clone(), tags: tags.to_vec() };
     let range = TimeRange::new(lo, hi);
-    let mut hits = db.scan_parts(&filter, &range);
     // Canonical-key order first, then a stable sort by timestamp, gives the
     // same (timestamp, series key) row order as the materialized view.
-    hits.sort_by_cached_key(|part| part.key.canonical());
+    let hits = db.scan_parts_ordered(&filter, &range);
 
     let total: usize = hits.iter().map(|p| p.timestamps.len()).sum();
     let mut ts_concat: Vec<i64> = Vec::with_capacity(total);
@@ -305,36 +339,70 @@ fn run_tsdb_scan(
     let mut order: Vec<u32> = (0..total as u32).collect();
     order.sort_by_key(|&i| ts_concat[i as usize]); // stable: ties stay key-ordered
 
-    let mut out_cols: Vec<Column> = Vec::with_capacity(wanted.len());
-    for &c in &wanted {
-        let col = match c {
-            0 => Column::Int(order.iter().map(|&i| ts_concat[i as usize]).collect()),
-            1 => {
-                let code_of_hit: Vec<u32> =
-                    hits.iter().map(|p| dicts.name_code[p.id.index()]).collect();
-                Column::dict(
-                    dicts.names.clone(),
-                    order.iter().map(|&i| code_of_hit[hit_of[i as usize] as usize]).collect(),
-                )
-            }
-            2 => {
-                let code_of_hit: Vec<u32> =
-                    hits.iter().map(|p| dicts.tag_code[p.id.index()]).collect();
-                Column::dict(
-                    dicts.tags.clone(),
-                    order.iter().map(|&i| code_of_hit[hit_of[i as usize] as usize]).collect(),
-                )
-            }
-            _ => {
-                let mut vals_concat: Vec<f64> = Vec::with_capacity(total);
-                for part in &hits {
-                    vals_concat.extend_from_slice(part.values);
+    // Decode per-hit dictionary codes and concatenate values once; the
+    // gather below then reads pure native vectors.
+    let name_code_of_hit: Option<Vec<u32>> =
+        wanted.contains(&1).then(|| hits.iter().map(|p| dicts.name_code[p.id.index()]).collect());
+    let tag_code_of_hit: Option<Vec<u32>> =
+        wanted.contains(&2).then(|| hits.iter().map(|p| dicts.tag_code[p.id.index()]).collect());
+    let vals_concat: Option<Vec<f64>> = wanted.contains(&3).then(|| {
+        let mut v = Vec::with_capacity(total);
+        for part in &hits {
+            v.extend_from_slice(part.values);
+        }
+        v
+    });
+
+    // Materializes the output columns for one contiguous slice of the
+    // row order — the unit of the parallel gather.
+    let build_cols = |idx: &[u32]| -> Vec<Column> {
+        wanted
+            .iter()
+            .map(|&c| match c {
+                0 => Column::Int(idx.iter().map(|&i| ts_concat[i as usize]).collect()),
+                1 => {
+                    let codes = name_code_of_hit.as_ref().expect("decoded for wanted column");
+                    Column::dict(
+                        dicts.names.clone(),
+                        idx.iter().map(|&i| codes[hit_of[i as usize] as usize]).collect(),
+                    )
                 }
-                Column::Float(order.iter().map(|&i| vals_concat[i as usize]).collect())
+                2 => {
+                    let codes = tag_code_of_hit.as_ref().expect("decoded for wanted column");
+                    Column::dict(
+                        dicts.tags.clone(),
+                        idx.iter().map(|&i| codes[hit_of[i as usize] as usize]).collect(),
+                    )
+                }
+                _ => {
+                    let vals = vals_concat.as_ref().expect("concatenated for wanted column");
+                    Column::Float(idx.iter().map(|&i| vals[i as usize]).collect())
+                }
+            })
+            .collect()
+    };
+
+    // Per-row column materialization runs morsel-parallel on the worker
+    // pool (the serial term of the exchange pipelines' Amdahl ceiling);
+    // chunks concatenate in order, so the output is identical to the
+    // single-threaded gather.
+    let ranges = morsel_ranges(total, effective_partitions(opts, total));
+    let out_cols: Vec<Column> = if ranges.len() <= 1 {
+        build_cols(&order)
+    } else {
+        let parts = run_partitioned(ranges.len(), |m| {
+            let (a, b) = ranges[m];
+            Ok(build_cols(&order[a..b]))
+        })?;
+        let mut parts = parts.into_iter();
+        let mut acc = parts.next().expect("at least one morsel");
+        for part in parts {
+            for (dst, src) in acc.iter_mut().zip(part) {
+                dst.append_preserving(src);
             }
-        };
-        out_cols.push(col);
-    }
+        }
+        acc
+    };
     Ok(Table::from_columnar_parts(schema, out_cols, total))
 }
 
@@ -380,49 +448,6 @@ fn run_project(t: &Table, items: &[(Expr, String)], hidden: &[Expr]) -> Result<T
 // Aggregation
 // ---------------------------------------------------------------------------
 
-/// Per-row GROUP BY key strings. Dictionary columns render each
-/// *referenced* entry's key fragment once (a selective filter may leave a
-/// handful of codes over a store-wide dictionary) and splice by code;
-/// other columns render per row. Byte-identical to the naive
-/// `get(row).group_key()` loop, so every engine buckets rows the same way.
-fn group_key_strings(key_cols: &[Column], len: usize) -> Vec<String> {
-    enum Part<'c> {
-        Dict { per: Vec<String>, codes: &'c [u32] },
-        Plain(&'c Column),
-    }
-    let parts: Vec<Part> = key_cols
-        .iter()
-        .map(|c| match c {
-            Column::Dict { values, codes } => {
-                let mut per: Vec<String> = vec![String::new(); values.len()];
-                let mut done = vec![false; values.len()];
-                for &code in codes.iter() {
-                    let i = code as usize;
-                    if !done[i] {
-                        per[i] = values[i].group_key();
-                        done[i] = true;
-                    }
-                }
-                Part::Dict { per, codes }
-            }
-            other => Part::Plain(other),
-        })
-        .collect();
-    let mut keys = Vec::with_capacity(len);
-    for row in 0..len {
-        let mut key = String::new();
-        for p in &parts {
-            match p {
-                Part::Dict { per, codes } => key.push_str(&per[codes[row] as usize]),
-                Part::Plain(c) => key.push_str(&c.get(row).group_key()),
-            }
-            key.push('\u{1}');
-        }
-        keys.push(key);
-    }
-    keys
-}
-
 fn run_aggregate(
     t: &Table,
     group_by: &[Expr],
@@ -452,28 +477,31 @@ fn run_aggregate(
         key_cols.push(col);
     }
 
-    // Bucket row indices by key, preserving first-seen order.
-    let mut group_order: Vec<String> = Vec::new();
-    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
-    if group_by.is_empty() {
-        // One global group over all rows; empty input yields an empty
-        // result (COUNT over nothing stays simple, matching the oracle).
-        if len > 0 {
-            group_order.push(String::new());
-            groups.insert(String::new(), (0..len).collect());
-        }
+    // Bucket row indices by key, preserving first-seen order. When every
+    // key column is dictionary-encoded, rows group directly on dictionary
+    // codes (no key-string rendering at all — the scan's `metric_name` /
+    // `tag` / `tag['k']` keys all hit this path); otherwise rows bucket by
+    // rendered key strings, which both slower engines share.
+    let row_groups: Vec<Vec<usize>> = if group_by.is_empty() {
+        // One global group over all rows (len > 0 was checked above).
+        vec![(0..len).collect()]
+    } else if let Some(groups) = veval::dict_group_rows(&key_cols, len) {
+        groups
     } else {
-        let keys = group_key_strings(&key_cols, len);
+        let keys = veval::group_key_strings(&key_cols, len);
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
         for (row, key) in keys.into_iter().enumerate() {
-            match groups.entry(key) {
+            match index.entry(key) {
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    group_order.push(e.key().clone());
-                    e.insert(vec![row]);
+                    e.insert(groups.len());
+                    groups.push(vec![row]);
                 }
-                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(row),
+                std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].push(row),
             }
         }
-    }
+        groups
+    };
 
     let exprs: Vec<&Expr> = items.iter().map(|(e, _)| e).chain(hidden.iter()).collect();
     let mut out_cols: Vec<Column> = Vec::with_capacity(exprs.len());
@@ -483,8 +511,7 @@ fn run_aggregate(
     for e in exprs {
         // Fast path (a): the expression IS one of the group keys.
         if let Some(k) = group_by.iter().position(|g| g == e) {
-            let vals: Vec<Value> =
-                group_order.iter().map(|key| key_cols[k].get(groups[key][0])).collect();
+            let vals: Vec<Value> = row_groups.iter().map(|rows| key_cols[k].get(rows[0])).collect();
             out_cols.push(Column::from_values(vals));
             continue;
         }
@@ -499,13 +526,13 @@ fn run_aggregate(
                         veval::eval(a, t.schema(), t.columns(), len).map(|v| v.into_column(len))
                     })
                     .collect::<Result<_>>()?;
-                let mut vals = Vec::with_capacity(group_order.len());
+                let mut vals = Vec::with_capacity(row_groups.len());
                 let mut scratch: Vec<Value> = Vec::with_capacity(arg_cols.len());
-                for key in &group_order {
+                for rows in &row_groups {
                     let mut acc = AggAcc::new(name).ok_or_else(|| {
                         QueryError::BadFunction(format!("unknown aggregate {name}"))
                     })?;
-                    for &r in &groups[key] {
+                    for &r in rows {
                         scratch.clear();
                         scratch.extend(arg_cols.iter().map(|c| c.get(r)));
                         acc.push(&scratch)?;
@@ -524,15 +551,15 @@ fn run_aggregate(
                 fallback_rows.expect("just set")
             }
         };
-        let mut vals = Vec::with_capacity(group_order.len());
-        for key in &group_order {
-            let group: Vec<&Vec<Value>> = groups[key].iter().map(|&r| &rows[r]).collect();
+        let mut vals = Vec::with_capacity(row_groups.len());
+        for group_rows in &row_groups {
+            let group: Vec<&Vec<Value>> = group_rows.iter().map(|&r| &rows[r]).collect();
             vals.push(eval_group(e, t.schema(), &group)?);
         }
         out_cols.push(Column::from_values(vals));
     }
 
-    Ok(Table::from_columnar_parts(project_names(items, hidden.len()), out_cols, group_order.len()))
+    Ok(Table::from_columnar_parts(project_names(items, hidden.len()), out_cols, row_groups.len()))
 }
 
 // ---------------------------------------------------------------------------
@@ -760,7 +787,7 @@ fn run_parallel_aggregate(
         let keys = if group_by.is_empty() {
             vec![String::new(); mlen]
         } else {
-            group_key_strings(&key_cols, mlen)
+            veval::group_key_strings(&key_cols, mlen)
         };
         let arg_cols: Vec<Vec<Column>> = specs
             .iter()
@@ -837,6 +864,453 @@ fn run_parallel_aggregate(
     }
     let out_cols: Vec<Column> = out_vals.into_iter().map(Column::from_values).collect();
     Ok(Table::from_columnar_parts(out_schema, out_cols, order.len()))
+}
+
+// ---------------------------------------------------------------------------
+// Scan-level aggregation
+// ---------------------------------------------------------------------------
+//
+// The `ScanAggregate` operator runs the paper's hottest query shape — the
+// stage-one `GROUP BY timestamp` family query — without materializing a
+// single observation row. Each series' sorted point vectors come straight
+// from `Tsdb::scan_parts_ordered`; a morsel of series is pre-aggregated by
+// one worker into mergeable `AggAcc` states keyed by `(series tuple,
+// timestamp)` composite keys (integer hashing, no per-row key-string
+// rendering); and partials merge in deterministic morsel order. The
+// result is value-identical to the serial pipeline: accumulators are
+// order-independent by construction (error-free sums, gathered
+// percentiles, totally-ordered MIN/MAX inputs — the optimizer's
+// eligibility analysis guarantees the last), and the serial first-seen
+// group order is reconstructed from each group's earliest `(timestamp,
+// series rank)` contribution.
+
+/// How one aggregate argument (or group key) is produced, classified once
+/// per operator against the observation schema.
+enum ArgSrc<'p> {
+    /// The raw `value` column: read the point's f64 directly.
+    Val,
+    /// The raw `timestamp` column: read the point's i64 directly.
+    Ts,
+    /// A literal, constant for the whole query (e.g. COUNT(*)'s `1`).
+    Const(Value),
+    /// References only the per-series-constant columns
+    /// (`metric_name`/`tag`): evaluated once per series.
+    Class(&'p Expr),
+    /// General expression: substituted per series, vectorized per point.
+    Point(&'p Expr),
+}
+
+/// One aggregate argument prepared for a specific series.
+enum PreparedArg {
+    Val,
+    Ts,
+    Const(Value),
+    /// Evaluated column over the series' *kept* points (index = position
+    /// in the kept list, not the raw point index).
+    Col(Column),
+}
+
+/// What a group-key slot outputs.
+enum KeyKind {
+    /// The timestamp key: output the group's (first-seen) timestamp.
+    Ts,
+    /// Index into the per-series class-key value list.
+    Class(usize),
+}
+
+/// One group's partial state within a scan-aggregate morsel.
+struct SaGroup {
+    /// Morsel-local series-tuple id (resolved to its fragment at hand-off).
+    tuple: u32,
+    /// Group timestamp bits (`(ts as f64).to_bits()`; 0 when the group is
+    /// not keyed by timestamp). Part of the merge identity.
+    ts_bits: u64,
+    /// The earliest `(timestamp, series rank)` contribution — the serial
+    /// engine's first-seen position of this group.
+    order: (i64, u32),
+    /// The group's timestamp value as of `order` (output for Ts key slots;
+    /// `group_key` folds i64 timestamps through f64, so distinct i64 values
+    /// can share a group — the serially-first one names it).
+    ts_val: i64,
+    /// Class-key values as of `order`.
+    class_vals: Vec<Value>,
+    /// One accumulator per aggregate spec.
+    accs: Vec<AggAcc>,
+}
+
+/// Replaces references to the per-series-constant observation columns
+/// (`metric_name`, `tag`) with literals from the series key, leaving
+/// `timestamp`/`value` references (and unresolvable names) untouched.
+fn substitute_series_consts(e: &Expr, schema: &Schema, key: &SeriesKey) -> Expr {
+    map_columns(e.clone(), &|name| match schema.resolve(&name) {
+        Ok(1) => Expr::Literal(Value::Str(key.name.clone())),
+        Ok(2) => Expr::Literal(Value::Map(key.tags.clone())),
+        _ => Expr::Column(name),
+    })
+}
+
+fn classify_arg<'p>(a: &'p Expr, schema: &Schema) -> ArgSrc<'p> {
+    if let Expr::Literal(v) = a {
+        return ArgSrc::Const(v.clone());
+    }
+    if let Expr::Column(c) = a {
+        match schema.resolve(c) {
+            Ok(0) => return ArgSrc::Ts,
+            Ok(3) => return ArgSrc::Val,
+            _ => {}
+        }
+    }
+    let mut cols = Vec::new();
+    crate::optimize::collect_columns(a, &mut cols);
+    if cols.iter().all(|c| schema.resolve(c).is_ok_and(|i| i == 1 || i == 2)) {
+        ArgSrc::Class(a)
+    } else {
+        ArgSrc::Point(a)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_scan_aggregate(
+    ctx: &ExecCtx,
+    table: &str,
+    name: &Option<String>,
+    tags: &[explainit_tsdb::TagFilter],
+    start: Option<i64>,
+    end: Option<i64>,
+    filters: &[Expr],
+    group_by: &[Expr],
+    items: &[(Expr, String)],
+    hidden: &[Expr],
+    opts: &ExecOptions,
+) -> Result<Table> {
+    let binding = ctx.binding(table).ok_or_else(|| QueryError::UnknownTable(table.to_string()))?;
+    let db = binding.db();
+    let out_schema = project_names(items, hidden.len());
+    let width = items.len() + hidden.len();
+    let empty = |out_schema: Schema| {
+        Table::from_columnar_parts(out_schema, vec![Column::empty(); width], 0)
+    };
+
+    // Inclusive plan bounds -> half-open store range.
+    let lo = start.unwrap_or(i64::MIN);
+    let hi = end.map_or(i64::MAX, |e| e.saturating_add(1));
+    if lo >= hi {
+        return Ok(empty(out_schema));
+    }
+
+    let obs = Schema::new(TSDB_COLUMNS.iter().map(|s| s.to_string()).collect());
+    let mini_schema = Schema::new(vec!["timestamp".to_string(), "value".to_string()]);
+    let empty_schema = Schema::default();
+
+    // Decompose group keys: the timestamp key (at most one, by
+    // eligibility) and per-series "class" keys over the dict columns.
+    let mut key_kinds: Vec<KeyKind> = Vec::with_capacity(group_by.len());
+    let mut class_keys: Vec<&Expr> = Vec::new();
+    for g in group_by {
+        let is_ts = matches!(g, Expr::Column(c) if obs.resolve(c).is_ok_and(|i| i == 0));
+        if is_ts {
+            key_kinds.push(KeyKind::Ts);
+        } else {
+            key_kinds.push(KeyKind::Class(class_keys.len()));
+            class_keys.push(g);
+        }
+    }
+    let has_ts_key = key_kinds.iter().any(|k| matches!(k, KeyKind::Ts));
+
+    // Decompose outputs into key references and aggregate specs.
+    let mut slots: Vec<AggSlot> = Vec::with_capacity(width);
+    let mut specs: Vec<(&str, Vec<ArgSrc>)> = Vec::new();
+    for e in items.iter().map(|(e, _)| e).chain(hidden.iter()) {
+        if let Some(k) = group_by.iter().position(|g| g == e) {
+            slots.push(AggSlot::Key(k));
+        } else if let Expr::Function { name, args } = e {
+            debug_assert!(is_aggregate(name));
+            slots.push(AggSlot::Agg(specs.len()));
+            specs.push((name.as_str(), args.iter().map(|a| classify_arg(a, &obs)).collect()));
+        } else {
+            return Err(QueryError::Plan(
+                "scan aggregate with non-mergeable output (optimizer bug)".into(),
+            ));
+        }
+    }
+    let new_accs = |specs: &[(&str, Vec<ArgSrc>)]| -> Result<Vec<AggAcc>> {
+        specs
+            .iter()
+            .map(|(name, _)| {
+                AggAcc::new(name)
+                    .ok_or_else(|| QueryError::BadFunction(format!("unknown aggregate {name}")))
+            })
+            .collect()
+    };
+    // Residual filters, innermost first (the order the serial pipeline
+    // applies them in), with a flag for predicates that need the per-point
+    // columns at all.
+    let filter_chain: Vec<(&Expr, bool)> = filters
+        .iter()
+        .rev()
+        .map(|p| {
+            let mut cols = Vec::new();
+            crate::optimize::collect_columns(p, &mut cols);
+            let uses_points = cols.iter().any(|c| obs.resolve(c).is_ok_and(|i| i == 0 || i == 3));
+            (p, uses_points)
+        })
+        .collect();
+    let any_point_args =
+        specs.iter().any(|(_, args)| args.iter().any(|a| matches!(a, ArgSrc::Point(_))));
+
+    let filter = MetricFilter { name: name.clone(), tags: tags.to_vec() };
+    let range = TimeRange::new(lo, hi);
+    let hits = db.scan_parts_ordered(&filter, &range);
+    if hits.is_empty() {
+        return Ok(empty(out_schema));
+    }
+
+    // Morsels cut the rank-ordered series list; auto mode keeps at least
+    // MIN_PARTITION_ROWS *points* per morsel.
+    let total_points: usize = hits.iter().map(|p| p.timestamps.len()).sum();
+    let partitions = if opts.partitions == 0 {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        cores.min(total_points.div_ceil(MIN_PARTITION_ROWS).max(1))
+    } else {
+        opts.partitions
+    }
+    .clamp(1, hits.len());
+    let ranges = morsel_ranges(hits.len(), partitions);
+
+    // Phase 1: per-morsel, per-series pre-aggregation.
+    type Partial = Vec<((String, u64), SaGroup)>;
+    let partials = run_partitioned(ranges.len(), |m| -> Result<Partial> {
+        let (a, b) = ranges[m];
+        let mut tuple_ids: HashMap<String, u32> = HashMap::new();
+        let mut tuple_frags: Vec<String> = Vec::new();
+        let mut index: HashMap<(u32, u64), usize> = HashMap::new();
+        let mut groups: Vec<SaGroup> = Vec::new();
+        let mut scratch: Vec<Value> = Vec::new();
+
+        for (local, part) in hits[a..b].iter().enumerate() {
+            let rank = (a + local) as u32;
+            let n = part.timestamps.len();
+            if n == 0 {
+                continue;
+            }
+
+            // Residual filter chain over this series' points. Class-only
+            // predicates evaluate as constants (no column build); others
+            // vectorize over the surviving points' timestamp/value pair.
+            let mut kept: Vec<u32> = (0..n as u32).collect();
+            for (pred, uses_points) in &filter_chain {
+                if kept.is_empty() {
+                    break;
+                }
+                let sub = substitute_series_consts(pred, &obs, part.key);
+                let cols = if *uses_points {
+                    vec![
+                        Column::Int(kept.iter().map(|&i| part.timestamps[i as usize]).collect()),
+                        Column::Float(kept.iter().map(|&i| part.values[i as usize]).collect()),
+                    ]
+                } else {
+                    Vec::new()
+                };
+                let mask = veval::eval_mask(&sub, &mini_schema, &cols, kept.len())?;
+                kept = kept
+                    .iter()
+                    .zip(mask.iter())
+                    .filter(|(_, &keep)| keep)
+                    .map(|(&i, _)| i)
+                    .collect();
+            }
+            if kept.is_empty() {
+                continue;
+            }
+
+            // Class keys: evaluated once per series, then interned into a
+            // morsel-local tuple id via the rendered key fragment (once
+            // per series — the per-point loop below only hashes ints).
+            let mut class_vals: Vec<Value> = Vec::with_capacity(class_keys.len());
+            for ck in &class_keys {
+                let sub = substitute_series_consts(ck, &obs, part.key);
+                class_vals.push(eval_row(&sub, &empty_schema, &[])?);
+            }
+            let mut frag = String::new();
+            for v in &class_vals {
+                frag.push_str(&v.group_key());
+                frag.push('\u{1}');
+            }
+            let tuple = match tuple_ids.entry(frag) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let id = tuple_frags.len() as u32;
+                    tuple_frags.push(e.key().clone());
+                    e.insert(id);
+                    id
+                }
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            };
+
+            // Prepare this series' aggregate arguments.
+            let kept_cols = if any_point_args {
+                vec![
+                    Column::Int(kept.iter().map(|&i| part.timestamps[i as usize]).collect()),
+                    Column::Float(kept.iter().map(|&i| part.values[i as usize]).collect()),
+                ]
+            } else {
+                Vec::new()
+            };
+            let prepared: Vec<Vec<PreparedArg>> = specs
+                .iter()
+                .map(|(_, args)| {
+                    args.iter()
+                        .map(|arg| {
+                            Ok(match arg {
+                                ArgSrc::Val => PreparedArg::Val,
+                                ArgSrc::Ts => PreparedArg::Ts,
+                                ArgSrc::Const(v) => PreparedArg::Const(v.clone()),
+                                ArgSrc::Class(e) => {
+                                    let sub = substitute_series_consts(e, &obs, part.key);
+                                    PreparedArg::Const(eval_row(&sub, &empty_schema, &[])?)
+                                }
+                                ArgSrc::Point(e) => {
+                                    let sub = substitute_series_consts(e, &obs, part.key);
+                                    let col =
+                                        veval::eval(&sub, &mini_schema, &kept_cols, kept.len())?
+                                            .into_column(kept.len());
+                                    PreparedArg::Col(col)
+                                }
+                            })
+                        })
+                        .collect::<Result<Vec<_>>>()
+                })
+                .collect::<Result<Vec<_>>>()?;
+
+            // Accumulate the kept points. With a timestamp key each point
+            // lands in its `(tuple, ts)` group; otherwise the whole series
+            // feeds one `(tuple,)` group.
+            let slot_of = |ts: i64,
+                           ts_bits: u64,
+                           order: (i64, u32),
+                           groups: &mut Vec<SaGroup>,
+                           index: &mut HashMap<(u32, u64), usize>|
+             -> Result<usize> {
+                match index.entry((tuple, ts_bits)) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let slot = groups.len();
+                        groups.push(SaGroup {
+                            tuple,
+                            ts_bits,
+                            order,
+                            ts_val: ts,
+                            class_vals: class_vals.clone(),
+                            accs: new_accs(&specs)?,
+                        });
+                        e.insert(slot);
+                        Ok(slot)
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let slot = *e.get();
+                        let g = &mut groups[slot];
+                        if order < g.order {
+                            g.order = order;
+                            g.ts_val = ts;
+                            g.class_vals = class_vals.clone();
+                        }
+                        Ok(slot)
+                    }
+                }
+            };
+            if has_ts_key {
+                for (j, &pi) in kept.iter().enumerate() {
+                    let pi = pi as usize;
+                    let ts = part.timestamps[pi];
+                    let slot =
+                        slot_of(ts, (ts as f64).to_bits(), (ts, rank), &mut groups, &mut index)?;
+                    let g = &mut groups[slot];
+                    for (pa, acc) in prepared.iter().zip(g.accs.iter_mut()) {
+                        scratch.clear();
+                        for arg in pa {
+                            scratch.push(match arg {
+                                PreparedArg::Val => Value::Float(part.values[pi]),
+                                PreparedArg::Ts => Value::Int(ts),
+                                PreparedArg::Const(v) => v.clone(),
+                                PreparedArg::Col(c) => c.get(j),
+                            });
+                        }
+                        acc.push(&scratch)?;
+                    }
+                }
+            } else {
+                let first_ts = part.timestamps[kept[0] as usize];
+                let slot = slot_of(first_ts, 0, (first_ts, rank), &mut groups, &mut index)?;
+                let g = &mut groups[slot];
+                for (j, &pi) in kept.iter().enumerate() {
+                    let pi = pi as usize;
+                    for (pa, acc) in prepared.iter().zip(g.accs.iter_mut()) {
+                        scratch.clear();
+                        for arg in pa {
+                            scratch.push(match arg {
+                                PreparedArg::Val => Value::Float(part.values[pi]),
+                                PreparedArg::Ts => Value::Int(part.timestamps[pi]),
+                                PreparedArg::Const(v) => v.clone(),
+                                PreparedArg::Col(c) => c.get(j),
+                            });
+                        }
+                        acc.push(&scratch)?;
+                    }
+                }
+            }
+        }
+        // Hand groups off in creation order, keyed for the cross-morsel
+        // merge by (class fragment, timestamp bits).
+        Ok(groups
+            .into_iter()
+            .map(|g| ((tuple_frags[g.tuple as usize].clone(), g.ts_bits), g))
+            .collect())
+    })?;
+
+    // Phase 2: merge morsel partials. Accumulator merges are exactly
+    // fold-equivalent, and each group keeps its earliest (timestamp, rank)
+    // contribution, which reconstructs the serial first-seen order below.
+    let mut merged: HashMap<(String, u64), usize> = HashMap::new();
+    let mut final_groups: Vec<SaGroup> = Vec::new();
+    for partial in partials {
+        for (key, gp) in partial {
+            match merged.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(final_groups.len());
+                    final_groups.push(gp);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let cur = &mut final_groups[*e.get()];
+                    for (acc, part) in cur.accs.iter_mut().zip(gp.accs) {
+                        acc.merge(part)?;
+                    }
+                    if gp.order < cur.order {
+                        cur.order = gp.order;
+                        cur.ts_val = gp.ts_val;
+                        cur.class_vals = gp.class_vals;
+                    }
+                }
+            }
+        }
+    }
+    final_groups.sort_by_key(|g| g.order);
+
+    // Finish accumulators and assemble output columns.
+    let mut out_vals: Vec<Vec<Value>> =
+        (0..width).map(|_| Vec::with_capacity(final_groups.len())).collect();
+    let rows = final_groups.len();
+    for g in final_groups {
+        let finished: Vec<Value> = g.accs.into_iter().map(AggAcc::finish).collect::<Result<_>>()?;
+        for (slot, out) in slots.iter().zip(out_vals.iter_mut()) {
+            match slot {
+                AggSlot::Key(k) => out.push(match key_kinds[*k] {
+                    KeyKind::Ts => Value::Int(g.ts_val),
+                    KeyKind::Class(j) => g.class_vals[j].clone(),
+                }),
+                AggSlot::Agg(i) => out.push(finished[*i].clone()),
+            }
+        }
+    }
+    let out_cols: Vec<Column> = out_vals.into_iter().map(Column::from_values).collect();
+    Ok(Table::from_columnar_parts(out_schema, out_cols, rows))
 }
 
 // ---------------------------------------------------------------------------
@@ -1017,7 +1491,8 @@ mod tests {
     /// Runs with forced multi-partition execution.
     fn run_parallel(sql: &str, partitions: usize) -> Table {
         let c = catalog();
-        execute_with(&c, &parse_query(sql).unwrap(), ExecOptions { partitions }).unwrap()
+        execute_with(&c, &parse_query(sql).unwrap(), ExecOptions::with_partitions(partitions))
+            .unwrap()
     }
 
     #[test]
@@ -1247,7 +1722,7 @@ mod tests {
         // Same under forced parallel partitions.
         for parts in [2, 3] {
             assert!(matches!(
-                execute_with(&c, &q, ExecOptions { partitions: parts }),
+                execute_with(&c, &q, ExecOptions::with_partitions(parts)),
                 Err(QueryError::BadFunction(_))
             ));
         }

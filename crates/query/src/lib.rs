@@ -36,10 +36,41 @@
 //!    partial aggregate states, and a final exchange merges partials in
 //!    morsel order — bit-identical to serial execution by construction
 //!    (error-free float summation), with the partition count controlled
-//!    via [`ExecOptions`] / [`Catalog::execute_query_with`].
+//!    via [`ExecOptions`] / [`Catalog::execute_query_with`]. The hottest
+//!    shape of all — an aggregate whose group keys are `timestamp` and/or
+//!    the dictionary-encoded scan columns, sitting directly on a TSDB
+//!    scan — collapses further into a single `LogicalPlan::ScanAggregate`
+//!    node: the executor pre-aggregates each series' sorted point vectors
+//!    straight off the store (no row materialization, grouping on
+//!    `(dict class, timestamp)` integer composite keys) and merges
+//!    per-series partials deterministically. `ExecOptions::scan_aggregate`
+//!    turns the rewrite off; the four-way differential suite runs every
+//!    generated query both ways against the reference interpreter.
+//!
+//! ## Reading `EXPLAIN` output
 //!
 //! `EXPLAIN <query>` returns the optimized plan as a one-column table —
-//! the fastest way to confirm a predicate reached the `TsdbScan` node.
+//! the fastest way to confirm a predicate reached the scan. For the
+//! paper's Appendix-C family query the whole pipeline collapses into one
+//! node (under the Sort):
+//!
+//! ```text
+//! Sort [#0 ASC]
+//!   ScanAggregate tsdb name=disk time=[0, 10000000] \
+//!     group=[timestamp, tag[grp]] \
+//!     items=[timestamp AS timestamp, tag[grp] AS tag[grp], AVG(value) AS mean_v]
+//! ```
+//!
+//! A `where=[...]` attribute lists residual predicates the scan indexes
+//! could not absorb (evaluated per series / per point before
+//! aggregation). If you expected the pushdown and see an
+//! `Exchange`/`Aggregate` over a `TsdbScan` instead, the pipeline was not
+//! eligible: a group key that is not `timestamp` or a dictionary column
+//! (`metric_name`, `tag`, `tag['k']`), an output that is not a plain
+//! aggregate call, a join/UNION context, `MIN`/`MAX` over the raw `tag`
+//! map, or — without a `timestamp` group key — `MIN`/`MAX` over a float
+//! stream (NaN is incomparable, so that fold is accumulation-order
+//! dependent) all fall back to the ordinary engines.
 //!
 //! The pre-pipeline tree-walking interpreter is retained verbatim in
 //! [`reference`] as a differential-testing oracle (see

@@ -24,6 +24,19 @@
 //!    per-partition (two-phase aggregation with accumulator merges) when
 //!    partitions are available. The wrapped plan stays a valid serial
 //!    plan, so the marker never changes results.
+//! 6. **Scan-level aggregate pushdown** — an `Aggregate` (with or without
+//!    its `Exchange` marker, above vectorizable pushed-down `Filter`s)
+//!    sitting directly on a `TsdbScan` collapses into a single
+//!    [`LogicalPlan::ScanAggregate`] node when every group key is the
+//!    `timestamp` column or an expression over the dictionary-encoded
+//!    scan columns (`metric_name`, `tag`) and every output is a group key
+//!    or a plain mergeable aggregate over observation columns. The
+//!    executor then pre-aggregates per series straight off the store's
+//!    sorted point vectors — no row materialization at all. Joins, UNION
+//!    branches, non-dict group keys and non-mergeable outputs fall back
+//!    to the ordinary pipeline. Disable with
+//!    [`OptimizeOptions::scan_aggregate`] (the differential harness runs
+//!    both ways).
 
 use std::collections::HashSet;
 
@@ -33,19 +46,45 @@ use crate::ast::{BinaryOp, Expr, JoinKind};
 use crate::catalog::Catalog;
 use crate::eval::eval_row;
 use crate::functions::{is_aggregate, is_window};
-use crate::plan::{collect_conjuncts, conjoin, LogicalPlan};
+use crate::plan::{collect_conjuncts, conjoin, LogicalPlan, TSDB_COLUMNS};
 use crate::table::Schema;
 use crate::value::Value;
 use crate::veval;
 use crate::Result;
 
-/// Applies all rewrite rules.
+/// Optimizer toggles (all rewrites that change plan *shape* but never
+/// results; tests and the differential harness switch them off to compare
+/// engines).
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizeOptions {
+    /// Apply rule 6 (collapse eligible aggregates into
+    /// [`LogicalPlan::ScanAggregate`]). Default: on.
+    pub scan_aggregate: bool,
+}
+
+impl Default for OptimizeOptions {
+    fn default() -> Self {
+        OptimizeOptions { scan_aggregate: true }
+    }
+}
+
+/// Applies all rewrite rules with default options.
 pub fn optimize(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan> {
+    optimize_with(plan, catalog, &OptimizeOptions::default())
+}
+
+/// Applies all rewrite rules.
+pub fn optimize_with(
+    plan: LogicalPlan,
+    catalog: &Catalog,
+    opts: &OptimizeOptions,
+) -> Result<LogicalPlan> {
     let plan = fold_plan(plan);
     let plan = convert_tsdb_scans(plan, catalog);
     let plan = pushdown(plan, catalog)?;
     let plan = prune(plan, None);
-    Ok(parallelize(plan))
+    let plan = parallelize(plan);
+    Ok(if opts.scan_aggregate { push_aggregates_into_scans(plan) } else { plan })
 }
 
 // ---------------------------------------------------------------------------
@@ -94,9 +133,12 @@ fn map_exprs(plan: LogicalPlan, f: &impl Fn(Expr) -> Expr) -> LogicalPlan {
         LogicalPlan::Exchange { input } => {
             LogicalPlan::Exchange { input: Box::new(map_exprs(*input, f)) }
         }
-        leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::TsdbScan { .. } | LogicalPlan::Unit) => {
-            leaf
-        }
+        // `ScanAggregate` is produced by rule 6, which runs last; the
+        // earlier passes never see it, so a leaf treatment is safe.
+        leaf @ (LogicalPlan::Scan { .. }
+        | LogicalPlan::TsdbScan { .. }
+        | LogicalPlan::Unit
+        | LogicalPlan::ScanAggregate { .. }) => leaf,
     }
 }
 
@@ -299,7 +341,7 @@ fn pushdown(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan> {
 }
 
 /// Collects every column name referenced by an expression.
-fn collect_columns(expr: &Expr, out: &mut Vec<String>) {
+pub(crate) fn collect_columns(expr: &Expr, out: &mut Vec<String>) {
     match expr {
         Expr::Column(c) => out.push(c.clone()),
         Expr::Literal(_) => {}
@@ -356,8 +398,9 @@ fn contains_window(expr: &Expr) -> bool {
     }
 }
 
-/// Rewrites column references via `f`.
-fn map_columns(expr: Expr, f: &impl Fn(String) -> Expr) -> Expr {
+/// Rewrites column references via `f` (also used by the scan-aggregate
+/// operator to substitute per-series constants into expressions).
+pub(crate) fn map_columns(expr: Expr, f: &impl Fn(String) -> Expr) -> Expr {
     match expr {
         Expr::Column(c) => f(c),
         Expr::Literal(_) => expr,
@@ -870,7 +913,9 @@ fn prune(plan: LogicalPlan, needs: Option<HashSet<String>>) -> LogicalPlan {
             };
             LogicalPlan::TsdbScan { table, name, tags, start, end, columns }
         }
-        leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::Unit) => leaf,
+        leaf @ (LogicalPlan::Scan { .. }
+        | LogicalPlan::Unit
+        | LogicalPlan::ScanAggregate { .. }) => leaf,
     }
 }
 
@@ -965,6 +1010,242 @@ fn project_exchange_eligible(
     items.iter().map(|(e, _)| e).chain(hidden.iter()).all(veval::supported)
 }
 
+// ---------------------------------------------------------------------------
+// Rule 6: scan-level aggregate pushdown
+// ---------------------------------------------------------------------------
+
+/// Walks the straight-line spine of the plan converting eligible
+/// `(Exchange)? → Aggregate → Filter* → TsdbScan` chains into
+/// [`LogicalPlan::ScanAggregate`]. The rewrite deliberately does *not*
+/// descend into `Join` sides or `Union` branches: those contexts fall back
+/// to the ordinary pipeline (asserted by the plan-shape tests).
+fn push_aggregates_into_scans(plan: LogicalPlan) -> LogicalPlan {
+    if scan_aggregate_candidate(&plan) {
+        return convert_scan_aggregate(plan);
+    }
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            LogicalPlan::Filter { input: Box::new(push_aggregates_into_scans(*input)), predicate }
+        }
+        LogicalPlan::Project { input, items, hidden } => LogicalPlan::Project {
+            input: Box::new(push_aggregates_into_scans(*input)),
+            items,
+            hidden,
+        },
+        LogicalPlan::Aggregate { input, group_by, items, hidden } => LogicalPlan::Aggregate {
+            input: Box::new(push_aggregates_into_scans(*input)),
+            group_by,
+            items,
+            hidden,
+        },
+        LogicalPlan::Alias { input, alias } => {
+            LogicalPlan::Alias { input: Box::new(push_aggregates_into_scans(*input)), alias }
+        }
+        LogicalPlan::Sort { input, keys, output_width } => LogicalPlan::Sort {
+            input: Box::new(push_aggregates_into_scans(*input)),
+            keys,
+            output_width,
+        },
+        LogicalPlan::Limit { input, n } => {
+            LogicalPlan::Limit { input: Box::new(push_aggregates_into_scans(*input)), n }
+        }
+        LogicalPlan::Exchange { input } => {
+            LogicalPlan::Exchange { input: Box::new(push_aggregates_into_scans(*input)) }
+        }
+        other => other,
+    }
+}
+
+/// True when the node is an eligible aggregate-over-scan pipeline.
+fn scan_aggregate_candidate(node: &LogicalPlan) -> bool {
+    match node {
+        LogicalPlan::Exchange { input } => match input.as_ref() {
+            LogicalPlan::Aggregate { input, group_by, items, hidden } => {
+                scan_aggregate_eligible(input, group_by, items, hidden)
+            }
+            _ => false,
+        },
+        LogicalPlan::Aggregate { input, group_by, items, hidden } => {
+            scan_aggregate_eligible(input, group_by, items, hidden)
+        }
+        _ => false,
+    }
+}
+
+/// Collapses a node [`scan_aggregate_candidate`] accepted.
+fn convert_scan_aggregate(node: LogicalPlan) -> LogicalPlan {
+    let agg = match node {
+        LogicalPlan::Exchange { input } => *input,
+        other => other,
+    };
+    let LogicalPlan::Aggregate { input, group_by, items, hidden } = agg else {
+        unreachable!("eligibility matched an aggregate");
+    };
+    // Peel the (vectorizable) filter chain, outermost first.
+    let mut filters = Vec::new();
+    let mut cur = *input;
+    loop {
+        match cur {
+            LogicalPlan::Filter { input, predicate } => {
+                filters.push(predicate);
+                cur = *input;
+            }
+            other => {
+                cur = other;
+                break;
+            }
+        }
+    }
+    let LogicalPlan::TsdbScan { table, name, tags, start, end, .. } = cur else {
+        unreachable!("eligibility checked the source");
+    };
+    LogicalPlan::ScanAggregate { table, name, tags, start, end, filters, group_by, items, hidden }
+}
+
+fn tsdb_schema() -> Schema {
+    Schema::new(TSDB_COLUMNS.iter().map(|s| s.to_string()).collect())
+}
+
+/// Splits a `Filter` chain off a plan without the vectorizability check.
+fn peel_filter_chain(mut plan: &LogicalPlan) -> (Vec<&Expr>, &LogicalPlan) {
+    let mut filters = Vec::new();
+    loop {
+        match plan {
+            LogicalPlan::Filter { input, predicate } => {
+                filters.push(predicate);
+                plan = input;
+            }
+            other => return (filters, other),
+        }
+    }
+}
+
+/// True when every column reference of `expr` resolves in the observation
+/// schema to one of the `allowed` indices.
+fn refs_within(expr: &Expr, schema: &Schema, allowed: &[usize]) -> bool {
+    let mut cols = Vec::new();
+    collect_columns(expr, &mut cols);
+    cols.iter().all(|c| schema.resolve(c).is_ok_and(|i| allowed.contains(&i)))
+}
+
+/// True when `expr` is a bare reference to observation column `want`.
+fn is_obs_column(expr: &Expr, schema: &Schema, want: usize) -> bool {
+    matches!(expr, Expr::Column(c) if schema.resolve(c).is_ok_and(|i| i == want))
+}
+
+/// True when every reference to the raw `tag` map column sits under an
+/// index access (`tag['k']`). A bare `tag` feeding MIN/MAX would make the
+/// fold depend on accumulation order (maps are mutually incomparable under
+/// `sql_cmp`), which the series-major scan aggregate cannot reproduce.
+fn bare_tag_free(expr: &Expr, schema: &Schema) -> bool {
+    match expr {
+        Expr::Column(c) => !schema.resolve(c).is_ok_and(|i| i == 2),
+        Expr::Literal(_) => true,
+        Expr::Index { container, index } => {
+            let container_ok = match container.as_ref() {
+                Expr::Column(c) if schema.resolve(c).is_ok_and(|i| i == 2) => true,
+                other => bare_tag_free(other, schema),
+            };
+            container_ok && bare_tag_free(index, schema)
+        }
+        Expr::Binary { left, right, .. } => {
+            bare_tag_free(left, schema) && bare_tag_free(right, schema)
+        }
+        Expr::Unary { operand, .. } => bare_tag_free(operand, schema),
+        Expr::Function { args, .. } => args.iter().all(|a| bare_tag_free(a, schema)),
+        Expr::InList { expr, list, .. } => {
+            bare_tag_free(expr, schema) && list.iter().all(|e| bare_tag_free(e, schema))
+        }
+        Expr::Between { expr, low, high, .. } => {
+            bare_tag_free(expr, schema) && bare_tag_free(low, schema) && bare_tag_free(high, schema)
+        }
+        Expr::IsNull { expr, .. } => bare_tag_free(expr, schema),
+        Expr::Case { when_then, else_expr } => {
+            when_then.iter().all(|(c, v)| bare_tag_free(c, schema) && bare_tag_free(v, schema))
+                && else_expr.as_ref().is_none_or(|e| bare_tag_free(e, schema))
+        }
+    }
+}
+
+/// The eligibility analysis for rule 6: the pipeline must reach a
+/// `TsdbScan` through vectorizable filters over observation columns, every
+/// group key must be the `timestamp` column (at most once) or an
+/// expression over the dictionary-encoded columns, and every output must
+/// be a group key or a plain mergeable aggregate call whose arguments are
+/// vectorizable expressions over observation columns.
+pub(crate) fn scan_aggregate_eligible(
+    input: &LogicalPlan,
+    group_by: &[Expr],
+    items: &[(Expr, String)],
+    hidden: &[Expr],
+) -> bool {
+    let (filters, source) = peel_filter_chain(input);
+    if !matches!(source, LogicalPlan::TsdbScan { .. }) {
+        return false;
+    }
+    let schema = tsdb_schema();
+    let all_cols = [0usize, 1, 2, 3];
+    if !filters.iter().all(|p| veval::supported(p) && refs_within(p, &schema, &all_cols)) {
+        return false;
+    }
+    let mut saw_ts = false;
+    for g in group_by {
+        if is_obs_column(g, &schema, 0) {
+            if saw_ts {
+                return false; // a duplicated timestamp key stays on the row engine
+            }
+            saw_ts = true;
+            continue;
+        }
+        // Dictionary-encoded group key: vectorizable, referencing only
+        // metric_name / tag (column-free constants also qualify).
+        if !(veval::supported(g) && refs_within(g, &schema, &[1, 2])) {
+            return false;
+        }
+    }
+    items.iter().map(|(e, _)| e).chain(hidden.iter()).all(|e| {
+        if group_by.iter().any(|g| g == e) {
+            return true;
+        }
+        match e {
+            Expr::Function { name, args } => {
+                if !is_aggregate(name)
+                    || !args
+                        .iter()
+                        .all(|a| veval::supported(a) && refs_within(a, &schema, &all_cols))
+                {
+                    return false;
+                }
+                if matches!(name.as_str(), "MIN" | "MAX") {
+                    if !args.iter().all(|a| bare_tag_free(a, &schema)) {
+                        return false;
+                    }
+                    // MIN/MAX folds are order-dependent when the input
+                    // stream is not totally ordered (NaN values, mixed
+                    // classes): the serial engines accumulate in row
+                    // order, the scan aggregate series-major. With a
+                    // timestamp group key the two orders coincide (each
+                    // group's rows share one timestamp and arrive in
+                    // series-rank order); without one, only streams with
+                    // a guaranteed total order stay eligible — the Int
+                    // timestamp column or per-series-constant dictionary
+                    // expressions (Str/Bool/NULL, never NaN). A bare
+                    // `value` (or computed float) stream falls back.
+                    if !saw_ts
+                        && !args.iter().all(|a| {
+                            is_obs_column(a, &schema, 0) || refs_within(a, &schema, &[1, 2])
+                        })
+                    {
+                        return false;
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -987,6 +1268,13 @@ mod tests {
     fn optimized(c: &Catalog, sql: &str) -> LogicalPlan {
         let q = parse_query(sql).unwrap();
         optimize(build(c, &q).unwrap(), c).unwrap()
+    }
+
+    /// Optimizes with rule 6 (scan-aggregate pushdown) disabled, so the
+    /// rule-1..5 shape assertions stay focused.
+    fn optimized_no_sa(c: &Catalog, sql: &str) -> LogicalPlan {
+        let q = parse_query(sql).unwrap();
+        optimize_with(build(c, &q).unwrap(), c, &OptimizeOptions { scan_aggregate: false }).unwrap()
     }
 
     /// Strips an `Exchange` parallelization marker (rule 5, tested on its
@@ -1199,13 +1487,55 @@ mod tests {
     #[test]
     fn parallelize_marks_mergeable_aggregates() {
         let c = tsdb_catalog();
-        let p = optimized(
+        let p = optimized_no_sa(
             &c,
             "SELECT timestamp, AVG(value) AS m, COUNT(*) AS n FROM tsdb \
              WHERE metric_name = 'cpu' GROUP BY timestamp",
         );
         let LogicalPlan::Exchange { input } = p else { panic!("expected exchange, got {p:?}") };
         assert!(matches!(*input, LogicalPlan::Aggregate { .. }));
+        // With rule 6 on, the same pipeline collapses into the scan.
+        let p = optimized(
+            &c,
+            "SELECT timestamp, AVG(value) AS m, COUNT(*) AS n FROM tsdb \
+             WHERE metric_name = 'cpu' GROUP BY timestamp",
+        );
+        assert!(matches!(p, LogicalPlan::ScanAggregate { .. }), "got {p:?}");
+    }
+
+    #[test]
+    fn scan_aggregate_absorbs_filters_and_scan_predicates() {
+        let c = tsdb_catalog();
+        let p = optimized(
+            &c,
+            "SELECT timestamp, tag['host'] AS h, AVG(value) AS m FROM tsdb \
+             WHERE metric_name = 'cpu' AND timestamp BETWEEN 0 AND 100 AND value > 0.5 \
+             GROUP BY timestamp, tag['host']",
+        );
+        let LogicalPlan::ScanAggregate { name, start, end, filters, group_by, .. } = p else {
+            panic!("expected scan aggregate, got {p:?}")
+        };
+        assert_eq!(name.as_deref(), Some("cpu"));
+        assert_eq!((start, end), (Some(0), Some(100)));
+        assert_eq!(filters.len(), 1, "the value conjunct stays residual");
+        assert_eq!(group_by.len(), 2);
+    }
+
+    #[test]
+    fn scan_aggregate_falls_back_for_ineligible_shapes() {
+        let c = tsdb_catalog();
+        // A `value` group key is not dictionary-encoded.
+        let p = optimized(&c, "SELECT value, COUNT(*) AS n FROM tsdb GROUP BY value");
+        assert!(!matches!(p, LogicalPlan::ScanAggregate { .. }), "got {p:?}");
+        // Non-mergeable output expressions stay on the row engines.
+        let p = optimized(&c, "SELECT AVG(value) * 2 AS m FROM tsdb GROUP BY timestamp");
+        assert!(!matches!(p, LogicalPlan::ScanAggregate { .. }), "got {p:?}");
+        // MIN over the raw tag map would be accumulation-order dependent.
+        let p = optimized(&c, "SELECT MIN(tag) AS t FROM tsdb GROUP BY timestamp");
+        assert!(!matches!(p, LogicalPlan::ScanAggregate { .. }), "got {p:?}");
+        // ...but MIN over an indexed tag is fine.
+        let p = optimized(&c, "SELECT MIN(tag['host']) AS h FROM tsdb GROUP BY timestamp");
+        assert!(matches!(p, LogicalPlan::ScanAggregate { .. }), "got {p:?}");
     }
 
     #[test]

@@ -134,6 +134,39 @@ pub enum LogicalPlan {
         /// The pipeline to parallelize.
         input: Box<LogicalPlan>,
     },
+    /// Aggregation pushed *into* the scan: produced by the optimizer when
+    /// an `Aggregate` (optionally under `Exchange`, above pushed-down
+    /// vectorizable `Filter`s) sits directly on a [`LogicalPlan::TsdbScan`]
+    /// and every group key is the `timestamp` column or an expression over
+    /// the dictionary-encoded scan columns (`metric_name`, `tag`). The
+    /// executor pre-aggregates each series' sorted point vectors straight
+    /// off [`explainit_tsdb::Tsdb::scan_parts_ordered`] into mergeable
+    /// accumulators, grouping on `(dict class, timestamp)` composite keys —
+    /// no row materialization and no per-row key-string rendering — and
+    /// merges per-series partials deterministically, so results stay
+    /// bit-exact with the serial and reference engines.
+    ScanAggregate {
+        /// Catalog name the TSDB is bound under.
+        table: String,
+        /// Pushed-down metric-name pattern (exact or glob).
+        name: Option<String>,
+        /// Pushed-down tag predicates (conjunctive).
+        tags: Vec<TagFilter>,
+        /// Inclusive lower timestamp bound.
+        start: Option<i64>,
+        /// Inclusive upper timestamp bound.
+        end: Option<i64>,
+        /// Residual predicates (outermost first) the scan could not
+        /// absorb; evaluated per series / per point before aggregation.
+        filters: Vec<Expr>,
+        /// GROUP BY key expressions (empty = one global group).
+        group_by: Vec<Expr>,
+        /// `(expression, output name)` pairs: group keys or plain
+        /// aggregate calls (the eligibility analysis guarantees this).
+        items: Vec<(Expr, String)>,
+        /// Hidden ORDER BY keys, same shape restrictions as `items`.
+        hidden: Vec<Expr>,
+    },
 }
 
 /// The observation schema of a TSDB-bound table.
@@ -158,7 +191,9 @@ impl LogicalPlan {
             LogicalPlan::Filter { input, .. } | LogicalPlan::Limit { input, .. } => {
                 input.schema(catalog)
             }
-            LogicalPlan::Project { items, .. } | LogicalPlan::Aggregate { items, .. } => {
+            LogicalPlan::Project { items, .. }
+            | LogicalPlan::Aggregate { items, .. }
+            | LogicalPlan::ScanAggregate { items, .. } => {
                 Ok(Schema::new(items.iter().map(|(_, n)| n.clone()).collect()))
             }
             LogicalPlan::Join { left, right, .. } => {
@@ -455,27 +490,39 @@ fn render_expr(e: &Expr) -> String {
     }
 }
 
+/// Renders the pushed-down scan predicates shared by `TsdbScan` and
+/// `ScanAggregate` lines.
+fn push_scan_attrs(
+    line: &mut String,
+    name: &Option<String>,
+    tags: &[TagFilter],
+    start: &Option<i64>,
+    end: &Option<i64>,
+) {
+    if let Some(name) = name {
+        line.push_str(&format!(" name={name}"));
+    }
+    for t in tags {
+        match t {
+            TagFilter::Equals(k, v) => line.push_str(&format!(" tag[{k}]={v}")),
+            TagFilter::Glob(k, p) => line.push_str(&format!(" tag[{k}]~{p}")),
+            TagFilter::HasKey(k) => line.push_str(&format!(" tag[{k}] present")),
+            TagFilter::Absent(k) => line.push_str(&format!(" tag[{k}] absent")),
+        }
+    }
+    if start.is_some() || end.is_some() {
+        let lo = start.map_or("-inf".to_string(), |v| v.to_string());
+        let hi = end.map_or("+inf".to_string(), |v| v.to_string());
+        line.push_str(&format!(" time=[{lo}, {hi}]"));
+    }
+}
+
 fn render_into(plan: &LogicalPlan, depth: usize, out: &mut String) {
     match plan {
         LogicalPlan::Scan { table } => push_line(out, depth, &format!("Scan {table}")),
         LogicalPlan::TsdbScan { table, name, tags, start, end, columns } => {
             let mut line = format!("TsdbScan {table}");
-            if let Some(name) = name {
-                line.push_str(&format!(" name={name}"));
-            }
-            for t in tags {
-                match t {
-                    TagFilter::Equals(k, v) => line.push_str(&format!(" tag[{k}]={v}")),
-                    TagFilter::Glob(k, p) => line.push_str(&format!(" tag[{k}]~{p}")),
-                    TagFilter::HasKey(k) => line.push_str(&format!(" tag[{k}] present")),
-                    TagFilter::Absent(k) => line.push_str(&format!(" tag[{k}] absent")),
-                }
-            }
-            if start.is_some() || end.is_some() {
-                let lo = start.map_or("-inf".to_string(), |v| v.to_string());
-                let hi = end.map_or("+inf".to_string(), |v| v.to_string());
-                line.push_str(&format!(" time=[{lo}, {hi}]"));
-            }
+            push_scan_attrs(&mut line, name, tags, start, end);
             if let Some(cols) = columns {
                 let names: Vec<&str> = cols.iter().map(|&i| TSDB_COLUMNS[i]).collect();
                 line.push_str(&format!(" columns=[{}]", names.join(", ")));
@@ -546,6 +593,33 @@ fn render_into(plan: &LogicalPlan, depth: usize, out: &mut String) {
         LogicalPlan::Exchange { input } => {
             push_line(out, depth, "Exchange partitions=auto");
             render_into(input, depth + 1, out);
+        }
+        LogicalPlan::ScanAggregate {
+            table,
+            name,
+            tags,
+            start,
+            end,
+            filters,
+            group_by,
+            items,
+            hidden,
+        } => {
+            let mut line = format!("ScanAggregate {table}");
+            push_scan_attrs(&mut line, name, tags, start, end);
+            if !filters.is_empty() {
+                let f: Vec<String> = filters.iter().map(render_expr).collect();
+                line.push_str(&format!(" where=[{}]", f.join(", ")));
+            }
+            let keys: Vec<String> = group_by.iter().map(render_expr).collect();
+            let cols: Vec<String> =
+                items.iter().map(|(e, n)| format!("{} AS {n}", render_expr(e))).collect();
+            line.push_str(&format!(" group=[{}] items=[{}]", keys.join(", "), cols.join(", ")));
+            if !hidden.is_empty() {
+                let h: Vec<String> = hidden.iter().map(render_expr).collect();
+                line.push_str(&format!(" hidden=[{}]", h.join(", ")));
+            }
+            push_line(out, depth, &line);
         }
     }
 }

@@ -401,6 +401,187 @@ fn eval_binary_vec(op: BinaryOp, l: VOut, r: VOut, len: usize) -> Result<VOut> {
     Ok(VOut::Col(Column::from_values(out)))
 }
 
+// ---------------------------------------------------------------------------
+// GROUP BY keying
+// ---------------------------------------------------------------------------
+
+/// Per-row GROUP BY key strings. Dictionary columns render each
+/// *referenced* entry's key fragment once (a selective filter may leave a
+/// handful of codes over a store-wide dictionary) and splice by code;
+/// other columns render per row. Byte-identical to the naive
+/// `get(row).group_key()` loop, so every engine buckets rows the same way.
+pub(crate) fn group_key_strings(key_cols: &[Column], len: usize) -> Vec<String> {
+    enum Part<'c> {
+        Dict { per: Vec<String>, codes: &'c [u32] },
+        Plain(&'c Column),
+    }
+    let parts: Vec<Part> = key_cols
+        .iter()
+        .map(|c| match c {
+            Column::Dict { values, codes } => {
+                let mut per: Vec<String> = vec![String::new(); values.len()];
+                let mut done = vec![false; values.len()];
+                for &code in codes.iter() {
+                    let i = code as usize;
+                    if !done[i] {
+                        per[i] = values[i].group_key();
+                        done[i] = true;
+                    }
+                }
+                Part::Dict { per, codes }
+            }
+            other => Part::Plain(other),
+        })
+        .collect();
+    let mut keys = Vec::with_capacity(len);
+    for row in 0..len {
+        let mut key = String::new();
+        for p in &parts {
+            match p {
+                Part::Dict { per, codes } => key.push_str(&per[codes[row] as usize]),
+                Part::Plain(c) => key.push_str(&c.get(row).group_key()),
+            }
+            key.push('\u{1}');
+        }
+        keys.push(key);
+    }
+    keys
+}
+
+/// Groups rows **directly on dictionary codes** when every key column is
+/// dictionary-encoded: per key column, dictionary entries are deduplicated
+/// by their group-key fragment (rendered once *per entry*, never per row)
+/// into dense canonical ids; each row's composite id is the mixed-radix
+/// packing of its per-column canonical ids — so the per-row hot loop does
+/// integer arithmetic only, no string rendering and no string hashing.
+///
+/// Distinct composite ids whose joined fragment strings nevertheless
+/// collide (a fragment containing the `\u{1}` separator) are merged
+/// afterwards, per distinct id, so bucketing stays *exactly* equal to
+/// [`group_key_strings`]-based bucketing in every case.
+///
+/// Returns row-index buckets in first-seen order, or `None` when a key
+/// column is not dictionary-encoded (or the packed id space overflows).
+pub(crate) fn dict_group_rows(key_cols: &[Column], len: usize) -> Option<Vec<Vec<usize>>> {
+    use std::collections::hash_map::Entry;
+    use std::collections::HashMap;
+
+    struct Key<'c> {
+        codes: &'c [u32],
+        /// Dictionary code → dense canonical id (fragment-deduplicated).
+        canon: Vec<u128>,
+        /// Canonical id → the entry's fragment (for collision merging).
+        frags: Vec<String>,
+        cardinality: u128,
+    }
+    let mut keys: Vec<Key> = Vec::with_capacity(key_cols.len());
+    for c in key_cols {
+        let Column::Dict { values, codes } = c else { return None };
+        // Render fragments only for entries a row actually *references* —
+        // a selective filter may leave a handful of codes over a
+        // store-wide dictionary, and unreferenced entries must cost
+        // nothing (no rendering, no hashing).
+        const UNSEEN: u128 = u128::MAX;
+        let mut ids: HashMap<String, u128> = HashMap::new();
+        let mut canon = vec![UNSEEN; values.len()];
+        let mut frags: Vec<String> = Vec::new();
+        for &code in codes.iter() {
+            let slot = &mut canon[code as usize];
+            if *slot != UNSEEN {
+                continue;
+            }
+            let frag = values[code as usize].group_key();
+            let next = ids.len() as u128;
+            let id = *ids.entry(frag.clone()).or_insert(next);
+            if id == next {
+                frags.push(frag);
+            }
+            *slot = id;
+        }
+        let cardinality = (frags.len() as u128).max(1);
+        keys.push(Key { codes, canon, frags, cardinality });
+    }
+    // Mixed-radix packing must fit u128 (it always does in practice; a
+    // pathological dictionary-cardinality product falls back to strings).
+    keys.iter().try_fold(1u128, |acc, k| acc.checked_mul(k.cardinality))?;
+
+    let mut order: Vec<u128> = Vec::new();
+    let mut buckets: HashMap<u128, usize> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for row in 0..len {
+        let mut id = 0u128;
+        for k in &keys {
+            id = id * k.cardinality + k.canon[k.codes[row] as usize];
+        }
+        match buckets.entry(id) {
+            Entry::Vacant(e) => {
+                order.push(id);
+                e.insert(groups.len());
+                groups.push(vec![row]);
+            }
+            Entry::Occupied(e) => groups[*e.get()].push(row),
+        }
+    }
+
+    // Collision pass, per distinct composite id: unpack the id back into
+    // per-column canonical ids, join the fragments with the `\u{1}`
+    // separator and merge buckets whose joined strings are equal. Merged
+    // row lists interleave in ascending row order (both inputs are
+    // ascending), which preserves the serial first-seen semantics.
+    let mut by_joined: HashMap<String, usize> = HashMap::new();
+    let mut final_groups: Vec<Vec<usize>> = Vec::new();
+    for (slot, mut id) in order.iter().copied().enumerate() {
+        let mut parts: Vec<&str> = Vec::with_capacity(keys.len());
+        for k in keys.iter().rev() {
+            let part = (id % k.cardinality) as usize;
+            id /= k.cardinality;
+            parts.push(&k.frags[part]);
+        }
+        let mut joined = String::new();
+        for p in parts.iter().rev() {
+            joined.push_str(p);
+            joined.push('\u{1}');
+        }
+        let rows = std::mem::take(&mut groups[slot]);
+        match by_joined.entry(joined) {
+            Entry::Vacant(e) => {
+                e.insert(final_groups.len());
+                final_groups.push(rows);
+            }
+            Entry::Occupied(e) => {
+                // Rare: fragments containing the separator. Sorted merge.
+                let dst = &mut final_groups[*e.get()];
+                let mut merged = Vec::with_capacity(dst.len() + rows.len());
+                let (mut a, mut b) = (dst.iter().peekable(), rows.iter().peekable());
+                loop {
+                    match (a.peek(), b.peek()) {
+                        (Some(&&x), Some(&&y)) => {
+                            if x < y {
+                                merged.push(x);
+                                a.next();
+                            } else {
+                                merged.push(y);
+                                b.next();
+                            }
+                        }
+                        (Some(&&x), None) => {
+                            merged.push(x);
+                            a.next();
+                        }
+                        (None, Some(&&y)) => {
+                            merged.push(y);
+                            b.next();
+                        }
+                        (None, None) => break,
+                    }
+                }
+                *dst = merged;
+            }
+        }
+    }
+    Some(final_groups)
+}
+
 /// Evaluates a predicate to a keep-mask (`is_true` semantics: NULL and
 /// false drop the row).
 pub fn eval_mask(expr: &Expr, schema: &Schema, cols: &[Column], len: usize) -> Result<Vec<bool>> {

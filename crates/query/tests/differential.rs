@@ -3,13 +3,18 @@
 //! (`explainit_query::reference`) on randomly generated queries and data —
 //! same schema, same rows, same row order.
 //!
-//! Every query runs **three** ways: the pipeline serially (one partition),
-//! the pipeline partition-parallel (a forced multi-morsel split, so
-//! partial-aggregate merging is exercised even on small inputs and
-//! single-core machines), and the reference interpreter. All three must
-//! agree bit-for-bit — the parallel aggregate's accumulators are built to
-//! be exactly fold-equivalent (error-free sums, per-class MIN/MAX,
-//! gathered PERCENTILE), so this is an equality check, not an epsilon one.
+//! Every query runs **four** ways: the pipeline serially (one partition,
+//! scan-aggregate pushdown off), the pipeline partition-parallel (a forced
+//! multi-morsel split with pushdown off, so partial-aggregate merging is
+//! exercised even on small inputs and single-core machines), the pipeline
+//! with the **scan-aggregate pushdown** enabled (forced multi-morsel, so
+//! the per-series pre-aggregation and its deterministic merge are
+//! exercised too), and the reference interpreter. All four must agree
+//! bit-for-bit — the accumulators are built to be exactly fold-equivalent
+//! (error-free sums, per-class MIN/MAX, gathered PERCENTILE) and the
+//! scan-aggregate operator reconstructs the serial first-seen group order
+//! from each group's earliest (timestamp, series rank) contribution, so
+//! this is an equality check, not an epsilon one.
 
 use explainit_query::reference::execute_naive;
 use explainit_query::{parse_query, Catalog, ExecOptions, Table, Value};
@@ -70,33 +75,43 @@ fn build_catalog(
     catalog
 }
 
-/// Runs `sql` serially, partition-parallel and through the reference
-/// interpreter, asserting all three agree (or all three reject).
+/// Runs `sql` serially, partition-parallel, with the scan-aggregate
+/// pushdown, and through the reference interpreter, asserting all four
+/// agree (or all four reject).
 fn assert_same(catalog: &Catalog, sql: &str) -> Result<(), TestCaseError> {
     let query = match parse_query(sql) {
         Ok(q) => q,
         Err(e) => panic!("generated query must parse: {sql}: {e}"),
     };
-    let serial = catalog.execute_query_with(&query, ExecOptions { partitions: 1 });
-    let parallel = catalog.execute_query_with(&query, ExecOptions { partitions: 3 });
-    let naive = execute_naive(catalog, &query);
-    match (&serial, &parallel) {
-        (Ok(a), Ok(b)) => {
-            prop_assert_eq!(
-                a.schema().columns(),
-                b.schema().columns(),
-                "serial/parallel schema mismatch for {}",
-                sql
-            );
-            prop_assert_eq!(a.rows(), b.rows(), "serial/parallel row mismatch for {}", sql);
+    let serial =
+        catalog.execute_query_with(&query, ExecOptions { partitions: 1, scan_aggregate: false });
+    let engines = [
+        ("parallel", ExecOptions { partitions: 3, scan_aggregate: false }),
+        ("scan-aggregate serial", ExecOptions { partitions: 1, scan_aggregate: true }),
+        ("scan-aggregate parallel", ExecOptions { partitions: 3, scan_aggregate: true }),
+    ];
+    for (label, opts) in engines {
+        let other = catalog.execute_query_with(&query, opts);
+        match (&serial, &other) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(
+                    a.schema().columns(),
+                    b.schema().columns(),
+                    "serial/{} schema mismatch for {}",
+                    label,
+                    sql
+                );
+                prop_assert_eq!(a.rows(), b.rows(), "serial/{} row mismatch for {}", label, sql);
+            }
+            (Err(_), Err(_)) => {}
+            _ => panic!(
+                "serial/{label} divergence for {sql}:\n  serial: {:?}\n  {label}: {:?}",
+                serial.as_ref().map(Table::len),
+                other.as_ref().map(Table::len)
+            ),
         }
-        (Err(_), Err(_)) => {}
-        _ => panic!(
-            "serial/parallel divergence for {sql}:\n  serial: {:?}\n  parallel: {:?}",
-            serial.as_ref().map(Table::len),
-            parallel.as_ref().map(Table::len)
-        ),
     }
+    let naive = execute_naive(catalog, &query);
     match (serial, naive) {
         (Ok(a), Ok(b)) => {
             prop_assert_eq!(
@@ -145,6 +160,36 @@ const AGG_ITEMS: [&str; 6] = [
     "SUM(ts) AS s_int, COUNT(v) AS n",
     "PERCENTILE(v, 0.9) AS p90, STDDEV(v) AS sd, SUM(v) AS s",
     "MIN(host) AS h0, MAX(host) AS h1, VARIANCE(ts) AS vt",
+];
+
+/// Group-key lists for the scan-aggregate generator: the timestamp
+/// column, dictionary-encoded keys, and combinations of both.
+const SA_KEYS: [&str; 5] =
+    ["timestamp", "metric_name", "tag['host']", "timestamp, tag['host']", "metric_name, timestamp"];
+
+/// Aggregate lists for the scan-aggregate generator: mixed mergeable
+/// aggregates (SUM/AVG/STDDEV/PERCENTILE), Int-typed SUM over the
+/// timestamp column, per-class MIN/MAX over dictionary expressions, and a
+/// computed per-point argument.
+const SA_ITEMS: [&str; 6] = [
+    "AVG(value) AS m, COUNT(*) AS n, MAX(value) AS mx",
+    "SUM(value) AS s, MIN(value) AS lo, STDDEV(value) AS sd",
+    "VARIANCE(value) AS var, PERCENTILE(value, 0.5) AS med",
+    "SUM(timestamp) AS s_int, COUNT(value) AS n",
+    "PERCENTILE(value, 0.9) AS p90, MIN(tag['host']) AS h0",
+    "MIN(metric_name) AS m0, MAX(tag['host']) AS h1, SUM(value * 2) AS s2",
+];
+
+/// WHERE clauses for the scan-aggregate generator: fully pushable
+/// predicates, residual value filters, and mixes of both.
+const SA_FILTERS: [&str; 7] = [
+    "",
+    " WHERE metric_name = 'cpu'",
+    " WHERE timestamp BETWEEN {lo} AND {hi}",
+    " WHERE value > -5.0",
+    " WHERE tag['host'] GLOB 'web*'",
+    " WHERE metric_name GLOB 'disk*' AND value > 0.0",
+    " WHERE tag['host'] IS NULL",
 ];
 
 proptest! {
@@ -335,6 +380,38 @@ proptest! {
     }
 
     #[test]
+    fn scan_aggregate_group_bys_agree(
+        points in tsdb_points(),
+        keys in 0usize..SA_KEYS.len(),
+        items in 0usize..SA_ITEMS.len(),
+        filter in 0usize..SA_FILTERS.len(),
+        lo in 0i64..200,
+        span in 1i64..200,
+        order_by_first_key in any::<bool>(),
+    ) {
+        // The scan-aggregate generator: every query here is eligible (or
+        // nearly eligible) for the ScanAggregate rewrite — GROUP BY
+        // timestamp / dictionary-encoded tag keys / metric_name, mixed
+        // mergeable aggregates over value/timestamp (Int typing included),
+        // residual value filters, tag globs and absent-tag predicates.
+        let catalog = build_catalog(&[], &[], &points);
+        let filter = SA_FILTERS[filter]
+            .replace("{lo}", &lo.to_string())
+            .replace("{hi}", &(lo + span).to_string());
+        let key = SA_KEYS[keys];
+        let order = if order_by_first_key {
+            format!(" ORDER BY {}", key.split(',').next().expect("non-empty key list"))
+        } else {
+            String::new()
+        };
+        let sql = format!("SELECT {key}, {} FROM tsdb{filter} GROUP BY {key}{order}", SA_ITEMS[items]);
+        assert_same(&catalog, &sql)?;
+        // Global aggregate over the same filter (no GROUP BY).
+        let sql = format!("SELECT {} FROM tsdb{filter}", SA_ITEMS[items]);
+        assert_same(&catalog, &sql)?;
+    }
+
+    #[test]
     fn glob_prefix_find_matches_brute_force(
         points in tsdb_points(),
         pat in 0usize..6,
@@ -381,11 +458,166 @@ fn corrected_aggregate_semantics_pinned() {
         Value::Float(4.5),
     ];
     for parts in [1usize, 2, 3, 8] {
-        let out = catalog.execute_query_with(&query, ExecOptions { partitions: parts }).unwrap();
+        let out = catalog.execute_query_with(&query, ExecOptions::with_partitions(parts)).unwrap();
         assert_eq!(out.rows()[0], expect, "partitions={parts}");
     }
     let naive = execute_naive(&catalog, &query).unwrap();
     assert_eq!(naive.rows()[0], expect, "reference");
+}
+
+/// All four engines on one eligible family query, pinned (no generators):
+/// the scan-aggregate result must be value-identical to serial, parallel
+/// and reference execution, including group order without an ORDER BY.
+#[test]
+fn scan_aggregate_pinned_four_way() {
+    let mut db = Tsdb::new();
+    for (host, base) in [("web-1", 1.0), ("web-2", 2.0), ("db-1", 10.0)] {
+        let key = SeriesKey::new("cpu").with_tag("host", host);
+        for t in 0..7 {
+            db.insert(&key, t * 60, base + t as f64 * 0.25);
+        }
+    }
+    db.insert(&SeriesKey::new("untagged"), 0, 5.0);
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", &db);
+    let query = parse_query(
+        "SELECT timestamp, tag['host'] AS h, AVG(value) AS m, SUM(value) AS s, \
+         COUNT(*) AS n, STDDEV(value) AS sd, PERCENTILE(value, 0.5) AS med \
+         FROM tsdb WHERE metric_name = 'cpu' GROUP BY timestamp, tag['host']",
+    )
+    .unwrap();
+    let baseline = catalog
+        .execute_query_with(&query, ExecOptions { partitions: 1, scan_aggregate: false })
+        .unwrap();
+    assert_eq!(baseline.len(), 21);
+    for partitions in [1usize, 2, 3, 8] {
+        let out = catalog
+            .execute_query_with(&query, ExecOptions { partitions, scan_aggregate: true })
+            .unwrap();
+        assert_eq!(out.schema(), baseline.schema());
+        assert_eq!(out.rows(), baseline.rows(), "pushdown partitions={partitions}");
+    }
+    let naive = execute_naive(&catalog, &query).unwrap();
+    assert_eq!(naive.rows(), baseline.rows(), "reference");
+}
+
+/// SUM over the Int timestamp column keeps Int typing in the scan
+/// aggregate, and promotes to the exact float sum on i64 overflow —
+/// identically to the row engines.
+#[test]
+fn scan_aggregate_int_typing_and_overflow_promotion() {
+    // Small timestamps: SUM(timestamp) stays Int.
+    let mut db = Tsdb::new();
+    let key = SeriesKey::new("m").with_tag("host", "a");
+    for t in [1i64, 2, 3] {
+        db.insert(&key, t, 1.0);
+    }
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", &db);
+    let query = parse_query("SELECT SUM(timestamp) AS s FROM tsdb").unwrap();
+    for scan_aggregate in [false, true] {
+        let out = catalog
+            .execute_query_with(&query, ExecOptions { partitions: 2, scan_aggregate })
+            .unwrap();
+        assert_eq!(out.rows()[0][0], Value::Int(6), "pushdown={scan_aggregate}");
+    }
+
+    // Near-i64::MAX timestamps: the i128-exact sum overflows i64 and
+    // promotes to the error-free float sum in every engine.
+    let mut db = Tsdb::new();
+    let big = i64::MAX - 10;
+    db.insert(&SeriesKey::new("m").with_tag("host", "a"), big, 1.0);
+    db.insert(&SeriesKey::new("m").with_tag("host", "b"), big - 1, 2.0);
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", &db);
+    let naive = execute_naive(&catalog, &query).unwrap();
+    let expect = naive.rows()[0][0].clone();
+    assert!(matches!(expect, Value::Float(_)), "overflow must promote, got {expect:?}");
+    for scan_aggregate in [false, true] {
+        for partitions in [1usize, 2] {
+            let out = catalog
+                .execute_query_with(&query, ExecOptions { partitions, scan_aggregate })
+                .unwrap();
+            assert_eq!(
+                out.rows()[0][0],
+                expect,
+                "pushdown={scan_aggregate} partitions={partitions}"
+            );
+        }
+    }
+}
+
+/// `group_key` folds Int keys through f64, so timestamps beyond 2^53 that
+/// collapse to the same double must land in the same group — in the scan
+/// aggregate exactly as in the string-keyed engines.
+#[test]
+fn scan_aggregate_folds_giant_timestamps_like_group_key() {
+    let mut db = Tsdb::new();
+    let t0 = 1i64 << 53;
+    db.insert(&SeriesKey::new("m").with_tag("host", "a"), t0, 1.0);
+    db.insert(&SeriesKey::new("m").with_tag("host", "b"), t0 + 1, 2.0); // same f64 as t0
+    db.insert(&SeriesKey::new("m").with_tag("host", "c"), t0 + 2, 4.0); // distinct f64
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", &db);
+    let query = parse_query(
+        "SELECT timestamp, SUM(value) AS s, COUNT(*) AS n FROM tsdb GROUP BY timestamp",
+    )
+    .unwrap();
+    let baseline = catalog
+        .execute_query_with(&query, ExecOptions { partitions: 1, scan_aggregate: false })
+        .unwrap();
+    assert_eq!(baseline.len(), 2, "t0 and t0+1 fold into one group");
+    for partitions in [1usize, 2, 3] {
+        let out = catalog
+            .execute_query_with(&query, ExecOptions { partitions, scan_aggregate: true })
+            .unwrap();
+        assert_eq!(out.rows(), baseline.rows(), "partitions={partitions}");
+    }
+    let naive = execute_naive(&catalog, &query).unwrap();
+    assert_eq!(naive.rows(), baseline.rows());
+}
+
+/// MIN/MAX over streams containing NaN are *order-dependent* folds (NaN
+/// is incomparable, so `fold_minmax` keeps it as a separate class and the
+/// result is the first-seen class's best). The optimizer must therefore
+/// keep MIN/MAX-over-value pipelines off the series-major scan aggregate
+/// unless `timestamp` is a group key (where series-rank order equals row
+/// order within each group) — and either way, every engine must agree.
+#[test]
+fn minmax_with_nan_agrees_across_engines() {
+    let mut db = Tsdb::new();
+    // Rank order (canonical key order) differs from row (timestamp)
+    // order: host=a scans first but its point is *later*, so a
+    // series-major MIN fold would see 5.0 before the NaN that serial row
+    // order sees first.
+    db.insert(&SeriesKey::new("m").with_tag("host", "a"), 100, 5.0);
+    db.insert(&SeriesKey::new("m").with_tag("host", "b"), 0, f64::NAN);
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", &db);
+
+    // NaN != NaN under `PartialEq`, so identical results would still fail
+    // a row comparison; compare the debug rendering instead (NaN renders
+    // stably).
+    let rendered = |t: &Table| format!("{:?}", t.rows());
+    for sql in [
+        "SELECT MIN(value) AS lo FROM tsdb",
+        "SELECT MAX(value) AS hi FROM tsdb",
+        "SELECT metric_name, MIN(value) AS lo FROM tsdb GROUP BY metric_name",
+        "SELECT timestamp, MIN(value) AS lo FROM tsdb GROUP BY timestamp",
+    ] {
+        let query = parse_query(sql).unwrap();
+        let baseline = catalog
+            .execute_query_with(&query, ExecOptions { partitions: 1, scan_aggregate: false })
+            .unwrap();
+        for partitions in [1usize, 2] {
+            let out = catalog
+                .execute_query_with(&query, ExecOptions { partitions, scan_aggregate: true })
+                .unwrap();
+            assert_eq!(rendered(&out), rendered(&baseline), "{sql} partitions={partitions}");
+        }
+        let naive = execute_naive(&catalog, &query).unwrap();
+        assert_eq!(rendered(&naive), rendered(&baseline), "{sql} reference");
+    }
 }
 
 /// Non-constant PERCENTILE p must error identically everywhere.
@@ -399,7 +631,7 @@ fn non_constant_percentile_p_rejected_by_all_engines() {
     catalog.register("t", Table::from_rows(&["ts", "host", "v"], rows));
     let query = parse_query("SELECT PERCENTILE(v, ts * 0.1) AS p FROM t").unwrap();
     for parts in [1usize, 2] {
-        let out = catalog.execute_query_with(&query, ExecOptions { partitions: parts });
+        let out = catalog.execute_query_with(&query, ExecOptions::with_partitions(parts));
         assert!(
             matches!(out, Err(explainit_query::QueryError::BadFunction(_))),
             "partitions={parts}: {out:?}"

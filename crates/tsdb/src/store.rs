@@ -263,6 +263,23 @@ impl Tsdb {
             .collect()
     }
 
+    /// [`Tsdb::scan_parts`] in canonical series-key order.
+    ///
+    /// The position of each slice in the returned vector is the series'
+    /// *rank*: the tiebreak order of the relational observation view
+    /// (rows sorted by timestamp, ties in canonical key order). Both the
+    /// materializing scan and the scan-level aggregate operator consume
+    /// this order, so their notion of "first-seen row" agrees exactly.
+    pub fn scan_parts_ordered(
+        &self,
+        filter: &MetricFilter,
+        range: &TimeRange,
+    ) -> Vec<SeriesSlice<'_>> {
+        let mut parts = self.scan_parts(filter, range);
+        parts.sort_by_cached_key(|part| part.key.canonical());
+        parts
+    }
+
     /// The union time span of all series, if any data exists.
     pub fn time_span(&self) -> Option<TimeRange> {
         let mut span: Option<TimeRange> = None;
@@ -349,6 +366,17 @@ mod tests {
             assert_eq!(p.timestamps, &[120, 180, 240]);
             assert_eq!(p.timestamps.len(), p.values.len());
         }
+    }
+
+    #[test]
+    fn scan_parts_ordered_ranks_by_canonical_key() {
+        let db = sample_db();
+        let parts = db.scan_parts_ordered(&MetricFilter::all(), &TimeRange::new(0, 600));
+        assert_eq!(parts.len(), 4);
+        let canon: Vec<String> = parts.iter().map(|p| p.key.canonical()).collect();
+        let mut sorted = canon.clone();
+        sorted.sort();
+        assert_eq!(canon, sorted, "parts must come back in canonical order");
     }
 
     #[test]

@@ -118,6 +118,45 @@ pub fn raid_intervention() -> SimOutput {
     simulate(&spec)
 }
 
+/// A compound incident: three *concurrent* faults in one day-long trace —
+/// a packet-drop window, a disk-hogging rogue process overlapping it, and
+/// a periodic Namenode scan running throughout. No single §5 case study
+/// covers this shape; it exercises ranking when several true causes
+/// compete for the top ranks, and it is the workload behind the
+/// partition-sweep end-to-end test (simulate → `sql -f` → top-k must be
+/// identical at every partition count).
+pub fn multi_fault() -> SimOutput {
+    simulate(&multi_fault_spec(240))
+}
+
+/// The [`multi_fault`] cluster spec with an explicit horizon (the CLI's
+/// `simulate --fault multi` scales the fault windows to `--minutes`).
+pub fn multi_fault_spec(minutes: usize) -> ClusterSpec {
+    ClusterSpec {
+        minutes,
+        datanodes: 6,
+        pipelines: 4,
+        service_hosts: 5,
+        noise_services: 16,
+        metrics_per_noise_service: 4,
+        seed: 56,
+        faults: vec![
+            Fault::PacketDrop {
+                start_min: minutes / 2,
+                end_min: minutes / 2 + minutes / 8,
+                rate: 0.10,
+            },
+            Fault::DiskSaturation {
+                start_min: minutes * 9 / 16,
+                end_min: minutes * 3 / 4,
+                intensity: 0.4,
+            },
+            Fault::NamenodeScan { period_min: 15, duration_min: 5 },
+        ],
+        ..ClusterSpec::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +230,34 @@ mod tests {
         // And the next week repeats it.
         let next = mean(&rt[7 * 1440..7 * 1440 + 240]);
         assert!(next > quiet + 2.0, "second week spike");
+    }
+
+    #[test]
+    fn multi_fault_labels_every_injected_cause() {
+        let out = multi_fault();
+        assert_eq!(out.minutes, 240);
+        assert_eq!(out.truth.fault_kinds.len(), 3, "three concurrent faults");
+        // Every fault's cause families are labelled, and they span more
+        // than one fault's signature (the whole point of the workload).
+        assert!(
+            out.truth.cause_families.len() >= 3,
+            "compound incident has several causes: {:?}",
+            out.truth.cause_families
+        );
+        for cause in &out.truth.cause_families {
+            assert_eq!(out.truth.label(cause), crate::sim::Label::Cause);
+        }
+        // The runtime family reflects the overlapping fault windows.
+        let rt = out
+            .families()
+            .into_iter()
+            .find(|f| f.name == "pipeline_runtime")
+            .unwrap()
+            .data
+            .column(0);
+        let quiet = mean(&rt[10..110]);
+        let faulty = mean(&rt[125..175]);
+        assert!(faulty > quiet, "overlapping faults raise runtime: {faulty} vs {quiet}");
     }
 
     #[test]

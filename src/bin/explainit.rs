@@ -54,6 +54,7 @@ fn print_usage() {
         "ExplainIt! — declarative root-cause analysis for time series\n\n\
          USAGE:\n  explainit simulate --out FILE [--fault KIND] [--minutes N] [--seed N]\n\
          \x20 explainit sql FILE \"STMT; STMT; ...\" | explainit sql FILE -f SCRIPT.sql\n\
+         \x20     [--partitions N] [--no-scan-agg]   (executor tuning; defaults: auto, pushdown on)\n\
          \x20 explainit rank FILE [--target FAMILY] [--condition A,B] [--scorer NAME] [--top K]\n\
          \x20 explainit explain FILE --candidate FAMILY [--target FAMILY] [--condition A,B]\n\
          \x20 explainit case-study 5.1|5.2|5.3|5.4\n\n\
@@ -61,7 +62,7 @@ fn print_usage() {
          \x20 CREATE FAMILY name [WITH (layout='wide'|'long', ts=.., family=.., feature=.., value=..)] AS SELECT ...\n\
          \x20 EXPLAIN FOR target [GIVEN fam, ...] [USING SCORER name] [TOP k]   (result also registered as table 'ranking')\n\
          \x20 SHOW FAMILIES | SHOW TABLES | DROP FAMILY name\n\n\
-         FAULT KINDS: packet_drop, hypervisor, namenode, raid, disk, none\n\
+         FAULT KINDS: packet_drop, hypervisor, namenode, raid, disk, multi, none\n\
          SCORERS: auto, corrmean, corrmax, l2, l2p50, l2p500, lasso"
     );
 }
@@ -102,6 +103,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             end_min: minutes / 2,
             intensity: 0.5,
         }],
+        // Compound incident: packet drops + a disk hog + a periodic
+        // Namenode scan, concurrently (the multi-fault workload).
+        "multi" => case_studies::multi_fault_spec(minutes).faults,
         "none" => vec![],
         other => return Err(format!("unknown fault kind: {other}")),
     };
@@ -147,7 +151,7 @@ fn print_outcome(outcome: &StatementOutcome) {
 
 fn cmd_sql(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("sql requires a snapshot FILE")?;
-    let (script, consumed) = match args.get(1).map(String::as_str) {
+    let (script, mut consumed) = match args.get(1).map(String::as_str) {
         Some("-f") => {
             let file = args.get(2).ok_or("-f requires a script FILE")?;
             (std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?, 3)
@@ -155,13 +159,27 @@ fn cmd_sql(args: &[String]) -> Result<(), String> {
         Some(inline) => (inline.to_string(), 2),
         None => return Err("sql requires a statement string or -f SCRIPT.sql".into()),
     };
-    // Trailing garbage is an error, not silently dropped: a shell-quoting
-    // slip would otherwise run a *prefix* of what the user wrote.
-    if let Some(extra) = args.get(consumed) {
-        return Err(format!("unexpected trailing argument: {extra}"));
+    // Executor tuning flags after the script; anything else trailing is an
+    // error, not silently dropped: a shell-quoting slip would otherwise
+    // run a *prefix* of what the user wrote.
+    let mut opts = explainit::query::ExecOptions::default();
+    while let Some(arg) = args.get(consumed) {
+        match arg.as_str() {
+            "--partitions" => {
+                let n = args.get(consumed + 1).ok_or("--partitions requires a count")?;
+                opts.partitions = n.parse().map_err(|e| format!("--partitions: {e}"))?;
+                consumed += 2;
+            }
+            "--no-scan-agg" => {
+                opts.scan_aggregate = false;
+                consumed += 1;
+            }
+            extra => return Err(format!("unexpected trailing argument: {extra}")),
+        }
     }
     let db = load_db(path)?;
     let mut session = Session::new();
+    session.set_exec_options(opts);
     session.bind_tsdb("tsdb", &db);
     let outcomes = session.execute_script(&script).map_err(|e| e.to_string())?;
     if outcomes.is_empty() {

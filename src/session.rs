@@ -40,7 +40,7 @@ use explainit_core::{
 };
 use explainit_query::{
     parse_script, parse_statement, pivot_long, pivot_one, pivot_wide, Catalog, CreateFamily,
-    ExplainFor, FamilyFrame, QueryError, Statement, Table, Value,
+    ExecOptions, ExplainFor, FamilyFrame, QueryError, Statement, Table, Value,
 };
 use explainit_tsdb::{SharedTsdb, Tsdb};
 
@@ -203,6 +203,9 @@ pub struct Session {
     engine: Engine,
     /// `CREATE FAMILY` statement name → the engine families it registered.
     groups: BTreeMap<String, Vec<String>>,
+    /// Executor options every statement's queries run with (partition
+    /// count, scan-aggregate pushdown). Defaults to auto/on.
+    exec_options: ExecOptions,
 }
 
 impl Session {
@@ -253,6 +256,19 @@ impl Session {
         self.engine.add_family(family);
     }
 
+    /// Sets the executor options (partition count, scan-aggregate
+    /// pushdown) used by every subsequent statement's queries — the CLI's
+    /// `sql --partitions N` / `--no-scan-agg` flags land here, and the
+    /// partition-sweep end-to-end test drives it directly.
+    pub fn set_exec_options(&mut self, opts: ExecOptions) {
+        self.exec_options = opts;
+    }
+
+    /// The executor options statements currently run with.
+    pub fn exec_options(&self) -> ExecOptions {
+        self.exec_options
+    }
+
     /// Executes a `;`-separated script, returning one outcome per
     /// statement. Execution stops at the first failing statement; the
     /// error names its 1-based position.
@@ -278,7 +294,7 @@ impl Session {
     pub fn execute_statement(&mut self, statement: &Statement) -> Result<StatementOutcome> {
         match statement {
             Statement::Query(q) => {
-                let table = self.catalog.execute_query(q)?;
+                let table = self.catalog.execute_query_with(q, self.exec_options)?;
                 let summary = if q.explain {
                     "EXPLAIN".to_string()
                 } else {
@@ -296,7 +312,7 @@ impl Session {
 
     /// `CREATE FAMILY`: stage-one query → pivot → engine registration.
     fn create_family(&mut self, cf: &CreateFamily) -> Result<StatementOutcome> {
-        let table = self.catalog.execute_query(&cf.query)?;
+        let table = self.catalog.execute_query_with(&cf.query, self.exec_options)?;
         if table.is_empty() {
             return Err(SessionError::Statement(format!(
                 "CREATE FAMILY {}: the stage-one query returned no rows",

@@ -1,0 +1,145 @@
+//! End-to-end scenario test: the multi-fault workload driven through the
+//! CLI's `sql -f` script path — simulate → CREATE FAMILY → EXPLAIN FOR →
+//! SELECT over `ranking` — asserting the top-k ranking is *identical* at
+//! every partition count, with the scan-aggregate pushdown on and off.
+//! The stage-one family query runs through the executor, so any
+//! partition- or pushdown-dependence in aggregation would change the
+//! frames, the scores, and therefore this byte-compared output.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_explainit"))
+}
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("explainit-multifault-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn multi_fault_top_k_is_stable_across_partition_counts() {
+    let snapshot = tmp_path("incident.tsdb");
+    let out = bin()
+        .args([
+            "simulate",
+            "--out",
+            snapshot.to_str().expect("utf8 path"),
+            "--fault",
+            "multi",
+            "--minutes",
+            "240",
+            "--seed",
+            "17",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let sim_stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(sim_stdout.contains("injected causes"), "multi-fault causes listed:\n{sim_stdout}");
+
+    // The paper's whole workflow as one script; the stage-one query is an
+    // eligible scan-aggregate shape (GROUP BY timestamp + the dictionary
+    // columns), so the pushdown actually runs in the pushdown-on legs.
+    let script = "CREATE FAMILY metrics WITH (layout = 'long', family = 'metric_name') AS \
+                    SELECT timestamp, metric_name, tag, AVG(value) AS value FROM tsdb \
+                    GROUP BY timestamp, metric_name, tag; \
+                  EXPLAIN FOR pipeline_runtime USING SCORER l2 TOP 8; \
+                  SELECT rank, family, score FROM ranking ORDER BY rank";
+    let script_file = tmp_path("workflow.sql");
+    std::fs::write(&script_file, script).expect("write script");
+
+    let run = |extra: &[&str]| -> String {
+        let mut args = vec![
+            "sql",
+            snapshot.to_str().expect("utf8 path"),
+            "-f",
+            script_file.to_str().expect("utf8 path"),
+        ];
+        args.extend_from_slice(extra);
+        let out = bin().args(&args).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "sql {extra:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // Per-statement summary lines (`-- [2] EXPLAIN FOR ... in 1.2ms`)
+        // embed wall-clock timings; everything else — the rendered family
+        // table, notices and the ranking relation — must be byte-stable.
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.starts_with("-- ["))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let baseline = run(&["--partitions", "1", "--no-scan-agg"]);
+    assert!(baseline.contains("(8 rows)"), "TOP 8 ranking rendered:\n{baseline}");
+    assert!(baseline.contains("pipeline_runtime"), "target named:\n{baseline}");
+
+    // Partition sweep × pushdown toggle: identical bytes, not just
+    // identical top entries.
+    for partitions in ["1", "2", "4"] {
+        for pushdown_flags in [&[][..], &["--no-scan-agg"][..]] {
+            let mut extra = vec!["--partitions", partitions];
+            extra.extend_from_slice(pushdown_flags);
+            let got = run(&extra);
+            assert_eq!(
+                got, baseline,
+                "ranking diverged at partitions={partitions} flags={pushdown_flags:?}"
+            );
+        }
+    }
+
+    let _ = std::fs::remove_file(&script_file);
+    let _ = std::fs::remove_file(&snapshot);
+}
+
+#[test]
+fn sql_rejects_bad_executor_flags() {
+    let snapshot = tmp_path("flags.tsdb");
+    let out = bin()
+        .args([
+            "simulate",
+            "--out",
+            snapshot.to_str().expect("utf8 path"),
+            "--fault",
+            "none",
+            "--minutes",
+            "60",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    // --partitions needs a count; unknown flags stay errors.
+    let out = bin()
+        .args(["sql", snapshot.to_str().expect("utf8 path"), "SELECT 1", "--partitions"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let out = bin()
+        .args(["sql", snapshot.to_str().expect("utf8 path"), "SELECT 1", "--frobnicate"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected trailing argument"));
+
+    // The tuning flags themselves are accepted.
+    let out = bin()
+        .args([
+            "sql",
+            snapshot.to_str().expect("utf8 path"),
+            "SELECT COUNT(*) AS n FROM tsdb",
+            "--partitions",
+            "2",
+            "--no-scan-agg",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(1 rows)"));
+
+    let _ = std::fs::remove_file(&snapshot);
+}
