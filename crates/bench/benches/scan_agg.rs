@@ -40,8 +40,8 @@ fn bench_family_query_pushdown(c: &mut Criterion) {
     catalog.register_tsdb("tsdb", &db);
     let query = parse_query(FAMILY_QUERY).expect("parse");
 
-    let off = ExecOptions { partitions: 0, scan_aggregate: false };
-    let on = ExecOptions { partitions: 0, scan_aggregate: true };
+    let off = ExecOptions { partitions: 0, scan_aggregate: false, ..ExecOptions::default() };
+    let on = ExecOptions { partitions: 0, scan_aggregate: true, ..ExecOptions::default() };
     // Sanity: both engines must agree before timing means anything.
     let a = catalog.execute_query_with(&query, off).expect("off");
     let b = catalog.execute_query_with(&query, on).expect("on");
@@ -58,7 +58,10 @@ fn bench_family_query_pushdown(c: &mut Criterion) {
     group.bench_function("scan_aggregate_serial", |bch| {
         bch.iter(|| {
             catalog
-                .execute_query_with(&query, ExecOptions { partitions: 1, scan_aggregate: true })
+                .execute_query_with(
+                    &query,
+                    ExecOptions { partitions: 1, scan_aggregate: true, ..ExecOptions::default() },
+                )
                 .expect("on-serial")
         });
     });

@@ -104,4 +104,37 @@ fn main() {
         naive,
         naive.as_secs_f64() / auto.as_secs_f64()
     );
+
+    // ---- skewed fleet ----------------------------------------------------
+    // One hot series holds ~all the points. The scan-aggregate morsels are
+    // point-balanced (they split the hot series), so forced partition
+    // counts must stay row-identical to serial; a diff fails the run.
+    let db = explainit_bench::build_skewed_db(fleet, points);
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", &db);
+    println!("\nskewed fleet: 1 hot series with ~all of {} points", db.point_count());
+    let skew_serial_out =
+        catalog.execute_query_with(&query, ExecOptions::with_partitions(1)).expect("skew serial");
+    let skew_serial = best_of(3, || {
+        catalog.execute_query_with(&query, ExecOptions::with_partitions(1)).expect("skew serial");
+    });
+    println!("{:<26} {:>12.3?}   (baseline)", "skew partitions=1", skew_serial);
+    for parts in [2usize, 4, 8, 0] {
+        let out = catalog
+            .execute_query_with(&query, ExecOptions::with_partitions(parts))
+            .expect("skew par");
+        assert_eq!(out.rows(), skew_serial_out.rows(), "skew partitions={parts} diverged");
+        let t = best_of(3, || {
+            catalog
+                .execute_query_with(&query, ExecOptions::with_partitions(parts))
+                .expect("skew par");
+        });
+        let label = if parts == 0 { "auto".to_string() } else { parts.to_string() };
+        println!(
+            "{:<26} {:>12.3?}   {:.2}x vs serial",
+            format!("skew partitions={label}"),
+            t,
+            skew_serial.as_secs_f64() / t.as_secs_f64()
+        );
+    }
 }

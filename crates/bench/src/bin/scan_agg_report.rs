@@ -35,6 +35,8 @@ fn build_db(fleet: usize, points: usize) -> Tsdb {
     db
 }
 
+use explainit_bench::build_skewed_db;
+
 fn best_of<F: FnMut()>(reps: usize, mut f: F) -> Duration {
     let mut best = Duration::MAX;
     for _ in 0..reps {
@@ -66,7 +68,11 @@ fn main() {
         fleet * points
     );
 
-    let opts = |partitions: usize, scan_aggregate: bool| ExecOptions { partitions, scan_aggregate };
+    let opts = |partitions: usize, scan_aggregate: bool| ExecOptions {
+        partitions,
+        scan_aggregate,
+        ..ExecOptions::default()
+    };
 
     // Correctness gate: every (partitions, pushdown) combination must be
     // row-identical to the serial no-pushdown pipeline and the reference.
@@ -104,4 +110,49 @@ fn main() {
             serial_off.as_secs_f64() / t.as_secs_f64()
         );
     }
+
+    // ---- skewed-fleet sweep (CI gate) ------------------------------------
+    // One hot series holds ~all points. Point-balanced morsels split it, so
+    // every forced partition count must still be row-identical to the
+    // serial no-pushdown pipeline — a diff here means the split broke the
+    // deterministic merge. Forced partitions clamp to the *point* count,
+    // so partitions=4 genuinely engages 4 morsels (>1 worker) even though
+    // nearly everything lives in one series.
+    let db = build_skewed_db(fleet.min(32), points.min(1000));
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", &db);
+    println!(
+        "\nskewed fleet: 1 hot series with {} of {} points",
+        db.point_count() - 8 * (fleet.min(32) - 1),
+        db.point_count()
+    );
+    let baseline = catalog.execute_query_with(&query, opts(1, false)).expect("skew serial");
+    for partitions in [1usize, 2, 4, 8, 0] {
+        for scan_aggregate in [false, true] {
+            let out = catalog
+                .execute_query_with(&query, opts(partitions, scan_aggregate))
+                .expect("skew sweep");
+            assert_eq!(
+                out.rows(),
+                baseline.rows(),
+                "skew row diff at partitions={partitions} pushdown={scan_aggregate}"
+            );
+        }
+    }
+    let naive = execute_naive(&catalog, &query).expect("skew naive");
+    assert_eq!(naive.rows(), baseline.rows(), "skew reference diverged");
+    println!("skewed sweep row-identical ({} groups)", baseline.len());
+    let skew_serial = best_of(3, || {
+        catalog.execute_query_with(&query, opts(1, true)).expect("run");
+    });
+    let skew_auto = best_of(3, || {
+        catalog.execute_query_with(&query, opts(0, true)).expect("run");
+    });
+    println!("{:<34} {:>12.3?}", "skew pushdown=on partitions=1", skew_serial);
+    println!(
+        "{:<34} {:>12.3?}   {:.2}x vs serial pushdown",
+        "skew pushdown=on partitions=auto",
+        skew_auto,
+        skew_serial.as_secs_f64() / skew_auto.as_secs_f64()
+    );
 }

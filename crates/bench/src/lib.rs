@@ -102,6 +102,31 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
     out
 }
 
+/// A pathologically skewed fleet for the query-layer sweeps: one hot
+/// `disk` series holds `fleet * points` observations (think one chatty
+/// host scraping at 100x the fleet interval) while the remaining
+/// `fleet - 1` series carry 8 points each. Series-count morsels would
+/// hand ~everything to a single worker; the executor's point-balanced
+/// split cuts the hot series itself, so the skewed partition sweeps in
+/// `scan_agg_report` / `parallel_scaling` genuinely engage >1 worker.
+pub fn build_skewed_db(fleet: usize, points: usize) -> explainit_tsdb::Tsdb {
+    use explainit_tsdb::{SeriesKey, Tsdb};
+    let mut db = Tsdb::new();
+    let hot = SeriesKey::new("disk").with_tag("host", "host-hot").with_tag("grp", "g0");
+    for t in 0..(fleet * points) {
+        db.insert(&hot, t as i64, (t % 997) as f64 * 0.1);
+    }
+    for s in 0..fleet.saturating_sub(1) {
+        let key = SeriesKey::new("disk")
+            .with_tag("host", format!("host-{s}"))
+            .with_tag("grp", format!("g{}", s % 8));
+        for t in 0..8 {
+            db.insert(&key, t as i64 * 60, t as f64);
+        }
+    }
+    db
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

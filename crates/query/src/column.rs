@@ -202,10 +202,26 @@ impl Column {
 
     /// Gather with optional indices: `None` produces NULL (used by outer
     /// joins to null-extend the unmatched side).
+    ///
+    /// Padding is type-preserving: a dictionary column stays
+    /// dictionary-encoded (the dictionary grows a NULL entry instead of
+    /// cloning a value per row), and dense columns demote to the generic
+    /// representation whose present values keep their exact identity — an
+    /// `Int` column padded with NULLs still yields `Value::Int` for every
+    /// matched row, never a float or a rendered string.
     pub fn gather_opt(&self, indices: &[Option<usize>]) -> Column {
         if indices.iter().all(Option::is_some) {
             let dense: Vec<usize> = indices.iter().map(|i| i.expect("checked")).collect();
             return self.gather(&dense);
+        }
+        if let Column::Dict { values, codes } = self {
+            let mut padded = values.as_ref().clone();
+            let null_code = u32::try_from(padded.len()).expect("dictionary size fits u32");
+            padded.push(Value::Null);
+            return Column::dict(
+                Arc::new(padded),
+                indices.iter().map(|i| i.map_or(null_code, |i| codes[i])).collect(),
+            );
         }
         Column::Values(
             indices
@@ -386,6 +402,38 @@ mod tests {
         let out = c.gather_opt(&[Some(1), None]);
         assert_eq!(out.get(0), Value::Int(2));
         assert_eq!(out.get(1), Value::Null);
+    }
+
+    #[test]
+    fn gather_opt_padding_preserves_value_identity() {
+        // Outer-join null padding must never rewrite the present values:
+        // Int stays Int (not Float, not a rendered string).
+        let c = Column::Int(vec![7, 8]);
+        let out = c.gather_opt(&[Some(0), None, Some(1)]);
+        assert_eq!(
+            out.iter_values().collect::<Vec<_>>(),
+            vec![Value::Int(7), Value::Null, Value::Int(8)]
+        );
+        let c = Column::Float(vec![1.5]);
+        let out = c.gather_opt(&[None, Some(0)]);
+        assert_eq!(out.get(1), Value::Float(1.5));
+    }
+
+    #[test]
+    fn gather_opt_keeps_dictionary_encoding() {
+        // A dictionary column survives null padding as a dictionary with a
+        // NULL entry — no per-row value cloning through outer joins.
+        let values = Arc::new(vec![Value::str("a"), Value::str("b")]);
+        let c = Column::dict(values, vec![0, 1, 0]);
+        let out = c.gather_opt(&[Some(2), None, Some(1)]);
+        assert!(matches!(out, Column::Dict { .. }), "stays dict-encoded: {out:?}");
+        assert_eq!(out.get(0), Value::str("a"));
+        assert_eq!(out.get(1), Value::Null);
+        assert_eq!(out.get(2), Value::str("b"));
+        // The all-matched fast path shares the original dictionary.
+        let dense = c.gather_opt(&[Some(1), Some(0)]);
+        assert!(matches!(dense, Column::Dict { .. }));
+        assert_eq!(dense.get(0), Value::str("b"));
     }
 
     #[test]

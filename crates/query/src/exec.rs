@@ -27,7 +27,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use explainit_tsdb::{MetricFilter, SeriesKey, TimeRange};
+use explainit_tsdb::{MetricFilter, SeriesKey};
 
 use crate::ast::{Expr, JoinKind, Query};
 use crate::catalog::{Catalog, TsdbBinding};
@@ -60,11 +60,17 @@ pub struct ExecOptions {
     /// harness turns it off to compare the pushdown against the ordinary
     /// pipeline on identical queries.
     pub scan_aggregate: bool,
+    /// Order the TSDB scan gather with a k-way merge over the per-series
+    /// sorted point vectors instead of a global stable sort over all rows.
+    /// On by default; `false` retains the stable-sort reference path the
+    /// differential harness (and the `scan_gather` bench) compares
+    /// against — both produce bit-identical row orders.
+    pub merge_gather: bool,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { partitions: 0, scan_aggregate: true }
+        ExecOptions { partitions: 0, scan_aggregate: true, merge_gather: true }
     }
 }
 
@@ -174,6 +180,20 @@ fn run_plan(ctx: &ExecCtx, plan: &LogicalPlan, opts: &ExecOptions) -> Result<Tab
         }
 
         LogicalPlan::Filter { input, predicate } => {
+            // Fully vectorizable Filter chains (the optimizer's
+            // cost-ordered residuals) evaluate in one pass over the source
+            // columns, innermost first, without building an intermediate
+            // Table per node.
+            let (filters, source) = peel_filters(plan);
+            if filters.len() > 1 && filters.iter().all(|p| veval::supported(p)) {
+                let t = run_plan(ctx, source, opts)?;
+                if t.is_empty() {
+                    return Ok(t);
+                }
+                let (schema, cols, len) = t.into_columnar_parts();
+                let (cols, len) = apply_filters(&filters, &schema, cols, len)?;
+                return Ok(Table::from_columnar_parts(schema, cols, len));
+            }
             let t = run_plan(ctx, input, opts)?;
             if t.is_empty() {
                 // Per-row semantics: an empty input never evaluates the
@@ -207,10 +227,10 @@ fn run_plan(ctx: &ExecCtx, plan: &LogicalPlan, opts: &ExecOptions) -> Result<Tab
             run_aggregate(&t, group_by, items, hidden)
         }
 
-        LogicalPlan::Join { left, right, kind, on } => {
+        LogicalPlan::Join { left, right, kind, on, stats } => {
             let l = run_plan(ctx, left, opts)?;
             let r = run_plan(ctx, right, opts)?;
-            run_join(l, r, *kind, on)
+            run_join(l, r, *kind, on, stats.is_some_and(|s| s.build_left))
         }
 
         LogicalPlan::Exchange { input } => run_exchange(ctx, input, opts),
@@ -307,10 +327,12 @@ fn run_tsdb_scan(
     };
     let schema = Schema::new(wanted.iter().map(|&i| TSDB_COLUMNS[i].to_string()).collect());
 
-    // Inclusive plan bounds -> half-open store range.
+    // Inclusive plan bounds map straight onto the store's inclusive scan
+    // range — no half-open conversion, so `timestamp == i64::MAX` points
+    // survive an unbounded (or saturated) upper bound.
     let lo = start.unwrap_or(i64::MIN);
-    let hi = end.map_or(i64::MAX, |e| e.saturating_add(1));
-    if lo >= hi {
+    let hi = end.unwrap_or(i64::MAX);
+    if lo > hi {
         let empty: Vec<Column> = wanted
             .iter()
             .map(|&i| match i {
@@ -324,20 +346,41 @@ fn run_tsdb_scan(
     }
 
     let filter = MetricFilter { name: name.clone(), tags: tags.to_vec() };
-    let range = TimeRange::new(lo, hi);
-    // Canonical-key order first, then a stable sort by timestamp, gives the
-    // same (timestamp, series key) row order as the materialized view.
-    let hits = db.scan_parts_ordered(&filter, &range);
+    // Canonical-key (rank) order: the tiebreak order of the observation
+    // view — rows sort by timestamp with ties in canonical key order.
+    let hits = db.scan_parts_ordered_between(&filter, lo, hi);
 
     let total: usize = hits.iter().map(|p| p.timestamps.len()).sum();
-    let mut ts_concat: Vec<i64> = Vec::with_capacity(total);
-    let mut hit_of: Vec<u32> = Vec::with_capacity(total);
-    for (h, part) in hits.iter().enumerate() {
-        ts_concat.extend_from_slice(part.timestamps);
-        hit_of.extend(std::iter::repeat_n(h as u32, part.timestamps.len()));
-    }
-    let mut order: Vec<u32> = (0..total as u32).collect();
-    order.sort_by_key(|&i| ts_concat[i as usize]); // stable: ties stay key-ordered
+    // Side vectors over the concatenation, each built only when something
+    // reads it: the timestamp concat feeds the retained sort path and the
+    // timestamp output column; the hit map feeds the dictionary columns.
+    let ts_concat: Option<Vec<i64>> = (!opts.merge_gather || wanted.contains(&0)).then(|| {
+        let mut v = Vec::with_capacity(total);
+        for part in &hits {
+            v.extend_from_slice(part.timestamps);
+        }
+        v
+    });
+    let hit_of: Option<Vec<u32>> = (wanted.contains(&1) || wanted.contains(&2)).then(|| {
+        let mut v = Vec::with_capacity(total);
+        for (h, part) in hits.iter().enumerate() {
+            v.extend(std::iter::repeat_n(h as u32, part.timestamps.len()));
+        }
+        v
+    });
+    // Row order over the concatenation. Each series' slice is already
+    // timestamp-sorted, so a k-way merge keyed on `(timestamp, rank)`
+    // produces exactly what the retained global stable sort produces
+    // (within one series timestamps are strictly increasing, so the pair
+    // is a total order) in O(N log K) instead of O(N log N).
+    let order: Vec<u32> = if opts.merge_gather {
+        merge_gather_order(&hits, total)
+    } else {
+        let ts = ts_concat.as_ref().expect("concatenated for the sort path");
+        let mut order: Vec<u32> = (0..total as u32).collect();
+        order.sort_by_key(|&i| ts[i as usize]); // stable: ties stay key-ordered
+        order
+    };
 
     // Decode per-hit dictionary codes and concatenate values once; the
     // gather below then reads pure native vectors.
@@ -359,19 +402,24 @@ fn run_tsdb_scan(
         wanted
             .iter()
             .map(|&c| match c {
-                0 => Column::Int(idx.iter().map(|&i| ts_concat[i as usize]).collect()),
+                0 => {
+                    let ts = ts_concat.as_ref().expect("concatenated for wanted column");
+                    Column::Int(idx.iter().map(|&i| ts[i as usize]).collect())
+                }
                 1 => {
                     let codes = name_code_of_hit.as_ref().expect("decoded for wanted column");
+                    let hit = hit_of.as_ref().expect("mapped for wanted column");
                     Column::dict(
                         dicts.names.clone(),
-                        idx.iter().map(|&i| codes[hit_of[i as usize] as usize]).collect(),
+                        idx.iter().map(|&i| codes[hit[i as usize] as usize]).collect(),
                     )
                 }
                 2 => {
                     let codes = tag_code_of_hit.as_ref().expect("decoded for wanted column");
+                    let hit = hit_of.as_ref().expect("mapped for wanted column");
                     Column::dict(
                         dicts.tags.clone(),
-                        idx.iter().map(|&i| codes[hit_of[i as usize] as usize]).collect(),
+                        idx.iter().map(|&i| codes[hit[i as usize] as usize]).collect(),
                     )
                 }
                 _ => {
@@ -404,6 +452,111 @@ fn run_tsdb_scan(
         acc
     };
     Ok(Table::from_columnar_parts(schema, out_cols, total))
+}
+
+/// Sort-free row ordering for the scan gather: a k-way merge over the
+/// per-series sorted timestamp slices, returning indices into their
+/// concatenation in `(timestamp, series rank)` order — bit-identical to a
+/// global stable sort by timestamp over the rank-ordered concatenation
+/// (the retained `merge_gather: false` reference path), because within one
+/// series timestamps are strictly increasing, making the pair a total
+/// order over all rows.
+///
+/// Two structure fast paths make the dominant monitoring shapes O(N) with
+/// no comparisons at all:
+///
+/// * **time-partitioned** — consecutive ranks' time windows don't overlap
+///   (backfills, per-epoch series): the concatenation is already row
+///   order, so the permutation is the identity;
+/// * **grid-aligned** — every series carries the *same* timestamp vector
+///   (one scrape interval across the fleet, the Appendix-C family shape):
+///   row order is a perfect transpose, `(t, rank) → offsets[rank] + t`.
+///
+/// The general path is a balanced bottom-up cascade of stable two-way
+/// merges — a tournament tree unrolled level by level: runs enter in rank
+/// order and every merge takes the left run on timestamp ties, so each
+/// intermediate run is `(timestamp, rank)`-sorted without ever storing or
+/// comparing ranks. That keeps the k-way bound of N log K sequential
+/// comparisons with the timestamp key carried inline, where the retained
+/// sort pays a key-extraction indirection per comparison.
+fn merge_gather_order(hits: &[explainit_tsdb::SeriesSlice<'_>], total: usize) -> Vec<u32> {
+    // Non-empty runs in rank order: (concat offset, timestamps).
+    let mut run_meta: Vec<(u32, &[i64])> = Vec::with_capacity(hits.len());
+    let mut offset = 0u32;
+    for part in hits {
+        let n = part.timestamps.len();
+        if n > 0 {
+            run_meta.push((offset, part.timestamps));
+        }
+        offset += n as u32;
+    }
+
+    // Trivial and time-partitioned shapes: the identity permutation. A
+    // boundary tie (`last == next first`) stays identity too — the stable
+    // sort keeps the lower rank first, which is concatenation order.
+    let partitioned = run_meta
+        .windows(2)
+        .all(|w| w[0].1.last().expect("non-empty run") <= w[1].1.first().expect("non-empty run"));
+    if partitioned {
+        let mut order: Vec<u32> = Vec::with_capacity(total);
+        for &(off, ts) in &run_meta {
+            order.extend(off..off + ts.len() as u32);
+        }
+        return order;
+    }
+
+    // Grid-aligned fleets: every run shares one timestamp vector, so row
+    // order is the transpose (all ranks at ts[0], then all at ts[1], ...).
+    // The check early-exits on the first differing slice.
+    let grid = run_meta[0].1;
+    if run_meta.iter().all(|&(_, ts)| std::ptr::eq(ts, grid) || ts == grid) {
+        let mut order: Vec<u32> = Vec::with_capacity(total);
+        for t in 0..grid.len() as u32 {
+            order.extend(run_meta.iter().map(|&(off, _)| off + t));
+        }
+        return order;
+    }
+
+    // General shape: cascade of stable two-way merges over (ts, index)
+    // pairs; `<=` keeps the left (lower-rank) run first on equal
+    // timestamps, so rank never needs storing.
+    let mut cur: Vec<(i64, u32)> = Vec::with_capacity(total);
+    let mut runs: Vec<(usize, usize)> = Vec::with_capacity(run_meta.len());
+    for &(off, ts) in &run_meta {
+        let start = cur.len();
+        cur.extend(ts.iter().enumerate().map(|(i, &t)| (t, off + i as u32)));
+        runs.push((start, cur.len()));
+    }
+    let mut buf: Vec<(i64, u32)> = Vec::with_capacity(cur.len());
+    while runs.len() > 1 {
+        buf.clear();
+        let mut next_runs: Vec<(usize, usize)> = Vec::with_capacity(runs.len().div_ceil(2));
+        for pair in runs.chunks(2) {
+            let start = buf.len();
+            match *pair {
+                [(la, lb), (ra, rb)] => {
+                    let (mut l, mut r) = (la, ra);
+                    while l < lb && r < rb {
+                        if cur[l].0 <= cur[r].0 {
+                            buf.push(cur[l]);
+                            l += 1;
+                        } else {
+                            buf.push(cur[r]);
+                            r += 1;
+                        }
+                    }
+                    buf.extend_from_slice(&cur[l..lb]);
+                    buf.extend_from_slice(&cur[r..rb]);
+                }
+                [(la, lb)] => buf.extend_from_slice(&cur[la..lb]),
+                _ => unreachable!("chunks(2) yields 1..=2 runs"),
+            }
+            next_runs.push((start, buf.len()));
+        }
+        std::mem::swap(&mut cur, &mut buf);
+        runs = next_runs;
+    }
+    cur.into_iter().map(|(_, i)| i).collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -617,6 +770,45 @@ fn morsel_ranges(len: usize, partitions: usize) -> Vec<(usize, usize)> {
         .map(|i| (i * chunk, ((i + 1) * chunk).min(len)))
         .filter(|(a, b)| a < b)
         .collect()
+}
+
+/// Point-balanced morsels over a rank-ordered series list: cuts the
+/// concatenated point sequence (series-major, `counts[i]` points each)
+/// into contiguous equal-point ranges and maps every range back to
+/// `(series index, point_lo, point_hi)` spans. A span may cover part of a
+/// series — that is the point: one hot series holding most of the store
+/// gets *split across* morsels instead of serializing the scan-aggregate
+/// pipeline behind a single worker. Each morsel's spans are ascending in
+/// `(series, point)` order and morsels tile the sequence exactly, so a
+/// merge that folds partials in morsel order replays every series' points
+/// in their original order.
+fn point_balanced_spans(counts: &[usize], partitions: usize) -> Vec<Vec<(usize, usize, usize)>> {
+    let total: usize = counts.iter().sum();
+    let ranges = morsel_ranges(total, partitions);
+    let mut out = Vec::with_capacity(ranges.len());
+    // Cursor over the series list; ranges are contiguous and ascending, so
+    // one forward walk suffices.
+    let mut series = 0usize;
+    let mut base = 0usize; // global offset of `series`' first point
+    for (ga, gb) in ranges {
+        while series < counts.len() && base + counts[series] <= ga {
+            base += counts[series];
+            series += 1;
+        }
+        let (mut s, mut b) = (series, base);
+        let mut spans = Vec::new();
+        while s < counts.len() && b < gb {
+            let lo = ga.max(b) - b;
+            let hi = (gb - b).min(counts[s]);
+            if lo < hi {
+                spans.push((s, lo, hi));
+            }
+            b += counts[s];
+            s += 1;
+        }
+        out.push(spans);
+    }
+    out
 }
 
 /// Runs `f(morsel_index)` for every morsel on a scoped worker pool (the
@@ -991,10 +1183,11 @@ fn run_scan_aggregate(
         Table::from_columnar_parts(out_schema, vec![Column::empty(); width], 0)
     };
 
-    // Inclusive plan bounds -> half-open store range.
+    // Inclusive plan bounds map straight onto the store's inclusive scan
+    // range (points at `timestamp == i64::MAX` stay reachable).
     let lo = start.unwrap_or(i64::MIN);
-    let hi = end.map_or(i64::MAX, |e| e.saturating_add(1));
-    if lo >= hi {
+    let hi = end.unwrap_or(i64::MAX);
+    if lo > hi {
         return Ok(empty(out_schema));
     }
 
@@ -1059,37 +1252,40 @@ fn run_scan_aggregate(
         specs.iter().any(|(_, args)| args.iter().any(|a| matches!(a, ArgSrc::Point(_))));
 
     let filter = MetricFilter { name: name.clone(), tags: tags.to_vec() };
-    let range = TimeRange::new(lo, hi);
-    let hits = db.scan_parts_ordered(&filter, &range);
+    let hits = db.scan_parts_ordered_between(&filter, lo, hi);
     if hits.is_empty() {
         return Ok(empty(out_schema));
     }
 
-    // Morsels cut the rank-ordered series list; auto mode keeps at least
-    // MIN_PARTITION_ROWS *points* per morsel.
-    let total_points: usize = hits.iter().map(|p| p.timestamps.len()).sum();
-    let partitions = if opts.partitions == 0 {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        cores.min(total_points.div_ceil(MIN_PARTITION_ROWS).max(1))
-    } else {
-        opts.partitions
-    }
-    .clamp(1, hits.len());
-    let ranges = morsel_ranges(hits.len(), partitions);
+    // Morsels cut the rank-ordered *point* sequence — not the series list —
+    // into contiguous equal-point spans, splitting a series across workers
+    // when it dominates the store (the skewed-fleet case where one hot
+    // series would otherwise serialize the whole operator). Splitting is
+    // sound because partials merge in morsel (= point) order, which keeps
+    // every accumulator fold identical to the unsplit one. Auto mode keeps
+    // at least MIN_PARTITION_ROWS points per morsel.
+    let counts: Vec<usize> = hits.iter().map(|p| p.timestamps.len()).collect();
+    let total_points: usize = counts.iter().sum();
+    let partitions = effective_partitions(opts, total_points);
+    let morsels = point_balanced_spans(&counts, partitions);
 
-    // Phase 1: per-morsel, per-series pre-aggregation.
+    // Phase 1: per-morsel, per-series-span pre-aggregation.
     type Partial = Vec<((String, u64), SaGroup)>;
-    let partials = run_partitioned(ranges.len(), |m| -> Result<Partial> {
-        let (a, b) = ranges[m];
+    let partials = run_partitioned(morsels.len(), |m| -> Result<Partial> {
         let mut tuple_ids: HashMap<String, u32> = HashMap::new();
         let mut tuple_frags: Vec<String> = Vec::new();
         let mut index: HashMap<(u32, u64), usize> = HashMap::new();
         let mut groups: Vec<SaGroup> = Vec::new();
         let mut scratch: Vec<Value> = Vec::new();
 
-        for (local, part) in hits[a..b].iter().enumerate() {
-            let rank = (a + local) as u32;
-            let n = part.timestamps.len();
+        for &(h, p_lo, p_hi) in &morsels[m] {
+            let part = &hits[h];
+            let rank = h as u32;
+            // This morsel's contiguous span of the series' sorted points
+            // (the whole series unless a hot series was split).
+            let span_ts = &part.timestamps[p_lo..p_hi];
+            let span_vals = &part.values[p_lo..p_hi];
+            let n = span_ts.len();
             if n == 0 {
                 continue;
             }
@@ -1105,8 +1301,8 @@ fn run_scan_aggregate(
                 let sub = substitute_series_consts(pred, &obs, part.key);
                 let cols = if *uses_points {
                     vec![
-                        Column::Int(kept.iter().map(|&i| part.timestamps[i as usize]).collect()),
-                        Column::Float(kept.iter().map(|&i| part.values[i as usize]).collect()),
+                        Column::Int(kept.iter().map(|&i| span_ts[i as usize]).collect()),
+                        Column::Float(kept.iter().map(|&i| span_vals[i as usize]).collect()),
                     ]
                 } else {
                     Vec::new()
@@ -1146,11 +1342,11 @@ fn run_scan_aggregate(
                 std::collections::hash_map::Entry::Occupied(e) => *e.get(),
             };
 
-            // Prepare this series' aggregate arguments.
+            // Prepare this series span's aggregate arguments.
             let kept_cols = if any_point_args {
                 vec![
-                    Column::Int(kept.iter().map(|&i| part.timestamps[i as usize]).collect()),
-                    Column::Float(kept.iter().map(|&i| part.values[i as usize]).collect()),
+                    Column::Int(kept.iter().map(|&i| span_ts[i as usize]).collect()),
+                    Column::Float(kept.iter().map(|&i| span_vals[i as usize]).collect()),
                 ]
             } else {
                 Vec::new()
@@ -1219,7 +1415,7 @@ fn run_scan_aggregate(
             if has_ts_key {
                 for (j, &pi) in kept.iter().enumerate() {
                     let pi = pi as usize;
-                    let ts = part.timestamps[pi];
+                    let ts = span_ts[pi];
                     let slot =
                         slot_of(ts, (ts as f64).to_bits(), (ts, rank), &mut groups, &mut index)?;
                     let g = &mut groups[slot];
@@ -1227,7 +1423,7 @@ fn run_scan_aggregate(
                         scratch.clear();
                         for arg in pa {
                             scratch.push(match arg {
-                                PreparedArg::Val => Value::Float(part.values[pi]),
+                                PreparedArg::Val => Value::Float(span_vals[pi]),
                                 PreparedArg::Ts => Value::Int(ts),
                                 PreparedArg::Const(v) => v.clone(),
                                 PreparedArg::Col(c) => c.get(j),
@@ -1237,7 +1433,7 @@ fn run_scan_aggregate(
                     }
                 }
             } else {
-                let first_ts = part.timestamps[kept[0] as usize];
+                let first_ts = span_ts[kept[0] as usize];
                 let slot = slot_of(first_ts, 0, (first_ts, rank), &mut groups, &mut index)?;
                 let g = &mut groups[slot];
                 for (j, &pi) in kept.iter().enumerate() {
@@ -1246,8 +1442,8 @@ fn run_scan_aggregate(
                         scratch.clear();
                         for arg in pa {
                             scratch.push(match arg {
-                                PreparedArg::Val => Value::Float(part.values[pi]),
-                                PreparedArg::Ts => Value::Int(part.timestamps[pi]),
+                                PreparedArg::Val => Value::Float(span_vals[pi]),
+                                PreparedArg::Ts => Value::Int(span_ts[pi]),
                                 PreparedArg::Const(v) => v.clone(),
                                 PreparedArg::Col(c) => c.get(j),
                             });
@@ -1331,43 +1527,97 @@ fn join_key_at(cols: &[&Column], row: usize) -> (bool, String) {
     (has_null, key)
 }
 
-fn run_join(left: Table, right: Table, kind: JoinKind, on: &Expr) -> Result<Table> {
+fn run_join(
+    left: Table,
+    right: Table,
+    kind: JoinKind,
+    on: &Expr,
+    build_left: bool,
+) -> Result<Table> {
     let mut columns = left.schema().columns().to_vec();
     columns.extend(right.schema().columns().iter().cloned());
     let combined = Schema::new(columns);
 
     if let Some((lk, rk)) = equi_join_keys(on, left.schema(), right.schema()) {
-        // Hash join over columnar keys: build pair lists, then gather.
+        // Hash join over columnar keys: build pair lists, then gather. The
+        // hash index goes over whichever side the optimizer's statistics
+        // picked (`build_left`; the legacy default is the right side) —
+        // both branches emit exactly the same `(left row, right row)`
+        // pairs in exactly the same order: all matches sorted by
+        // `(left row, right row)`, LEFT/FULL null-extensions in left-row
+        // position, FULL OUTER's unmatched right rows appended in right
+        // order. Statistics only ever change which side pays the memory.
         let right_key_cols: Vec<&Column> = rk.iter().map(|&c| right.column_at(c)).collect();
         let left_key_cols: Vec<&Column> = lk.iter().map(|&c| left.column_at(c)).collect();
-
-        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
-        for ri in 0..right.len() {
-            let (has_null, key) = join_key_at(&right_key_cols, ri);
-            if has_null {
-                continue; // NULL keys never match
-            }
-            index.entry(key).or_default().push(ri);
-        }
 
         let mut left_idx: Vec<Option<usize>> = Vec::new();
         let mut right_idx: Vec<Option<usize>> = Vec::new();
         let mut right_matched = vec![false; right.len()];
-        for li in 0..left.len() {
-            let (has_null, key) = join_key_at(&left_key_cols, li);
-            let matches = if has_null { None } else { index.get(&key) };
-            match matches {
-                Some(ris) if !ris.is_empty() => {
-                    for &ri in ris {
-                        right_matched[ri] = true;
-                        left_idx.push(Some(li));
-                        right_idx.push(Some(ri));
+        if build_left {
+            // Build on the (estimated-smaller) left side, probe with the
+            // right rows, and bucket matches per left row so the emission
+            // loop below can still walk in left-major order.
+            let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+            for li in 0..left.len() {
+                let (has_null, key) = join_key_at(&left_key_cols, li);
+                if has_null {
+                    continue; // NULL keys never match
+                }
+                index.entry(key).or_default().push(li);
+            }
+            let mut matches_of_left: Vec<Vec<u32>> = vec![Vec::new(); left.len()];
+            for (ri, matched) in right_matched.iter_mut().enumerate() {
+                let (has_null, key) = join_key_at(&right_key_cols, ri);
+                if has_null {
+                    continue;
+                }
+                if let Some(lis) = index.get(&key) {
+                    *matched = true;
+                    for &li in lis {
+                        // Probed in ascending `ri`, so each left row's
+                        // match list stays right-row-ordered.
+                        matches_of_left[li].push(ri as u32);
                     }
                 }
-                _ => {
+            }
+            for (li, ris) in matches_of_left.iter().enumerate() {
+                if ris.is_empty() {
                     if kind != JoinKind::Inner {
                         left_idx.push(Some(li));
                         right_idx.push(None);
+                    }
+                } else {
+                    for &ri in ris {
+                        left_idx.push(Some(li));
+                        right_idx.push(Some(ri as usize));
+                    }
+                }
+            }
+        } else {
+            let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+            for ri in 0..right.len() {
+                let (has_null, key) = join_key_at(&right_key_cols, ri);
+                if has_null {
+                    continue; // NULL keys never match
+                }
+                index.entry(key).or_default().push(ri);
+            }
+            for li in 0..left.len() {
+                let (has_null, key) = join_key_at(&left_key_cols, li);
+                let matches = if has_null { None } else { index.get(&key) };
+                match matches {
+                    Some(ris) if !ris.is_empty() => {
+                        for &ri in ris {
+                            right_matched[ri] = true;
+                            left_idx.push(Some(li));
+                            right_idx.push(Some(ri));
+                        }
+                    }
+                    _ => {
+                        if kind != JoinKind::Inner {
+                            left_idx.push(Some(li));
+                            right_idx.push(None);
+                        }
                     }
                 }
             }
@@ -1772,5 +2022,152 @@ mod tests {
         // Ditto under forced partitions.
         let t = run_parallel("SELECT COUNT(*) AS n FROM t WHERE ts > 100", 3);
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn point_balanced_spans_tile_and_split_hot_series() {
+        // One series holds ~99% of the points: series-count morsels would
+        // hand almost everything to one worker; point-balanced spans cut
+        // the hot series itself.
+        let counts = [1000usize, 5, 5, 5];
+        let morsels = point_balanced_spans(&counts, 4);
+        assert_eq!(morsels.len(), 4);
+        let hot_morsels =
+            morsels.iter().filter(|spans| spans.iter().any(|&(s, _, _)| s == 0)).count();
+        assert!(hot_morsels > 1, "hot series split across morsels: {morsels:?}");
+        // Spans tile the point sequence exactly, in order, per series.
+        let mut seen: Vec<Vec<(usize, usize)>> = vec![Vec::new(); counts.len()];
+        for spans in &morsels {
+            for &(s, lo, hi) in spans {
+                assert!(lo < hi);
+                seen[s].push((lo, hi));
+            }
+        }
+        for (s, ranges) in seen.iter().enumerate() {
+            let mut expect = 0;
+            for &(lo, hi) in ranges {
+                assert_eq!(lo, expect, "series {s} contiguous");
+                expect = hi;
+            }
+            assert_eq!(expect, counts[s], "series {s} fully covered");
+        }
+        // Degenerate shapes: empty series, one partition, more partitions
+        // than points.
+        assert_eq!(point_balanced_spans(&[0, 3, 0], 1), vec![vec![(1, 0, 3)]]);
+        let tiny = point_balanced_spans(&[1, 1], 8);
+        assert_eq!(tiny.iter().flatten().count(), 2);
+    }
+
+    fn tsdb_catalog() -> Catalog {
+        use explainit_tsdb::{SeriesKey, Tsdb};
+        let mut db = Tsdb::new();
+        for (host, off) in [("b-host", 0i64), ("a-host", 1), ("c-host", 2)] {
+            let key = SeriesKey::new("cpu").with_tag("host", host);
+            for t in 0..40 {
+                db.insert(&key, t * 3 + off % 2, (t + off) as f64);
+            }
+        }
+        db.insert(&SeriesKey::new("edge"), i64::MAX, 42.0);
+        db.insert(&SeriesKey::new("edge"), i64::MIN, -42.0);
+        let mut c = Catalog::new();
+        c.register_tsdb("tsdb", &db);
+        c
+    }
+
+    #[test]
+    fn merge_gather_matches_stable_sort_reference() {
+        let c = tsdb_catalog();
+        for sql in [
+            "SELECT * FROM tsdb",
+            "SELECT timestamp, value FROM tsdb WHERE metric_name = 'cpu'",
+            "SELECT timestamp, tag['host'] AS h, value FROM tsdb WHERE timestamp >= 5",
+            "SELECT timestamp FROM tsdb WHERE metric_name = 'nope'",
+        ] {
+            let q = parse_query(sql).unwrap();
+            let merged =
+                execute_with(&c, &q, ExecOptions { merge_gather: true, ..ExecOptions::default() })
+                    .unwrap();
+            let sorted =
+                execute_with(&c, &q, ExecOptions { merge_gather: false, ..ExecOptions::default() })
+                    .unwrap();
+            assert_eq!(merged.schema(), sorted.schema(), "{sql}");
+            assert_eq!(merged.rows(), sorted.rows(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn unbounded_scans_return_i64_extreme_points() {
+        let c = tsdb_catalog();
+        // Regression: the old half-open conversion (`end.saturating_add(1)`)
+        // silently dropped the `timestamp == i64::MAX` observation from
+        // unbounded and `timestamp >= x` scans.
+        let t = c.execute("SELECT value FROM tsdb WHERE metric_name = 'edge'").unwrap();
+        assert_eq!(t.len(), 2);
+        let sql = format!("SELECT value FROM tsdb WHERE timestamp >= {}", i64::MAX);
+        let t = c.execute(&sql).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows()[0][0], Value::Float(42.0));
+        // The scan-aggregate path honours the same bound.
+        let sql = format!(
+            "SELECT COUNT(*) AS n FROM tsdb WHERE metric_name = 'edge' AND timestamp >= {}",
+            i64::MAX
+        );
+        let t = c.execute(&sql).unwrap();
+        assert_eq!(t.rows()[0][0], Value::Int(1));
+        // Unsatisfiable strict bounds at the extremes stay empty instead of
+        // saturating back onto the extreme point.
+        let sql = format!("SELECT value FROM tsdb WHERE timestamp > {}", i64::MAX);
+        assert_eq!(c.execute(&sql).unwrap().len(), 0);
+        // i64::MIN has no direct literal (the lexer sees `-` as unary
+        // minus); the constant folder reduces the subtraction to it.
+        let sql = format!("SELECT value FROM tsdb WHERE timestamp < {} - 1", i64::MIN + 1);
+        assert_eq!(c.execute(&sql).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn hash_join_output_is_identical_across_build_sides() {
+        let c = catalog();
+        let left = c.get("t").unwrap().as_ref().clone();
+        let right = c.get("u").unwrap().as_ref().clone();
+        let on = crate::ast::Expr::Binary {
+            op: crate::ast::BinaryOp::Eq,
+            left: Box::new(crate::ast::Expr::col("t.ts")),
+            right: Box::new(crate::ast::Expr::col("u.ts")),
+        };
+        for kind in [JoinKind::Inner, JoinKind::Left, JoinKind::FullOuter] {
+            let ql = left.clone().with_schema(left.schema().qualified("t"));
+            let qr = right.clone().with_schema(right.schema().qualified("u"));
+            let a = run_join(ql.clone(), qr.clone(), kind, &on, false).unwrap();
+            let b = run_join(ql, qr, kind, &on, true).unwrap();
+            assert_eq!(a.schema(), b.schema(), "{kind:?}");
+            assert_eq!(a.rows(), b.rows(), "build side must not change output ({kind:?})");
+        }
+    }
+
+    #[test]
+    fn full_outer_join_row_order_is_deterministic() {
+        // Ten runs of the same FULL OUTER join must produce byte-identical
+        // row orders (matches in (left, right) order, unmatched right rows
+        // appended in right order) — no HashMap iteration order leaks.
+        let sql = "SELECT t.ts, u.ts, v, w FROM t FULL OUTER JOIN u ON t.ts = u.ts";
+        let first = run(sql);
+        for _ in 0..9 {
+            assert_eq!(run(sql).rows(), first.rows());
+        }
+    }
+
+    #[test]
+    fn outer_join_null_padding_keeps_int_identity() {
+        // ts=1 rows of t have no u match: u.ts pads with NULL while the
+        // matched entries stay Value::Int — never floats or strings.
+        let t = run("SELECT t.ts, u.ts FROM t LEFT JOIN u ON t.ts = u.ts ORDER BY t.ts");
+        for row in t.rows() {
+            assert!(matches!(row[0], Value::Int(_)), "left key typed: {row:?}");
+            assert!(
+                matches!(row[1], Value::Int(_) | Value::Null),
+                "padded column keeps Int identity: {row:?}"
+            );
+        }
+        assert!(t.rows().iter().any(|r| r[1].is_null()), "padding occurred");
     }
 }

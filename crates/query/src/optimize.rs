@@ -37,6 +37,20 @@
 //!    to the ordinary pipeline. Disable with
 //!    [`OptimizeOptions::scan_aggregate`] (the differential harness runs
 //!    both ways).
+//! 7. **Join-side statistics** — every `Join` is annotated with per-side
+//!    row estimates from [`crate::plan::estimate_rows`] (tag-index set
+//!    sizes and point-count arithmetic for TSDB scans, exact lengths for
+//!    registered tables) and the hash-join build side they imply: the
+//!    executor builds its hash index over the estimated-smaller input
+//!    while emitting rows in exactly the order the legacy build-on-right
+//!    algorithm produced, so statistics can only change memory and speed,
+//!    never results. `EXPLAIN` shows the estimates and the chosen side on
+//!    the `Join` line. Rule 3 additionally orders the residual conjuncts
+//!    it leaves above a `TsdbScan` so per-series-constant predicates
+//!    (references to the dictionary-encoded `metric_name`/`tag` columns
+//!    only) apply innermost: the scan-aggregate operator evaluates those
+//!    once per series — often discarding the whole series for the cost of
+//!    one comparison — before any per-point work runs.
 
 use std::collections::HashSet;
 
@@ -83,6 +97,7 @@ pub fn optimize_with(
     let plan = convert_tsdb_scans(plan, catalog);
     let plan = pushdown(plan, catalog)?;
     let plan = prune(plan, None);
+    let plan = annotate_join_stats(plan, catalog);
     let plan = parallelize(plan);
     Ok(if opts.scan_aggregate { push_aggregates_into_scans(plan) } else { plan })
 }
@@ -112,11 +127,12 @@ fn map_exprs(plan: LogicalPlan, f: &impl Fn(Expr) -> Expr) -> LogicalPlan {
             items: items.into_iter().map(|(e, n)| (f(e), n)).collect(),
             hidden: hidden.into_iter().map(f).collect(),
         },
-        LogicalPlan::Join { left, right, kind, on } => LogicalPlan::Join {
+        LogicalPlan::Join { left, right, kind, on, stats } => LogicalPlan::Join {
             left: Box::new(map_exprs(*left, f)),
             right: Box::new(map_exprs(*right, f)),
             kind,
             on: f(on),
+            stats,
         },
         LogicalPlan::Alias { input, alias } => {
             LogicalPlan::Alias { input: Box::new(map_exprs(*input, f)), alias }
@@ -271,11 +287,12 @@ fn map_plan(plan: LogicalPlan, f: &impl Fn(LogicalPlan) -> LogicalPlan) -> Logic
         LogicalPlan::Aggregate { input, group_by, items, hidden } => {
             LogicalPlan::Aggregate { input: Box::new(map_plan(*input, f)), group_by, items, hidden }
         }
-        LogicalPlan::Join { left, right, kind, on } => LogicalPlan::Join {
+        LogicalPlan::Join { left, right, kind, on, stats } => LogicalPlan::Join {
             left: Box::new(map_plan(*left, f)),
             right: Box::new(map_plan(*right, f)),
             kind,
             on,
+            stats,
         },
         LogicalPlan::Alias { input, alias } => {
             LogicalPlan::Alias { input: Box::new(map_plan(*input, f)), alias }
@@ -316,11 +333,12 @@ fn pushdown(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan> {
             items,
             hidden,
         }),
-        LogicalPlan::Join { left, right, kind, on } => Ok(LogicalPlan::Join {
+        LogicalPlan::Join { left, right, kind, on, stats } => Ok(LogicalPlan::Join {
             left: Box::new(pushdown(*left, catalog)?),
             right: Box::new(pushdown(*right, catalog)?),
             kind,
             on,
+            stats,
         }),
         LogicalPlan::Alias { input, alias } => {
             Ok(LogicalPlan::Alias { input: Box::new(pushdown(*input, catalog)?), alias })
@@ -482,7 +500,7 @@ fn sink_filter(pred: Expr, input: LogicalPlan, catalog: &Catalog) -> Result<Logi
         }
 
         // Joins: route side-pure conjuncts to their side.
-        LogicalPlan::Join { left, right, kind, on } => {
+        LogicalPlan::Join { left, right, kind, on, stats } => {
             let left_schema = left.schema(catalog)?;
             let right_schema = right.schema(catalog)?;
             let mut combined_cols = left_schema.columns().to_vec();
@@ -528,7 +546,7 @@ fn sink_filter(pred: Expr, input: LogicalPlan, catalog: &Catalog) -> Result<Logi
                 right = sink_filter(p, right, catalog)?;
             }
             let joined =
-                LogicalPlan::Join { left: Box::new(left), right: Box::new(right), kind, on };
+                LogicalPlan::Join { left: Box::new(left), right: Box::new(right), kind, on, stats };
             Ok(match conjoin(keep) {
                 Some(p) => LogicalPlan::Filter { input: Box::new(joined), predicate: p },
                 None => joined,
@@ -621,11 +639,21 @@ fn sink_filter(pred: Expr, input: LogicalPlan, catalog: &Catalog) -> Result<Logi
                     residual.push(c);
                 }
             }
-            let scan = LogicalPlan::TsdbScan { table, name, tags, start, end, columns };
-            Ok(match conjoin(residual) {
-                Some(p) => LogicalPlan::Filter { input: Box::new(scan), predicate: p },
-                None => scan,
-            })
+            // Cost-ordered residual chain (rule 7's filter half): conjuncts
+            // over the per-series-constant dictionary columns apply
+            // innermost — the scan-aggregate operator evaluates those once
+            // per series and can drop a whole series before any per-point
+            // column is built. The sort is stable, so equal-cost conjuncts
+            // keep their source order, and conjunction commutes, so the
+            // kept row set is unchanged.
+            residual.sort_by_key(|c| usize::from(!refs_within(c, &schema, &[1, 2])));
+            let mut plan = LogicalPlan::TsdbScan { table, name, tags, start, end, columns };
+            // Wrap innermost-first: the first residual becomes the deepest
+            // Filter, which every executor path applies first.
+            for predicate in residual {
+                plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+            }
+            Ok(plan)
         }
 
         other => Ok(LogicalPlan::Filter {
@@ -784,9 +812,24 @@ fn absorb_tsdb_conjunct(
             };
             match op {
                 BinaryOp::GtEq => tighten_start(start, n),
-                BinaryOp::Gt => tighten_start(start, n.saturating_add(1)),
+                // `timestamp > i64::MAX` / `< i64::MIN` are unsatisfiable;
+                // saturating the strict bound would silently re-admit the
+                // extreme point, so force an inverted (empty) range instead.
+                BinaryOp::Gt => match n.checked_add(1) {
+                    Some(lo) => tighten_start(start, lo),
+                    None => {
+                        tighten_start(start, i64::MAX);
+                        tighten_end(end, i64::MIN);
+                    }
+                },
                 BinaryOp::LtEq => tighten_end(end, n),
-                BinaryOp::Lt => tighten_end(end, n.saturating_sub(1)),
+                BinaryOp::Lt => match n.checked_sub(1) {
+                    Some(hi) => tighten_end(end, hi),
+                    None => {
+                        tighten_start(start, i64::MAX);
+                        tighten_end(end, i64::MIN);
+                    }
+                },
                 _ => unreachable!(),
             }
             true
@@ -862,7 +905,7 @@ fn prune(plan: LogicalPlan, needs: Option<HashSet<String>>) -> LogicalPlan {
             });
             LogicalPlan::Alias { input: Box::new(prune(*input, needs)), alias }
         }
-        LogicalPlan::Join { left, right, kind, on } => {
+        LogicalPlan::Join { left, right, kind, on, stats } => {
             let needs = needs.map(|mut n| {
                 let mut cols = Vec::new();
                 collect_columns(&on, &mut cols);
@@ -874,6 +917,7 @@ fn prune(plan: LogicalPlan, needs: Option<HashSet<String>>) -> LogicalPlan {
                 right: Box::new(prune(*right, needs)),
                 kind,
                 on,
+                stats,
             }
         }
         LogicalPlan::Sort { input, keys, output_width } => {
@@ -917,6 +961,32 @@ fn prune(plan: LogicalPlan, needs: Option<HashSet<String>>) -> LogicalPlan {
         | LogicalPlan::Unit
         | LogicalPlan::ScanAggregate { .. }) => leaf,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: join-side statistics
+// ---------------------------------------------------------------------------
+
+/// Attaches per-side row estimates (and the hash build side they imply) to
+/// every `Join` node. Runs after pushdown/pruning so the estimates see the
+/// final scan predicates. Purely advisory: the executor's output is
+/// bit-identical whichever side it builds on.
+fn annotate_join_stats(plan: LogicalPlan, catalog: &Catalog) -> LogicalPlan {
+    map_plan(plan, &|node| match node {
+        LogicalPlan::Join { left, right, kind, on, .. } => {
+            let stats = match (
+                crate::plan::estimate_rows(&left, catalog),
+                crate::plan::estimate_rows(&right, catalog),
+            ) {
+                (Some(l), Some(r)) => {
+                    Some(crate::plan::JoinStats { left_rows: l, right_rows: r, build_left: l < r })
+                }
+                _ => None,
+            };
+            LogicalPlan::Join { left, right, kind, on, stats }
+        }
+        other => other,
+    })
 }
 
 // ---------------------------------------------------------------------------

@@ -83,12 +83,23 @@ fn assert_same(catalog: &Catalog, sql: &str) -> Result<(), TestCaseError> {
         Ok(q) => q,
         Err(e) => panic!("generated query must parse: {sql}: {e}"),
     };
-    let serial =
-        catalog.execute_query_with(&query, ExecOptions { partitions: 1, scan_aggregate: false });
+    let serial = catalog.execute_query_with(
+        &query,
+        ExecOptions { partitions: 1, scan_aggregate: false, ..ExecOptions::default() },
+    );
     let engines = [
-        ("parallel", ExecOptions { partitions: 3, scan_aggregate: false }),
-        ("scan-aggregate serial", ExecOptions { partitions: 1, scan_aggregate: true }),
-        ("scan-aggregate parallel", ExecOptions { partitions: 3, scan_aggregate: true }),
+        (
+            "parallel",
+            ExecOptions { partitions: 3, scan_aggregate: false, ..ExecOptions::default() },
+        ),
+        (
+            "scan-aggregate serial",
+            ExecOptions { partitions: 1, scan_aggregate: true, ..ExecOptions::default() },
+        ),
+        (
+            "scan-aggregate parallel",
+            ExecOptions { partitions: 3, scan_aggregate: true, ..ExecOptions::default() },
+        ),
     ];
     for (label, opts) in engines {
         let other = catalog.execute_query_with(&query, opts);
@@ -412,6 +423,66 @@ proptest! {
     }
 
     #[test]
+    fn merge_gather_agrees_with_stable_sort_and_reference(
+        points in tsdb_points(),
+        dup_ts in proptest::collection::vec((0usize..HOSTS.len(), 0i64..6), 0..12),
+        with_extremes in any::<bool>(),
+        with_empty_in_range in any::<bool>(),
+        lo in 0i64..200,
+        span in 1i64..200,
+        variant in 0usize..5,
+    ) {
+        // The k-way merge gather must be bit-identical to the retained
+        // global stable sort across the shapes that stress its tiebreaks:
+        // duplicate timestamps across series (heap ties resolved by rank),
+        // series left empty by the time range, a single surviving series,
+        // and points at the i64 extremes.
+        let mut db = Tsdb::new();
+        for &(m, h, ts, v) in &points {
+            db.insert(&SeriesKey::new(METRICS[m]).with_tag("host", HOSTS[h]), ts, v);
+        }
+        for &(h, ts) in &dup_ts {
+            // The same few timestamps in many series: cross-series ties.
+            db.insert(&SeriesKey::new("dup").with_tag("host", HOSTS[h]), ts, h as f64);
+        }
+        if with_extremes {
+            db.insert(&SeriesKey::new("edge"), i64::MIN, -1.0);
+            db.insert(&SeriesKey::new("edge"), i64::MAX, 1.0);
+        }
+        if with_empty_in_range {
+            // All points far outside every generated time window.
+            db.insert(&SeriesKey::new("cpu").with_tag("host", "off-range"), 900_000, 0.0);
+        }
+        db.insert(&SeriesKey::new("solo"), 3, 7.0);
+        let mut catalog = Catalog::new();
+        catalog.register_tsdb("tsdb", &db);
+
+        let hi = lo + span;
+        let sql = match variant {
+            0 => "SELECT * FROM tsdb".to_string(),
+            1 => format!("SELECT timestamp, value FROM tsdb WHERE timestamp BETWEEN {lo} AND {hi}"),
+            2 => "SELECT timestamp, value FROM tsdb WHERE metric_name = 'solo'".to_string(),
+            3 => format!("SELECT timestamp, tag['host'] AS h FROM tsdb WHERE timestamp >= {lo}"),
+            _ => "SELECT timestamp, metric_name, value FROM tsdb WHERE metric_name GLOB 'd*'"
+                .to_string(),
+        };
+        let query = parse_query(&sql).expect("generated query parses");
+        let merged = catalog
+            .execute_query_with(&query, ExecOptions { merge_gather: true, ..ExecOptions::default() })
+            .expect("merge gather runs");
+        let sorted = catalog
+            .execute_query_with(
+                &query,
+                ExecOptions { merge_gather: false, ..ExecOptions::default() },
+            )
+            .expect("stable sort runs");
+        prop_assert_eq!(merged.schema(), sorted.schema(), "schema mismatch for {}", &sql);
+        prop_assert_eq!(merged.rows(), sorted.rows(), "row mismatch for {}", &sql);
+        let naive = execute_naive(&catalog, &query).expect("reference runs");
+        prop_assert_eq!(merged.rows(), naive.rows(), "reference mismatch for {}", &sql);
+    }
+
+    #[test]
     fn glob_prefix_find_matches_brute_force(
         points in tsdb_points(),
         pat in 0usize..6,
@@ -487,12 +558,18 @@ fn scan_aggregate_pinned_four_way() {
     )
     .unwrap();
     let baseline = catalog
-        .execute_query_with(&query, ExecOptions { partitions: 1, scan_aggregate: false })
+        .execute_query_with(
+            &query,
+            ExecOptions { partitions: 1, scan_aggregate: false, ..ExecOptions::default() },
+        )
         .unwrap();
     assert_eq!(baseline.len(), 21);
     for partitions in [1usize, 2, 3, 8] {
         let out = catalog
-            .execute_query_with(&query, ExecOptions { partitions, scan_aggregate: true })
+            .execute_query_with(
+                &query,
+                ExecOptions { partitions, scan_aggregate: true, ..ExecOptions::default() },
+            )
             .unwrap();
         assert_eq!(out.schema(), baseline.schema());
         assert_eq!(out.rows(), baseline.rows(), "pushdown partitions={partitions}");
@@ -517,7 +594,10 @@ fn scan_aggregate_int_typing_and_overflow_promotion() {
     let query = parse_query("SELECT SUM(timestamp) AS s FROM tsdb").unwrap();
     for scan_aggregate in [false, true] {
         let out = catalog
-            .execute_query_with(&query, ExecOptions { partitions: 2, scan_aggregate })
+            .execute_query_with(
+                &query,
+                ExecOptions { partitions: 2, scan_aggregate, ..ExecOptions::default() },
+            )
             .unwrap();
         assert_eq!(out.rows()[0][0], Value::Int(6), "pushdown={scan_aggregate}");
     }
@@ -536,7 +616,10 @@ fn scan_aggregate_int_typing_and_overflow_promotion() {
     for scan_aggregate in [false, true] {
         for partitions in [1usize, 2] {
             let out = catalog
-                .execute_query_with(&query, ExecOptions { partitions, scan_aggregate })
+                .execute_query_with(
+                    &query,
+                    ExecOptions { partitions, scan_aggregate, ..ExecOptions::default() },
+                )
                 .unwrap();
             assert_eq!(
                 out.rows()[0][0],
@@ -564,12 +647,18 @@ fn scan_aggregate_folds_giant_timestamps_like_group_key() {
     )
     .unwrap();
     let baseline = catalog
-        .execute_query_with(&query, ExecOptions { partitions: 1, scan_aggregate: false })
+        .execute_query_with(
+            &query,
+            ExecOptions { partitions: 1, scan_aggregate: false, ..ExecOptions::default() },
+        )
         .unwrap();
     assert_eq!(baseline.len(), 2, "t0 and t0+1 fold into one group");
     for partitions in [1usize, 2, 3] {
         let out = catalog
-            .execute_query_with(&query, ExecOptions { partitions, scan_aggregate: true })
+            .execute_query_with(
+                &query,
+                ExecOptions { partitions, scan_aggregate: true, ..ExecOptions::default() },
+            )
             .unwrap();
         assert_eq!(out.rows(), baseline.rows(), "partitions={partitions}");
     }
@@ -607,11 +696,17 @@ fn minmax_with_nan_agrees_across_engines() {
     ] {
         let query = parse_query(sql).unwrap();
         let baseline = catalog
-            .execute_query_with(&query, ExecOptions { partitions: 1, scan_aggregate: false })
+            .execute_query_with(
+                &query,
+                ExecOptions { partitions: 1, scan_aggregate: false, ..ExecOptions::default() },
+            )
             .unwrap();
         for partitions in [1usize, 2] {
             let out = catalog
-                .execute_query_with(&query, ExecOptions { partitions, scan_aggregate: true })
+                .execute_query_with(
+                    &query,
+                    ExecOptions { partitions, scan_aggregate: true, ..ExecOptions::default() },
+                )
                 .unwrap();
             assert_eq!(rendered(&out), rendered(&baseline), "{sql} partitions={partitions}");
         }

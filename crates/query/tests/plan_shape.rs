@@ -164,6 +164,60 @@ fn falls_back_inside_union_branches() {
     assert!(plan.contains("Union"), "plan:\n{plan}");
 }
 
+// ---------------------------------------------------------------------------
+// Join-side statistics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn join_lines_show_estimates_and_build_side() {
+    let c = catalog();
+    // tsdb holds 11 points, plain holds 1 row: the estimated-smaller side
+    // must be the hash build side, and both estimates surface on the line.
+    let plan = explain(&c, "SELECT value FROM tsdb JOIN plain ON tsdb.timestamp = plain.ts");
+    let join_line = plan
+        .lines()
+        .find(|l| l.trim_start().starts_with("Join"))
+        .unwrap_or_else(|| panic!("no join line in:\n{plan}"));
+    assert!(join_line.contains("rows=[l~"), "estimates shown: {join_line}");
+    assert!(join_line.contains("build=right"), "smaller right side builds: {join_line}");
+}
+
+#[test]
+fn join_build_side_follows_the_smaller_input() {
+    let c = catalog();
+    // Same join, sides swapped: the one-row table is now on the left, so
+    // the optimizer must flip the build side with it.
+    let plan = explain(&c, "SELECT value FROM plain JOIN tsdb ON plain.ts = tsdb.timestamp");
+    assert!(plan.contains("build=left"), "plan:\n{plan}");
+    // Filters tighten the estimate: an aggregated (grouped) subquery side
+    // shrinks below the raw point count.
+    let plan = explain(
+        &c,
+        "SELECT s.t FROM (SELECT timestamp AS t, COUNT(*) AS n FROM tsdb GROUP BY timestamp) s \
+         JOIN plain ON s.t = plain.ts",
+    );
+    assert!(plan.contains("rows=[l~"), "plan:\n{plan}");
+}
+
+#[test]
+fn class_constant_residuals_order_innermost() {
+    let c = catalog();
+    // Two residual conjuncts the scan cannot absorb: one over the
+    // dictionary-encoded metric_name (per-series constant), one over the
+    // per-point value column. The class-constant one must sit innermost
+    // (deepest Filter / first in the ScanAggregate chain) regardless of
+    // source order, so a series can be discarded before any point work.
+    let plan = explain(
+        &c,
+        "SELECT timestamp, value FROM tsdb WHERE value > 1.5 AND metric_name != 'disk'",
+    );
+    let filters: Vec<&str> =
+        plan.lines().filter(|l| l.trim_start().starts_with("Filter")).collect();
+    assert_eq!(filters.len(), 2, "two residual filters:\n{plan}");
+    assert!(filters[0].contains("value"), "point filter outermost:\n{plan}");
+    assert!(filters[1].contains("metric_name"), "class filter innermost:\n{plan}");
+}
+
 #[test]
 fn falls_back_for_plain_tables_and_window_filters() {
     let c = catalog();

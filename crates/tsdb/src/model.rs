@@ -204,9 +204,29 @@ impl Series {
 
     /// Observations within the half-open `range`, as slices.
     pub fn range(&self, range: &TimeRange) -> (&[i64], &[f64]) {
-        let lo = self.timestamps.partition_point(|&t| t < range.start);
-        let hi = self.timestamps.partition_point(|&t| t < range.end);
-        (&self.timestamps[lo..hi], &self.values[lo..hi])
+        // `>=` (not `==`): an inverted range ending at i64::MIN must not
+        // reach the `end - 1` below (overflow). TimeRange::new rejects
+        // inverted ranges, but literal construction does not.
+        if range.start >= range.end {
+            return (&[], &[]);
+        }
+        self.range_between(range.start, range.end - 1)
+    }
+
+    /// Observations within the *inclusive* `[lo, hi]` range, as slices.
+    ///
+    /// Unlike the half-open [`Series::range`], this can express a range
+    /// reaching all the way to `i64::MAX` — an unbounded-above scan has no
+    /// representable exclusive end, so the query layer's inclusive bounds
+    /// come through here without the off-by-one at the saturated edge.
+    /// An inverted range (`lo > hi`) is empty.
+    pub fn range_between(&self, lo: i64, hi: i64) -> (&[i64], &[f64]) {
+        if lo > hi {
+            return (&[], &[]);
+        }
+        let a = self.timestamps.partition_point(|&t| t < lo);
+        let b = self.timestamps.partition_point(|&t| t <= hi);
+        (&self.timestamps[a..b], &self.values[a..b])
     }
 
     /// The value at the observation closest in time to `ts`, if the series
@@ -231,9 +251,13 @@ impl Series {
     }
 
     /// First and last timestamp, if non-empty.
+    ///
+    /// The half-open result saturates at `i64::MAX`: a series holding an
+    /// observation at `i64::MAX` has no representable exclusive end, so the
+    /// span's `end` clamps there instead of overflowing.
     pub fn time_span(&self) -> Option<TimeRange> {
         match (self.timestamps.first(), self.timestamps.last()) {
-            (Some(&a), Some(&b)) => Some(TimeRange::new(a, b + 1)),
+            (Some(&a), Some(&b)) => Some(TimeRange::new(a, b.saturating_add(1))),
             _ => None,
         }
     }
@@ -304,6 +328,48 @@ mod tests {
         let (ts, vs) = s.range(&TimeRange::new(10, 31));
         assert_eq!(ts, &[10, 20, 30]);
         assert_eq!(vs, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn range_between_is_inclusive_both_ends() {
+        let s = Series::from_points(
+            SeriesKey::new("m"),
+            vec![0, 10, 20, 30, 40],
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+        );
+        let (ts, vs) = s.range_between(10, 30);
+        assert_eq!(ts, &[10, 20, 30]);
+        assert_eq!(vs, &[1.0, 2.0, 3.0]);
+        // Inverted ranges are empty, equal bounds are a point lookup.
+        assert_eq!(s.range_between(30, 10).0, &[] as &[i64]);
+        assert_eq!(s.range_between(20, 20).0, &[20]);
+    }
+
+    #[test]
+    fn range_between_reaches_i64_extremes() {
+        // A point at i64::MAX has no representable half-open upper bound;
+        // the inclusive API must still return it (and i64::MIN symmetrically).
+        let s = Series::from_points(
+            SeriesKey::new("m"),
+            vec![i64::MIN, 0, i64::MAX],
+            vec![-1.0, 0.0, 1.0],
+        );
+        let (ts, _) = s.range_between(i64::MIN, i64::MAX);
+        assert_eq!(ts, &[i64::MIN, 0, i64::MAX]);
+        let (ts, vs) = s.range_between(1, i64::MAX);
+        assert_eq!(ts, &[i64::MAX]);
+        assert_eq!(vs, &[1.0]);
+        // The half-open API keeps its exclusive contract below the edge.
+        let (ts, _) = s.range(&TimeRange::new(0, i64::MAX));
+        assert_eq!(ts, &[0], "half-open end stays exclusive of i64::MAX");
+    }
+
+    #[test]
+    fn time_span_saturates_at_i64_max() {
+        let mut s = Series::new(SeriesKey::new("m"));
+        s.push(0, 1.0);
+        s.push(i64::MAX, 2.0);
+        assert_eq!(s.time_span(), Some(TimeRange::new(0, i64::MAX)));
     }
 
     #[test]

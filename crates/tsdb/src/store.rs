@@ -263,6 +263,26 @@ impl Tsdb {
             .collect()
     }
 
+    /// [`Tsdb::scan_parts`] over the *inclusive* `[lo, hi]` time range —
+    /// the form the query layer's inclusive plan bounds map onto without
+    /// losing points at `timestamp == i64::MAX` (which no half-open range
+    /// can cover). An inverted range is empty.
+    pub fn scan_parts_between(
+        &self,
+        filter: &MetricFilter,
+        lo: i64,
+        hi: i64,
+    ) -> Vec<SeriesSlice<'_>> {
+        self.find(filter)
+            .into_iter()
+            .map(|id| {
+                let s = &self.series[id.index()];
+                let (ts, vs) = s.range_between(lo, hi);
+                SeriesSlice { id, key: &s.key, timestamps: ts, values: vs }
+            })
+            .collect()
+    }
+
     /// [`Tsdb::scan_parts`] in canonical series-key order.
     ///
     /// The position of each slice in the returned vector is the series'
@@ -278,6 +298,97 @@ impl Tsdb {
         let mut parts = self.scan_parts(filter, range);
         parts.sort_by_cached_key(|part| part.key.canonical());
         parts
+    }
+
+    /// [`Tsdb::scan_parts_between`] in canonical series-key (rank) order —
+    /// see [`Tsdb::scan_parts_ordered`] for the rank contract.
+    pub fn scan_parts_ordered_between(
+        &self,
+        filter: &MetricFilter,
+        lo: i64,
+        hi: i64,
+    ) -> Vec<SeriesSlice<'_>> {
+        let mut parts = self.scan_parts_between(filter, lo, hi);
+        parts.sort_by_cached_key(|part| part.key.canonical());
+        parts
+    }
+
+    /// Estimated number of series matching the filter, from the inverted
+    /// indexes alone — no per-key predicate evaluation, so this stays O(log
+    /// n + index-entry count) however large the store is. The estimate is
+    /// an upper bound: it takes the tightest applicable index set (exact
+    /// name, glob-prefix name range, exact tag value, tag-key presence) and
+    /// ignores predicates the indexes cannot bound (tag globs, absences).
+    pub fn estimate_series(&self, filter: &MetricFilter) -> usize {
+        let mut est = self.series.len();
+        if let Some(name) = &filter.name {
+            if !is_glob(name) {
+                est = est.min(self.name_index.get(name).map_or(0, BTreeSet::len));
+            } else {
+                let prefix = glob_literal_prefix(name);
+                if !prefix.is_empty() {
+                    let in_prefix: usize = self
+                        .name_index
+                        .range(prefix.to_string()..)
+                        .take_while(|(indexed, _)| indexed.starts_with(prefix))
+                        .map(|(_, set)| set.len())
+                        .sum();
+                    est = est.min(in_prefix);
+                }
+            }
+        }
+        for t in &filter.tags {
+            match t {
+                TagFilter::Equals(k, v) => {
+                    let bound =
+                        self.tag_index.get(&(k.clone(), v.clone())).map_or(0, BTreeSet::len);
+                    est = est.min(bound);
+                }
+                TagFilter::HasKey(k) | TagFilter::Glob(k, _) => {
+                    let with_key: usize = self
+                        .tag_index
+                        .range((k.clone(), String::new())..)
+                        .take_while(|((key, _), _)| key == k)
+                        .map(|(_, set)| set.len())
+                        .sum();
+                    est = est.min(with_key);
+                }
+                TagFilter::Absent(_) => {} // no index bound
+            }
+        }
+        est
+    }
+
+    /// Estimated number of observations a scan of `filter` restricted to
+    /// the inclusive `[lo, hi]` time range would return: the series
+    /// estimate times the store's mean points-per-series, scaled by the
+    /// fraction of the store's total time span the range covers. Pure
+    /// index/metadata arithmetic — nothing is scanned — so the optimizer
+    /// can call this per query to pick hash-join build sides and order
+    /// residual filters.
+    pub fn estimate_points(&self, filter: &MetricFilter, lo: i64, hi: i64) -> u64 {
+        if lo > hi || self.series.is_empty() {
+            return 0;
+        }
+        let matched = self.estimate_series(filter) as u64;
+        if matched == 0 {
+            return 0;
+        }
+        let mean_points = (self.point_count() as u64).div_ceil(self.series.len() as u64);
+        let mut est = matched.saturating_mul(mean_points);
+        // Scale by time-range overlap when the store's span is known and
+        // the requested range only covers part of it (f64 math: the spans
+        // may be as wide as the whole i64 domain).
+        if let Some(span) = self.time_span() {
+            let span_len = (span.end as f64) - (span.start as f64);
+            let ov_lo = (lo.max(span.start)) as f64;
+            let ov_hi = (hi as f64 + 1.0).min(span.end as f64);
+            if span_len > 0.0 {
+                let frac = ((ov_hi - ov_lo) / span_len).clamp(0.0, 1.0);
+                est = ((est as f64 * frac).ceil() as u64).min(est);
+            }
+        }
+        est.max(1)
     }
 
     /// The union time span of all series, if any data exists.
@@ -377,6 +488,55 @@ mod tests {
         let mut sorted = canon.clone();
         sorted.sort();
         assert_eq!(canon, sorted, "parts must come back in canonical order");
+    }
+
+    #[test]
+    fn scan_parts_between_includes_i64_max_points() {
+        let mut db = Tsdb::new();
+        let key = SeriesKey::new("edge");
+        db.insert(&key, 0, 1.0);
+        db.insert(&key, i64::MAX, 2.0);
+        let parts = db.scan_parts_between(&MetricFilter::name("edge"), i64::MIN, i64::MAX);
+        assert_eq!(parts[0].timestamps, &[0, i64::MAX]);
+        let parts = db.scan_parts_ordered_between(&MetricFilter::name("edge"), 1, i64::MAX);
+        assert_eq!(parts[0].timestamps, &[i64::MAX]);
+        assert_eq!(parts[0].values, &[2.0]);
+        // Inverted bounds are an empty scan, not a panic.
+        let parts = db.scan_parts_between(&MetricFilter::name("edge"), 5, 4);
+        assert!(parts[0].timestamps.is_empty());
+    }
+
+    #[test]
+    fn estimate_series_uses_index_set_sizes() {
+        let db = sample_db();
+        assert_eq!(db.estimate_series(&MetricFilter::name("disk")), 3);
+        assert_eq!(db.estimate_series(&MetricFilter::name("nope")), 0);
+        assert_eq!(db.estimate_series(&MetricFilter::all()), 4);
+        assert_eq!(db.estimate_series(&MetricFilter::all().with_tag("host", "datanode-1")), 1);
+        // Glob with a literal prefix bounds via the name-index range.
+        assert_eq!(db.estimate_series(&MetricFilter::name("disk*")), 3);
+        // HasKey-style predicates bound by the tag-key entry count.
+        let f = MetricFilter { name: None, tags: vec![TagFilter::HasKey("component".into())] };
+        assert_eq!(db.estimate_series(&f), 1);
+        // The estimate is an upper bound: unindexable predicates are ignored.
+        let f = MetricFilter { name: None, tags: vec![TagFilter::Absent("host".into())] };
+        assert_eq!(db.estimate_series(&f), 4);
+    }
+
+    #[test]
+    fn estimate_points_scales_with_series_and_range() {
+        let db = sample_db(); // 4 series x 10 points over [0, 541)
+        let full = db.estimate_points(&MetricFilter::all(), i64::MIN, i64::MAX);
+        assert_eq!(full, 40);
+        let disk = db.estimate_points(&MetricFilter::name("disk"), i64::MIN, i64::MAX);
+        assert_eq!(disk, 30);
+        // A half-width window scales the estimate down.
+        let half = db.estimate_points(&MetricFilter::name("disk"), 0, 270);
+        assert!(half < disk, "time scaling engaged: {half} < {disk}");
+        assert!(half >= disk / 4, "not absurdly low: {half}");
+        // No matching series -> zero; inverted range -> zero.
+        assert_eq!(db.estimate_points(&MetricFilter::name("nope"), 0, 100), 0);
+        assert_eq!(db.estimate_points(&MetricFilter::all(), 100, 0), 0);
     }
 
     #[test]

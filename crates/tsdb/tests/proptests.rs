@@ -131,6 +131,46 @@ proptest! {
     }
 
     #[test]
+    fn range_between_matches_brute_force_incl_extremes(
+        pts in points_strategy(),
+        with_min in any::<bool>(),
+        with_max in any::<bool>(),
+        bounds in 0usize..5,
+    ) {
+        let mut db = Tsdb::new();
+        let key = SeriesKey::new("m");
+        for &(ts, v) in &pts {
+            db.insert(&key, ts, v);
+        }
+        if with_min {
+            db.insert(&key, i64::MIN, -1.0);
+        }
+        if with_max {
+            db.insert(&key, i64::MAX, 1.0);
+        }
+        let series = match db.get(&key) {
+            Some(s) => s,
+            None => return Ok(()),
+        };
+        let (lo, hi) = [
+            (i64::MIN, i64::MAX),
+            (0, i64::MAX),
+            (i64::MIN, 5_000),
+            (i64::MAX, i64::MAX),
+            (5_000, 0), // inverted -> empty
+        ][bounds];
+        let (got_ts, got_vs) = series.range_between(lo, hi);
+        let expect: Vec<i64> =
+            series.timestamps().iter().copied().filter(|&t| t >= lo && t <= hi).collect();
+        prop_assert_eq!(got_ts, expect.as_slice());
+        prop_assert_eq!(got_ts.len(), got_vs.len());
+        // The store-level scan agrees with the per-series slices.
+        let parts = db.scan_parts_ordered_between(&MetricFilter::all(), lo, hi);
+        let scanned: usize = parts.iter().map(|p| p.timestamps.len()).sum();
+        prop_assert_eq!(scanned, expect.len());
+    }
+
+    #[test]
     fn filter_matches_iff_scan_finds(key in key_strategy(), other in key_strategy()) {
         let mut db = Tsdb::new();
         db.insert(&key, 0, 1.0);

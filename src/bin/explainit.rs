@@ -62,6 +62,11 @@ fn print_usage() {
          \x20 CREATE FAMILY name [WITH (layout='wide'|'long', ts=.., family=.., feature=.., value=..)] AS SELECT ...\n\
          \x20 EXPLAIN FOR target [GIVEN fam, ...] [USING SCORER name] [TOP k]   (result also registered as table 'ranking')\n\
          \x20 SHOW FAMILIES | SHOW TABLES | DROP FAMILY name\n\n\
+         EXPLAIN OUTPUT: the optimized operator tree, one node per line. Scan nodes\n\
+         \x20 show the predicates pushed into the store's tag index (name=.., tag[k]=..,\n\
+         \x20 time=[lo, hi]); Join nodes show tag-index cardinality estimates and the\n\
+         \x20 hash build side they picked, e.g. `Join Inner on .. rows=[l~6400, r~1]\n\
+         \x20 build=right` — the hash index is built over the estimated-smaller side.\n\n\
          FAULT KINDS: packet_drop, hypervisor, namenode, raid, disk, multi, none\n\
          SCORERS: auto, corrmean, corrmax, l2, l2p50, l2p500, lasso"
     );
