@@ -1,11 +1,15 @@
 //! Micro-benchmarks of the hot kernels: Gram matrices, Cholesky solves,
-//! ridge fits, Pearson correlation, SQL execution and TSDB alignment —
-//! the building blocks whose costs compose into Table 2.
+//! ridge fits, Pearson correlation, SQL execution, TSDB alignment — and
+//! the typed minicolumn loops (compare / arithmetic / aggregate-fold)
+//! head-to-head against their Value-at-a-time equivalents over 1M-row
+//! columns. CI runs this harness in `--test` mode as a smoke step; the
+//! `bench_report` bin times the same typed-vs-boxed pairs standalone.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use explainit_bench::kernel_baselines as baselines;
 use explainit_linalg::{Cholesky, Matrix};
 use explainit_ml::RidgeModel;
-use explainit_query::{Catalog, Table, Value};
+use explainit_query::{Catalog, Column, Table, Value};
 use explainit_stats::pearson;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -92,5 +96,56 @@ fn bench_sql(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gram, bench_cholesky, bench_ridge_fit, bench_pearson, bench_sql);
+/// Typed minicolumn kernels vs Value-at-a-time over 1M-row columns. Each
+/// pair is asserted equivalent once before timing so the speedup claim is
+/// over the same answer, not a different one.
+fn bench_minicolumn(c: &mut Criterion) {
+    const N: usize = 1_000_000;
+    const K: f64 = 0.5;
+    let fs = baselines::floats(N);
+    let is = baselines::ints(N);
+    let fcol = Column::Float(fs.clone());
+    let icol = Column::Int(is.clone());
+    let mut sel: Vec<u32> = Vec::with_capacity(N);
+
+    assert_eq!(baselines::boxed_cmp(&fcol, K), baselines::typed_f64_cmp(&fs, K, &mut sel));
+    assert_eq!(baselines::boxed_cmp(&icol, K), baselines::typed_i64_cmp(&is, K, &mut sel));
+    let boxed_prod = baselines::boxed_arith(&fcol, K);
+    for (b, t) in boxed_prod.iter().zip(baselines::typed_f64_arith(&fs, K)) {
+        assert_eq!(*b, Value::Float(t));
+    }
+    for agg in ["SUM", "AVG", "MIN", "MAX", "COUNT", "STDDEV"] {
+        assert_eq!(baselines::boxed_fold(agg, &fcol), baselines::typed_fold(agg, &fs));
+    }
+
+    let mut group = c.benchmark_group("kernels/minicolumn_1m");
+    group.bench_function("cmp_f64/boxed", |b| b.iter(|| baselines::boxed_cmp(&fcol, K)));
+    group
+        .bench_function("cmp_f64/typed", |b| b.iter(|| baselines::typed_f64_cmp(&fs, K, &mut sel)));
+    group.bench_function("cmp_i64_vs_f64/boxed", |b| b.iter(|| baselines::boxed_cmp(&icol, K)));
+    group.bench_function("cmp_i64_vs_f64/typed", |b| {
+        b.iter(|| baselines::typed_i64_cmp(&is, K, &mut sel))
+    });
+    group.bench_function("arith_f64/boxed", |b| b.iter(|| baselines::boxed_arith(&fcol, K)));
+    group.bench_function("arith_f64/typed", |b| b.iter(|| baselines::typed_f64_arith(&fs, K)));
+    for agg in ["SUM", "STDDEV", "MIN"] {
+        group.bench_function(format!("fold_{}/boxed", agg.to_lowercase()), |b| {
+            b.iter(|| black_box(baselines::boxed_fold(agg, &fcol)))
+        });
+        group.bench_function(format!("fold_{}/typed", agg.to_lowercase()), |b| {
+            b.iter(|| black_box(baselines::typed_fold(agg, &fs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gram,
+    bench_cholesky,
+    bench_ridge_fit,
+    bench_pearson,
+    bench_sql,
+    bench_minicolumn
+);
 criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Kernel speedup report: times each typed minicolumn kernel against its
+//! Value-at-a-time baseline over 1M-row columns and writes the results to
+//! `BENCH_kernels.json` (plus a human-readable table on stdout).
+//!
+//! The pairs are the same functions `benches/kernels.rs` measures
+//! (`explainit_bench::kernel_baselines`), so CI can gate on this bin
+//! without the criterion harness. Every pair is asserted to produce the
+//! same answer before any timing happens.
+//!
+//! Usage: `bench_report [rows] [reps] [out.json]`
+//! (defaults: 1_000_000 rows, 5 reps, BENCH_kernels.json)
+
+use std::time::{Duration, Instant};
+
+use explainit_bench::kernel_baselines as baselines;
+use explainit_query::{Column, Value};
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let started = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(started.elapsed());
+    }
+    best
+}
+
+struct Pair {
+    name: &'static str,
+    boxed: Duration,
+    typed: Duration,
+}
+
+impl Pair {
+    fn speedup(&self) -> f64 {
+        self.boxed.as_secs_f64() / self.typed.as_secs_f64().max(1e-12)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rows: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(1_000_000);
+    let reps: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(5);
+    let out_path = args.get(2).map(String::as_str).unwrap_or("BENCH_kernels.json");
+    const K: f64 = 0.5;
+
+    let fs = baselines::floats(rows);
+    let is = baselines::ints(rows);
+    let fcol = Column::Float(fs.clone());
+    let icol = Column::Int(is.clone());
+    let mut sel: Vec<u32> = Vec::with_capacity(rows);
+
+    // Correctness gate: a speedup over a different answer is meaningless.
+    assert_eq!(baselines::boxed_cmp(&fcol, K), baselines::typed_f64_cmp(&fs, K, &mut sel));
+    assert_eq!(baselines::boxed_cmp(&icol, K), baselines::typed_i64_cmp(&is, K, &mut sel));
+    let boxed_prod = baselines::boxed_arith(&fcol, K);
+    let typed_prod = baselines::typed_f64_arith(&fs, K);
+    assert_eq!(boxed_prod.len(), typed_prod.len());
+    for (b, t) in boxed_prod.iter().zip(&typed_prod) {
+        assert_eq!(*b, Value::Float(*t), "arith kernel diverged from boxed result");
+    }
+    drop((boxed_prod, typed_prod));
+    for agg in ["SUM", "AVG", "MIN", "MAX", "COUNT", "STDDEV"] {
+        assert_eq!(
+            baselines::boxed_fold(agg, &fcol),
+            baselines::typed_fold(agg, &fs),
+            "{agg} fold diverged from boxed pushes"
+        );
+    }
+
+    let pairs = vec![
+        Pair {
+            name: "cmp_f64",
+            boxed: best_of(reps, || baselines::boxed_cmp(&fcol, K)),
+            typed: best_of(reps, || baselines::typed_f64_cmp(&fs, K, &mut sel)),
+        },
+        Pair {
+            name: "cmp_i64_vs_f64",
+            boxed: best_of(reps, || baselines::boxed_cmp(&icol, K)),
+            typed: best_of(reps, || baselines::typed_i64_cmp(&is, K, &mut sel)),
+        },
+        Pair {
+            name: "arith_f64",
+            boxed: best_of(reps, || baselines::boxed_arith(&fcol, K)),
+            typed: best_of(reps, || baselines::typed_f64_arith(&fs, K)),
+        },
+        Pair {
+            name: "fold_sum",
+            boxed: best_of(reps, || baselines::boxed_fold("SUM", &fcol)),
+            typed: best_of(reps, || baselines::typed_fold("SUM", &fs)),
+        },
+        Pair {
+            name: "fold_stddev",
+            boxed: best_of(reps, || baselines::boxed_fold("STDDEV", &fcol)),
+            typed: best_of(reps, || baselines::typed_fold("STDDEV", &fs)),
+        },
+        Pair {
+            name: "fold_min",
+            boxed: best_of(reps, || baselines::boxed_fold("MIN", &fcol)),
+            typed: best_of(reps, || baselines::typed_fold("MIN", &fs)),
+        },
+    ];
+
+    println!("kernel speedups over {rows} rows (best of {reps}):");
+    println!("{:<16} {:>12} {:>12} {:>9}", "kernel", "boxed", "typed", "speedup");
+    for p in &pairs {
+        println!("{:<16} {:>12.3?} {:>12.3?} {:>8.2}x", p.name, p.boxed, p.typed, p.speedup());
+    }
+
+    // Hand-rolled JSON: the workspace has no serde and the keys are all
+    // static identifiers, so string assembly is safe here.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"rows\": {rows},\n  \"reps\": {reps},\n  \"kernels\": [\n"));
+    for (i, p) in pairs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"boxed_ns\": {}, \"typed_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            p.name,
+            p.boxed.as_nanos(),
+            p.typed.as_nanos(),
+            p.speedup(),
+            if i + 1 == pairs.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+
+    let worst = pairs.iter().min_by(|a, b| a.speedup().total_cmp(&b.speedup())).expect("pairs");
+    if worst.speedup() < 2.0 {
+        eprintln!(
+            "WARNING: {} speedup {:.2}x below the 2x target (noisy host?)",
+            worst.name,
+            worst.speedup()
+        );
+    }
+}

@@ -127,6 +127,91 @@ pub fn build_skewed_db(fleet: usize, points: usize) -> explainit_tsdb::Tsdb {
     db
 }
 
+/// Typed-minicolumn kernels vs their Value-at-a-time equivalents, shared
+/// by `benches/kernels.rs` and the `bench_report` bin so both time the
+/// same code. The boxed side replays the engine's retained
+/// Value-at-a-time strategy (still present as the general fallback in
+/// the executor): pull each row out of a [`Column`] as a boxed
+/// [`Value`], compare with `sql_cmp` / accumulate with a scratch
+/// argument vector through `AggAcc::push`.
+pub mod kernel_baselines {
+    use explainit_query::kernel::{self, ArithOp, CmpOp};
+    use explainit_query::{AggAcc, Column, Value};
+    use std::cmp::Ordering;
+
+    /// Deterministic f64 column: values cycle a prime modulus so
+    /// comparisons select ~half the rows and sums stay finite.
+    pub fn floats(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i.wrapping_mul(2_654_435_761) % 1997) as f64 * 0.5 - 499.0).collect()
+    }
+
+    /// Deterministic i64 column over the same cycle.
+    pub fn ints(n: usize) -> Vec<i64> {
+        (0..n).map(|i| (i.wrapping_mul(2_654_435_761) % 1997) as i64 - 998).collect()
+    }
+
+    /// Value-at-a-time compare: box each row out of the column, `sql_cmp`
+    /// against the constant, count the kept rows.
+    pub fn boxed_cmp(col: &Column, k: f64) -> usize {
+        let kv = Value::Float(k);
+        (0..col.len()).filter(|&i| col.get(i).sql_cmp(&kv) == Some(Ordering::Greater)).count()
+    }
+
+    /// Typed compare: branch-free selection refinement over the raw slice.
+    pub fn typed_f64_cmp(vals: &[f64], k: f64, sel: &mut Vec<u32>) -> usize {
+        sel.clear();
+        sel.extend(0..vals.len() as u32);
+        kernel::refine_f64_cmp(CmpOp::Gt, vals, None, k, sel);
+        sel.len()
+    }
+
+    /// Typed mixed Int/Float compare: the constant compiles once into an
+    /// integer threshold test; the loop never touches floats.
+    pub fn typed_i64_cmp(vals: &[i64], k: f64, sel: &mut Vec<u32>) -> usize {
+        sel.clear();
+        sel.extend(0..vals.len() as u32);
+        kernel::refine_i64_test(kernel::compile_i64_cmp(CmpOp::Gt, k), vals, None, sel);
+        sel.len()
+    }
+
+    /// Value-at-a-time arithmetic: box each row, unbox, multiply, rebox.
+    pub fn boxed_arith(col: &Column, k: f64) -> Vec<Value> {
+        let kv = Value::Float(k);
+        (0..col.len())
+            .map(|i| match (col.get(i).as_f64(), kv.as_f64()) {
+                (Some(a), Some(b)) => Value::Float(a * b),
+                _ => Value::Null,
+            })
+            .collect()
+    }
+
+    /// Typed arithmetic: one multiply per lane over the raw slice.
+    pub fn typed_f64_arith(vals: &[f64], k: f64) -> Vec<f64> {
+        kernel::f64_arith_const(ArithOp::Mul, vals, k, false)
+    }
+
+    /// Value-at-a-time aggregate: one boxed row through a scratch
+    /// argument vector per element — the executor's retained scratch
+    /// loop.
+    pub fn boxed_fold(name: &str, col: &Column) -> Value {
+        let mut acc = AggAcc::new(name).expect("known aggregate");
+        let mut scratch: Vec<Value> = Vec::with_capacity(1);
+        for i in 0..col.len() {
+            scratch.clear();
+            scratch.push(col.get(i));
+            acc.push(&scratch).expect("single-arg push");
+        }
+        acc.finish().expect("finishes")
+    }
+
+    /// Typed aggregate: fold the (slice, selection, validity) triple.
+    pub fn typed_fold(name: &str, vals: &[f64]) -> Value {
+        let mut acc = AggAcc::new(name).expect("known aggregate");
+        acc.fold_f64s(vals, 0..vals.len(), None);
+        acc.finish().expect("finishes")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

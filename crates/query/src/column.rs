@@ -200,6 +200,24 @@ impl Column {
         }
     }
 
+    /// Selects the entries at the selection-vector row ids (the `u32`
+    /// form the typed filter kernels produce) into a new column.
+    pub fn gather_u32(&self, sel: &[u32]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(sel.iter().map(|&i| v[i as usize]).collect()),
+            Column::Float(v) => Column::Float(sel.iter().map(|&i| v[i as usize]).collect()),
+            Column::Str(v) => Column::Str(sel.iter().map(|&i| v[i as usize].clone()).collect()),
+            Column::Bool(v) => Column::Bool(sel.iter().map(|&i| v[i as usize]).collect()),
+            Column::Dict { values, codes } => Column::Dict {
+                values: Arc::clone(values),
+                codes: sel.iter().map(|&i| codes[i as usize]).collect(),
+            },
+            Column::Values(v) => {
+                Column::Values(sel.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+        }
+    }
+
     /// Gather with optional indices: `None` produces NULL (used by outer
     /// joins to null-extend the unmatched side).
     ///

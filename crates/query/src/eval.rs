@@ -313,6 +313,38 @@ pub(crate) fn eval_binary(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
                     return Ok(Value::Str(format!("{a}{b}")));
                 }
             }
+            // Int × Int stays in exact integer arithmetic; overflow
+            // promotes to Float (same rule as AggAcc SUM) instead of
+            // wrapping or rounding through f64. Division is always Float.
+            if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+                let (a, b) = (*a, *b);
+                let checked = |v: Option<i64>, exact: i128| match v {
+                    Some(v) => Value::Int(v),
+                    None => Value::Float(exact as f64),
+                };
+                return Ok(match op {
+                    BinaryOp::Add => checked(a.checked_add(b), i128::from(a) + i128::from(b)),
+                    BinaryOp::Sub => checked(a.checked_sub(b), i128::from(a) - i128::from(b)),
+                    BinaryOp::Mul => checked(a.checked_mul(b), i128::from(a) * i128::from(b)),
+                    BinaryOp::Div => {
+                        if b == 0 {
+                            Value::Null
+                        } else {
+                            Value::Float(a as f64 / b as f64)
+                        }
+                    }
+                    BinaryOp::Mod => {
+                        if b == 0 {
+                            Value::Null
+                        } else {
+                            // i64::MIN % -1 is mathematically 0; wrapping_rem
+                            // gives exactly that without the overflow panic.
+                            Value::Int(a.wrapping_rem(b))
+                        }
+                    }
+                    _ => unreachable!(),
+                });
+            }
             let a = l
                 .as_f64()
                 .ok_or_else(|| QueryError::Type(format!("arithmetic on non-number {l}")))?;
@@ -438,6 +470,35 @@ mod tests {
             right: Box::new(E::lit(0i64)),
         };
         assert_eq!(ev(&e), Value::Null);
+    }
+
+    #[test]
+    fn int_arithmetic_is_exact_and_promotes_on_overflow() {
+        let bin = |op, l: i64, r: i64| eval_binary(op, Value::Int(l), Value::Int(r)).unwrap();
+        // Exact above 2^53: the old f64 path would round this to 2^53.
+        assert_eq!(bin(BinaryOp::Add, 1 << 53, 1), Value::Int((1 << 53) + 1));
+        assert_eq!(bin(BinaryOp::Sub, i64::MAX, 1), Value::Int(i64::MAX - 1));
+        // Overflow promotes to Float (AggAcc SUM's rule), never wraps.
+        assert_eq!(
+            bin(BinaryOp::Add, i64::MAX, 1),
+            Value::Float((i128::from(i64::MAX) + 1) as f64)
+        );
+        assert_eq!(
+            bin(BinaryOp::Sub, i64::MIN, 1),
+            Value::Float((i128::from(i64::MIN) - 1) as f64)
+        );
+        assert_eq!(
+            bin(BinaryOp::Mul, i64::MAX, i64::MAX),
+            Value::Float((i128::from(i64::MAX) * i128::from(i64::MAX)) as f64)
+        );
+        assert_eq!(bin(BinaryOp::Mul, -1, i64::MIN), Value::Float(-(i64::MIN as f64)));
+        // i64::MIN % -1 must not panic; the mathematical result is 0.
+        assert_eq!(bin(BinaryOp::Mod, i64::MIN, -1), Value::Int(0));
+        assert_eq!(bin(BinaryOp::Mod, 7, 3), Value::Int(1));
+        assert_eq!(bin(BinaryOp::Mod, 7, 0), Value::Null);
+        // Int / Int is always Float (or NULL on zero divisor).
+        assert_eq!(bin(BinaryOp::Div, 7, 2), Value::Float(3.5));
+        assert_eq!(bin(BinaryOp::Div, 4, 2), Value::Float(2.0));
     }
 
     #[test]

@@ -181,11 +181,11 @@ fn run_plan(ctx: &ExecCtx, plan: &LogicalPlan, opts: &ExecOptions) -> Result<Tab
 
         LogicalPlan::Filter { input, predicate } => {
             // Fully vectorizable Filter chains (the optimizer's
-            // cost-ordered residuals) evaluate in one pass over the source
-            // columns, innermost first, without building an intermediate
-            // Table per node.
+            // cost-ordered residuals) fuse into one selection vector over
+            // the source columns, innermost first — no intermediate Table
+            // or column materialization per node.
             let (filters, source) = peel_filters(plan);
-            if filters.len() > 1 && filters.iter().all(|p| veval::supported(p)) {
+            if filters.iter().all(|p| veval::supported(p)) {
                 let t = run_plan(ctx, source, opts)?;
                 if t.is_empty() {
                     return Ok(t);
@@ -201,16 +201,17 @@ fn run_plan(ctx: &ExecCtx, plan: &LogicalPlan, opts: &ExecOptions) -> Result<Tab
                 // matching the reference interpreter.
                 return Ok(t);
             }
-            let mask = if veval::supported(predicate) {
-                veval::eval_mask(predicate, t.schema(), t.columns(), t.len())?
-            } else {
-                // Row fallback (window functions, CASE, scalar calls).
-                let mut mask = Vec::with_capacity(t.len());
-                for row in t.rows() {
-                    mask.push(eval_row(predicate, t.schema(), row)?.is_true());
-                }
-                mask
-            };
+            if veval::supported(predicate) {
+                // Supported predicate above an unsupported inner chain.
+                let (schema, cols, len) = t.into_columnar_parts();
+                let (cols, len) = apply_filters(&[predicate], &schema, cols, len)?;
+                return Ok(Table::from_columnar_parts(schema, cols, len));
+            }
+            // Row fallback (window functions, CASE, scalar calls).
+            let mut mask = Vec::with_capacity(t.len());
+            for row in t.rows() {
+                mask.push(eval_row(predicate, t.schema(), row)?.is_true());
+            }
             let kept = mask.iter().filter(|&&m| m).count();
             let (schema, cols, _) = t.into_columnar_parts();
             let filtered: Vec<Column> = cols.iter().map(|c| c.filter(&mask)).collect();
@@ -374,7 +375,14 @@ fn run_tsdb_scan(
     // (within one series timestamps are strictly increasing, so the pair
     // is a total order) in O(N log K) instead of O(N log N).
     let order: Vec<u32> = if opts.merge_gather {
-        merge_gather_order(&hits, total)
+        // Worker budget for big cascade levels: the explicit partition
+        // count, or every core in auto mode (`partitions: 1` forces the
+        // serial cascade — output is identical either way).
+        let workers = match opts.partitions {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            p => p,
+        };
+        merge_gather_order(&hits, total, workers)
     } else {
         let ts = ts_concat.as_ref().expect("concatenated for the sort path");
         let mut order: Vec<u32> = (0..total as u32).collect();
@@ -478,8 +486,16 @@ fn run_tsdb_scan(
 /// intermediate run is `(timestamp, rank)`-sorted without ever storing or
 /// comparing ranks. That keeps the k-way bound of N log K sequential
 /// comparisons with the timestamp key carried inline, where the retained
-/// sort pays a key-extraction indirection per comparison.
-fn merge_gather_order(hits: &[explainit_tsdb::SeriesSlice<'_>], total: usize) -> Vec<u32> {
+/// sort pays a key-extraction indirection per comparison. Within one
+/// level every pair's output range is known up front (run lengths are
+/// input-determined), so big levels fan the pair merges out across
+/// `workers` scoped threads into disjoint slices of the double buffer —
+/// the merged bytes are identical to the serial cascade by construction.
+fn merge_gather_order(
+    hits: &[explainit_tsdb::SeriesSlice<'_>],
+    total: usize,
+    workers: usize,
+) -> Vec<u32> {
     // Non-empty runs in rank order: (concat offset, timestamps).
     let mut run_meta: Vec<(u32, &[i64])> = Vec::with_capacity(hits.len());
     let mut offset = 0u32;
@@ -527,36 +543,90 @@ fn merge_gather_order(hits: &[explainit_tsdb::SeriesSlice<'_>], total: usize) ->
         cur.extend(ts.iter().enumerate().map(|(i, &t)| (t, off + i as u32)));
         runs.push((start, cur.len()));
     }
-    let mut buf: Vec<(i64, u32)> = Vec::with_capacity(cur.len());
+    let mut buf: Vec<(i64, u32)> = vec![(0, 0); cur.len()];
     while runs.len() > 1 {
-        buf.clear();
+        // Every pair's output range follows from the input run lengths
+        // alone, so the level's merges are independent writes into
+        // disjoint, contiguous slices of `buf`.
         let mut next_runs: Vec<(usize, usize)> = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut start = 0usize;
         for pair in runs.chunks(2) {
-            let start = buf.len();
-            match *pair {
-                [(la, lb), (ra, rb)] => {
-                    let (mut l, mut r) = (la, ra);
-                    while l < lb && r < rb {
-                        if cur[l].0 <= cur[r].0 {
-                            buf.push(cur[l]);
-                            l += 1;
-                        } else {
-                            buf.push(cur[r]);
-                            r += 1;
-                        }
-                    }
-                    buf.extend_from_slice(&cur[l..lb]);
-                    buf.extend_from_slice(&cur[r..rb]);
-                }
-                [(la, lb)] => buf.extend_from_slice(&cur[la..lb]),
-                _ => unreachable!("chunks(2) yields 1..=2 runs"),
+            let len: usize = pair.iter().map(|&(a, b)| b - a).sum();
+            next_runs.push((start, start + len));
+            start += len;
+        }
+        let pairs: Vec<MergeJob<'_>> = runs.chunks(2).zip(next_runs.iter().copied()).collect();
+        let nworkers = workers.min(pairs.len());
+        if nworkers > 1 && cur.len() >= PARALLEL_MERGE_MIN_ROWS {
+            // One contiguous batch of pairs per worker; batch output
+            // regions tile `buf` in order, so `split_at_mut` hands each
+            // thread exactly its region.
+            let batches = morsel_ranges(pairs.len(), nworkers);
+            let mut slices: Vec<&mut [(i64, u32)]> = Vec::with_capacity(batches.len());
+            let mut rest: &mut [(i64, u32)] = &mut buf;
+            let mut consumed = 0usize;
+            for &(_, b) in &batches {
+                let end = pairs[b - 1].1 .1;
+                let (head, tail) = rest.split_at_mut(end - consumed);
+                slices.push(head);
+                rest = tail;
+                consumed = end;
             }
-            next_runs.push((start, buf.len()));
+            let (cur_ref, pairs_ref) = (&cur, &pairs);
+            std::thread::scope(|scope| {
+                for (&(a, b), out) in batches.iter().zip(slices) {
+                    let base = pairs_ref[a].1 .0;
+                    scope.spawn(move || {
+                        for &(pair, (o_start, o_end)) in &pairs_ref[a..b] {
+                            merge_pair(cur_ref, pair, &mut out[o_start - base..o_end - base]);
+                        }
+                    });
+                }
+            });
+        } else {
+            for &(pair, (o_start, o_end)) in &pairs {
+                merge_pair(&cur, pair, &mut buf[o_start..o_end]);
+            }
         }
         std::mem::swap(&mut cur, &mut buf);
         runs = next_runs;
     }
     cur.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Below this row count a cascade level merges serially: scoped-thread
+/// spawn overhead would dominate the merge itself.
+const PARALLEL_MERGE_MIN_ROWS: usize = 1 << 16;
+
+/// One cascade merge job: the one or two input runs (as `(start, end)`
+/// ranges into the level's source buffer) plus the output range they
+/// tile in the destination buffer.
+type MergeJob<'a> = (&'a [(usize, usize)], (usize, usize));
+
+/// Stable two-way merge of one cascade pair (or copy-through of an odd
+/// trailing run) into its preassigned output slice. `<=` keeps the left
+/// (lower-rank) run first on equal timestamps.
+fn merge_pair(cur: &[(i64, u32)], pair: &[(usize, usize)], out: &mut [(i64, u32)]) {
+    match *pair {
+        [(la, lb), (ra, rb)] => {
+            let (mut l, mut r, mut o) = (la, ra, 0usize);
+            while l < lb && r < rb {
+                if cur[l].0 <= cur[r].0 {
+                    out[o] = cur[l];
+                    l += 1;
+                } else {
+                    out[o] = cur[r];
+                    r += 1;
+                }
+                o += 1;
+            }
+            out[o..o + (lb - l)].copy_from_slice(&cur[l..lb]);
+            let o = o + (lb - l);
+            out[o..o + (rb - r)].copy_from_slice(&cur[r..rb]);
+        }
+        [(la, lb)] => out.copy_from_slice(&cur[la..lb]),
+        _ => unreachable!("chunks(2) yields 1..=2 runs"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -600,6 +670,29 @@ fn run_project(t: &Table, items: &[(Expr, String)], hidden: &[Expr]) -> Result<T
 // ---------------------------------------------------------------------------
 // Aggregation
 // ---------------------------------------------------------------------------
+
+/// A single aggregate argument viewed as a typed minicolumn: a raw
+/// `f64`/`i64` slice plus an optional validity bitmap, ready for the
+/// [`AggAcc::fold_f64s`]/[`AggAcc::fold_i64s`] kernels. `Float`/`Int`
+/// columns borrow in place; homogeneous `Values` columns (numeric with
+/// NULL runs) extract once per operator.
+enum FastArg<'a> {
+    F64(std::borrow::Cow<'a, [f64]>, Option<Vec<u64>>),
+    I64(std::borrow::Cow<'a, [i64]>, Option<Vec<u64>>),
+}
+
+fn fast_arg(col: &Column) -> Option<FastArg<'_>> {
+    use std::borrow::Cow;
+    match col {
+        Column::Float(vs) => Some(FastArg::F64(Cow::Borrowed(vs), None)),
+        Column::Int(vs) => Some(FastArg::I64(Cow::Borrowed(vs), None)),
+        Column::Values(vs) => match crate::kernel::mini_from_values(vs)? {
+            crate::kernel::Mini::F64(v, validity) => Some(FastArg::F64(Cow::Owned(v), validity)),
+            crate::kernel::Mini::I64(v, validity) => Some(FastArg::I64(Cow::Owned(v), validity)),
+        },
+        _ => None,
+    }
+}
 
 fn run_aggregate(
     t: &Table,
@@ -679,6 +772,31 @@ fn run_aggregate(
                         veval::eval(a, t.schema(), t.columns(), len).map(|v| v.into_column(len))
                     })
                     .collect::<Result<_>>()?;
+                // Typed fold: a single Float/Int-shaped argument folds each
+                // group straight over its (slice, row-selection, validity)
+                // triple — no per-row `Value` boxing (push-equivalent, and
+                // single-argument pushes cannot error).
+                if let [arg] = arg_cols.as_slice() {
+                    if let Some(fast) = fast_arg(arg) {
+                        let mut vals = Vec::with_capacity(row_groups.len());
+                        for rows in &row_groups {
+                            let mut acc = AggAcc::new(name).ok_or_else(|| {
+                                QueryError::BadFunction(format!("unknown aggregate {name}"))
+                            })?;
+                            match &fast {
+                                FastArg::F64(vs, validity) => {
+                                    acc.fold_f64s(vs, rows.iter().copied(), validity.as_deref())
+                                }
+                                FastArg::I64(vs, validity) => {
+                                    acc.fold_i64s(vs, rows.iter().copied(), validity.as_deref())
+                                }
+                            }
+                            vals.push(acc.finish()?);
+                        }
+                        out_cols.push(Column::from_values(vals));
+                        continue;
+                    }
+                }
                 let mut vals = Vec::with_capacity(row_groups.len());
                 let mut scratch: Vec<Value> = Vec::with_capacity(arg_cols.len());
                 for rows in &row_groups {
@@ -734,22 +852,28 @@ fn peel_filters(mut plan: &LogicalPlan) -> (Vec<&Expr>, &LogicalPlan) {
     }
 }
 
-/// Applies a peeled filter chain (innermost first) to morsel columns.
+/// Applies a peeled filter chain (innermost first) to morsel columns: one
+/// selection vector flows through every predicate (each refined in place by
+/// the typed kernels) and the surviving rows gather **once** at the end —
+/// no intermediate column materialization per predicate.
 fn apply_filters(
     filters: &[&Expr],
     schema: &Schema,
-    mut cols: Vec<Column>,
-    mut len: usize,
+    cols: Vec<Column>,
+    len: usize,
 ) -> Result<(Vec<Column>, usize)> {
+    let mut sel: Vec<u32> = (0..len as u32).collect();
     for pred in filters.iter().rev() {
-        if len == 0 {
+        if sel.is_empty() {
             break; // per-row semantics: empty inputs never evaluate
         }
-        let mask = veval::eval_mask(pred, schema, &cols, len)?;
-        len = mask.iter().filter(|&&m| m).count();
-        cols = cols.iter().map(|c| c.filter(&mask)).collect();
+        veval::refine(pred, schema, &cols, &mut sel)?;
     }
-    Ok((cols, len))
+    if sel.len() == len {
+        return Ok((cols, len)); // nothing dropped: reuse the columns as-is
+    }
+    let gathered: Vec<Column> = cols.iter().map(|c| c.gather_u32(&sel)).collect();
+    Ok((gathered, sel.len()))
 }
 
 /// Resolves the morsel count for `len` rows under the options.
@@ -989,6 +1113,21 @@ fn run_parallel_aggregate(
                     .collect::<Result<_>>()
             })
             .collect::<Result<_>>()?;
+        // Single Float/Int-column specs push the raw element per row —
+        // push-equivalent to boxing it, minus the `Value` round trip.
+        enum ParPush<'a> {
+            F64(&'a [f64]),
+            I64(&'a [i64]),
+            General,
+        }
+        let push_plans: Vec<ParPush> = arg_cols
+            .iter()
+            .map(|cols| match cols.as_slice() {
+                [Column::Float(vs)] => ParPush::F64(vs),
+                [Column::Int(vs)] => ParPush::I64(vs),
+                _ => ParPush::General,
+            })
+            .collect();
         let mut scratch: Vec<Value> = Vec::new();
         for (row, key) in keys.into_iter().enumerate() {
             let group = match partial.groups.entry(key) {
@@ -1009,10 +1148,18 @@ fn run_parallel_aggregate(
                 }
                 std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             };
-            for (acc, cols) in group.accs.iter_mut().zip(arg_cols.iter()) {
-                scratch.clear();
-                scratch.extend(cols.iter().map(|c| c.get(row)));
-                acc.push(&scratch)?;
+            for ((acc, cols), plan) in
+                group.accs.iter_mut().zip(arg_cols.iter()).zip(push_plans.iter())
+            {
+                match plan {
+                    ParPush::F64(vs) => acc.push_f64(vs[row]),
+                    ParPush::I64(vs) => acc.push_i64(vs[row]),
+                    ParPush::General => {
+                        scratch.clear();
+                        scratch.extend(cols.iter().map(|c| c.get(row)));
+                        acc.push(&scratch)?;
+                    }
+                }
             }
         }
         Ok(partial)
@@ -1100,6 +1247,20 @@ enum PreparedArg {
     /// Evaluated column over the series' *kept* points (index = position
     /// in the kept list, not the raw point index).
     Col(Column),
+}
+
+/// How a spec's arguments feed its accumulator for one series span.
+/// Single-column and all-constant shapes skip the per-point `Vec<Value>`
+/// scratch entirely (`AggAcc::push_f64`/`push_i64` are push-equivalent).
+enum SpecPush {
+    /// `AGG(value)`: push the raw f64 point.
+    Val,
+    /// `AGG(timestamp)`: push the raw i64 timestamp.
+    Ts,
+    /// Every argument is per-series constant: one pre-built arg row.
+    Consts(Vec<Value>),
+    /// General shape: build the arg row per point.
+    General,
 }
 
 /// What a group-key slot outputs.
@@ -1291,22 +1452,37 @@ fn run_scan_aggregate(
             }
 
             // Residual filter chain over this series' points. Class-only
-            // predicates evaluate as constants (no column build); others
-            // vectorize over the surviving points' timestamp/value pair.
+            // predicates evaluate as constants (no column build);
+            // kernel-refinable point predicates refine the kept-selection
+            // straight off the raw point slices (no intermediate column
+            // materialization); anything else falls back to gathering the
+            // survivors once for the vectorized mask path.
             let mut kept: Vec<u32> = (0..n as u32).collect();
             for (pred, uses_points) in &filter_chain {
                 if kept.is_empty() {
                     break;
                 }
+                if !*uses_points {
+                    // Constant per series: one evaluation decides the span.
+                    let sub = substitute_series_consts(pred, &obs, part.key);
+                    let keep = match veval::eval(&sub, &mini_schema, &[], 1)? {
+                        veval::VOut::Const(v) => v.is_true(),
+                        veval::VOut::Col(c) => c.get(0).is_true(),
+                    };
+                    if !keep {
+                        kept.clear();
+                    }
+                    continue;
+                }
+                if veval::span_refinable(pred, &obs) {
+                    veval::refine_span(pred, &obs, span_ts, span_vals, &mut kept);
+                    continue;
+                }
                 let sub = substitute_series_consts(pred, &obs, part.key);
-                let cols = if *uses_points {
-                    vec![
-                        Column::Int(kept.iter().map(|&i| span_ts[i as usize]).collect()),
-                        Column::Float(kept.iter().map(|&i| span_vals[i as usize]).collect()),
-                    ]
-                } else {
-                    Vec::new()
-                };
+                let cols = vec![
+                    Column::Int(kept.iter().map(|&i| span_ts[i as usize]).collect()),
+                    Column::Float(kept.iter().map(|&i| span_vals[i as usize]).collect()),
+                ];
                 let mask = veval::eval_mask(&sub, &mini_schema, &cols, kept.len())?;
                 kept = kept
                     .iter()
@@ -1376,6 +1552,24 @@ fn run_scan_aggregate(
                         .collect::<Result<Vec<_>>>()
                 })
                 .collect::<Result<Vec<_>>>()?;
+            let push_plans: Vec<SpecPush> = prepared
+                .iter()
+                .map(|pa| match pa.as_slice() {
+                    [PreparedArg::Val] => SpecPush::Val,
+                    [PreparedArg::Ts] => SpecPush::Ts,
+                    pa if pa.iter().all(|a| matches!(a, PreparedArg::Const(_))) => {
+                        SpecPush::Consts(
+                            pa.iter()
+                                .map(|a| match a {
+                                    PreparedArg::Const(v) => v.clone(),
+                                    _ => unreachable!(),
+                                })
+                                .collect(),
+                        )
+                    }
+                    _ => SpecPush::General,
+                })
+                .collect();
 
             // Accumulate the kept points. With a timestamp key each point
             // lands in its `(tuple, ts)` group; otherwise the whole series
@@ -1419,36 +1613,66 @@ fn run_scan_aggregate(
                     let slot =
                         slot_of(ts, (ts as f64).to_bits(), (ts, rank), &mut groups, &mut index)?;
                     let g = &mut groups[slot];
-                    for (pa, acc) in prepared.iter().zip(g.accs.iter_mut()) {
-                        scratch.clear();
-                        for arg in pa {
-                            scratch.push(match arg {
-                                PreparedArg::Val => Value::Float(span_vals[pi]),
-                                PreparedArg::Ts => Value::Int(ts),
-                                PreparedArg::Const(v) => v.clone(),
-                                PreparedArg::Col(c) => c.get(j),
-                            });
+                    for ((pa, plan), acc) in
+                        prepared.iter().zip(push_plans.iter()).zip(g.accs.iter_mut())
+                    {
+                        match plan {
+                            SpecPush::Val => acc.push_f64(span_vals[pi]),
+                            SpecPush::Ts => acc.push_i64(ts),
+                            SpecPush::Consts(row) => acc.push(row)?,
+                            SpecPush::General => {
+                                scratch.clear();
+                                for arg in pa {
+                                    scratch.push(match arg {
+                                        PreparedArg::Val => Value::Float(span_vals[pi]),
+                                        PreparedArg::Ts => Value::Int(ts),
+                                        PreparedArg::Const(v) => v.clone(),
+                                        PreparedArg::Col(c) => c.get(j),
+                                    });
+                                }
+                                acc.push(&scratch)?;
+                            }
                         }
-                        acc.push(&scratch)?;
                     }
                 }
             } else {
+                // One group takes the whole span: single-column specs fold
+                // the raw point slices through the kept-selection directly
+                // (accumulators are independent, so folding spec-major is
+                // observation-identical to the per-point push loop).
                 let first_ts = span_ts[kept[0] as usize];
                 let slot = slot_of(first_ts, 0, (first_ts, rank), &mut groups, &mut index)?;
                 let g = &mut groups[slot];
-                for (j, &pi) in kept.iter().enumerate() {
-                    let pi = pi as usize;
-                    for (pa, acc) in prepared.iter().zip(g.accs.iter_mut()) {
-                        scratch.clear();
-                        for arg in pa {
-                            scratch.push(match arg {
-                                PreparedArg::Val => Value::Float(span_vals[pi]),
-                                PreparedArg::Ts => Value::Int(span_ts[pi]),
-                                PreparedArg::Const(v) => v.clone(),
-                                PreparedArg::Col(c) => c.get(j),
-                            });
+                for ((pa, plan), acc) in
+                    prepared.iter().zip(push_plans.iter()).zip(g.accs.iter_mut())
+                {
+                    match plan {
+                        SpecPush::Val => {
+                            acc.fold_f64s(span_vals, kept.iter().map(|&i| i as usize), None)
                         }
-                        acc.push(&scratch)?;
+                        SpecPush::Ts => {
+                            acc.fold_i64s(span_ts, kept.iter().map(|&i| i as usize), None)
+                        }
+                        SpecPush::Consts(row) => {
+                            for _ in &kept {
+                                acc.push(row)?;
+                            }
+                        }
+                        SpecPush::General => {
+                            for (j, &pi) in kept.iter().enumerate() {
+                                let pi = pi as usize;
+                                scratch.clear();
+                                for arg in pa {
+                                    scratch.push(match arg {
+                                        PreparedArg::Val => Value::Float(span_vals[pi]),
+                                        PreparedArg::Ts => Value::Int(span_ts[pi]),
+                                        PreparedArg::Const(v) => v.clone(),
+                                        PreparedArg::Col(c) => c.get(j),
+                                    });
+                                }
+                                acc.push(&scratch)?;
+                            }
+                        }
                     }
                 }
             }

@@ -234,6 +234,25 @@ impl ExactSum {
         self.partials.push(x);
     }
 
+    /// Stages the expansion into a stack array for a bulk fold. Returns
+    /// `None` if the expansion is too large to stage — impossible by the
+    /// non-overlap invariant (see [`BulkSum`]), but callers fall back to
+    /// per-element [`ExactSum::add`] defensively.
+    pub(crate) fn bulk(&mut self) -> Option<BulkSum<'_>> {
+        if self.partials.len() > BULK_SLOTS - 8 {
+            return None;
+        }
+        let mut lows = [0.0f64; BULK_SLOTS];
+        let (top, n_lows) = match self.partials.split_last() {
+            Some((&top, rest)) => {
+                lows[..rest.len()].copy_from_slice(rest);
+                (Some(top), rest.len())
+            }
+            None => (None, 0),
+        };
+        Some(BulkSum { lows, n_lows, top, special: self.special, target: self })
+    }
+
     /// Folds another expansion in (still exact).
     pub fn merge(&mut self, other: &ExactSum) {
         for &p in &other.partials {
@@ -276,6 +295,116 @@ impl ExactSum {
             }
         }
         x
+    }
+}
+
+/// Slots in a [`BulkSum`] stack array. A non-overlapping f64 expansion
+/// has at most ≈40 terms (the ~2098-bit exponent span of finite doubles
+/// divided by 53 mantissa bits per partial), so 64 leaves ample margin.
+pub(crate) const BULK_SLOTS: usize = 64;
+
+/// Stack-staged continuation of an [`ExactSum`] expansion for bulk folds.
+///
+/// [`BulkSum::add`] runs the *identical* per-element algorithm as
+/// [`ExactSum::add`] — same compare/swap, same two-sum, same compaction
+/// order — so the expansion written back by [`BulkSum::finish`] is
+/// bit-for-bit the one serial `add` calls would have produced. Two things
+/// change *where the work happens*, not what it computes:
+///
+/// * the partials live in a fixed stack array instead of the `Vec`,
+///   keeping per-element capacity checks / `truncate` / `push` out of
+///   the hot loop;
+/// * the expansion is held as `lows ++ [top]` with the top (largest)
+///   partial in a register field. When every intermediate sum is exactly
+///   representable — the common case for telemetry-scale data — the
+///   expansion is a single partial, `n_lows` stays 0 and the whole add
+///   is register arithmetic with no store→load round-trip on the serial
+///   dependency chain.
+///
+/// Dropping a `BulkSum` without `finish` leaves the underlying sum
+/// untouched.
+pub(crate) struct BulkSum<'a> {
+    /// All partials below the top one, ascending in magnitude.
+    lows: [f64; BULK_SLOTS],
+    /// Occupied `lows` slots.
+    n_lows: usize,
+    /// The largest partial; `None` for an empty expansion.
+    top: Option<f64>,
+    special: f64,
+    target: &'a mut ExactSum,
+}
+
+impl BulkSum<'_> {
+    /// Adds one value — the [`ExactSum::add`] algorithm over
+    /// `lows ++ [top]`.
+    #[inline]
+    pub(crate) fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.special += x;
+            return;
+        }
+        let Some(top) = self.top else {
+            // Empty expansion: the walk is vacuous and `add` pushes x.
+            self.top = Some(x);
+            return;
+        };
+        let mut x = x;
+        let mut kept = 0;
+        // The walk over every partial but the last, in ascending order —
+        // skipped entirely while the expansion is a single partial.
+        for j in 0..self.n_lows {
+            let mut y = self.lows[j];
+            if x.abs() < y.abs() {
+                std::mem::swap(&mut x, &mut y);
+            }
+            let hi = x + y;
+            let lo = y - (hi - x);
+            if lo != 0.0 {
+                self.lows[kept] = lo;
+                kept += 1;
+            }
+            x = hi;
+        }
+        // The top partial: same step, with y in a register.
+        let mut y = top;
+        if x.abs() < y.abs() {
+            std::mem::swap(&mut x, &mut y);
+        }
+        let hi = x + y;
+        let lo = y - (hi - x);
+        if lo != 0.0 {
+            debug_assert!(kept < BULK_SLOTS, "expansion exceeded {BULK_SLOTS} terms");
+            self.lows[kept] = lo;
+            kept += 1;
+        }
+        self.n_lows = kept;
+        self.top = Some(hi);
+    }
+
+    /// Writes the staged expansion back to the underlying sum.
+    pub(crate) fn finish(self) {
+        self.target.partials.clear();
+        self.target.partials.extend_from_slice(&self.lows[..self.n_lows]);
+        if let Some(top) = self.top {
+            self.target.partials.push(top);
+        }
+        self.target.special = self.special;
+    }
+}
+
+/// Runs `f` over every selected valid row index, dispatching on the
+/// validity bitmap once instead of per element — the `None` (all-valid)
+/// loop is the raw selection with no bitmap check. The `Some` arm is
+/// [`crate::kernel::is_valid`]'s bit test.
+#[inline]
+fn for_each_valid(
+    sel: impl Iterator<Item = usize>,
+    validity: Option<&[u64]>,
+    f: impl FnMut(usize),
+) {
+    match validity {
+        None => sel.for_each(f),
+        Some(bits) => sel.filter(|&i| bits[i >> 6] >> (i & 63) & 1 == 1).for_each(f),
     }
 }
 
@@ -434,6 +563,291 @@ impl AggAcc {
             }
         }
         Ok(())
+    }
+
+    /// Feeds one non-null Float argument; exactly `push(&[Value::Float(v)])`
+    /// minus the boxing (single-argument pushes can never hit PERCENTILE's
+    /// p validation, so this is infallible).
+    pub fn push_f64(&mut self, v: f64) {
+        match self {
+            AggAcc::Count { n } => *n += 1,
+            AggAcc::Sum { float, saw_float, n, .. } => {
+                float.add(v);
+                *saw_float = true;
+                *n += 1;
+            }
+            AggAcc::Avg { sum, n } => {
+                sum.add(v);
+                *n += 1;
+            }
+            AggAcc::Var { sum, sumsq, n, .. } => {
+                sum.add(v);
+                sumsq.add(v * v);
+                *n += 1;
+            }
+            AggAcc::MinMax { candidates, want_min } => {
+                fold_minmax(candidates, Value::Float(v), *want_min);
+            }
+            AggAcc::Percentile { vals, .. } => vals.push(v),
+        }
+    }
+
+    /// Feeds one non-null Int argument; exactly `push(&[Value::Int(v)])`
+    /// minus the boxing.
+    pub fn push_i64(&mut self, v: i64) {
+        match self {
+            AggAcc::Count { n } => *n += 1,
+            AggAcc::Sum { int, float, n, .. } => {
+                *int += i128::from(v);
+                float.add(v as f64);
+                *n += 1;
+            }
+            AggAcc::Avg { sum, n } => {
+                sum.add(v as f64);
+                *n += 1;
+            }
+            AggAcc::Var { sum, sumsq, n, .. } => {
+                let f = v as f64;
+                sum.add(f);
+                sumsq.add(f * f);
+                *n += 1;
+            }
+            AggAcc::MinMax { candidates, want_min } => {
+                fold_minmax(candidates, Value::Int(v), *want_min);
+            }
+            AggAcc::Percentile { vals, .. } => vals.push(v as f64),
+        }
+    }
+
+    /// Bulk fold over a Float minicolumn: equivalent to `push_f64` for
+    /// every selected valid row, with the per-variant dispatch hoisted out
+    /// of the loop. MIN/MAX runs a pure `f64` running best whenever the
+    /// numeric candidate class is Float-typed (strict compares keep the
+    /// incumbent on ties — including `-0.0` vs `0.0` — exactly like
+    /// [`fold_minmax`]'s first-seen-wins rule); NaN inputs append their own
+    /// incomparable candidate classes in encounter order.
+    ///
+    /// The sum-based arms dispatch on the validity bitmap once
+    /// ([`for_each_valid`]) so the all-valid loop carries no per-element
+    /// bitmap check.
+    pub fn fold_f64s(
+        &mut self,
+        vals: &[f64],
+        sel: impl Iterator<Item = usize>,
+        validity: Option<&[u64]>,
+    ) {
+        let valid = |i: usize| crate::kernel::is_valid(validity, i);
+        match self {
+            AggAcc::Count { n } => {
+                for i in sel {
+                    *n += i64::from(valid(i));
+                }
+            }
+            AggAcc::Sum { float, saw_float, n, .. } => {
+                let before = *n;
+                match float.bulk() {
+                    Some(mut bulk) => {
+                        for_each_valid(sel, validity, |i| {
+                            bulk.add(vals[i]);
+                            *n += 1;
+                        });
+                        bulk.finish();
+                    }
+                    None => for_each_valid(sel, validity, |i| {
+                        float.add(vals[i]);
+                        *n += 1;
+                    }),
+                }
+                *saw_float |= *n != before;
+            }
+            AggAcc::Avg { sum, n } => match sum.bulk() {
+                Some(mut bulk) => {
+                    for_each_valid(sel, validity, |i| {
+                        bulk.add(vals[i]);
+                        *n += 1;
+                    });
+                    bulk.finish();
+                }
+                None => for_each_valid(sel, validity, |i| {
+                    sum.add(vals[i]);
+                    *n += 1;
+                }),
+            },
+            AggAcc::Var { sum, sumsq, n, .. } => match (sum.bulk(), sumsq.bulk()) {
+                (Some(mut bs), Some(mut bq)) => {
+                    for_each_valid(sel, validity, |i| {
+                        let v = vals[i];
+                        bs.add(v);
+                        bq.add(v * v);
+                        *n += 1;
+                    });
+                    bs.finish();
+                    bq.finish();
+                }
+                _ => for_each_valid(sel, validity, |i| {
+                    let v = vals[i];
+                    sum.add(v);
+                    sumsq.add(v * v);
+                    *n += 1;
+                }),
+            },
+            AggAcc::MinMax { candidates, want_min } => {
+                let want_min = *want_min;
+                // The (single) candidate class a non-NaN number folds into:
+                // the first candidate that is numeric and not NaN — every
+                // earlier class is incomparable with a finite number, so
+                // skipping the scan per element is exact.
+                let mut num_pos =
+                    candidates.iter().position(|c| c.as_f64().is_some_and(|f| !f.is_nan()));
+                if num_pos.is_some_and(|p| !matches!(candidates[p], Value::Float(_))) {
+                    // Int/Bool incumbent: rare — per-element sql_cmp fold.
+                    for i in sel.filter(|&i| valid(i)) {
+                        fold_minmax(candidates, Value::Float(vals[i]), want_min);
+                    }
+                    return;
+                }
+                let mut best: Option<f64> = num_pos.map(|p| match candidates[p] {
+                    Value::Float(c) => c,
+                    _ => unreachable!("checked Float above"),
+                });
+                for i in sel.filter(|&i| valid(i)) {
+                    let v = vals[i];
+                    if v.is_nan() {
+                        // Incomparable: its own candidate class, in
+                        // encounter order.
+                        candidates.push(Value::Float(v));
+                        continue;
+                    }
+                    best = Some(match best {
+                        None => {
+                            // First numeric: the class is created *here* so
+                            // it keeps its encounter position among NaNs.
+                            candidates.push(Value::Float(v));
+                            num_pos = Some(candidates.len() - 1);
+                            v
+                        }
+                        Some(c) if want_min => {
+                            if v < c {
+                                v
+                            } else {
+                                c
+                            }
+                        }
+                        Some(c) => {
+                            if v > c {
+                                v
+                            } else {
+                                c
+                            }
+                        }
+                    });
+                }
+                if let (Some(p), Some(b)) = (num_pos, best) {
+                    candidates[p] = Value::Float(b);
+                }
+            }
+            AggAcc::Percentile { vals: acc, .. } => {
+                acc.extend(sel.filter(|&i| valid(i)).map(|i| vals[i]));
+            }
+        }
+    }
+
+    /// Bulk fold over an Int minicolumn: `push_i64` for every selected
+    /// valid row with hoisted dispatch. MIN/MAX keeps exact i64 compares
+    /// while the numeric candidate class is Int-typed.
+    pub fn fold_i64s(
+        &mut self,
+        vals: &[i64],
+        sel: impl Iterator<Item = usize>,
+        validity: Option<&[u64]>,
+    ) {
+        let valid = |i: usize| crate::kernel::is_valid(validity, i);
+        match self {
+            AggAcc::Count { n } => {
+                for i in sel {
+                    *n += i64::from(valid(i));
+                }
+            }
+            AggAcc::Sum { int, float, n, .. } => match float.bulk() {
+                Some(mut bulk) => {
+                    for_each_valid(sel, validity, |i| {
+                        *int += i128::from(vals[i]);
+                        bulk.add(vals[i] as f64);
+                        *n += 1;
+                    });
+                    bulk.finish();
+                }
+                None => for_each_valid(sel, validity, |i| {
+                    *int += i128::from(vals[i]);
+                    float.add(vals[i] as f64);
+                    *n += 1;
+                }),
+            },
+            AggAcc::Avg { sum, n } => match sum.bulk() {
+                Some(mut bulk) => {
+                    for_each_valid(sel, validity, |i| {
+                        bulk.add(vals[i] as f64);
+                        *n += 1;
+                    });
+                    bulk.finish();
+                }
+                None => for_each_valid(sel, validity, |i| {
+                    sum.add(vals[i] as f64);
+                    *n += 1;
+                }),
+            },
+            AggAcc::Var { sum, sumsq, n, .. } => match (sum.bulk(), sumsq.bulk()) {
+                (Some(mut bs), Some(mut bq)) => {
+                    for_each_valid(sel, validity, |i| {
+                        let v = vals[i] as f64;
+                        bs.add(v);
+                        bq.add(v * v);
+                        *n += 1;
+                    });
+                    bs.finish();
+                    bq.finish();
+                }
+                _ => for_each_valid(sel, validity, |i| {
+                    let v = vals[i] as f64;
+                    sum.add(v);
+                    sumsq.add(v * v);
+                    *n += 1;
+                }),
+            },
+            AggAcc::MinMax { candidates, want_min } => {
+                let want_min = *want_min;
+                let mut num_pos =
+                    candidates.iter().position(|c| c.as_f64().is_some_and(|f| !f.is_nan()));
+                if num_pos.is_some_and(|p| !matches!(candidates[p], Value::Int(_))) {
+                    for i in sel.filter(|&i| valid(i)) {
+                        fold_minmax(candidates, Value::Int(vals[i]), want_min);
+                    }
+                    return;
+                }
+                let mut best: Option<i64> = num_pos.map(|p| match candidates[p] {
+                    Value::Int(c) => c,
+                    _ => unreachable!("checked Int above"),
+                });
+                for i in sel.filter(|&i| valid(i)) {
+                    let v = vals[i];
+                    best = Some(match best {
+                        None => {
+                            candidates.push(Value::Int(v));
+                            num_pos = Some(candidates.len() - 1);
+                            v
+                        }
+                        Some(c) if want_min => c.min(v),
+                        Some(c) => c.max(v),
+                    });
+                }
+                if let (Some(p), Some(b)) = (num_pos, best) {
+                    candidates[p] = Value::Int(b);
+                }
+            }
+            AggAcc::Percentile { vals: acc, .. } => {
+                acc.extend(sel.filter(|&i| valid(i)).map(|i| vals[i] as f64));
+            }
+        }
     }
 
     /// Folds another partial in; equivalent to pushing `other`'s rows
@@ -615,6 +1029,88 @@ fn fold_numeric(name: &str, args: &[Value], f: impl Fn(f64, f64) -> f64) -> Resu
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Every fold/push shortcut must agree with the boxed `push` loop.
+    fn fold_matches_push(name: &str, vals: &[f64], sel: &[usize], validity: Option<&[u64]>) {
+        let mut folded = AggAcc::new(name).unwrap();
+        folded.fold_f64s(vals, sel.iter().copied(), validity);
+        let mut pushed = AggAcc::new(name).unwrap();
+        for &i in sel {
+            if crate::kernel::is_valid(validity, i) {
+                pushed.push(&[Value::Float(vals[i])]).unwrap();
+            } else {
+                pushed.push(&[Value::Null]).unwrap();
+            }
+        }
+        assert_eq!(
+            format!("{:?}", folded.finish()),
+            format!("{:?}", pushed.finish()),
+            "{name} over {vals:?} sel {sel:?}"
+        );
+    }
+
+    #[test]
+    fn typed_folds_match_boxed_pushes() {
+        let vals = [3.0, f64::NAN, -0.0, 0.0, f64::INFINITY, 1.5, f64::NAN, -2.0];
+        let all: Vec<usize> = (0..vals.len()).collect();
+        let validity = vec![0b10110101u64]; // rows 1, 3, 6 are NULL
+        for name in ["COUNT", "SUM", "AVG", "VARIANCE", "STDDEV", "MIN", "MAX"] {
+            fold_matches_push(name, &vals, &all, None);
+            fold_matches_push(name, &vals, &all, Some(&validity));
+            fold_matches_push(name, &vals, &[], None); // empty selection
+            fold_matches_push(name, &vals, &[4, 6, 1], None); // NaN/inf only-ish
+        }
+    }
+
+    #[test]
+    fn typed_i64_folds_match_boxed_pushes() {
+        let vals = [5i64, i64::MAX, -3, i64::MIN, 0, 7];
+        let all: Vec<usize> = (0..vals.len()).collect();
+        for name in ["COUNT", "SUM", "AVG", "MIN", "MAX"] {
+            let mut folded = AggAcc::new(name).unwrap();
+            folded.fold_i64s(&vals, all.iter().copied(), None);
+            let mut pushed = AggAcc::new(name).unwrap();
+            for &i in &all {
+                pushed.push(&[Value::Int(vals[i])]).unwrap();
+            }
+            assert_eq!(
+                format!("{:?}", folded.finish()),
+                format!("{:?}", pushed.finish()),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_preserves_nan_class_head_order() {
+        // A NaN seen before any number is the head class and wins finish().
+        let vals = [f64::NAN, 1.0, -5.0];
+        let mut folded = AggAcc::new("MIN").unwrap();
+        folded.fold_f64s(&vals, 0..3, None);
+        match folded.finish().unwrap() {
+            Value::Float(f) => assert!(f.is_nan()),
+            other => panic!("expected NaN head, got {other:?}"),
+        }
+        // Numbers first: the numeric class stays the head.
+        let vals = [1.0, f64::NAN, -5.0];
+        let mut folded = AggAcc::new("MIN").unwrap();
+        folded.fold_f64s(&vals, 0..3, None);
+        assert_eq!(folded.finish().unwrap(), Value::Float(-5.0));
+    }
+
+    #[test]
+    fn fold_onto_int_incumbent_uses_exact_compare() {
+        // MIN over an Int incumbent folded with floats: exact mixed compare.
+        let mut acc = AggAcc::new("MIN").unwrap();
+        acc.push(&[Value::Int((1 << 53) + 1)]).unwrap();
+        acc.fold_f64s(&[(1i64 << 53) as f64], 0..1, None);
+        // 2^53 < 2^53+1 exactly, so the float replaces the int.
+        assert_eq!(acc.finish().unwrap(), Value::Float((1i64 << 53) as f64));
+        let mut acc = AggAcc::new("MAX").unwrap();
+        acc.push(&[Value::Int((1 << 53) + 1)]).unwrap();
+        acc.fold_f64s(&[(1i64 << 53) as f64], 0..1, None);
+        assert_eq!(acc.finish().unwrap(), Value::Int((1 << 53) + 1));
+    }
 
     #[test]
     fn concat_renders_and_skips_nulls() {

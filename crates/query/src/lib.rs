@@ -63,7 +63,21 @@
 //!
 //! A `where=[...]` attribute lists residual predicates the scan indexes
 //! could not absorb (evaluated per series / per point before
-//! aggregation). If you expected the pushdown and see an
+//! aggregation). Their order tells you how each conjunct executes — the
+//! optimizer sorts the chain into three classes, and within the span
+//! loop the whole chain runs as a *fused* filter over one selection
+//! vector (no intermediate column is materialized between conjuncts):
+//!
+//! 1. predicates over `metric_name`/`tag` dictionary columns first —
+//!    evaluated once per series, not per point;
+//! 2. kernel-refinable point predicates next — comparisons, `BETWEEN`,
+//!    `IS NULL` and literal `IN` lists over `timestamp`/`value`, which
+//!    refine the selection vector in place with typed branch-free
+//!    loops ([`kernel`]);
+//! 3. everything else last — general expressions that need the row
+//!    gather + vectorized evaluator fallback.
+//!
+//! If you expected the pushdown and see an
 //! `Exchange`/`Aggregate` over a `TsdbScan` instead, the pipeline was not
 //! eligible: a group key that is not `timestamp` or a dictionary column
 //! (`metric_name`, `tag`, `tag['k']`), an output that is not a plain
@@ -147,6 +161,7 @@ mod error;
 mod eval;
 mod exec;
 mod functions;
+pub mod kernel;
 mod lexer;
 pub mod optimize;
 mod parser;
@@ -165,6 +180,7 @@ pub use catalog::Catalog;
 pub use column::Column;
 pub use error::QueryError;
 pub use exec::ExecOptions;
+pub use functions::AggAcc;
 pub use lexer::{tokenize, Token};
 pub use parser::{parse_query, parse_script, parse_statement};
 pub use pivot::{pivot_long, pivot_one, pivot_wide, FamilyFrame};

@@ -639,14 +639,26 @@ fn sink_filter(pred: Expr, input: LogicalPlan, catalog: &Catalog) -> Result<Logi
                     residual.push(c);
                 }
             }
-            // Cost-ordered residual chain (rule 7's filter half): conjuncts
-            // over the per-series-constant dictionary columns apply
-            // innermost — the scan-aggregate operator evaluates those once
-            // per series and can drop a whole series before any per-point
-            // column is built. The sort is stable, so equal-cost conjuncts
-            // keep their source order, and conjunction commutes, so the
-            // kept row set is unchanged.
-            residual.sort_by_key(|c| usize::from(!refs_within(c, &schema, &[1, 2])));
+            // Cost-ordered residual chain (rule 7's filter half), three
+            // classes innermost-out: (0) conjuncts over the per-series-
+            // constant dictionary columns — the scan-aggregate operator
+            // evaluates those once per series and can drop a whole series
+            // before any per-point work; (1) kernel-refinable point
+            // predicates — comparisons/BETWEEN/IS NULL/IN of `timestamp`/
+            // `value` against literals, which refine the selection vector
+            // branch-free straight off the raw point slices; (2) general
+            // expressions, which pay a gather + vectorized mask. The sort
+            // is stable, so equal-cost conjuncts keep their source order,
+            // and conjunction commutes, so the kept row set is unchanged.
+            residual.sort_by_key(|c| {
+                if refs_within(c, &schema, &[1, 2]) {
+                    0usize
+                } else if crate::veval::span_refinable(c, &schema) {
+                    1
+                } else {
+                    2
+                }
+            });
             let mut plan = LogicalPlan::TsdbScan { table, name, tags, start, end, columns };
             // Wrap innermost-first: the first residual becomes the deepest
             // Filter, which every executor path applies first.

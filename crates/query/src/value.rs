@@ -4,6 +4,41 @@ use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Exact `i64` vs `f64` SQL comparison: never rounds the integer through
+/// `as f64` (which is lossy above 2^53). NaN is incomparable (`None`);
+/// floats at or beyond ±2^63 order strictly outside every `i64`; finite
+/// in-range floats compare against their truncation, with the fractional
+/// part breaking the tie.
+pub(crate) fn cmp_i64_f64(a: i64, b: f64) -> Option<Ordering> {
+    if b.is_nan() {
+        return None;
+    }
+    const TWO63: f64 = 9_223_372_036_854_775_808.0; // 2^63, exactly representable
+    if b >= TWO63 {
+        return Some(Ordering::Less); // every i64 < b (covers +inf)
+    }
+    if b < -TWO63 {
+        return Some(Ordering::Greater); // every i64 > b (covers -inf)
+    }
+    let t = b.trunc();
+    let ti = t as i64; // exact: t ∈ [−2^63, 2^63)
+    match a.cmp(&ti) {
+        Ordering::Equal => {
+            // a == trunc(b): the fractional part decides. trunc rounds
+            // toward zero, so b > t means b has a positive fraction
+            // (a < b) and b < t a negative one (a > b).
+            if b > t {
+                Some(Ordering::Less)
+            } else if b < t {
+                Some(Ordering::Greater)
+            } else {
+                Some(Ordering::Equal)
+            }
+        }
+        ord => Some(ord),
+    }
+}
+
 /// A dynamically typed SQL value.
 ///
 /// `Map` carries the TSDB tag set (`tag['host']`); `List` is the result of
@@ -85,6 +120,12 @@ impl Value {
             (Value::Null, _) | (_, Value::Null) => None,
             (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
             (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            // Exact numeric arms: i64 values above 2^53 must not round
+            // through f64 (the generic as_f64 arm below would collapse
+            // 2^53 and 2^53+1).
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Float(b)) => cmp_i64_f64(*a, *b),
+            (Value::Float(a), Value::Int(b)) => cmp_i64_f64(*b, *a).map(Ordering::reverse),
             _ => {
                 let a = self.as_f64()?;
                 let b = other.as_f64()?;
@@ -226,6 +267,54 @@ mod tests {
         assert_eq!(Value::Int(1).sql_cmp(&Value::Float(1.5)), Some(Ordering::Less));
         assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
         assert_eq!(Value::str("a").sql_cmp(&Value::str("b")), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn sql_cmp_is_exact_above_2_pow_53() {
+        let big = (1i64 << 53) + 1; // rounds down to 2^53 as f64
+        assert_eq!(
+            Value::Int(big).sql_cmp(&Value::Float((1i64 << 53) as f64)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Float((1i64 << 53) as f64).sql_cmp(&Value::Int(big)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Int(big).sql_cmp(&Value::Int(1 << 53)), Some(Ordering::Greater));
+        // i64::MAX is below 2^63 = (i64::MAX as f64).
+        assert_eq!(
+            Value::Int(i64::MAX).sql_cmp(&Value::Float(i64::MAX as f64)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(i64::MIN).sql_cmp(&Value::Float(i64::MIN as f64)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn sql_cmp_nan_and_infinities() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Float(f64::NAN)), None);
+        assert_eq!(Value::Float(f64::NAN).sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Float(f64::NAN).sql_cmp(&Value::Float(f64::NAN)), None);
+        assert_eq!(
+            Value::Int(i64::MAX).sql_cmp(&Value::Float(f64::INFINITY)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(i64::MIN).sql_cmp(&Value::Float(f64::NEG_INFINITY)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn cmp_i64_f64_fraction_tiebreak() {
+        assert_eq!(cmp_i64_f64(3, 3.5), Some(Ordering::Less));
+        assert_eq!(cmp_i64_f64(3, 2.5), Some(Ordering::Greater));
+        assert_eq!(cmp_i64_f64(-3, -3.5), Some(Ordering::Greater));
+        assert_eq!(cmp_i64_f64(-3, -2.5), Some(Ordering::Less));
+        assert_eq!(cmp_i64_f64(-4, -3.5), Some(Ordering::Less));
+        assert_eq!(cmp_i64_f64(0, -0.0), Some(Ordering::Equal));
     }
 
     #[test]

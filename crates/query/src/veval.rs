@@ -213,6 +213,19 @@ pub fn eval(expr: &Expr, schema: &Schema, cols: &[Column], len: usize) -> Result
     }
 }
 
+/// The kernel-level comparison op for a comparison `BinaryOp`.
+pub(crate) fn cmp_op_of(op: BinaryOp) -> crate::kernel::CmpOp {
+    match op {
+        BinaryOp::Eq => crate::kernel::CmpOp::Eq,
+        BinaryOp::NotEq => crate::kernel::CmpOp::Ne,
+        BinaryOp::Lt => crate::kernel::CmpOp::Lt,
+        BinaryOp::LtEq => crate::kernel::CmpOp::Le,
+        BinaryOp::Gt => crate::kernel::CmpOp::Gt,
+        BinaryOp::GtEq => crate::kernel::CmpOp::Ge,
+        _ => unreachable!("comparison operator"),
+    }
+}
+
 fn cmp_matches(op: BinaryOp, ord: Ordering) -> bool {
     match op {
         BinaryOp::Eq => ord == Ordering::Equal,
@@ -310,17 +323,48 @@ fn eval_binary_vec(op: BinaryOp, l: VOut, r: VOut, len: usize) -> Result<VOut> {
                     )));
                 }
                 (Column::Int(vs), Value::Float(k)) => {
-                    let k = *k;
-                    return Ok(VOut::Col(Column::from_values(
-                        vs.iter()
-                            .map(|&x| match (x as f64).partial_cmp(&k) {
-                                Some(ord) => Value::Bool(cmp_matches(op, ord)),
-                                None => Value::Null,
-                            })
-                            .collect(),
-                    )));
+                    // NaN constant: unknown for every row (the only way a
+                    // non-null Int vs Float comparison goes NULL).
+                    if k.is_nan() {
+                        return Ok(VOut::Col(Column::from_values(vec![Value::Null; vs.len()])));
+                    }
+                    // Exact: compile the float into an integer threshold
+                    // test instead of rounding the column through `as f64`
+                    // (lossy above 2^53) — matches scalar sql_cmp exactly.
+                    let test = crate::kernel::compile_i64_cmp(cmp_op_of(op), *k);
+                    let out: Vec<bool> = match test {
+                        crate::kernel::I64Test::Never => vec![false; vs.len()],
+                        crate::kernel::I64Test::Always => vec![true; vs.len()],
+                        crate::kernel::I64Test::Lt(t) => vs.iter().map(|&x| x < t).collect(),
+                        crate::kernel::I64Test::Le(t) => vs.iter().map(|&x| x <= t).collect(),
+                        crate::kernel::I64Test::Gt(t) => vs.iter().map(|&x| x > t).collect(),
+                        crate::kernel::I64Test::Ge(t) => vs.iter().map(|&x| x >= t).collect(),
+                        crate::kernel::I64Test::Eq(t) => vs.iter().map(|&x| x == t).collect(),
+                        crate::kernel::I64Test::Ne(t) => vs.iter().map(|&x| x != t).collect(),
+                    };
+                    return Ok(VOut::Col(Column::Bool(out)));
                 }
                 (Column::Float(vs), k) if k.as_f64().is_some() => {
+                    // An Int constant that does not round-trip through f64
+                    // (above 2^53) must compare exactly, not via `as f64`.
+                    if let Value::Int(ki) = k {
+                        let kf = *ki as f64;
+                        if kf as i128 != i128::from(*ki) {
+                            let ki = *ki;
+                            return Ok(VOut::Col(Column::from_values(
+                                vs.iter()
+                                    .map(|&x| {
+                                        match crate::value::cmp_i64_f64(ki, x)
+                                            .map(Ordering::reverse)
+                                        {
+                                            Some(ord) => Value::Bool(cmp_matches(op, ord)),
+                                            None => Value::Null,
+                                        }
+                                    })
+                                    .collect(),
+                            )));
+                        }
+                    }
                     let k = k.as_f64().expect("checked");
                     return Ok(VOut::Col(Column::from_values(
                         vs.iter()
@@ -361,25 +405,46 @@ fn eval_binary_vec(op: BinaryOp, l: VOut, r: VOut, len: usize) -> Result<VOut> {
         }
     }
 
-    // Dense arithmetic fast paths.
+    // Dense arithmetic fast paths, lowered to the typed chunked kernels.
     if matches!(op, BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul) {
+        use crate::kernel::{self, ArithOp, IntArith};
+        let kop = match op {
+            BinaryOp::Add => ArithOp::Add,
+            BinaryOp::Sub => ArithOp::Sub,
+            _ => ArithOp::Mul,
+        };
+        let int_out = |res: IntArith| match res {
+            IntArith::Ints(v) => VOut::Col(Column::Int(v)),
+            IntArith::Mixed(v) => VOut::Col(Column::from_values(v)),
+        };
         match (&l, &r) {
-            (VOut::Col(Column::Float(a)), VOut::Const(k)) if k.as_f64().is_some() => {
+            // Float column × Float-viewed constant (Int constants above
+            // 2^53 would round, so only exactly-representable ones apply;
+            // the rest take the generic exact path below).
+            (VOut::Col(Column::Float(a)), VOut::Const(k))
+            | (VOut::Const(k), VOut::Col(Column::Float(a)))
+                if k.as_f64().is_some_and(|f| match k {
+                    Value::Int(i) => f as i128 == i128::from(*i),
+                    _ => true,
+                }) =>
+            {
+                let swapped = matches!(&l, VOut::Const(_));
                 let k = k.as_f64().expect("checked");
-                let out: Vec<f64> = match op {
-                    BinaryOp::Add => a.iter().map(|&x| x + k).collect(),
-                    BinaryOp::Sub => a.iter().map(|&x| x - k).collect(),
-                    _ => a.iter().map(|&x| x * k).collect(),
-                };
-                return Ok(VOut::Col(Column::Float(out)));
+                return Ok(VOut::Col(Column::Float(kernel::f64_arith_const(kop, a, k, swapped))));
             }
             (VOut::Col(Column::Float(a)), VOut::Col(Column::Float(b))) => {
-                let out: Vec<f64> = match op {
-                    BinaryOp::Add => a.iter().zip(b).map(|(&x, &y)| x + y).collect(),
-                    BinaryOp::Sub => a.iter().zip(b).map(|(&x, &y)| x - y).collect(),
-                    _ => a.iter().zip(b).map(|(&x, &y)| x * y).collect(),
-                };
-                return Ok(VOut::Col(Column::Float(out)));
+                return Ok(VOut::Col(Column::Float(kernel::f64_arith_cols(kop, a, b))));
+            }
+            // Int column × Int constant / column: exact checked arithmetic,
+            // per-element overflow promotion (the scalar evaluator's rule).
+            (VOut::Col(Column::Int(a)), VOut::Const(Value::Int(k))) => {
+                return Ok(int_out(kernel::i64_arith_const(kop, a, *k, false)));
+            }
+            (VOut::Const(Value::Int(k)), VOut::Col(Column::Int(a))) => {
+                return Ok(int_out(kernel::i64_arith_const(kop, a, *k, true)));
+            }
+            (VOut::Col(Column::Int(a)), VOut::Col(Column::Int(b))) => {
+                return Ok(int_out(kernel::i64_arith_cols(kop, a, b)));
             }
             _ => {}
         }
@@ -593,6 +658,511 @@ pub fn eval_mask(expr: &Expr, schema: &Schema, cols: &[Column], len: usize) -> R
             Ok(codes.iter().map(|&c| per[c as usize]).collect())
         }
         VOut::Col(col) => Ok((0..len).map(|i| col.get(i).is_true()).collect()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Selection-vector refinement
+// ---------------------------------------------------------------------------
+
+/// Refines a selection vector in place by a predicate: `sel` keeps exactly
+/// the row ids where the predicate `is_true` (NULL and false drop — the
+/// WHERE rule). This is the fused-filter-conjunction engine: typed columns
+/// against literals lower to the branch-free [`crate::kernel`] loops with
+/// **no intermediate mask or column materialization**, `AND` refines left
+/// then right over the survivors only, and anything else gathers just the
+/// surviving rows and reuses [`eval_mask`] — so the per-predicate work (and
+/// the error surface) matches the old filter-then-rematerialize chain,
+/// which also only ever evaluated predicate *i* over the survivors of
+/// predicates *< i*.
+pub(crate) fn refine(
+    expr: &Expr,
+    schema: &Schema,
+    cols: &[Column],
+    sel: &mut Vec<u32>,
+) -> Result<()> {
+    use crate::kernel;
+    if sel.is_empty() {
+        return Ok(());
+    }
+    match expr {
+        Expr::Literal(v) => {
+            if !v.is_true() {
+                sel.clear();
+            }
+            return Ok(());
+        }
+        // Fused conjunction: the right side only ever sees left-survivors.
+        Expr::Binary { op: BinaryOp::And, left, right } => {
+            refine(left, schema, cols, sel)?;
+            return refine(right, schema, cols, sel);
+        }
+        Expr::Binary { op, left, right }
+            if matches!(
+                op,
+                BinaryOp::Eq
+                    | BinaryOp::NotEq
+                    | BinaryOp::Lt
+                    | BinaryOp::LtEq
+                    | BinaryOp::Gt
+                    | BinaryOp::GtEq
+            ) =>
+        {
+            // Comparison of a direct column against a literal (either
+            // orientation, flipping the operator): comparisons never
+            // error, so every column representation refines directly.
+            let (col_expr, lit, op) = match (&**left, &**right) {
+                (Expr::Column(name), Expr::Literal(k)) => (Some(name), k, *op),
+                (Expr::Literal(k), Expr::Column(name)) => (
+                    Some(name),
+                    k,
+                    match op {
+                        BinaryOp::Lt => BinaryOp::Gt,
+                        BinaryOp::LtEq => BinaryOp::GtEq,
+                        BinaryOp::Gt => BinaryOp::Lt,
+                        BinaryOp::GtEq => BinaryOp::LtEq,
+                        other => *other,
+                    },
+                ),
+                _ => (None, &Value::Null, *op),
+            };
+            if let Some(name) = col_expr {
+                let col = &cols[schema.resolve(name)?];
+                if lit.is_null() {
+                    sel.clear(); // unknown for every row
+                    return Ok(());
+                }
+                match (col, lit) {
+                    (Column::Int(vs), Value::Int(k)) => {
+                        let test = kernel::compile_i64_cmp_int(cmp_op_of(op), *k);
+                        kernel::refine_i64_test(test, vs, None, sel);
+                        return Ok(());
+                    }
+                    (Column::Int(vs), Value::Float(k)) => {
+                        let test = kernel::compile_i64_cmp(cmp_op_of(op), *k);
+                        kernel::refine_i64_test(test, vs, None, sel);
+                        return Ok(());
+                    }
+                    (Column::Float(vs), k) if k.as_f64().is_some() => {
+                        // Exactly like the dense eval path: an Int constant
+                        // that does not round-trip compares exactly per row.
+                        if let Value::Int(ki) = k {
+                            let kf = *ki as f64;
+                            if kf as i128 != i128::from(*ki) {
+                                let ki = *ki;
+                                let mut n = 0usize;
+                                for j in 0..sel.len() {
+                                    let i = sel[j];
+                                    sel[n] = i;
+                                    let keep = crate::value::cmp_i64_f64(ki, vs[i as usize])
+                                        .map(Ordering::reverse)
+                                        .is_some_and(|ord| cmp_matches(op, ord));
+                                    n += usize::from(keep);
+                                }
+                                sel.truncate(n);
+                                return Ok(());
+                            }
+                        }
+                        let k = k.as_f64().expect("checked");
+                        kernel::refine_f64_cmp(cmp_op_of(op), vs, None, k, sel);
+                        return Ok(());
+                    }
+                    (Column::Dict { values, codes }, k) => {
+                        // One sql_cmp per referenced dictionary entry,
+                        // memoized; entries are only visited for selected
+                        // rows (comparisons cannot error).
+                        let mut per: Vec<Option<bool>> = vec![None; values.len()];
+                        let mut n = 0usize;
+                        for j in 0..sel.len() {
+                            let i = sel[j];
+                            sel[n] = i;
+                            let c = codes[i as usize] as usize;
+                            let keep = *per[c].get_or_insert_with(|| {
+                                values[c].sql_cmp(k).is_some_and(|ord| cmp_matches(op, ord))
+                            });
+                            n += usize::from(keep);
+                        }
+                        sel.truncate(n);
+                        return Ok(());
+                    }
+                    _ => {
+                        // Str/Bool/Values columns (or type mismatches that
+                        // compare unknown): per-row sql_cmp, still no
+                        // materialization and never an error.
+                        let mut n = 0usize;
+                        for j in 0..sel.len() {
+                            let i = sel[j];
+                            sel[n] = i;
+                            let keep = col
+                                .get(i as usize)
+                                .sql_cmp(lit)
+                                .is_some_and(|ord| cmp_matches(op, ord));
+                            n += usize::from(keep);
+                        }
+                        sel.truncate(n);
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        Expr::Between { expr: e, low, high, negated } => {
+            if let (Expr::Column(name), Expr::Literal(lo), Expr::Literal(hi)) =
+                (&**e, &**low, &**high)
+            {
+                let col = &cols[schema.resolve(name)?];
+                match col {
+                    Column::Int(vs)
+                        if matches!(lo, Value::Int(_) | Value::Float(_))
+                            && matches!(hi, Value::Int(_) | Value::Float(_)) =>
+                    {
+                        kernel::refine_i64_between(vs, None, lo, hi, *negated, sel);
+                        return Ok(());
+                    }
+                    Column::Float(vs)
+                        if matches!(lo, Value::Float(_)) && matches!(hi, Value::Float(_)) =>
+                    {
+                        let (Value::Float(lo), Value::Float(hi)) = (lo, hi) else { unreachable!() };
+                        kernel::refine_f64_between(vs, None, *lo, *hi, *negated, sel);
+                        return Ok(());
+                    }
+                    _ => {
+                        // Exact generic BETWEEN over the selection (sql_cmp
+                        // never errors; unknown drops negated or not).
+                        let mut n = 0usize;
+                        for j in 0..sel.len() {
+                            let i = sel[j];
+                            sel[n] = i;
+                            let x = col.get(i as usize);
+                            let keep = match (x.sql_cmp(lo), x.sql_cmp(hi)) {
+                                (Some(a), Some(b)) => {
+                                    (a != Ordering::Less && b != Ordering::Greater) != *negated
+                                }
+                                _ => false,
+                            };
+                            n += usize::from(keep);
+                        }
+                        sel.truncate(n);
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        Expr::IsNull { expr: e, negated } => {
+            if let Expr::Column(name) = &**e {
+                let col = &cols[schema.resolve(name)?];
+                match col {
+                    Column::Values(vs) => {
+                        let mut n = 0usize;
+                        for j in 0..sel.len() {
+                            let i = sel[j];
+                            sel[n] = i;
+                            n += usize::from(vs[i as usize].is_null() != *negated);
+                        }
+                        sel.truncate(n);
+                    }
+                    Column::Dict { values, codes } => {
+                        let per: Vec<bool> =
+                            values.iter().map(|x| x.is_null() != *negated).collect();
+                        let mut n = 0usize;
+                        for j in 0..sel.len() {
+                            let i = sel[j];
+                            sel[n] = i;
+                            n += usize::from(per[codes[i as usize] as usize]);
+                        }
+                        sel.truncate(n);
+                    }
+                    // Other typed columns never contain NULLs.
+                    _ => kernel::refine_is_null(None, *negated, sel),
+                }
+                return Ok(());
+            }
+        }
+        Expr::InList { expr: e, list, negated } => {
+            if let Expr::Column(name) = &**e {
+                if list.iter().all(|item| matches!(item, Expr::Literal(_))) {
+                    let col = &cols[schema.resolve(name)?];
+                    let items: Vec<&Value> = list
+                        .iter()
+                        .map(|item| match item {
+                            Expr::Literal(v) => v,
+                            _ => unreachable!("checked literal"),
+                        })
+                        .collect();
+                    let mut n = 0usize;
+                    for j in 0..sel.len() {
+                        let i = sel[j];
+                        sel[n] = i;
+                        let x = col.get(i as usize);
+                        // Same three-valued IN as the dense evaluator: a
+                        // hit keeps (unless negated); NULLs anywhere make
+                        // a miss unknown, and unknown drops either way.
+                        let keep = if x.is_null() {
+                            false
+                        } else {
+                            let hit = items.iter().any(|iv| x.sql_cmp(iv) == Some(Ordering::Equal));
+                            if hit {
+                                !*negated
+                            } else if items.iter().any(|iv| iv.is_null()) {
+                                false
+                            } else {
+                                *negated
+                            }
+                        };
+                        n += usize::from(keep);
+                    }
+                    sel.truncate(n);
+                    return Ok(());
+                }
+            }
+        }
+        _ => {}
+    }
+    // Fallback: gather the surviving rows once and reuse the vectorized
+    // mask evaluator over just those rows (same cost and error surface as
+    // the old filter-then-rematerialize step for this predicate).
+    let gathered: Vec<Column> = cols.iter().map(|c| c.gather_u32(sel)).collect();
+    let mask = eval_mask(expr, schema, &gathered, sel.len())?;
+    let mut n = 0usize;
+    for j in 0..sel.len() {
+        let i = sel[j];
+        sel[n] = i;
+        n += usize::from(mask[j]);
+    }
+    sel.truncate(n);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Scan-aggregate span refinement
+// ---------------------------------------------------------------------------
+
+/// One of the two raw point columns a scan-aggregate span exposes: the
+/// series' sorted timestamps or its values. Never contains NULLs.
+#[derive(Clone, Copy)]
+enum SpanCol<'a> {
+    I64(&'a [i64]),
+    F64(&'a [f64]),
+}
+
+impl SpanCol<'_> {
+    fn get(self, i: usize) -> Value {
+        match self {
+            SpanCol::I64(vs) => Value::Int(vs[i]),
+            SpanCol::F64(vs) => Value::Float(vs[i]),
+        }
+    }
+}
+
+fn is_span_col(e: &Expr, obs: &Schema) -> bool {
+    matches!(e, Expr::Column(name) if obs.resolve(name).is_ok_and(|i| i == 0 || i == 3))
+}
+
+fn span_col<'a>(e: &Expr, obs: &Schema, ts: &'a [i64], vals: &'a [f64]) -> Option<SpanCol<'a>> {
+    if let Expr::Column(name) = e {
+        match obs.resolve(name) {
+            Ok(0) => return Some(SpanCol::I64(ts)),
+            Ok(3) => return Some(SpanCol::F64(vals)),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Returns true when [`refine_span`] can evaluate this residual predicate
+/// entirely from a scan-aggregate span's raw `(timestamp, value)` slices —
+/// conjunctions of comparisons / BETWEEN / IS NULL / IN of a point column
+/// against literals. The check is all-or-nothing so a partially-refined
+/// `AND` can never be double-applied by the caller's fallback.
+pub(crate) fn span_refinable(expr: &Expr, obs: &Schema) -> bool {
+    match expr {
+        Expr::Literal(_) => true,
+        Expr::Binary { op: BinaryOp::And, left, right } => {
+            span_refinable(left, obs) && span_refinable(right, obs)
+        }
+        Expr::Binary {
+            op:
+                BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq,
+            left,
+            right,
+        } => {
+            (is_span_col(left, obs) && matches!(&**right, Expr::Literal(_)))
+                || (matches!(&**left, Expr::Literal(_)) && is_span_col(right, obs))
+        }
+        Expr::Between { expr: e, low, high, .. } => {
+            is_span_col(e, obs)
+                && matches!(&**low, Expr::Literal(_))
+                && matches!(&**high, Expr::Literal(_))
+        }
+        Expr::IsNull { expr: e, .. } => is_span_col(e, obs),
+        Expr::InList { expr: e, list, .. } => {
+            is_span_col(e, obs) && list.iter().all(|item| matches!(item, Expr::Literal(_)))
+        }
+        _ => false,
+    }
+}
+
+/// Refines a scan-aggregate span selection in place, straight off the raw
+/// point slices — no intermediate `Column` is ever materialized. Semantics
+/// are exactly [`refine`] (and therefore [`eval_mask`]) over the
+/// equivalent `Int`/`Float` columns; the predicate must have passed
+/// [`span_refinable`]. Point columns are NULL-free, so nothing here can
+/// error.
+pub(crate) fn refine_span(expr: &Expr, obs: &Schema, ts: &[i64], vals: &[f64], sel: &mut Vec<u32>) {
+    use crate::kernel;
+    if sel.is_empty() {
+        return;
+    }
+    match expr {
+        Expr::Literal(v) => {
+            if !v.is_true() {
+                sel.clear();
+            }
+        }
+        Expr::Binary { op: BinaryOp::And, left, right } => {
+            refine_span(left, obs, ts, vals, sel);
+            refine_span(right, obs, ts, vals, sel);
+        }
+        Expr::Binary { op, left, right } => {
+            let (col, lit, op) = if let (Some(c), Expr::Literal(k)) =
+                (span_col(left, obs, ts, vals), &**right)
+            {
+                (c, k, *op)
+            } else if let (Expr::Literal(k), Some(c)) = (&**left, span_col(right, obs, ts, vals)) {
+                let op = match op {
+                    BinaryOp::Lt => BinaryOp::Gt,
+                    BinaryOp::LtEq => BinaryOp::GtEq,
+                    BinaryOp::Gt => BinaryOp::Lt,
+                    BinaryOp::GtEq => BinaryOp::LtEq,
+                    other => *other,
+                };
+                (c, k, op)
+            } else {
+                unreachable!("span_refinable checked the comparison shape")
+            };
+            if lit.is_null() {
+                sel.clear();
+                return;
+            }
+            match (col, lit) {
+                (SpanCol::I64(vs), Value::Int(k)) => {
+                    let test = kernel::compile_i64_cmp_int(cmp_op_of(op), *k);
+                    kernel::refine_i64_test(test, vs, None, sel);
+                }
+                (SpanCol::I64(vs), Value::Float(k)) => {
+                    let test = kernel::compile_i64_cmp(cmp_op_of(op), *k);
+                    kernel::refine_i64_test(test, vs, None, sel);
+                }
+                (SpanCol::F64(vs), k) if k.as_f64().is_some() => {
+                    // Same exactness rule as the dense path: a non-round-
+                    // trippable Int constant compares exactly per row.
+                    if let Value::Int(ki) = k {
+                        let kf = *ki as f64;
+                        if kf as i128 != i128::from(*ki) {
+                            let ki = *ki;
+                            let mut n = 0usize;
+                            for j in 0..sel.len() {
+                                let i = sel[j];
+                                sel[n] = i;
+                                let keep = crate::value::cmp_i64_f64(ki, vs[i as usize])
+                                    .map(Ordering::reverse)
+                                    .is_some_and(|ord| cmp_matches(op, ord));
+                                n += usize::from(keep);
+                            }
+                            sel.truncate(n);
+                            return;
+                        }
+                    }
+                    let k = k.as_f64().expect("checked");
+                    kernel::refine_f64_cmp(cmp_op_of(op), vs, None, k, sel);
+                }
+                (col, lit) => {
+                    // Bool/Str/Map literal against a point column: exact
+                    // per-row sql_cmp (typically unknown → drop).
+                    let mut n = 0usize;
+                    for j in 0..sel.len() {
+                        let i = sel[j];
+                        sel[n] = i;
+                        let keep = col
+                            .get(i as usize)
+                            .sql_cmp(lit)
+                            .is_some_and(|ord| cmp_matches(op, ord));
+                        n += usize::from(keep);
+                    }
+                    sel.truncate(n);
+                }
+            }
+        }
+        Expr::Between { expr: e, low, high, negated } => {
+            let col = span_col(e, obs, ts, vals).expect("span_refinable checked");
+            let (Expr::Literal(lo), Expr::Literal(hi)) = (&**low, &**high) else {
+                unreachable!("span_refinable checked")
+            };
+            match col {
+                SpanCol::I64(vs)
+                    if matches!(lo, Value::Int(_) | Value::Float(_))
+                        && matches!(hi, Value::Int(_) | Value::Float(_)) =>
+                {
+                    kernel::refine_i64_between(vs, None, lo, hi, *negated, sel);
+                }
+                SpanCol::F64(vs)
+                    if matches!(lo, Value::Float(_)) && matches!(hi, Value::Float(_)) =>
+                {
+                    let (Value::Float(lo), Value::Float(hi)) = (lo, hi) else { unreachable!() };
+                    kernel::refine_f64_between(vs, None, *lo, *hi, *negated, sel);
+                }
+                _ => {
+                    let mut n = 0usize;
+                    for j in 0..sel.len() {
+                        let i = sel[j];
+                        sel[n] = i;
+                        let x = col.get(i as usize);
+                        let keep = match (x.sql_cmp(lo), x.sql_cmp(hi)) {
+                            (Some(a), Some(b)) => {
+                                (a != Ordering::Less && b != Ordering::Greater) != *negated
+                            }
+                            _ => false,
+                        };
+                        n += usize::from(keep);
+                    }
+                    sel.truncate(n);
+                }
+            }
+        }
+        // Point columns never hold NULLs.
+        Expr::IsNull { negated, .. } => kernel::refine_is_null(None, *negated, sel),
+        Expr::InList { expr: e, list, negated } => {
+            let col = span_col(e, obs, ts, vals).expect("span_refinable checked");
+            let items: Vec<&Value> = list
+                .iter()
+                .map(|item| match item {
+                    Expr::Literal(v) => v,
+                    _ => unreachable!("span_refinable checked"),
+                })
+                .collect();
+            let any_null_item = items.iter().any(|iv| iv.is_null());
+            let mut n = 0usize;
+            for j in 0..sel.len() {
+                let i = sel[j];
+                sel[n] = i;
+                let x = col.get(i as usize);
+                let hit = items.iter().any(|iv| x.sql_cmp(iv) == Some(Ordering::Equal));
+                let keep = if hit {
+                    !*negated
+                } else if any_null_item {
+                    false
+                } else {
+                    *negated
+                };
+                n += usize::from(keep);
+            }
+            sel.truncate(n);
+        }
+        _ => unreachable!("span_refinable checked the predicate shape"),
     }
 }
 

@@ -715,6 +715,116 @@ fn minmax_with_nan_agrees_across_engines() {
     }
 }
 
+/// Mixed Int/Float comparisons must be *exact* — no rounding the Int
+/// column through f64 — and identical in the vectorized kernels, the row
+/// engines and the reference. Pins the cases where a lossy `as f64`
+/// compare gives the wrong answer: i64 values above 2^53 against Float
+/// constants, Float columns against non-round-trippable Int constants,
+/// and NaN data dropping for every operator.
+#[test]
+fn mixed_int_float_comparisons_pinned_exact() {
+    let p53 = 1i64 << 53; // 9007199254740992: the last exactly-representable step
+    let rows = vec![
+        vec![Value::Int(p53), Value::Float(0.5)],
+        vec![Value::Int(p53 + 1), Value::Float(f64::NAN)],
+        vec![Value::Int(i64::MAX), Value::Float(9_223_372_036_854_775_807i64 as f64)],
+        vec![Value::Int(-3), Value::Float(f64::NEG_INFINITY)],
+    ];
+    let mut catalog = Catalog::new();
+    catalog.register("b", Table::from_rows(&["x", "v"], rows));
+
+    let serial = |sql: &str| {
+        let query = parse_query(sql).unwrap();
+        catalog
+            .execute_query_with(
+                &query,
+                ExecOptions { partitions: 1, scan_aggregate: false, ..ExecOptions::default() },
+            )
+            .unwrap()
+    };
+    let x_of = |t: &Table| -> Vec<Value> { t.rows().iter().map(|r| r[0].clone()).collect() };
+
+    // 2^53 + 1 rounds down to 2^53 under `as f64`; the exact compare must
+    // still see it as strictly greater than the 2^53 Float constant.
+    let out = serial("SELECT x FROM b WHERE x > 9007199254740992.0");
+    assert_eq!(x_of(&out), vec![Value::Int(p53 + 1), Value::Int(i64::MAX)]);
+    let out = serial("SELECT x FROM b WHERE x = 9007199254740992.0");
+    assert_eq!(x_of(&out), vec![Value::Int(p53)], "!= under rounding, = exactly");
+
+    // i64::MAX as f64 rounds *up* to 2^63, so the Float cell is strictly
+    // greater than the Int constant i64::MAX — a lossy compare calls them
+    // equal.
+    let out = serial("SELECT x FROM b WHERE v <= 9223372036854775807");
+    assert_eq!(x_of(&out), vec![Value::Int(p53), Value::Int(-3)]);
+    let out = serial("SELECT x FROM b WHERE v > 9223372036854775807");
+    assert_eq!(x_of(&out), vec![Value::Int(i64::MAX)]);
+
+    // Fractional constants partition Int values exactly.
+    let out = serial("SELECT x FROM b WHERE x <= -2.5");
+    assert_eq!(x_of(&out), vec![Value::Int(-3)]);
+
+    // NaN cells drop for EVERY comparison operator (SQL unknown), and
+    // -inf compares below every finite constant.
+    let out = serial("SELECT x FROM b WHERE v != 12345.0");
+    assert_eq!(x_of(&out), vec![Value::Int(p53), Value::Int(i64::MAX), Value::Int(-3)]);
+    let out = serial("SELECT x FROM b WHERE v < 1e308");
+    assert_eq!(x_of(&out), vec![Value::Int(p53), Value::Int(i64::MAX), Value::Int(-3)]);
+
+    // And all engines (serial/parallel/scan-agg x2/reference) agree on
+    // every shape, including BETWEEN over the huge-Int boundary.
+    for sql in [
+        "SELECT x FROM b WHERE x > 9007199254740992.0",
+        "SELECT x FROM b WHERE x = 9007199254740992.0",
+        "SELECT x FROM b WHERE x != 9007199254740992.0 ORDER BY x",
+        "SELECT x FROM b WHERE v <= 9223372036854775807",
+        "SELECT x FROM b WHERE x <= -2.5",
+        "SELECT x FROM b WHERE v != 12345.0",
+        "SELECT x FROM b WHERE v < 1e308 AND x > 2.5",
+        "SELECT x FROM b WHERE x BETWEEN -2.5 AND 9007199254740992.0",
+        "SELECT COUNT(*) AS n FROM b WHERE v = v",
+    ] {
+        assert_same(&catalog, sql).unwrap();
+    }
+}
+
+/// Int arithmetic at the i64 extremes promotes to Float instead of
+/// wrapping or panicking, identically in the vectorized kernels, the row
+/// engines and the reference (satellite: overflow audit).
+#[test]
+fn int_arithmetic_overflow_promotes_in_all_engines() {
+    let rows = vec![
+        vec![Value::Int(i64::MAX), Value::Int(1)],
+        vec![Value::Int(i64::MIN), Value::Int(-1)],
+        vec![Value::Int(1 << 53), Value::Int(3)],
+    ];
+    let mut catalog = Catalog::new();
+    catalog.register("b", Table::from_rows(&["x", "k"], rows));
+
+    let query = parse_query("SELECT x + 1 AS a, x * k AS m, x - 1 AS s FROM b").unwrap();
+    let serial = catalog
+        .execute_query_with(
+            &query,
+            ExecOptions { partitions: 1, scan_aggregate: false, ..ExecOptions::default() },
+        )
+        .unwrap();
+    // i64::MAX + 1 promotes; (2^53) + 1 stays exact Int.
+    assert_eq!(serial.rows()[0][0], Value::Float((i128::from(i64::MAX) + 1) as f64));
+    assert_eq!(serial.rows()[1][0], Value::Int(i64::MIN + 1));
+    assert_eq!(serial.rows()[2][0], Value::Int((1 << 53) + 1));
+    // i64::MIN * -1 overflows by exactly one; the exact i128 product
+    // converts to 2^63 as f64.
+    assert_eq!(serial.rows()[1][1], Value::Float(9_223_372_036_854_775_808.0));
+    assert_eq!(serial.rows()[1][2], Value::Float((i128::from(i64::MIN) - 1) as f64));
+
+    for sql in [
+        "SELECT x + 1 AS a, x * k AS m, x - 1 AS s FROM b",
+        "SELECT x FROM b WHERE x * k > 0",
+        "SELECT SUM(x) AS s FROM b",
+    ] {
+        assert_same(&catalog, sql).unwrap();
+    }
+}
+
 /// Non-constant PERCENTILE p must error identically everywhere.
 #[test]
 fn non_constant_percentile_p_rejected_by_all_engines() {

@@ -1,0 +1,421 @@
+//! Property tests for the typed minicolumn kernels: every branch-free
+//! selection/arithmetic/fold loop in `explainit_query::kernel` (and the
+//! `AggAcc` typed folds) must agree with the scalar `Value` reference
+//! semantics — `sql_cmp` three-valued comparisons, exact Int/Float mixed
+//! ordering, per-element overflow promotion, push-equivalent folds — over
+//! generated columns with NULL runs, NaN/±infinity, signed zeros, i64
+//! extremes, empty selections and all-filtered inputs.
+
+use explainit_query::kernel::{
+    compile_i64_cmp, compile_i64_cmp_int, f64_arith_cols, f64_arith_const, i64_arith_cols,
+    i64_arith_const, mini_from_values, refine_f64_between, refine_f64_cmp, refine_i64_between,
+    refine_i64_test, refine_is_null, ArithOp, CmpOp, IntArith, Mini,
+};
+use explainit_query::{AggAcc, Value};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+const CMP_OPS: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+const ARITH_OPS: [ArithOp; 3] = [ArithOp::Add, ArithOp::Sub, ArithOp::Mul];
+
+/// The scalar WHERE rule: a comparison keeps the row iff it is `true`
+/// (unknown — incomparable operands — drops for every operator).
+fn cmp_keeps(op: CmpOp, ord: Option<Ordering>) -> bool {
+    let Some(ord) = ord else { return false };
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    }
+}
+
+/// Decodes a generated `(code, magnitude)` pair into an f64 that covers
+/// the special values the kernels must not mishandle.
+fn f64_case(code: usize, mag: f64) -> f64 {
+    match code % 8 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        4 => -0.0,
+        5 => mag,
+        6 => -mag,
+        _ => mag * 1e16, // pushes past 2^53 where f64 integers go sparse
+    }
+}
+
+/// Decodes a generated `(code, magnitude)` pair into an i64 covering the
+/// extremes and the 2^53 representability boundary.
+fn i64_case(code: usize, mag: i64) -> i64 {
+    match code % 8 {
+        0 => i64::MIN,
+        1 => i64::MAX,
+        2 => 0,
+        3 => (1 << 53) + 1,
+        4 => -(1 << 53) - 1,
+        5 => mag,
+        6 => -mag,
+        _ => i64::MAX - mag.unsigned_abs().min(1000) as i64,
+    }
+}
+
+/// Builds the kernel inputs from a generated row list: raw slice, validity
+/// bitmap (None when null-free), boxed `Value`s, and a selection subset.
+fn build_f64(
+    rows: &[(usize, f64, bool)],
+    sel_bits: &[bool],
+) -> (Vec<f64>, Option<Vec<u64>>, Vec<Value>, Vec<u32>) {
+    let floats: Vec<f64> = rows.iter().map(|&(c, m, _)| f64_case(c, m)).collect();
+    let boxed: Vec<Value> = rows
+        .iter()
+        .zip(&floats)
+        .map(|(&(_, _, null), &f)| if null { Value::Null } else { Value::Float(f) })
+        .collect();
+    let any_null = rows.iter().any(|&(_, _, null)| null);
+    let validity = any_null.then(|| {
+        let mut bits = vec![0u64; rows.len().div_ceil(64)];
+        for (i, &(_, _, null)) in rows.iter().enumerate() {
+            if !null {
+                bits[i >> 6] |= 1 << (i & 63);
+            }
+        }
+        bits
+    });
+    let sel: Vec<u32> = (0..rows.len())
+        .filter(|&i| sel_bits.get(i).copied().unwrap_or(true))
+        .map(|i| i as u32)
+        .collect();
+    (floats, validity, boxed, sel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `refine_f64_cmp` == filtering the selection by scalar `sql_cmp`
+    /// over boxed values, across NaN/±inf/-0.0 data, NULL runs, NaN and
+    /// infinite constants, and arbitrary (including empty) selections.
+    #[test]
+    fn f64_cmp_kernel_matches_scalar_reference(
+        rows in proptest::collection::vec((0usize..8, -1e3f64..1e3, any::<bool>()), 0..80),
+        sel_bits in proptest::collection::vec(any::<bool>(), 0..80),
+        k_code in 0usize..8,
+        k_mag in -1e3f64..1e3,
+        op_idx in 0usize..CMP_OPS.len(),
+    ) {
+        let op = CMP_OPS[op_idx];
+        let k = f64_case(k_code, k_mag);
+        let (floats, validity, boxed, sel) = build_f64(&rows, &sel_bits);
+        let expected: Vec<u32> = sel
+            .iter()
+            .copied()
+            .filter(|&i| cmp_keeps(op, boxed[i as usize].sql_cmp(&Value::Float(k))))
+            .collect();
+        let mut got = sel;
+        refine_f64_cmp(op, &floats, validity.as_deref(), k, &mut got);
+        prop_assert_eq!(got, expected, "op {:?} k {}", op, k);
+    }
+
+    /// The compiled i64-vs-f64 threshold test == scalar `sql_cmp` of
+    /// `Int(x)` against `Float(k)` — the exact mixed-comparison contract,
+    /// including fractional constants, constants beyond ±2^63, NaN and
+    /// the i64 extremes.
+    #[test]
+    fn compiled_i64_cmp_matches_scalar_reference(
+        rows in proptest::collection::vec((0usize..8, -1_000_000i64..1_000_000), 0..80),
+        sel_bits in proptest::collection::vec(any::<bool>(), 0..80),
+        k_code in 0usize..10,
+        k_mag in -1e3f64..1e3,
+        op_idx in 0usize..CMP_OPS.len(),
+    ) {
+        let op = CMP_OPS[op_idx];
+        let k = match k_code {
+            8 => 9_223_372_036_854_775_808.0,  // 2^63: above every i64
+            9 => -9_223_372_036_854_775_809.0, // below every i64
+            c => f64_case(c, k_mag + 0.5),     // fractional magnitudes
+        };
+        let ints: Vec<i64> = rows.iter().map(|&(c, m)| i64_case(c, m)).collect();
+        let sel: Vec<u32> = (0..ints.len())
+            .filter(|&i| sel_bits.get(i).copied().unwrap_or(true))
+            .map(|i| i as u32)
+            .collect();
+        let expected: Vec<u32> = sel
+            .iter()
+            .copied()
+            .filter(|&i| cmp_keeps(op, Value::Int(ints[i as usize]).sql_cmp(&Value::Float(k))))
+            .collect();
+        let mut got = sel;
+        refine_i64_test(compile_i64_cmp(op, k), &ints, None, &mut got);
+        prop_assert_eq!(got, expected, "op {:?} k {}", op, k);
+    }
+
+    /// The pure-Int compiled test == scalar `sql_cmp` of two Ints.
+    #[test]
+    fn compiled_i64_cmp_int_matches_scalar_reference(
+        rows in proptest::collection::vec((0usize..8, -1_000_000i64..1_000_000), 0..80),
+        k_code in 0usize..8,
+        k_mag in -1_000_000i64..1_000_000,
+        op_idx in 0usize..CMP_OPS.len(),
+    ) {
+        let op = CMP_OPS[op_idx];
+        let k = i64_case(k_code, k_mag);
+        let ints: Vec<i64> = rows.iter().map(|&(c, m)| i64_case(c, m)).collect();
+        let sel: Vec<u32> = (0..ints.len() as u32).collect();
+        let expected: Vec<u32> = sel
+            .iter()
+            .copied()
+            .filter(|&i| cmp_keeps(op, Value::Int(ints[i as usize]).sql_cmp(&Value::Int(k))))
+            .collect();
+        let mut got = sel;
+        refine_i64_test(compile_i64_cmp_int(op, k), &ints, None, &mut got);
+        prop_assert_eq!(got, expected, "op {:?} k {}", op, k);
+    }
+
+    /// BETWEEN kernels == the scalar two-sided rule: keep iff both
+    /// comparisons are known and `lo <= x <= hi` (xor negated); any
+    /// unknown side drops regardless of NOT.
+    #[test]
+    fn between_kernels_match_scalar_reference(
+        int_rows in proptest::collection::vec((0usize..8, -1_000_000i64..1_000_000), 0..60),
+        f_rows in proptest::collection::vec((0usize..8, -1e3f64..1e3, any::<bool>()), 0..60),
+        lo_is_int in any::<bool>(),
+        hi_is_int in any::<bool>(),
+        lo_code in 0usize..8,
+        hi_code in 0usize..8,
+        lo_mag in -1e3f64..1e3,
+        hi_mag in -1e3f64..1e3,
+        negated in any::<bool>(),
+    ) {
+        let mk = |is_int: bool, code: usize, mag: f64| -> Value {
+            if is_int {
+                Value::Int(i64_case(code, mag as i64 * 1000))
+            } else {
+                Value::Float(f64_case(code, mag))
+            }
+        };
+        let scalar = |x: &Value, lo: &Value, hi: &Value| -> bool {
+            match (x.sql_cmp(lo), x.sql_cmp(hi)) {
+                (Some(a), Some(b)) => {
+                    (a != Ordering::Less && b != Ordering::Greater) != negated
+                }
+                _ => false,
+            }
+        };
+
+        // Int column, Int-or-Float bounds.
+        let lo = mk(lo_is_int, lo_code, lo_mag);
+        let hi = mk(hi_is_int, hi_code, hi_mag);
+        let ints: Vec<i64> = int_rows.iter().map(|&(c, m)| i64_case(c, m)).collect();
+        let expected: Vec<u32> = (0..ints.len() as u32)
+            .filter(|&i| scalar(&Value::Int(ints[i as usize]), &lo, &hi))
+            .collect();
+        let mut got: Vec<u32> = (0..ints.len() as u32).collect();
+        refine_i64_between(&ints, None, &lo, &hi, negated, &mut got);
+        prop_assert_eq!(got, expected, "int between {:?}..{:?} not={}", lo, hi, negated);
+
+        // Float column, Float bounds (the kernel-eligible shape), with
+        // NULL runs carried in the validity bitmap.
+        let (lo_f, hi_f) = (f64_case(lo_code, lo_mag), f64_case(hi_code, hi_mag));
+        let (floats, validity, boxed, sel) =
+            build_f64(&f_rows, &[]);
+        let expected: Vec<u32> = sel
+            .iter()
+            .copied()
+            .filter(|&i| scalar(&boxed[i as usize], &Value::Float(lo_f), &Value::Float(hi_f)))
+            .collect();
+        let mut got = sel;
+        refine_f64_between(&floats, validity.as_deref(), lo_f, hi_f, negated, &mut got);
+        prop_assert_eq!(got, expected, "float between {}..{} not={}", lo_f, hi_f, negated);
+    }
+
+    /// IS [NOT] NULL over a validity bitmap == the boxed `is_null` test.
+    #[test]
+    fn is_null_kernel_matches_scalar_reference(
+        rows in proptest::collection::vec((0usize..8, -1e3f64..1e3, any::<bool>()), 0..80),
+        sel_bits in proptest::collection::vec(any::<bool>(), 0..80),
+        negated in any::<bool>(),
+    ) {
+        let (_, validity, boxed, sel) = build_f64(&rows, &sel_bits);
+        let expected: Vec<u32> = sel
+            .iter()
+            .copied()
+            .filter(|&i| boxed[i as usize].is_null() != negated)
+            .collect();
+        let mut got = sel;
+        refine_is_null(validity.as_deref(), negated, &mut got);
+        prop_assert_eq!(got, expected, "negated={}", negated);
+    }
+
+    /// Int arithmetic kernels == the exact scalar rule: compute in i128,
+    /// keep Int when it fits i64, promote the overflowing *element* to the
+    /// f64 of the exact result (never wrap, never panic).
+    #[test]
+    fn i64_arith_kernels_match_exact_scalar_rule(
+        rows in proptest::collection::vec(((0usize..8, -1_000_000i64..1_000_000), (0usize..8, -1_000_000i64..1_000_000)), 0..60),
+        k_code in 0usize..8,
+        k_mag in -1_000_000i64..1_000_000,
+        op_idx in 0usize..ARITH_OPS.len(),
+        swapped in any::<bool>(),
+    ) {
+        let op = ARITH_OPS[op_idx];
+        let k = i64_case(k_code, k_mag);
+        let a: Vec<i64> = rows.iter().map(|&((c, m), _)| i64_case(c, m)).collect();
+        let b: Vec<i64> = rows.iter().map(|&(_, (c, m))| i64_case(c, m)).collect();
+        let exact = |x: i64, y: i64| -> Value {
+            let wide = match op {
+                ArithOp::Add => i128::from(x) + i128::from(y),
+                ArithOp::Sub => i128::from(x) - i128::from(y),
+                ArithOp::Mul => i128::from(x) * i128::from(y),
+            };
+            match i64::try_from(wide) {
+                Ok(v) => Value::Int(v),
+                Err(_) => Value::Float(wide as f64),
+            }
+        };
+        let check = |got: IntArith, expected: Vec<Value>, label: &str| -> Result<(), TestCaseError> {
+            let got: Vec<Value> = match got {
+                IntArith::Ints(vs) => vs.into_iter().map(Value::Int).collect(),
+                IntArith::Mixed(vs) => vs,
+            };
+            prop_assert_eq!(got, expected, "{} op {:?} k {}", label, op, k);
+            Ok(())
+        };
+
+        let expected: Vec<Value> =
+            a.iter().map(|&x| if swapped { exact(k, x) } else { exact(x, k) }).collect();
+        check(i64_arith_const(op, &a, k, swapped), expected, "const")?;
+
+        let expected: Vec<Value> = a.iter().zip(&b).map(|(&x, &y)| exact(x, y)).collect();
+        check(i64_arith_cols(op, &a, &b), expected, "cols")?;
+    }
+
+    /// Float arithmetic kernels == plain scalar IEEE ops, bit-for-bit
+    /// (NaN/±inf propagate; `to_bits` comparison catches sign-of-zero and
+    /// NaN-payload deviations a `==` check would miss).
+    #[test]
+    fn f64_arith_kernels_match_scalar(
+        rows in proptest::collection::vec(((0usize..8, -1e3f64..1e3), (0usize..8, -1e3f64..1e3)), 0..60),
+        k_code in 0usize..8,
+        k_mag in -1e3f64..1e3,
+        op_idx in 0usize..ARITH_OPS.len(),
+        swapped in any::<bool>(),
+    ) {
+        let op = ARITH_OPS[op_idx];
+        let k = f64_case(k_code, k_mag);
+        let a: Vec<f64> = rows.iter().map(|&((c, m), _)| f64_case(c, m)).collect();
+        let b: Vec<f64> = rows.iter().map(|&(_, (c, m))| f64_case(c, m)).collect();
+        let exact = |x: f64, y: f64| -> f64 {
+            match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+            }
+        };
+        let bits = |vs: &[f64]| -> Vec<u64> { vs.iter().map(|f| f.to_bits()).collect() };
+
+        let expected: Vec<f64> =
+            a.iter().map(|&x| if swapped { exact(k, x) } else { exact(x, k) }).collect();
+        prop_assert_eq!(bits(&f64_arith_const(op, &a, k, swapped)), bits(&expected));
+
+        let expected: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| exact(x, y)).collect();
+        prop_assert_eq!(bits(&f64_arith_cols(op, &a, &b)), bits(&expected));
+    }
+
+    /// The typed aggregate folds == pushing the boxed values one by one,
+    /// for every accumulator kind, across NaN/±inf/signed-zero data, NULL
+    /// runs, empty selections and all-filtered inputs (finish() results
+    /// compared by debug rendering so NaN outcomes stay comparable).
+    #[test]
+    fn agg_folds_match_boxed_pushes(
+        rows in proptest::collection::vec((0usize..8, -1e3f64..1e3, any::<bool>()), 0..60),
+        sel_bits in proptest::collection::vec(any::<bool>(), 0..60),
+        int_rows in proptest::collection::vec((0usize..8, -1_000_000i64..1_000_000), 0..60),
+    ) {
+        for name in ["COUNT", "SUM", "AVG", "VARIANCE", "STDDEV", "MIN", "MAX", "PERCENTILE"] {
+            // Float folds with validity.
+            let (floats, validity, boxed, sel) = build_f64(&rows, &sel_bits);
+            let mut folded = AggAcc::new(name).expect("known aggregate");
+            folded.fold_f64s(&floats, sel.iter().map(|&i| i as usize), validity.as_deref());
+            let mut pushed = AggAcc::new(name).expect("known aggregate");
+            for &i in &sel {
+                pushed.push(std::slice::from_ref(&boxed[i as usize])).expect("single-arg push");
+            }
+            prop_assert_eq!(
+                format!("{:?}", folded.finish()),
+                format!("{:?}", pushed.finish()),
+                "float fold {}", name
+            );
+
+            // Int folds (validity-free path).
+            let ints: Vec<i64> = int_rows.iter().map(|&(c, m)| i64_case(c, m)).collect();
+            let isel: Vec<usize> =
+                (0..ints.len()).filter(|&i| sel_bits.get(i).copied().unwrap_or(true)).collect();
+            let mut folded = AggAcc::new(name).expect("known aggregate");
+            folded.fold_i64s(&ints, isel.iter().copied(), None);
+            let mut pushed = AggAcc::new(name).expect("known aggregate");
+            for &i in &isel {
+                pushed.push(&[Value::Int(ints[i])]).expect("single-arg push");
+            }
+            prop_assert_eq!(
+                format!("{:?}", folded.finish()),
+                format!("{:?}", pushed.finish()),
+                "int fold {}", name
+            );
+        }
+    }
+
+    /// `mini_from_values` extracts homogeneous numeric(+NULL) runs with a
+    /// faithful validity bitmap and refuses mixed Int/Float runs (a shared
+    /// f64 view would round i64 values above 2^53).
+    #[test]
+    fn mini_extraction_is_faithful(
+        rows in proptest::collection::vec((0usize..3, 0usize..8, -1e3f64..1e3), 0..60),
+        kind in 0usize..3,
+    ) {
+        use explainit_query::kernel::is_valid;
+        // kind 0: Float(+NULL); 1: Int(+NULL); 2: mixed numerics.
+        let boxed: Vec<Value> = rows
+            .iter()
+            .map(|&(slot, code, mag)| match (kind, slot) {
+                (_, 0) => Value::Null,
+                (0, _) => Value::Float(f64_case(code, mag)),
+                (1, _) => Value::Int(i64_case(code, mag as i64 * 1000)),
+                (_, 1) => Value::Float(f64_case(code, mag)),
+                _ => Value::Int(i64_case(code, mag as i64 * 1000)),
+            })
+            .collect();
+        let has_int = boxed.iter().any(|v| matches!(v, Value::Int(_)));
+        let has_float = boxed.iter().any(|v| matches!(v, Value::Float(_)));
+        match mini_from_values(&boxed) {
+            None => prop_assert!(has_int && has_float, "only mixed runs may refuse"),
+            Some(Mini::F64(vals, validity)) => {
+                prop_assert!(!has_int);
+                prop_assert_eq!(vals.len(), boxed.len());
+                for (i, v) in boxed.iter().enumerate() {
+                    match v {
+                        Value::Float(f) => {
+                            prop_assert!(is_valid(validity.as_deref(), i));
+                            prop_assert_eq!(vals[i].to_bits(), f.to_bits());
+                        }
+                        _ => prop_assert!(!is_valid(validity.as_deref(), i)),
+                    }
+                }
+            }
+            Some(Mini::I64(vals, validity)) => {
+                prop_assert!(!has_float);
+                prop_assert_eq!(vals.len(), boxed.len());
+                for (i, v) in boxed.iter().enumerate() {
+                    match v {
+                        Value::Int(x) => {
+                            prop_assert!(is_valid(validity.as_deref(), i));
+                            prop_assert_eq!(vals[i], *x);
+                        }
+                        _ => prop_assert!(!is_valid(validity.as_deref(), i)),
+                    }
+                }
+            }
+        }
+    }
+}
