@@ -17,6 +17,8 @@
 //! | Figure 13 (ridge r² null) | `fig13_report` |
 //! | Ridge-vs-Lasso remark (§3.5) | `ablation_report` |
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use explainit_core::{Engine, EngineConfig, Ranking, ScorerKind};

@@ -17,6 +17,8 @@
 //!   referenced by the paper (§3.3, §7) as the classical baseline that
 //!   ExplainIt!'s targeted hypothesis queries generalise.
 
+#![forbid(unsafe_code)]
+
 pub mod ci;
 pub mod dag;
 pub mod dsep;

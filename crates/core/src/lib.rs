@@ -40,6 +40,8 @@
 //! assert_eq!(ranking.entries[0].family, "x1");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod autoselect;
 pub mod baselines;
 pub mod engine;

@@ -9,6 +9,8 @@
 //! of timed samples whose median/mean/min are printed. There is no
 //! statistical analysis, plotting or HTML report — numbers land on stdout.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};

@@ -17,6 +17,8 @@
 //! `PROPTEST_SEED`), and a default of 96 cases (override with
 //! `PROPTEST_CASES`).
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::ops::{Range, RangeInclusive};
 

@@ -8,6 +8,8 @@
 //! The streams produced are *not* bit-compatible with upstream `rand`; all
 //! in-tree consumers only rely on uniform, deterministic-per-seed draws.
 
+#![forbid(unsafe_code)]
+
 /// Minimal core RNG interface: everything derives from `next_u64`.
 pub trait RngCore {
     /// Next 64 uniformly random bits.

@@ -6,6 +6,8 @@
 //! `rand_chacha` (which applies different stream/word conventions); in-tree
 //! consumers only need seeded determinism and uniformity.
 
+#![forbid(unsafe_code)]
+
 use rand::RngCore;
 
 /// The subset of `rand_core` re-exported by the real crate.

@@ -15,6 +15,8 @@
 //! decoupled from how ground truth is produced (simulator labels here,
 //! human labels in the paper).
 
+#![forbid(unsafe_code)]
+
 pub mod fusion;
 
 pub use fusion::{fuse_rankings, fused_rank_of, FusedEntry, FusionRule};

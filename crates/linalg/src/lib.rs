@@ -18,6 +18,7 @@
 //! assert!((gram[(0, 0)] - 35.0).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // indexed loops read naturally in these math kernels
 mod cholesky;
 mod error;

@@ -1,0 +1,251 @@
+//! Custom source lints for contracts `rustc`/`clippy` cannot express,
+//! run as a CI gate (`cargo run -p explainit-lint`):
+//!
+//! 1. **No `as f64` in the exactness-critical kernels** — the typed kernel
+//!    and vectorized-evaluator paths compare `i64` values exactly; casting
+//!    through `f64` silently rounds values above 2^53. Flagged in
+//!    `crates/query/src/kernel.rs` and `crates/query/src/veval.rs` unless
+//!    the line carries a `lint: allow as f64` marker explaining why the
+//!    cast is exact (or deliberately widening).
+//! 2. **No `unwrap()`/`expect()` in query library code** — outside
+//!    `#[cfg(test)]` modules, every potential panic site in
+//!    `crates/query/src` must either be converted to a `QueryError` or
+//!    justified with an `// invariant:` comment on the same or a nearby
+//!    preceding line.
+//! 3. **`#![forbid(unsafe_code)]` everywhere** — every crate root
+//!    (`src/lib.rs`) in the workspace must carry the attribute.
+//!
+//! The binary prints one `file:line: message` per finding and exits
+//! non-zero when any rule fires. It reads sources directly and uses only
+//! the standard library, so it builds offline and never depends on
+//! nightly lint plumbing.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = repo_root();
+    let mut findings = Vec::new();
+
+    lint_as_f64(&root, &mut findings);
+    lint_panics(&root, &mut findings);
+    lint_forbid_unsafe(&root, &mut findings);
+
+    if findings.is_empty() {
+        println!("lint: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!("lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels up from this crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives at <root>/crates/lint")
+        .to_path_buf()
+}
+
+fn read(path: &Path) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => panic!("lint: cannot read {}: {e}", path.display()),
+    }
+}
+
+/// Rule 1: `as f64` in the exactness-critical files.
+fn lint_as_f64(root: &Path, findings: &mut Vec<String>) {
+    for file in ["crates/query/src/kernel.rs", "crates/query/src/veval.rs"] {
+        let path = root.join(file);
+        let source = read(&path);
+        for (lineno, raw, code) in library_code_lines(&source) {
+            if code.contains(" as f64") && !raw.contains("lint: allow as f64") {
+                findings.push(format!(
+                    "{file}:{lineno}: `as f64` in an exactness-critical kernel \
+                     (values above 2^53 round; compare exactly or mark `lint: allow as f64`)"
+                ));
+            }
+        }
+    }
+}
+
+/// Rule 2: unjustified `unwrap()`/`expect()` in query library code.
+fn lint_panics(root: &Path, findings: &mut Vec<String>) {
+    let dir = root.join("crates/query/src");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("query src dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    files.sort();
+    for path in files {
+        let source = read(&path);
+        let rel = format!("crates/query/src/{}", path.file_name().unwrap().to_string_lossy());
+        let lines: Vec<(usize, String, String)> = library_code_lines(&source).collect();
+        for (i, (lineno, _, code)) in lines.iter().enumerate() {
+            if !code.contains(".unwrap()") && !code.contains(".expect(") {
+                continue;
+            }
+            // Escape hatch: an `// invariant:` justification on the same
+            // line or within the two preceding source lines.
+            let justified =
+                lines[i.saturating_sub(2)..=i].iter().any(|(_, raw, _)| raw.contains("invariant:"));
+            if !justified {
+                findings.push(format!(
+                    "{rel}:{lineno}: unwrap/expect in library code \
+                     (return a QueryError or justify with an `// invariant:` comment)"
+                ));
+            }
+        }
+    }
+}
+
+/// Rule 3: every crate root forbids `unsafe`.
+fn lint_forbid_unsafe(root: &Path, findings: &mut Vec<String>) {
+    let mut roots = vec![root.join("src/lib.rs")];
+    for crates_dir in [root.join("crates"), root.join("crates/devstubs")] {
+        let Ok(entries) = std::fs::read_dir(&crates_dir) else { continue };
+        for entry in entries.filter_map(|e| e.ok()) {
+            let lib = entry.path().join("src/lib.rs");
+            if lib.is_file() {
+                roots.push(lib);
+            }
+        }
+    }
+    roots.sort();
+    for lib in roots {
+        let source = read(&lib);
+        if !source.contains("#![forbid(unsafe_code)]") {
+            let rel = lib.strip_prefix(root).unwrap_or(&lib).display();
+            findings.push(format!("{rel}:1: crate root is missing `#![forbid(unsafe_code)]`"));
+        }
+    }
+}
+
+/// Yields `(line number, raw line, comment-and-string-stripped line)` for
+/// the library region of a source file — everything before the first
+/// `#[cfg(test)]` line (test modules sit at the end of every file in this
+/// workspace, which the assertion below keeps honest).
+fn library_code_lines(source: &str) -> impl Iterator<Item = (usize, String, String)> + '_ {
+    let test_start = source
+        .lines()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+        .unwrap_or(usize::MAX);
+    strip_comments_and_strings(source)
+        .into_iter()
+        .enumerate()
+        .zip(source.lines())
+        .take_while(move |((i, _), _)| *i < test_start)
+        .map(|((i, code), raw)| (i + 1, raw.to_string(), code))
+}
+
+/// Replaces comments and string-literal contents with spaces, line by
+/// line, so lints match only real code. Handles `//` line comments,
+/// `/* */` block comments (nesting ignored — unused in this workspace)
+/// and double-quoted strings with backslash escapes.
+fn strip_comments_and_strings(source: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment,
+        Str,
+    }
+    let mut state = State::Code;
+    let mut out = Vec::new();
+    let mut line = String::new();
+    let mut chars = source.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            out.push(std::mem::take(&mut line));
+            continue;
+        }
+        match state {
+            State::Code => match c {
+                '/' if chars.peek() == Some(&'/') => {
+                    state = State::LineComment;
+                    line.push(' ');
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    state = State::BlockComment;
+                    line.push_str("  ");
+                }
+                '"' => {
+                    state = State::Str;
+                    line.push('"');
+                }
+                other => line.push(other),
+            },
+            State::LineComment => line.push(' '),
+            State::BlockComment => {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    state = State::Code;
+                    line.push_str("  ");
+                } else {
+                    line.push(' ');
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    chars.next();
+                    line.push_str("  ");
+                }
+                '"' => {
+                    state = State::Code;
+                    line.push('"');
+                }
+                _ => line.push(' '),
+            },
+        }
+    }
+    if !line.is_empty() {
+        out.push(line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripping_blanks_comments_and_strings() {
+        let src = "let x = \"a // not a comment\"; // real comment\nas f64\n";
+        let stripped = strip_comments_and_strings(src);
+        assert!(!stripped[0].contains("not a comment"));
+        assert!(!stripped[0].contains("real comment"));
+        assert!(stripped[0].contains("let x = "));
+        assert_eq!(stripped[1], "as f64");
+    }
+
+    #[test]
+    fn library_region_stops_at_test_module() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests { fn b() { x.unwrap(); } }\n";
+        let lines: Vec<_> = library_code_lines(src).collect();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].0, 1);
+    }
+
+    #[test]
+    fn whole_tree_is_clean() {
+        let root = repo_root();
+        let mut findings = Vec::new();
+        lint_as_f64(&root, &mut findings);
+        lint_panics(&root, &mut findings);
+        lint_forbid_unsafe(&root, &mut findings);
+        assert!(findings.is_empty(), "lint findings:\n{}", findings.join("\n"));
+    }
+}

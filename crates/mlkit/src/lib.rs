@@ -12,6 +12,7 @@
 //! over the ridge penalty, and an out-of-sample r² ("adjusted r²" in the
 //! paper's sense) as the returned score.
 
+#![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // indexed loops read naturally in these math kernels
 pub mod cv;
 pub mod lasso;

@@ -86,6 +86,54 @@ pub struct SelectStmt {
     pub order_by: Vec<OrderKey>,
     /// LIMIT row count.
     pub limit: Option<usize>,
+    /// Source byte offsets of the statement's components, recorded by the
+    /// parser so plan-time diagnostics can point into the SQL text. A
+    /// hand-built statement may leave this defaulted (offsets of 0).
+    pub spans: SelectSpans,
+}
+
+/// Byte offsets (into the original SQL text) for the components of one
+/// SELECT statement. Offsets are recorded at the first token of each
+/// component; `Default` (all zeros / empty) is valid for synthetic ASTs and
+/// simply makes diagnostics point at byte 0.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SelectSpans {
+    /// Offset of the `SELECT` keyword itself.
+    pub select: usize,
+    /// One offset per projection item, in order.
+    pub items: Vec<usize>,
+    /// Offset of the FROM table reference.
+    pub from: usize,
+    /// One offset per JOIN's ON predicate, in order.
+    pub join_ons: Vec<usize>,
+    /// Offset of the WHERE predicate.
+    pub where_clause: usize,
+    /// One offset per GROUP BY expression, in order.
+    pub group_by: Vec<usize>,
+    /// One offset per ORDER BY key, in order.
+    pub order_by: Vec<usize>,
+}
+
+impl SelectSpans {
+    /// Offset of projection item `i`, falling back to the SELECT keyword.
+    pub fn item(&self, i: usize) -> usize {
+        self.items.get(i).copied().unwrap_or(self.select)
+    }
+
+    /// Offset of GROUP BY expression `i`, falling back to the SELECT keyword.
+    pub fn group(&self, i: usize) -> usize {
+        self.group_by.get(i).copied().unwrap_or(self.select)
+    }
+
+    /// Offset of ORDER BY key `i`, falling back to the SELECT keyword.
+    pub fn order(&self, i: usize) -> usize {
+        self.order_by.get(i).copied().unwrap_or(self.select)
+    }
+
+    /// Offset of JOIN `i`'s ON predicate, falling back to the SELECT keyword.
+    pub fn join_on(&self, i: usize) -> usize {
+        self.join_ons.get(i).copied().unwrap_or(self.select)
+    }
 }
 
 /// A projected item.

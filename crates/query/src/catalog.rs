@@ -196,7 +196,7 @@ impl Catalog {
         let Source::Tsdb { shared, bound } = self.tables.get(&name.to_lowercase())? else {
             return None;
         };
-        let current = bound.lock().expect("binding lock").clone();
+        let current = bound.lock().expect("binding lock").clone(); // invariant: no panics occur while the binding lock is held
         let Some(handle) = shared else {
             return Some(current);
         };
@@ -208,7 +208,7 @@ impl Catalog {
         // refresh is idempotent for one generation).
         let fresh =
             self.current_binding_of(handle).unwrap_or_else(|| TsdbBinding::snapshot(handle));
-        *bound.lock().expect("binding lock") = fresh.clone();
+        *bound.lock().expect("binding lock") = fresh.clone(); // invariant: no panics occur while the binding lock is held
         Some(fresh)
     }
 

@@ -229,12 +229,12 @@ impl Column {
     /// matched row, never a float or a rendered string.
     pub fn gather_opt(&self, indices: &[Option<usize>]) -> Column {
         if indices.iter().all(Option::is_some) {
-            let dense: Vec<usize> = indices.iter().map(|i| i.expect("checked")).collect();
+            let dense: Vec<usize> = indices.iter().map(|i| i.expect("checked")).collect(); // invariant: the all-dense check on the line above
             return self.gather(&dense);
         }
         if let Column::Dict { values, codes } = self {
             let mut padded = values.as_ref().clone();
-            let null_code = u32::try_from(padded.len()).expect("dictionary size fits u32");
+            let null_code = u32::try_from(padded.len()).expect("dictionary size fits u32"); // invariant: a dictionary never outgrows u32 codes
             padded.push(Value::Null);
             return Column::dict(
                 Arc::new(padded),

@@ -19,11 +19,32 @@ pub enum QueryError {
     UnknownColumn(String),
     /// A function name is not recognised or was called with a bad arity.
     BadFunction(String),
-    /// A runtime type error (e.g. adding a string to a map).
+    /// A type error (e.g. adding a string to a map). The static checker
+    /// ([`crate::types`]) reports these at plan time with an `at byte N`
+    /// source position in the message; runtime detection remains for
+    /// value-dependent cases the checker cannot decide.
     Type(String),
     /// Structural error: mismatched UNION schemas, aggregates mixed wrongly,
-    /// etc.
+    /// a violated optimizer invariant (see [`crate::optimize`]), etc.
     Plan(String),
+}
+
+impl QueryError {
+    /// Tags the error's message with a source byte offset (`at byte N`),
+    /// used by the plan-time checker to point diagnostics into the SQL
+    /// text. `Lex` already carries a position and passes through untouched.
+    pub(crate) fn at_byte(self, position: usize) -> QueryError {
+        let tag = |m: String| format!("{m} (at byte {position})");
+        match self {
+            QueryError::Lex { .. } => self,
+            QueryError::Parse(m) => QueryError::Parse(tag(m)),
+            QueryError::UnknownTable(t) => QueryError::UnknownTable(tag(t)),
+            QueryError::UnknownColumn(c) => QueryError::UnknownColumn(tag(c)),
+            QueryError::BadFunction(m) => QueryError::BadFunction(tag(m)),
+            QueryError::Type(m) => QueryError::Type(tag(m)),
+            QueryError::Plan(m) => QueryError::Plan(tag(m)),
+        }
+    }
 }
 
 impl fmt::Display for QueryError {

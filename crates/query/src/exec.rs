@@ -35,7 +35,7 @@ use crate::column::Column;
 use crate::eval::{eval_group, eval_row, eval_with_rows};
 use crate::functions::{is_aggregate, AggAcc};
 use crate::optimize::{map_columns, optimize_with, OptimizeOptions};
-use crate::plan::{build, equi_join_keys, render, LogicalPlan, TSDB_COLUMNS};
+use crate::plan::{build, equi_join_keys, LogicalPlan, TSDB_COLUMNS};
 use crate::table::{Schema, Table};
 use crate::value::Value;
 use crate::veval;
@@ -66,11 +66,16 @@ pub struct ExecOptions {
     /// differential harness (and the `scan_gather` bench) compares
     /// against — both produce bit-identical row orders.
     pub merge_gather: bool,
+    /// Run the optimizer invariant verifier ([`crate::verify`]) after each
+    /// rewrite rule. Off by default in release builds (debug builds always
+    /// verify); the release-mode CI differential job forces it on via the
+    /// `EXPLAINIT_VERIFY_PLANS` environment variable.
+    pub verify: bool,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { partitions: 0, scan_aggregate: true, merge_gather: true }
+        ExecOptions { partitions: 0, scan_aggregate: true, merge_gather: true, verify: false }
     }
 }
 
@@ -103,11 +108,12 @@ impl<'a> ExecCtx<'a> {
     /// The pinned binding for a TSDB table (resolved once per execution).
     fn binding(&self, name: &str) -> Option<Arc<TsdbBinding>> {
         let key = name.to_lowercase();
+        // invariant: no panics occur while the pin lock is held
         if let Some(b) = self.pinned.lock().expect("pin lock").get(&key) {
             return Some(b.clone());
         }
         let binding = self.catalog.tsdb_binding(name)?;
-        self.pinned.lock().expect("pin lock").entry(key).or_insert(binding.clone());
+        self.pinned.lock().expect("pin lock").entry(key).or_insert(binding.clone()); // invariant: no panics occur while the pin lock is held
         Some(binding)
     }
 
@@ -130,10 +136,18 @@ pub fn execute(catalog: &Catalog, query: &Query) -> Result<Table> {
 /// [`execute`] with explicit execution options.
 pub fn execute_with(catalog: &Catalog, query: &Query, opts: ExecOptions) -> Result<Table> {
     let plan = build(catalog, query)?;
-    let plan =
-        optimize_with(plan, catalog, &OptimizeOptions { scan_aggregate: opts.scan_aggregate })?;
+    // Static analysis between planning and optimization: guaranteed-to-fail
+    // statements are rejected here, with source positions, before any
+    // rewrite or scan runs. Plan-building errors (unknown tables/columns,
+    // scoping) keep their precedence — `build` already ran.
+    crate::types::check_query(catalog, query)?;
+    let plan = optimize_with(
+        plan,
+        catalog,
+        &OptimizeOptions { scan_aggregate: opts.scan_aggregate, verify: opts.verify },
+    )?;
     if query.explain {
-        let text = render(&plan);
+        let text = crate::plan::render_with(&plan, Some(catalog));
         let lines: Vec<Vec<Value>> = text.lines().map(|l| vec![Value::str(l)]).collect();
         return Ok(Table::from_rows(&["plan"], lines));
     }
@@ -277,7 +291,7 @@ fn run_plan(ctx: &ExecCtx, plan: &LogicalPlan, opts: &ExecOptions) -> Result<Tab
             // output and later branches match by position. Arity mismatch
             // errors name both schemas; Int/Float mixes coerce to Float.
             let mut parts = inputs.iter();
-            let first = run_plan(ctx, parts.next().expect("union has inputs"), opts)?;
+            let first = run_plan(ctx, parts.next().expect("union has inputs"), opts)?; // invariant: the planner and verifier keep Union non-empty
             let (schema, mut cols, mut len) = first.into_columnar_parts();
             for p in parts {
                 let part = run_plan(ctx, p, opts)?;
@@ -384,7 +398,7 @@ fn run_tsdb_scan(
         };
         merge_gather_order(&hits, total, workers)
     } else {
-        let ts = ts_concat.as_ref().expect("concatenated for the sort path");
+        let ts = ts_concat.as_ref().expect("concatenated for the sort path"); // invariant: concatenated above whenever the sort path runs
         let mut order: Vec<u32> = (0..total as u32).collect();
         order.sort_by_key(|&i| ts[i as usize]); // stable: ties stay key-ordered
         order
@@ -411,27 +425,27 @@ fn run_tsdb_scan(
             .iter()
             .map(|&c| match c {
                 0 => {
-                    let ts = ts_concat.as_ref().expect("concatenated for wanted column");
+                    let ts = ts_concat.as_ref().expect("concatenated for wanted column"); // invariant: populated above for every wanted column
                     Column::Int(idx.iter().map(|&i| ts[i as usize]).collect())
                 }
                 1 => {
-                    let codes = name_code_of_hit.as_ref().expect("decoded for wanted column");
-                    let hit = hit_of.as_ref().expect("mapped for wanted column");
+                    let codes = name_code_of_hit.as_ref().expect("decoded for wanted column"); // invariant: populated above for every wanted column
+                    let hit = hit_of.as_ref().expect("mapped for wanted column"); // invariant: populated above for every wanted column
                     Column::dict(
                         dicts.names.clone(),
                         idx.iter().map(|&i| codes[hit[i as usize] as usize]).collect(),
                     )
                 }
                 2 => {
-                    let codes = tag_code_of_hit.as_ref().expect("decoded for wanted column");
-                    let hit = hit_of.as_ref().expect("mapped for wanted column");
+                    let codes = tag_code_of_hit.as_ref().expect("decoded for wanted column"); // invariant: populated above for every wanted column
+                    let hit = hit_of.as_ref().expect("mapped for wanted column"); // invariant: populated above for every wanted column
                     Column::dict(
                         dicts.tags.clone(),
                         idx.iter().map(|&i| codes[hit[i as usize] as usize]).collect(),
                     )
                 }
                 _ => {
-                    let vals = vals_concat.as_ref().expect("concatenated for wanted column");
+                    let vals = vals_concat.as_ref().expect("concatenated for wanted column"); // invariant: populated above for every wanted column
                     Column::Float(idx.iter().map(|&i| vals[i as usize]).collect())
                 }
             })
@@ -451,7 +465,7 @@ fn run_tsdb_scan(
             Ok(build_cols(&order[a..b]))
         })?;
         let mut parts = parts.into_iter();
-        let mut acc = parts.next().expect("at least one morsel");
+        let mut acc = parts.next().expect("at least one morsel"); // invariant: partitioning always yields at least one morsel
         for part in parts {
             for (dst, src) in acc.iter_mut().zip(part) {
                 dst.append_preserving(src);
@@ -512,7 +526,7 @@ fn merge_gather_order(
     // sort keeps the lower rank first, which is concatenation order.
     let partitioned = run_meta
         .windows(2)
-        .all(|w| w[0].1.last().expect("non-empty run") <= w[1].1.first().expect("non-empty run"));
+        .all(|w| w[0].1.last().expect("non-empty run") <= w[1].1.first().expect("non-empty run")); // invariant: zero-point runs are never emitted
     if partitioned {
         let mut order: Vec<u32> = Vec::with_capacity(total);
         for &(off, ts) in &run_meta {
@@ -819,7 +833,7 @@ fn run_aggregate(
             Some(r) => r,
             None => {
                 fallback_rows = Some(t.rows());
-                fallback_rows.expect("just set")
+                fallback_rows.expect("just set") // invariant: assigned on the previous line
             }
         };
         let mut vals = Vec::with_capacity(row_groups.len());
@@ -957,11 +971,11 @@ fn run_partitioned<T: Send>(
                     break;
                 }
                 let r = f(i);
-                results.lock().expect("morsel results lock").push((i, r));
+                results.lock().expect("morsel results lock").push((i, r)); // invariant: no panics occur while the results lock is held
             });
         }
     });
-    let mut collected = results.into_inner().expect("morsel results lock");
+    let mut collected = results.into_inner().expect("morsel results lock"); // invariant: no panics occur while the results lock is held
     collected.sort_by_key(|(i, _)| *i);
     collected.into_iter().map(|(_, r)| r).collect()
 }
@@ -1172,7 +1186,7 @@ fn run_parallel_aggregate(
     let mut merged: HashMap<String, GroupPartial> = HashMap::new();
     for mut partial in partials {
         for key in partial.order {
-            let gp = partial.groups.remove(&key).expect("partial group exists");
+            let gp = partial.groups.remove(&key).expect("partial group exists"); // invariant: keys iterate the same map they were stored in
             match merged.entry(key) {
                 std::collections::hash_map::Entry::Vacant(e) => {
                     order.push(e.key().clone());
@@ -1191,7 +1205,7 @@ fn run_parallel_aggregate(
     let mut out_vals: Vec<Vec<Value>> =
         (0..width).map(|_| Vec::with_capacity(order.len())).collect();
     for key in &order {
-        let gp = merged.remove(key).expect("merged group exists");
+        let gp = merged.remove(key).expect("merged group exists"); // invariant: keys iterate the same map they were stored in
         let finished: Vec<Value> =
             gp.accs.into_iter().map(AggAcc::finish).collect::<Result<_>>()?;
         for (slot, out) in slots.iter().zip(out_vals.iter_mut()) {

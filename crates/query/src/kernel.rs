@@ -445,7 +445,7 @@ fn i64_arith_redo(op: ArithOp, n: usize, at: impl Fn(usize) -> (i64, i64)) -> Ve
             let (x, y) = at(i);
             let (v, over) = i64_apply(op, x, y);
             if over {
-                Value::Float(i128_apply(op, x, y) as f64)
+                Value::Float(i128_apply(op, x, y) as f64) // lint: allow as f64 — deliberate widening: i128 overflow promotes to float
             } else {
                 Value::Int(v)
             }

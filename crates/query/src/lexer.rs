@@ -61,77 +61,84 @@ impl Token {
     }
 }
 
-/// Tokenizes a SQL string.
-pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+/// Tokenizes a SQL string, pairing every token with the byte offset it
+/// starts at. The offsets survive parsing (see `SelectSpans`) so semantic
+/// errors can point back into the source text.
+pub fn tokenize_spanned(input: &str) -> Result<Vec<(Token, usize)>> {
     let bytes = input.as_bytes();
     let mut tokens = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
+        let start = i;
         let c = bytes[i] as char;
-        match c {
-            ' ' | '\t' | '\n' | '\r' => i += 1,
+        let tok = match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+                continue;
+            }
             '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
                 // Line comment.
                 while i < bytes.len() && bytes[i] != b'\n' {
                     i += 1;
                 }
+                continue;
             }
             '(' => {
-                tokens.push(Token::LParen);
                 i += 1;
+                Token::LParen
             }
             ')' => {
-                tokens.push(Token::RParen);
                 i += 1;
+                Token::RParen
             }
             '[' => {
-                tokens.push(Token::LBracket);
                 i += 1;
+                Token::LBracket
             }
             ']' => {
-                tokens.push(Token::RBracket);
                 i += 1;
+                Token::RBracket
             }
             ',' => {
-                tokens.push(Token::Comma);
                 i += 1;
+                Token::Comma
             }
             ';' => {
-                tokens.push(Token::Semicolon);
                 i += 1;
+                Token::Semicolon
             }
             '.' => {
-                tokens.push(Token::Dot);
                 i += 1;
+                Token::Dot
             }
             '*' => {
-                tokens.push(Token::Star);
                 i += 1;
+                Token::Star
             }
             '+' => {
-                tokens.push(Token::Plus);
                 i += 1;
+                Token::Plus
             }
             '-' => {
-                tokens.push(Token::Minus);
                 i += 1;
+                Token::Minus
             }
             '/' => {
-                tokens.push(Token::Slash);
                 i += 1;
+                Token::Slash
             }
             '%' => {
-                tokens.push(Token::Percent);
                 i += 1;
+                Token::Percent
             }
             '=' => {
-                tokens.push(Token::Eq);
                 i += 1;
+                Token::Eq
             }
             '!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token::NotEq);
                     i += 2;
+                    Token::NotEq
                 } else {
                     return Err(QueryError::Lex {
                         position: i,
@@ -141,23 +148,23 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token::LtEq);
                     i += 2;
+                    Token::LtEq
                 } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    tokens.push(Token::NotEq);
                     i += 2;
+                    Token::NotEq
                 } else {
-                    tokens.push(Token::Lt);
                     i += 1;
+                    Token::Lt
                 }
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token::GtEq);
                     i += 2;
+                    Token::GtEq
                 } else {
-                    tokens.push(Token::Gt);
                     i += 1;
+                    Token::Gt
                 }
             }
             '\'' => {
@@ -184,11 +191,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         j += 1;
                     }
                 }
-                tokens.push(Token::StringLit(s));
                 i = j;
+                Token::StringLit(s)
             }
             '0'..='9' => {
-                let start = i;
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
@@ -220,23 +226,22 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         position: start,
                         message: format!("bad float literal {text}: {e}"),
                     })?;
-                    tokens.push(Token::FloatLit(v));
+                    Token::FloatLit(v)
                 } else {
                     let v = text.parse::<i64>().map_err(|e| QueryError::Lex {
                         position: start,
                         message: format!("bad int literal {text}: {e}"),
                     })?;
-                    tokens.push(Token::IntLit(v));
+                    Token::IntLit(v)
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
-                let start = i;
                 while i < bytes.len()
                     && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
                 }
-                tokens.push(Token::Ident(input[start..i].to_string()));
+                Token::Ident(input[start..i].to_string())
             }
             other => {
                 return Err(QueryError::Lex {
@@ -244,9 +249,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     message: format!("unexpected character {other:?}"),
                 });
             }
-        }
+        };
+        tokens.push((tok, start));
     }
     Ok(tokens)
+}
+
+/// Tokenizes a SQL string (positions discarded).
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    Ok(tokenize_spanned(input)?.into_iter().map(|(t, _)| t).collect())
 }
 
 #[cfg(test)]
@@ -339,6 +350,15 @@ mod tests {
         assert!(t[0].is_kw("SELECT"));
         assert!(t[0].is_kw("select"));
         assert!(!t[0].is_kw("FROM"));
+    }
+
+    #[test]
+    fn spans_are_byte_offsets() {
+        let t = tokenize_spanned("SELECT a, 'x' FROM t -- c\nWHERE a >= 1.5").unwrap();
+        let offsets: Vec<usize> = t.iter().map(|&(_, p)| p).collect();
+        assert_eq!(offsets, vec![0, 7, 8, 10, 14, 19, 26, 32, 34, 37]);
+        assert_eq!(t[3].0, Token::StringLit("x".into()));
+        assert_eq!(t[8].0, Token::GtEq);
     }
 
     #[test]

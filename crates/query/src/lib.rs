@@ -11,7 +11,16 @@
 //! 1. **Plan** ([`plan`]) — the parsed AST is lowered to a logical operator
 //!    tree (`Scan`/`Filter`/`Project`/`Aggregate`/`Join`/`Sort`/`Limit`/
 //!    `Union`), with ORDER BY keys resolved to output columns or hidden
-//!    input-scope key columns at plan time.
+//!    input-scope key columns at plan time. A static type checker
+//!    ([`types`], [`check_query`]) then runs before any rewrite: every
+//!    statement guaranteed to fail at runtime — string arithmetic, wrong
+//!    function arity, aggregates in row contexts, a non-constant or
+//!    out-of-range `PERCENTILE` p — is rejected here with the source byte
+//!    position of the offending expression, and unknown columns suggest
+//!    near-miss names. In debug builds (and whenever
+//!    `EXPLAINIT_VERIFY_PLANS` is set, or `OptimizeOptions::verify` is
+//!    on) a plan verifier ([`verify`]) additionally re-checks structural
+//!    invariants after every optimizer rule.
 //! 2. **Optimize** ([`optimize`]) — rule-based rewrites: constant folding,
 //!    predicate pushdown (through projections and aliases, into the
 //!    matching side of joins, and through aggregate group keys), and —
@@ -76,6 +85,16 @@
 //!    loops ([`kernel`]);
 //! 3. everything else last — general expressions that need the row
 //!    gather + vectorized evaluator fallback.
+//!
+//! When residual predicates appear as explicit `Filter` nodes instead
+//! (any non-`ScanAggregate` plan), each filter line over a scan carries
+//! a `refine=dict|kernel|general` annotation naming the same class, so
+//! the chain order above is visible directly: reading top-down you
+//! should see `general` before `kernel` before `dict` (outermost runs
+//! last). A filter over a registered (non-TSDB) table shows
+//! `refine=kernel` only when the static types ([`types`]) prove every
+//! referenced column is dense and numeric — the precondition for the
+//! typed selection-vector loops.
 //!
 //! If you expected the pushdown and see an
 //! `Exchange`/`Aggregate` over a `TsdbScan` instead, the pipeline was not
@@ -154,6 +173,8 @@
 //! assert_eq!(out.rows()[0][1], Value::Float(2.0));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod ast;
 mod catalog;
 mod column;
@@ -169,7 +190,9 @@ mod pivot;
 pub mod plan;
 pub mod reference;
 mod table;
+pub mod types;
 mod value;
+pub mod verify;
 mod veval;
 
 pub use ast::{
@@ -186,6 +209,7 @@ pub use parser::{parse_query, parse_script, parse_statement};
 pub use pivot::{pivot_long, pivot_one, pivot_wide, FamilyFrame};
 pub use plan::LogicalPlan;
 pub use table::{Schema, Table};
+pub use types::{check_query, infer_expr, ColInfo, ColType, TypedSchema};
 pub use value::Value;
 
 /// Result alias for query operations.

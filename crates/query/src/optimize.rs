@@ -74,11 +74,16 @@ pub struct OptimizeOptions {
     /// Apply rule 6 (collapse eligible aggregates into
     /// [`LogicalPlan::ScanAggregate`]). Default: on.
     pub scan_aggregate: bool,
+    /// Run the [`crate::verify`] invariant checks after every rule.
+    /// Default: off — but debug builds always verify, and setting the
+    /// `EXPLAINIT_VERIFY_PLANS` environment variable (to anything but `0`)
+    /// forces verification in release builds too.
+    pub verify: bool,
 }
 
 impl Default for OptimizeOptions {
     fn default() -> Self {
-        OptimizeOptions { scan_aggregate: true }
+        OptimizeOptions { scan_aggregate: true, verify: false }
     }
 }
 
@@ -93,13 +98,30 @@ pub fn optimize_with(
     catalog: &Catalog,
     opts: &OptimizeOptions,
 ) -> Result<LogicalPlan> {
+    let verify = opts.verify || cfg!(debug_assertions) || crate::verify::env_forced();
+    let planned = if verify { plan.schema(catalog).ok() } else { None };
+    let check = |rule: &'static str, plan: &LogicalPlan| -> Result<()> {
+        if verify {
+            crate::verify::check_after(rule, plan, planned.as_ref(), catalog)
+        } else {
+            Ok(())
+        }
+    };
     let plan = fold_plan(plan);
+    check("fold_constants", &plan)?;
     let plan = convert_tsdb_scans(plan, catalog);
+    check("convert_tsdb_scans", &plan)?;
     let plan = pushdown(plan, catalog)?;
+    check("pushdown", &plan)?;
     let plan = prune(plan, None);
+    check("prune", &plan)?;
     let plan = annotate_join_stats(plan, catalog);
+    check("annotate_join_stats", &plan)?;
     let plan = parallelize(plan);
-    Ok(if opts.scan_aggregate { push_aggregates_into_scans(plan) } else { plan })
+    check("parallelize", &plan)?;
+    let plan = if opts.scan_aggregate { push_aggregates_into_scans(plan) } else { plan };
+    check("scan_aggregate", &plan)?;
+    Ok(plan)
 }
 
 // ---------------------------------------------------------------------------
@@ -482,6 +504,7 @@ fn sink_filter(pred: Expr, input: LogicalPlan, catalog: &Catalog) -> Result<Logi
         // Adjacent filters merge before sinking further.
         LogicalPlan::Filter { input, predicate } => {
             collect_conjuncts(&predicate, &mut conjuncts);
+            // invariant: collect_conjuncts yields at least one conjunct
             sink_filter(conjoin(conjuncts).expect("non-empty"), *input, catalog)
         }
 
@@ -491,7 +514,7 @@ fn sink_filter(pred: Expr, input: LogicalPlan, catalog: &Catalog) -> Result<Logi
                 conjuncts.into_iter().map(|c| strip_qualifier(c, &alias)).collect();
             Ok(LogicalPlan::Alias {
                 input: Box::new(sink_filter(
-                    conjoin(stripped).expect("non-empty"),
+                    conjoin(stripped).expect("non-empty"), // invariant: collect_conjuncts yields at least one conjunct
                     *input,
                     catalog,
                 )?),
@@ -562,7 +585,7 @@ fn sink_filter(pred: Expr, input: LogicalPlan, catalog: &Catalog) -> Result<Logi
             if has_window {
                 return Ok(LogicalPlan::Filter {
                     input: Box::new(LogicalPlan::Project { input, items, hidden }),
-                    predicate: conjoin(conjuncts).expect("non-empty"),
+                    predicate: conjoin(conjuncts).expect("non-empty"), // invariant: collect_conjuncts yields at least one conjunct
                 });
             }
             let out_names = Schema::new(items.iter().map(|(_, n)| n.clone()).collect());
@@ -575,7 +598,7 @@ fn sink_filter(pred: Expr, input: LogicalPlan, catalog: &Catalog) -> Result<Logi
                     !cols.is_empty() && cols.iter().all(|n| out_names.resolve(n).is_ok());
                 if substitutable && !c.contains_aggregate() && !contains_window(&c) {
                     let rewritten = map_columns(c, &|name| {
-                        let i = out_names.resolve(&name).expect("checked resolvable");
+                        let i = out_names.resolve(&name).expect("checked resolvable"); // invariant: the substitutable filter above resolved every column
                         items[i].0.clone()
                     });
                     push.push(rewritten);
@@ -610,7 +633,7 @@ fn sink_filter(pred: Expr, input: LogicalPlan, catalog: &Catalog) -> Result<Logi
                     });
                 if key_backed && !c.contains_aggregate() && !contains_window(&c) {
                     let rewritten = map_columns(c, &|name| {
-                        let i = out_names.resolve(&name).expect("checked resolvable");
+                        let i = out_names.resolve(&name).expect("checked resolvable"); // invariant: the key_backed filter above resolved every column
                         items[i].0.clone()
                     });
                     push.push(rewritten);
@@ -670,7 +693,7 @@ fn sink_filter(pred: Expr, input: LogicalPlan, catalog: &Catalog) -> Result<Logi
 
         other => Ok(LogicalPlan::Filter {
             input: Box::new(other),
-            predicate: conjoin(conjuncts).expect("non-empty"),
+            predicate: conjoin(conjuncts).expect("non-empty"), // invariant: collect_conjuncts yields at least one conjunct
         }),
     }
 }
@@ -1046,7 +1069,7 @@ fn peel_supported_filters(mut plan: &LogicalPlan) -> Option<&LogicalPlan> {
 /// two-phase: vectorizable group keys, every output either a group key or a
 /// plain aggregate call (whose partial states merge), and only
 /// vectorizable filters between the aggregate and its source.
-fn aggregate_exchange_eligible(
+pub(crate) fn aggregate_exchange_eligible(
     input: &LogicalPlan,
     group_by: &[Expr],
     items: &[(Expr, String)],
@@ -1075,7 +1098,7 @@ fn aggregate_exchange_eligible(
 /// partitioned source of §4's data-parallel loop) and fully vectorizable —
 /// window functions (which read the whole input) never qualify because
 /// [`veval::supported`] rejects function calls.
-fn project_exchange_eligible(
+pub(crate) fn project_exchange_eligible(
     input: &LogicalPlan,
     items: &[(Expr, String)],
     hidden: &[Expr],
@@ -1356,7 +1379,12 @@ mod tests {
     /// rule-1..5 shape assertions stay focused.
     fn optimized_no_sa(c: &Catalog, sql: &str) -> LogicalPlan {
         let q = parse_query(sql).unwrap();
-        optimize_with(build(c, &q).unwrap(), c, &OptimizeOptions { scan_aggregate: false }).unwrap()
+        optimize_with(
+            build(c, &q).unwrap(),
+            c,
+            &OptimizeOptions { scan_aggregate: false, ..OptimizeOptions::default() },
+        )
+        .unwrap()
     }
 
     /// Strips an `Exchange` parallelization marker (rule 5, tested on its

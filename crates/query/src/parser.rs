@@ -2,9 +2,9 @@
 
 use crate::ast::{
     BinaryOp, CreateFamily, ExplainFor, Expr, JoinClause, JoinKind, OrderKey, Query, SelectItem,
-    SelectStmt, Statement, TableRef, UnaryOp,
+    SelectSpans, SelectStmt, Statement, TableRef, UnaryOp,
 };
-use crate::lexer::{tokenize, Token};
+use crate::lexer::{tokenize_spanned, Token};
 use crate::value::Value;
 use crate::{QueryError, Result};
 
@@ -19,15 +19,15 @@ const RESERVED: &[&str] = &[
 /// Parses a SQL string into a [`Query`]. A leading `EXPLAIN` keyword marks
 /// the query for plan rendering instead of execution.
 pub fn parse_query(sql: &str) -> Result<Query> {
-    let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser::new(sql)?;
     let explain = p.eat_kw("EXPLAIN");
     let mut q = p.query()?;
     q.explain = explain;
     if p.pos != p.tokens.len() {
         return Err(QueryError::Parse(format!(
-            "unexpected trailing input at token {:?}",
-            p.tokens[p.pos]
+            "unexpected trailing input at token {:?} at byte {}",
+            p.tokens[p.pos],
+            p.here(),
         )));
     }
     Ok(q)
@@ -38,7 +38,7 @@ pub fn parse_query(sql: &str) -> Result<Query> {
 pub fn parse_statement(sql: &str) -> Result<Statement> {
     let mut statements = parse_script(sql)?;
     match statements.len() {
-        1 => Ok(statements.pop().expect("length checked")),
+        1 => Ok(statements.pop().expect("length checked")), // invariant: length checked by the match arm
         0 => Err(QueryError::Parse("empty statement".into())),
         n => Err(QueryError::Parse(format!("expected one statement, found {n}"))),
     }
@@ -53,8 +53,7 @@ pub fn parse_statement(sql: &str) -> Result<Statement> {
 /// *positionally*, not reserved: inside ordinary queries they all remain
 /// usable as table names, column names and aliases.
 pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
-    let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser::new(sql)?;
     let mut out = Vec::new();
     loop {
         while p.eat_token(&Token::Semicolon) {}
@@ -89,10 +88,23 @@ fn at_statement(idx: usize, e: QueryError) -> QueryError {
 
 struct Parser {
     tokens: Vec<Token>,
+    /// Byte offset of each token in the source text (parallel to `tokens`).
+    spans: Vec<usize>,
     pos: usize,
 }
 
 impl Parser {
+    fn new(sql: &str) -> Result<Parser> {
+        let (tokens, spans) = tokenize_spanned(sql)?.into_iter().unzip();
+        Ok(Parser { tokens, spans, pos: 0 })
+    }
+
+    /// Byte offset of the token about to be consumed (end of input falls
+    /// back to the last token's offset).
+    fn here(&self) -> usize {
+        self.spans.get(self.pos).copied().unwrap_or_else(|| self.spans.last().copied().unwrap_or(0))
+    }
+
     fn peek(&self) -> Option<&Token> {
         self.tokens.get(self.pos)
     }
@@ -122,7 +134,11 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(QueryError::Parse(format!("expected keyword {kw}, found {:?}", self.peek())))
+            Err(QueryError::Parse(format!(
+                "expected keyword {kw}, found {:?} at byte {}",
+                self.peek(),
+                self.here(),
+            )))
         }
     }
 
@@ -139,7 +155,11 @@ impl Parser {
         if self.eat_token(t) {
             Ok(())
         } else {
-            Err(QueryError::Parse(format!("expected {t:?}, found {:?}", self.peek())))
+            Err(QueryError::Parse(format!(
+                "expected {t:?}, found {:?} at byte {}",
+                self.peek(),
+                self.here(),
+            )))
         }
     }
 
@@ -148,9 +168,12 @@ impl Parser {
     }
 
     fn ident(&mut self) -> Result<String> {
+        let at = self.here();
         match self.advance() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(QueryError::Parse(format!("expected identifier, found {other:?}"))),
+            other => {
+                Err(QueryError::Parse(format!("expected identifier, found {other:?} at byte {at}")))
+            }
         }
     }
 
@@ -275,14 +298,18 @@ impl Parser {
     }
 
     fn select(&mut self) -> Result<SelectStmt> {
+        let mut spans = SelectSpans { select: self.here(), ..SelectSpans::default() };
         self.expect_kw("SELECT")?;
+        spans.items.push(self.here());
         let mut items = vec![self.select_item()?];
         while self.eat_token(&Token::Comma) {
+            spans.items.push(self.here());
             items.push(self.select_item()?);
         }
         let mut from = None;
         let mut joins = Vec::new();
         if self.eat_kw("FROM") {
+            spans.from = self.here();
             from = Some(self.table_ref()?);
             loop {
                 let kind = if self.eat_kw("JOIN") {
@@ -306,16 +333,24 @@ impl Parser {
                 };
                 let table = self.table_ref()?;
                 self.expect_kw("ON")?;
+                spans.join_ons.push(self.here());
                 let on = self.expr()?;
                 joins.push(JoinClause { kind, table, on });
             }
         }
-        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_kw("WHERE") {
+            spans.where_clause = self.here();
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("GROUP") {
             self.expect_kw("BY")?;
+            spans.group_by.push(self.here());
             group_by.push(self.expr()?);
             while self.eat_token(&Token::Comma) {
+                spans.group_by.push(self.here());
                 group_by.push(self.expr()?);
             }
         }
@@ -323,6 +358,7 @@ impl Parser {
         if self.eat_kw("ORDER") {
             self.expect_kw("BY")?;
             loop {
+                spans.order_by.push(self.here());
                 let expr = self.expr()?;
                 let ascending = if self.eat_kw("DESC") {
                     false
@@ -348,7 +384,7 @@ impl Parser {
         } else {
             None
         };
-        Ok(SelectStmt { items, from, joins, where_clause, group_by, order_by, limit })
+        Ok(SelectStmt { items, from, joins, where_clause, group_by, order_by, limit, spans })
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {

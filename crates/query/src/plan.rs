@@ -327,7 +327,7 @@ pub fn build(catalog: &Catalog, query: &Query) -> Result<LogicalPlan> {
     }
     match parts.len() {
         0 => Err(QueryError::Plan("query has no SELECT".into())),
-        1 => Ok(parts.pop().expect("one part")),
+        1 => Ok(parts.pop().expect("one part")), // invariant: length checked by the match arm
         _ => Ok(LogicalPlan::Union { inputs: parts }),
     }
 }
@@ -524,9 +524,65 @@ pub fn equi_join_keys(
 
 /// Renders a plan as an indented tree, one node per line.
 pub fn render(plan: &LogicalPlan) -> String {
+    render_with(plan, None)
+}
+
+/// [`render`] with an optional catalog for static refinement annotations:
+/// each `Filter` node in a scan-rooted chain is tagged with how the
+/// executor will evaluate it, as decided *statically* from the inferred
+/// column types ([`crate::types`]) and the vectorizer's analysis:
+///
+/// * `refine=dict` — references only the dictionary-encoded
+///   `metric_name`/`tag` columns; evaluated once per distinct series.
+/// * `refine=kernel` — refines the selection vector with typed
+///   branch-free loops ([`crate::kernel`]) straight off the column
+///   slices: span-refinable point predicates on a TSDB scan, or (on a
+///   registered table, when the catalog is supplied) a vectorizable
+///   comparison whose columns all inferred to non-null `Int`/`Float`.
+/// * `refine=general` — needs the row gather + vectorized evaluator
+///   fallback.
+pub fn render_with(plan: &LogicalPlan, catalog: Option<&Catalog>) -> String {
     let mut out = String::new();
-    render_into(plan, 0, &mut out);
+    render_into(plan, 0, catalog, &mut out);
     out
+}
+
+/// The `refine=` class of one filter predicate, or `None` when the chain
+/// source is not a scan (derived columns — no static story to tell).
+fn refine_class(predicate: &Expr, source: &LogicalPlan, catalog: &Catalog) -> Option<&'static str> {
+    match source {
+        LogicalPlan::TsdbScan { .. } => {
+            let obs = Schema::new(TSDB_COLUMNS.iter().map(|s| s.to_string()).collect());
+            let mut cols = Vec::new();
+            crate::optimize::collect_columns(predicate, &mut cols);
+            if cols.iter().all(|c| obs.resolve(c).is_ok_and(|i| i == 1 || i == 2)) {
+                Some("dict")
+            } else if crate::veval::span_refinable(predicate, &obs) {
+                Some("kernel")
+            } else {
+                Some("general")
+            }
+        }
+        LogicalPlan::Scan { table } => {
+            let types = crate::types::base_table_types(catalog, table).ok()?;
+            let mut cols = Vec::new();
+            crate::optimize::collect_columns(predicate, &mut cols);
+            let numeric = crate::veval::supported(predicate)
+                && cols.iter().all(|c| {
+                    types.resolve(c).is_ok_and(|info| !info.nullable && info.ty.is_numeric())
+                });
+            Some(if numeric { "kernel" } else { "general" })
+        }
+        _ => None,
+    }
+}
+
+/// The first non-`Filter` node under a filter chain.
+fn chain_source(mut plan: &LogicalPlan) -> &LogicalPlan {
+    while let LogicalPlan::Filter { input, .. } = plan {
+        plan = input;
+    }
+    plan
 }
 
 fn push_line(out: &mut String, depth: usize, line: &str) {
@@ -625,7 +681,7 @@ fn push_scan_attrs(
     }
 }
 
-fn render_into(plan: &LogicalPlan, depth: usize, out: &mut String) {
+fn render_into(plan: &LogicalPlan, depth: usize, catalog: Option<&Catalog>, out: &mut String) {
     match plan {
         LogicalPlan::Scan { table } => push_line(out, depth, &format!("Scan {table}")),
         LogicalPlan::TsdbScan { table, name, tags, start, end, columns } => {
@@ -640,11 +696,17 @@ fn render_into(plan: &LogicalPlan, depth: usize, out: &mut String) {
         LogicalPlan::Unit => push_line(out, depth, "Unit"),
         LogicalPlan::Alias { input, alias } => {
             push_line(out, depth, &format!("Alias {alias}"));
-            render_into(input, depth + 1, out);
+            render_into(input, depth + 1, catalog, out);
         }
         LogicalPlan::Filter { input, predicate } => {
-            push_line(out, depth, &format!("Filter {}", render_expr(predicate)));
-            render_into(input, depth + 1, out);
+            let mut line = format!("Filter {}", render_expr(predicate));
+            if let Some(class) =
+                catalog.and_then(|c| refine_class(predicate, chain_source(input), c))
+            {
+                line.push_str(&format!(" refine={class}"));
+            }
+            push_line(out, depth, &line);
+            render_into(input, depth + 1, catalog, out);
         }
         LogicalPlan::Project { input, items, hidden } => {
             let cols: Vec<String> =
@@ -655,7 +717,7 @@ fn render_into(plan: &LogicalPlan, depth: usize, out: &mut String) {
                 line.push_str(&format!(" hidden=[{}]", h.join(", ")));
             }
             push_line(out, depth, &line);
-            render_into(input, depth + 1, out);
+            render_into(input, depth + 1, catalog, out);
         }
         LogicalPlan::Aggregate { input, group_by, items, hidden } => {
             let keys: Vec<String> = group_by.iter().map(render_expr).collect();
@@ -668,7 +730,7 @@ fn render_into(plan: &LogicalPlan, depth: usize, out: &mut String) {
                 line.push_str(&format!(" hidden=[{}]", h.join(", ")));
             }
             push_line(out, depth, &line);
-            render_into(input, depth + 1, out);
+            render_into(input, depth + 1, catalog, out);
         }
         LogicalPlan::Join { left, right, kind, on, stats } => {
             let kind = match kind {
@@ -686,8 +748,8 @@ fn render_into(plan: &LogicalPlan, depth: usize, out: &mut String) {
                 ));
             }
             push_line(out, depth, &line);
-            render_into(left, depth + 1, out);
-            render_into(right, depth + 1, out);
+            render_into(left, depth + 1, catalog, out);
+            render_into(right, depth + 1, catalog, out);
         }
         LogicalPlan::Sort { input, keys, .. } => {
             let keys: Vec<String> = keys
@@ -695,21 +757,21 @@ fn render_into(plan: &LogicalPlan, depth: usize, out: &mut String) {
                 .map(|(i, asc)| format!("#{i} {}", if *asc { "ASC" } else { "DESC" }))
                 .collect();
             push_line(out, depth, &format!("Sort [{}]", keys.join(", ")));
-            render_into(input, depth + 1, out);
+            render_into(input, depth + 1, catalog, out);
         }
         LogicalPlan::Limit { input, n } => {
             push_line(out, depth, &format!("Limit {n}"));
-            render_into(input, depth + 1, out);
+            render_into(input, depth + 1, catalog, out);
         }
         LogicalPlan::Union { inputs } => {
             push_line(out, depth, "Union");
             for i in inputs {
-                render_into(i, depth + 1, out);
+                render_into(i, depth + 1, catalog, out);
             }
         }
         LogicalPlan::Exchange { input } => {
             push_line(out, depth, "Exchange partitions=auto");
-            render_into(input, depth + 1, out);
+            render_into(input, depth + 1, catalog, out);
         }
         LogicalPlan::ScanAggregate {
             table,

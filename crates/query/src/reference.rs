@@ -131,7 +131,7 @@ fn execute_select(catalog: &Catalog, select: &SelectStmt) -> Result<Table> {
             let mut permuted = Vec::with_capacity(out_rows.len());
             let mut taken: Vec<Option<Vec<Value>>> = out_rows.into_iter().map(Some).collect();
             for i in order {
-                permuted.push(taken[i].take().expect("each index used once"));
+                permuted.push(taken[i].take().expect("each index used once")); // invariant: order is a permutation; each index is taken once
             }
             permuted
         };

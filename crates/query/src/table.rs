@@ -63,12 +63,57 @@ impl Schema {
             .collect();
         match matches.len() {
             1 => Ok(matches[0]),
-            0 => Err(QueryError::UnknownColumn(name.to_string())),
+            0 => {
+                let near = self.near_misses(name);
+                if near.is_empty() {
+                    Err(QueryError::UnknownColumn(name.to_string()))
+                } else {
+                    Err(QueryError::UnknownColumn(format!(
+                        "{name} (did you mean {}?)",
+                        near.join(" or ")
+                    )))
+                }
+            }
             _ => Err(QueryError::UnknownColumn(format!(
                 "{name} is ambiguous (candidates: {})",
                 matches.iter().map(|&i| self.columns[i].as_str()).collect::<Vec<_>>().join(", ")
             ))),
         }
+    }
+
+    /// Plausible intended columns for a name that failed to resolve: both
+    /// the qualified names and their unqualified suffixes are considered,
+    /// matched by small edit distance (scaled to the name's length) or by
+    /// one being a prefix of the other. At most three, closest first.
+    fn near_misses(&self, name: &str) -> Vec<String> {
+        let budget = match name.len() {
+            0..=3 => 1,
+            _ => 2,
+        };
+        let target = name.to_ascii_lowercase();
+        let mut scored: Vec<(usize, &String)> = self
+            .columns
+            .iter()
+            .filter_map(|col| {
+                let candidates = [col.as_str(), col.rsplit('.').next().unwrap_or(col)];
+                candidates
+                    .iter()
+                    .filter_map(|c| {
+                        let c = c.to_ascii_lowercase();
+                        if target.len().min(c.len()) >= 3
+                            && (c.starts_with(&target) || target.starts_with(&c))
+                        {
+                            return Some(1);
+                        }
+                        let d = edit_distance(&target, &c);
+                        (d <= budget).then_some(d)
+                    })
+                    .min()
+                    .map(|d| (d, col))
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(b.1)));
+        scored.into_iter().take(3).map(|(_, c)| c.clone()).collect()
     }
 
     /// Prefixes every column with `alias.` (stripping any previous
@@ -85,6 +130,22 @@ impl Schema {
                 .collect(),
         }
     }
+}
+
+/// Levenshtein distance over bytes (column names are ASCII in practice).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 /// An in-memory table: schema plus typed value columns.
@@ -226,7 +287,7 @@ impl Table {
     /// Consumes the table into its rows.
     pub fn into_rows(mut self) -> Vec<Vec<Value>> {
         self.rows();
-        self.row_cache.take().expect("cache was just filled")
+        self.row_cache.take().expect("cache was just filled") // invariant: filled by the get_or_init above
     }
 
     /// Number of rows.
@@ -305,6 +366,27 @@ mod tests {
         assert_eq!(s.resolve("v").unwrap(), 2);
         assert!(matches!(s.resolve("ts"), Err(QueryError::UnknownColumn(_))));
         assert!(matches!(s.resolve("nope"), Err(QueryError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn resolve_miss_suggests_near_columns() {
+        let s = Schema::new(vec!["timestamp".into(), "metric_name".into(), "value".into()]);
+        // One transposition away.
+        let err = s.resolve("vlaue").unwrap_err();
+        assert!(
+            matches!(&err, QueryError::UnknownColumn(m) if m.contains("did you mean value?")),
+            "{err}"
+        );
+        // Prefix of a real column.
+        let err = s.resolve("metric").unwrap_err();
+        assert!(matches!(&err, QueryError::UnknownColumn(m) if m.contains("metric_name")), "{err}");
+        // Qualified candidates surface their full names.
+        let q = Schema::new(vec!["t.runtime".into(), "u.w".into()]);
+        let err = q.resolve("runtmie").unwrap_err();
+        assert!(matches!(&err, QueryError::UnknownColumn(m) if m.contains("t.runtime")), "{err}");
+        // Nothing close: the bare name, no suggestion clause.
+        let err = s.resolve("zzz").unwrap_err();
+        assert!(matches!(&err, QueryError::UnknownColumn(m) if m == "zzz"), "{err}");
     }
 
     #[test]

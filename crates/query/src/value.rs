@@ -162,8 +162,8 @@ impl Value {
             }
             (Value::Map(a), Value::Map(b)) => a.cmp(b),
             _ if class(self) == 2 && class(other) == 2 => {
-                let a = self.as_f64().expect("numeric");
-                let b = other.as_f64().expect("numeric");
+                let a = self.as_f64().expect("numeric"); // invariant: both classes verified numeric by the match
+                let b = other.as_f64().expect("numeric"); // invariant: both classes verified numeric by the match
                 a.total_cmp(&b)
             }
             _ => class(self).cmp(&class(other)),

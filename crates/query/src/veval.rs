@@ -348,7 +348,7 @@ fn eval_binary_vec(op: BinaryOp, l: VOut, r: VOut, len: usize) -> Result<VOut> {
                     // An Int constant that does not round-trip through f64
                     // (above 2^53) must compare exactly, not via `as f64`.
                     if let Value::Int(ki) = k {
-                        let kf = *ki as f64;
+                        let kf = *ki as f64; // lint: allow as f64 — exactness re-checked by the round-trip test below
                         if kf as i128 != i128::from(*ki) {
                             let ki = *ki;
                             return Ok(VOut::Col(Column::from_values(
@@ -365,7 +365,7 @@ fn eval_binary_vec(op: BinaryOp, l: VOut, r: VOut, len: usize) -> Result<VOut> {
                             )));
                         }
                     }
-                    let k = k.as_f64().expect("checked");
+                    let k = k.as_f64().expect("checked"); // invariant: literal class checked by the support analysis
                     return Ok(VOut::Col(Column::from_values(
                         vs.iter()
                             .map(|&x| match x.partial_cmp(&k) {
@@ -429,7 +429,7 @@ fn eval_binary_vec(op: BinaryOp, l: VOut, r: VOut, len: usize) -> Result<VOut> {
                 }) =>
             {
                 let swapped = matches!(&l, VOut::Const(_));
-                let k = k.as_f64().expect("checked");
+                let k = k.as_f64().expect("checked"); // invariant: literal class checked by the support analysis
                 return Ok(VOut::Col(Column::Float(kernel::f64_arith_const(kop, a, k, swapped))));
             }
             (VOut::Col(Column::Float(a)), VOut::Col(Column::Float(b))) => {
@@ -747,7 +747,7 @@ pub(crate) fn refine(
                         // Exactly like the dense eval path: an Int constant
                         // that does not round-trip compares exactly per row.
                         if let Value::Int(ki) = k {
-                            let kf = *ki as f64;
+                            let kf = *ki as f64; // lint: allow as f64 — exactness re-checked by the round-trip test below
                             if kf as i128 != i128::from(*ki) {
                                 let ki = *ki;
                                 let mut n = 0usize;
@@ -763,7 +763,7 @@ pub(crate) fn refine(
                                 return Ok(());
                             }
                         }
-                        let k = k.as_f64().expect("checked");
+                        let k = k.as_f64().expect("checked"); // invariant: literal class checked by the support analysis
                         kernel::refine_f64_cmp(cmp_op_of(op), vs, None, k, sel);
                         return Ok(());
                     }
@@ -1061,7 +1061,7 @@ pub(crate) fn refine_span(expr: &Expr, obs: &Schema, ts: &[i64], vals: &[f64], s
                     // Same exactness rule as the dense path: a non-round-
                     // trippable Int constant compares exactly per row.
                     if let Value::Int(ki) = k {
-                        let kf = *ki as f64;
+                        let kf = *ki as f64; // lint: allow as f64 — exactness re-checked by the round-trip test below
                         if kf as i128 != i128::from(*ki) {
                             let ki = *ki;
                             let mut n = 0usize;
@@ -1077,7 +1077,7 @@ pub(crate) fn refine_span(expr: &Expr, obs: &Schema, ts: &[i64], vals: &[f64], s
                             return;
                         }
                     }
-                    let k = k.as_f64().expect("checked");
+                    let k = k.as_f64().expect("checked"); // invariant: literal class checked by the support analysis
                     kernel::refine_f64_cmp(cmp_op_of(op), vs, None, k, sel);
                 }
                 (col, lit) => {
@@ -1098,7 +1098,7 @@ pub(crate) fn refine_span(expr: &Expr, obs: &Schema, ts: &[i64], vals: &[f64], s
             }
         }
         Expr::Between { expr: e, low, high, negated } => {
-            let col = span_col(e, obs, ts, vals).expect("span_refinable checked");
+            let col = span_col(e, obs, ts, vals).expect("span_refinable checked"); // invariant: span_refinable admitted this expression
             let (Expr::Literal(lo), Expr::Literal(hi)) = (&**low, &**high) else {
                 unreachable!("span_refinable checked")
             };
@@ -1136,7 +1136,7 @@ pub(crate) fn refine_span(expr: &Expr, obs: &Schema, ts: &[i64], vals: &[f64], s
         // Point columns never hold NULLs.
         Expr::IsNull { negated, .. } => kernel::refine_is_null(None, *negated, sel),
         Expr::InList { expr: e, list, negated } => {
-            let col = span_col(e, obs, ts, vals).expect("span_refinable checked");
+            let col = span_col(e, obs, ts, vals).expect("span_refinable checked"); // invariant: span_refinable admitted this expression
             let items: Vec<&Value> = list
                 .iter()
                 .map(|item| match item {

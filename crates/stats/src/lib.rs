@@ -14,6 +14,7 @@
 //!   ([`decompose`]);
 //! * fixed-width histograms used by the figure reports ([`histogram`]).
 
+#![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // indexed loops read naturally in these math kernels
 pub mod decompose;
 pub mod dist;

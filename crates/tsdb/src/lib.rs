@@ -20,6 +20,8 @@
 //! assert_eq!(hits.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod align;
 mod glob;
 pub mod logs;

@@ -21,6 +21,8 @@
 //! family is labelled *cause*, *effect* or *irrelevant* for the injected
 //! fault — the labels Table 6's ranking-accuracy metrics need.
 
+#![forbid(unsafe_code)]
+
 pub mod case_studies;
 pub mod cluster;
 pub mod faults;

@@ -14,6 +14,8 @@
 //! and an embedded ranking engine. It lives here, above the sub-crates,
 //! because it is the one place the query and core layers meet.
 
+#![forbid(unsafe_code)]
+
 pub mod session;
 
 pub use session::{Session, SessionError, StatementOutcome, RANKING_TABLE};
