@@ -7,11 +7,14 @@
 //!    `crates/query/src/kernel.rs` and `crates/query/src/veval.rs` unless
 //!    the line carries a `lint: allow as f64` marker explaining why the
 //!    cast is exact (or deliberately widening).
-//! 2. **No `unwrap()`/`expect()` in query library code** — outside
-//!    `#[cfg(test)]` modules, every potential panic site in
-//!    `crates/query/src` must either be converted to a `QueryError` or
-//!    justified with an `// invariant:` comment on the same or a nearby
-//!    preceding line.
+//! 2. **No `unwrap()`/`expect()` in query library code or on storage I/O
+//!    paths** — outside `#[cfg(test)]` modules, every potential panic
+//!    site in `crates/query/src` and `crates/tsdb/src/storage` must
+//!    either be converted to the crate's error type (`QueryError` /
+//!    `StorageError`) or justified with an `// invariant:` comment on
+//!    the same or a nearby preceding line. A panic in the storage layer
+//!    is worse than an error: it can tear a WAL append or leave a
+//!    half-written segment behind.
 //! 3. **`#![forbid(unsafe_code)]` everywhere** — every crate root
 //!    (`src/lib.rs`) in the workspace must carry the attribute.
 //!
@@ -77,32 +80,37 @@ fn lint_as_f64(root: &Path, findings: &mut Vec<String>) {
     }
 }
 
-/// Rule 2: unjustified `unwrap()`/`expect()` in query library code.
+/// Rule 2: unjustified `unwrap()`/`expect()` in query library code and
+/// on storage I/O paths.
 fn lint_panics(root: &Path, findings: &mut Vec<String>) {
-    let dir = root.join("crates/query/src");
-    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
-        .expect("query src dir exists")
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
-        .collect();
-    files.sort();
-    for path in files {
-        let source = read(&path);
-        let rel = format!("crates/query/src/{}", path.file_name().unwrap().to_string_lossy());
-        let lines: Vec<(usize, String, String)> = library_code_lines(&source).collect();
-        for (i, (lineno, _, code)) in lines.iter().enumerate() {
-            if !code.contains(".unwrap()") && !code.contains(".expect(") {
-                continue;
-            }
-            // Escape hatch: an `// invariant:` justification on the same
-            // line or within the two preceding source lines.
-            let justified =
-                lines[i.saturating_sub(2)..=i].iter().any(|(_, raw, _)| raw.contains("invariant:"));
-            if !justified {
-                findings.push(format!(
-                    "{rel}:{lineno}: unwrap/expect in library code \
-                     (return a QueryError or justify with an `// invariant:` comment)"
-                ));
+    for (dir, err_ty) in
+        [("crates/query/src", "QueryError"), ("crates/tsdb/src/storage", "StorageError")]
+    {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(root.join(dir))
+            .expect("linted src dir exists")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        files.sort();
+        for path in files {
+            let source = read(&path);
+            let rel = format!("{dir}/{}", path.file_name().unwrap().to_string_lossy());
+            let lines: Vec<(usize, String, String)> = library_code_lines(&source).collect();
+            for (i, (lineno, _, code)) in lines.iter().enumerate() {
+                if !code.contains(".unwrap()") && !code.contains(".expect(") {
+                    continue;
+                }
+                // Escape hatch: an `// invariant:` justification on the
+                // same line or within the two preceding source lines.
+                let justified = lines[i.saturating_sub(2)..=i]
+                    .iter()
+                    .any(|(_, raw, _)| raw.contains("invariant:"));
+                if !justified {
+                    findings.push(format!(
+                        "{rel}:{lineno}: unwrap/expect in library code \
+                         (return a {err_ty} or justify with an `// invariant:` comment)"
+                    ));
+                }
             }
         }
     }

@@ -1,0 +1,181 @@
+//! Query execution over a *reopened* durable store: the four-way
+//! differential family query must be bit-identical to the in-memory run
+//! (including after a torn WAL tail), and a time-filtered ScanAggregate
+//! must decode only the chunks its range overlaps.
+
+use std::path::PathBuf;
+
+use explainit_query::reference::execute_naive;
+use explainit_query::{parse_query, Catalog, ExecOptions, Table};
+use explainit_tsdb::{SeriesKey, Tsdb};
+
+const FAMILY_SQL: &str = "SELECT timestamp, tag['host'] AS h, AVG(value) AS m, SUM(value) AS s, \
+     COUNT(*) AS n, STDDEV(value) AS sd, PERCENTILE(value, 0.5) AS med \
+     FROM tsdb WHERE metric_name = 'cpu' GROUP BY timestamp, tag['host']";
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("explainit-qstore-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The aligned-fleet ingest both stores receive, point for point.
+fn fleet_points() -> Vec<(SeriesKey, i64, f64)> {
+    let mut points = Vec::new();
+    for (i, host) in ["web-1", "web-2", "db-1"].iter().enumerate() {
+        let key = SeriesKey::new("cpu").with_tag("host", *host);
+        for t in 0..40i64 {
+            let v = 10.0 * (i as f64 + 1.0) + (t as f64 * 0.37).sin();
+            points.push((key.clone(), t * 60, v));
+        }
+    }
+    points.push((SeriesKey::new("untagged"), 0, 5.0));
+    points
+}
+
+/// Runs the family query serially, partition-parallel, with the
+/// scan-aggregate pushdown, and through the reference interpreter,
+/// asserting every engine over `db` matches the `baseline` rows exactly.
+fn assert_four_way_matches(db: &Tsdb, baseline: &Table) {
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", db);
+    let query = parse_query(FAMILY_SQL).expect("family query parses");
+    let engines = [
+        ("serial", ExecOptions { partitions: 1, scan_aggregate: false, ..Default::default() }),
+        ("parallel", ExecOptions { partitions: 3, scan_aggregate: false, ..Default::default() }),
+        (
+            "scan-aggregate serial",
+            ExecOptions { partitions: 1, scan_aggregate: true, ..Default::default() },
+        ),
+        (
+            "scan-aggregate parallel",
+            ExecOptions { partitions: 3, scan_aggregate: true, ..Default::default() },
+        ),
+    ];
+    for (label, opts) in engines {
+        let out = catalog.execute_query_with(&query, opts).expect("family query runs");
+        assert_eq!(out.schema(), baseline.schema(), "{label} schema");
+        assert_eq!(out.rows(), baseline.rows(), "{label} rows vs in-memory baseline");
+    }
+    let naive = execute_naive(&catalog, &query).expect("reference runs");
+    assert_eq!(naive.rows(), baseline.rows(), "reference rows vs in-memory baseline");
+}
+
+fn in_memory_baseline(db: &Tsdb) -> Table {
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", db);
+    let query = parse_query(FAMILY_SQL).expect("family query parses");
+    catalog
+        .execute_query_with(
+            &query,
+            ExecOptions { partitions: 1, scan_aggregate: false, ..Default::default() },
+        )
+        .expect("baseline runs")
+}
+
+#[test]
+fn family_query_bit_identical_after_reopen() {
+    let dir = tmp_dir("reopen");
+    let mut memory = Tsdb::new();
+    {
+        let mut durable = Tsdb::open(&dir).expect("open");
+        for (key, ts, v) in fleet_points() {
+            memory.insert(&key, ts, v);
+            durable.insert(&key, ts, v);
+        }
+        durable.flush().expect("flush");
+    }
+    let reopened = Tsdb::open(&dir).expect("reopen");
+    let baseline = in_memory_baseline(&memory);
+    assert!(!baseline.rows().is_empty(), "family query returns rows");
+    assert_four_way_matches(&reopened, &baseline);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn family_query_bit_identical_after_torn_wal_tail() {
+    let dir = tmp_dir("torn");
+    let mut memory = Tsdb::new();
+    {
+        let mut durable = Tsdb::open(&dir).expect("open");
+        for (key, ts, v) in fleet_points() {
+            memory.insert(&key, ts, v);
+            durable.insert(&key, ts, v);
+        }
+        durable.flush().expect("flush the fleet into segments");
+        // Post-flush inserts: one WAL record each. The last one will be
+        // torn; all but the last belong in the recovered store.
+        let late = SeriesKey::new("cpu").with_tag("host", "web-1");
+        durable.try_insert(&late, 5000 * 60, 42.0).expect("committed insert");
+        memory.insert(&late, 5000 * 60, 42.0);
+        durable.try_insert(&late, 5001 * 60, 43.0).expect("to-be-torn insert");
+        durable.sync().expect("sync");
+    }
+    // Tear the WAL mid-way through the last record.
+    let wal_path = dir.join("wal");
+    let wal = std::fs::read(&wal_path).expect("read wal");
+    let mut offsets = Vec::new();
+    let mut at = 0usize;
+    while at + 8 <= wal.len() {
+        offsets.push(at);
+        let len = u32::from_le_bytes(wal[at..at + 4].try_into().unwrap()) as usize;
+        at += 8 + len;
+    }
+    let last_start = *offsets.last().expect("wal has records");
+    std::fs::write(&wal_path, &wal[..last_start + 5]).expect("tear tail");
+
+    let reopened = Tsdb::open(&dir).expect("reopen over the torn tail");
+    let baseline = in_memory_baseline(&memory);
+    assert_four_way_matches(&reopened, &baseline);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn time_filtered_scan_aggregate_decodes_only_overlapping_chunks() {
+    let dir = tmp_dir("lazy");
+    let hosts = ["web-1", "web-2", "db-1"];
+    {
+        let mut db = Tsdb::open(&dir).expect("open");
+        // Two disjoint time windows, flushed separately: two chunks per
+        // series on disk.
+        for host in hosts {
+            let key = SeriesKey::new("cpu").with_tag("host", host);
+            for t in 0..30i64 {
+                db.insert(&key, t * 60, t as f64);
+            }
+        }
+        db.flush().expect("flush window 1");
+        for host in hosts {
+            let key = SeriesKey::new("cpu").with_tag("host", host);
+            for t in 1000..1030i64 {
+                db.insert(&key, t * 60, t as f64);
+            }
+        }
+        db.flush().expect("flush window 2");
+    }
+    let db = Tsdb::open(&dir).expect("reopen");
+    assert_eq!(db.storage_stats().expect("stats").chunks, 6);
+    assert_eq!(db.decode_count(), 0, "recovery decodes nothing");
+
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", &db); // snapshot shares chunk bytes + counter
+    let query = parse_query(
+        "SELECT tag['host'] AS h, AVG(value) AS m, COUNT(*) AS n FROM tsdb \
+         WHERE metric_name = 'cpu' AND timestamp BETWEEN 60000 AND 61740 \
+         GROUP BY tag['host']",
+    )
+    .expect("parses");
+    let out = catalog
+        .execute_query_with(
+            &query,
+            ExecOptions { partitions: 2, scan_aggregate: true, ..Default::default() },
+        )
+        .expect("runs");
+    assert_eq!(out.len(), 3, "one group per host");
+    assert_eq!(
+        db.decode_count(),
+        3,
+        "only the window-2 chunk of each matched series was decompressed"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

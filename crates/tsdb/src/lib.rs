@@ -1,4 +1,4 @@
-//! An in-memory tagged time series database.
+//! A tagged time series database with an optional durable storage engine.
 //!
 //! This is the storage substrate of the ExplainIt! reproduction, standing in
 //! for the OpenTSDB/Druid/Parquet sources of the paper (§2, §4). The data
@@ -19,6 +19,29 @@
 //! let hits = db.find(&MetricFilter::name("disk"));
 //! assert_eq!(hits.len(), 1);
 //! ```
+//!
+//! # The open/flush lifecycle
+//!
+//! [`Tsdb::new`] is purely in-memory. [`Tsdb::open`] binds the store to a
+//! directory managed by the [`storage`] engine (append-only WAL +
+//! immutable compressed segment files) and recovers whatever is there —
+//! including after a crash: torn WAL tails truncate to the last committed
+//! record, in-flight segment writes are discarded, and half-finished
+//! compactions roll forward.
+//!
+//! * **Ingest** (`insert`, `try_insert_batch`, `insert_series`) appends
+//!   WAL records and updates the in-memory index. Records are buffered;
+//!   they survive a crash only after the next `sync()` or `flush()`.
+//! * **[`Tsdb::flush`]** is the durability point: it fsyncs the WAL,
+//!   seals in-memory heads into delta-of-delta + XOR compressed chunks
+//!   inside a new segment file, truncates the WAL, and auto-compacts when
+//!   small segments accumulate.
+//! * **Scans** over a reopened store decode chunks *lazily*: `scan_parts*`
+//!   prunes on chunk `[min_ts, max_ts]` metadata and only decompresses
+//!   chunks overlapping the query's time range ([`Tsdb::decode_count`]
+//!   makes this observable).
+//! * **Clones** of a durable store detach from the directory (in-memory
+//!   snapshot views sharing compressed bytes) — exactly one handle writes.
 
 #![forbid(unsafe_code)]
 
@@ -28,6 +51,7 @@ pub mod logs;
 mod model;
 mod shared;
 mod snapshot;
+pub mod storage;
 mod store;
 
 pub use align::{align_series, AlignedFrame, FillPolicy};
@@ -36,4 +60,5 @@ pub use logs::{featurize_logs, template_of, LogRecord};
 pub use model::{DataPoint, Series, SeriesKey, TimeRange};
 pub use shared::{SharedTsdb, INITIAL_GENERATION};
 pub use snapshot::Snapshot;
+pub use storage::{StorageError, StorageStats};
 pub use store::{MetricFilter, SeriesId, SeriesSlice, TagFilter, Tsdb};

@@ -2,6 +2,10 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use crate::storage::chunk::{encode_run, EncodedChunk, SealedChunk};
+use crate::storage::DecodeCounter;
 
 /// A half-open time range `[start, end)` in the same units the database is
 /// fed with (the workloads use epoch seconds at minute granularity).
@@ -116,19 +120,79 @@ impl fmt::Display for SeriesKey {
     }
 }
 
-/// One time series: a key plus columnar, timestamp-sorted storage.
-#[derive(Debug, Clone, PartialEq)]
+/// One time series: a key plus columnar, timestamp-sorted storage in two
+/// tiers.
+///
+/// * The **head**: plain parallel vectors holding recent, mutable points.
+/// * The **sealed tier**: immutable compressed chunks (see
+///   [`crate::storage::chunk`]) a durable store recovered from segment
+///   files or sealed during `Tsdb::flush`. Sealed chunks are strictly
+///   ascending and time-disjoint, and every head point lies after the last
+///   sealed timestamp.
+///
+/// All read accessors present the *logical* series — the sealed tier is a
+/// representation detail. Whole-series accessors ([`Series::timestamps`],
+/// [`Series::range`], …) hydrate sealed chunks into an assembled cache on
+/// first use; the lazy per-chunk path is `Tsdb::scan_parts*`, which never
+/// materializes more than the chunks a query's time range overlaps.
+///
+/// # Insert contract (out-of-order and duplicate timestamps)
+///
+/// [`Series::push`] pins the store's ingest semantics, and the WAL replay
+/// path in `Tsdb::open` routes through this exact method, so a recovered
+/// store is point-for-point identical to the store that wrote the log:
+///
+/// * **In-order** arrivals (`ts` greater than every stored timestamp)
+///   append in O(1).
+/// * **Duplicate** timestamps overwrite the stored value —
+///   *last-writer-wins*, in arrival order.
+/// * **Out-of-order** arrivals insert sorted (O(n) in the head). If the
+///   timestamp lands at or before the last *sealed* timestamp, the series
+///   first unseals: sealed chunks hydrate into the head and the sealed
+///   tier empties, after which the same rules apply. A later flush re-seals
+///   and supersedes the stale on-disk chunks.
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Identity of the series.
     pub key: SeriesKey,
+    /// Immutable compressed history, ascending and disjoint in time.
+    sealed: Vec<SealedChunk>,
+    /// Head timestamps (every one greater than the last sealed timestamp).
     timestamps: Vec<i64>,
+    /// Head values, parallel to `timestamps`.
     values: Vec<f64>,
+    /// Write-once cache of the fully hydrated series (sealed + head),
+    /// reset by any mutation. Gives whole-series accessors a stable
+    /// address to borrow from behind `&self`.
+    assembled: OnceLock<Arc<(Vec<i64>, Vec<f64>)>>,
+}
+
+/// Logical equality: two series are equal when their keys and *contents*
+/// match, regardless of how the points split between sealed chunks and the
+/// head (a reopened store compares equal to the store that wrote it).
+impl PartialEq for Series {
+    fn eq(&self, other: &Self) -> bool {
+        if self.key != other.key {
+            return false;
+        }
+        let (ats, avs) = self.full();
+        let (bts, bvs) = other.full();
+        ats == bts
+            && avs.len() == bvs.len()
+            && avs.iter().zip(bvs).all(|(a, b)| a == b || (a.is_nan() && b.is_nan()))
+    }
 }
 
 impl Series {
     /// Creates an empty series.
     pub fn new(key: SeriesKey) -> Self {
-        Series { key, timestamps: Vec::new(), values: Vec::new() }
+        Series {
+            key,
+            sealed: Vec::new(),
+            timestamps: Vec::new(),
+            values: Vec::new(),
+            assembled: OnceLock::new(),
+        }
     }
 
     /// Creates a series from parallel timestamp/value vectors.
@@ -141,15 +205,35 @@ impl Series {
             timestamps.windows(2).all(|w| w[0] < w[1]),
             "timestamps must be strictly increasing"
         );
-        Series { key, timestamps, values }
+        Series { key, sealed: Vec::new(), timestamps, values, assembled: OnceLock::new() }
     }
 
-    /// Appends or overwrites the observation at `ts`.
-    ///
-    /// Appends in O(1) for in-order arrivals (the common case for monitoring
-    /// feeds); out-of-order arrivals insert in O(n); duplicate timestamps
-    /// overwrite (last-writer-wins).
+    /// Rebuilds a series from recovered segment chunks (ascending,
+    /// disjoint) with an empty head.
+    pub(crate) fn from_storage(
+        key: SeriesKey,
+        chunks: Vec<EncodedChunk>,
+        counter: DecodeCounter,
+    ) -> Self {
+        debug_assert!(chunks.windows(2).all(|w| w[0].meta.max_ts < w[1].meta.min_ts));
+        Series {
+            key,
+            sealed: chunks.into_iter().map(|c| SealedChunk::new(c, counter.clone())).collect(),
+            timestamps: Vec::new(),
+            values: Vec::new(),
+            assembled: OnceLock::new(),
+        }
+    }
+
+    /// Appends or overwrites the observation at `ts` — see the insert
+    /// contract in the [`Series`] docs: O(1) in-order appends, sorted
+    /// insertion for out-of-order arrivals, last-writer-wins duplicates,
+    /// and automatic unsealing when a write lands in the sealed range.
     pub fn push(&mut self, ts: i64, value: f64) {
+        if self.sealed.last().is_some_and(|c| ts <= c.meta.max_ts) {
+            self.unseal();
+        }
+        self.assembled = OnceLock::new();
         match self.timestamps.last() {
             Some(&last) if last < ts => {
                 self.timestamps.push(ts);
@@ -172,34 +256,111 @@ impl Series {
         }
     }
 
-    /// Number of observations.
+    /// Hydrates the sealed tier into the head and empties it, so the
+    /// series is mutable anywhere in its range again.
+    fn unseal(&mut self) {
+        let (ts, vs) = {
+            let (ts, vs) = self.full();
+            (ts.to_vec(), vs.to_vec())
+        };
+        self.sealed.clear();
+        self.timestamps = ts;
+        self.values = vs;
+        self.assembled = OnceLock::new();
+    }
+
+    /// Encodes the head into chunks, moves them onto the sealed tier, and
+    /// returns the encoded form for segment writing. `None` when the head
+    /// is empty. Decode caches are *not* pre-populated: sealing trades the
+    /// raw head vectors for compressed bytes, and later scans re-decode
+    /// lazily only what they touch.
+    pub(crate) fn seal_head(&mut self, counter: DecodeCounter) -> Option<Vec<EncodedChunk>> {
+        if self.timestamps.is_empty() {
+            return None;
+        }
+        let chunks = encode_run(&self.timestamps, &self.values);
+        for chunk in &chunks {
+            self.sealed.push(SealedChunk::new(chunk.clone(), counter.clone()));
+        }
+        self.timestamps = Vec::new();
+        self.values = Vec::new();
+        self.assembled = OnceLock::new();
+        Some(chunks)
+    }
+
+    /// The sealed chunks (ascending, disjoint) — the lazy scan path.
+    pub(crate) fn sealed_chunks(&self) -> &[SealedChunk] {
+        &self.sealed
+    }
+
+    /// True when any history is sealed (compressed).
+    pub(crate) fn has_sealed(&self) -> bool {
+        !self.sealed.is_empty()
+    }
+
+    /// Head observations in the inclusive `[lo, hi]` range, as slices.
+    pub(crate) fn head_range_between(&self, lo: i64, hi: i64) -> (&[i64], &[f64]) {
+        if lo > hi {
+            return (&[], &[]);
+        }
+        let a = self.timestamps.partition_point(|&t| t < lo);
+        let b = self.timestamps.partition_point(|&t| t <= hi);
+        (&self.timestamps[a..b], &self.values[a..b])
+    }
+
+    /// The full logical contents: the head alone when nothing is sealed,
+    /// otherwise the assembled cache (hydrated once per mutation epoch).
+    fn full(&self) -> (&[i64], &[f64]) {
+        if self.sealed.is_empty() {
+            return (&self.timestamps, &self.values);
+        }
+        let assembled = self.assembled.get_or_init(|| {
+            let n = self.len();
+            let mut ts = Vec::with_capacity(n);
+            let mut vs = Vec::with_capacity(n);
+            for chunk in &self.sealed {
+                let decoded = chunk.decoded();
+                ts.extend_from_slice(&decoded.0);
+                vs.extend_from_slice(&decoded.1);
+            }
+            ts.extend_from_slice(&self.timestamps);
+            vs.extend_from_slice(&self.values);
+            Arc::new((ts, vs))
+        });
+        (&assembled.0, &assembled.1)
+    }
+
+    /// Number of observations (metadata only — no decode).
     pub fn len(&self) -> usize {
-        self.timestamps.len()
+        self.sealed.iter().map(|c| c.meta.count as usize).sum::<usize>() + self.timestamps.len()
     }
 
     /// True when the series has no observations.
     pub fn is_empty(&self) -> bool {
-        self.timestamps.is_empty()
+        self.sealed.is_empty() && self.timestamps.is_empty()
     }
 
-    /// Borrow the sorted timestamps.
+    /// Borrow the sorted timestamps (hydrates sealed history).
     pub fn timestamps(&self) -> &[i64] {
-        &self.timestamps
+        self.full().0
     }
 
-    /// Borrow the values (parallel to [`Series::timestamps`]).
+    /// Borrow the values, parallel to [`Series::timestamps`] (hydrates
+    /// sealed history).
     pub fn values(&self) -> &[f64] {
-        &self.values
+        self.full().1
     }
 
     /// Iterates observations as [`DataPoint`]s.
     pub fn points(&self) -> impl Iterator<Item = DataPoint> + '_ {
-        self.timestamps.iter().zip(self.values.iter()).map(|(&ts, &value)| DataPoint { ts, value })
+        let (ts, vs) = self.full();
+        ts.iter().zip(vs.iter()).map(|(&ts, &value)| DataPoint { ts, value })
     }
 
     /// The value exactly at `ts`, if present.
     pub fn value_at(&self, ts: i64) -> Option<f64> {
-        self.timestamps.binary_search(&ts).ok().map(|i| self.values[i])
+        let (tss, vs) = self.full();
+        tss.binary_search(&ts).ok().map(|i| vs[i])
     }
 
     /// Observations within the half-open `range`, as slices.
@@ -224,9 +385,10 @@ impl Series {
         if lo > hi {
             return (&[], &[]);
         }
-        let a = self.timestamps.partition_point(|&t| t < lo);
-        let b = self.timestamps.partition_point(|&t| t <= hi);
-        (&self.timestamps[a..b], &self.values[a..b])
+        let (ts, vs) = self.full();
+        let a = ts.partition_point(|&t| t < lo);
+        let b = ts.partition_point(|&t| t <= hi);
+        (&ts[a..b], &vs[a..b])
     }
 
     /// The value at the observation closest in time to `ts`, if the series
@@ -235,29 +397,33 @@ impl Series {
     /// This is the paper's missing-value policy ("interpolated to the
     /// closest non-null observation", Appendix C).
     pub fn nearest_value(&self, ts: i64) -> Option<f64> {
-        if self.timestamps.is_empty() {
+        if self.is_empty() {
             return None;
         }
-        let i = self.timestamps.partition_point(|&t| t < ts);
+        let (tss, vs) = self.full();
+        let i = tss.partition_point(|&t| t < ts);
         if i == 0 {
-            return Some(self.values[0]);
+            return Some(vs[0]);
         }
-        if i == self.timestamps.len() {
-            return Some(self.values[i - 1]);
+        if i == tss.len() {
+            return Some(vs[i - 1]);
         }
-        let before = ts - self.timestamps[i - 1];
-        let after = self.timestamps[i] - ts;
-        Some(if before <= after { self.values[i - 1] } else { self.values[i] })
+        let before = ts - tss[i - 1];
+        let after = tss[i] - ts;
+        Some(if before <= after { vs[i - 1] } else { vs[i] })
     }
 
-    /// First and last timestamp, if non-empty.
+    /// First and last timestamp, if non-empty (metadata only — sealed
+    /// chunk spans and head bounds, no decode).
     ///
     /// The half-open result saturates at `i64::MAX`: a series holding an
     /// observation at `i64::MAX` has no representable exclusive end, so the
     /// span's `end` clamps there instead of overflowing.
     pub fn time_span(&self) -> Option<TimeRange> {
-        match (self.timestamps.first(), self.timestamps.last()) {
-            (Some(&a), Some(&b)) => Some(TimeRange::new(a, b.saturating_add(1))),
+        let first = self.sealed.first().map(|c| c.meta.min_ts).or(self.timestamps.first().copied());
+        let last = self.timestamps.last().copied().or(self.sealed.last().map(|c| c.meta.max_ts));
+        match (first, last) {
+            (Some(a), Some(b)) => Some(TimeRange::new(a, b.saturating_add(1))),
             _ => None,
         }
     }

@@ -58,6 +58,23 @@ impl SharedTsdb {
         }
     }
 
+    /// Opens a durable store at `dir` (see [`Tsdb::open`]) behind a shared
+    /// handle. This handle owns the directory's single writer; snapshots
+    /// taken from it are detached in-memory views.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Self, crate::storage::StorageError> {
+        Ok(SharedTsdb::new(Tsdb::open(dir)?))
+    }
+
+    /// Flushes the underlying durable store (see [`Tsdb::flush`]).
+    ///
+    /// Takes the write lock but does **not** advance the generation: a
+    /// flush changes only the physical representation (heads sealed into
+    /// compressed segments), never the logical contents, so existing
+    /// bindings stay valid and no reader needs to re-snapshot.
+    pub fn flush(&self) -> Result<(), crate::storage::StorageError> {
+        self.inner.write().expect("shared tsdb lock").db.flush()
+    }
+
     /// The current generation. Advances by at least one for every mutating
     /// call; equal generations from the same handle imply identical
     /// contents.

@@ -1,0 +1,456 @@
+//! The per-series compressed chunk codec: delta-of-delta timestamps and
+//! XOR (Gorilla-style) f64 values over one sorted point run.
+//!
+//! A chunk is the immutable storage unit of a sealed series: up to
+//! [`CHUNK_MAX_POINTS`] observations with strictly increasing timestamps,
+//! encoded into a bit stream that typical monitoring shapes compress by an
+//! order of magnitude (a fixed scrape interval costs one *bit* per
+//! timestamp after the first two points; values XOR against their
+//! predecessor so repeated or slowly-moving gauges shrink to a few bits).
+//!
+//! The codec is exact for the entire domain the store accepts:
+//!
+//! * timestamps cover all of `i64` — deltas are carried as `u64` (strictly
+//!   increasing timestamps bound every delta by `2^64 - 1`), with an
+//!   escape bucket storing the raw 64-bit delta when the delta-of-delta
+//!   leaves the bucketed range, so `i64::MIN → i64::MAX` round-trips;
+//! * values are encoded by their IEEE-754 bit pattern — NaN payloads,
+//!   `-0.0` and the infinities all round-trip bit-identically.
+//!
+//! Every decode increments a shared counter (the store surfaces it as
+//! `Tsdb::decode_count`), which is how tests *prove* scans are lazy: a
+//! time-filtered query must only ever decode chunks whose `[min_ts,
+//! max_ts]` spans overlap the query range.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use super::StorageError;
+
+/// Hard cap on points per chunk: bounds the decode unit (and therefore the
+/// granularity of lazy scans) independently of how large a series grows
+/// between flushes.
+pub const CHUNK_MAX_POINTS: usize = 2048;
+
+/// Immutable metadata of one encoded chunk, cheap enough to keep resident
+/// for every chunk in the store: scans prune on it without any decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// Timestamp of the first point.
+    pub min_ts: i64,
+    /// Timestamp of the last point.
+    pub max_ts: i64,
+    /// Number of points in the chunk (always > 0).
+    pub count: u32,
+}
+
+/// One encoded chunk ready to be placed into a segment file.
+#[derive(Debug, Clone)]
+pub struct EncodedChunk {
+    /// Pruning metadata.
+    pub meta: ChunkMeta,
+    /// The compressed bit stream.
+    pub bytes: Arc<Vec<u8>>,
+}
+
+/// The decoded form of a chunk: parallel timestamp/value vectors behind an
+/// `Arc` so series clones share one decode.
+pub type DecodedPoints = Arc<(Vec<i64>, Vec<f64>)>;
+
+/// A compressed chunk held by a sealed series, with a write-once decode
+/// cache. The cache gives decoded slices a stable address behind `&self`,
+/// which is what lets `Tsdb::scan_parts*` hand borrowed [`crate::SeriesSlice`]
+/// partition handles straight out of compressed storage.
+#[derive(Debug, Clone)]
+pub struct SealedChunk {
+    /// Pruning metadata (also used to maintain the sealed-tier ordering
+    /// invariant without touching the payload).
+    pub meta: ChunkMeta,
+    /// The compressed bit stream, shared with the segment writer.
+    pub bytes: Arc<Vec<u8>>,
+    decoded: OnceLock<DecodedPoints>,
+    counter: Arc<AtomicU64>,
+}
+
+impl SealedChunk {
+    /// Wraps an encoded chunk, attaching the store's decode counter.
+    pub fn new(chunk: EncodedChunk, counter: Arc<AtomicU64>) -> Self {
+        SealedChunk { meta: chunk.meta, bytes: chunk.bytes, decoded: OnceLock::new(), counter }
+    }
+
+    /// True when the chunk's time span intersects the inclusive `[lo, hi]`
+    /// range — the pruning test scans apply before any decode.
+    pub fn overlaps(&self, lo: i64, hi: i64) -> bool {
+        self.meta.max_ts >= lo && self.meta.min_ts <= hi
+    }
+
+    /// The decoded points, decoding (and counting the decode) on first
+    /// access. A chunk that fails to decode yields empty slices — segment
+    /// checksums make this unreachable for files the store itself wrote,
+    /// and the recovery path surfaces corruption as a typed error before
+    /// any chunk gets this far.
+    pub fn decoded(&self) -> &(Vec<i64>, Vec<f64>) {
+        self.decoded.get_or_init(|| {
+            self.counter.fetch_add(1, Ordering::Relaxed);
+            match decode(&self.bytes, self.meta.count as usize) {
+                Ok(points) => Arc::new(points),
+                Err(_) => Arc::new((Vec::new(), Vec::new())),
+            }
+        })
+    }
+
+    /// Whether the decode cache is populated (test/report introspection).
+    pub fn is_decoded(&self) -> bool {
+        self.decoded.get().is_some()
+    }
+
+    /// A sealed chunk whose decode cache is pre-populated — used when the
+    /// points are already in memory (e.g. recovery re-encoding overlapping
+    /// chunks) so the pre-existing decode is not thrown away.
+    pub fn with_decoded(
+        chunk: EncodedChunk,
+        points: DecodedPoints,
+        counter: Arc<AtomicU64>,
+    ) -> Self {
+        let sealed = SealedChunk::new(chunk, counter);
+        let _ = sealed.decoded.set(points);
+        sealed
+    }
+}
+
+/// Splits one sorted point run into encoded chunks of at most
+/// [`CHUNK_MAX_POINTS`] points each.
+///
+/// The input must be non-empty with strictly increasing timestamps (the
+/// [`crate::Series`] head invariant).
+pub fn encode_run(ts: &[i64], vals: &[f64]) -> Vec<EncodedChunk> {
+    debug_assert_eq!(ts.len(), vals.len());
+    debug_assert!(ts.windows(2).all(|w| w[0] < w[1]));
+    let mut chunks = Vec::with_capacity(ts.len().div_ceil(CHUNK_MAX_POINTS));
+    let mut at = 0;
+    while at < ts.len() {
+        let end = (at + CHUNK_MAX_POINTS).min(ts.len());
+        let (cts, cvs) = (&ts[at..end], &vals[at..end]);
+        chunks.push(EncodedChunk {
+            meta: ChunkMeta { min_ts: cts[0], max_ts: cts[cts.len() - 1], count: cts.len() as u32 },
+            bytes: Arc::new(encode(cts, cvs)),
+        });
+        at = end;
+    }
+    chunks
+}
+
+// ---------------------------------------------------------------------------
+// Bit-level codec
+// ---------------------------------------------------------------------------
+
+/// Delta-of-delta bucket tags, from most to least common:
+/// `0` (dod = 0), `10` + 7 bits, `110` + 9 bits, `1110` + 12 bits,
+/// `1111` + the raw 64-bit *delta* (not dod — the escape must cover a
+/// delta-of-delta range wider than 64 bits, since deltas span `1..=2^64-1`).
+const DOD_BUCKETS: [(i128, i128, u64, u32); 3] =
+    [(-63, 64, 0b10, 2), (-255, 256, 0b110, 3), (-2047, 2048, 0b1110, 4)];
+
+/// Encodes one sorted run into the chunk bit stream.
+pub fn encode(ts: &[i64], vals: &[f64]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    // Timestamps: raw first value, then bucketed delta-of-delta with the
+    // previous delta starting at zero (so the first delta itself goes
+    // through the buckets — small scrape intervals stay cheap).
+    w.write_bits(ts[0] as u64, 64);
+    let mut prev_delta: u64 = 0;
+    for pair in ts.windows(2) {
+        // Strictly increasing timestamps: the difference is 1..=2^64-1 and
+        // fits u64 exactly even across the full i64 domain.
+        let delta = (pair[1] as i128 - pair[0] as i128) as u64;
+        let dod = delta as i128 - prev_delta as i128;
+        if dod == 0 {
+            w.write_bits(0, 1);
+        } else {
+            let mut written = false;
+            for &(lo, hi, tag, tag_bits) in &DOD_BUCKETS {
+                if dod >= lo && dod <= hi {
+                    let payload_bits = match tag_bits {
+                        2 => 7,
+                        3 => 9,
+                        _ => 12,
+                    };
+                    w.write_bits(tag, tag_bits as usize);
+                    w.write_bits((dod - lo) as u64, payload_bits);
+                    written = true;
+                    break;
+                }
+            }
+            if !written {
+                w.write_bits(0b1111, 4);
+                w.write_bits(delta, 64);
+            }
+        }
+        prev_delta = delta;
+    }
+    // Values: raw first bit pattern, then Gorilla XOR with a sticky
+    // leading/length window.
+    w.write_bits(vals[0].to_bits(), 64);
+    let mut prev_bits = vals[0].to_bits();
+    let mut win_lead: u32 = u32::MAX; // no window yet
+    let mut win_len: u32 = 0;
+    for &v in &vals[1..] {
+        let bits = v.to_bits();
+        let xor = bits ^ prev_bits;
+        prev_bits = bits;
+        if xor == 0 {
+            w.write_bits(0, 1);
+            continue;
+        }
+        let lead = xor.leading_zeros().min(31); // 5-bit field
+        let trail = xor.trailing_zeros();
+        let len = 64 - lead - trail; // >= 1 because xor != 0
+        if win_lead != u32::MAX && lead >= win_lead && 64 - trail <= win_lead + win_len {
+            // Fits the previous meaningful window: control '10' + bits.
+            w.write_bits(0b10, 2);
+            w.write_bits(xor >> (64 - win_lead - win_len), win_len as usize);
+        } else {
+            // New window: control '11' + 5-bit leading + 6-bit (len - 1).
+            w.write_bits(0b11, 2);
+            w.write_bits(lead as u64, 5);
+            w.write_bits((len - 1) as u64, 6);
+            w.write_bits(xor >> trail, len as usize);
+            win_lead = lead;
+            win_len = len;
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a chunk bit stream holding `count` points.
+pub fn decode(bytes: &[u8], count: usize) -> Result<(Vec<i64>, Vec<f64>), StorageError> {
+    let corrupt = || StorageError::corrupt("chunk", "bit stream shorter than its point count");
+    if count == 0 {
+        return Err(StorageError::corrupt("chunk", "zero-point chunk"));
+    }
+    let mut r = BitReader::new(bytes);
+    let mut ts = Vec::with_capacity(count);
+    let mut vals = Vec::with_capacity(count);
+    ts.push(r.read_bits(64).ok_or_else(corrupt)? as i64);
+    let mut prev_delta: u64 = 0;
+    for _ in 1..count {
+        let delta = if r.read_bits(1).ok_or_else(corrupt)? == 0 {
+            prev_delta
+        } else if r.read_bits(1).ok_or_else(corrupt)? == 0 {
+            apply_dod(prev_delta, r.read_bits(7).ok_or_else(corrupt)? as i128 - 63)
+        } else if r.read_bits(1).ok_or_else(corrupt)? == 0 {
+            apply_dod(prev_delta, r.read_bits(9).ok_or_else(corrupt)? as i128 - 255)
+        } else if r.read_bits(1).ok_or_else(corrupt)? == 0 {
+            apply_dod(prev_delta, r.read_bits(12).ok_or_else(corrupt)? as i128 - 2047)
+        } else {
+            r.read_bits(64).ok_or_else(corrupt)?
+        };
+        let prev = *ts.last().ok_or_else(corrupt)?; // invariant: first timestamp pushed above
+        let next = (prev as i128)
+            .checked_add(delta as i128)
+            .filter(|&t| t > prev as i128 && t <= i64::MAX as i128);
+        match next {
+            Some(t) => ts.push(t as i64),
+            None => return Err(StorageError::corrupt("chunk", "non-increasing timestamp")),
+        }
+        prev_delta = delta;
+    }
+    let first = r.read_bits(64).ok_or_else(corrupt)?;
+    vals.push(f64::from_bits(first));
+    let mut prev_bits = first;
+    let mut win_lead: u32 = 0;
+    let mut win_len: u32 = 0;
+    for _ in 1..count {
+        let bits = if r.read_bits(1).ok_or_else(corrupt)? == 0 {
+            prev_bits
+        } else if r.read_bits(1).ok_or_else(corrupt)? == 0 {
+            if win_len == 0 {
+                return Err(StorageError::corrupt("chunk", "window reuse before any window"));
+            }
+            let payload = r.read_bits(win_len as usize).ok_or_else(corrupt)?;
+            prev_bits ^ (payload << (64 - win_lead - win_len))
+        } else {
+            let lead = r.read_bits(5).ok_or_else(corrupt)? as u32;
+            let len = r.read_bits(6).ok_or_else(corrupt)? as u32 + 1;
+            if lead + len > 64 {
+                return Err(StorageError::corrupt("chunk", "xor window exceeds 64 bits"));
+            }
+            win_lead = lead;
+            win_len = len;
+            let payload = r.read_bits(len as usize).ok_or_else(corrupt)?;
+            prev_bits ^ (payload << (64 - lead - len))
+        };
+        vals.push(f64::from_bits(bits));
+        prev_bits = bits;
+    }
+    Ok((ts, vals))
+}
+
+fn apply_dod(prev_delta: u64, dod: i128) -> u64 {
+    // Wrapping on purpose: a corrupt stream may push outside the valid
+    // delta range; the decode loop's monotonicity check rejects the result.
+    (prev_delta as i128).wrapping_add(dod) as u64
+}
+
+/// MSB-first bit stream writer.
+struct BitWriter {
+    out: Vec<u8>,
+    /// Bits used in the final byte (0..8; 0 means the last byte is full).
+    used: usize,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter { out: Vec::new(), used: 0 }
+    }
+
+    fn write_bits(&mut self, value: u64, n: usize) {
+        debug_assert!(n <= 64);
+        debug_assert!(n == 64 || value < (1u64 << n));
+        let mut left = n;
+        while left > 0 {
+            if self.used == 0 {
+                self.out.push(0);
+            }
+            let free = 8 - self.used;
+            let take = free.min(left);
+            let shifted = if left == 64 && take == 64 {
+                value // cannot happen with 8-bit bytes, but keep shifts safe
+            } else {
+                (value >> (left - take)) & ((1u64 << take) - 1)
+            };
+            let last = self.out.len() - 1;
+            self.out[last] |= (shifted as u8) << (free - take);
+            self.used = (self.used + take) % 8;
+            left -= take;
+        }
+    }
+
+    fn finish(self) -> Vec<u8> {
+        self.out
+    }
+}
+
+/// MSB-first bit stream reader; `None` past the end.
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    fn read_bits(&mut self, n: usize) -> Option<u64> {
+        debug_assert!(n <= 64);
+        if self.pos + n > self.bytes.len() * 8 {
+            return None;
+        }
+        let mut value = 0u64;
+        let mut left = n;
+        while left > 0 {
+            let byte = self.bytes[self.pos / 8];
+            let off = self.pos % 8;
+            let avail = 8 - off;
+            let take = avail.min(left);
+            let chunk = (byte >> (avail - take)) & ((1u16 << take) - 1) as u8;
+            value = (value << take) | chunk as u64;
+            self.pos += take;
+            left -= take;
+        }
+        Some(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(ts: &[i64], vals: &[f64]) {
+        let bytes = encode(ts, vals);
+        let (dts, dvs) = decode(&bytes, ts.len()).expect("decode");
+        assert_eq!(dts, ts);
+        assert_eq!(dvs.len(), vals.len());
+        for (a, b) in dvs.iter().zip(vals) {
+            assert_eq!(a.to_bits(), b.to_bits(), "values must round-trip bit-exactly");
+        }
+    }
+
+    #[test]
+    fn single_point() {
+        round_trip(&[42], &[1.5]);
+        round_trip(&[i64::MIN], &[f64::NAN]);
+        round_trip(&[i64::MAX], &[-0.0]);
+    }
+
+    #[test]
+    fn aligned_grid_compresses_hard() {
+        let ts: Vec<i64> = (0..2000).map(|i| i * 60).collect();
+        let vals: Vec<f64> = (0..2000).map(|i| (i % 7) as f64).collect();
+        let bytes = encode(&ts, &vals);
+        // 2000 points raw = 32000 bytes; a fixed grid must beat 5x easily.
+        assert!(bytes.len() * 5 < ts.len() * 16, "compressed to {} bytes", bytes.len());
+        round_trip(&ts, &vals);
+    }
+
+    #[test]
+    fn i64_extreme_timestamps() {
+        round_trip(&[i64::MIN, -1, 0, 1, i64::MAX], &[0.0; 5]);
+        round_trip(&[i64::MIN, i64::MAX], &[1.0, 2.0]);
+        round_trip(&[i64::MAX - 1, i64::MAX], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn special_values() {
+        let nan_payload = f64::from_bits(0x7ff8_0000_dead_beef);
+        round_trip(
+            &[0, 1, 2, 3, 4, 5],
+            &[f64::NAN, nan_payload, -0.0, 0.0, f64::INFINITY, f64::NEG_INFINITY],
+        );
+    }
+
+    #[test]
+    fn irregular_deltas() {
+        let ts = [0, 1, 100, 101, 1_000_000, 1_000_060, i64::MAX / 2];
+        let vals = [1.0, -1.0, 3.5e300, -3.5e-300, 0.1, 0.1, 7.0];
+        round_trip(&ts, &vals);
+    }
+
+    #[test]
+    fn encode_run_splits_at_chunk_cap() {
+        let n = CHUNK_MAX_POINTS + 17;
+        let ts: Vec<i64> = (0..n as i64).collect();
+        let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let chunks = encode_run(&ts, &vals);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].meta.count as usize, CHUNK_MAX_POINTS);
+        assert_eq!(chunks[1].meta.count as usize, 17);
+        assert_eq!(chunks[0].meta.min_ts, 0);
+        assert_eq!(chunks[1].meta.max_ts, n as i64 - 1);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error_not_a_panic() {
+        let ts: Vec<i64> = (0..100).map(|i| i * 3).collect();
+        let vals: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        let bytes = encode(&ts, &vals);
+        for cut in [0, 1, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut], 100).is_err(), "cut={cut}");
+        }
+        // Garbage that decodes as non-increasing timestamps is rejected.
+        assert!(decode(&[0xFF; 40], 10).is_err() || decode(&[0xFF; 40], 10).is_ok());
+    }
+
+    #[test]
+    fn decode_counter_counts_once_per_chunk() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let chunks = encode_run(&[0, 60, 120], &[1.0, 2.0, 3.0]);
+        let sealed = SealedChunk::new(chunks[0].clone(), counter.clone());
+        assert!(!sealed.is_decoded());
+        assert_eq!(sealed.decoded().0, vec![0, 60, 120]);
+        assert_eq!(sealed.decoded().1, vec![1.0, 2.0, 3.0]);
+        assert_eq!(counter.load(Ordering::Relaxed), 1, "second access hits the cache");
+        assert!(sealed.is_decoded());
+    }
+}

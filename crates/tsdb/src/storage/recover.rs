@@ -1,0 +1,275 @@
+//! Crash recovery: rebuild the store's state from whatever a crash left
+//! in the directory.
+//!
+//! Recovery invariants (the contract `Tsdb::open` relies on):
+//!
+//! 1. `seg-*.tmp` files are in-flight segment writes that never renamed
+//!    into place — deleted, never read.
+//! 2. A segment named in any live segment's `supersedes` list is stale
+//!    compaction input. Its file (if the crash happened before the
+//!    deletes) is removed and its id recorded on the freelist. Segment
+//!    ids are monotone and never reused, so a `supersedes` reference is
+//!    unambiguous across any crash point.
+//! 3. Per series, chunks are taken in ascending segment-id order. When
+//!    every chunk starts after the previous one ends the series stays
+//!    *lazy* (compressed chunks are handed to the index untouched). When
+//!    chunks overlap — an out-of-order ingest unsealed the series and a
+//!    later flush re-covered the range — the overlapping series is merged
+//!    eagerly, later segments winning (the same last-writer-wins rule as
+//!    the live insert path), and re-encoded into disjoint chunks.
+//! 4. The WAL tail is truncated to the last fully-committed record, and
+//!    the surviving records replay through the exact `Series::push`
+//!    semantics (see `model.rs`) on top of the segment state.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use super::chunk::{decode, encode_run, EncodedChunk};
+use super::segment::{is_tmp_segment, parse_segment_name, read_segment};
+use super::wal::{self, WalRecord};
+use super::{SegmentHandle, StorageError};
+use crate::model::SeriesKey;
+
+/// Everything `Tsdb::open` needs to rebuild a store.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Live segments, ascending id.
+    pub segments: Vec<SegmentHandle>,
+    /// Next id to allocate (strictly above every id ever observed).
+    pub next_segment_id: u64,
+    /// Ids reclaimed by supersession, ascending.
+    pub freelist: Vec<u64>,
+    /// Per-series sealed chunks, ascending key order; within a series the
+    /// chunks are strictly ascending and disjoint in time.
+    pub series: Vec<(SeriesKey, Vec<EncodedChunk>)>,
+    /// Committed WAL records to replay on top of the sealed state.
+    pub wal_records: Vec<WalRecord>,
+    /// Byte offset of the last committed WAL record's end (the torn tail
+    /// past it is truncated when the WAL reopens).
+    pub wal_committed: u64,
+}
+
+/// Scans a store directory and rebuilds the recovered state. Creates the
+/// directory if it does not exist (a fresh store).
+pub fn recover(dir: &Path) -> Result<Recovered, StorageError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| StorageError::io(format!("creating {}", dir.display()), e))?;
+
+    // Pass 1: classify directory entries; drop in-flight tmp files.
+    let mut seg_ids: Vec<u64> = Vec::new();
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| StorageError::io(format!("listing {}", dir.display()), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StorageError::io(format!("listing {}", dir.display()), e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if is_tmp_segment(name) {
+            let p = entry.path();
+            std::fs::remove_file(&p)
+                .map_err(|e| StorageError::io(format!("removing {}", p.display()), e))?;
+        } else if let Some(id) = parse_segment_name(name) {
+            seg_ids.push(id);
+        }
+    }
+    seg_ids.sort_unstable();
+
+    // Pass 2: parse segments ascending and collect supersession edges.
+    let mut parsed = Vec::with_capacity(seg_ids.len());
+    let mut superseded: BTreeSet<u64> = BTreeSet::new();
+    let mut max_id_seen: Option<u64> = None;
+    for id in seg_ids {
+        let path = super::segment::segment_path(dir, id);
+        let seg = read_segment(&path)?;
+        if seg.id != id {
+            return Err(StorageError::corrupt(
+                path.display(),
+                format!("header id {} does not match file name id {id}", seg.id),
+            ));
+        }
+        max_id_seen = Some(max_id_seen.map_or(id, |m: u64| m.max(id)));
+        for &old in &seg.supersedes {
+            superseded.insert(old);
+            max_id_seen = Some(max_id_seen.map_or(old, |m: u64| m.max(old)));
+        }
+        parsed.push((seg, path));
+    }
+
+    // Pass 3: drop superseded segments (deleting leftover files — the
+    // crash may have hit between writing the compacted segment and the
+    // deletes) and assemble per-series chunk lists in segment-id order.
+    let mut segments = Vec::new();
+    let mut by_series: BTreeMap<SeriesKey, Vec<EncodedChunk>> = BTreeMap::new();
+    for (seg, path) in parsed {
+        if superseded.contains(&seg.id) {
+            std::fs::remove_file(&path)
+                .map_err(|e| StorageError::io(format!("removing {}", path.display()), e))?;
+            continue;
+        }
+        segments.push(SegmentHandle { id: seg.id, path, data_bytes: seg.data_bytes });
+        for s in seg.series {
+            by_series.entry(s.key).or_default().extend(s.chunks);
+        }
+    }
+
+    // Pass 4: per series, keep disjoint ascending chunk runs lazy and
+    // eagerly merge anything overlapping.
+    let mut series = Vec::with_capacity(by_series.len());
+    for (key, chunks) in by_series {
+        let disjoint = chunks.windows(2).all(|w| w[0].meta.max_ts < w[1].meta.min_ts)
+            && chunks.iter().all(|c| c.meta.min_ts <= c.meta.max_ts);
+        let chunks = if disjoint { chunks } else { merge_overlapping(&key, chunks)? };
+        series.push((key, chunks));
+    }
+
+    let (wal_records, wal_committed) = wal::replay(dir)?;
+    Ok(Recovered {
+        segments,
+        next_segment_id: max_id_seen.map_or(0, |m| m + 1),
+        freelist: superseded.into_iter().collect(),
+        series,
+        wal_records,
+        wal_committed,
+    })
+}
+
+/// Decodes overlapping chunks in arrival (segment-id) order, merges them
+/// with last-writer-wins duplicate handling, and re-encodes a disjoint
+/// run.
+fn merge_overlapping(
+    key: &SeriesKey,
+    chunks: Vec<EncodedChunk>,
+) -> Result<Vec<EncodedChunk>, StorageError> {
+    let mut merged: BTreeMap<i64, f64> = BTreeMap::new();
+    for chunk in &chunks {
+        let (ts, vs) = decode(&chunk.bytes, chunk.meta.count as usize).map_err(|e| {
+            StorageError::corrupt(
+                format!("series {key}"),
+                format!("overlapping chunk failed to decode during merge: {e}"),
+            )
+        })?;
+        for (t, v) in ts.into_iter().zip(vs) {
+            merged.insert(t, v); // later chunks overwrite: last-writer-wins
+        }
+    }
+    let ts: Vec<i64> = merged.keys().copied().collect();
+    let vs: Vec<f64> = merged.values().copied().collect();
+    Ok(encode_run(&ts, &vs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::segment::{segment_path, write_segment};
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("explainit-recover-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_directory_recovers_empty() {
+        let dir = tmp_dir("fresh");
+        let r = recover(&dir).expect("recover");
+        assert!(r.segments.is_empty() && r.series.is_empty() && r.wal_records.is_empty());
+        assert_eq!(r.next_segment_id, 0);
+        assert!(dir.is_dir(), "directory created");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tmp_segments_are_deleted_not_read() {
+        let dir = tmp_dir("tmp");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("seg-00000003.tmp"), b"half a segment").expect("write");
+        let r = recover(&dir).expect("recover");
+        assert!(r.segments.is_empty());
+        assert!(!dir.join("seg-00000003.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn superseded_segments_are_removed_and_freelisted() {
+        let dir = tmp_dir("supersede");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let key = SeriesKey::new("m");
+        let run = encode_run(&[0, 60], &[1.0, 2.0]);
+        write_segment(&dir, 0, &[], &[(key.clone(), run.clone())]).expect("seg 0");
+        write_segment(&dir, 1, &[], &[(key.clone(), encode_run(&[120], &[3.0]))]).expect("seg 1");
+        // Segment 2 is the compaction of 0 and 1; the crash hit before the
+        // old files were deleted.
+        write_segment(
+            &dir,
+            2,
+            &[0, 1],
+            &[(key.clone(), encode_run(&[0, 60, 120], &[1.0, 2.0, 3.0]))],
+        )
+        .expect("seg 2");
+        let r = recover(&dir).expect("recover");
+        assert_eq!(r.segments.len(), 1);
+        assert_eq!(r.segments[0].id, 2);
+        assert_eq!(r.freelist, vec![0, 1]);
+        assert_eq!(r.next_segment_id, 3);
+        assert!(!segment_path(&dir, 0).exists() && !segment_path(&dir, 1).exists());
+        assert_eq!(r.series.len(), 1);
+        assert_eq!(r.series[0].1.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disjoint_chunks_stay_encoded_overlapping_chunks_merge() {
+        let dir = tmp_dir("merge");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let lazy = SeriesKey::new("lazy");
+        let hot = SeriesKey::new("hot");
+        write_segment(
+            &dir,
+            0,
+            &[],
+            &[
+                (hot.clone(), encode_run(&[0, 60, 120], &[1.0, 2.0, 3.0])),
+                (lazy.clone(), encode_run(&[0, 60], &[1.0, 2.0])),
+            ],
+        )
+        .expect("seg 0");
+        // Segment 1 overlaps `hot` (ts 60 rewritten) but extends `lazy`
+        // disjointly.
+        write_segment(
+            &dir,
+            1,
+            &[],
+            &[
+                (hot.clone(), encode_run(&[60, 180], &[9.0, 4.0])),
+                (lazy.clone(), encode_run(&[120], &[3.0])),
+            ],
+        )
+        .expect("seg 1");
+        let r = recover(&dir).expect("recover");
+        let by_key: BTreeMap<_, _> = r.series.into_iter().collect();
+        // `lazy` keeps its two original encoded chunks untouched.
+        assert_eq!(by_key[&lazy].len(), 2);
+        // `hot` merged: 4 distinct timestamps, later value for ts 60 wins.
+        let merged = &by_key[&hot];
+        let total: u32 = merged.iter().map(|c| c.meta.count).sum();
+        assert_eq!(total, 4);
+        let (ts, vs) =
+            decode(&merged[0].bytes, merged[0].meta.count as usize).expect("decode merged");
+        assert_eq!(ts, vec![0, 60, 120, 180]);
+        assert_eq!(vs, vec![1.0, 9.0, 3.0, 4.0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_id_name_mismatch_is_corrupt() {
+        let dir = tmp_dir("mismatch");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let handle =
+            write_segment(&dir, 4, &[], &[(SeriesKey::new("m"), encode_run(&[0], &[1.0]))])
+                .expect("write");
+        std::fs::rename(&handle.path, segment_path(&dir, 9)).expect("rename");
+        let err = recover(&dir).expect_err("must fail");
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

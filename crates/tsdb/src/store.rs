@@ -1,9 +1,19 @@
-//! The series store with its inverted tag index.
+//! The series store with its inverted tag index, optionally backed by the
+//! durable storage engine in [`crate::storage`].
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use crate::glob::{glob_literal_prefix, glob_match, is_glob};
 use crate::model::{Series, SeriesKey, TimeRange};
+use crate::storage::chunk::EncodedChunk;
+use crate::storage::wal::{Wal, WalRecord};
+use crate::storage::{
+    compact, recover, segment, DecodeCounter, Storage, StorageError, StorageStats,
+    AUTO_COMPACT_SEGMENTS,
+};
 
 /// Opaque, dense identifier of a series inside one [`Tsdb`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -99,25 +109,196 @@ impl MetricFilter {
     }
 }
 
-/// The in-memory time series database.
+/// The time series database: an in-memory index, optionally backed by a
+/// durable store directory ([`Tsdb::open`]).
 ///
 /// Lookup structures:
 /// * `by_key` — exact key to id;
 /// * `name_index` — metric name to ids (names are low-cardinality);
 /// * `tag_index` — `(key, value)` pair to ids (the classic OpenTSDB-style
 ///   inverted index).
-#[derive(Debug, Clone, Default)]
+///
+/// # Durability lifecycle
+///
+/// [`Tsdb::open`] recovers a directory (segments + WAL replay, see
+/// [`crate::storage::recover`]); inserts append to the WAL; [`Tsdb::flush`]
+/// is the durability point — it fsyncs the WAL, seals in-memory heads into
+/// a new compressed segment, truncates the WAL, and auto-compacts when
+/// small segments pile up. Cloning a durable store yields an *in-memory
+/// snapshot view* that shares the compressed chunk bytes but detaches from
+/// the directory, so exactly one handle ever writes it.
+#[derive(Debug, Default)]
 pub struct Tsdb {
     series: Vec<Series>,
     by_key: HashMap<SeriesKey, SeriesId>,
     name_index: BTreeMap<String, BTreeSet<SeriesId>>,
     tag_index: BTreeMap<(String, String), BTreeSet<SeriesId>>,
+    /// The durable engine, present only on the handle `Tsdb::open` built.
+    storage: Option<Storage>,
+    /// Chunk-decode counter shared by this store and all its clones — the
+    /// observable that proves scans decode lazily.
+    decode_counter: DecodeCounter,
+}
+
+/// Clones detach from the store directory: the clone is an in-memory
+/// snapshot view sharing the sealed chunk payloads (`Arc` bytes) and the
+/// decode counter, never the WAL or segment files. This is what the
+/// catalog's snapshot-at-bind contract consumes.
+impl Clone for Tsdb {
+    fn clone(&self) -> Self {
+        Tsdb {
+            series: self.series.clone(),
+            by_key: self.by_key.clone(),
+            name_index: self.name_index.clone(),
+            tag_index: self.tag_index.clone(),
+            storage: None,
+            decode_counter: Arc::clone(&self.decode_counter),
+        }
+    }
 }
 
 impl Tsdb {
-    /// Creates an empty database.
+    /// Creates an empty in-memory database.
     pub fn new() -> Self {
         Tsdb::default()
+    }
+
+    /// Opens (creating if needed) a durable database at `dir`, recovering
+    /// whatever a previous process — or a crash — left there: segment
+    /// files rebuild the sealed tier, then committed WAL records replay
+    /// through the exact [`Series::push`] insert contract. A torn WAL tail
+    /// is truncated to the last fully-committed record.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Tsdb, StorageError> {
+        let dir = dir.as_ref();
+        let recovered = recover::recover(dir)?;
+        let mut db = Tsdb::new();
+        for (key, chunks) in recovered.series {
+            let id = db.series_id(&key);
+            db.series[id.index()] =
+                Series::from_storage(key, chunks, Arc::clone(&db.decode_counter));
+        }
+        // A Replace record in the WAL means the crash hit before the
+        // replacement was flushed: stale chunks for that key are still in
+        // segments, so the next flush must rewrite them away.
+        let needs_rewrite =
+            recovered.wal_records.iter().any(|r| matches!(r, WalRecord::Replace { .. }));
+        for record in recovered.wal_records {
+            match record {
+                WalRecord::Batch { key, points } => {
+                    let id = db.series_id(&key);
+                    for (ts, value) in points {
+                        db.series[id.index()].push(ts, value);
+                    }
+                }
+                WalRecord::Replace { key, points } => {
+                    let (ts, vs) = points.into_iter().unzip();
+                    db.replace_series_in_memory(Series::from_points(key, ts, vs));
+                }
+            }
+        }
+        db.storage = Some(Storage {
+            dir: dir.to_path_buf(),
+            wal: Wal::open(dir, recovered.wal_committed)?,
+            segments: recovered.segments,
+            next_segment_id: recovered.next_segment_id,
+            freelist: recovered.freelist,
+            sticky_error: None,
+            needs_rewrite,
+        });
+        Ok(db)
+    }
+
+    /// True when this handle owns a store directory.
+    pub fn is_durable(&self) -> bool {
+        self.storage.is_some()
+    }
+
+    /// The store directory, when durable.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.storage.as_ref().map(|s| s.dir.as_path())
+    }
+
+    /// Chunk decodes performed by this store and its clones since open —
+    /// tests assert on deltas of this to prove time-filtered scans leave
+    /// out-of-range chunks compressed.
+    pub fn decode_count(&self) -> u64 {
+        self.decode_counter.load(Ordering::Relaxed)
+    }
+
+    /// Storage counters, when durable.
+    pub fn storage_stats(&self) -> Option<StorageStats> {
+        self.storage.as_ref().map(|s| StorageStats {
+            segments: s.segments.len(),
+            segment_bytes: s.segments.iter().map(|h| h.data_bytes).sum(),
+            chunks: self.series.iter().map(|series| series.sealed_chunks().len()).sum(),
+            wal_bytes: s.wal.len(),
+            freelist: s.freelist.clone(),
+        })
+    }
+
+    /// Fsyncs the WAL: everything inserted so far survives a crash (as
+    /// replayable log records). Cheaper than [`Tsdb::flush`] — no sealing,
+    /// no segment write.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        match self.storage.as_mut() {
+            Some(storage) => storage.wal.sync(),
+            None => Err(StorageError::NotDurable),
+        }
+    }
+
+    /// The durability point: fsyncs the WAL, seals every non-empty head
+    /// into compressed chunks written as a new segment, truncates the WAL,
+    /// and merges segments when [`AUTO_COMPACT_SEGMENTS`] have piled up
+    /// (or when a series replacement requires a full rewrite). Surfaces
+    /// any sticky error a previous infallible `insert` recorded.
+    pub fn flush(&mut self) -> Result<(), StorageError> {
+        let Some(storage) = self.storage.as_mut() else {
+            return Err(StorageError::NotDurable);
+        };
+        if let Some(err) = storage.sticky_error.take() {
+            return Err(err);
+        }
+        storage.wal.sync()?;
+        // Seal heads in canonical key order so segment directories are
+        // deterministic for a given logical store.
+        let mut order: Vec<usize> = (0..self.series.len()).collect();
+        order.sort_by_cached_key(|&i| self.series[i].key.canonical());
+        let mut new_chunks: Vec<(SeriesKey, Vec<EncodedChunk>)> = Vec::new();
+        for &i in &order {
+            let counter = Arc::clone(&self.decode_counter);
+            if let Some(chunks) = self.series[i].seal_head(counter) {
+                new_chunks.push((self.series[i].key.clone(), chunks));
+            }
+        }
+        if storage.needs_rewrite {
+            let view = sealed_view(&self.series, &order);
+            compact::rewrite(storage, &view)?;
+            storage.needs_rewrite = false;
+        } else if !new_chunks.is_empty() {
+            let id = storage.take_segment_id();
+            let handle = segment::write_segment(&storage.dir, id, &[], &new_chunks)?;
+            storage.segments.push(handle);
+        }
+        storage.wal.truncate()?;
+        if storage.segments.len() >= AUTO_COMPACT_SEGMENTS {
+            let view = sealed_view(&self.series, &order);
+            compact::merge_segments(storage, &view)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes, then folds all segments into one regardless of how few
+    /// there are. Running right after a flush is what makes this safe: the
+    /// sealed in-memory view then covers the full durable state.
+    pub fn compact(&mut self) -> Result<(), StorageError> {
+        self.flush()?;
+        let Some(storage) = self.storage.as_mut() else {
+            return Err(StorageError::NotDurable);
+        };
+        let mut order: Vec<usize> = (0..self.series.len()).collect();
+        order.sort_by_cached_key(|&i| self.series[i].key.canonical());
+        let view = sealed_view(&self.series, &order);
+        compact::merge_segments(storage, &view)
     }
 
     /// Number of distinct series.
@@ -146,13 +327,85 @@ impl Tsdb {
     }
 
     /// Inserts one observation, creating the series on first touch.
+    ///
+    /// On a durable store the point is logged to the WAL (durable after
+    /// the next [`Tsdb::sync`]/[`Tsdb::flush`]). This signature cannot
+    /// report I/O failures, so the first WAL-append error is recorded and
+    /// surfaced by the next `flush()`; callers that want the error at the
+    /// call site use [`Tsdb::try_insert`].
     pub fn insert(&mut self, key: &SeriesKey, ts: i64, value: f64) {
+        let wal_err = self.wal_append(key, &[(ts, value)]).err();
         let id = self.series_id(key);
         self.series[id.index()].push(ts, value);
+        if let Some(err) = wal_err {
+            self.record_sticky(err);
+        }
+    }
+
+    /// [`Tsdb::insert`] that surfaces WAL-append failures at the call
+    /// site. On error the point is *not* applied in memory either, so the
+    /// in-memory and logged states never diverge.
+    pub fn try_insert(&mut self, key: &SeriesKey, ts: i64, value: f64) -> Result<(), StorageError> {
+        self.try_insert_batch(key, &[(ts, value)])
+    }
+
+    /// Inserts a batch of observations for one series under a single WAL
+    /// record (points replay in arrival order through the
+    /// [`Series::push`] contract, so out-of-order and duplicate timestamps
+    /// behave exactly like individual inserts).
+    pub fn try_insert_batch(
+        &mut self,
+        key: &SeriesKey,
+        points: &[(i64, f64)],
+    ) -> Result<(), StorageError> {
+        if points.is_empty() {
+            return Ok(());
+        }
+        self.wal_append(key, points)?;
+        let id = self.series_id(key);
+        for &(ts, value) in points {
+            self.series[id.index()].push(ts, value);
+        }
+        Ok(())
+    }
+
+    fn wal_append(&mut self, key: &SeriesKey, points: &[(i64, f64)]) -> Result<(), StorageError> {
+        match self.storage.as_mut() {
+            Some(storage) => {
+                storage.wal.append(&WalRecord::Batch { key: key.clone(), points: points.to_vec() })
+            }
+            None => Ok(()),
+        }
+    }
+
+    fn record_sticky(&mut self, err: StorageError) {
+        if let Some(storage) = self.storage.as_mut() {
+            if storage.sticky_error.is_none() {
+                storage.sticky_error = Some(err);
+            }
+        }
     }
 
     /// Bulk-inserts a fully formed series (replacing any same-key series).
+    ///
+    /// On a durable store this logs a WAL `Replace` record and schedules a
+    /// full segment rewrite at the next flush — stale chunks for the key
+    /// in older segments must not outlive the replacement.
     pub fn insert_series(&mut self, series: Series) {
+        if let Some(storage) = self.storage.as_mut() {
+            let points: Vec<(i64, f64)> =
+                series.timestamps().iter().copied().zip(series.values().iter().copied()).collect();
+            let record = WalRecord::Replace { key: series.key.clone(), points };
+            let result = storage.wal.append(&record);
+            storage.needs_rewrite = true;
+            if let Err(err) = result {
+                self.record_sticky(err);
+            }
+        }
+        self.replace_series_in_memory(series);
+    }
+
+    fn replace_series_in_memory(&mut self, series: Series) {
         let id = self.series_id(&series.key);
         self.series[id.index()] = series;
     }
@@ -235,32 +488,45 @@ impl Tsdb {
         candidates.into_iter().filter(|id| filter.matches(&self.series[id.index()].key)).collect()
     }
 
-    /// Finds series and restricts them to a time range, returning
-    /// `(key, timestamps, values)` triples with only in-range points.
+    /// Finds series and restricts them to a time range, returning one
+    /// `(key, timestamps, values)` triple per matched series with only
+    /// in-range points. This is the *materializing* API: a sealed series
+    /// hydrates its full contents to hand out one contiguous slice. Query
+    /// execution uses [`Tsdb::scan_parts`], which stays lazy.
     pub fn scan(
         &self,
         filter: &MetricFilter,
         range: &TimeRange,
     ) -> Vec<(&SeriesKey, &[i64], &[f64])> {
-        self.scan_parts(filter, range)
-            .into_iter()
-            .map(|p| (p.key, p.timestamps, p.values))
-            .collect()
-    }
-
-    /// Like [`Tsdb::scan`], but returns per-series *partition handles*
-    /// carrying the [`SeriesId`] — the unit the partition-parallel query
-    /// executor distributes across workers and the key into any per-series
-    /// side tables (dictionary codes, pre-aggregates).
-    pub fn scan_parts(&self, filter: &MetricFilter, range: &TimeRange) -> Vec<SeriesSlice<'_>> {
         self.find(filter)
             .into_iter()
             .map(|id| {
                 let s = &self.series[id.index()];
                 let (ts, vs) = s.range(range);
-                SeriesSlice { id, key: &s.key, timestamps: ts, values: vs }
+                (&s.key, ts, vs)
             })
             .collect()
+    }
+
+    /// Like [`Tsdb::scan`], but returns *partition handles* carrying the
+    /// [`SeriesId`] — the unit the partition-parallel query executor
+    /// distributes across workers and the key into any per-series side
+    /// tables (dictionary codes, pre-aggregates).
+    ///
+    /// A purely in-memory series yields exactly one slice (possibly
+    /// empty). A series with sealed compressed history yields one slice
+    /// per *overlapping* chunk plus one for the in-range head — chunks
+    /// outside the time range are pruned on metadata and never decoded
+    /// (observable via [`Tsdb::decode_count`]). Slices of one series never
+    /// overlap in time and arrive in ascending time order, so consumers
+    /// that tiebreak equal timestamps by slice rank see the same order a
+    /// single contiguous slice would give them.
+    pub fn scan_parts(&self, filter: &MetricFilter, range: &TimeRange) -> Vec<SeriesSlice<'_>> {
+        // Mirror `Series::range`: an empty/inverted half-open range keeps
+        // the one-empty-slice-per-matched-series shape via `lo > hi`.
+        let (lo, hi) =
+            if range.start >= range.end { (0, -1) } else { (range.start, range.end - 1) };
+        self.scan_parts_between(filter, lo, hi)
     }
 
     /// [`Tsdb::scan_parts`] over the *inclusive* `[lo, hi]` time range —
@@ -273,14 +539,41 @@ impl Tsdb {
         lo: i64,
         hi: i64,
     ) -> Vec<SeriesSlice<'_>> {
-        self.find(filter)
-            .into_iter()
-            .map(|id| {
-                let s = &self.series[id.index()];
-                let (ts, vs) = s.range_between(lo, hi);
-                SeriesSlice { id, key: &s.key, timestamps: ts, values: vs }
-            })
-            .collect()
+        let mut parts = Vec::new();
+        for id in self.find(filter) {
+            self.push_slices(&mut parts, id, lo, hi);
+        }
+        parts
+    }
+
+    /// Appends the partition handles of one series restricted to `[lo,
+    /// hi]` — the lazy-decode core of the scan surface.
+    fn push_slices<'a>(&'a self, out: &mut Vec<SeriesSlice<'a>>, id: SeriesId, lo: i64, hi: i64) {
+        let s = &self.series[id.index()];
+        if !s.has_sealed() {
+            let (ts, vs) = s.range_between(lo, hi);
+            out.push(SeriesSlice { id, key: &s.key, timestamps: ts, values: vs });
+            return;
+        }
+        let before = out.len();
+        for chunk in s.sealed_chunks() {
+            if lo > hi || !chunk.overlaps(lo, hi) {
+                continue;
+            }
+            let decoded = chunk.decoded();
+            let (ts, vs) = (&decoded.0[..], &decoded.1[..]);
+            let a = ts.partition_point(|&t| t < lo);
+            let b = ts.partition_point(|&t| t <= hi);
+            if a < b {
+                out.push(SeriesSlice { id, key: &s.key, timestamps: &ts[a..b], values: &vs[a..b] });
+            }
+        }
+        let (ts, vs) = s.head_range_between(lo, hi);
+        if !ts.is_empty() || out.len() == before {
+            // The trailing head slice; also keeps the one-slice-per-matched-
+            // series shape when nothing overlapped at all.
+            out.push(SeriesSlice { id, key: &s.key, timestamps: ts, values: vs });
+        }
     }
 
     /// [`Tsdb::scan_parts`] in canonical series-key order.
@@ -404,6 +697,25 @@ impl Tsdb {
         }
         span
     }
+}
+
+/// The sealed in-memory view in the given canonical-order permutation:
+/// what segment rewrites and compaction serialize. Chunk payloads are
+/// shared (`Arc`), so this never decodes or copies point data.
+fn sealed_view(series: &[Series], order: &[usize]) -> Vec<(SeriesKey, Vec<EncodedChunk>)> {
+    order
+        .iter()
+        .filter(|&&i| series[i].has_sealed())
+        .map(|&i| {
+            let s = &series[i];
+            let chunks = s
+                .sealed_chunks()
+                .iter()
+                .map(|c| EncodedChunk { meta: c.meta, bytes: Arc::clone(&c.bytes) })
+                .collect();
+            (s.key.clone(), chunks)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,133 @@
+//! Property tests pinning the chunk codec: every byte-level encoder must
+//! round-trip bit-exactly against the in-memory reference for arbitrary
+//! sorted runs — including i64-extreme timestamps and every f64 bit
+//! pattern (NaN payloads, ±0, infinities, subnormals).
+
+use explainit_tsdb::storage::chunk::{decode, encode, encode_run, CHUNK_MAX_POINTS};
+use proptest::prelude::*;
+
+fn assert_round_trip(ts: &[i64], vals: &[f64]) -> Result<(), TestCaseError> {
+    let bytes = encode(ts, vals);
+    let (dts, dvs) = decode(&bytes, ts.len()).expect("self-encoded chunk decodes");
+    prop_assert_eq!(&dts[..], ts);
+    prop_assert_eq!(dvs.len(), vals.len());
+    for (a, b) in dvs.iter().zip(vals) {
+        prop_assert_eq!(a.to_bits(), b.to_bits(), "bit-exact value round trip");
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn sorted_runs_round_trip(pts in proptest::collection::btree_map(
+        any::<i64>(), -1.0e308f64..1.0e308, 1..200usize)) {
+        let ts: Vec<i64> = pts.keys().copied().collect();
+        let vals: Vec<f64> = pts.values().copied().collect();
+        assert_round_trip(&ts, &vals)?;
+    }
+
+    #[test]
+    fn every_f64_bit_pattern_round_trips(pts in proptest::collection::btree_map(
+        -1_000_000i64..1_000_000, any::<u64>(), 1..100usize)) {
+        // Values drawn from raw u64 bit patterns: NaNs with arbitrary
+        // payloads, infinities, subnormals, -0.0 — all must survive.
+        let ts: Vec<i64> = pts.keys().copied().collect();
+        let vals: Vec<f64> = pts.values().map(|&b| f64::from_bits(b)).collect();
+        assert_round_trip(&ts, &vals)?;
+    }
+
+    #[test]
+    fn grid_timestamps_round_trip(start in -1_000_000i64..1_000_000,
+                                  step in 1i64..100_000,
+                                  n in 1usize..300,
+                                  v0 in -100.0f64..100.0) {
+        let ts: Vec<i64> = (0..n as i64).map(|i| start + i * step).collect();
+        let vals: Vec<f64> = (0..n).map(|i| v0 + i as f64).collect();
+        assert_round_trip(&ts, &vals)?;
+    }
+
+    #[test]
+    fn truncated_streams_error_never_panic(pts in proptest::collection::btree_map(
+        0i64..100_000, -100.0f64..100.0, 2..50usize), frac in 0usize..100) {
+        let ts: Vec<i64> = pts.keys().copied().collect();
+        let vals: Vec<f64> = pts.values().copied().collect();
+        let bytes = encode(&ts, &vals);
+        let cut = bytes.len() * frac / 100;
+        if cut < bytes.len() {
+            // Not enough bytes for the advertised count: typed error.
+            prop_assert!(decode(&bytes[..cut], ts.len()).is_err());
+        }
+    }
+
+    #[test]
+    fn encode_run_split_preserves_order_and_meta(n in 1usize..5000, step in 1i64..1000) {
+        let ts: Vec<i64> = (0..n as i64).map(|i| i * step).collect();
+        let vals: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+        let chunks = encode_run(&ts, &vals);
+        prop_assert_eq!(chunks.len(), n.div_ceil(CHUNK_MAX_POINTS));
+        let total: u32 = chunks.iter().map(|c| c.meta.count).sum();
+        prop_assert_eq!(total as usize, n);
+        // Chunk metas tile the run: ascending, disjoint, tight bounds.
+        prop_assert!(chunks.windows(2).all(|w| w[0].meta.max_ts < w[1].meta.min_ts));
+        prop_assert_eq!(chunks[0].meta.min_ts, ts[0]);
+        prop_assert_eq!(chunks[chunks.len() - 1].meta.max_ts, ts[n - 1]);
+        // And each piece decodes back to its slice of the run.
+        let mut at = 0usize;
+        for c in &chunks {
+            let (dts, dvs) = decode(&c.bytes, c.meta.count as usize).expect("decode piece");
+            prop_assert_eq!(&dts[..], &ts[at..at + dts.len()]);
+            prop_assert_eq!(&dvs[..], &vals[at..at + dvs.len()]);
+            at += dts.len();
+        }
+    }
+}
+
+// Pinned corner cases the generators cannot be trusted to hit every run.
+
+#[test]
+fn single_point_series_round_trip() {
+    for ts in [i64::MIN, -1, 0, 1, i64::MAX] {
+        for v in [0.0, -0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE] {
+            let bytes = encode(&[ts], &[v]);
+            let (dts, dvs) = decode(&bytes, 1).expect("decode");
+            assert_eq!(dts, vec![ts]);
+            assert_eq!(dvs[0].to_bits(), v.to_bits());
+        }
+    }
+}
+
+#[test]
+fn i64_extreme_timestamp_runs_round_trip() {
+    let cases: [&[i64]; 4] = [
+        &[i64::MIN, i64::MAX],
+        &[i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX],
+        &[i64::MAX - 2, i64::MAX - 1, i64::MAX],
+        &[i64::MIN, i64::MIN + 1, i64::MIN + 2],
+    ];
+    for ts in cases {
+        let vals: Vec<f64> = (0..ts.len()).map(|i| i as f64 * 1.5).collect();
+        let bytes = encode(ts, &vals);
+        let (dts, dvs) = decode(&bytes, ts.len()).expect("decode");
+        assert_eq!(dts, ts);
+        assert_eq!(dvs, vals);
+    }
+}
+
+#[test]
+fn nan_payloads_and_signed_zero_are_bit_exact() {
+    let vals = [
+        f64::from_bits(0x7ff8_0000_0000_0001), // quiet NaN, payload 1
+        f64::from_bits(0x7ff4_dead_beef_cafe), // signaling-style payload
+        f64::from_bits(0xfff8_0000_0000_0000), // negative NaN
+        -0.0,
+        0.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    ];
+    let ts: Vec<i64> = (0..vals.len() as i64).collect();
+    let bytes = encode(&ts, &vals);
+    let (_, dvs) = decode(&bytes, vals.len()).expect("decode");
+    for (a, b) in dvs.iter().zip(&vals) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

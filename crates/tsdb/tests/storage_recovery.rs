@@ -1,0 +1,410 @@
+//! Crash-recovery and durability tests against the public `Tsdb` API:
+//! reopen round trips, torn-WAL-tail truncation at every byte boundary,
+//! insert-contract equivalence between the live path and WAL replay,
+//! series replacement rewrites, auto-compaction, and lazy decode proofs.
+
+use std::path::{Path, PathBuf};
+
+use explainit_tsdb::{MetricFilter, Series, SeriesKey, StorageError, TimeRange, Tsdb};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("explainit-tsdb-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Parses the WAL frame layout (`[len u32][crc u32][payload]`, from the
+/// documented record format) into the byte offset where each record
+/// starts, plus the total length.
+fn wal_record_offsets(wal: &[u8]) -> Vec<usize> {
+    let mut offsets = Vec::new();
+    let mut at = 0usize;
+    while at + 8 <= wal.len() {
+        offsets.push(at);
+        let len = u32::from_le_bytes(wal[at..at + 4].try_into().unwrap()) as usize;
+        at += 8 + len;
+    }
+    assert_eq!(at, wal.len(), "test harness parsed the WAL cleanly");
+    offsets
+}
+
+/// Asserts two stores hold identical logical contents (keys, timestamps,
+/// and bit-identical values).
+fn assert_same_contents(a: &Tsdb, b: &Tsdb) {
+    assert_eq!(a.series_count(), b.series_count());
+    assert_eq!(a.point_count(), b.point_count());
+    for id in a.find(&MetricFilter::all()) {
+        let sa = a.series(id);
+        let sb = b.get(&sa.key).expect("key present in both");
+        assert_eq!(sa.timestamps(), sb.timestamps(), "timestamps for {}", sa.key);
+        let (va, vb) = (sa.values(), sb.values());
+        assert_eq!(va.len(), vb.len());
+        for (x, y) in va.iter().zip(vb) {
+            assert_eq!(x.to_bits(), y.to_bits(), "values for {}", sa.key);
+        }
+    }
+}
+
+#[test]
+fn flush_reopen_round_trip_is_bit_identical() {
+    let dir = tmp_dir("roundtrip");
+    let keys: Vec<SeriesKey> =
+        (0..4).map(|i| SeriesKey::new("disk").with_tag("host", format!("node-{i}"))).collect();
+    let mut reference = Tsdb::new();
+    {
+        let mut db = Tsdb::open(&dir).expect("open");
+        for (i, key) in keys.iter().enumerate() {
+            for t in 0..50i64 {
+                let v = (t as f64) * 0.1 + i as f64;
+                db.insert(key, t * 60, v);
+                reference.insert(key, t * 60, v);
+            }
+        }
+        // Special values must survive the XOR codec bit-exactly.
+        let special = SeriesKey::new("special");
+        for (t, v) in [(0, f64::NAN), (60, -0.0), (120, f64::INFINITY), (180, f64::NEG_INFINITY)] {
+            db.insert(&special, t, v);
+            reference.insert(&special, t, v);
+        }
+        db.flush().expect("flush");
+        assert!(db.is_durable());
+        assert_eq!(db.data_dir(), Some(dir.as_path()));
+    }
+    let reopened = Tsdb::open(&dir).expect("reopen");
+    assert_same_contents(&reopened, &reference);
+    // Sealed/head split is invisible to logical equality.
+    for id in reopened.find(&MetricFilter::all()) {
+        let s = reopened.series(id);
+        assert_eq!(Some(s), reference.get(&s.key));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unsynced_inserts_do_not_survive_but_synced_ones_do() {
+    let dir = tmp_dir("sync");
+    let key = SeriesKey::new("m");
+    {
+        let mut db = Tsdb::open(&dir).expect("open");
+        db.try_insert(&key, 0, 1.0).expect("insert");
+        db.sync().expect("sync");
+        db.try_insert(&key, 60, 2.0).expect("insert");
+        // Dropped without sync: the second point sits in the BufWriter at
+        // best; durability was never promised for it.
+        std::mem::forget(db); // simulate a crash: no Drop flushing
+    }
+    let reopened = Tsdb::open(&dir).expect("reopen");
+    let s = reopened.get(&key).expect("series");
+    assert_eq!(s.timestamps(), &[0], "only the synced point is committed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_recovers_committed_prefix_at_every_byte() {
+    let dir = tmp_dir("torn");
+    let key = SeriesKey::new("m").with_tag("host", "a");
+    {
+        let mut db = Tsdb::open(&dir).expect("open");
+        for t in 0..5i64 {
+            db.try_insert(&key, t * 60, t as f64 + 0.5).expect("insert");
+        }
+        db.sync().expect("sync");
+    }
+    let wal_path = dir.join("wal");
+    let full = std::fs::read(&wal_path).expect("read wal");
+    let offsets = wal_record_offsets(&full);
+    assert_eq!(offsets.len(), 5, "one record per insert");
+    let last_start = offsets[4];
+    // Cut the file at every byte boundary of the last record: recovery
+    // must always land on exactly the four committed points.
+    for cut in last_start..full.len() {
+        std::fs::write(&wal_path, &full[..cut]).expect("truncate");
+        let db = Tsdb::open(&dir).expect("reopen cut={cut}");
+        let s = db.get(&key).expect("series survives");
+        assert_eq!(s.timestamps(), &[0, 60, 120, 180], "cut={cut}");
+        assert_eq!(s.values(), &[0.5, 1.5, 2.5, 3.5], "cut={cut}");
+        // Reopen truncated the torn tail on disk; restore for the next cut.
+        drop(db);
+        std::fs::write(&wal_path, &full).expect("restore");
+    }
+    let db = Tsdb::open(&dir).expect("reopen full");
+    assert_eq!(db.get(&key).expect("series").timestamps(), &[0, 60, 120, 180, 240]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The WAL replay path must reproduce `Series::push` exactly: duplicates
+/// last-writer-wins, out-of-order arrivals sort — in arrival order.
+#[test]
+fn replay_matches_live_insert_contract_for_out_of_order_and_duplicates() {
+    let dir = tmp_dir("contract");
+    let key = SeriesKey::new("m");
+    // Arrival order exercises every push branch: in-order appends,
+    // out-of-order insertion, duplicate overwrites (both at the tail and
+    // in the middle), and a duplicate of the very first point.
+    let arrivals: [(i64, f64); 9] = [
+        (100, 1.0),
+        (200, 2.0),
+        (150, 1.5),  // out-of-order insert
+        (200, 2.5),  // duplicate of the tail: overwrite
+        (50, 0.5),   // out-of-order before everything
+        (150, -1.5), // duplicate in the middle: overwrite
+        (300, 3.0),
+        (100, 9.0), // duplicate of the (now) second point
+        (50, 0.25), // duplicate of the first point
+    ];
+    let mut reference = Tsdb::new();
+    {
+        let mut db = Tsdb::open(&dir).expect("open");
+        for &(ts, v) in &arrivals {
+            db.insert(&key, ts, v);
+            reference.insert(&key, ts, v);
+        }
+        db.sync().expect("sync");
+        // No flush: everything must come back through WAL replay alone.
+    }
+    let replayed = Tsdb::open(&dir).expect("reopen");
+    assert_same_contents(&replayed, &reference);
+    assert_eq!(
+        replayed.get(&key).expect("series").timestamps(),
+        &[50, 100, 150, 200, 300],
+        "sorted, deduplicated"
+    );
+    assert_eq!(replayed.get(&key).expect("series").values(), &[0.25, 9.0, -1.5, 2.5, 3.0]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Out-of-order writes that land inside already-sealed history unseal the
+/// series; the next flush writes overlapping segments that recovery must
+/// merge with last-writer-wins.
+#[test]
+fn out_of_order_write_into_sealed_range_survives_reopen() {
+    let dir = tmp_dir("unseal");
+    let key = SeriesKey::new("m");
+    {
+        let mut db = Tsdb::open(&dir).expect("open");
+        for t in [0i64, 60, 120] {
+            db.insert(&key, t, t as f64);
+        }
+        db.flush().expect("first flush");
+        // These land inside the sealed range: overwrite ts 60, insert ts 90.
+        db.insert(&key, 60, -60.0);
+        db.insert(&key, 90, 90.0);
+        db.flush().expect("second flush");
+        assert!(db.storage_stats().expect("stats").segments >= 2, "overlapping segments");
+    }
+    let reopened = Tsdb::open(&dir).expect("reopen");
+    let s = reopened.get(&key).expect("series");
+    assert_eq!(s.timestamps(), &[0, 60, 90, 120]);
+    assert_eq!(s.values(), &[0.0, -60.0, 90.0, 120.0], "later flush wins on ts 60");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn insert_series_replacement_discards_stale_chunks_across_reopen() {
+    let dir = tmp_dir("replace");
+    let key = SeriesKey::new("m").with_tag("host", "a");
+    {
+        let mut db = Tsdb::open(&dir).expect("open");
+        for t in 0..10i64 {
+            db.insert(&key, t * 60, t as f64);
+        }
+        db.flush().expect("flush old contents into a segment");
+        db.insert_series(Series::from_points(key.clone(), vec![0, 60], vec![7.0, 8.0]));
+        db.sync().expect("sync");
+        // Crash before flush: the replacement lives only in the WAL while
+        // the segment still holds ten stale points.
+    }
+    {
+        let db = Tsdb::open(&dir).expect("reopen replays the Replace record");
+        assert_eq!(db.get(&key).expect("series").timestamps(), &[0, 60]);
+        assert_eq!(db.get(&key).expect("series").values(), &[7.0, 8.0]);
+        drop(db);
+    }
+    {
+        // Open + flush: the rewrite drops stale chunks from disk for good.
+        let mut db = Tsdb::open(&dir).expect("reopen");
+        db.flush().expect("flush triggers the rewrite");
+    }
+    let db = Tsdb::open(&dir).expect("final reopen");
+    assert_eq!(db.get(&key).expect("series").timestamps(), &[0, 60]);
+    assert_eq!(db.get(&key).expect("series").values(), &[7.0, 8.0]);
+    assert_eq!(db.point_count(), 2, "stale points gone from segments too");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repeated_flushes_auto_compact_and_keep_everything() {
+    let dir = tmp_dir("autocompact");
+    let key = SeriesKey::new("m");
+    let cycles = 10i64; // > AUTO_COMPACT_SEGMENTS
+    {
+        let mut db = Tsdb::open(&dir).expect("open");
+        for c in 0..cycles {
+            for t in 0..16i64 {
+                let ts = (c * 16 + t) * 60;
+                db.insert(&key, ts, ts as f64 * 0.5);
+            }
+            db.flush().expect("flush");
+        }
+        let stats = db.storage_stats().expect("stats");
+        assert!(
+            stats.segments < cycles as usize,
+            "auto-compaction folded segments: {} live after {cycles} flushes",
+            stats.segments
+        );
+        assert!(!stats.freelist.is_empty(), "superseded ids recorded");
+        assert_eq!(stats.wal_bytes, 0, "flush truncates the WAL");
+    }
+    let reopened = Tsdb::open(&dir).expect("reopen");
+    assert_eq!(reopened.point_count(), (cycles * 16) as usize);
+    let s = reopened.get(&key).expect("series");
+    assert!(s.timestamps().windows(2).all(|w| w[0] < w[1]));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explicit_compact_folds_to_one_segment() {
+    let dir = tmp_dir("compact");
+    let key = SeriesKey::new("m");
+    let mut db = Tsdb::open(&dir).expect("open");
+    for c in 0..3i64 {
+        for t in 0..8i64 {
+            db.insert(&key, (c * 8 + t) * 60, 1.0);
+        }
+        db.flush().expect("flush");
+    }
+    assert_eq!(db.storage_stats().expect("stats").segments, 3);
+    db.compact().expect("compact");
+    let stats = db.storage_stats().expect("stats");
+    assert_eq!(stats.segments, 1);
+    assert_eq!(stats.freelist.len(), 3);
+    let reopened = Tsdb::open(&dir).expect("reopen");
+    assert_eq!(reopened.point_count(), 24);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scans_decode_only_overlapping_chunks() {
+    let dir = tmp_dir("lazy");
+    let keys: Vec<SeriesKey> =
+        (0..3).map(|i| SeriesKey::new("cpu").with_tag("host", format!("h{i}"))).collect();
+    {
+        let mut db = Tsdb::open(&dir).expect("open");
+        // Two flushes at disjoint time windows: two chunks per series.
+        for key in &keys {
+            for t in 0..20i64 {
+                db.insert(key, t * 60, t as f64);
+            }
+        }
+        db.flush().expect("flush window 1");
+        for key in &keys {
+            for t in 100..120i64 {
+                db.insert(key, t * 60, t as f64);
+            }
+        }
+        db.flush().expect("flush window 2");
+    }
+    let db = Tsdb::open(&dir).expect("reopen");
+    assert_eq!(db.storage_stats().expect("stats").chunks, 6);
+    assert_eq!(db.decode_count(), 0, "recovery of disjoint chunks decodes nothing");
+
+    // A scan restricted to window 2 must decode exactly one chunk per
+    // matched series.
+    let parts = db.scan_parts_between(&MetricFilter::name("cpu"), 100 * 60, 119 * 60);
+    assert_eq!(db.decode_count(), 3, "window-1 chunks stayed compressed");
+    let total: usize = parts.iter().map(|p| p.timestamps.len()).sum();
+    assert_eq!(total, 60);
+    // Repeating the scan hits the decode caches.
+    let _ = db.scan_parts_between(&MetricFilter::name("cpu"), 100 * 60, 119 * 60);
+    assert_eq!(db.decode_count(), 3);
+    // The full-range scan decodes the rest, once.
+    let _ = db.scan_parts(&MetricFilter::name("cpu"), &TimeRange::new(i64::MIN, i64::MAX));
+    assert_eq!(db.decode_count(), 6);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn multi_slice_parts_agree_with_materializing_scan() {
+    let dir = tmp_dir("parts");
+    let key = SeriesKey::new("m");
+    {
+        let mut db = Tsdb::open(&dir).expect("open");
+        for t in 0..10i64 {
+            db.insert(&key, t * 60, t as f64);
+        }
+        db.flush().expect("flush");
+        for t in 10..15i64 {
+            db.insert(&key, t * 60, t as f64); // head points on top of sealed
+        }
+        db.flush().expect("flush 2");
+        for t in 15..18i64 {
+            db.insert(&key, t * 60, t as f64); // live head
+        }
+        db.sync().expect("sync");
+    }
+    let db = Tsdb::open(&dir).expect("reopen");
+    let range = TimeRange::new(0, i64::MAX);
+    let parts = db.scan_parts(&MetricFilter::name("m"), &range);
+    assert!(parts.len() >= 2, "sealed series scans as one slice per chunk");
+    // Concatenated in order, the slices are the materializing scan.
+    let flat_ts: Vec<i64> = parts.iter().flat_map(|p| p.timestamps.iter().copied()).collect();
+    let flat_vs: Vec<f64> = parts.iter().flat_map(|p| p.values.iter().copied()).collect();
+    let rows = db.scan(&MetricFilter::name("m"), &range);
+    assert_eq!(rows.len(), 1);
+    assert_eq!(flat_ts, rows[0].1);
+    assert_eq!(flat_vs, rows[0].2);
+    assert_eq!(flat_ts.len(), 18);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clones_detach_from_the_directory() {
+    let dir = tmp_dir("clone");
+    let key = SeriesKey::new("m");
+    let mut db = Tsdb::open(&dir).expect("open");
+    db.insert(&key, 0, 1.0);
+    db.flush().expect("flush");
+    let mut snapshot = db.clone();
+    assert!(!snapshot.is_durable(), "clones are in-memory snapshot views");
+    assert!(snapshot.data_dir().is_none());
+    assert!(matches!(snapshot.flush(), Err(StorageError::NotDurable)));
+    assert!(matches!(snapshot.sync(), Err(StorageError::NotDurable)));
+    // Writes to the clone never reach the directory.
+    snapshot.insert(&key, 60, 2.0);
+    drop(db);
+    let reopened = Tsdb::open(&dir).expect("reopen");
+    assert_eq!(reopened.point_count(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn in_memory_store_rejects_durable_calls() {
+    let mut db = Tsdb::new();
+    db.insert(&SeriesKey::new("m"), 0, 1.0);
+    assert!(!db.is_durable());
+    assert!(matches!(db.flush(), Err(StorageError::NotDurable)));
+    assert!(matches!(db.sync(), Err(StorageError::NotDurable)));
+    assert!(matches!(db.compact(), Err(StorageError::NotDurable)));
+    assert!(db.storage_stats().is_none());
+    // try_insert still works (no WAL to fail).
+    db.try_insert(&SeriesKey::new("m"), 60, 2.0).expect("in-memory try_insert");
+    assert_eq!(db.point_count(), 2);
+}
+
+#[test]
+fn batch_insert_is_one_wal_record_with_push_semantics() {
+    let dir = tmp_dir("batch");
+    let key = SeriesKey::new("m");
+    {
+        let mut db = Tsdb::open(&dir).expect("open");
+        db.try_insert_batch(&key, &[(60, 1.0), (0, 0.0), (60, 2.0), (120, 3.0)]).expect("batch");
+        db.sync().expect("sync");
+    }
+    let wal = std::fs::read(Path::new(&dir).join("wal")).expect("read wal");
+    assert_eq!(wal_record_offsets(&wal).len(), 1, "one record for the whole batch");
+    let db = Tsdb::open(&dir).expect("reopen");
+    let s = db.get(&key).expect("series");
+    assert_eq!(s.timestamps(), &[0, 60, 120]);
+    assert_eq!(s.values(), &[0.0, 2.0, 3.0], "batch replays in arrival order");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,12 +6,18 @@
 //!
 //! ```text
 //! explainit simulate --out incident.tsdb --fault packet_drop   # make data
+//! explainit simulate --data-dir ./fleet --fault packet_drop    # durable store
 //! explainit sql incident.tsdb "SELECT COUNT(*) FROM tsdb"      # explore it
+//! explainit sql --data-dir ./fleet "SELECT COUNT(*) FROM tsdb" # same, durable
 //! explainit sql incident.tsdb -f case_study.sql                # whole workflow
 //! explainit rank incident.tsdb --scorer auto                   # step 3
 //! explainit explain incident.tsdb --candidate tcp_retransmits  # fig 14/15
 //! explainit case-study 5.1                                     # the paper's §5
 //! ```
+//!
+//! Snapshot files (`--out` / `FILE`) are one-shot whole-store images;
+//! `--data-dir` is the durable storage engine (WAL + compressed
+//! segments), opened with crash recovery and scanned lazily.
 
 use std::process::ExitCode;
 
@@ -52,8 +58,8 @@ fn main() -> ExitCode {
 fn print_usage() {
     eprintln!(
         "ExplainIt! — declarative root-cause analysis for time series\n\n\
-         USAGE:\n  explainit simulate --out FILE [--fault KIND] [--minutes N] [--seed N]\n\
-         \x20 explainit sql FILE \"STMT; STMT; ...\" | explainit sql FILE -f SCRIPT.sql\n\
+         USAGE:\n  explainit simulate --out FILE | --data-dir DIR [--fault KIND] [--minutes N] [--seed N]\n\
+         \x20 explainit sql FILE|--data-dir DIR \"STMT; STMT; ...\" | explainit sql FILE -f SCRIPT.sql\n\
          \x20     [--partitions N] [--no-scan-agg]   (executor tuning; defaults: auto, pushdown on)\n\
          \x20 explainit rank FILE [--target FAMILY] [--condition A,B] [--scorer NAME] [--top K]\n\
          \x20 explainit explain FILE --candidate FAMILY [--target FAMILY] [--condition A,B]\n\
@@ -84,7 +90,11 @@ fn load_db(path: &str) -> Result<Tsdb, String> {
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let out = flag(args, "--out").ok_or("simulate requires --out FILE")?;
+    let out = flag(args, "--out");
+    let data_dir = flag(args, "--data-dir");
+    if out.is_none() && data_dir.is_none() {
+        return Err("simulate requires --out FILE and/or --data-dir DIR".into());
+    }
     let minutes: usize = flag(args, "--minutes")
         .map_or(Ok(720), str::parse)
         .map_err(|e| format!("--minutes: {e}"))?;
@@ -115,15 +125,41 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown fault kind: {other}")),
     };
     let sim = simulate(&ClusterSpec { minutes, seed, faults: fault, ..ClusterSpec::default() });
-    let bytes = Snapshot::capture(&sim.db).to_bytes();
-    std::fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
-    println!(
-        "wrote {out}: {} series, {} points, {} minutes ({} bytes)",
-        sim.db.series_count(),
-        sim.db.point_count(),
-        sim.minutes,
-        bytes.len()
-    );
+    if let Some(out) = out {
+        let bytes = Snapshot::capture(&sim.db).to_bytes();
+        std::fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+        println!(
+            "wrote {out}: {} series, {} points, {} minutes ({} bytes)",
+            sim.db.series_count(),
+            sim.db.point_count(),
+            sim.minutes,
+            bytes.len()
+        );
+    }
+    if let Some(dir) = data_dir {
+        let mut durable = Tsdb::open(dir).map_err(|e| format!("opening {dir}: {e}"))?;
+        if durable.point_count() > 0 {
+            return Err(format!(
+                "{dir} already holds {} points; refusing to simulate into a non-empty store",
+                durable.point_count()
+            ));
+        }
+        for (_, series) in sim.db.iter() {
+            let points: Vec<(i64, f64)> = series.points().map(|p| (p.ts, p.value)).collect();
+            durable
+                .try_insert_batch(&series.key, &points)
+                .map_err(|e| format!("writing {dir}: {e}"))?;
+        }
+        durable.flush().map_err(|e| format!("flushing {dir}: {e}"))?;
+        let disk = durable.storage_stats().map_or(0, |s| s.segment_bytes);
+        println!(
+            "wrote {dir}: {} series, {} points, {} minutes ({} segment bytes, durable)",
+            durable.series_count(),
+            durable.point_count(),
+            sim.minutes,
+            disk
+        );
+    }
     if !sim.truth.cause_families.is_empty() {
         println!("injected causes: {:?}", sim.truth.cause_families);
     }
@@ -155,13 +191,27 @@ fn print_outcome(outcome: &StatementOutcome) {
 }
 
 fn cmd_sql(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("sql requires a snapshot FILE")?;
-    let (script, mut consumed) = match args.get(1).map(String::as_str) {
-        Some("-f") => {
-            let file = args.get(2).ok_or("-f requires a script FILE")?;
-            (std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?, 3)
+    // The data source is either a snapshot FILE or a durable store opened
+    // with `--data-dir DIR` (crash-recovered, lazily decoded).
+    let (db, at) = if args.first().map(String::as_str) == Some("--data-dir") {
+        let dir = args.get(1).ok_or("--data-dir requires a DIR")?;
+        // `Tsdb::open` creates missing directories (the ingest path wants
+        // that); for a read-mostly `sql` session a missing dir is almost
+        // certainly a typo, so refuse instead of querying an empty store.
+        if !std::path::Path::new(dir).is_dir() {
+            return Err(format!("{dir} is not a directory (simulate --data-dir creates one)"));
         }
-        Some(inline) => (inline.to_string(), 2),
+        (Tsdb::open(dir).map_err(|e| format!("opening {dir}: {e}"))?, 2)
+    } else {
+        let path = args.first().ok_or("sql requires a snapshot FILE or --data-dir DIR")?;
+        (load_db(path)?, 1)
+    };
+    let (script, mut consumed) = match args.get(at).map(String::as_str) {
+        Some("-f") => {
+            let file = args.get(at + 1).ok_or("-f requires a script FILE")?;
+            (std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?, at + 2)
+        }
+        Some(inline) => (inline.to_string(), at + 1),
         None => return Err("sql requires a statement string or -f SCRIPT.sql".into()),
     };
     // Executor tuning flags after the script; anything else trailing is an
@@ -182,7 +232,6 @@ fn cmd_sql(args: &[String]) -> Result<(), String> {
             extra => return Err(format!("unexpected trailing argument: {extra}")),
         }
     }
-    let db = load_db(path)?;
     let mut session = Session::new();
     session.set_exec_options(opts);
     session.bind_tsdb("tsdb", &db);
