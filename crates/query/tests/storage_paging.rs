@@ -1,0 +1,106 @@
+//! The four-way differential family query over a *demand-paged* store:
+//! whatever the page budget — zero, about one chunk, or unbounded — every
+//! engine must produce rows bit-identical to the fully-resident run,
+//! while the paging counters prove the tight budgets actually faulted
+//! and evicted.
+
+use std::path::PathBuf;
+
+use explainit_query::reference::execute_naive;
+use explainit_query::{parse_query, Catalog, ExecOptions, Table};
+use explainit_tsdb::{SeriesKey, StorageOptions, Tsdb};
+
+const FAMILY_SQL: &str = "SELECT timestamp, tag['host'] AS h, AVG(value) AS m, SUM(value) AS s, \
+     COUNT(*) AS n, STDDEV(value) AS sd, PERCENTILE(value, 0.5) AS med \
+     FROM tsdb WHERE metric_name = 'cpu' GROUP BY timestamp, tag['host']";
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("explainit-qpaging-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Builds a store whose series span several chunks (one per flush round),
+/// so a one-chunk budget forces paging mid-query.
+fn build_store(dir: &std::path::Path) -> Tsdb {
+    let mut db = Tsdb::open(dir).expect("open");
+    for round in 0..4i64 {
+        for (i, host) in ["web-1", "web-2", "db-1"].iter().enumerate() {
+            let key = SeriesKey::new("cpu").with_tag("host", *host);
+            for t in 0..30i64 {
+                let ts = (round * 500 + t) * 60;
+                let v = 10.0 * (i as f64 + 1.0) + ((round * 30 + t) as f64 * 0.37).sin();
+                db.insert(&key, ts, v);
+            }
+        }
+        db.flush().expect("flush round");
+    }
+    db
+}
+
+fn run_four_ways(db: &Tsdb, baseline: &Table, label: &str) {
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", db);
+    let query = parse_query(FAMILY_SQL).expect("family query parses");
+    let engines = [
+        ("serial", ExecOptions { partitions: 1, scan_aggregate: false, ..Default::default() }),
+        ("parallel", ExecOptions { partitions: 3, scan_aggregate: false, ..Default::default() }),
+        (
+            "scan-aggregate serial",
+            ExecOptions { partitions: 1, scan_aggregate: true, ..Default::default() },
+        ),
+        (
+            "scan-aggregate parallel",
+            ExecOptions { partitions: 3, scan_aggregate: true, ..Default::default() },
+        ),
+    ];
+    for (engine, opts) in engines {
+        let out = catalog.execute_query_with(&query, opts).expect("family query runs");
+        assert_eq!(out.schema(), baseline.schema(), "{label}/{engine} schema");
+        assert_eq!(out.rows(), baseline.rows(), "{label}/{engine} rows vs resident baseline");
+    }
+    let naive = execute_naive(&catalog, &query).expect("reference runs");
+    assert_eq!(naive.rows(), baseline.rows(), "{label}/reference rows vs resident baseline");
+}
+
+#[test]
+fn family_query_bit_identical_under_every_page_budget() {
+    let dir = tmp_dir("budgets");
+    drop(build_store(&dir));
+
+    // Fully-resident baseline: unbounded reopen, plain serial engine.
+    let resident = Tsdb::open(&dir).expect("unbounded reopen");
+    let stats = resident.storage_stats().expect("stats");
+    assert!(stats.chunks >= 12, "several chunks per series on disk");
+    let one_chunk = stats.segment_bytes.div_ceil(stats.chunks as u64);
+    let mut catalog = Catalog::new();
+    catalog.register_tsdb("tsdb", &resident);
+    let query = parse_query(FAMILY_SQL).expect("family query parses");
+    let baseline = catalog
+        .execute_query_with(
+            &query,
+            ExecOptions { partitions: 1, scan_aggregate: false, ..Default::default() },
+        )
+        .expect("baseline runs");
+    assert!(!baseline.rows().is_empty(), "family query returns rows");
+    run_four_ways(&resident, &baseline, "unbounded");
+    drop(resident);
+
+    for (label, budget) in [("budget-zero", 0), ("budget-one-chunk", one_chunk)] {
+        let options =
+            StorageOptions { page_budget_bytes: Some(budget), ..StorageOptions::default() };
+        let db = Tsdb::open_read_only_with(&dir, options).expect("paged reopen");
+        let before = db.storage_stats().expect("stats");
+        assert_eq!(before.resident_chunk_bytes, 0, "{label}: cold open keeps nothing resident");
+        run_four_ways(&db, &baseline, label);
+        let after = db.storage_stats().expect("stats");
+        assert!(after.page_faults > 0, "{label}: the query faulted chunks in");
+        assert!(after.evictions > 0, "{label}: budget pressure forced evictions");
+        assert!(
+            after.peak_resident_chunk_bytes <= budget + 2 * one_chunk,
+            "{label}: peak resident chunk bytes {} ran away",
+            after.peak_resident_chunk_bytes
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -42,6 +42,40 @@
 //!   makes this observable).
 //! * **Clones** of a durable store detach from the directory (in-memory
 //!   snapshot views sharing compressed bytes) — exactly one handle writes.
+//!
+//! # Out-of-core residency: Cold → Paged → Decoded
+//!
+//! A reopened store keeps only the per-series *chunk directory* resident
+//! (min/max timestamp, point count, file offset, byte length). Each
+//! chunk's compressed bytes live **Cold** on disk until a scan touches
+//! them; the first touch faults them in with one positioned read
+//! (**Paged**, counted as a page fault), and decoding on top of that
+//! yields the **Decoded** per-chunk cache plus, for materializing reads,
+//! an assembled whole-series view.
+//!
+//! [`StorageOptions::page_budget_bytes`] bounds this: a clock (second
+//! chance) sweep evicts paged compressed bytes back to Cold whenever a
+//! fault pushes the resident total over budget, and every decoded cache
+//! is accounted too — [`Tsdb::evict_to_budget`] (run automatically at
+//! each flush) sheds them once the total overshoots. All of it is
+//! observable via [`Tsdb::storage_stats`]: `resident_bytes`,
+//! `resident_chunk_bytes`, `peak_resident_chunk_bytes`, `page_faults`,
+//! `evictions`. Chunks sealed in this process stay pinned resident until
+//! they reach a segment file and the store reopens; with no budget (the
+//! default) nothing ever evicts, preserving the historical behaviour.
+//!
+//! [`StorageOptions::retention`] drops whole segments — file and all —
+//! whose newest point fell behind the retention window, by directory
+//! metadata alone, at open and after every flush.
+//!
+//! # Read-only opens
+//!
+//! [`Tsdb::open_read_only`] observes an existing store without the
+//! writer role: no WAL creation/extension/truncation, no tmp-file or
+//! superseded/expired segment deletion, and every mutating surface fails
+//! with [`StorageError::ReadOnly`]. Any number of read-only handles may
+//! coexist (each a consistent view as of its open), including alongside
+//! one writer.
 
 #![forbid(unsafe_code)]
 
@@ -60,5 +94,6 @@ pub use logs::{featurize_logs, template_of, LogRecord};
 pub use model::{DataPoint, Series, SeriesKey, TimeRange};
 pub use shared::{SharedTsdb, INITIAL_GENERATION};
 pub use snapshot::Snapshot;
-pub use storage::{StorageError, StorageStats};
+pub use storage::pager::PagerCounters;
+pub use storage::{StorageError, StorageOptions, StorageStats};
 pub use store::{MetricFilter, SeriesId, SeriesSlice, TagFilter, Tsdb};

@@ -4,7 +4,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
-use crate::storage::chunk::{encode_run, EncodedChunk, SealedChunk};
+use crate::storage::chunk::{encode_run, DecodedBlock, DecodedPoints, EncodedChunk, SealedChunk};
+use crate::storage::pager::Pager;
+use crate::storage::recover::{ChunkData, RecoveredChunk};
 use crate::storage::DecodeCounter;
 
 /// A half-open time range `[start, end)` in the same units the database is
@@ -163,8 +165,14 @@ pub struct Series {
     values: Vec<f64>,
     /// Write-once cache of the fully hydrated series (sealed + head),
     /// reset by any mutation. Gives whole-series accessors a stable
-    /// address to borrow from behind `&self`.
-    assembled: OnceLock<Arc<(Vec<i64>, Vec<f64>)>>,
+    /// address to borrow from behind `&self`. Its footprint is accounted
+    /// against the store's page budget (via [`DecodedBlock`]) and shed by
+    /// `Tsdb::evict_to_budget` — without that it would pin a decoded copy
+    /// of the whole series for the store's lifetime.
+    assembled: OnceLock<DecodedPoints>,
+    /// The store's pager, for accounting the assembled cache. `None` for
+    /// a standalone series never adopted by a `Tsdb`.
+    pager: Option<Arc<Pager>>,
 }
 
 /// Logical equality: two series are equal when their keys and *contents*
@@ -192,6 +200,7 @@ impl Series {
             timestamps: Vec::new(),
             values: Vec::new(),
             assembled: OnceLock::new(),
+            pager: None,
         }
     }
 
@@ -205,23 +214,54 @@ impl Series {
             timestamps.windows(2).all(|w| w[0] < w[1]),
             "timestamps must be strictly increasing"
         );
-        Series { key, sealed: Vec::new(), timestamps, values, assembled: OnceLock::new() }
+        Series {
+            key,
+            sealed: Vec::new(),
+            timestamps,
+            values,
+            assembled: OnceLock::new(),
+            pager: None,
+        }
+    }
+
+    /// Attaches the store's pager so the assembled cache is accounted
+    /// against its budget. Called when a `Tsdb` adopts the series; safe
+    /// only while the caches are empty (adoption points guarantee that).
+    pub(crate) fn set_pager(&mut self, pager: Arc<Pager>) {
+        debug_assert!(self.assembled.get().is_none());
+        self.pager = Some(pager);
     }
 
     /// Rebuilds a series from recovered segment chunks (ascending,
-    /// disjoint) with an empty head.
+    /// disjoint) with an empty head. Cold chunks stay cold: only their
+    /// directory metadata is resident until a scan touches them.
     pub(crate) fn from_storage(
         key: SeriesKey,
-        chunks: Vec<EncodedChunk>,
+        chunks: Vec<RecoveredChunk>,
         counter: DecodeCounter,
+        pager: Arc<Pager>,
     ) -> Self {
         debug_assert!(chunks.windows(2).all(|w| w[0].meta.max_ts < w[1].meta.min_ts));
+        let sealed = chunks
+            .into_iter()
+            .map(|c| match c.data {
+                ChunkData::Resident(bytes) => SealedChunk::new(
+                    EncodedChunk { meta: c.meta, bytes },
+                    counter.clone(),
+                    Arc::clone(&pager),
+                ),
+                ChunkData::Cold(cold) => {
+                    SealedChunk::cold(c.meta, cold, counter.clone(), Arc::clone(&pager))
+                }
+            })
+            .collect();
         Series {
             key,
-            sealed: chunks.into_iter().map(|c| SealedChunk::new(c, counter.clone())).collect(),
+            sealed,
             timestamps: Vec::new(),
             values: Vec::new(),
             assembled: OnceLock::new(),
+            pager: Some(pager),
         }
     }
 
@@ -274,18 +314,62 @@ impl Series {
     /// is empty. Decode caches are *not* pre-populated: sealing trades the
     /// raw head vectors for compressed bytes, and later scans re-decode
     /// lazily only what they touch.
-    pub(crate) fn seal_head(&mut self, counter: DecodeCounter) -> Option<Vec<EncodedChunk>> {
+    pub(crate) fn seal_head(
+        &mut self,
+        counter: DecodeCounter,
+        pager: &Arc<Pager>,
+    ) -> Option<Vec<EncodedChunk>> {
         if self.timestamps.is_empty() {
             return None;
         }
         let chunks = encode_run(&self.timestamps, &self.values);
         for chunk in &chunks {
-            self.sealed.push(SealedChunk::new(chunk.clone(), counter.clone()));
+            self.sealed.push(SealedChunk::new(chunk.clone(), counter.clone(), Arc::clone(pager)));
         }
         self.timestamps = Vec::new();
         self.values = Vec::new();
         self.assembled = OnceLock::new();
         Some(chunks)
+    }
+
+    /// Drops this series' decoded caches (the assembled whole-series view
+    /// and every chunk decode cache), returning how many caches were
+    /// populated. Chunk *bytes* are untouched — the pager's clock governs
+    /// those — so the next read simply re-decodes.
+    pub(crate) fn shed_caches(&mut self) -> u64 {
+        let mut dropped = 0;
+        if self.assembled.get().is_some() {
+            self.assembled = OnceLock::new();
+            dropped += 1;
+        }
+        for chunk in &mut self.sealed {
+            if chunk.clear_decoded() {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Drops sealed chunks belonging to retention-expired segments:
+    /// demand-paged chunks match by segment id, chunks sealed by this
+    /// process (pinned, no segment id yet) match by their directory
+    /// metadata read from the expiring file. Invalidates the assembled
+    /// cache when anything went; returns how many chunks were dropped.
+    pub(crate) fn drop_expired_chunks(
+        &mut self,
+        segment_ids: &[u64],
+        metas: &[crate::storage::chunk::ChunkMeta],
+    ) -> usize {
+        let before = self.sealed.len();
+        self.sealed.retain(|c| match c.segment_id() {
+            Some(id) => !segment_ids.contains(&id),
+            None => !metas.contains(&c.meta),
+        });
+        let dropped = before - self.sealed.len();
+        if dropped > 0 {
+            self.assembled = OnceLock::new();
+        }
+        dropped
     }
 
     /// The sealed chunks (ascending, disjoint) — the lazy scan path.
@@ -325,9 +409,10 @@ impl Series {
             }
             ts.extend_from_slice(&self.timestamps);
             vs.extend_from_slice(&self.values);
-            Arc::new((ts, vs))
+            DecodedBlock::new((ts, vs), self.pager.clone())
         });
-        (&assembled.0, &assembled.1)
+        let points = assembled.points();
+        (&points.0, &points.1)
     }
 
     /// Number of observations (metadata only — no decode).

@@ -65,6 +65,15 @@ impl SharedTsdb {
         Ok(SharedTsdb::new(Tsdb::open(dir)?))
     }
 
+    /// [`SharedTsdb::open`] with explicit [`crate::storage::StorageOptions`]
+    /// (page budget, retention) — see [`Tsdb::open_with`].
+    pub fn open_with(
+        dir: impl AsRef<std::path::Path>,
+        options: crate::storage::StorageOptions,
+    ) -> Result<Self, crate::storage::StorageError> {
+        Ok(SharedTsdb::new(Tsdb::open_with(dir, options)?))
+    }
+
     /// Flushes the underlying durable store (see [`Tsdb::flush`]).
     ///
     /// Takes the write lock but does **not** advance the generation: a

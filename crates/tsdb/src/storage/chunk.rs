@@ -25,6 +25,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use super::pager::{ColdRef, PageSlot, Pager};
 use super::StorageError;
 
 /// Hard cap on points per chunk: bounds the decode unit (and therefore the
@@ -53,29 +54,90 @@ pub struct EncodedChunk {
     pub bytes: Arc<Vec<u8>>,
 }
 
-/// The decoded form of a chunk: parallel timestamp/value vectors behind an
-/// `Arc` so series clones share one decode.
-pub type DecodedPoints = Arc<(Vec<i64>, Vec<f64>)>;
+/// A decoded point block (per-chunk decode cache or per-series assembled
+/// view) whose memory is accounted against the store's page budget for as
+/// long as any `Arc` keeps it alive. Clones of a series share one block;
+/// the accounting releases exactly once, when the last reference drops.
+#[derive(Debug)]
+pub struct DecodedBlock {
+    points: (Vec<i64>, Vec<f64>),
+    pager: Option<Arc<Pager>>,
+    cost: u64,
+}
+
+impl DecodedBlock {
+    /// Wraps decoded points, charging their footprint to `pager` (when
+    /// given) until the last reference drops.
+    pub(crate) fn new(points: (Vec<i64>, Vec<f64>), pager: Option<Arc<Pager>>) -> Arc<Self> {
+        // 16 bytes per point: one i64 timestamp + one f64 value.
+        let cost = points.0.len() as u64 * 16;
+        if let Some(p) = &pager {
+            p.cache_added(cost);
+        }
+        Arc::new(DecodedBlock { points, pager, cost })
+    }
+
+    /// The decoded parallel timestamp/value vectors.
+    pub fn points(&self) -> &(Vec<i64>, Vec<f64>) {
+        &self.points
+    }
+}
+
+impl Drop for DecodedBlock {
+    fn drop(&mut self) {
+        if let Some(p) = &self.pager {
+            p.cache_removed(self.cost);
+        }
+    }
+}
+
+/// The decoded form of a chunk behind an `Arc` so series clones share one
+/// decode (and its budget accounting).
+pub type DecodedPoints = Arc<DecodedBlock>;
 
 /// A compressed chunk held by a sealed series, with a write-once decode
 /// cache. The cache gives decoded slices a stable address behind `&self`,
 /// which is what lets `Tsdb::scan_parts*` hand borrowed [`crate::SeriesSlice`]
 /// partition handles straight out of compressed storage.
+///
+/// The compressed bytes themselves live in a [`PageSlot`]: resident and
+/// pinned for chunks sealed in this process, demand-paged (Cold → Paged,
+/// with clock eviction back to Cold) for chunks recovered from segment
+/// files.
 #[derive(Debug, Clone)]
 pub struct SealedChunk {
     /// Pruning metadata (also used to maintain the sealed-tier ordering
     /// invariant without touching the payload).
     pub meta: ChunkMeta,
-    /// The compressed bit stream, shared with the segment writer.
-    pub bytes: Arc<Vec<u8>>,
+    slot: Arc<PageSlot>,
     decoded: OnceLock<DecodedPoints>,
     counter: Arc<AtomicU64>,
+    pager: Arc<Pager>,
 }
 
 impl SealedChunk {
-    /// Wraps an encoded chunk, attaching the store's decode counter.
-    pub fn new(chunk: EncodedChunk, counter: Arc<AtomicU64>) -> Self {
-        SealedChunk { meta: chunk.meta, bytes: chunk.bytes, decoded: OnceLock::new(), counter }
+    /// Wraps a freshly encoded chunk whose bytes have no on-disk home yet:
+    /// the slot is pinned resident until the chunk reaches a segment file
+    /// and the store reopens.
+    pub fn new(chunk: EncodedChunk, counter: Arc<AtomicU64>, pager: Arc<Pager>) -> Self {
+        SealedChunk {
+            meta: chunk.meta,
+            slot: pager.slot_resident(chunk.bytes),
+            decoded: OnceLock::new(),
+            counter,
+            pager,
+        }
+    }
+
+    /// A chunk recovered from a segment file, starting Cold: only `meta`
+    /// is resident; the compressed bytes fault in on first touch.
+    pub fn cold(
+        meta: ChunkMeta,
+        cold: ColdRef,
+        counter: Arc<AtomicU64>,
+        pager: Arc<Pager>,
+    ) -> Self {
+        SealedChunk { meta, slot: pager.slot_cold(cold), decoded: OnceLock::new(), counter, pager }
     }
 
     /// True when the chunk's time span intersects the inclusive `[lo, hi]`
@@ -84,19 +146,24 @@ impl SealedChunk {
         self.meta.max_ts >= lo && self.meta.min_ts <= hi
     }
 
-    /// The decoded points, decoding (and counting the decode) on first
-    /// access. A chunk that fails to decode yields empty slices — segment
-    /// checksums make this unreachable for files the store itself wrote,
-    /// and the recovery path surfaces corruption as a typed error before
-    /// any chunk gets this far.
+    /// The decoded points, faulting in the compressed bytes and decoding
+    /// (and counting the decode) on first access. A chunk that fails to
+    /// page in or decode yields empty slices — segment checksums make
+    /// this unreachable for files the store itself wrote, and the
+    /// recovery path surfaces corruption as a typed error before any
+    /// chunk gets this far.
     pub fn decoded(&self) -> &(Vec<i64>, Vec<f64>) {
-        self.decoded.get_or_init(|| {
-            self.counter.fetch_add(1, Ordering::Relaxed);
-            match decode(&self.bytes, self.meta.count as usize) {
-                Ok(points) => Arc::new(points),
-                Err(_) => Arc::new((Vec::new(), Vec::new())),
-            }
-        })
+        self.decoded
+            .get_or_init(|| {
+                self.counter.fetch_add(1, Ordering::Relaxed);
+                let points = self
+                    .slot
+                    .bytes()
+                    .and_then(|bytes| decode(&bytes, self.meta.count as usize))
+                    .unwrap_or_default();
+                DecodedBlock::new(points, Some(Arc::clone(&self.pager)))
+            })
+            .points()
     }
 
     /// Whether the decode cache is populated (test/report introspection).
@@ -104,17 +171,34 @@ impl SealedChunk {
         self.decoded.get().is_some()
     }
 
-    /// A sealed chunk whose decode cache is pre-populated — used when the
-    /// points are already in memory (e.g. recovery re-encoding overlapping
-    /// chunks) so the pre-existing decode is not thrown away.
-    pub fn with_decoded(
-        chunk: EncodedChunk,
-        points: DecodedPoints,
-        counter: Arc<AtomicU64>,
-    ) -> Self {
-        let sealed = SealedChunk::new(chunk, counter);
-        let _ = sealed.decoded.set(points);
-        sealed
+    /// Whether the compressed bytes are currently in memory.
+    pub fn is_resident(&self) -> bool {
+        !self.slot.is_empty()
+    }
+
+    /// The segment id a Cold-capable chunk pages from, if any (pinned
+    /// chunks have none — their bytes never came from a segment file).
+    pub fn segment_id(&self) -> Option<u64> {
+        self.slot.segment_id()
+    }
+
+    /// The compressed payload length in bytes.
+    pub fn encoded_len(&self) -> u64 {
+        self.slot.len()
+    }
+
+    /// The chunk in segment-writer form, paging the bytes in if cold.
+    pub fn encoded(&self) -> Result<EncodedChunk, StorageError> {
+        Ok(EncodedChunk { meta: self.meta, bytes: self.slot.bytes()? })
+    }
+
+    /// Drops the decode cache (this handle's reference to it), returning
+    /// whether one was populated. Used by `Tsdb::evict_to_budget` to shed
+    /// accounted caches at mutation points.
+    pub fn clear_decoded(&mut self) -> bool {
+        let had = self.decoded.get().is_some();
+        self.decoded = OnceLock::new();
+        had
     }
 }
 
@@ -446,7 +530,7 @@ mod tests {
     fn decode_counter_counts_once_per_chunk() {
         let counter = Arc::new(AtomicU64::new(0));
         let chunks = encode_run(&[0, 60, 120], &[1.0, 2.0, 3.0]);
-        let sealed = SealedChunk::new(chunks[0].clone(), counter.clone());
+        let sealed = SealedChunk::new(chunks[0].clone(), counter.clone(), Pager::unbounded());
         assert!(!sealed.is_decoded());
         assert_eq!(sealed.decoded().0, vec![0, 60, 120]);
         assert_eq!(sealed.decoded().1, vec![1.0, 2.0, 3.0]);

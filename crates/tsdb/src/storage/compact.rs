@@ -15,6 +15,7 @@
 //! (`Tsdb::flush` / `Tsdb::compact` enforce this ordering).
 
 use super::chunk::EncodedChunk;
+use super::failpoint::{self, Point};
 use super::segment::write_segment;
 use super::{sync_dir, Storage, StorageError};
 use crate::model::SeriesKey;
@@ -46,24 +47,45 @@ pub fn rewrite(
     let old_ids: Vec<u64> = storage.segments.iter().map(|s| s.id).collect();
     let new_id = storage.take_segment_id();
     let handle = write_segment(&storage.dir, new_id, &old_ids, series)?;
-    // The merged segment is durable: deleting the inputs is now safe, and
-    // a crash anywhere in this loop leaves files recovery removes itself.
-    for old in &storage.segments {
-        std::fs::remove_file(&old.path)
-            .map_err(|e| StorageError::io(format!("removing {}", old.path.display()), e))?;
+    // The merged segment is durable and its `supersedes` header names
+    // every input, so the new segment is the truth from here on. Commit
+    // the in-memory state *before* touching the input files: a failure
+    // (or crash) anywhere in the delete loop then leaves memory and disk
+    // agreeing on the merged segment, and recovery deletes the leftover
+    // superseded files itself without double-counting a point.
+    let old = std::mem::replace(&mut storage.segments, vec![handle]);
+    storage.freelist.extend(old_ids);
+    let mut first_err = None;
+    for old in &old {
+        if let Some(e) = failpoint::trip(Point::CompactDelete, &old.path) {
+            // Kill point: stop mid-loop, like a crash — every remaining
+            // superseded file survives on disk.
+            first_err = Some(e);
+            break;
+        }
+        if let Err(e) = std::fs::remove_file(&old.path) {
+            if first_err.is_none() {
+                first_err = Some(StorageError::io(format!("removing {}", old.path.display()), e));
+            }
+        }
     }
     sync_dir(&storage.dir)?;
-    storage.segments = vec![handle];
-    storage.freelist.extend(old_ids);
-    Ok(())
+    match first_err {
+        // Surfaced so the caller keeps its WAL (replay over the merged
+        // segment is idempotent), but the store state is already
+        // consistent — only stale files linger until the next open.
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::storage::chunk::{decode, encode_run};
-    use crate::storage::recover::recover;
+    use crate::storage::recover::{recover, RecoverOptions, Recovered};
     use crate::storage::wal::Wal;
+    use crate::storage::StorageOptions;
 
     fn tmp_dir(tag: &str) -> std::path::PathBuf {
         let dir =
@@ -74,16 +96,33 @@ mod tests {
     }
 
     fn storage_at(dir: &std::path::Path) -> Storage {
-        let r = recover(dir).expect("recover");
+        let r = recover(dir, &RecoverOptions::default()).expect("recover");
         Storage {
             dir: dir.to_path_buf(),
-            wal: Wal::open(dir, r.wal_committed).expect("wal"),
+            wal: Some(Wal::open(dir, r.wal_committed).expect("wal")),
+            wal_tail: 0,
             segments: r.segments,
             next_segment_id: r.next_segment_id,
             freelist: r.freelist,
             sticky_error: None,
             needs_rewrite: false,
+            pending: Vec::new(),
+            options: StorageOptions::default(),
         }
+    }
+
+    /// The recovered per-series chunks in segment-writer form.
+    fn sealed_view(r: &Recovered) -> Vec<(SeriesKey, Vec<EncodedChunk>)> {
+        r.series
+            .iter()
+            .map(|(key, chunks)| {
+                let chunks = chunks
+                    .iter()
+                    .map(|c| EncodedChunk { meta: c.meta, bytes: c.data.load().expect("load") })
+                    .collect();
+                (key.clone(), chunks)
+            })
+            .collect()
     }
 
     #[test]
@@ -96,21 +135,22 @@ mod tests {
         let mut storage = storage_at(&dir);
         assert_eq!(storage.segments.len(), 2);
         // The sealed in-memory view after recovery: both chunks, disjoint.
-        let r = recover(&dir).expect("recover");
-        merge_segments(&mut storage, &r.series).expect("merge");
+        let r = recover(&dir, &RecoverOptions::default()).expect("recover");
+        merge_segments(&mut storage, &sealed_view(&r)).expect("merge");
         assert_eq!(storage.segments.len(), 1);
         assert_eq!(storage.segments[0].id, 2);
         assert_eq!(storage.freelist, vec![0, 1]);
         assert_eq!(storage.next_segment_id, 3);
 
         // Reopening sees one segment carrying everything.
-        let r = recover(&dir).expect("recover after merge");
+        let r = recover(&dir, &RecoverOptions::default()).expect("recover after merge");
         assert_eq!(r.segments.len(), 1);
         assert_eq!(r.series.len(), 1);
         let chunks = &r.series[0].1;
         let total: u32 = chunks.iter().map(|c| c.meta.count).sum();
         assert_eq!(total, 3);
-        let (ts, _) = decode(&chunks[0].bytes, chunks[0].meta.count as usize).expect("decode");
+        let bytes = chunks[0].data.load().expect("load");
+        let (ts, _) = decode(&bytes, chunks[0].meta.count as usize).expect("decode");
         assert_eq!(ts[0], 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -121,8 +161,8 @@ mod tests {
         write_segment(&dir, 0, &[], &[(SeriesKey::new("m"), encode_run(&[0], &[1.0]))])
             .expect("seg 0");
         let mut storage = storage_at(&dir);
-        let r = recover(&dir).expect("recover");
-        merge_segments(&mut storage, &r.series).expect("merge");
+        let r = recover(&dir, &RecoverOptions::default()).expect("recover");
+        merge_segments(&mut storage, &sealed_view(&r)).expect("merge");
         assert_eq!(storage.segments.len(), 1);
         assert_eq!(storage.segments[0].id, 0, "untouched");
         assert!(storage.freelist.is_empty());

@@ -24,6 +24,8 @@
 
 pub mod chunk;
 pub mod compact;
+pub mod failpoint;
+pub mod pager;
 pub mod recover;
 pub mod segment;
 pub mod wal;
@@ -33,6 +35,7 @@ use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 pub use chunk::{ChunkMeta, SealedChunk, CHUNK_MAX_POINTS};
+pub use pager::{Pager, PagerCounters};
 
 /// Number of sealed segments that triggers an automatic small-segment
 /// merge at the end of [`crate::Tsdb::flush`].
@@ -60,6 +63,9 @@ pub enum StorageError {
     },
     /// A durable-only operation was called on a purely in-memory store.
     NotDurable,
+    /// A mutating operation was called on a read-only handle
+    /// ([`crate::Tsdb::open_read_only`]).
+    ReadOnly,
 }
 
 impl StorageError {
@@ -80,6 +86,9 @@ impl std::fmt::Display for StorageError {
             StorageError::NotDurable => {
                 write!(f, "store has no backing directory (open it with Tsdb::open)")
             }
+            StorageError::ReadOnly => {
+                write!(f, "store was opened read-only (writes require Tsdb::open)")
+            }
         }
     }
 }
@@ -91,6 +100,21 @@ impl std::error::Error for StorageError {
             _ => None,
         }
     }
+}
+
+/// Open-time configuration for a durable store
+/// ([`crate::Tsdb::open_with`] / [`crate::Tsdb::open_read_only_with`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorageOptions {
+    /// Memory budget in bytes over resident compressed chunk bytes.
+    /// `None` (the default) is unbounded: every chunk stays resident once
+    /// touched, matching the pre-paging behaviour of plain `open`.
+    pub page_budget_bytes: Option<u64>,
+    /// Retention window in timestamp units. Whole segments whose `max_ts`
+    /// falls more than `retention` behind the store's global maximum
+    /// timestamp are dropped — file and all — without decoding a single
+    /// chunk. `None` keeps everything.
+    pub retention: Option<i64>,
 }
 
 /// Counters a durable store exposes for reports and tests.
@@ -109,6 +133,18 @@ pub struct StorageStats {
     /// (ids stay monotone so `supersedes` references are unambiguous
     /// across crashes).
     pub freelist: Vec<u64>,
+    /// All accounted resident bytes: compressed chunk bytes plus decoded
+    /// caches (per-chunk decode caches and assembled whole-series views).
+    pub resident_bytes: u64,
+    /// Compressed chunk bytes currently resident (pinned + paged-in).
+    pub resident_chunk_bytes: u64,
+    /// High-water mark of `resident_chunk_bytes` since open — the number
+    /// the paging gate checks against `1.25 × page_budget_bytes`.
+    pub peak_resident_chunk_bytes: u64,
+    /// Cold chunk loads since open (one positioned read each).
+    pub page_faults: u64,
+    /// Pages and caches dropped to stay under the budget.
+    pub evictions: u64,
 }
 
 /// One live segment file.
@@ -120,6 +156,10 @@ pub struct SegmentHandle {
     pub path: PathBuf,
     /// Compressed chunk payload bytes inside the file.
     pub data_bytes: u64,
+    /// Largest timestamp across the segment's chunks (`None` for a
+    /// segment holding only empty series) — what retention compares
+    /// against the global maximum without opening the file.
+    pub max_ts: Option<i64>,
 }
 
 /// The mutable engine state a durable [`crate::Tsdb`] carries. Cloning a
@@ -130,8 +170,12 @@ pub struct SegmentHandle {
 pub struct Storage {
     /// The store directory.
     pub dir: PathBuf,
-    /// The open WAL appender.
-    pub wal: wal::Wal,
+    /// The open WAL appender. `None` on read-only handles, which never
+    /// create, extend, or truncate the log.
+    pub wal: Option<wal::Wal>,
+    /// Committed WAL length observed at open by a read-only handle (a
+    /// writer reads its live length from `wal` instead).
+    pub wal_tail: u64,
     /// Live segments, ascending id.
     pub segments: Vec<SegmentHandle>,
     /// Next segment id (monotone; never reuses freed ids).
@@ -147,6 +191,15 @@ pub struct Storage {
     /// segments, so the next flush must rewrite every segment from the
     /// in-memory view instead of appending an incremental one.
     pub needs_rewrite: bool,
+    /// Chunks sealed by a flush whose segment write then failed: they are
+    /// resident in memory but have no durable home yet, so the next flush
+    /// must retry writing them (their WAL records are retained too — the
+    /// WAL is only truncated after the segment write succeeds, so either
+    /// path recovers them).
+    pub pending: Vec<(crate::SeriesKey, Vec<chunk::EncodedChunk>)>,
+    /// The options this store was opened with (flush applies
+    /// `options.retention` after each successful segment write).
+    pub options: StorageOptions,
 }
 
 impl Storage {
@@ -155,6 +208,19 @@ impl Storage {
         let id = self.next_segment_id;
         self.next_segment_id += 1;
         id
+    }
+
+    /// Whether this handle may mutate the directory.
+    pub fn is_read_only(&self) -> bool {
+        self.wal.is_none()
+    }
+
+    /// Current committed WAL length in bytes.
+    pub fn wal_len(&self) -> u64 {
+        match &self.wal {
+            Some(w) => w.len(),
+            None => self.wal_tail,
+        }
     }
 }
 

@@ -1,0 +1,467 @@
+//! The chunk pager: a memory budget over compressed chunk bytes with a
+//! clock (second-chance) eviction policy, plus the accounting for decode
+//! and whole-series caches.
+//!
+//! Every sealed chunk owns a [`PageSlot`]. A slot is either **pinned**
+//! (its compressed bytes were produced in this process — sealed from the
+//! head or re-encoded during recovery — and have no on-disk home to
+//! reload from, so they stay resident) or **pageable** (the bytes live in
+//! a segment file; the slot holds a [`ColdRef`] and loads them with a
+//! single positioned read on first touch — a *page fault* — after which
+//! the clock may evict them again).
+//!
+//! Residency states of a sealed chunk, as the lifecycle docs put it:
+//!
+//! ```text
+//! Cold   -- fault (pread) -->   Paged   -- decode -->   Decoded
+//!   ^                             |
+//!   +--------- eviction ----------+
+//! ```
+//!
+//! The pager tracks two gauges. `chunk_resident` counts compressed chunk
+//! bytes currently in memory (pinned + paged) — this is what the clock
+//! enforces the budget over, online, behind `&self`. `cache_resident`
+//! counts decoded-points caches (per-chunk decode caches and per-series
+//! assembled views); those hand out borrows with stable addresses, so
+//! they cannot be dropped mid-scan — [`crate::Tsdb::evict_to_budget`]
+//! sheds them at mutation points instead. `resident_bytes` in
+//! [`super::StorageStats`] is the sum of both.
+
+use std::fs::File;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, Weak};
+
+use super::StorageError;
+
+/// Locks a mutex, recovering the guard from a poisoned lock: the pager's
+/// shared state is a cache — a panic mid-update can at worst leave stale
+/// accounting, never corrupt point data.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Where a pageable chunk's compressed bytes live on disk.
+///
+/// Holds the segment's open file handle (shared by every chunk of the
+/// segment), so a fault stays valid even after compaction or retention
+/// unlinks the path — on Unix the inode survives until the last handle
+/// closes, which is exactly the lifetime of the chunks referencing it.
+#[derive(Debug, Clone)]
+pub struct ColdRef {
+    /// Open read handle on the segment file.
+    pub file: Arc<File>,
+    /// Id of the segment the bytes came from (retention drops by id).
+    pub segment_id: u64,
+    /// Absolute byte offset of the chunk payload inside the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+impl ColdRef {
+    /// Reads the chunk payload with one positioned read.
+    pub fn read(&self) -> Result<Vec<u8>, StorageError> {
+        let mut buf = vec![0u8; self.len as usize];
+        read_exact_at(&self.file, &mut buf, self.offset).map_err(|e| {
+            StorageError::io(
+                format!("paging in segment {} chunk at offset {}", self.segment_id, self.offset),
+                e,
+            )
+        })?;
+        Ok(buf)
+    }
+}
+
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    // No positioned-read primitive: clone the handle so the shared one
+    // keeps no cursor state.
+    let mut f = file.try_clone()?;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf)
+}
+
+/// One chunk's residency slot: the compressed bytes when resident, and
+/// the cold location to reload them from when pageable.
+#[derive(Debug)]
+pub struct PageSlot {
+    pager: Arc<Pager>,
+    /// Compressed payload length (what residency accounting charges).
+    len: u64,
+    /// `None` for pinned slots (bytes have no on-disk home yet).
+    cold: Option<ColdRef>,
+    bytes: Mutex<Option<Arc<Vec<u8>>>>,
+    /// Clock second-chance bit: set on every access, cleared by a sweep.
+    referenced: AtomicBool,
+    /// Whether the slot is already in the clock ring.
+    enrolled: AtomicBool,
+}
+
+impl PageSlot {
+    /// The compressed payload length this slot accounts for.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the slot holds no bytes (it never does for pinned slots).
+    pub fn is_empty(&self) -> bool {
+        lock(&self.bytes).is_none()
+    }
+
+    /// The segment id a pageable slot reads from, if any.
+    pub fn segment_id(&self) -> Option<u64> {
+        self.cold.as_ref().map(|c| c.segment_id)
+    }
+
+    /// The compressed bytes, faulting them in from disk when cold.
+    pub fn bytes(self: &Arc<Self>) -> Result<Arc<Vec<u8>>, StorageError> {
+        self.referenced.store(true, Ordering::Relaxed);
+        if let Some(resident) = lock(&self.bytes).as_ref() {
+            return Ok(Arc::clone(resident));
+        }
+        // invariant: a slot with no resident bytes is always pageable —
+        // pinned slots are constructed resident and never evicted.
+        let cold = self.cold.as_ref().ok_or_else(|| {
+            StorageError::corrupt("chunk", "pinned chunk lost its resident bytes")
+        })?;
+        // Read outside the slot lock (lock ordering: the clock sweep takes
+        // clock -> slot, so a fault must never hold slot while enrolling).
+        let loaded = Arc::new(cold.read()?);
+        let won = {
+            let mut guard = lock(&self.bytes);
+            match guard.as_ref() {
+                Some(racer) => return Ok(Arc::clone(racer)),
+                None => {
+                    *guard = Some(Arc::clone(&loaded));
+                    true
+                }
+            }
+        };
+        if won {
+            self.pager.note_fault(self.len);
+            if !self.enrolled.swap(true, Ordering::Relaxed) {
+                lock(&self.pager.clock).ring.push(Arc::downgrade(self));
+            }
+            self.pager.enforce();
+        }
+        Ok(loaded)
+    }
+
+    /// Drops the resident bytes of a pageable slot, returning the bytes
+    /// freed (0 when pinned or already cold).
+    fn evict(&self) -> u64 {
+        if self.cold.is_none() {
+            return 0;
+        }
+        match lock(&self.bytes).take() {
+            Some(_) => self.len,
+            None => 0,
+        }
+    }
+}
+
+impl Drop for PageSlot {
+    fn drop(&mut self) {
+        let resident = self.bytes.get_mut().map(|b| b.is_some()).unwrap_or(false);
+        if resident {
+            self.pager.release_resident(self.len);
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Clock {
+    ring: Vec<Weak<PageSlot>>,
+    hand: usize,
+}
+
+/// Counter snapshot surfaced through [`super::StorageStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagerCounters {
+    /// All accounted resident bytes: compressed chunks + decoded caches.
+    pub resident_bytes: u64,
+    /// Compressed chunk bytes currently resident (pinned + paged).
+    pub resident_chunk_bytes: u64,
+    /// High-water mark of `resident_chunk_bytes` since open.
+    pub peak_resident_chunk_bytes: u64,
+    /// Cold chunk loads (one positioned read each).
+    pub page_faults: u64,
+    /// Pages and caches dropped to stay under budget.
+    pub evictions: u64,
+}
+
+/// The per-store pager, shared (like the decode counter) by the durable
+/// handle and every clone, so faults from snapshot views count against
+/// one budget.
+#[derive(Debug)]
+pub struct Pager {
+    /// Budget in bytes over compressed chunk residency; `u64::MAX` means
+    /// unbounded (the default for in-memory stores and plain `open`).
+    budget: u64,
+    chunk_resident: AtomicU64,
+    peak_chunk_resident: AtomicU64,
+    cache_resident: AtomicU64,
+    faults: AtomicU64,
+    evictions: AtomicU64,
+    clock: Mutex<Clock>,
+}
+
+impl Pager {
+    /// A pager that never evicts (every chunk stays resident once
+    /// touched) — the behaviour of stores opened without a budget.
+    pub fn unbounded() -> Arc<Pager> {
+        Pager::with_budget(None)
+    }
+
+    /// A pager enforcing `budget` bytes of compressed chunk residency
+    /// (`None` = unbounded).
+    pub fn with_budget(budget: Option<u64>) -> Arc<Pager> {
+        Arc::new(Pager {
+            budget: budget.unwrap_or(u64::MAX),
+            chunk_resident: AtomicU64::new(0),
+            peak_chunk_resident: AtomicU64::new(0),
+            cache_resident: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            clock: Mutex::new(Clock::default()),
+        })
+    }
+
+    /// The configured budget, when bounded.
+    pub fn budget(&self) -> Option<u64> {
+        if self.budget == u64::MAX {
+            None
+        } else {
+            Some(self.budget)
+        }
+    }
+
+    /// A pinned slot whose bytes are already in memory and have no
+    /// on-disk home to reload from (freshly sealed or recovery-merged
+    /// chunks). Never evicted; accounted until dropped.
+    pub fn slot_resident(self: &Arc<Self>, bytes: Arc<Vec<u8>>) -> Arc<PageSlot> {
+        let len = bytes.len() as u64;
+        self.add_resident(len);
+        Arc::new(PageSlot {
+            pager: Arc::clone(self),
+            len,
+            cold: None,
+            bytes: Mutex::new(Some(bytes)),
+            referenced: AtomicBool::new(true),
+            enrolled: AtomicBool::new(false),
+        })
+    }
+
+    /// A pageable slot starting cold: nothing resident until the first
+    /// fault loads the bytes from the segment file.
+    pub fn slot_cold(self: &Arc<Self>, cold: ColdRef) -> Arc<PageSlot> {
+        Arc::new(PageSlot {
+            pager: Arc::clone(self),
+            len: cold.len,
+            cold: Some(cold),
+            bytes: Mutex::new(None),
+            referenced: AtomicBool::new(false),
+            enrolled: AtomicBool::new(false),
+        })
+    }
+
+    fn add_resident(&self, n: u64) {
+        let now = self.chunk_resident.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak_chunk_resident.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn release_resident(&self, n: u64) {
+        self.chunk_resident.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    fn note_fault(&self, n: u64) {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        self.add_resident(n);
+    }
+
+    /// Accounts a decoded cache (per-chunk decode or per-series assembled
+    /// view) coming into existence.
+    pub fn cache_added(&self, n: u64) {
+        self.cache_resident.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Accounts a decoded cache being dropped.
+    pub fn cache_removed(&self, n: u64) {
+        self.cache_resident.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Counts cache invalidations done by [`crate::Tsdb::evict_to_budget`]
+    /// so they show up in the `evictions` counter alongside page drops.
+    pub fn note_cache_evictions(&self, n: u64) {
+        self.evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// True when total accounted residency (chunks + caches) exceeds the
+    /// budget — the trigger for shedding caches at mutation points.
+    pub fn over_budget(&self) -> bool {
+        let total = self.chunk_resident.load(Ordering::Relaxed)
+            + self.cache_resident.load(Ordering::Relaxed);
+        total > self.budget
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> PagerCounters {
+        let chunk = self.chunk_resident.load(Ordering::Relaxed);
+        PagerCounters {
+            resident_bytes: chunk + self.cache_resident.load(Ordering::Relaxed),
+            resident_chunk_bytes: chunk,
+            peak_resident_chunk_bytes: self.peak_chunk_resident.load(Ordering::Relaxed),
+            page_faults: self.faults.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Clock sweep: evicts pageable slots (second-chance on the
+    /// referenced bit) until compressed residency is back under budget or
+    /// nothing evictable remains. Safe behind `&self` — compressed bytes
+    /// are never borrowed out, only decoded caches are.
+    pub fn enforce(&self) {
+        if self.budget == u64::MAX || self.chunk_resident.load(Ordering::Relaxed) <= self.budget {
+            return;
+        }
+        let mut clock = lock(&self.clock);
+        let mut without_progress = 0usize;
+        while self.chunk_resident.load(Ordering::Relaxed) > self.budget {
+            if clock.ring.is_empty() || without_progress > 2 * clock.ring.len() {
+                break;
+            }
+            if clock.hand >= clock.ring.len() {
+                clock.hand = 0;
+            }
+            let hand = clock.hand;
+            let Some(slot) = clock.ring[hand].upgrade() else {
+                clock.ring.swap_remove(hand);
+                continue;
+            };
+            if slot.referenced.swap(false, Ordering::Relaxed) {
+                clock.hand += 1;
+                without_progress += 1;
+                continue;
+            }
+            let freed = slot.evict();
+            if freed > 0 {
+                self.release_resident(freed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                without_progress = 0;
+            } else {
+                without_progress += 1;
+            }
+            clock.hand += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn cold_ref(dir: &std::path::Path, name: &str, payload: &[u8], offset: u64) -> ColdRef {
+        let path = dir.join(name);
+        let mut f = std::fs::File::create(&path).expect("create");
+        f.write_all(&vec![0u8; offset as usize]).expect("pad");
+        f.write_all(payload).expect("payload");
+        f.sync_all().expect("sync");
+        ColdRef {
+            file: Arc::new(std::fs::File::open(&path).expect("open")),
+            segment_id: 0,
+            offset,
+            len: payload.len() as u64,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("explainit-pager-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn fault_reads_at_offset_and_counts() {
+        let dir = tmp_dir("fault");
+        let pager = Pager::with_budget(Some(1024));
+        let slot = pager.slot_cold(cold_ref(&dir, "seg", b"hello chunk", 7));
+        assert!(slot.is_empty());
+        assert_eq!(pager.counters().resident_chunk_bytes, 0);
+        let bytes = slot.bytes().expect("fault");
+        assert_eq!(&bytes[..], b"hello chunk");
+        let c = pager.counters();
+        assert_eq!(c.page_faults, 1);
+        assert_eq!(c.resident_chunk_bytes, 11);
+        // Second access hits the resident copy: no new fault.
+        let again = slot.bytes().expect("hit");
+        assert_eq!(&again[..], b"hello chunk");
+        assert_eq!(pager.counters().page_faults, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clock_evicts_down_to_budget() {
+        let dir = tmp_dir("evict");
+        let pager = Pager::with_budget(Some(24));
+        let slots: Vec<_> = (0..4)
+            .map(|i| pager.slot_cold(cold_ref(&dir, &format!("seg{i}"), &[i as u8; 16], i as u64)))
+            .collect();
+        for slot in &slots {
+            let _ = slot.bytes().expect("fault");
+        }
+        let c = pager.counters();
+        assert_eq!(c.page_faults, 4);
+        assert!(c.resident_chunk_bytes <= 24 + 16, "stays near budget: {c:?}");
+        assert!(c.evictions >= 2, "older pages evicted: {c:?}");
+        // Evicted slots fault back in transparently with the same bytes.
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(&slot.bytes().expect("refault")[..], &[i as u8; 16]);
+        }
+        assert!(c.peak_resident_chunk_bytes <= 24 + 16, "peak bounded: {c:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pinned_slots_are_never_evicted() {
+        let dir = tmp_dir("pinned");
+        let pager = Pager::with_budget(Some(4));
+        let pinned = pager.slot_resident(Arc::new(vec![9u8; 32]));
+        let cold = pager.slot_cold(cold_ref(&dir, "seg", &[1u8; 16], 0));
+        let _ = cold.bytes().expect("fault");
+        pager.enforce();
+        assert!(!pinned.is_empty(), "pinned bytes survive pressure");
+        assert_eq!(&pinned.bytes().expect("pinned")[..], &[9u8; 32]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropping_slots_releases_accounting() {
+        let pager = Pager::unbounded();
+        let slot = pager.slot_resident(Arc::new(vec![0u8; 100]));
+        assert_eq!(pager.counters().resident_chunk_bytes, 100);
+        drop(slot);
+        assert_eq!(pager.counters().resident_chunk_bytes, 0);
+        assert!(pager.budget().is_none());
+    }
+
+    #[test]
+    fn cache_accounting_feeds_over_budget() {
+        let pager = Pager::with_budget(Some(64));
+        assert!(!pager.over_budget());
+        pager.cache_added(100);
+        assert!(pager.over_budget());
+        assert_eq!(pager.counters().resident_bytes, 100);
+        pager.cache_removed(100);
+        assert!(!pager.over_budget());
+    }
+}

@@ -28,6 +28,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use super::chunk::{ChunkMeta, EncodedChunk};
+use super::failpoint::{self, Point};
 use super::{crc32, sync_dir, SegmentHandle, StorageError};
 use crate::model::SeriesKey;
 
@@ -58,6 +59,48 @@ pub struct ParsedSegment {
     pub series: Vec<SegmentSeries>,
     /// Total compressed chunk payload bytes.
     pub data_bytes: u64,
+}
+
+/// One chunk's directory entry with its payload location resolved to an
+/// absolute file offset — everything a cold chunk keeps resident.
+#[derive(Debug, Clone, Copy)]
+pub struct MappedChunk {
+    /// Pruning metadata.
+    pub meta: ChunkMeta,
+    /// Absolute byte offset of the payload inside the segment file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+/// One series' directory entry of a mapped segment.
+#[derive(Debug, Clone)]
+pub struct MappedSeries {
+    /// The series identity.
+    pub key: SeriesKey,
+    /// Its chunks, ascending `min_ts`.
+    pub chunks: Vec<MappedChunk>,
+}
+
+/// A segment validated and mapped for demand paging: the whole file was
+/// read once to verify the CRC, then only the directory stays resident
+/// along with an open read handle — chunk payloads load later with one
+/// positioned read each.
+#[derive(Debug)]
+pub struct MappedSegment {
+    /// The segment id from the header (must match the file name).
+    pub id: u64,
+    /// Ids of segments this one replaced (compaction output).
+    pub supersedes: Vec<u64>,
+    /// The per-series chunk directory.
+    pub series: Vec<MappedSeries>,
+    /// Total compressed chunk payload bytes.
+    pub data_bytes: u64,
+    /// Largest `max_ts` across all chunks (`None` when chunkless).
+    pub max_ts: Option<i64>,
+    /// Open read handle, shared by every cold chunk of the segment (the
+    /// inode outlives a later unlink as long as chunks reference it).
+    pub file: Arc<std::fs::File>,
 }
 
 /// Path of segment `id` inside a store directory.
@@ -121,26 +164,56 @@ pub fn write_segment(
     body.extend_from_slice(&data);
     let sum = crc32(&body);
     body.extend_from_slice(&sum.to_le_bytes());
+    let max_ts = series.iter().flat_map(|(_, cs)| cs.iter().map(|c| c.meta.max_ts)).max();
 
     let path = segment_path(dir, id);
     let tmp = path.with_extension("tmp");
     let ctx = |verb: &str, p: &Path| format!("{verb} {}", p.display());
+    // Failpoints fire *after* each real step (except Create), modelling a
+    // crash between the operation and its acknowledgement — the caller
+    // sees an error while the bytes may already be durable.
+    if let Some(e) = failpoint::trip(Point::SegmentCreate, &tmp) {
+        return Err(e);
+    }
     {
         let mut f =
             std::fs::File::create(&tmp).map_err(|e| StorageError::io(ctx("creating", &tmp), e))?;
         f.write_all(&body).map_err(|e| StorageError::io(ctx("writing", &tmp), e))?;
+        if let Some(e) = failpoint::trip(Point::SegmentWrite, &tmp) {
+            return Err(e);
+        }
         f.sync_all().map_err(|e| StorageError::io(ctx("syncing", &tmp), e))?;
+        if let Some(e) = failpoint::trip(Point::SegmentSync, &tmp) {
+            return Err(e);
+        }
     }
     std::fs::rename(&tmp, &path)
         .map_err(|e| StorageError::io(format!("renaming {} into place", tmp.display()), e))?;
+    if let Some(e) = failpoint::trip(Point::SegmentRename, &path) {
+        return Err(e);
+    }
     sync_dir(dir)?;
-    Ok(SegmentHandle { id, path, data_bytes })
+    if let Some(e) = failpoint::trip(Point::SegmentDirSync, &path) {
+        return Err(e);
+    }
+    Ok(SegmentHandle { id, path, data_bytes, max_ts })
 }
 
-/// Reads and fully validates one segment file.
-pub fn read_segment(path: &Path) -> Result<ParsedSegment, StorageError> {
-    let bytes = std::fs::read(path)
-        .map_err(|e| StorageError::io(format!("reading {}", path.display()), e))?;
+/// The validated directory of a segment body, before payload resolution.
+struct RawSegment {
+    id: u64,
+    supersedes: Vec<u64>,
+    /// Chunk offsets are relative to the data region.
+    raw: Vec<(SeriesKey, Vec<MappedChunk>)>,
+    /// Byte offset of the data region inside the body (== inside the
+    /// file, since the body is a prefix of it).
+    data_start: usize,
+    data_len: u64,
+}
+
+/// Validates the whole-file checksum and parses the directory of one
+/// segment body (the file minus its 4-byte CRC trailer).
+fn parse_body(bytes: &[u8], path: &Path) -> Result<RawSegment, StorageError> {
     let what = path.display();
     let corrupt = |detail: &str| StorageError::corrupt(path.display(), detail.to_string());
     if bytes.len() < MAGIC.len() + 8 + 4 + 4 + 4 {
@@ -162,14 +235,7 @@ pub fn read_segment(path: &Path) -> Result<ParsedSegment, StorageError> {
         supersedes.push(read_u64(body, &mut at).ok_or_else(|| corrupt("truncated supersedes"))?);
     }
     let n_series = read_count(body, &mut at).ok_or_else(|| corrupt("bad series count"))?;
-    // First pass over the directory to find where the data region starts:
-    // parse directory entries, then resolve chunk payload slices.
-    struct RawChunk {
-        meta: ChunkMeta,
-        offset: u64,
-        len: u64,
-    }
-    let mut raw: Vec<(SeriesKey, Vec<RawChunk>)> = Vec::with_capacity(n_series);
+    let mut raw: Vec<(SeriesKey, Vec<MappedChunk>)> = Vec::with_capacity(n_series);
     for _ in 0..n_series {
         let name = read_str(body, &mut at).ok_or_else(|| corrupt("truncated series name"))?;
         let n_tags = read_count(body, &mut at).ok_or_else(|| corrupt("bad tag count"))?;
@@ -192,24 +258,84 @@ pub fn read_segment(path: &Path) -> Result<ParsedSegment, StorageError> {
             if count == 0 || min_ts > max_ts {
                 return Err(corrupt("empty or inverted chunk meta"));
             }
-            chunks.push(RawChunk { meta: ChunkMeta { min_ts, max_ts, count }, offset, len });
+            chunks.push(MappedChunk { meta: ChunkMeta { min_ts, max_ts, count }, offset, len });
         }
         raw.push((key, chunks));
     }
     let data_start = at;
     let data_len = (body.len() - data_start) as u64;
-    let mut series = Vec::with_capacity(raw.len());
-    for (key, chunks) in raw {
+    // Bounds-check every payload location up front so both readers can
+    // trust the directory.
+    for (_, chunks) in &raw {
+        for c in chunks {
+            if c.offset.checked_add(c.len).filter(|&e| e <= data_len).is_none() {
+                return Err(corrupt("chunk payload outside data region"));
+            }
+        }
+    }
+    Ok(RawSegment { id, supersedes, raw, data_start, data_len })
+}
+
+/// Reads and fully validates one segment file, materialising every chunk
+/// payload (recovery uses this only where it must merge; tests use it for
+/// byte-level assertions — the open path maps instead).
+pub fn read_segment(path: &Path) -> Result<ParsedSegment, StorageError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| StorageError::io(format!("reading {}", path.display()), e))?;
+    let parsed = parse_body(&bytes, path)?;
+    let body = &bytes[..bytes.len() - 4];
+    let mut series = Vec::with_capacity(parsed.raw.len());
+    for (key, chunks) in parsed.raw {
         let mut out = Vec::with_capacity(chunks.len());
         for c in chunks {
-            let end = c.offset.checked_add(c.len).filter(|&e| e <= data_len);
-            let end = end.ok_or_else(|| corrupt("chunk payload outside data region"))?;
-            let payload = &body[data_start + c.offset as usize..data_start + end as usize];
+            let start = parsed.data_start + c.offset as usize;
+            let payload = &body[start..start + c.len as usize];
             out.push(EncodedChunk { meta: c.meta, bytes: Arc::new(payload.to_vec()) });
         }
         series.push(SegmentSeries { key, chunks: out });
     }
-    Ok(ParsedSegment { id, supersedes, series, data_bytes: data_len })
+    Ok(ParsedSegment {
+        id: parsed.id,
+        supersedes: parsed.supersedes,
+        series,
+        data_bytes: parsed.data_len,
+    })
+}
+
+/// Reads a segment once to validate its whole-file checksum, then keeps
+/// only the chunk directory (with offsets resolved to absolute file
+/// positions) and an open read handle — the resident footprint of a fully
+/// cold segment.
+pub fn map_segment(path: &Path) -> Result<MappedSegment, StorageError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| StorageError::io(format!("reading {}", path.display()), e))?;
+    let parsed = parse_body(&bytes, path)?;
+    drop(bytes);
+    let file = std::fs::File::open(path)
+        .map_err(|e| StorageError::io(format!("opening {} for paging", path.display()), e))?;
+    let mut max_ts = None;
+    let series = parsed
+        .raw
+        .into_iter()
+        .map(|(key, chunks)| MappedSeries {
+            key,
+            chunks: chunks
+                .into_iter()
+                .map(|c| {
+                    max_ts = Some(max_ts.map_or(c.meta.max_ts, |m: i64| m.max(c.meta.max_ts)));
+                    MappedChunk { offset: parsed.data_start as u64 + c.offset, ..c }
+                })
+                .collect(),
+        })
+        .collect();
+    Ok(MappedSegment {
+        id: parsed.id,
+        supersedes: parsed.supersedes,
+        series,
+        data_bytes: parsed.data_len,
+        max_ts,
+        file: Arc::new(file),
+    })
 }
 
 fn write_str(out: &mut Vec<u8>, s: &str) {
@@ -319,6 +445,31 @@ mod tests {
         assert!(is_tmp_segment("seg-00000007.tmp"));
         assert!(!is_tmp_segment("seg-00000007.seg"));
         assert!(!is_tmp_segment("other.tmp"));
+    }
+
+    #[test]
+    fn map_segment_resolves_absolute_offsets() {
+        let dir = tmp_dir("map");
+        let handle = write_segment(&dir, 3, &[1], &sample_series()).expect("write");
+        assert_eq!(handle.max_ts, Some(i64::MAX), "handle carries the segment max_ts");
+        let parsed = read_segment(&handle.path).expect("read");
+        let mapped = map_segment(&handle.path).expect("map");
+        assert_eq!(mapped.id, 3);
+        assert_eq!(mapped.supersedes, vec![1]);
+        assert_eq!(mapped.data_bytes, parsed.data_bytes);
+        assert_eq!(mapped.max_ts, Some(i64::MAX));
+        // Every mapped chunk's positioned read must reproduce the payload
+        // read_segment sliced out of the same file.
+        let raw = std::fs::read(&handle.path).expect("raw bytes");
+        for (ps, ms) in parsed.series.iter().zip(&mapped.series) {
+            assert_eq!(ps.key, ms.key);
+            for (pc, mc) in ps.chunks.iter().zip(&ms.chunks) {
+                assert_eq!(pc.meta, mc.meta);
+                let at = mc.offset as usize;
+                assert_eq!(&raw[at..at + mc.len as usize], &pc.bytes[..]);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

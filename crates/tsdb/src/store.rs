@@ -8,10 +8,12 @@ use std::sync::Arc;
 
 use crate::glob::{glob_literal_prefix, glob_match, is_glob};
 use crate::model::{Series, SeriesKey, TimeRange};
-use crate::storage::chunk::EncodedChunk;
+use crate::storage::chunk::{ChunkMeta, EncodedChunk};
+use crate::storage::pager::Pager;
+use crate::storage::recover::RecoverOptions;
 use crate::storage::wal::{Wal, WalRecord};
 use crate::storage::{
-    compact, recover, segment, DecodeCounter, Storage, StorageError, StorageStats,
+    compact, recover, segment, DecodeCounter, Storage, StorageError, StorageOptions, StorageStats,
     AUTO_COMPACT_SEGMENTS,
 };
 
@@ -127,7 +129,19 @@ impl MetricFilter {
 /// small segments pile up. Cloning a durable store yields an *in-memory
 /// snapshot view* that shares the compressed chunk bytes but detaches from
 /// the directory, so exactly one handle ever writes it.
-#[derive(Debug, Default)]
+///
+/// # Residency lifecycle
+///
+/// Chunks recovered from segment files start **Cold**: only their
+/// directory entry (min/max timestamp, count, offset, length) is
+/// resident. The first scan that touches one faults its compressed bytes
+/// in with a single positioned read (**Paged**), and decoding on top of
+/// that yields the **Decoded** cache. A [`StorageOptions::page_budget_bytes`]
+/// budget bounds the paged tier with clock eviction (see
+/// [`crate::storage::pager`]); decoded caches are accounted too and shed
+/// at mutation points via [`Tsdb::evict_to_budget`]. With no budget
+/// (plain [`Tsdb::open`]) every touched chunk simply stays resident.
+#[derive(Debug)]
 pub struct Tsdb {
     series: Vec<Series>,
     by_key: HashMap<SeriesKey, SeriesId>,
@@ -138,12 +152,33 @@ pub struct Tsdb {
     /// Chunk-decode counter shared by this store and all its clones — the
     /// observable that proves scans decode lazily.
     decode_counter: DecodeCounter,
+    /// The pager owning residency accounting and the eviction clock,
+    /// shared (like the decode counter) by this store and all its clones.
+    /// Unbounded unless the store was opened with a budget.
+    pager: Arc<Pager>,
+}
+
+impl Default for Tsdb {
+    fn default() -> Self {
+        Tsdb {
+            series: Vec::new(),
+            by_key: HashMap::new(),
+            name_index: BTreeMap::new(),
+            tag_index: BTreeMap::new(),
+            storage: None,
+            decode_counter: DecodeCounter::default(),
+            pager: Pager::unbounded(),
+        }
+    }
 }
 
 /// Clones detach from the store directory: the clone is an in-memory
-/// snapshot view sharing the sealed chunk payloads (`Arc` bytes) and the
-/// decode counter, never the WAL or segment files. This is what the
-/// catalog's snapshot-at-bind contract consumes.
+/// snapshot view sharing the sealed chunk payloads (`Arc` page slots) and
+/// the decode counter, never the WAL or segment files. This is what the
+/// catalog's snapshot-at-bind contract consumes. The pager is shared too:
+/// a clone scanning cold chunks faults through (and is budgeted by) the
+/// same clock, and its `ColdRef`s hold open file handles, so paging keeps
+/// working even after the writer compacts the segment files away.
 impl Clone for Tsdb {
     fn clone(&self) -> Self {
         Tsdb {
@@ -153,6 +188,7 @@ impl Clone for Tsdb {
             tag_index: self.tag_index.clone(),
             storage: None,
             decode_counter: Arc::clone(&self.decode_counter),
+            pager: Arc::clone(&self.pager),
         }
     }
 }
@@ -169,13 +205,56 @@ impl Tsdb {
     /// through the exact [`Series::push`] insert contract. A torn WAL tail
     /// is truncated to the last fully-committed record.
     pub fn open(dir: impl AsRef<Path>) -> Result<Tsdb, StorageError> {
-        let dir = dir.as_ref();
-        let recovered = recover::recover(dir)?;
+        Tsdb::open_with(dir, StorageOptions::default())
+    }
+
+    /// [`Tsdb::open`] with explicit [`StorageOptions`]: a page budget
+    /// bounds resident compressed chunk bytes (cold chunks demand-page in
+    /// and evict under clock pressure), and a retention window drops whole
+    /// expired segments — at open and after every flush — without decoding
+    /// them.
+    pub fn open_with(dir: impl AsRef<Path>, options: StorageOptions) -> Result<Tsdb, StorageError> {
+        Tsdb::open_impl(dir.as_ref(), options, false)
+    }
+
+    /// Opens an *existing* store without taking the writer role: the WAL
+    /// is replayed but never created, extended, or truncated; tmp files
+    /// and superseded/expired segments are ignored rather than deleted.
+    /// Any number of read-only handles may coexist with each other (and
+    /// with one writer, seeing its state as of their open). All mutating
+    /// surfaces ([`Tsdb::try_insert`], [`Tsdb::flush`], [`Tsdb::sync`],
+    /// [`Tsdb::compact`]) fail with [`StorageError::ReadOnly`].
+    pub fn open_read_only(dir: impl AsRef<Path>) -> Result<Tsdb, StorageError> {
+        Tsdb::open_read_only_with(dir, StorageOptions::default())
+    }
+
+    /// [`Tsdb::open_read_only`] with explicit [`StorageOptions`]. The
+    /// retention window only *excludes* expired segments from the view —
+    /// a read-only handle never deletes their files.
+    pub fn open_read_only_with(
+        dir: impl AsRef<Path>,
+        options: StorageOptions,
+    ) -> Result<Tsdb, StorageError> {
+        Tsdb::open_impl(dir.as_ref(), options, true)
+    }
+
+    fn open_impl(
+        dir: &Path,
+        options: StorageOptions,
+        read_only: bool,
+    ) -> Result<Tsdb, StorageError> {
+        let recovered =
+            recover::recover(dir, &RecoverOptions { read_only, retention: options.retention })?;
         let mut db = Tsdb::new();
+        db.pager = Pager::with_budget(options.page_budget_bytes);
         for (key, chunks) in recovered.series {
             let id = db.series_id(&key);
-            db.series[id.index()] =
-                Series::from_storage(key, chunks, Arc::clone(&db.decode_counter));
+            db.series[id.index()] = Series::from_storage(
+                key,
+                chunks,
+                Arc::clone(&db.decode_counter),
+                Arc::clone(&db.pager),
+            );
         }
         // A Replace record in the WAL means the crash hit before the
         // replacement was flushed: stale chunks for that key are still in
@@ -196,16 +275,25 @@ impl Tsdb {
                 }
             }
         }
+        let wal = if read_only { None } else { Some(Wal::open(dir, recovered.wal_committed)?) };
         db.storage = Some(Storage {
             dir: dir.to_path_buf(),
-            wal: Wal::open(dir, recovered.wal_committed)?,
+            wal,
+            wal_tail: recovered.wal_committed,
             segments: recovered.segments,
             next_segment_id: recovered.next_segment_id,
             freelist: recovered.freelist,
             sticky_error: None,
             needs_rewrite,
+            pending: Vec::new(),
+            options,
         });
         Ok(db)
+    }
+
+    /// True when this handle observes a store directory it may not write.
+    pub fn is_read_only(&self) -> bool {
+        self.storage.as_ref().is_some_and(Storage::is_read_only)
     }
 
     /// True when this handle owns a store directory.
@@ -225,15 +313,32 @@ impl Tsdb {
         self.decode_counter.load(Ordering::Relaxed)
     }
 
-    /// Storage counters, when durable.
+    /// Storage counters, when durable. The paging counters come from the
+    /// shared pager: `resident_bytes` covers compressed chunk bytes plus
+    /// decoded caches, `peak_resident_chunk_bytes` is the high-water mark
+    /// the out-of-core gate checks against the budget, and
+    /// `page_faults`/`evictions` prove cold chunks actually paged.
     pub fn storage_stats(&self) -> Option<StorageStats> {
-        self.storage.as_ref().map(|s| StorageStats {
-            segments: s.segments.len(),
-            segment_bytes: s.segments.iter().map(|h| h.data_bytes).sum(),
-            chunks: self.series.iter().map(|series| series.sealed_chunks().len()).sum(),
-            wal_bytes: s.wal.len(),
-            freelist: s.freelist.clone(),
+        self.storage.as_ref().map(|s| {
+            let pager = self.pager.counters();
+            StorageStats {
+                segments: s.segments.len(),
+                segment_bytes: s.segments.iter().map(|h| h.data_bytes).sum(),
+                chunks: self.series.iter().map(|series| series.sealed_chunks().len()).sum(),
+                wal_bytes: s.wal_len(),
+                freelist: s.freelist.clone(),
+                resident_bytes: pager.resident_bytes,
+                resident_chunk_bytes: pager.resident_chunk_bytes,
+                peak_resident_chunk_bytes: pager.peak_resident_chunk_bytes,
+                page_faults: pager.page_faults,
+                evictions: pager.evictions,
+            }
         })
+    }
+
+    /// The page budget this store was opened with, if any.
+    pub fn page_budget(&self) -> Option<u64> {
+        self.pager.budget()
     }
 
     /// Fsyncs the WAL: everything inserted so far survives a crash (as
@@ -241,7 +346,10 @@ impl Tsdb {
     /// no segment write.
     pub fn sync(&mut self) -> Result<(), StorageError> {
         match self.storage.as_mut() {
-            Some(storage) => storage.wal.sync(),
+            Some(storage) => match storage.wal.as_mut() {
+                Some(wal) => wal.sync(),
+                None => Err(StorageError::ReadOnly),
+            },
             None => Err(StorageError::NotDurable),
         }
     }
@@ -255,36 +363,143 @@ impl Tsdb {
         let Some(storage) = self.storage.as_mut() else {
             return Err(StorageError::NotDurable);
         };
+        if storage.is_read_only() {
+            return Err(StorageError::ReadOnly);
+        }
         if let Some(err) = storage.sticky_error.take() {
             return Err(err);
         }
-        storage.wal.sync()?;
+        if let Some(wal) = storage.wal.as_mut() {
+            wal.sync()?;
+        }
         // Seal heads in canonical key order so segment directories are
-        // deterministic for a given logical store.
+        // deterministic for a given logical store. Chunks a previous flush
+        // sealed but failed to write (`pending`) lead the batch: their WAL
+        // records are still intact, and either path — segment retry here
+        // or WAL replay after a crash — recovers them exactly once.
         let mut order: Vec<usize> = (0..self.series.len()).collect();
         order.sort_by_cached_key(|&i| self.series[i].key.canonical());
-        let mut new_chunks: Vec<(SeriesKey, Vec<EncodedChunk>)> = Vec::new();
+        let mut new_chunks: Vec<(SeriesKey, Vec<EncodedChunk>)> =
+            std::mem::take(&mut storage.pending);
         for &i in &order {
             let counter = Arc::clone(&self.decode_counter);
-            if let Some(chunks) = self.series[i].seal_head(counter) {
+            if let Some(chunks) = self.series[i].seal_head(counter, &self.pager) {
                 new_chunks.push((self.series[i].key.clone(), chunks));
             }
         }
         if storage.needs_rewrite {
-            let view = sealed_view(&self.series, &order);
+            // The rewrite serializes the full sealed view, which includes
+            // every pending chunk (they live on the series' sealed tiers),
+            // so `pending` needs no refill on failure: `needs_rewrite`
+            // stays set and the WAL survives until a rewrite succeeds.
+            let view = sealed_view(&self.series, &order)?;
             compact::rewrite(storage, &view)?;
             storage.needs_rewrite = false;
         } else if !new_chunks.is_empty() {
             let id = storage.take_segment_id();
-            let handle = segment::write_segment(&storage.dir, id, &[], &new_chunks)?;
-            storage.segments.push(handle);
+            match segment::write_segment(&storage.dir, id, &[], &new_chunks) {
+                Ok(handle) => storage.segments.push(handle),
+                Err(err) => {
+                    // The sealed chunks have no durable home yet: park them
+                    // for the next flush and keep the WAL — truncating it
+                    // here would drop the only durable copy of these points.
+                    storage.pending = new_chunks;
+                    return Err(err);
+                }
+            }
         }
-        storage.wal.truncate()?;
+        if let Some(wal) = storage.wal.as_mut() {
+            wal.truncate()?;
+        }
+        self.apply_retention()?;
+        let Some(storage) = self.storage.as_mut() else {
+            return Err(StorageError::NotDurable);
+        };
         if storage.segments.len() >= AUTO_COMPACT_SEGMENTS {
-            let view = sealed_view(&self.series, &order);
+            let view = sealed_view(&self.series, &order)?;
             compact::merge_segments(storage, &view)?;
         }
+        self.evict_to_budget();
         Ok(())
+    }
+
+    /// Drops whole segments that fell out of the retention window — by
+    /// directory metadata alone, without decoding a chunk — and removes
+    /// their chunks from the in-memory sealed tiers so memory and disk
+    /// stay one view. Called after every successful flush; a no-op
+    /// without a configured window.
+    fn apply_retention(&mut self) -> Result<(), StorageError> {
+        let Some(storage) = self.storage.as_mut() else {
+            return Ok(());
+        };
+        let Some(retention) = storage.options.retention else {
+            return Ok(());
+        };
+        // After a flush every point lives in a segment, so the segment
+        // directory alone yields the store's global maximum timestamp.
+        let Some(global_max) = storage.segments.iter().filter_map(|s| s.max_ts).max() else {
+            return Ok(());
+        };
+        let cutoff = global_max.saturating_sub(retention);
+        let expired: Vec<u64> = storage
+            .segments
+            .iter()
+            .filter(|s| s.max_ts.is_some_and(|m| m < cutoff))
+            .map(|s| s.id)
+            .collect();
+        if expired.is_empty() {
+            return Ok(());
+        }
+        let mut dropped = Vec::new();
+        storage.segments.retain(|s| {
+            if expired.contains(&s.id) {
+                dropped.push(s.path.clone());
+                false
+            } else {
+                true
+            }
+        });
+        // Chunks sealed by this process carry no segment id yet, so read
+        // the expiring segments' directories (metadata only — payloads
+        // stay untouched) to know which in-memory chunks go with them.
+        let mut expired_metas: HashMap<SeriesKey, Vec<ChunkMeta>> = HashMap::new();
+        for path in &dropped {
+            let mapped = segment::map_segment(path)?;
+            for s in mapped.series {
+                expired_metas.entry(s.key).or_default().extend(s.chunks.iter().map(|c| c.meta));
+            }
+        }
+        storage.freelist.extend(expired.iter().copied());
+        for path in &dropped {
+            std::fs::remove_file(path)
+                .map_err(|e| StorageError::io(format!("removing {}", path.display()), e))?;
+        }
+        crate::storage::sync_dir(&storage.dir)?;
+        static NO_METAS: &[ChunkMeta] = &[];
+        for series in &mut self.series {
+            let metas = expired_metas.get(&series.key).map_or(NO_METAS, Vec::as_slice);
+            series.drop_expired_chunks(&expired, metas);
+        }
+        Ok(())
+    }
+
+    /// Sheds decoded caches (per-chunk decode caches and assembled
+    /// whole-series views) when total resident bytes exceed the page
+    /// budget, then lets the pager's clock evict compressed chunk bytes
+    /// down to the budget. Returns the number of caches dropped. Runs
+    /// automatically at the end of every flush; exposed so long-running
+    /// read paths can bound memory between flushes too. A no-op on an
+    /// unbounded store.
+    pub fn evict_to_budget(&mut self) -> u64 {
+        let mut dropped = 0;
+        if self.pager.over_budget() {
+            for series in &mut self.series {
+                dropped += series.shed_caches();
+            }
+            self.pager.note_cache_evictions(dropped);
+        }
+        self.pager.enforce();
+        dropped
     }
 
     /// Flushes, then folds all segments into one regardless of how few
@@ -297,7 +512,7 @@ impl Tsdb {
         };
         let mut order: Vec<usize> = (0..self.series.len()).collect();
         order.sort_by_cached_key(|&i| self.series[i].key.canonical());
-        let view = sealed_view(&self.series, &order);
+        let view = sealed_view(&self.series, &order)?;
         compact::merge_segments(storage, &view)
     }
 
@@ -317,7 +532,9 @@ impl Tsdb {
             return id;
         }
         let id = SeriesId(u32::try_from(self.series.len()).expect("series id overflow"));
-        self.series.push(Series::new(key.clone()));
+        let mut series = Series::new(key.clone());
+        series.set_pager(Arc::clone(&self.pager));
+        self.series.push(series);
         self.by_key.insert(key.clone(), id);
         self.name_index.entry(key.name.clone()).or_default().insert(id);
         for (k, v) in &key.tags {
@@ -371,9 +588,12 @@ impl Tsdb {
 
     fn wal_append(&mut self, key: &SeriesKey, points: &[(i64, f64)]) -> Result<(), StorageError> {
         match self.storage.as_mut() {
-            Some(storage) => {
-                storage.wal.append(&WalRecord::Batch { key: key.clone(), points: points.to_vec() })
-            }
+            Some(storage) => match storage.wal.as_mut() {
+                Some(wal) => {
+                    wal.append(&WalRecord::Batch { key: key.clone(), points: points.to_vec() })
+                }
+                None => Err(StorageError::ReadOnly),
+            },
             None => Ok(()),
         }
     }
@@ -393,19 +613,32 @@ impl Tsdb {
     /// in older segments must not outlive the replacement.
     pub fn insert_series(&mut self, series: Series) {
         if let Some(storage) = self.storage.as_mut() {
-            let points: Vec<(i64, f64)> =
-                series.timestamps().iter().copied().zip(series.values().iter().copied()).collect();
-            let record = WalRecord::Replace { key: series.key.clone(), points };
-            let result = storage.wal.append(&record);
-            storage.needs_rewrite = true;
-            if let Err(err) = result {
-                self.record_sticky(err);
+            match storage.wal.as_mut() {
+                Some(wal) => {
+                    let points: Vec<(i64, f64)> = series
+                        .timestamps()
+                        .iter()
+                        .copied()
+                        .zip(series.values().iter().copied())
+                        .collect();
+                    let record = WalRecord::Replace { key: series.key.clone(), points };
+                    let result = wal.append(&record);
+                    storage.needs_rewrite = true;
+                    if let Err(err) = result {
+                        self.record_sticky(err);
+                    }
+                }
+                None => self.record_sticky(StorageError::ReadOnly),
             }
         }
         self.replace_series_in_memory(series);
     }
 
-    fn replace_series_in_memory(&mut self, series: Series) {
+    fn replace_series_in_memory(&mut self, mut series: Series) {
+        // The caller-built series carries no pager; shed any caches it
+        // accumulated unaccounted, then adopt it under this store's pager.
+        series.shed_caches();
+        series.set_pager(Arc::clone(&self.pager));
         let id = self.series_id(&series.key);
         self.series[id.index()] = series;
     }
@@ -701,21 +934,26 @@ impl Tsdb {
 
 /// The sealed in-memory view in the given canonical-order permutation:
 /// what segment rewrites and compaction serialize. Chunk payloads are
-/// shared (`Arc`), so this never decodes or copies point data.
-fn sealed_view(series: &[Series], order: &[usize]) -> Vec<(SeriesKey, Vec<EncodedChunk>)> {
-    order
-        .iter()
-        .filter(|&&i| series[i].has_sealed())
-        .map(|&i| {
-            let s = &series[i];
-            let chunks = s
-                .sealed_chunks()
-                .iter()
-                .map(|c| EncodedChunk { meta: c.meta, bytes: Arc::clone(&c.bytes) })
-                .collect();
-            (s.key.clone(), chunks)
-        })
-        .collect()
+/// shared (`Arc` page slots), so this never decodes or copies point data
+/// — but cold chunks do page their compressed bytes in (and may evict
+/// again right after under a tight budget), which is why it is fallible.
+fn sealed_view(
+    series: &[Series],
+    order: &[usize],
+) -> Result<Vec<(SeriesKey, Vec<EncodedChunk>)>, StorageError> {
+    let mut view = Vec::new();
+    for &i in order {
+        let s = &series[i];
+        if !s.has_sealed() {
+            continue;
+        }
+        let mut chunks = Vec::with_capacity(s.sealed_chunks().len());
+        for c in s.sealed_chunks() {
+            chunks.push(c.encoded()?);
+        }
+        view.push((s.key.clone(), chunks));
+    }
+    Ok(view)
 }
 
 #[cfg(test)]

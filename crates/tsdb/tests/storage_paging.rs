@@ -1,0 +1,224 @@
+//! Out-of-core behaviour of a reopened store: demand paging, the memory
+//! budget with eviction, the (previously leaking) assembled-cache
+//! accounting, read-only opens, and retention.
+
+use explainit_tsdb::{MetricFilter, SeriesKey, StorageError, StorageOptions, Tsdb};
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("explainit-paging-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn contents(db: &Tsdb) -> Vec<(String, Vec<i64>, Vec<f64>)> {
+    let Some(range) = db.time_span() else { return Vec::new() };
+    let mut rows: Vec<(String, Vec<i64>, Vec<f64>)> = db
+        .scan(&MetricFilter::all(), &range)
+        .into_iter()
+        .map(|(k, ts, vs)| (k.canonical(), ts.to_vec(), vs.to_vec()))
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
+/// Builds a flushed multi-chunk store and returns its expected contents.
+fn build_store(dir: &std::path::Path) -> Vec<(String, Vec<i64>, Vec<f64>)> {
+    let mut db = Tsdb::open(dir).expect("open");
+    // Three flush rounds -> three chunks per series on disk.
+    for round in 0..3i64 {
+        for host in ["a", "b", "c"] {
+            let key = SeriesKey::new("cpu").with_tag("host", host);
+            for t in 0..40i64 {
+                let ts = (round * 1000 + t) * 60;
+                db.try_insert(&key, ts, (round * 40 + t) as f64 + 0.5).expect("insert");
+            }
+        }
+        db.flush().expect("flush");
+    }
+    contents(&db)
+}
+
+#[test]
+fn cold_open_keeps_only_the_chunk_directory_resident() {
+    let dir = tmp_dir("cold-open");
+    let expected = build_store(&dir);
+    let db = Tsdb::open(&dir).expect("reopen");
+    let stats = db.storage_stats().expect("stats");
+    assert_eq!(stats.resident_chunk_bytes, 0, "no chunk bytes resident before any scan");
+    assert_eq!(stats.page_faults, 0, "recovery faults nothing in");
+    assert_eq!(db.decode_count(), 0, "recovery decodes nothing");
+    assert_eq!(stats.chunks, 9, "the chunk directory itself is fully known");
+
+    assert_eq!(contents(&db), expected, "first scan pages everything in correctly");
+    let stats = db.storage_stats().expect("stats");
+    assert_eq!(stats.page_faults, 9, "every chunk faulted in exactly once");
+    assert!(stats.resident_chunk_bytes > 0, "unbounded store keeps pages resident");
+    assert_eq!(stats.evictions, 0, "no budget, no evictions");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scans_under_any_budget_are_bit_identical() {
+    let dir = tmp_dir("budgets");
+    let expected = build_store(&dir);
+    let resident = Tsdb::open(&dir).expect("unbounded reopen");
+    let baseline = contents(&resident);
+    assert_eq!(baseline, expected);
+    let segment_bytes = resident.storage_stats().expect("stats").segment_bytes;
+    let chunks = resident.storage_stats().expect("stats").chunks as u64;
+    drop(resident);
+
+    // Budget 0 (evict immediately) and about one chunk's worth.
+    for budget in [0, segment_bytes.div_ceil(chunks)] {
+        let options =
+            StorageOptions { page_budget_bytes: Some(budget), ..StorageOptions::default() };
+        let db = Tsdb::open_read_only_with(&dir, options).expect("paged reopen");
+        assert_eq!(contents(&db), baseline, "budget {budget} diverged");
+        let stats = db.storage_stats().expect("stats");
+        assert_eq!(stats.page_faults, 9, "budget {budget}: every chunk faulted");
+        assert!(stats.evictions > 0, "budget {budget}: pressure forced evictions");
+        // The clock can only evict between faults, so the peak overshoots
+        // by at most about one chunk (plus slack for uneven chunk sizes).
+        assert!(
+            stats.peak_resident_chunk_bytes <= budget + 2 * segment_bytes.div_ceil(chunks),
+            "budget {budget}: peak {} ran away",
+            stats.peak_resident_chunk_bytes
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression: the assembled whole-series cache used to pin a decoded
+/// copy of every scanned series forever, invisible to any accounting. It
+/// is now charged to the pager and shed by `evict_to_budget`.
+#[test]
+fn assembled_cache_is_accounted_and_evictable() {
+    let dir = tmp_dir("assembled");
+    build_store(&dir);
+    let budget = 1024u64;
+    let options = StorageOptions { page_budget_bytes: Some(budget), ..StorageOptions::default() };
+    let mut db = Tsdb::open_with(&dir, options).expect("reopen");
+
+    // A materializing whole-series scan hydrates assembled caches way past
+    // the budget — and the accounting must *see* that.
+    let range = db.time_span().expect("data");
+    let total: usize =
+        db.scan(&MetricFilter::all(), &range).iter().map(|(_, ts, _)| ts.len()).sum();
+    assert_eq!(total, 360);
+    let stats = db.storage_stats().expect("stats");
+    assert!(
+        stats.resident_bytes > budget,
+        "assembled caches count: {} resident vs {budget} budget",
+        stats.resident_bytes
+    );
+
+    let dropped = db.evict_to_budget();
+    assert!(dropped > 0, "eviction shed the decoded caches");
+    let stats = db.storage_stats().expect("stats");
+    assert!(
+        stats.resident_bytes <= budget,
+        "resident bytes {} fell back under the {budget}-byte budget",
+        stats.resident_bytes
+    );
+    assert!(stats.evictions > 0, "cache drops are visible in the counters");
+
+    // The store still serves the same data afterwards (re-faulting and
+    // re-decoding as needed).
+    let total_again: usize =
+        db.scan(&MetricFilter::all(), &range).iter().map(|(_, ts, _)| ts.len()).sum();
+    assert_eq!(total_again, total);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn read_only_handles_coexist_and_never_touch_the_store() {
+    let dir = tmp_dir("read-only");
+    let expected = build_store(&dir);
+    // Leave committed-but-unflushed records in the WAL: read-only opens
+    // must replay them without truncating anything.
+    {
+        let mut writer = Tsdb::open(&dir).expect("writer");
+        writer.try_insert(&SeriesKey::new("late"), 0, 9.0).expect("insert");
+        writer.sync().expect("sync");
+    }
+    let wal_before = std::fs::read(dir.join("wal")).expect("read wal");
+    assert!(!wal_before.is_empty());
+
+    let mut ro1 = Tsdb::open_read_only(&dir).expect("first read-only open");
+    let ro2 = Tsdb::open_read_only(&dir).expect("second concurrent read-only open");
+    assert!(ro1.is_read_only() && ro2.is_read_only());
+    for ro in [&ro1, &ro2] {
+        assert_eq!(ro.get(&SeriesKey::new("late")).map(|s| s.len()), Some(1), "WAL replayed");
+        let mut rows = contents(ro);
+        rows.retain(|(k, _, _)| !k.starts_with("late"));
+        assert_eq!(rows, expected, "read-only view serves the flushed fleet");
+    }
+
+    // Every mutating surface refuses.
+    let err = ro1.try_insert(&SeriesKey::new("x"), 0, 1.0).expect_err("insert refused");
+    assert!(matches!(err, StorageError::ReadOnly), "{err}");
+    assert!(matches!(ro1.sync().expect_err("sync refused"), StorageError::ReadOnly));
+    assert!(matches!(ro1.flush().expect_err("flush refused"), StorageError::ReadOnly));
+    assert!(matches!(ro1.compact().expect_err("compact refused"), StorageError::ReadOnly));
+
+    // And the log's bytes never moved.
+    let wal_after = std::fs::read(dir.join("wal")).expect("read wal after");
+    assert_eq!(wal_before, wal_after, "read-only opens left the WAL untouched");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retention_drops_expired_segments_at_flush_without_decoding() {
+    let dir = tmp_dir("retention-flush");
+    let options = StorageOptions { retention: Some(10_000), ..StorageOptions::default() };
+    let mut db = Tsdb::open_with(&dir, options).expect("open");
+    let key = SeriesKey::new("m");
+    for t in 0..50i64 {
+        db.try_insert(&key, t * 60, t as f64).expect("insert");
+    }
+    db.flush().expect("flush old window");
+    assert_eq!(db.storage_stats().expect("stats").segments, 1);
+
+    // A new window far past the retention horizon: the flush that makes
+    // it durable also expires the old segment — whole file, no decode.
+    for t in 1000..1050i64 {
+        db.try_insert(&key, t * 60, t as f64).expect("insert");
+    }
+    db.flush().expect("flush new window");
+    let stats = db.storage_stats().expect("stats");
+    assert_eq!(stats.segments, 1, "expired segment dropped at flush");
+    assert_eq!(db.decode_count(), 0, "retention never decoded a chunk");
+    assert_eq!(db.point_count(), 50, "only the new window's points remain");
+    assert_eq!(db.get(&key).map(|s| s.timestamps().first().copied()), Some(Some(60_000)));
+
+    // Reopen agrees: the file is gone, not merely hidden.
+    drop(db);
+    let reopened = Tsdb::open(&dir).expect("reopen");
+    assert_eq!(reopened.point_count(), 50);
+    assert_eq!(reopened.storage_stats().expect("stats").segments, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retention_applies_at_open_too() {
+    let dir = tmp_dir("retention-open");
+    {
+        let mut db = Tsdb::open(&dir).expect("open");
+        let key = SeriesKey::new("m");
+        for t in 0..50i64 {
+            db.try_insert(&key, t * 60, t as f64).expect("insert");
+        }
+        db.flush().expect("flush old window");
+        for t in 1000..1050i64 {
+            db.try_insert(&key, t * 60, t as f64).expect("insert");
+        }
+        db.flush().expect("flush new window");
+        assert_eq!(db.storage_stats().expect("stats").segments, 2);
+    }
+    let options = StorageOptions { retention: Some(10_000), ..StorageOptions::default() };
+    let db = Tsdb::open_with(&dir, options).expect("reopen with retention");
+    assert_eq!(db.storage_stats().expect("stats").segments, 1, "expired segment dropped at open");
+    assert_eq!(db.point_count(), 50);
+    assert_eq!(db.decode_count(), 0, "retention never decoded a chunk");
+    let _ = std::fs::remove_dir_all(&dir);
+}

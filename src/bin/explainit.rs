@@ -24,7 +24,7 @@ use std::process::ExitCode;
 use explainit::core::report::explain;
 use explainit::core::EngineConfig;
 use explainit::query::Statement;
-use explainit::tsdb::{Snapshot, Tsdb};
+use explainit::tsdb::{Snapshot, StorageOptions, Tsdb};
 use explainit::workloads::{case_studies, families_by_name, simulate, ClusterSpec, Fault};
 use explainit::{Session, StatementOutcome};
 
@@ -58,9 +58,11 @@ fn main() -> ExitCode {
 fn print_usage() {
     eprintln!(
         "ExplainIt! — declarative root-cause analysis for time series\n\n\
-         USAGE:\n  explainit simulate --out FILE | --data-dir DIR [--fault KIND] [--minutes N] [--seed N]\n\
+         USAGE:\n  explainit simulate --out FILE | --data-dir DIR [--fault KIND] [--minutes N] [--seed N] [--retention N]\n\
          \x20 explainit sql FILE|--data-dir DIR \"STMT; STMT; ...\" | explainit sql FILE -f SCRIPT.sql\n\
-         \x20     [--partitions N] [--no-scan-agg]   (executor tuning; defaults: auto, pushdown on)\n\
+         \x20     [--partitions N] [--no-scan-agg] [--page-budget BYTES]\n\
+         \x20     (executor tuning; defaults: auto, pushdown on. --data-dir opens read-only,\n\
+         \x20      demand-paged under --page-budget — 0 or unset means unbounded)\n\
          \x20 explainit rank FILE [--target FAMILY] [--condition A,B] [--scorer NAME] [--top K]\n\
          \x20 explainit explain FILE --candidate FAMILY [--target FAMILY] [--condition A,B]\n\
          \x20 explainit case-study 5.1|5.2|5.3|5.4\n\n\
@@ -136,8 +138,14 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             bytes.len()
         );
     }
+    let retention: Option<i64> = match flag(args, "--retention") {
+        Some(v) => Some(v.parse().map_err(|e| format!("--retention: {e}"))?),
+        None => None,
+    };
     if let Some(dir) = data_dir {
-        let mut durable = Tsdb::open(dir).map_err(|e| format!("opening {dir}: {e}"))?;
+        let options = StorageOptions { retention, ..StorageOptions::default() };
+        let mut durable =
+            Tsdb::open_with(dir, options).map_err(|e| format!("opening {dir}: {e}"))?;
         if durable.point_count() > 0 {
             return Err(format!(
                 "{dir} already holds {} points; refusing to simulate into a non-empty store",
@@ -192,20 +200,36 @@ fn print_outcome(outcome: &StatementOutcome) {
 
 fn cmd_sql(args: &[String]) -> Result<(), String> {
     // The data source is either a snapshot FILE or a durable store opened
-    // with `--data-dir DIR` (crash-recovered, lazily decoded).
+    // with `--data-dir DIR`: *read-only* (a sql session never takes the
+    // writer role, so it can run next to an ingester or another session)
+    // and demand-paged under `--page-budget` when one is given.
     let (db, at) = if args.first().map(String::as_str) == Some("--data-dir") {
         let dir = args.get(1).ok_or("--data-dir requires a DIR")?;
-        // `Tsdb::open` creates missing directories (the ingest path wants
-        // that); for a read-mostly `sql` session a missing dir is almost
-        // certainly a typo, so refuse instead of querying an empty store.
+        // A read-only open requires an existing store; refusing a missing
+        // dir here gives a friendlier error than the engine's NotFound.
         if !std::path::Path::new(dir).is_dir() {
             return Err(format!("{dir} is not a directory (simulate --data-dir creates one)"));
         }
-        (Tsdb::open(dir).map_err(|e| format!("opening {dir}: {e}"))?, 2)
+        let page_budget_bytes = match flag(args, "--page-budget") {
+            Some(v) => {
+                let bytes: u64 = v.parse().map_err(|e| format!("--page-budget: {e}"))?;
+                (bytes > 0).then_some(bytes)
+            }
+            None => None,
+        };
+        let options = StorageOptions { page_budget_bytes, ..StorageOptions::default() };
+        (Tsdb::open_read_only_with(dir, options).map_err(|e| format!("opening {dir}: {e}"))?, 2)
     } else {
         let path = args.first().ok_or("sql requires a snapshot FILE or --data-dir DIR")?;
         (load_db(path)?, 1)
     };
+    // `--page-budget` may appear before or after the script; `flag()`
+    // already consumed its value, so just step over the pair here.
+    let mut at = at;
+    while args.get(at).map(String::as_str) == Some("--page-budget") {
+        args.get(at + 1).ok_or("--page-budget requires a byte count")?;
+        at += 2;
+    }
     let (script, mut consumed) = match args.get(at).map(String::as_str) {
         Some("-f") => {
             let file = args.get(at + 1).ok_or("-f requires a script FILE")?;
@@ -228,6 +252,12 @@ fn cmd_sql(args: &[String]) -> Result<(), String> {
             "--no-scan-agg" => {
                 opts.scan_aggregate = false;
                 consumed += 1;
+            }
+            // Consumed by the open above (flag() scans the whole argv);
+            // recognized here so it doesn't trip the trailing-args check.
+            "--page-budget" => {
+                args.get(consumed + 1).ok_or("--page-budget requires a byte count")?;
+                consumed += 2;
             }
             extra => return Err(format!("unexpected trailing argument: {extra}")),
         }
