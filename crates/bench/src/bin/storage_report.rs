@@ -116,6 +116,42 @@ fn main() {
          ({} segment bytes for {raw_bytes} raw bytes)",
         stats.segment_bytes
     );
+
+    // Lockdep overhead: the same warm family scan with the lock-order
+    // checker disarmed vs force-armed, min-of-N per mode. The disarmed
+    // fast path is one relaxed atomic load per acquisition and must stay
+    // free; since the armed run does strictly more work per acquisition,
+    // gating `disarmed <= armed * 1.05` pins that claim down without
+    // needing an (unmeasurable) wrapper-less baseline.
+    let was_armed = explainit_sync::armed();
+    let timed_warm_scan = |db: &Tsdb| {
+        (0..5)
+            .map(|_| {
+                let started = Instant::now();
+                let sum = scan_sum(db);
+                let elapsed = started.elapsed();
+                assert_eq!(sum, expected_sum, "overhead-phase scan diverged");
+                elapsed
+            })
+            .min()
+            .expect("five timed passes")
+    };
+    explainit_sync::set_armed(false);
+    let warm_disarmed = timed_warm_scan(&reopened);
+    explainit_sync::set_armed(true);
+    let warm_armed = timed_warm_scan(&reopened);
+    explainit_sync::set_armed(was_armed);
+    let lockdep_overhead_pct = ((warm_disarmed.as_secs_f64() - warm_armed.as_secs_f64())
+        / warm_armed.as_secs_f64())
+    .max(0.0)
+        * 100.0;
+    assert!(
+        lockdep_overhead_pct <= 5.0,
+        "disarmed lockdep overhead {lockdep_overhead_pct:.2}% exceeded the 5% gate \
+         (disarmed {:.3} ms vs armed {:.3} ms)",
+        warm_disarmed.as_secs_f64() * 1e3,
+        warm_armed.as_secs_f64() * 1e3
+    );
     drop(reopened);
 
     // Out-of-core: reopen read-only under a budget a fraction of the
@@ -159,6 +195,12 @@ fn main() {
     println!("  cold scan   {:>10.1} ms ({decodes} chunk decodes)", ms(cold));
     println!("  warm scan   {:>10.1} ms (0 chunk decodes)", ms(warm));
     println!(
+        "  lockdep     {:>10.2} % disarmed overhead (disarmed {:.1} ms, armed {:.1} ms)",
+        lockdep_overhead_pct,
+        ms(warm_disarmed),
+        ms(warm_armed)
+    );
+    println!(
         "  paged scan  {:>10.1} ms ({} byte budget, peak {} resident, {} faults, {} evictions)",
         ms(paged_scan),
         PAGE_BUDGET_BYTES,
@@ -177,6 +219,8 @@ fn main() {
          \"compression_ratio\": {ratio:.3},\n  \"bytes_per_point\": {:.3},\n  \
          \"cold_scan_ms\": {:.3},\n  \"warm_scan_ms\": {:.3},\n  \
          \"chunk_decodes_cold\": {decodes},\n  \
+         \"warm_scan_disarmed_ms\": {:.3},\n  \"warm_scan_armed_ms\": {:.3},\n  \
+         \"lockdep_overhead_pct\": {lockdep_overhead_pct:.3},\n  \
          \"page_budget_bytes\": {PAGE_BUDGET_BYTES},\n  \
          \"peak_resident_chunk_bytes\": {},\n  \"paged_scan_ms\": {:.3},\n  \
          \"page_faults\": {},\n  \"evictions\": {}\n}}\n",
@@ -186,6 +230,8 @@ fn main() {
         stats.segment_bytes as f64 / total as f64,
         ms(cold),
         ms(warm),
+        ms(warm_disarmed),
+        ms(warm_armed),
         paged_stats.peak_resident_chunk_bytes,
         ms(paged_scan),
         paged_stats.page_faults,

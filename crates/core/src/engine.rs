@@ -6,10 +6,15 @@
 //! per-hypothesis timing — the measurements Figure 10 plots.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use explainit_sync::{LockClass, Mutex};
+
 use explainit_linalg::Matrix;
+
+/// Per-ranking worker results: a leaf push after each hypothesis is
+/// scored, so nothing ever nests inside it.
+static ENGINE_RESULTS: LockClass = LockClass::new("core.engine.results", 90);
 
 use crate::family::FeatureFamily;
 use crate::hypothesis::HypothesisSet;
@@ -198,7 +203,7 @@ impl Engine {
         }
         let tasks: Vec<usize> = set.xs.clone();
         let results: Mutex<Vec<(usize, ScoreOutcome)>> =
-            Mutex::new(Vec::with_capacity(tasks.len()));
+            Mutex::new(&ENGINE_RESULTS, Vec::with_capacity(tasks.len()));
         let next = AtomicUsize::new(0);
         let workers = if self.config.workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
@@ -216,14 +221,13 @@ impl Engine {
                     }
                     let xi = tasks[i];
                     let outcome = self.score_one(xi, set.y, &set.z, &shared_ts, scorer);
-                    results.lock().expect("results lock").push((xi, outcome));
+                    results.lock().push((xi, outcome));
                 });
             }
         });
 
         let mut entries: Vec<RankedHypothesis> = results
             .into_inner()
-            .expect("results lock")
             .into_iter()
             .map(|(xi, outcome)| {
                 let fam = &self.families[xi];

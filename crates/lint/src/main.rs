@@ -7,16 +7,21 @@
 //!    `crates/query/src/kernel.rs` and `crates/query/src/veval.rs` unless
 //!    the line carries a `lint: allow as f64` marker explaining why the
 //!    cast is exact (or deliberately widening).
-//! 2. **No `unwrap()`/`expect()` in query library code or on storage I/O
-//!    paths** — outside `#[cfg(test)]` modules, every potential panic
-//!    site in `crates/query/src` and `crates/tsdb/src/storage` must
-//!    either be converted to the crate's error type (`QueryError` /
-//!    `StorageError`) or justified with an `// invariant:` comment on
-//!    the same or a nearby preceding line. A panic in the storage layer
-//!    is worse than an error: it can tear a WAL append or leave a
-//!    half-written segment behind.
+//! 2. **No `unwrap()`/`expect()` in query library code or anywhere in
+//!    the store** — outside `#[cfg(test)]` modules, every potential panic
+//!    site in `crates/query/src` and `crates/tsdb/src` (all of it, the
+//!    WAL/segment I/O paths included) must either be converted to the
+//!    crate's error type (`QueryError` / `StorageError`) or justified
+//!    with an `// invariant:` comment on the same or a nearby preceding
+//!    line. A panic in the storage layer is worse than an error: it can
+//!    tear a WAL append or leave a half-written segment behind.
 //! 3. **`#![forbid(unsafe_code)]` everywhere** — every crate root
 //!    (`src/lib.rs`) in the workspace must carry the attribute.
+//! 4. **No raw `std::sync::{Mutex, RwLock}` outside `crates/sync`** —
+//!    every lock goes through the `explainit-sync` wrappers so it gets a
+//!    `LockClass` rank and lockdep order checking; naming the std types
+//!    anywhere else needs a `lint: allow raw lock` marker explaining why
+//!    the lock must stay untracked.
 //!
 //! The binary prints one `file:line: message` per finding and exits
 //! non-zero when any rule fires. It reads sources directly and uses only
@@ -35,6 +40,7 @@ fn main() -> ExitCode {
     lint_as_f64(&root, &mut findings);
     lint_panics(&root, &mut findings);
     lint_forbid_unsafe(&root, &mut findings);
+    lint_raw_locks(&root, &mut findings);
 
     if findings.is_empty() {
         println!("lint: all checks passed");
@@ -80,21 +86,32 @@ fn lint_as_f64(root: &Path, findings: &mut Vec<String>) {
     }
 }
 
+/// Recursively collects `.rs` files under `dir`, sorted for stable output.
+fn rust_files_under(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else { continue };
+        for entry in entries.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|x| x == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
 /// Rule 2: unjustified `unwrap()`/`expect()` in query library code and
-/// on storage I/O paths.
+/// anywhere in the store (the WAL/segment/pager I/O paths included).
 fn lint_panics(root: &Path, findings: &mut Vec<String>) {
-    for (dir, err_ty) in
-        [("crates/query/src", "QueryError"), ("crates/tsdb/src/storage", "StorageError")]
-    {
-        let mut files: Vec<PathBuf> = std::fs::read_dir(root.join(dir))
-            .expect("linted src dir exists")
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
-            .collect();
-        files.sort();
-        for path in files {
+    for (dir, err_ty) in [("crates/query/src", "QueryError"), ("crates/tsdb/src", "StorageError")] {
+        for path in rust_files_under(&root.join(dir)) {
             let source = read(&path);
-            let rel = format!("{dir}/{}", path.file_name().unwrap().to_string_lossy());
+            let rel = path.strip_prefix(root).unwrap_or(&path).display().to_string();
             let lines: Vec<(usize, String, String)> = library_code_lines(&source).collect();
             for (i, (lineno, _, code)) in lines.iter().enumerate() {
                 if !code.contains(".unwrap()") && !code.contains(".expect(") {
@@ -134,6 +151,66 @@ fn lint_forbid_unsafe(root: &Path, findings: &mut Vec<String>) {
         if !source.contains("#![forbid(unsafe_code)]") {
             let rel = lib.strip_prefix(root).unwrap_or(&lib).display();
             findings.push(format!("{rel}:1: crate root is missing `#![forbid(unsafe_code)]`"));
+        }
+    }
+}
+
+/// True when `word` occurs in `code` as a whole identifier (not as a
+/// prefix of a longer one, so `Mutex` does not match `MutexGuard`).
+fn has_word(code: &str, word: &str) -> bool {
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let before_ok = start == 0 || !ident(code[..start].chars().next_back().unwrap());
+        let after_ok = !code[end..].chars().next().is_some_and(ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Rule 4: raw `std::sync::{Mutex, RwLock}` outside `crates/sync`. Both
+/// fully-qualified uses and `use std::sync::…` imports of the types are
+/// flagged, whole-file (test modules included — tests run under lockdep
+/// too, and a raw lock there escapes the analysis just the same).
+fn lint_raw_locks(root: &Path, findings: &mut Vec<String>) {
+    let mut dirs = vec![root.join("src"), root.join("tests")];
+    let Ok(entries) = std::fs::read_dir(root.join("crates")) else { return };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() && path.file_name().is_some_and(|n| n != "sync") {
+            dirs.push(path);
+        }
+    }
+    for dir in dirs {
+        for path in rust_files_under(&dir) {
+            let source = read(&path);
+            let rel = path.strip_prefix(root).unwrap_or(&path).display().to_string();
+            let stripped = strip_comments_and_strings(&source);
+            for ((i, code), raw) in stripped.iter().enumerate().zip(source.lines()) {
+                if raw.contains("lint: allow raw lock") {
+                    continue;
+                }
+                let qualified = (code.contains("std::sync::Mutex")
+                    && !code.contains("std::sync::MutexGuard"))
+                    || (code.contains("std::sync::RwLock")
+                        && !code.contains("std::sync::RwLockReadGuard")
+                        && !code.contains("std::sync::RwLockWriteGuard"));
+                let imported = code.contains("use std::sync::")
+                    && (has_word(code, "Mutex") || has_word(code, "RwLock"));
+                if qualified || imported {
+                    findings.push(format!(
+                        "{rel}:{}: raw std::sync lock outside crates/sync \
+                         (use the explainit-sync wrappers with a LockClass, \
+                         or mark `lint: allow raw lock`)",
+                        i + 1
+                    ));
+                }
+            }
         }
     }
 }
@@ -254,6 +331,7 @@ mod tests {
         lint_as_f64(&root, &mut findings);
         lint_panics(&root, &mut findings);
         lint_forbid_unsafe(&root, &mut findings);
+        lint_raw_locks(&root, &mut findings);
         assert!(findings.is_empty(), "lint findings:\n{}", findings.join("\n"));
     }
 }

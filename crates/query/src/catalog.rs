@@ -25,9 +25,23 @@
 //! or tag-map clones no matter how many rows it returns.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::Arc;
+
+use explainit_sync::{LockClass, Mutex, OnceLock};
 
 use explainit_tsdb::{SharedTsdb, Tsdb};
+
+/// The published-snapshot slot of one TSDB registration. Held only to
+/// clone or swap an `Arc` — never while snapshotting (which takes the
+/// `tsdb.shared` lock, rank 10, and so must happen outside this one).
+static CATALOG_BINDING: LockClass = LockClass::new("query.catalog.binding", 20);
+
+/// A binding's materialized relational view; init scans the snapshot,
+/// which decodes chunks and may fault pages — everything above rank 30.
+static BINDING_CACHE: LockClass = LockClass::new("query.binding.cache", 30);
+
+/// A binding's scan dictionaries; init walks the snapshot like the view.
+static BINDING_DICTS: LockClass = LockClass::new("query.binding.dicts", 32);
 
 use crate::ast::Query;
 use crate::exec::{execute, execute_with, ExecOptions};
@@ -87,7 +101,12 @@ pub(crate) struct TsdbBinding {
 
 impl TsdbBinding {
     fn at(db: Tsdb, generation: u64) -> Arc<TsdbBinding> {
-        Arc::new(TsdbBinding { db, generation, cache: OnceLock::new(), dicts: OnceLock::new() })
+        Arc::new(TsdbBinding {
+            db,
+            generation,
+            cache: OnceLock::new(&BINDING_CACHE),
+            dicts: OnceLock::new(&BINDING_DICTS),
+        })
     }
 
     fn snapshot(handle: &SharedTsdb) -> Arc<TsdbBinding> {
@@ -158,7 +177,10 @@ impl Catalog {
     pub fn register_tsdb(&mut self, name: &str, db: &Tsdb) {
         self.tables.insert(
             name.to_lowercase(),
-            Source::Tsdb { shared: None, bound: Mutex::new(TsdbBinding::at(db.clone(), 0)) },
+            Source::Tsdb {
+                shared: None,
+                bound: Mutex::new(&CATALOG_BINDING, TsdbBinding::at(db.clone(), 0)),
+            },
         );
     }
 
@@ -170,7 +192,10 @@ impl Catalog {
             self.current_binding_of(handle).unwrap_or_else(|| TsdbBinding::snapshot(handle));
         self.tables.insert(
             name.to_lowercase(),
-            Source::Tsdb { shared: Some(handle.clone()), bound: Mutex::new(bound) },
+            Source::Tsdb {
+                shared: Some(handle.clone()),
+                bound: Mutex::new(&CATALOG_BINDING, bound),
+            },
         );
     }
 
@@ -183,7 +208,7 @@ impl Catalog {
             Source::Tsdb { shared: Some(peer), bound } if peer.same_store(handle) => {
                 // try_lock: a peer mid-refresh on another thread is simply
                 // skipped; we fall back to snapshotting ourselves.
-                let peer_bound = bound.try_lock().ok()?;
+                let peer_bound = bound.try_lock()?;
                 (peer_bound.generation == generation).then(|| peer_bound.clone())
             }
             _ => None,
@@ -196,7 +221,7 @@ impl Catalog {
         let Source::Tsdb { shared, bound } = self.tables.get(&name.to_lowercase())? else {
             return None;
         };
-        let current = bound.lock().expect("binding lock").clone(); // invariant: no panics occur while the binding lock is held
+        let current = bound.lock().clone();
         let Some(handle) = shared else {
             return Some(current);
         };
@@ -208,7 +233,7 @@ impl Catalog {
         // refresh is idempotent for one generation).
         let fresh =
             self.current_binding_of(handle).unwrap_or_else(|| TsdbBinding::snapshot(handle));
-        *bound.lock().expect("binding lock") = fresh.clone(); // invariant: no panics occur while the binding lock is held
+        *bound.lock() = fresh.clone();
         Some(fresh)
     }
 

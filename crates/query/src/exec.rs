@@ -25,9 +25,19 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use explainit_sync::{LockClass, Mutex};
 
 use explainit_tsdb::{MetricFilter, SeriesKey};
+
+/// Per-execution pin map: held only to clone or insert an `Arc`; the
+/// catalog's binding lock is always taken *before* (never under) it.
+static EXEC_PINNED: LockClass = LockClass::new("query.exec.pinned", 25);
+
+/// Morsel result collection: a leaf push after each worker's morsel
+/// completes, so nothing ever nests inside it.
+static EXEC_RESULTS: LockClass = LockClass::new("query.exec.results", 90);
 
 use crate::ast::{Expr, JoinKind, Query};
 use crate::catalog::{Catalog, TsdbBinding};
@@ -102,18 +112,17 @@ struct ExecCtx<'a> {
 
 impl<'a> ExecCtx<'a> {
     fn new(catalog: &'a Catalog) -> ExecCtx<'a> {
-        ExecCtx { catalog, pinned: Mutex::new(HashMap::new()) }
+        ExecCtx { catalog, pinned: Mutex::new(&EXEC_PINNED, HashMap::new()) }
     }
 
     /// The pinned binding for a TSDB table (resolved once per execution).
     fn binding(&self, name: &str) -> Option<Arc<TsdbBinding>> {
         let key = name.to_lowercase();
-        // invariant: no panics occur while the pin lock is held
-        if let Some(b) = self.pinned.lock().expect("pin lock").get(&key) {
+        if let Some(b) = self.pinned.lock().get(&key) {
             return Some(b.clone());
         }
         let binding = self.catalog.tsdb_binding(name)?;
-        self.pinned.lock().expect("pin lock").entry(key).or_insert(binding.clone()); // invariant: no panics occur while the pin lock is held
+        self.pinned.lock().entry(key).or_insert(binding.clone());
         Some(binding)
     }
 
@@ -961,7 +970,8 @@ fn run_partitioned<T: Send>(
     if morsels <= 1 || workers <= 1 {
         return (0..morsels).map(&f).collect();
     }
-    let results: Mutex<Vec<(usize, Result<T>)>> = Mutex::new(Vec::with_capacity(morsels));
+    let results: Mutex<Vec<(usize, Result<T>)>> =
+        Mutex::new(&EXEC_RESULTS, Vec::with_capacity(morsels));
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -971,11 +981,11 @@ fn run_partitioned<T: Send>(
                     break;
                 }
                 let r = f(i);
-                results.lock().expect("morsel results lock").push((i, r)); // invariant: no panics occur while the results lock is held
+                results.lock().push((i, r));
             });
         }
     });
-    let mut collected = results.into_inner().expect("morsel results lock"); // invariant: no panics occur while the results lock is held
+    let mut collected = results.into_inner();
     collected.sort_by_key(|(i, _)| *i);
     collected.into_iter().map(|(_, r)| r).collect()
 }

@@ -7,10 +7,14 @@
 //! materialized cache, so purely columnar pipelines never pay for row
 //! construction.
 
-use std::sync::OnceLock;
+use explainit_sync::{LockClass, OnceLock};
 
 use crate::column::Column;
 use crate::value::Value;
+
+/// The lazily materialized row-compat shim; init only walks this table's
+/// own columns, so nothing nests inside it.
+static TABLE_ROWS: LockClass = LockClass::new("query.table.rows", 34);
 use crate::{QueryError, Result};
 
 /// Column names of a table. Names may be qualified (`t.col`) after joins;
@@ -149,7 +153,7 @@ fn edit_distance(a: &str, b: &str) -> usize {
 }
 
 /// An in-memory table: schema plus typed value columns.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
@@ -158,6 +162,17 @@ pub struct Table {
     len: usize,
     /// Lazily materialized row view (the row-compat shim).
     row_cache: OnceLock<Vec<Vec<Value>>>,
+}
+
+impl Default for Table {
+    fn default() -> Self {
+        Table {
+            schema: Schema::default(),
+            columns: Vec::new(),
+            len: 0,
+            row_cache: OnceLock::new(&TABLE_ROWS),
+        }
+    }
 }
 
 impl PartialEq for Table {
@@ -173,7 +188,7 @@ impl Table {
             schema: Schema::new(columns.iter().map(|s| s.to_string()).collect()),
             columns: columns.iter().map(|_| Column::empty()).collect(),
             len: 0,
-            row_cache: OnceLock::new(),
+            row_cache: OnceLock::new(&TABLE_ROWS),
         }
     }
 
@@ -202,7 +217,7 @@ impl Table {
             }
         }
         let columns = per_column.into_iter().map(Column::from_values).collect();
-        let row_cache = OnceLock::new();
+        let row_cache = OnceLock::new(&TABLE_ROWS);
         let _ = row_cache.set(rows); // seed the shim: we already own the rows
         Table { schema, columns, len, row_cache }
     }
@@ -216,13 +231,18 @@ impl Table {
         assert_eq!(schema.len(), columns.len(), "schema/column count mismatch");
         let len = columns.first().map_or(0, Column::len);
         assert!(columns.iter().all(|c| c.len() == len), "column length mismatch");
-        Table { schema, columns, len, row_cache: OnceLock::new() }
+        Table { schema, columns, len, row_cache: OnceLock::new(&TABLE_ROWS) }
     }
 
     /// Creates a zero-column table with `len` (empty) rows — the input of a
     /// constant `SELECT` without FROM.
     pub fn unit(len: usize) -> Self {
-        Table { schema: Schema::default(), columns: Vec::new(), len, row_cache: OnceLock::new() }
+        Table {
+            schema: Schema::default(),
+            columns: Vec::new(),
+            len,
+            row_cache: OnceLock::new(&TABLE_ROWS),
+        }
     }
 
     /// The table's schema.
@@ -240,7 +260,7 @@ impl Table {
     pub(crate) fn from_columnar_parts(schema: Schema, columns: Vec<Column>, len: usize) -> Table {
         debug_assert_eq!(schema.len(), columns.len());
         debug_assert!(columns.iter().all(|c| c.len() == len));
-        Table { schema, columns, len, row_cache: OnceLock::new() }
+        Table { schema, columns, len, row_cache: OnceLock::new(&TABLE_ROWS) }
     }
 
     /// Replaces the schema (a pure rename — used by join-scope
@@ -263,7 +283,7 @@ impl Table {
             c.truncate(n);
         }
         self.len = n;
-        self.row_cache = OnceLock::new();
+        self.row_cache = OnceLock::new(&TABLE_ROWS);
         self
     }
 
@@ -310,7 +330,7 @@ impl Table {
             c.push(v);
         }
         self.len += 1;
-        self.row_cache = OnceLock::new(); // invalidate the shim
+        self.row_cache = OnceLock::new(&TABLE_ROWS); // invalidate the shim
     }
 
     /// Extracts a column by name as a value vector.

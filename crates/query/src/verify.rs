@@ -45,7 +45,7 @@
 //! Violations surface as [`QueryError::Plan`] with the message prefix
 //! `optimizer invariant violated after <rule>:`.
 
-use std::sync::OnceLock;
+use explainit_sync::{LockClass, OnceLock};
 
 use crate::ast::Expr;
 use crate::catalog::Catalog;
@@ -62,7 +62,8 @@ use crate::Result;
 /// True when `EXPLAINIT_VERIFY_PLANS` forces verification on (cached — the
 /// environment is read once per process).
 pub(crate) fn env_forced() -> bool {
-    static FORCED: OnceLock<bool> = OnceLock::new();
+    static FORCED_CLASS: LockClass = LockClass::new("query.verify.forced", 15);
+    static FORCED: OnceLock<bool> = OnceLock::new(&FORCED_CLASS);
     *FORCED.get_or_init(|| std::env::var_os("EXPLAINIT_VERIFY_PLANS").is_some_and(|v| v != "0"))
 }
 

@@ -68,6 +68,20 @@
 //! whose newest point fell behind the retention window, by directory
 //! metadata alone, at open and after every flush.
 //!
+//! # Locking discipline
+//!
+//! Every lock in this crate is an [`explainit_sync`] wrapper carrying a
+//! static `LockClass` rank (`tsdb.shared` 10 → series/chunk caches
+//! 40–55 → pager clock 60 → pager slots 70), checked at runtime by the
+//! lockdep machinery rather than documented as prose: in debug builds
+//! (or under `EXPLAINIT_LOCKDEP=1`) any acquisition that inverts the
+//! rank order, nests a class inside itself, or closes a cycle in the
+//! observed class-order graph panics immediately with both witness
+//! stacks, and faulting a page or fsyncing while holding a class ranked
+//! at or above `IO_LOCK_RANK_THRESHOLD` is flagged the same way. The
+//! rank table and nesting rules live in ROADMAP.md ("Concurrency
+//! discipline"); the poisoning policy is documented on `explainit_sync`.
+//!
 //! # Read-only opens
 //!
 //! [`Tsdb::open_read_only`] observes an existing store without the

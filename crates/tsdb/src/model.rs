@@ -2,12 +2,19 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
+
+use explainit_sync::{LockClass, OnceLock};
 
 use crate::storage::chunk::{encode_run, DecodedBlock, DecodedPoints, EncodedChunk, SealedChunk};
 use crate::storage::pager::Pager;
 use crate::storage::recover::{ChunkData, RecoveredChunk};
 use crate::storage::DecodeCounter;
+
+/// The per-series assembled view (all chunks + head merged). Init decodes
+/// every chunk, so this nests *outside* `tsdb.chunk.decoded` and, through
+/// it, the pager — all higher ranks.
+static SERIES_ASSEMBLED: LockClass = LockClass::new("tsdb.series.assembled", 40);
 
 /// A half-open time range `[start, end)` in the same units the database is
 /// fed with (the workloads use epoch seconds at minute granularity).
@@ -199,7 +206,7 @@ impl Series {
             sealed: Vec::new(),
             timestamps: Vec::new(),
             values: Vec::new(),
-            assembled: OnceLock::new(),
+            assembled: OnceLock::new(&SERIES_ASSEMBLED),
             pager: None,
         }
     }
@@ -219,7 +226,7 @@ impl Series {
             sealed: Vec::new(),
             timestamps,
             values,
-            assembled: OnceLock::new(),
+            assembled: OnceLock::new(&SERIES_ASSEMBLED),
             pager: None,
         }
     }
@@ -260,7 +267,7 @@ impl Series {
             sealed,
             timestamps: Vec::new(),
             values: Vec::new(),
-            assembled: OnceLock::new(),
+            assembled: OnceLock::new(&SERIES_ASSEMBLED),
             pager: Some(pager),
         }
     }
@@ -273,13 +280,15 @@ impl Series {
         if self.sealed.last().is_some_and(|c| ts <= c.meta.max_ts) {
             self.unseal();
         }
-        self.assembled = OnceLock::new();
+        self.assembled = OnceLock::new(&SERIES_ASSEMBLED);
         match self.timestamps.last() {
             Some(&last) if last < ts => {
                 self.timestamps.push(ts);
                 self.values.push(value);
             }
             Some(&last) if last == ts => {
+                // invariant: timestamps and values stay in lockstep, so a
+                // matched last timestamp implies a last value exists.
                 *self.values.last_mut().expect("non-empty") = value;
             }
             None => {
@@ -306,7 +315,7 @@ impl Series {
         self.sealed.clear();
         self.timestamps = ts;
         self.values = vs;
-        self.assembled = OnceLock::new();
+        self.assembled = OnceLock::new(&SERIES_ASSEMBLED);
     }
 
     /// Encodes the head into chunks, moves them onto the sealed tier, and
@@ -328,7 +337,7 @@ impl Series {
         }
         self.timestamps = Vec::new();
         self.values = Vec::new();
-        self.assembled = OnceLock::new();
+        self.assembled = OnceLock::new(&SERIES_ASSEMBLED);
         Some(chunks)
     }
 
@@ -339,7 +348,7 @@ impl Series {
     pub(crate) fn shed_caches(&mut self) -> u64 {
         let mut dropped = 0;
         if self.assembled.get().is_some() {
-            self.assembled = OnceLock::new();
+            self.assembled = OnceLock::new(&SERIES_ASSEMBLED);
             dropped += 1;
         }
         for chunk in &mut self.sealed {
@@ -367,7 +376,7 @@ impl Series {
         });
         let dropped = before - self.sealed.len();
         if dropped > 0 {
-            self.assembled = OnceLock::new();
+            self.assembled = OnceLock::new(&SERIES_ASSEMBLED);
         }
         dropped
     }

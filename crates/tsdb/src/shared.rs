@@ -13,10 +13,18 @@
 //! "fresh ingests become visible" costs one counter comparison per query
 //! and one clone per actual change.
 
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+
+use explainit_sync::{LockClass, RwLock};
 
 use crate::model::SeriesKey;
 use crate::store::Tsdb;
+
+/// The outermost lock of the workspace: a flush legitimately performs
+/// WAL/segment I/O under the write side, so the rank sits well below
+/// [`explainit_sync::IO_LOCK_RANK_THRESHOLD`], and every other lock
+/// (catalog bindings, decode caches, pager) nests inside it.
+static SHARED_TSDB: LockClass = LockClass::new("tsdb.shared", 10);
 
 /// The generation a [`SharedTsdb`] starts at.
 pub const INITIAL_GENERATION: u64 = 0;
@@ -36,7 +44,7 @@ pub struct SharedTsdb {
 
 impl std::fmt::Debug for SharedTsdb {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let guard = self.inner.read().expect("shared tsdb lock");
+        let guard = self.inner.read();
         f.debug_struct("SharedTsdb")
             .field("generation", &guard.generation)
             .field("series", &guard.db.series_count())
@@ -54,7 +62,10 @@ impl SharedTsdb {
     /// Wraps a store in a shared handle at [`INITIAL_GENERATION`].
     pub fn new(db: Tsdb) -> Self {
         SharedTsdb {
-            inner: Arc::new(RwLock::new(Versioned { generation: INITIAL_GENERATION, db })),
+            inner: Arc::new(RwLock::new(
+                &SHARED_TSDB,
+                Versioned { generation: INITIAL_GENERATION, db },
+            )),
         }
     }
 
@@ -81,14 +92,14 @@ impl SharedTsdb {
     /// compressed segments), never the logical contents, so existing
     /// bindings stay valid and no reader needs to re-snapshot.
     pub fn flush(&self) -> Result<(), crate::storage::StorageError> {
-        self.inner.write().expect("shared tsdb lock").db.flush()
+        self.inner.write().db.flush()
     }
 
     /// The current generation. Advances by at least one for every mutating
     /// call; equal generations from the same handle imply identical
     /// contents.
     pub fn generation(&self) -> u64 {
-        self.inner.read().expect("shared tsdb lock").generation
+        self.inner.read().generation
     }
 
     /// True when both handles share one underlying store.
@@ -98,12 +109,12 @@ impl SharedTsdb {
 
     /// Runs a closure over a shared-lock view of the store.
     pub fn with<R>(&self, f: impl FnOnce(&Tsdb) -> R) -> R {
-        f(&self.inner.read().expect("shared tsdb lock").db)
+        f(&self.inner.read().db)
     }
 
     /// Runs a closure with mutable access and advances the generation.
     pub fn ingest<R>(&self, f: impl FnOnce(&mut Tsdb) -> R) -> R {
-        let mut guard = self.inner.write().expect("shared tsdb lock");
+        let mut guard = self.inner.write();
         let r = f(&mut guard.db);
         guard.generation += 1;
         r
@@ -124,7 +135,7 @@ impl SharedTsdb {
     /// consistent: re-checking [`SharedTsdb::generation`] against the
     /// returned generation detects any later ingest.
     pub fn snapshot(&self) -> (u64, Tsdb) {
-        let guard = self.inner.read().expect("shared tsdb lock");
+        let guard = self.inner.read();
         (guard.generation, guard.db.clone())
     }
 }

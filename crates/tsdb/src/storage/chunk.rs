@@ -23,10 +23,18 @@
 //! max_ts]` spans overlap the query range.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
+
+use explainit_sync::{LockClass, OnceLock};
 
 use super::pager::{ColdRef, PageSlot, Pager};
 use super::StorageError;
+
+/// The per-chunk decode cache. Init legitimately waits on a page fault
+/// (the closure calls `PageSlot::bytes`), so the rank sits below
+/// [`explainit_sync::IO_LOCK_RANK_THRESHOLD`] and above the per-series
+/// assembled cache that nests around it.
+static CHUNK_DECODED: LockClass = LockClass::new("tsdb.chunk.decoded", 50);
 
 /// Hard cap on points per chunk: bounds the decode unit (and therefore the
 /// granularity of lazy scans) independently of how large a series grows
@@ -123,7 +131,7 @@ impl SealedChunk {
         SealedChunk {
             meta: chunk.meta,
             slot: pager.slot_resident(chunk.bytes),
-            decoded: OnceLock::new(),
+            decoded: OnceLock::new(&CHUNK_DECODED),
             counter,
             pager,
         }
@@ -137,7 +145,13 @@ impl SealedChunk {
         counter: Arc<AtomicU64>,
         pager: Arc<Pager>,
     ) -> Self {
-        SealedChunk { meta, slot: pager.slot_cold(cold), decoded: OnceLock::new(), counter, pager }
+        SealedChunk {
+            meta,
+            slot: pager.slot_cold(cold),
+            decoded: OnceLock::new(&CHUNK_DECODED),
+            counter,
+            pager,
+        }
     }
 
     /// True when the chunk's time span intersects the inclusive `[lo, hi]`
@@ -197,7 +211,7 @@ impl SealedChunk {
     /// accounted caches at mutation points.
     pub fn clear_decoded(&mut self) -> bool {
         let had = self.decoded.get().is_some();
-        self.decoded = OnceLock::new();
+        self.decoded = OnceLock::new(&CHUNK_DECODED);
         had
     }
 }

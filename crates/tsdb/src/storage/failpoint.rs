@@ -14,7 +14,8 @@
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+
+use explainit_sync::{LockClass, Mutex, MutexGuard};
 
 use super::StorageError;
 
@@ -38,10 +39,15 @@ pub enum Point {
 }
 
 static ARMED: AtomicBool = AtomicBool::new(false);
-static PLANS: Mutex<Vec<(Point, String)>> = Mutex::new(Vec::new());
 
-fn plans() -> std::sync::MutexGuard<'static, Vec<(Point, String)>> {
-    PLANS.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+/// Held only for push/retain/scan of the plan list — near-innermost rank,
+/// and never across the injected I/O itself.
+static FAILPOINT_PLANS: LockClass = LockClass::new("tsdb.failpoint.plans", 80);
+
+static PLANS: Mutex<Vec<(Point, String)>> = Mutex::new(&FAILPOINT_PLANS, Vec::new());
+
+fn plans() -> MutexGuard<'static, Vec<(Point, String)>> {
+    PLANS.lock()
 }
 
 /// Arms `point` for any path containing `dir_tag`.

@@ -228,8 +228,13 @@ impl Storage {
 /// checksum both the WAL records and segment files carry.
 pub fn crc32(bytes: &[u8]) -> u32 {
     const POLY: u32 = 0xEDB8_8320;
-    // Table built on first use; 1 KiB, shared process-wide.
-    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    // Table built on first use; 1 KiB, shared process-wide. Init runs
+    // under flush (tsdb.shared) or decode (tsdb.chunk.decoded) paths,
+    // hence a rank above both; it does no I/O and takes no locks.
+    static CRC32_TABLE: explainit_sync::LockClass =
+        explainit_sync::LockClass::new("tsdb.crc32.table", 55);
+    static TABLE: explainit_sync::OnceLock<[u32; 256]> =
+        explainit_sync::OnceLock::new(&CRC32_TABLE);
     let table = TABLE.get_or_init(|| {
         let mut t = [0u32; 256];
         for (i, slot) in t.iter_mut().enumerate() {
@@ -252,6 +257,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// (a no-op error on platforms that refuse directory handles is ignored —
 /// the data file itself is already synced).
 pub(crate) fn sync_dir(dir: &Path) -> Result<(), StorageError> {
+    explainit_sync::check_io("fsyncing a storage directory");
     match std::fs::File::open(dir) {
         Ok(f) => {
             let _ = f.sync_all();

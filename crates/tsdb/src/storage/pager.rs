@@ -29,16 +29,20 @@
 
 use std::fs::File;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, Weak};
+use std::sync::{Arc, Weak};
+
+use explainit_sync::{check_io, LockClass, Mutex};
 
 use super::StorageError;
 
-/// Locks a mutex, recovering the guard from a poisoned lock: the pager's
-/// shared state is a cache — a panic mid-update can at worst leave stale
-/// accounting, never corrupt point data.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
+/// The clock ring: taken by `enforce` before any per-slot lock. Rank
+/// `IO_LOCK_RANK_THRESHOLD` — never held across a fault read.
+static PAGER_CLOCK: LockClass =
+    LockClass::new("tsdb.pager.clock", explainit_sync::IO_LOCK_RANK_THRESHOLD);
+
+/// Per-slot resident bytes: innermost lock of the whole workspace order.
+/// One class for every slot — holding two slots at once is a bug.
+static PAGER_SLOT: LockClass = LockClass::new("tsdb.pager.slot", 70);
 
 /// Where a pageable chunk's compressed bytes live on disk.
 ///
@@ -61,6 +65,7 @@ pub struct ColdRef {
 impl ColdRef {
     /// Reads the chunk payload with one positioned read.
     pub fn read(&self) -> Result<Vec<u8>, StorageError> {
+        check_io("faulting a cold chunk page");
         let mut buf = vec![0u8; self.len as usize];
         read_exact_at(&self.file, &mut buf, self.offset).map_err(|e| {
             StorageError::io(
@@ -112,7 +117,7 @@ impl PageSlot {
 
     /// True when the slot holds no bytes (it never does for pinned slots).
     pub fn is_empty(&self) -> bool {
-        lock(&self.bytes).is_none()
+        self.bytes.lock().is_none()
     }
 
     /// The segment id a pageable slot reads from, if any.
@@ -123,7 +128,7 @@ impl PageSlot {
     /// The compressed bytes, faulting them in from disk when cold.
     pub fn bytes(self: &Arc<Self>) -> Result<Arc<Vec<u8>>, StorageError> {
         self.referenced.store(true, Ordering::Relaxed);
-        if let Some(resident) = lock(&self.bytes).as_ref() {
+        if let Some(resident) = self.bytes.lock().as_ref() {
             return Ok(Arc::clone(resident));
         }
         // invariant: a slot with no resident bytes is always pageable —
@@ -131,11 +136,12 @@ impl PageSlot {
         let cold = self.cold.as_ref().ok_or_else(|| {
             StorageError::corrupt("chunk", "pinned chunk lost its resident bytes")
         })?;
-        // Read outside the slot lock (lock ordering: the clock sweep takes
-        // clock -> slot, so a fault must never hold slot while enrolling).
+        // Read outside the slot lock (the clock sweep takes clock -> slot,
+        // per the `tsdb.pager.*` LockClass ranks, so a fault must never
+        // hold slot while enrolling; `check_io` enforces the read side).
         let loaded = Arc::new(cold.read()?);
         let won = {
-            let mut guard = lock(&self.bytes);
+            let mut guard = self.bytes.lock();
             match guard.as_ref() {
                 Some(racer) => return Ok(Arc::clone(racer)),
                 None => {
@@ -147,7 +153,7 @@ impl PageSlot {
         if won {
             self.pager.note_fault(self.len);
             if !self.enrolled.swap(true, Ordering::Relaxed) {
-                lock(&self.pager.clock).ring.push(Arc::downgrade(self));
+                self.pager.clock.lock().ring.push(Arc::downgrade(self));
             }
             self.pager.enforce();
         }
@@ -160,7 +166,7 @@ impl PageSlot {
         if self.cold.is_none() {
             return 0;
         }
-        match lock(&self.bytes).take() {
+        match self.bytes.lock().take() {
             Some(_) => self.len,
             None => 0,
         }
@@ -169,7 +175,7 @@ impl PageSlot {
 
 impl Drop for PageSlot {
     fn drop(&mut self) {
-        let resident = self.bytes.get_mut().map(|b| b.is_some()).unwrap_or(false);
+        let resident = self.bytes.get_mut().is_some();
         if resident {
             self.pager.release_resident(self.len);
         }
@@ -230,7 +236,7 @@ impl Pager {
             cache_resident: AtomicU64::new(0),
             faults: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
-            clock: Mutex::new(Clock::default()),
+            clock: Mutex::new(&PAGER_CLOCK, Clock { ring: Vec::new(), hand: 0 }),
         })
     }
 
@@ -253,7 +259,7 @@ impl Pager {
             pager: Arc::clone(self),
             len,
             cold: None,
-            bytes: Mutex::new(Some(bytes)),
+            bytes: Mutex::new(&PAGER_SLOT, Some(bytes)),
             referenced: AtomicBool::new(true),
             enrolled: AtomicBool::new(false),
         })
@@ -266,7 +272,7 @@ impl Pager {
             pager: Arc::clone(self),
             len: cold.len,
             cold: Some(cold),
-            bytes: Mutex::new(None),
+            bytes: Mutex::new(&PAGER_SLOT, None),
             referenced: AtomicBool::new(false),
             enrolled: AtomicBool::new(false),
         })
@@ -331,7 +337,7 @@ impl Pager {
         if self.budget == u64::MAX || self.chunk_resident.load(Ordering::Relaxed) <= self.budget {
             return;
         }
-        let mut clock = lock(&self.clock);
+        let mut clock = self.clock.lock();
         let mut without_progress = 0usize;
         while self.chunk_resident.load(Ordering::Relaxed) > self.budget {
             if clock.ring.is_empty() || without_progress > 2 * clock.ring.len() {
@@ -452,6 +458,33 @@ mod tests {
         drop(slot);
         assert_eq!(pager.counters().resident_chunk_bytes, 0);
         assert!(pager.budget().is_none());
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "acquiring class `tsdb.pager.clock` (rank 60) while holding `tsdb.pager.slot`"
+    )]
+    fn slot_then_clock_inversion_is_caught() {
+        explainit_sync::arm();
+        let dir = tmp_dir("inversion");
+        let pager = Pager::with_budget(Some(1024));
+        let slot = pager.slot_cold(cold_ref(&dir, "seg", b"payload", 0));
+        // Deliberately invert the sanctioned clock -> slot order: hold the
+        // slot's bytes lock and then take the clock ring.
+        let _slot_guard = slot.bytes.lock();
+        let _clock_guard = pager.clock.lock();
+    }
+
+    #[test]
+    #[should_panic(expected = "faulting a cold chunk page")]
+    fn fault_while_holding_clock_is_caught() {
+        explainit_sync::arm();
+        let dir = tmp_dir("io-under-clock");
+        let pager = Pager::with_budget(Some(1024));
+        let slot = pager.slot_cold(cold_ref(&dir, "seg", b"payload", 0));
+        let cold = slot.cold.clone().expect("pageable slot");
+        let _clock_guard = pager.clock.lock();
+        let _ = cold.read();
     }
 
     #[test]

@@ -176,6 +176,7 @@ pub fn write_segment(
         return Err(e);
     }
     {
+        explainit_sync::check_io("writing and fsyncing a segment file");
         let mut f =
             std::fs::File::create(&tmp).map_err(|e| StorageError::io(ctx("creating", &tmp), e))?;
         f.write_all(&body).map_err(|e| StorageError::io(ctx("writing", &tmp), e))?;

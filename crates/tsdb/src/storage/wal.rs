@@ -112,6 +112,7 @@ impl Wal {
     /// Flushes buffered records to the OS and fsyncs — the durability
     /// point for everything appended so far.
     pub fn sync(&mut self) -> Result<(), StorageError> {
+        explainit_sync::check_io("fsyncing the WAL");
         let ctx = || format!("syncing {}", self.path.display());
         self.writer.flush().map_err(|e| StorageError::io(ctx(), e))?;
         self.writer.get_ref().sync_all().map_err(|e| StorageError::io(ctx(), e))
@@ -119,6 +120,7 @@ impl Wal {
 
     /// Empties the log (after its contents were sealed into a segment).
     pub fn truncate(&mut self) -> Result<(), StorageError> {
+        explainit_sync::check_io("truncating and fsyncing the WAL");
         let ctx = || format!("truncating {}", self.path.display());
         self.writer.flush().map_err(|e| StorageError::io(ctx(), e))?;
         let file = self.writer.get_mut();

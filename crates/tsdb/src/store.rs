@@ -531,6 +531,8 @@ impl Tsdb {
         if let Some(&id) = self.by_key.get(key) {
             return id;
         }
+        // invariant: series ids are u32 by on-disk format; 4 billion
+        // distinct keys exhaust memory long before this converts lossily.
         let id = SeriesId(u32::try_from(self.series.len()).expect("series id overflow"));
         let mut series = Series::new(key.clone());
         series.set_pager(Arc::clone(&self.pager));
